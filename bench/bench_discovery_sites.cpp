@@ -1,0 +1,41 @@
+// Figures 3-7 — total discovery time with the client at each site.
+//
+// Paper protocol: unconnected broker network of five distributed brokers,
+// the discovery client runs at FSU, Cardiff, UMN, NCSA and Bloomington;
+// each experiment is carried out 120 times and the first 100 results kept
+// after removing outliers; {mean, stddev, max, min, std-error} reported.
+#include "harness.hpp"
+
+using namespace narada;
+using namespace narada::bench;
+
+int main() {
+    struct SiteCase {
+        const char* figure;
+        sim::Site site;
+        const char* label;
+    };
+    const SiteCase cases[] = {
+        {"Figure 3", sim::Site::kFsu, "Client in FSU, FL"},
+        {"Figure 4", sim::Site::kCardiff, "Client in Cardiff, UK"},
+        {"Figure 5", sim::Site::kUmn, "Client in UMN, MN"},
+        {"Figure 6", sim::Site::kNcsa, "Client in NCSA, UIUC, IL"},
+        {"Figure 7", sim::Site::kBloomington, "Client in Bloomington, IN"},
+    };
+
+    std::printf("Total broker-discovery time, unconnected topology, five brokers\n");
+    std::printf("(120 runs per site, 100 kept after outlier removal)\n");
+
+    for (const SiteCase& c : cases) {
+        scenario::ScenarioOptions opts = unconnected_options();
+        opts.client_site = c.site;
+        const SeriesResult result = run_series(opts);
+        print_metric_table(std::string(c.figure) + ": Time required for discovery with " +
+                               c.label,
+                           result.total_ms);
+        if (result.failures > 0) {
+            std::printf("(failures: %zu / %zu runs)\n", result.failures, result.runs);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation A2 — BDN injection strategies (paper §4).
+//
+// The paper injects each discovery request at the brokers closest and
+// farthest from the BDN "to ensure that the broker discovery request
+// propagates faster through the broker network". We compare that against
+// closest-only, a random injection point, and O(N) direct fan-out, on a
+// linear chain (where injection placement matters most).
+#include "harness.hpp"
+
+using namespace narada;
+using namespace narada::bench;
+
+int main() {
+    const struct {
+        config::InjectionStrategy strategy;
+        const char* label;
+    } strategies[] = {
+        {config::InjectionStrategy::kClosestAndFarthest, "closest+farthest (paper)"},
+        {config::InjectionStrategy::kClosestOnly, "closest only"},
+        {config::InjectionStrategy::kRandom, "random single"},
+        {config::InjectionStrategy::kAll, "all registered (O(N))"},
+    };
+
+    std::printf("Injection-strategy ablation, linear chain of five brokers,\n");
+    std::printf("all registered with the BDN, client in Bloomington (60 runs each)\n\n");
+    std::printf("%-28s %18s %18s %12s\n", "strategy", "mean collect (ms)", "mean total (ms)",
+                "responses");
+
+    for (const auto& entry : strategies) {
+        scenario::ScenarioOptions opts;
+        opts.topology = scenario::Topology::kLinear;
+        // Unlike Figure 11's setup, register ALL brokers so the strategy
+        // has a full distance table to choose from.
+        opts.bdn.injection = entry.strategy;
+
+        SampleSet collect, totals;
+        double responses = 0;
+        int successes = 0;
+        constexpr int kRuns = 60;
+        for (int run = 0; run < kRuns; ++run) {
+            opts.seed = 500 + static_cast<std::uint64_t>(run) * 7919;
+            scenario::Scenario s(opts);
+            const auto report = s.run_discovery();
+            if (!report.success) continue;
+            ++successes;
+            collect.add(to_ms(report.collection_duration));
+            totals.add(to_ms(report.total_duration));
+            responses += static_cast<double>(report.candidates.size());
+        }
+        std::printf("%-28s %18.2f %18.2f %12.2f\n", entry.label, collect.mean(), totals.mean(),
+                    successes ? responses / successes : 0.0);
+    }
+
+    std::printf(
+        "\nShape check: on a chain, injecting at both ends halves the worst-case\n"
+        "propagation depth, so closest+farthest beats single-point injection;\n"
+        "O(N) fan-out pays the BDN's sequential per-send cost instead.\n");
+    return 0;
+}

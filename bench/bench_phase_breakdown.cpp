@@ -1,0 +1,52 @@
+// Figures 2, 9 and 11 — percentage of time spent in each sub-activity of
+// broker discovery for the unconnected, star and linear topologies.
+//
+// Paper finding: "in each case, the maximum time is spent in waiting for
+// the initial responses" — about 83 % in the unconnected topology; the
+// wait drops "significantly" with the star overlay and sits in between for
+// the linear chain (the request crawls hop by hop to the last broker).
+#include "harness.hpp"
+
+using namespace narada;
+using namespace narada::bench;
+
+int main() {
+    struct Case {
+        const char* figure;
+        scenario::ScenarioOptions opts;
+    };
+    const Case cases[] = {
+        {"Figure 2 (unconnected topology)", unconnected_options()},
+        {"Figure 9 (star topology)", star_options()},
+        {"Figure 11 (linear topology)", linear_options()},
+    };
+
+    std::printf("Percentage of time in discovery sub-activities, client in Bloomington\n");
+    std::printf("(120 runs per topology, 100 kept after outlier removal)\n");
+
+    double wait_pct[3] = {0, 0, 0};
+    double collect_mean[3] = {0, 0, 0};
+    int index = 0;
+    for (const Case& c : cases) {
+        const SeriesResult result = run_series(c.opts);
+        print_breakdown(c.figure, result.mean_breakdown);
+        std::printf("%-40s %6.2f ms\n", "(mean wait for initial responses)",
+                    result.collect_ms.mean());
+        std::printf("%-40s %6.2f ms\n", "(mean total discovery time)",
+                    result.total_ms.mean());
+        wait_pct[index] = result.mean_breakdown.wait_responses_pct;
+        collect_mean[index] = result.collect_ms.mean();
+        ++index;
+    }
+
+    print_heading("Shape check (paper ordering)");
+    std::printf("wait(star) < wait(linear) < wait(unconnected):  %.1f < %.1f < %.1f ms  %s\n",
+                collect_mean[1], collect_mean[2], collect_mean[0],
+                (collect_mean[1] < collect_mean[2] && collect_mean[2] < collect_mean[0])
+                    ? "HOLDS"
+                    : "VIOLATED");
+    std::printf("waiting dominates every topology:               %s\n",
+                (wait_pct[0] > 50 && wait_pct[1] > 30 && wait_pct[2] > 40) ? "HOLDS"
+                                                                           : "VIOLATED");
+    return 0;
+}

@@ -1,0 +1,117 @@
+// Figures 13 and 14 — security costs.
+//
+// Figure 13: "Time required in validating a X.509 Certificate" — we build
+// a CA -> client chain and time verify_chain over 120 iterations.
+// Figure 14: "Time required to digitally sign and encrypt and later
+// extract the BrokerDiscoveryRequest" — we encode a realistic
+// DiscoveryRequest, seal it (RSA-sign + AES-encrypt + RSA key wrap) and
+// open it (decrypt + verify), timing each phase.
+//
+// The paper measured JDK 1.4 PKI on a 2.0 GHz Pentium M with 512 MB RAM;
+// absolute numbers differ here (from-scratch BigInt RSA), but the shape —
+// validation and signing dominated by the RSA private/public operations,
+// costs "acceptable in most systems" — carries over.
+#include <chrono>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/envelope.hpp"
+#include "discovery/messages.hpp"
+
+using namespace narada;
+using namespace narada::crypto;
+
+namespace {
+
+double elapsed_ms(const std::chrono::steady_clock::time_point& start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Bytes sample_request_bytes(Rng& rng) {
+    discovery::DiscoveryRequest request;
+    request.request_id = Uuid::random(rng);
+    request.requester_hostname = "client.gf1.ucs.indiana.edu";
+    request.reply_to = {2, 7200};
+    request.protocols = {"tcp", "udp", "multicast"};
+    request.credential = "x509:client.gf1";
+    request.realm = "iu-lab";
+    wire::ByteWriter writer;
+    request.encode(writer);
+    return writer.take();
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::size_t kRsaBits = 1024;
+    constexpr int kRuns = 120;
+    constexpr int kKeep = 100;
+
+    Rng rng(0x5EC5EC);
+    std::printf("Generating %zu-bit RSA keys (CA, client, broker)...\n", kRsaBits);
+    const RsaKeyPair ca_keys = rsa_generate(rng, kRsaBits);
+    const RsaKeyPair client_keys = rsa_generate(rng, kRsaBits);
+    const RsaKeyPair broker_keys = rsa_generate(rng, kRsaBits);
+
+    const Certificate root = make_self_signed("narada-root-ca", ca_keys, 0, 1ll << 60, 1);
+    const Certificate client_cert =
+        issue_certificate("client.gf1.ucs.indiana.edu", client_keys.public_key,
+                          "narada-root-ca", ca_keys.private_key, 0, 1ll << 60, 2);
+    const std::vector<Certificate> chain = {client_cert, root};
+    const std::vector<Certificate> roots = {root};
+
+    // --- Figure 13: X.509 validation ---------------------------------------
+    SampleSet validate_ms;
+    for (int i = 0; i < kRuns; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const CertStatus status = verify_chain(chain, roots, /*now=*/1000);
+        if (status != CertStatus::kOk) {
+            std::printf("UNEXPECTED: chain validation failed: %s\n", to_string(status));
+            return 1;
+        }
+        validate_ms.add(elapsed_ms(start));
+    }
+    std::printf("\n== Figure 13: Time required in validating a X.509 Certificate ==\n");
+    std::fputs(validate_ms.trim_outliers(kKeep).metric_table().c_str(), stdout);
+
+    // --- Figure 14: sign + encrypt, then decrypt + extract -------------------
+    const Bytes request_bytes = sample_request_bytes(rng);
+    std::printf("\nBrokerDiscoveryRequest payload: %zu bytes\n", request_bytes.size());
+
+    SampleSet seal_ms, open_ms, total_ms;
+    for (int i = 0; i < kRuns; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto envelope = seal(request_bytes, "client.gf1", client_keys.private_key,
+                                   broker_keys.public_key, "broker-7", rng);
+        if (!envelope) {
+            std::printf("UNEXPECTED: seal failed\n");
+            return 1;
+        }
+        const double t_seal = elapsed_ms(t0);
+
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto opened = open(*envelope, broker_keys.private_key, client_keys.public_key);
+        if (!opened || !opened->signature_valid || opened->payload != request_bytes) {
+            std::printf("UNEXPECTED: open failed\n");
+            return 1;
+        }
+        const double t_open = elapsed_ms(t1);
+
+        seal_ms.add(t_seal);
+        open_ms.add(t_open);
+        total_ms.add(t_seal + t_open);
+    }
+    std::printf(
+        "\n== Figure 14: Time required to digitally sign and encrypt and later extract the "
+        "BrokerDiscoveryRequest ==\n");
+    std::fputs(total_ms.trim_outliers(kKeep).metric_table().c_str(), stdout);
+    std::printf("\nPhase split (mean): sign+encrypt %.3f ms, decrypt+verify %.3f ms\n",
+                seal_ms.mean(), open_ms.mean());
+    std::printf(
+        "Shape check: costs are per-message milliseconds -> acceptable for systems that "
+        "need the feature (paper conclusion): %s\n",
+        total_ms.mean() < 1000.0 ? "HOLDS" : "VIOLATED");
+    return 0;
+}

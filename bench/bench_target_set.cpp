@@ -1,0 +1,59 @@
+// Ablation A3 — target-set size (paper §6, §10).
+//
+// "This targeted set of broker typically comprises of around 10 brokers"
+// and "the broker target set is limited to a very small number, between 5
+// and 20". A larger target set pings more brokers (more UDP traffic, a
+// better chance of finding the true nearest); a smaller one finishes the
+// ping phase sooner but may rely on the NTP-based estimate alone.
+#include "harness.hpp"
+
+using namespace narada;
+using namespace narada::bench;
+
+int main() {
+    std::printf("Target-set-size ablation, full mesh of 10 brokers (two per site),\n");
+    std::printf("client in Bloomington (40 runs per size)\n\n");
+    std::printf("%8s %16s %20s %24s\n", "size T", "mean total (ms)", "mean ping phase (ms)",
+                "chose true nearest (%)");
+
+    for (const std::uint32_t size : {1u, 2u, 3u, 5u, 8u, 10u}) {
+        scenario::ScenarioOptions opts;
+        opts.topology = scenario::Topology::kFull;
+        opts.broker_sites = {
+            sim::Site::kBloomington, sim::Site::kIndianapolis, sim::Site::kNcsa,
+            sim::Site::kUmn,         sim::Site::kFsu,          sim::Site::kCardiff,
+            sim::Site::kIndianapolis, sim::Site::kNcsa,        sim::Site::kUmn,
+            sim::Site::kFsu,
+        };
+        opts.discovery.max_responses = 10;
+        opts.discovery.target_set_size = size;
+
+        SampleSet totals, pings;
+        int nearest_hits = 0;
+        int successes = 0;
+        constexpr int kRuns = 40;
+        for (int run = 0; run < kRuns; ++run) {
+            opts.seed = 900 + static_cast<std::uint64_t>(run) * 7919;
+            scenario::Scenario s(opts);
+            const auto report = s.run_discovery();
+            if (!report.success) continue;
+            ++successes;
+            totals.add(to_ms(report.total_duration));
+            pings.add(to_ms(report.ping_duration));
+            // Ground truth: the Bloomington broker is the true nearest.
+            const auto* chosen = report.selected_candidate();
+            if (chosen != nullptr &&
+                s.network().host(chosen->response.endpoint.host).site == "Bloomington") {
+                ++nearest_hits;
+            }
+        }
+        std::printf("%8u %16.2f %20.2f %24.1f\n", size, totals.mean(), pings.mean(),
+                    successes ? 100.0 * nearest_hits / successes : 0.0);
+    }
+
+    std::printf(
+        "\nShape check: tiny target sets risk missing the true nearest broker\n"
+        "when NTP error (1-20 ms) mis-ranks candidates; the paper's 5-20 range\n"
+        "recovers it via pings at modest extra ping-phase cost.\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Reproduces the paper's measurement protocol (§9): each configuration is
+// run `runs` times (default 120) on freshly built scenarios with distinct
+// seeds, outliers are removed keeping the `keep` samples closest to the
+// median total time (default 100 — "The discovery process was carried out
+// 120 times and the first 100 results were selected after removing
+// outliers"), and results are reported as the paper's five-metric table
+// {Mean, Standard deviation, Maximum, Minimum, Error}.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "scenario/scenario.hpp"
+
+namespace narada::bench {
+
+struct RunRecord {
+    double total_ms = 0;
+    double collect_ms = 0;
+    double ping_ms = 0;
+    double first_resp_ms = -1;
+    scenario::PhaseBreakdown breakdown;
+};
+
+struct SeriesResult {
+    SampleSet total_ms;       ///< end-to-end discovery time (trimmed)
+    SampleSet collect_ms;     ///< request -> collection end
+    SampleSet ping_ms;        ///< ping phase
+    SampleSet first_resp_ms;  ///< request -> first response
+    /// Mean percentage split across the paper's sub-activities, computed
+    /// over the same kept runs as the timing samples.
+    scenario::PhaseBreakdown mean_breakdown;
+    std::size_t failures = 0;
+    std::size_t runs = 0;
+};
+
+/// Run `runs` independent discoveries (fresh scenario per run, seed =
+/// base_seed + run * 7919); keep the `keep` runs closest to the median
+/// total time; aggregate everything from the kept runs.
+inline SeriesResult run_series(const scenario::ScenarioOptions& base, int runs = 120,
+                               int keep = 100) {
+    SeriesResult result;
+    std::vector<RunRecord> records;
+    records.reserve(static_cast<std::size_t>(runs));
+    for (int run = 0; run < runs; ++run) {
+        scenario::ScenarioOptions opts = base;
+        opts.seed = base.seed + static_cast<std::uint64_t>(run) * 7919;
+        scenario::Scenario s(opts);
+        const auto report = s.run_discovery();
+        ++result.runs;
+        if (!report.success) {
+            ++result.failures;
+            continue;
+        }
+        RunRecord record;
+        record.total_ms = to_ms(report.total_duration);
+        record.collect_ms = to_ms(report.collection_duration);
+        record.ping_ms = to_ms(report.ping_duration);
+        if (report.time_to_first_response >= 0) {
+            record.first_resp_ms = to_ms(report.time_to_first_response);
+        }
+        record.breakdown = scenario::phase_breakdown(report);
+        records.push_back(record);
+    }
+
+    // Outlier removal exactly as the paper: keep the runs whose total time
+    // sits closest to the median.
+    if (records.size() > static_cast<std::size_t>(keep)) {
+        std::vector<double> totals;
+        totals.reserve(records.size());
+        for (const RunRecord& r : records) totals.push_back(r.total_ms);
+        std::nth_element(totals.begin(), totals.begin() + totals.size() / 2, totals.end());
+        const double median = totals[totals.size() / 2];
+        std::stable_sort(records.begin(), records.end(),
+                         [median](const RunRecord& a, const RunRecord& b) {
+                             return std::abs(a.total_ms - median) <
+                                    std::abs(b.total_ms - median);
+                         });
+        records.resize(static_cast<std::size_t>(keep));
+    }
+
+    double acc_req = 0, acc_wait = 0, acc_short = 0, acc_ping = 0;
+    for (const RunRecord& r : records) {
+        result.total_ms.add(r.total_ms);
+        result.collect_ms.add(r.collect_ms);
+        result.ping_ms.add(r.ping_ms);
+        if (r.first_resp_ms >= 0) result.first_resp_ms.add(r.first_resp_ms);
+        acc_req += r.breakdown.request_and_ack_pct;
+        acc_wait += r.breakdown.wait_responses_pct;
+        acc_short += r.breakdown.shortlist_pct;
+        acc_ping += r.breakdown.ping_select_pct;
+    }
+    if (!records.empty()) {
+        const auto n = static_cast<double>(records.size());
+        result.mean_breakdown.request_and_ack_pct = acc_req / n;
+        result.mean_breakdown.wait_responses_pct = acc_wait / n;
+        result.mean_breakdown.shortlist_pct = acc_short / n;
+        result.mean_breakdown.ping_select_pct = acc_ping / n;
+    }
+    return result;
+}
+
+inline void print_heading(const std::string& title) {
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void print_metric_table(const std::string& title, const SampleSet& samples) {
+    print_heading(title);
+    std::fputs(samples.metric_table().c_str(), stdout);
+}
+
+inline void print_breakdown(const std::string& title, const scenario::PhaseBreakdown& b) {
+    print_heading(title);
+    std::printf("%-40s %6.1f %%\n", "Request transmission & BDN ack", b.request_and_ack_pct);
+    std::printf("%-40s %6.1f %%\n", "Waiting for initial responses", b.wait_responses_pct);
+    std::printf("%-40s %6.1f %%\n", "Response processing & shortlisting", b.shortlist_pct);
+    std::printf("%-40s %6.1f %%\n", "Ping measurement & selection", b.ping_select_pct);
+}
+
+/// The paper's unconnected-topology configuration (Figure 1): no broker
+/// links, every broker registered, BDN distributes O(N) itself.
+inline scenario::ScenarioOptions unconnected_options() {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kUnconnected;
+    opts.bdn.injection = config::InjectionStrategy::kAll;
+    return opts;
+}
+
+/// Star topology (Figure 8).
+inline scenario::ScenarioOptions star_options() {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    return opts;
+}
+
+/// Linear topology (Figure 10): only the chain head registers.
+inline scenario::ScenarioOptions linear_options() {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kLinear;
+    opts.register_with_bdn = 1;
+    return opts;
+}
+
+}  // namespace narada::bench

@@ -1,0 +1,171 @@
+// narada_node — run a broker, BDN or discovery client over real loopback
+// sockets, configured entirely from an INI file (the paper's "node
+// configuration file", §3). This is the deployable face of the library:
+// start a few nodes in separate terminals and watch discovery happen over
+// actual UDP/TCP.
+//
+//   $ ./examples/narada_node examples/config/bdn.ini &
+//   $ ./examples/narada_node examples/config/broker1.ini &
+//   $ ./examples/narada_node examples/config/broker2.ini &
+//   $ ./examples/narada_node examples/config/client.ini
+//
+// Config format (see examples/config/*.ini):
+//   [node]
+//   role = broker | bdn | client
+//   port = 47001            ; UDP+TCP port on 127.0.0.1
+//   name = my-broker
+//   realm = lab
+//   run_for_ms = 0          ; 0 = run until SIGINT (brokers/BDNs)
+// plus the standard [broker] / [bdn] / [discovery] / [weights] sections.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "broker/broker.hpp"
+#include "discovery/bdn.hpp"
+#include "discovery/broker_plugin.hpp"
+#include "discovery/client.hpp"
+#include "transport/posix_transport.hpp"
+
+using namespace narada;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop = true; }
+
+void wait_until_stopped(std::int64_t run_for_ms) {
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (run_for_ms > 0 &&
+            std::chrono::steady_clock::now() - start >
+                std::chrono::milliseconds(run_for_ms)) {
+            break;
+        }
+    }
+}
+
+int run_broker(const config::Ini& ini, transport::PosixTransport& transport,
+               const Endpoint& endpoint, const std::string& name, const std::string& realm,
+               std::int64_t run_for_ms) {
+    WallClock wall;
+    timesvc::FixedUtcSource utc(wall);
+    const config::BrokerConfig cfg = config::BrokerConfig::from_ini(ini);
+    broker::Broker node(transport, transport, endpoint, wall, utc, cfg, name);
+    discovery::BrokerIdentity identity;
+    identity.hostname = "127.0.0.1:" + std::to_string(endpoint.port);
+    identity.realm = realm;
+    discovery::BrokerDiscoveryPlugin plugin(identity);
+    node.add_plugin(&plugin);
+    for (const auto& peer : ini.get_list("node", "peers")) {
+        node.connect_to_peer(config::parse_endpoint(peer));
+    }
+    node.start();
+    std::printf("[%s] broker up on 127.0.0.1:%u (%zu BDNs configured, %s routing)\n",
+                name.c_str(), endpoint.port, cfg.advertise_bdns.size(),
+                config::to_string(cfg.routing_mode).c_str());
+    wait_until_stopped(run_for_ms);
+    std::printf("[%s] shutting down; stats: %llu events, %llu responses sent\n", name.c_str(),
+                static_cast<unsigned long long>(node.stats().events_ingested),
+                static_cast<unsigned long long>(plugin.stats().responses_sent));
+    return 0;
+}
+
+int run_bdn(const config::Ini& ini, transport::PosixTransport& transport,
+            const Endpoint& endpoint, const std::string& name, std::int64_t run_for_ms) {
+    WallClock wall;
+    discovery::Bdn bdn(transport, transport, endpoint, wall, config::BdnConfig::from_ini(ini),
+                       name);
+    bdn.start();
+    std::printf("[%s] BDN up on 127.0.0.1:%u\n", name.c_str(), endpoint.port);
+    wait_until_stopped(run_for_ms);
+    std::printf("[%s] shutting down; %zu brokers registered, %llu requests served\n",
+                name.c_str(), bdn.registered_count(),
+                static_cast<unsigned long long>(bdn.stats().requests_received));
+    return 0;
+}
+
+int run_client(const config::Ini& ini, transport::PosixTransport& transport,
+               const Endpoint& endpoint, const std::string& name, const std::string& realm) {
+    WallClock wall;
+    timesvc::FixedUtcSource utc(wall);
+    discovery::DiscoveryClient client(transport, transport, endpoint, wall, utc,
+                                      config::DiscoveryConfig::from_ini(ini), name, realm);
+    std::printf("[%s] discovering...\n", name.c_str());
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<discovery::DiscoveryReport> result;
+    client.discover([&](const discovery::DiscoveryReport& report) {
+        std::scoped_lock lock(m);
+        result = report;
+        cv.notify_all();
+    });
+    {
+        std::unique_lock lock(m);
+        cv.wait_for(lock, std::chrono::seconds(30), [&] { return result.has_value(); });
+    }
+    if (!result) {
+        std::printf("[%s] discovery timed out\n", name.c_str());
+        return 1;
+    }
+    if (!result->success) {
+        std::printf("[%s] discovery failed (%u retransmits, multicast=%d)\n", name.c_str(),
+                    result->retransmits, result->used_multicast);
+        return 1;
+    }
+    const auto* chosen = result->selected_candidate();
+    std::printf("[%s] %zu candidates in %.2f ms\n", name.c_str(), result->candidates.size(),
+                to_ms(result->total_duration));
+    for (const auto& candidate : result->candidates) {
+        std::printf("    %-28s est %7.3f ms  ping %7.3f ms  score %8.2f\n",
+                    candidate.response.broker_name.c_str(), to_ms(candidate.estimated_delay),
+                    candidate.ping_rtt < 0 ? -1.0 : to_ms(candidate.ping_rtt),
+                    candidate.score);
+    }
+    std::printf("[%s] selected %s at 127.0.0.1:%u\n", name.c_str(),
+                chosen->response.broker_name.c_str(), chosen->response.endpoint.port);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::printf("usage: %s <config.ini>\n", argv[0]);
+        return 2;
+    }
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    try {
+        const config::Ini ini = config::Ini::parse_file(argv[1]);
+        const std::string role = ini.get_or("node", "role", "");
+        const auto port = static_cast<std::uint16_t>(ini.get_int("node", "port", 0));
+        const std::string name = ini.get_or("node", "name", role + "@" + std::to_string(port));
+        const std::string realm = ini.get_or("node", "realm", "loopback");
+        const std::int64_t run_for_ms = ini.get_int("node", "run_for_ms", 0);
+        if (port == 0) {
+            std::printf("config error: [node] port is required\n");
+            return 2;
+        }
+        transport::PosixTransport transport;
+        const Endpoint endpoint{0, port};  // host label 0: cross-process convention
+        if (role == "broker") {
+            return run_broker(ini, transport, endpoint, name, realm, run_for_ms);
+        }
+        if (role == "bdn") return run_bdn(ini, transport, endpoint, name, run_for_ms);
+        if (role == "client") return run_client(ini, transport, endpoint, name, realm);
+        std::printf("config error: [node] role must be broker, bdn or client\n");
+        return 2;
+    } catch (const std::exception& e) {
+        std::printf("error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,74 @@
+// WAN discovery walkthrough: reproduce one full discovery conversation on
+// the paper's five-site testbed and narrate every phase — request, BDN
+// ack, response collection with NTP-based delay estimates, weighted
+// shortlisting, UDP ping refinement, and final selection.
+//
+//   $ ./examples/wan_discovery [unconnected|star|linear]
+#include <cstdio>
+#include <cstring>
+
+#include "scenario/scenario.hpp"
+
+using namespace narada;
+
+int main(int argc, char** argv) {
+    scenario::ScenarioOptions options;
+    options.topology = scenario::Topology::kStar;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "unconnected") == 0) {
+            options.topology = scenario::Topology::kUnconnected;
+            options.bdn.injection = config::InjectionStrategy::kAll;
+        } else if (std::strcmp(argv[1], "linear") == 0) {
+            options.topology = scenario::Topology::kLinear;
+            options.register_with_bdn = 1;
+        } else if (std::strcmp(argv[1], "star") != 0) {
+            std::printf("usage: %s [unconnected|star|linear]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    scenario::Scenario testbed(options);
+    std::printf("topology: %s, client in Bloomington, BDN gridservicelocator.org\n",
+                scenario::to_string(options.topology).c_str());
+
+    const auto report = testbed.run_discovery();
+    if (!report.success) {
+        std::printf("discovery failed\n");
+        return 1;
+    }
+
+    std::printf("\nrequest %s\n", report.request_id.str().c_str());
+    std::printf("  BDN ack after           %8.2f ms\n", to_ms(report.time_to_ack));
+    std::printf("  first response after    %8.2f ms\n", to_ms(report.time_to_first_response));
+    std::printf("  collection closed after %8.2f ms (%zu responses)\n",
+                to_ms(report.collection_duration), report.candidates.size());
+
+    std::printf("\ncandidates (NTP-estimated one-way delay, usage metrics, weight):\n");
+    for (const auto& candidate : report.candidates) {
+        std::printf("  %-34s est %6.2f ms  conns %2u  cpu %4.2f  score %8.2f\n",
+                    candidate.response.broker_name.c_str(), to_ms(candidate.estimated_delay),
+                    candidate.response.metrics.connections, candidate.response.metrics.cpu_load,
+                    candidate.score);
+    }
+
+    std::printf("\ntarget set (size %zu), measured ping RTTs:\n", report.target_set.size());
+    for (std::size_t index : report.target_set) {
+        const auto& candidate = report.candidates[index];
+        if (candidate.ping_rtt >= 0) {
+            std::printf("  %-34s rtt %6.2f ms\n", candidate.response.broker_name.c_str(),
+                        to_ms(candidate.ping_rtt));
+        } else {
+            std::printf("  %-34s (pong lost — filtered, §5.2)\n",
+                        candidate.response.broker_name.c_str());
+        }
+    }
+
+    const auto* chosen = report.selected_candidate();
+    std::printf("\nselected: %s after %.2f ms total\n", chosen->response.broker_name.c_str(),
+                to_ms(report.total_duration));
+    const auto breakdown = scenario::phase_breakdown(report);
+    std::printf("phase split: ack %.1f%%, wait %.1f%%, shortlist %.1f%%, ping %.1f%%\n",
+                breakdown.request_and_ack_pct, breakdown.wait_responses_pct,
+                breakdown.shortlist_pct, breakdown.ping_select_pct);
+    return 0;
+}

@@ -1,0 +1,104 @@
+#include "broker/client.hpp"
+
+#include "common/log.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::broker {
+
+PubSubClient::PubSubClient(Scheduler& scheduler, transport::Transport& transport,
+                           const Endpoint& local, std::string credential)
+    : scheduler_(scheduler),
+      transport_(transport),
+      local_(local),
+      credential_(std::move(credential)),
+      rng_(0x636C6E74ull ^ (std::uint64_t{local.host} << 16) ^ local.port) {
+    transport_.bind(local_, this);
+}
+
+PubSubClient::~PubSubClient() {
+    disconnect();
+    transport_.unbind(local_);
+}
+
+void PubSubClient::connect(const Endpoint& broker) {
+    if (connected_ && broker_ == broker) return;
+    if (connected_) disconnect();
+    broker_ = broker;
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgClientHello);
+    writer.str(credential_);
+    transport_.send_reliable(local_, broker_, writer.take());
+}
+
+void PubSubClient::disconnect() {
+    if (!broker_.valid()) return;
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgClientBye);
+    transport_.send_reliable(local_, broker_, writer.take());
+    connected_ = false;
+    broker_ = Endpoint{};
+}
+
+void PubSubClient::subscribe(const std::string& filter) {
+    if (!filters_.insert(filter).second) return;
+    if (connected_) send_subscribe(filter, /*add=*/true);
+}
+
+void PubSubClient::unsubscribe(const std::string& filter) {
+    if (filters_.erase(filter) == 0) return;
+    if (connected_) send_subscribe(filter, /*add=*/false);
+}
+
+void PubSubClient::send_subscribe(const std::string& filter, bool add) {
+    wire::ByteWriter writer;
+    writer.u8(add ? wire::kMsgSubscribe : wire::kMsgUnsubscribe);
+    writer.str(filter);
+    transport_.send_reliable(local_, broker_, writer.take());
+}
+
+void PubSubClient::publish(const std::string& topic, Bytes payload,
+                           std::map<std::string, std::string> headers) {
+    if (!broker_.valid()) {
+        NARADA_WARN("client", "{}: publish with no broker", local_.str());
+        return;
+    }
+    Event event;
+    event.id = Uuid::random(rng_);
+    event.topic = topic;
+    event.payload = std::move(payload);
+    event.headers = std::move(headers);
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgPublish);
+    event.encode(writer);
+    transport_.send_reliable(local_, broker_, writer.take());
+}
+
+void PubSubClient::on_datagram(const Endpoint& from, const Bytes& data) {
+    try {
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        switch (type) {
+            case wire::kMsgClientWelcome: {
+                if (from != broker_) return;
+                connected_ = true;
+                // Replay standing subscriptions on (re)connection.
+                for (const std::string& filter : filters_) send_subscribe(filter, true);
+                if (on_connected_) on_connected_();
+                return;
+            }
+            case wire::kMsgEventDeliver: {
+                const Event event = Event::decode(reader);
+                for (const auto& handler : event_handlers_) handler(event);
+                return;
+            }
+            default:
+                NARADA_DEBUG("client", "{}: unexpected message type {}", local_.str(),
+                             static_cast<int>(type));
+        }
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("client", "{}: malformed message from {}: {}", local_.str(), from.str(),
+                     e.what());
+    }
+}
+
+}  // namespace narada::broker

@@ -1,0 +1,74 @@
+// Pub/sub client — an entity connected to a broker.
+//
+// "Once connected to a broker an entity has access to a wide variety of
+// services" (paper §1.1). PubSubClient is that entity-side endpoint: it
+// performs the hello handshake, manages subscriptions, publishes events and
+// surfaces deliveries through a callback. BDNs embed one to listen on the
+// public advertisement topic, and the examples use it as the application
+// API after discovery selects a broker.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "broker/event.hpp"
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+#include "common/types.hpp"
+#include "transport/transport.hpp"
+
+namespace narada::broker {
+
+class PubSubClient final : public transport::MessageHandler {
+public:
+    PubSubClient(Scheduler& scheduler, transport::Transport& transport, const Endpoint& local,
+                 std::string credential = {});
+    ~PubSubClient() override;
+
+    PubSubClient(const PubSubClient&) = delete;
+    PubSubClient& operator=(const PubSubClient&) = delete;
+
+    /// Connect to `broker` (ClientHello). Subscriptions made earlier (or
+    /// while disconnected) are replayed upon welcome, so a client can be
+    /// re-pointed at a newly discovered broker transparently.
+    void connect(const Endpoint& broker);
+
+    /// Politely leave the current broker.
+    void disconnect();
+
+    [[nodiscard]] bool connected() const { return connected_; }
+    [[nodiscard]] const Endpoint& broker() const { return broker_; }
+    [[nodiscard]] const Endpoint& endpoint() const { return local_; }
+
+    void subscribe(const std::string& filter);
+    void unsubscribe(const std::string& filter);
+    void publish(const std::string& topic, Bytes payload,
+                 std::map<std::string, std::string> headers = {});
+
+    /// Register a delivery callback. Callbacks accumulate: services (e.g.
+    /// reliable delivery) can attach their own listeners without stealing
+    /// the application's; every callback sees every delivered event.
+    void on_event(std::function<void(const Event&)> callback) {
+        event_handlers_.push_back(std::move(callback));
+    }
+    void on_connected(std::function<void()> callback) { on_connected_ = std::move(callback); }
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+private:
+    void send_subscribe(const std::string& filter, bool add);
+
+    Scheduler& scheduler_;
+    transport::Transport& transport_;
+    Endpoint local_;
+    Endpoint broker_;
+    std::string credential_;
+    Rng rng_;
+    bool connected_ = false;
+    std::set<std::string> filters_;
+    std::vector<std::function<void(const Event&)>> event_handlers_;
+    std::function<void()> on_connected_;
+};
+
+}  // namespace narada::broker

@@ -1,0 +1,52 @@
+// Bounded duplicate-suppression cache.
+//
+// "Every broker keeps track of the last 1000 (this number can be configured
+// through the broker configuration file) broker discovery requests so that
+// additional CPU/network cycles are not expended on previously processed
+// requests" (paper §4). The same structure suppresses duplicate events
+// during overlay flooding. FIFO eviction over an unordered set: O(1)
+// insert/lookup, strictly "the last N".
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+#include "common/uuid.hpp"
+
+namespace narada::broker {
+
+class DedupCache {
+public:
+    explicit DedupCache(std::size_t capacity = 1000) : capacity_(capacity) {}
+
+    /// Record `id`. Returns true if it was new (caller should process),
+    /// false if it was already present (duplicate — skip).
+    bool insert(const Uuid& id) {
+        if (capacity_ == 0) return true;  // caching disabled: everything "new"
+        if (seen_.contains(id)) return false;
+        seen_.insert(id);
+        order_.push_back(id);
+        while (order_.size() > capacity_) {
+            seen_.erase(order_.front());
+            order_.pop_front();
+        }
+        return true;
+    }
+
+    [[nodiscard]] bool contains(const Uuid& id) const { return seen_.contains(id); }
+    [[nodiscard]] std::size_t size() const { return order_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    void clear() {
+        seen_.clear();
+        order_.clear();
+    }
+
+private:
+    std::size_t capacity_;
+    std::unordered_set<Uuid> seen_;
+    std::deque<Uuid> order_;
+};
+
+}  // namespace narada::broker

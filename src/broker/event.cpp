@@ -1,0 +1,33 @@
+#include "broker/event.hpp"
+
+namespace narada::broker {
+
+void Event::encode(wire::ByteWriter& writer) const {
+    writer.uuid(id);
+    writer.str(topic);
+    writer.blob(payload);
+    writer.u32(static_cast<std::uint32_t>(headers.size()));
+    for (const auto& [key, value] : headers) {
+        writer.str(key);
+        writer.str(value);
+    }
+    writer.u32(ttl);
+}
+
+Event Event::decode(wire::ByteReader& reader) {
+    Event event;
+    event.id = reader.uuid();
+    event.topic = reader.str();
+    event.payload = reader.blob();
+    const std::uint32_t header_count = reader.u32();
+    if (header_count > 4096) throw wire::WireError("unreasonable header count");
+    for (std::uint32_t i = 0; i < header_count; ++i) {
+        std::string key = reader.str();
+        std::string value = reader.str();
+        event.headers.emplace(std::move(key), std::move(value));
+    }
+    event.ttl = reader.u32();
+    return event;
+}
+
+}  // namespace narada::broker

@@ -1,0 +1,32 @@
+// Events — the unit of information flow in the messaging substrate.
+//
+// "Events encapsulate expressive power at multiple levels (transport,
+// protocol, service and application)" (paper §1). Our event carries a
+// unique id (used for duplicate suppression while flooding the overlay),
+// the topic, an opaque payload, optional string headers, and a TTL bounding
+// propagation depth.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::broker {
+
+struct Event {
+    Uuid id;
+    std::string topic;
+    Bytes payload;
+    std::map<std::string, std::string> headers;
+    std::uint32_t ttl = 32;
+
+    void encode(wire::ByteWriter& writer) const;
+    static Event decode(wire::ByteReader& reader);
+
+    friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace narada::broker

@@ -1,0 +1,91 @@
+// Usage-metric sources.
+//
+// A discovery response carries "the load currently at the broker ... the
+// total number of active concurrent connections, the CPU and memory
+// utilizations" (paper §5.1), and the client weighs free/total memory,
+// total memory, link count and CPU load when shortlisting (§9). Connection
+// counts come from the broker itself; CPU and memory figures come from a
+// LoadModel so experiments can impose any load profile on any broker.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace narada::broker {
+
+/// Snapshot of a broker's resource usage, embedded in discovery responses.
+struct UsageMetrics {
+    std::uint32_t connections = 0;   ///< active concurrent connections
+    std::uint32_t broker_links = 0;  ///< links to peer brokers
+    double cpu_load = 0.0;           ///< 0..1
+    std::uint64_t total_memory = 0;  ///< bytes
+    std::uint64_t free_memory = 0;   ///< bytes
+
+    friend bool operator==(const UsageMetrics&, const UsageMetrics&) = default;
+};
+
+/// Supplies the CPU / memory part of the metrics.
+class LoadModel {
+public:
+    virtual ~LoadModel() = default;
+    [[nodiscard]] virtual double cpu_load() const = 0;
+    [[nodiscard]] virtual std::uint64_t total_memory() const = 0;
+    [[nodiscard]] virtual std::uint64_t free_memory() const = 0;
+};
+
+/// Fixed load; the default for brokers with no imposed profile.
+class StaticLoadModel final : public LoadModel {
+public:
+    StaticLoadModel(double cpu, std::uint64_t total, std::uint64_t free_bytes)
+        : cpu_(cpu), total_(total), free_(free_bytes) {}
+
+    /// An idle 512 MB machine (the paper's security-test box had 512 MB).
+    StaticLoadModel() : StaticLoadModel(0.05, 512ull << 20, 400ull << 20) {}
+
+    [[nodiscard]] double cpu_load() const override { return cpu_; }
+    [[nodiscard]] std::uint64_t total_memory() const override { return total_; }
+    [[nodiscard]] std::uint64_t free_memory() const override { return free_; }
+
+    void set_cpu_load(double cpu) { cpu_ = cpu; }
+    void set_free_memory(std::uint64_t free_bytes) { free_ = free_bytes; }
+
+private:
+    double cpu_;
+    std::uint64_t total_;
+    std::uint64_t free_;
+};
+
+/// Load that grows with the number of connections the broker reports —
+/// used by the load-balancing ablation (paper §8 claim 3: "a newly added
+/// broker within a cluster would be preferentially utilized").
+class ConnectionDrivenLoadModel final : public LoadModel {
+public:
+    ConnectionDrivenLoadModel(double base_cpu, double cpu_per_connection,
+                              std::uint64_t total, std::uint64_t bytes_per_connection)
+        : base_cpu_(base_cpu),
+          cpu_per_connection_(cpu_per_connection),
+          total_(total),
+          bytes_per_connection_(bytes_per_connection) {}
+
+    void set_connections(std::uint32_t n) { connections_ = n; }
+
+    [[nodiscard]] double cpu_load() const override {
+        return std::min(1.0, base_cpu_ + cpu_per_connection_ * connections_);
+    }
+    [[nodiscard]] std::uint64_t total_memory() const override { return total_; }
+    [[nodiscard]] std::uint64_t free_memory() const override {
+        const std::uint64_t used = bytes_per_connection_ * connections_;
+        return used >= total_ ? 0 : total_ - used;
+    }
+
+private:
+    double base_cpu_;
+    double cpu_per_connection_;
+    std::uint64_t total_;
+    std::uint64_t bytes_per_connection_;
+    std::uint32_t connections_ = 0;
+};
+
+}  // namespace narada::broker

@@ -1,0 +1,122 @@
+#include "broker/subscription_table.hpp"
+
+#include <functional>
+
+#include "broker/topic.hpp"
+
+namespace narada::broker {
+
+bool SubscriptionTable::subscribe(std::string_view filter, SubscriberToken token) {
+    if (!is_valid_filter(filter)) return false;
+    Node* node = &root_;
+    for (const std::string& segment : topic_segments(filter)) {
+        if (segment == kMultiWildcard) {
+            // '#' is always terminal (validated); register and stop.
+            if (!node->multi_subscribers.insert(token).second) return true;
+            ++filter_count_;
+            return true;
+        }
+        if (segment == kSingleWildcard) {
+            if (!node->single) node->single = std::make_unique<Node>();
+            node = node->single.get();
+        } else {
+            auto& child = node->children[segment];
+            if (!child) child = std::make_unique<Node>();
+            node = child.get();
+        }
+    }
+    if (!node->subscribers.insert(token).second) return true;  // already present
+    ++filter_count_;
+    return true;
+}
+
+bool SubscriptionTable::unsubscribe(std::string_view filter, SubscriberToken token) {
+    if (!is_valid_filter(filter)) return false;
+    // Walk down remembering the path so empty nodes can be pruned on the
+    // way back up.
+    std::vector<std::pair<Node*, std::string>> path;  // (parent, segment taken)
+    Node* node = &root_;
+    bool is_multi_terminal = false;
+    for (const std::string& segment : topic_segments(filter)) {
+        if (segment == kMultiWildcard) {
+            is_multi_terminal = true;
+            break;
+        }
+        path.emplace_back(node, segment);
+        if (segment == kSingleWildcard) {
+            if (!node->single) return false;
+            node = node->single.get();
+        } else {
+            const auto it = node->children.find(segment);
+            if (it == node->children.end()) return false;
+            node = it->second.get();
+        }
+    }
+    const bool removed = is_multi_terminal ? node->multi_subscribers.erase(token) > 0
+                                           : node->subscribers.erase(token) > 0;
+    if (!removed) return false;
+    --filter_count_;
+    // Prune now-empty trie nodes bottom-up.
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        Node* parent = it->first;
+        const std::string& segment = it->second;
+        Node* child = segment == kSingleWildcard ? parent->single.get()
+                                                 : parent->children.at(segment).get();
+        if (!child->prunable()) break;
+        if (segment == kSingleWildcard) {
+            parent->single.reset();
+        } else {
+            parent->children.erase(segment);
+        }
+    }
+    return true;
+}
+
+void SubscriptionTable::remove_subscriber(SubscriberToken token) {
+    // Depth-first sweep removing the token everywhere and pruning.
+    std::size_t removed = 0;
+    const std::function<void(Node&)> sweep = [&](Node& node) {
+        removed += node.subscribers.erase(token);
+        removed += node.multi_subscribers.erase(token);
+        for (auto it = node.children.begin(); it != node.children.end();) {
+            sweep(*it->second);
+            it = it->second->prunable() ? node.children.erase(it) : std::next(it);
+        }
+        if (node.single) {
+            sweep(*node.single);
+            if (node.single->prunable()) node.single.reset();
+        }
+    };
+    sweep(root_);
+    filter_count_ -= removed;
+}
+
+void SubscriptionTable::collect(const Node& node, const std::vector<std::string>& segments,
+                                std::size_t index, std::set<SubscriberToken>& out) {
+    // '#' registered at this node matches any remaining suffix.
+    out.insert(node.multi_subscribers.begin(), node.multi_subscribers.end());
+    if (index == segments.size()) {
+        out.insert(node.subscribers.begin(), node.subscribers.end());
+        return;
+    }
+    const auto it = node.children.find(segments[index]);
+    if (it != node.children.end()) collect(*it->second, segments, index + 1, out);
+    if (node.single) collect(*node.single, segments, index + 1, out);
+}
+
+std::vector<SubscriberToken> SubscriptionTable::match(std::string_view topic) const {
+    std::set<SubscriberToken> out;
+    if (is_valid_topic(topic)) {
+        collect(root_, topic_segments(topic), 0, out);
+    }
+    return {out.begin(), out.end()};
+}
+
+bool SubscriptionTable::matches_subscriber(std::string_view topic, SubscriberToken token) const {
+    for (SubscriberToken t : match(topic)) {
+        if (t == token) return true;
+    }
+    return false;
+}
+
+}  // namespace narada::broker

@@ -1,0 +1,61 @@
+// Trie-based subscription table.
+//
+// Maps topic filters to opaque subscriber tokens and answers "which
+// subscribers match this topic" in O(segments) rather than O(filters).
+// The trie has, per node, exact-match children plus the two wildcard
+// children ('*' one segment, '#' rest-of-topic).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace narada::broker {
+
+using SubscriberToken = std::uint64_t;
+
+class SubscriptionTable {
+public:
+    /// Register `token` under `filter`. Returns false (and does nothing)
+    /// if the filter is invalid. Idempotent per (filter, token).
+    bool subscribe(std::string_view filter, SubscriberToken token);
+
+    /// Remove one (filter, token) registration. Returns true if removed.
+    bool unsubscribe(std::string_view filter, SubscriberToken token);
+
+    /// Remove every registration of `token` (client disconnect).
+    void remove_subscriber(SubscriberToken token);
+
+    /// All distinct tokens whose filters match `topic`.
+    [[nodiscard]] std::vector<SubscriberToken> match(std::string_view topic) const;
+
+    /// True if at least one filter of `token` matches `topic`.
+    [[nodiscard]] bool matches_subscriber(std::string_view topic, SubscriberToken token) const;
+
+    [[nodiscard]] std::size_t filter_count() const { return filter_count_; }
+    [[nodiscard]] bool empty() const { return filter_count_ == 0; }
+
+private:
+    struct Node {
+        std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+        std::unique_ptr<Node> single;  ///< '*' branch
+        std::set<SubscriberToken> multi_subscribers;  ///< '#' terminators here
+        std::set<SubscriberToken> subscribers;        ///< exact terminators
+        [[nodiscard]] bool prunable() const {
+            return children.empty() && !single && multi_subscribers.empty() &&
+                   subscribers.empty();
+        }
+    };
+
+    static void collect(const Node& node, const std::vector<std::string>& segments,
+                        std::size_t index, std::set<SubscriberToken>& out);
+
+    Node root_;
+    std::size_t filter_count_ = 0;
+};
+
+}  // namespace narada::broker

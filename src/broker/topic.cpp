@@ -1,0 +1,52 @@
+#include "broker/topic.hpp"
+
+#include "common/strings.hpp"
+
+namespace narada::broker {
+
+std::vector<std::string> topic_segments(std::string_view topic) {
+    std::vector<std::string> out;
+    for (std::string_view part : split_views(topic, '/')) {
+        out.emplace_back(part);
+    }
+    return out;
+}
+
+bool is_valid_topic(std::string_view topic) {
+    if (topic.empty()) return false;
+    for (std::string_view part : split_views(topic, '/')) {
+        if (part.empty()) return false;
+        if (part == kSingleWildcard || part == kMultiWildcard) return false;
+    }
+    return true;
+}
+
+bool is_valid_filter(std::string_view filter) {
+    if (filter.empty()) return false;
+    const auto parts = split_views(filter, '/');
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (parts[i].empty()) return false;
+        if (parts[i] == kMultiWildcard && i + 1 != parts.size()) return false;
+    }
+    return true;
+}
+
+bool topic_matches(std::string_view filter, std::string_view topic) {
+    const auto fparts = split_views(filter, '/');
+    const auto tparts = split_views(topic, '/');
+    std::size_t fi = 0;
+    std::size_t ti = 0;
+    while (fi < fparts.size()) {
+        if (fparts[fi] == kMultiWildcard) {
+            // '#' swallows the remainder, including zero segments.
+            return true;
+        }
+        if (ti >= tparts.size()) return false;
+        if (fparts[fi] != kSingleWildcard && fparts[fi] != tparts[ti]) return false;
+        ++fi;
+        ++ti;
+    }
+    return ti == tparts.size();
+}
+
+}  // namespace narada::broker

@@ -1,0 +1,46 @@
+// Topics and topic filters.
+//
+// "In publish/subscribe systems a subscriber registers its interest in
+// events by subscribing to topics. In its simplest form these topics are
+// typically / separated Strings" (paper §1). We implement exactly that
+// model plus the two conventional wildcards used by topic-based MoMs:
+//   *   matches exactly one segment       Services/*/Advertisement
+//   #   matches zero or more trailing segments   Services/#
+// A filter without wildcards matches only the identical topic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace narada::broker {
+
+/// Segment wildcards.
+inline constexpr std::string_view kSingleWildcard = "*";
+inline constexpr std::string_view kMultiWildcard = "#";
+
+/// The public topic all BDNs subscribe to for broker advertisements (§2.3).
+inline constexpr std::string_view kBrokerAdvertisementTopic =
+    "Services/BrokerDiscoveryNodes/BrokerAdvertisement";
+
+/// The reserved topic on which brokers flood discovery requests so a
+/// request "can reach each broker connected in the network" (§10).
+inline constexpr std::string_view kDiscoveryRequestTopic =
+    "Services/BrokerDiscoveryNodes/DiscoveryRequest";
+
+/// Split a topic into its / separated segments. Leading/trailing slashes
+/// produce empty segments, which are invalid (see is_valid_topic).
+std::vector<std::string> topic_segments(std::string_view topic);
+
+/// A concrete topic: non-empty, no empty segments, no wildcard segments.
+bool is_valid_topic(std::string_view topic);
+
+/// A subscription filter: like a topic but may contain wildcards; `#` only
+/// in the final position.
+bool is_valid_filter(std::string_view filter);
+
+/// True if `filter` matches `topic`. Both must be valid; a concrete filter
+/// matches only itself.
+bool topic_matches(std::string_view filter, std::string_view topic);
+
+}  // namespace narada::broker

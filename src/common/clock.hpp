@@ -1,0 +1,57 @@
+// Clock abstraction decoupling protocol code from the time source.
+//
+// Every node reads time through a Clock&. In simulation the clock is the
+// node's *skewed local clock* derived from virtual time (see sim/ and
+// timesvc/); over real sockets it is the machine's wall clock. The paper's
+// whole latency-estimation trick (§5, §6) depends on the difference between
+// local clocks and NTP-corrected UTC, so the distinction is modelled
+// explicitly rather than hidden behind std::chrono.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace narada {
+
+/// Read-only time source.
+class Clock {
+public:
+    virtual ~Clock() = default;
+    /// Current reading of this clock, microseconds since the epoch.
+    [[nodiscard]] virtual TimeUs now() const = 0;
+};
+
+/// Wall clock backed by the system's realtime clock (POSIX backend).
+class WallClock final : public Clock {
+public:
+    [[nodiscard]] TimeUs now() const override;
+};
+
+/// A clock that applies a fixed additive offset to a base clock; used both
+/// for skewed node-local clocks and for NTP-corrected UTC estimates.
+class OffsetClock final : public Clock {
+public:
+    OffsetClock(const Clock& base, DurationUs offset) : base_(base), offset_(offset) {}
+
+    void set_offset(DurationUs offset) { offset_ = offset; }
+    [[nodiscard]] DurationUs offset() const { return offset_; }
+
+    [[nodiscard]] TimeUs now() const override { return base_.now() + offset_; }
+
+private:
+    const Clock& base_;
+    DurationUs offset_;
+};
+
+/// Manually-stepped clock for unit tests.
+class ManualClock final : public Clock {
+public:
+    explicit ManualClock(TimeUs start = 0) : now_(start) {}
+    void advance(DurationUs d) { now_ += d; }
+    void set(TimeUs t) { now_ = t; }
+    [[nodiscard]] TimeUs now() const override { return now_; }
+
+private:
+    TimeUs now_;
+};
+
+}  // namespace narada

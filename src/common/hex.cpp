@@ -1,0 +1,41 @@
+#include "common/hex.hpp"
+
+namespace narada {
+namespace {
+
+int nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(const std::uint8_t* data, std::size_t len) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(kDigits[data[i] >> 4]);
+        out.push_back(kDigits[data[i] & 0xF]);
+    }
+    return out;
+}
+
+std::string hex_encode(const Bytes& data) { return hex_encode(data.data(), data.size()); }
+
+std::optional<Bytes> hex_decode(std::string_view text) {
+    if (text.size() % 2 != 0) return std::nullopt;
+    Bytes out;
+    out.reserve(text.size() / 2);
+    for (std::size_t i = 0; i < text.size(); i += 2) {
+        const int hi = nibble(text[i]);
+        const int lo = nibble(text[i + 1]);
+        if (hi < 0 || lo < 0) return std::nullopt;
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+}  // namespace narada

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace narada {
+namespace {
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view module, std::string_view message) {
+    std::scoped_lock lock(mutex_);
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+                 static_cast<int>(module.size()), module.data(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace narada

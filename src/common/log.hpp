@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// Protocol modules log through this sink so that tests can silence output
+// and examples can show the discovery conversation. Not thread-hot: the
+// simulator is single-threaded; the POSIX backend serializes via a mutex.
+//
+// Messages use "{}" placeholders filled left-to-right via operator<<
+// (GCC 12 ships no <format>, so we provide this small equivalent).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace narada {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace detail {
+
+inline void format_impl(std::ostringstream& out, std::string_view fmt) { out << fmt; }
+
+template <typename First, typename... Rest>
+void format_impl(std::ostringstream& out, std::string_view fmt, First&& first, Rest&&... rest) {
+    const std::size_t pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        out << fmt;
+        return;
+    }
+    out << fmt.substr(0, pos) << std::forward<First>(first);
+    format_impl(out, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+    std::ostringstream out;
+    format_impl(out, fmt, std::forward<Args>(args)...);
+    return out.str();
+}
+
+}  // namespace detail
+
+class Logger {
+public:
+    /// Global process-wide logger instance.
+    static Logger& instance();
+
+    void set_level(LogLevel level) { level_ = level; }
+    [[nodiscard]] LogLevel level() const { return level_; }
+
+    void write(LogLevel level, std::string_view module, std::string_view message);
+
+    template <typename... Args>
+    void log(LogLevel level, std::string_view module, std::string_view fmt, Args&&... args) {
+        if (level < level_) return;
+        write(level, module, detail::format(fmt, std::forward<Args>(args)...));
+    }
+
+private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::kWarn;
+    std::mutex mutex_;
+};
+
+#define NARADA_LOG(level, module, ...) \
+    ::narada::Logger::instance().log((level), (module), __VA_ARGS__)
+
+#define NARADA_TRACE(module, ...) NARADA_LOG(::narada::LogLevel::kTrace, module, __VA_ARGS__)
+#define NARADA_DEBUG(module, ...) NARADA_LOG(::narada::LogLevel::kDebug, module, __VA_ARGS__)
+#define NARADA_INFO(module, ...) NARADA_LOG(::narada::LogLevel::kInfo, module, __VA_ARGS__)
+#define NARADA_WARN(module, ...) NARADA_LOG(::narada::LogLevel::kWarn, module, __VA_ARGS__)
+#define NARADA_ERROR(module, ...) NARADA_LOG(::narada::LogLevel::kError, module, __VA_ARGS__)
+
+}  // namespace narada

@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (latency jitter, packet loss,
+// clock skew, load models) is driven by explicitly-seeded generators so
+// every experiment is reproducible bit-for-bit. We use xoshiro256** seeded
+// through SplitMix64, which is fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace narada {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x6E61726164615F21ull) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        SplitMix64 sm(seed);
+        for (auto& s : s_) s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() { return next(); }
+
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(bounded(span));
+    }
+
+    /// Bernoulli trial with probability p of returning true.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Normally-distributed sample (Box–Muller, one value per call).
+    double gaussian(double mean, double stddev);
+
+    /// Unbiased uniform value in [0, bound) via Lemire rejection.
+    std::uint64_t bounded(std::uint64_t bound);
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace narada

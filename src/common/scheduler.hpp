@@ -1,0 +1,29 @@
+// Timer scheduling abstraction.
+//
+// Protocol nodes (brokers, BDNs, discovery clients) arm timers through this
+// interface so the identical protocol code runs on the discrete-event
+// kernel's virtual time and on the POSIX backend's wall-clock timer thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace narada {
+
+using TimerHandle = std::uint64_t;
+constexpr TimerHandle kInvalidTimerHandle = 0;
+
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Run `task` once after `delay`. Returns a handle usable with cancel().
+    virtual TimerHandle schedule(DurationUs delay, std::function<void()> task) = 0;
+
+    /// Cancel a pending timer; cancelling a fired/invalid handle is a no-op.
+    virtual void cancel_timer(TimerHandle handle) = 0;
+};
+
+}  // namespace narada

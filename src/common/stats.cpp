@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace narada {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const {
+    if (n_ == 0) return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double SampleSet::mean() const {
+    if (samples_.empty()) return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::std_error() const {
+    if (samples_.empty()) return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+double SampleSet::percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+SampleSet SampleSet::trim_outliers(std::size_t keep) const {
+    if (keep >= samples_.size()) return *this;
+    const double med = median();
+    std::vector<double> sorted = samples_;
+    // Order by absolute deviation from the median, keep the closest `keep`.
+    std::sort(sorted.begin(), sorted.end(), [med](double a, double b) {
+        return std::abs(a - med) < std::abs(b - med);
+    });
+    sorted.resize(keep);
+    return SampleSet(std::move(sorted));
+}
+
+std::string SampleSet::metric_table(const std::string& unit) const {
+    char buf[256];
+    std::string out;
+    out += "Metric                 Time (" + unit + ")\n";
+    const auto row = [&](const char* name, double v) {
+        std::snprintf(buf, sizeof(buf), "%-22s %12.3f\n", name, v);
+        out += buf;
+    };
+    row("Mean", mean());
+    row("Standard deviation", stddev());
+    row("Maximum", max());
+    row("Minimum", min());
+    row("Error", std_error());
+    return out;
+}
+
+}  // namespace narada

@@ -1,0 +1,71 @@
+// Descriptive statistics used by the benchmark harness and the discovery
+// client's latency estimation.
+//
+// The paper reports, for every timing figure, the metrics
+// {Mean, Standard deviation, Maximum, Minimum, Error} where Error is the
+// standard error of the mean, computed over 100 samples retained from 120
+// runs after outlier removal (paper §9). SampleSet reproduces exactly that
+// pipeline; RunningStats is the allocation-free online variant (Welford).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    /// Sample standard deviation (n-1 denominator).
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+    /// Standard error of the mean.
+    [[nodiscard]] double std_error() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Batch sample container with the paper's outlier-trimming pipeline.
+class SampleSet {
+public:
+    SampleSet() = default;
+    explicit SampleSet(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+    void add(double x) { samples_.push_back(x); }
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] const std::vector<double>& values() const { return samples_; }
+
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double stddev() const;   ///< sample stddev (n-1)
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double std_error() const;
+    /// Interpolated percentile, p in [0, 100].
+    [[nodiscard]] double percentile(double p) const;
+    [[nodiscard]] double median() const { return percentile(50.0); }
+
+    /// Paper §9 pipeline: drop the most extreme samples (by distance from
+    /// the median) until `keep` remain. Returns the trimmed set.
+    [[nodiscard]] SampleSet trim_outliers(std::size_t keep) const;
+
+    /// Render the paper's five-row metric table (times in the unit given).
+    [[nodiscard]] std::string metric_table(const std::string& unit = "MilliSec") const;
+
+private:
+    std::vector<double> samples_;
+};
+
+}  // namespace narada

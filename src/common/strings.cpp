@@ -1,0 +1,56 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace narada {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    for (std::string_view part : split_views(text, sep)) {
+        out.emplace_back(part);
+    }
+    return out;
+}
+
+std::vector<std::string_view> split_views(std::string_view text, char sep) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out.push_back(sep);
+        out += parts[i];
+    }
+    return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+}  // namespace narada

@@ -1,0 +1,30 @@
+// Small string utilities shared across modules (topic parsing, config files,
+// endpoint rendering). Kept allocation-aware: split returns views into the
+// caller's string where possible via split_views.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace narada {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split as string_views into `text` (caller keeps `text` alive).
+std::vector<std::string_view> split_views(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join elements with `sep`.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// ASCII lower-casing (config keys, protocol names).
+std::string to_lower(std::string_view text);
+
+}  // namespace narada

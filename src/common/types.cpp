@@ -1,0 +1,9 @@
+#include "common/types.hpp"
+
+namespace narada {
+
+std::string Endpoint::str() const {
+    return "host" + std::to_string(host) + ":" + std::to_string(port);
+}
+
+}  // namespace narada

@@ -1,0 +1,54 @@
+// Fundamental value types shared by every narada module.
+//
+// All protocol code expresses time as integral microseconds (TimeUs /
+// DurationUs) rather than std::chrono so that the same code runs unchanged
+// on the virtual clock of the discrete-event simulator and on the wall
+// clock of the POSIX transport backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// Raw octet buffer used for every wire payload.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Absolute time in microseconds since an epoch (virtual or UNIX).
+using TimeUs = std::int64_t;
+
+/// Time interval in microseconds.
+using DurationUs = std::int64_t;
+
+constexpr DurationUs kMicrosecond = 1;
+constexpr DurationUs kMillisecond = 1000;
+constexpr DurationUs kSecond = 1000 * kMillisecond;
+
+constexpr double to_ms(DurationUs us) { return static_cast<double>(us) / 1000.0; }
+constexpr DurationUs from_ms(double ms) { return static_cast<DurationUs>(ms * 1000.0); }
+
+/// Identifier of a simulated or real host within a deployment.
+using HostId = std::uint32_t;
+constexpr HostId kInvalidHost = 0xFFFFFFFFu;
+
+/// A transport-level endpoint: host plus port.
+struct Endpoint {
+    HostId host = kInvalidHost;
+    std::uint16_t port = 0;
+
+    friend bool operator==(const Endpoint&, const Endpoint&) = default;
+    friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+
+    [[nodiscard]] bool valid() const { return host != kInvalidHost; }
+    [[nodiscard]] std::string str() const;
+};
+
+}  // namespace narada
+
+template <>
+struct std::hash<narada::Endpoint> {
+    std::size_t operator()(const narada::Endpoint& e) const noexcept {
+        return std::hash<std::uint64_t>{}((std::uint64_t{e.host} << 16) | e.port);
+    }
+};

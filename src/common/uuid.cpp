@@ -1,0 +1,77 @@
+#include "common/uuid.hpp"
+
+#include <cctype>
+
+namespace narada {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+Uuid Uuid::random(Rng& rng) {
+    Uuid u;
+    u.hi_ = rng.next();
+    u.lo_ = rng.next();
+    // Set RFC 4122 version (4) and variant (10xx) bits.
+    u.hi_ = (u.hi_ & ~0xF000ull) | 0x4000ull;
+    u.lo_ = (u.lo_ & ~(0xC0ull << 56)) | (0x80ull << 56);
+    return u;
+}
+
+Uuid Uuid::from_halves(std::uint64_t hi, std::uint64_t lo) {
+    Uuid u;
+    u.hi_ = hi;
+    u.lo_ = lo;
+    return u;
+}
+
+std::string Uuid::str() const {
+    // Layout: xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx where the first three
+    // groups come from hi_ and the last two from lo_.
+    std::string out;
+    out.reserve(36);
+    auto emit = [&out](std::uint64_t value, int nibbles) {
+        for (int i = nibbles - 1; i >= 0; --i) {
+            out.push_back(kHexDigits[(value >> (i * 4)) & 0xF]);
+        }
+    };
+    emit(hi_ >> 32, 8);
+    out.push_back('-');
+    emit((hi_ >> 16) & 0xFFFF, 4);
+    out.push_back('-');
+    emit(hi_ & 0xFFFF, 4);
+    out.push_back('-');
+    emit(lo_ >> 48, 4);
+    out.push_back('-');
+    emit(lo_ & 0xFFFFFFFFFFFFull, 12);
+    return out;
+}
+
+std::optional<Uuid> Uuid::parse(const std::string& text) {
+    if (text.size() != 36) return std::nullopt;
+    static constexpr int kDashPositions[] = {8, 13, 18, 23};
+    for (int pos : kDashPositions) {
+        if (text[pos] != '-') return std::nullopt;
+    }
+    std::uint64_t halves[2] = {0, 0};
+    int nibble_index = 0;
+    for (char c : text) {
+        if (c == '-') continue;
+        const int v = hex_value(c);
+        if (v < 0) return std::nullopt;
+        halves[nibble_index / 16] = (halves[nibble_index / 16] << 4) | static_cast<std::uint64_t>(v);
+        ++nibble_index;
+    }
+    if (nibble_index != 32) return std::nullopt;
+    return from_halves(halves[0], halves[1]);
+}
+
+}  // namespace narada

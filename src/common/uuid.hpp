@@ -1,0 +1,57 @@
+// 128-bit universally unique identifiers.
+//
+// Every broker discovery request carries a UUID (paper §3); brokers use the
+// UUID to suppress duplicate processing (paper §4). UUIDs here follow the
+// RFC 4122 version-4 layout and are generated from an injected Rng so that
+// simulated runs remain deterministic.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace narada {
+
+class Uuid {
+public:
+    /// The nil UUID (all zero); used as "no id".
+    constexpr Uuid() = default;
+
+    /// Generate a random (version 4) UUID from the given generator.
+    static Uuid random(Rng& rng);
+
+    /// Parse the canonical 8-4-4-4-12 hex form. Returns nullopt on bad input.
+    static std::optional<Uuid> parse(const std::string& text);
+
+    /// Construct from two raw 64-bit halves (used by the wire codec).
+    static Uuid from_halves(std::uint64_t hi, std::uint64_t lo);
+
+    [[nodiscard]] std::uint64_t hi() const { return hi_; }
+    [[nodiscard]] std::uint64_t lo() const { return lo_; }
+    [[nodiscard]] bool is_nil() const { return hi_ == 0 && lo_ == 0; }
+
+    /// Canonical lower-case 8-4-4-4-12 string form.
+    [[nodiscard]] std::string str() const;
+
+    friend bool operator==(const Uuid&, const Uuid&) = default;
+    friend auto operator<=>(const Uuid&, const Uuid&) = default;
+
+private:
+    std::uint64_t hi_ = 0;
+    std::uint64_t lo_ = 0;
+};
+
+}  // namespace narada
+
+template <>
+struct std::hash<narada::Uuid> {
+    std::size_t operator()(const narada::Uuid& u) const noexcept {
+        // Halves are already uniformly random; xor-fold is sufficient.
+        return static_cast<std::size_t>(u.hi() ^ (u.lo() * 0x9E3779B97F4A7C15ull));
+    }
+};

@@ -1,0 +1,137 @@
+#include "config/ini.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace narada::config {
+
+Ini Ini::parse(const std::string& text) {
+    Ini ini;
+    std::string section;  // global section is ""
+    std::size_t line_no = 0;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        std::string_view sv = trim(line);
+        if (sv.empty() || sv.front() == '#' || sv.front() == ';') continue;
+        if (sv.front() == '[') {
+            if (sv.back() != ']' || sv.size() < 2) {
+                throw IniError("line " + std::to_string(line_no) + ": malformed section header");
+            }
+            section = to_lower(trim(sv.substr(1, sv.size() - 2)));
+            continue;
+        }
+        const std::size_t eq = sv.find('=');
+        if (eq == std::string_view::npos) {
+            throw IniError("line " + std::to_string(line_no) + ": expected key = value");
+        }
+        const std::string key = to_lower(trim(sv.substr(0, eq)));
+        if (key.empty()) {
+            throw IniError("line " + std::to_string(line_no) + ": empty key");
+        }
+        ini.data_[section][key] = std::string(trim(sv.substr(eq + 1)));
+    }
+    return ini;
+}
+
+Ini Ini::parse_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw IniError("cannot open config file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+bool Ini::has(const std::string& section, const std::string& key) const {
+    return get(section, key).has_value();
+}
+
+std::optional<std::string> Ini::get(const std::string& section, const std::string& key) const {
+    const auto sit = data_.find(to_lower(section));
+    if (sit == data_.end()) return std::nullopt;
+    const auto kit = sit->second.find(to_lower(key));
+    if (kit == sit->second.end()) return std::nullopt;
+    return kit->second;
+}
+
+std::string Ini::get_or(const std::string& section, const std::string& key,
+                        const std::string& fallback) const {
+    return get(section, key).value_or(fallback);
+}
+
+std::int64_t Ini::get_int(const std::string& section, const std::string& key,
+                          std::int64_t fallback) const {
+    const auto v = get(section, key);
+    if (!v) return fallback;
+    try {
+        std::size_t consumed = 0;
+        const std::int64_t out = std::stoll(*v, &consumed);
+        if (consumed != v->size()) throw IniError("trailing characters in integer: " + *v);
+        return out;
+    } catch (const IniError&) {
+        throw;
+    } catch (const std::exception&) {
+        throw IniError("bad integer value for " + section + "." + key + ": " + *v);
+    }
+}
+
+double Ini::get_double(const std::string& section, const std::string& key,
+                       double fallback) const {
+    const auto v = get(section, key);
+    if (!v) return fallback;
+    try {
+        std::size_t consumed = 0;
+        const double out = std::stod(*v, &consumed);
+        if (consumed != v->size()) throw IniError("trailing characters in number: " + *v);
+        return out;
+    } catch (const IniError&) {
+        throw;
+    } catch (const std::exception&) {
+        throw IniError("bad numeric value for " + section + "." + key + ": " + *v);
+    }
+}
+
+bool Ini::get_bool(const std::string& section, const std::string& key, bool fallback) const {
+    const auto v = get(section, key);
+    if (!v) return fallback;
+    const std::string lowered = to_lower(*v);
+    if (lowered == "true" || lowered == "yes" || lowered == "on" || lowered == "1") return true;
+    if (lowered == "false" || lowered == "no" || lowered == "off" || lowered == "0") return false;
+    throw IniError("bad boolean value for " + section + "." + key + ": " + *v);
+}
+
+std::vector<std::string> Ini::get_list(const std::string& section, const std::string& key) const {
+    const auto v = get(section, key);
+    std::vector<std::string> out;
+    if (!v) return out;
+    for (std::string_view part : split_views(*v, ',')) {
+        const std::string_view trimmed = trim(part);
+        if (!trimmed.empty()) out.emplace_back(trimmed);
+    }
+    return out;
+}
+
+void Ini::set(const std::string& section, const std::string& key, const std::string& value) {
+    data_[to_lower(section)][to_lower(key)] = value;
+}
+
+std::vector<std::string> Ini::sections() const {
+    std::vector<std::string> out;
+    out.reserve(data_.size());
+    for (const auto& [name, _] : data_) out.push_back(name);
+    return out;
+}
+
+std::vector<std::string> Ini::keys(const std::string& section) const {
+    std::vector<std::string> out;
+    const auto sit = data_.find(to_lower(section));
+    if (sit == data_.end()) return out;
+    out.reserve(sit->second.size());
+    for (const auto& [key, _] : sit->second) out.push_back(key);
+    return out;
+}
+
+}  // namespace narada::config

@@ -1,0 +1,64 @@
+// INI-style configuration parser.
+//
+// The paper repeatedly refers to "the node configuration file" (the BDN
+// list, §3), "the broker configuration file" (the duplicate-request cache
+// size, §4), the discovery timeout, the target-set size and the metric
+// weights (§9). This module parses those files. Syntax:
+//
+//   # comment          ; comment
+//   [section]
+//   key = value
+//   list_key = a, b, c
+//
+// Keys are case-insensitive; values keep their case. Duplicate keys within
+// a section: the last one wins (matching common INI semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace narada::config {
+
+class IniError : public std::runtime_error {
+public:
+    explicit IniError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Ini {
+public:
+    /// Parse from text. Throws IniError with a line number on bad syntax.
+    static Ini parse(const std::string& text);
+    /// Parse a file from disk. Throws IniError if unreadable.
+    static Ini parse_file(const std::string& path);
+
+    [[nodiscard]] bool has(const std::string& section, const std::string& key) const;
+
+    [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                                 const std::string& key) const;
+    [[nodiscard]] std::string get_or(const std::string& section, const std::string& key,
+                                     const std::string& fallback) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& section, const std::string& key,
+                                       std::int64_t fallback) const;
+    [[nodiscard]] double get_double(const std::string& section, const std::string& key,
+                                    double fallback) const;
+    [[nodiscard]] bool get_bool(const std::string& section, const std::string& key,
+                                bool fallback) const;
+    /// Comma-separated list value, each element trimmed. Empty if absent.
+    [[nodiscard]] std::vector<std::string> get_list(const std::string& section,
+                                                    const std::string& key) const;
+
+    void set(const std::string& section, const std::string& key, const std::string& value);
+
+    [[nodiscard]] std::vector<std::string> sections() const;
+    [[nodiscard]] std::vector<std::string> keys(const std::string& section) const;
+
+private:
+    // section -> key -> value (section and key stored lower-cased).
+    std::map<std::string, std::map<std::string, std::string>> data_;
+};
+
+}  // namespace narada::config

@@ -1,0 +1,145 @@
+#include "config/node_config.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace narada::config {
+
+InjectionStrategy parse_injection_strategy(const std::string& name) {
+    const std::string lowered = to_lower(name);
+    if (lowered == "closest_and_farthest") return InjectionStrategy::kClosestAndFarthest;
+    if (lowered == "closest_only") return InjectionStrategy::kClosestOnly;
+    if (lowered == "random") return InjectionStrategy::kRandom;
+    if (lowered == "all") return InjectionStrategy::kAll;
+    throw IniError("unknown injection strategy: " + name);
+}
+
+std::string to_string(InjectionStrategy s) {
+    switch (s) {
+        case InjectionStrategy::kClosestAndFarthest: return "closest_and_farthest";
+        case InjectionStrategy::kClosestOnly: return "closest_only";
+        case InjectionStrategy::kRandom: return "random";
+        case InjectionStrategy::kAll: return "all";
+    }
+    return "?";
+}
+
+RoutingMode parse_routing_mode(const std::string& name) {
+    const std::string lowered = to_lower(name);
+    if (lowered == "flood") return RoutingMode::kFlood;
+    if (lowered == "routed") return RoutingMode::kRouted;
+    throw IniError("unknown routing mode: " + name);
+}
+
+std::string to_string(RoutingMode m) {
+    switch (m) {
+        case RoutingMode::kFlood: return "flood";
+        case RoutingMode::kRouted: return "routed";
+    }
+    return "?";
+}
+
+Endpoint parse_endpoint(const std::string& text) {
+    const auto parts = split(text, ':');
+    if (parts.size() != 2) throw IniError("bad endpoint (want host:port): " + text);
+    try {
+        const auto host = static_cast<HostId>(std::stoul(parts[0]));
+        const auto port_raw = std::stoul(parts[1]);
+        if (port_raw > 0xFFFF) throw IniError("port out of range: " + text);
+        return Endpoint{host, static_cast<std::uint16_t>(port_raw)};
+    } catch (const IniError&) {
+        throw;
+    } catch (const std::exception&) {
+        throw IniError("bad endpoint: " + text);
+    }
+}
+
+namespace {
+
+std::vector<Endpoint> parse_endpoint_list(const Ini& ini, const std::string& section,
+                                          const std::string& key) {
+    std::vector<Endpoint> out;
+    for (const auto& item : ini.get_list(section, key)) {
+        out.push_back(parse_endpoint(item));
+    }
+    return out;
+}
+
+}  // namespace
+
+MetricWeights MetricWeights::from_ini(const Ini& ini, const std::string& section) {
+    MetricWeights w;
+    w.free_to_total_memory = ini.get_double(section, "free_to_total_memory", w.free_to_total_memory);
+    w.total_memory_mb = ini.get_double(section, "total_memory_mb", w.total_memory_mb);
+    w.num_links = ini.get_double(section, "num_links", w.num_links);
+    w.cpu_load = ini.get_double(section, "cpu_load", w.cpu_load);
+    w.delay_ms = ini.get_double(section, "delay_ms", w.delay_ms);
+    return w;
+}
+
+DiscoveryConfig DiscoveryConfig::from_ini(const Ini& ini) {
+    DiscoveryConfig c;
+    c.bdns = parse_endpoint_list(ini, "discovery", "bdns");
+    c.response_window = from_ms(ini.get_double("discovery", "response_window_ms",
+                                               to_ms(c.response_window)));
+    c.max_responses =
+        static_cast<std::uint32_t>(ini.get_int("discovery", "max_responses", c.max_responses));
+    c.target_set_size =
+        static_cast<std::uint32_t>(ini.get_int("discovery", "target_set_size", c.target_set_size));
+    c.pings_per_broker = static_cast<std::uint32_t>(
+        ini.get_int("discovery", "pings_per_broker", c.pings_per_broker));
+    c.ping_window = from_ms(ini.get_double("discovery", "ping_window_ms", to_ms(c.ping_window)));
+    c.retransmit_interval = from_ms(
+        ini.get_double("discovery", "retransmit_interval_ms", to_ms(c.retransmit_interval)));
+    c.max_retransmits = static_cast<std::uint32_t>(
+        ini.get_int("discovery", "max_retransmits", c.max_retransmits));
+    c.use_multicast = ini.get_bool("discovery", "use_multicast", c.use_multicast);
+    c.credential = ini.get_or("discovery", "credential", c.credential);
+    c.weights = MetricWeights::from_ini(ini);
+    return c;
+}
+
+BrokerConfig BrokerConfig::from_ini(const Ini& ini) {
+    BrokerConfig c;
+    c.advertise_bdns = parse_endpoint_list(ini, "broker", "advertise_bdns");
+    c.advertise_on_topic = ini.get_bool("broker", "advertise_on_topic", c.advertise_on_topic);
+    c.advertise_interval =
+        from_ms(ini.get_double("broker", "advertise_interval_ms", to_ms(c.advertise_interval)));
+    c.dedup_cache_size = static_cast<std::uint32_t>(
+        ini.get_int("broker", "dedup_cache_size", c.dedup_cache_size));
+    c.respond_to_discovery =
+        ini.get_bool("broker", "respond_to_discovery", c.respond_to_discovery);
+    c.required_credential = ini.get_or("broker", "required_credential", c.required_credential);
+    c.allowed_realms = ini.get_list("broker", "allowed_realms");
+    c.propagation_ttl =
+        static_cast<std::uint32_t>(ini.get_int("broker", "propagation_ttl", c.propagation_ttl));
+    c.processing_delay =
+        from_ms(ini.get_double("broker", "processing_delay_ms", to_ms(c.processing_delay)));
+    if (const auto mode = ini.get("broker", "routing_mode")) {
+        c.routing_mode = parse_routing_mode(*mode);
+    }
+    c.peer_heartbeat_interval = from_ms(
+        ini.get_double("broker", "peer_heartbeat_interval_ms", to_ms(c.peer_heartbeat_interval)));
+    c.peer_max_missed = static_cast<std::uint32_t>(
+        ini.get_int("broker", "peer_max_missed", c.peer_max_missed));
+    return c;
+}
+
+BdnConfig BdnConfig::from_ini(const Ini& ini) {
+    BdnConfig c;
+    if (const auto v = ini.get("bdn", "injection")) {
+        c.injection = parse_injection_strategy(*v);
+    }
+    c.accepted_realms = ini.get_list("bdn", "accepted_realms");
+    c.ping_refresh_interval = from_ms(
+        ini.get_double("bdn", "ping_refresh_interval_ms", to_ms(c.ping_refresh_interval)));
+    c.required_credential = ini.get_or("bdn", "required_credential", c.required_credential);
+    c.injection_spacing =
+        from_ms(ini.get_double("bdn", "injection_spacing_ms", to_ms(c.injection_spacing)));
+    c.registration_expiry = from_ms(
+        ini.get_double("bdn", "registration_expiry_ms", to_ms(c.registration_expiry)));
+    return c;
+}
+
+}  // namespace narada::config

@@ -1,0 +1,152 @@
+// Typed node configurations.
+//
+// These structs carry every knob the paper describes as configurable, with
+// defaults taken from the paper's own numbers:
+//   * dedup cache of the last 1000 discovery-request UUIDs (§4)
+//   * response-collection window of 4–5 s (§6) — default 4.5 s
+//   * target set of ~10 brokers, configurable 5–20 (§6, §10)
+//   * metric weights exactly as in the §9 pseudo-code
+// Each struct can be loaded from an INI file ([broker], [bdn], [discovery]
+// sections) or constructed programmatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "config/ini.hpp"
+
+namespace narada::config {
+
+/// Strategy a BDN uses to inject a discovery request into the broker
+/// network (§4: "issued simultaneously to the brokers that are closest and
+/// farthest from the BDN").
+enum class InjectionStrategy : std::uint8_t {
+    kClosestAndFarthest,  ///< the paper's scheme
+    kClosestOnly,         ///< ablation: single nearest injection point
+    kRandom,              ///< ablation: one random injection point
+    kAll,                 ///< ablation: O(N) direct fan-out to every broker
+};
+
+InjectionStrategy parse_injection_strategy(const std::string& name);
+std::string to_string(InjectionStrategy s);
+
+/// How a broker disseminates events across its peer links.
+enum class RoutingMode : std::uint8_t {
+    /// Forward every event on every link (duplicate-suppressed flooding).
+    kFlood,
+    /// Forward only on links that announced matching subscription interest
+    /// — the "optimized routing" the paper credits the broker network with
+    /// (§9). Interest announcements are themselves flooded control
+    /// messages, so the mode works on arbitrary (cyclic) overlays.
+    kRouted,
+};
+
+RoutingMode parse_routing_mode(const std::string& name);
+std::string to_string(RoutingMode m);
+
+/// Weights from the paper's §9 pseudo-code. "Higher the better" terms are
+/// added, "lower the better" terms subtracted by the scorer.
+struct MetricWeights {
+    double free_to_total_memory = 100.0;  ///< WEIGHTAGE_FREE_TO_TOTAL_MEMORY
+    double total_memory_mb = 0.01;        ///< WEIGHTAGE_TOTAL_MEMORY (per MB)
+    double num_links = 5.0;               ///< WEIGHTAGE_NUM_LINKS (subtracted)
+    double cpu_load = 20.0;               ///< subtracted per unit of CPU load
+    /// Weight on the estimated one-way delay in ms (subtracted); combines
+    /// "nearest" with "least loaded" in a single score.
+    double delay_ms = 1.0;
+
+    static MetricWeights from_ini(const Ini& ini, const std::string& section = "weights");
+};
+
+/// Client-side discovery parameters (§3, §6, §7).
+struct DiscoveryConfig {
+    /// BDN endpoints from the node configuration file (§3).
+    std::vector<Endpoint> bdns;
+    /// How long to collect discovery responses before scoring (§6: 4–5 s).
+    DurationUs response_window = from_ms(4500);
+    /// Stop collecting after this many responses, 0 = unlimited (§9).
+    std::uint32_t max_responses = 0;
+    /// Size of the shortlisted target set (§6: "typically around 10").
+    std::uint32_t target_set_size = 10;
+    /// UDP pings sent per target-set broker to refine RTT (§10: may repeat).
+    std::uint32_t pings_per_broker = 1;
+    /// How long to wait for ping replies before selecting.
+    DurationUs ping_window = from_ms(500);
+    /// Retransmit the discovery request after this much silence (§7).
+    DurationUs retransmit_interval = from_ms(2000);
+    /// Maximum retransmissions before falling back to multicast / cache.
+    std::uint32_t max_retransmits = 2;
+    /// Also multicast the request (§7, §9: reaches lab-realm brokers).
+    bool use_multicast = false;
+    /// Credential string presented to brokers with response policies.
+    std::string credential;
+    MetricWeights weights;
+
+    static DiscoveryConfig from_ini(const Ini& ini);
+};
+
+/// Broker-side configuration (§2.1, §4, §5).
+struct BrokerConfig {
+    /// BDNs to advertise to directly (broker configuration file, §2.3).
+    std::vector<Endpoint> advertise_bdns;
+    /// Also publish the advertisement on the public topic (§2.3).
+    bool advertise_on_topic = true;
+    /// Re-advertise this often (soft-state registration: "broker
+    /// advertisements may also be lost in transit to the BDNs", §7).
+    /// 0 disables periodic re-advertisement.
+    DurationUs advertise_interval = 30 * kSecond;
+    /// Duplicate-request cache size (§4: "last 1000, configurable").
+    std::uint32_t dedup_cache_size = 1000;
+    /// Whether this broker answers discovery requests at all (§5).
+    bool respond_to_discovery = true;
+    /// Required credential; empty = accept anyone (§5).
+    std::string required_credential;
+    /// Network realms the broker answers; empty = all realms (§5).
+    std::vector<std::string> allowed_realms;
+    /// TTL for discovery-request propagation across broker links.
+    std::uint32_t propagation_ttl = 32;
+    /// Per-event processing cost before fan-out to peers/clients; models
+    /// the broker's CPU time so multi-hop dissemination takes visible time.
+    DurationUs processing_delay = from_ms(2.0);
+    /// Event dissemination strategy across peer links.
+    RoutingMode routing_mode = RoutingMode::kFlood;
+    /// Peer-link liveness: ping established peers this often (0 disables).
+    /// Brokers "may join and leave the broker network at arbitrary times"
+    /// (§1.2); dead links must be detected and shed.
+    DurationUs peer_heartbeat_interval = 5 * kSecond;
+    /// Consecutive unanswered peer heartbeats before dropping the link.
+    std::uint32_t peer_max_missed = 3;
+
+    static BrokerConfig from_ini(const Ini& ini);
+};
+
+/// BDN-side configuration (§2, §4).
+struct BdnConfig {
+    InjectionStrategy injection = InjectionStrategy::kClosestAndFarthest;
+    /// Only store advertisements from these realms; empty = store all (§2.3).
+    std::vector<std::string> accepted_realms;
+    /// Re-ping registered brokers to refresh the distance table this often.
+    DurationUs ping_refresh_interval = 30 * kSecond;
+    /// Credential required before a private BDN serves a request (§2.4).
+    std::string required_credential;
+    /// Expire a broker's registration if it has not answered distance
+    /// pings for this long (soft-state registry; 0 = registrations never
+    /// expire). Keeps the injection targets honest under broker churn.
+    DurationUs registration_expiry = 0;
+    /// Per-injection cost at the BDN: connection setup to the broker plus
+    /// request serialization and processing. Injections to multiple
+    /// brokers are issued sequentially with this spacing, which is what
+    /// makes the unconnected topology's O(N) distribution visibly slow
+    /// (§9, Figure 2 — the paper's BDN opened a fresh connection per
+    /// registered broker).
+    DurationUs injection_spacing = from_ms(50.0);
+
+    static BdnConfig from_ini(const Ini& ini);
+};
+
+/// Parse "host:port" pairs such as "3:9000" used in config BDN lists.
+Endpoint parse_endpoint(const std::string& text);
+
+}  // namespace narada::config

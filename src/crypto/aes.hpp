@@ -1,0 +1,38 @@
+// AES-128 (FIPS 197) with CBC mode and PKCS#7 padding, from scratch.
+//
+// The symmetric half of the secured discovery envelope (paper §9.1): the
+// discovery request/response body is AES-encrypted under a fresh session
+// key which travels RSA-encrypted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace narada::crypto {
+
+class Aes128 {
+public:
+    static constexpr std::size_t kBlockSize = 16;
+    static constexpr std::size_t kKeySize = 16;
+    using Block = std::array<std::uint8_t, kBlockSize>;
+    using Key = std::array<std::uint8_t, kKeySize>;
+
+    explicit Aes128(const Key& key);
+
+    /// Single-block ECB primitives (building blocks; use CBC for data).
+    void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+    void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    /// CBC with PKCS#7 padding. Output is a multiple of 16 bytes.
+    [[nodiscard]] Bytes encrypt_cbc(const Bytes& plaintext, const Block& iv) const;
+    /// Throws std::invalid_argument on bad length or bad padding.
+    [[nodiscard]] Bytes decrypt_cbc(const Bytes& ciphertext, const Block& iv) const;
+
+private:
+    // 11 round keys x 16 bytes.
+    std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace narada::crypto

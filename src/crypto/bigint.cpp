@@ -1,0 +1,429 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace narada::crypto {
+namespace {
+
+constexpr std::uint64_t kBase = 1ull << 32;
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+BigInt::BigInt(std::uint64_t value) {
+    if (value == 0) return;
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigInt::trim() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_be(const Bytes& bytes) {
+    BigInt out;
+    for (std::uint8_t byte : bytes) {
+        out = (out << 8) + BigInt(byte);
+    }
+    return out;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+    Bytes out;
+    const std::size_t byte_len = (bit_length() + 7) / 8;
+    out.reserve(std::max(byte_len, min_len));
+    for (std::size_t i = byte_len; i-- > 0;) {
+        const std::size_t limb = i / 4;
+        const std::size_t shift = (i % 4) * 8;
+        out.push_back(static_cast<std::uint8_t>(limbs_[limb] >> shift));
+    }
+    while (out.size() < min_len) out.insert(out.begin(), 0);
+    return out;
+}
+
+std::optional<BigInt> BigInt::from_hex(const std::string& hex) {
+    BigInt out;
+    for (char c : hex) {
+        const int v = hex_value(c);
+        if (v < 0) return std::nullopt;
+        out = (out << 4) + BigInt(static_cast<std::uint64_t>(v));
+    }
+    return out;
+}
+
+std::string BigInt::to_hex() const {
+    if (is_zero()) return "0";
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        for (int nibble = 7; nibble >= 0; --nibble) {
+            out.push_back(kDigits[(limbs_[i] >> (nibble * 4)) & 0xF]);
+        }
+    }
+    const std::size_t first = out.find_first_not_of('0');
+    return out.substr(first);
+}
+
+std::size_t BigInt::bit_length() const {
+    if (limbs_.empty()) return 0;
+    std::size_t bits = (limbs_.size() - 1) * 32;
+    std::uint32_t top = limbs_.back();
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool BigInt::bit(std::size_t index) const {
+    const std::size_t limb = index / 32;
+    if (limb >= limbs_.size()) return false;
+    return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+std::uint64_t BigInt::low_u64() const {
+    std::uint64_t out = 0;
+    if (!limbs_.empty()) out = limbs_[0];
+    if (limbs_.size() > 1) out |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return out;
+}
+
+std::strong_ordering BigInt::compare(const BigInt& a, const BigInt& b) {
+    if (a.limbs_.size() != b.limbs_.size()) {
+        return a.limbs_.size() <=> b.limbs_.size();
+    }
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+    BigInt out;
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    out.limbs_.reserve(n + 1);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry;
+        if (i < limbs_.size()) sum += limbs_[i];
+        if (i < other.limbs_.size()) sum += other.limbs_[i];
+        out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+        carry = sum >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+    return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+    if (*this < other) throw std::underflow_error("BigInt subtraction underflow");
+    BigInt out;
+    out.limbs_.reserve(limbs_.size());
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+        if (i < other.limbs_.size()) diff -= other.limbs_[i];
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(kBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+    }
+    out.trim();
+    return out;
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+    if (is_zero() || other.is_zero()) return BigInt{};
+    BigInt out;
+    out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t a = limbs_[i];
+        for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+            const std::uint64_t cur =
+                out.limbs_[i + j] + a * other.limbs_[j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + other.limbs_.size();
+        while (carry) {
+            const std::uint64_t cur = out.limbs_[k] + carry;
+            out.limbs_[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+    if (is_zero() || bits == 0) {
+        BigInt out = *this;
+        return out;
+    }
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    BigInt out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+        out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+        out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    if (limb_shift >= limbs_.size()) return BigInt{};
+    BigInt out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+            v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+BigInt::DivMod BigInt::divmod(const BigInt& divisor) const {
+    if (divisor.is_zero()) throw std::domain_error("BigInt division by zero");
+    if (*this < divisor) return {BigInt{}, *this};
+    if (divisor.limbs_.size() == 1) {
+        // Fast single-limb path.
+        const std::uint64_t d = divisor.limbs_[0];
+        BigInt quotient;
+        quotient.limbs_.assign(limbs_.size(), 0);
+        std::uint64_t rem = 0;
+        for (std::size_t i = limbs_.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | limbs_[i];
+            quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        quotient.trim();
+        return {quotient, BigInt(rem)};
+    }
+
+    // Knuth TAOCP vol. 2, Algorithm D. Normalize so the divisor's top limb
+    // has its high bit set; estimate each quotient digit from the top two
+    // limbs and correct (at most twice).
+    const std::size_t shift = 32 - (divisor.bit_length() % 32 == 0
+                                        ? 32
+                                        : divisor.bit_length() % 32);
+    const BigInt u = *this << shift;
+    const BigInt v = divisor << shift;
+    const std::size_t n = v.limbs_.size();
+    const std::size_t m = u.limbs_.size() - n;
+
+    std::vector<std::uint32_t> un(u.limbs_);
+    un.push_back(0);  // extra high limb for the algorithm
+    const std::vector<std::uint32_t>& vn = v.limbs_;
+
+    BigInt quotient;
+    quotient.limbs_.assign(m + 1, 0);
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        // Estimate q_hat from the top two limbs of the current window.
+        const std::uint64_t numerator =
+            (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+        std::uint64_t q_hat = numerator / vn[n - 1];
+        std::uint64_t r_hat = numerator % vn[n - 1];
+        while (q_hat >= kBase ||
+               q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
+            --q_hat;
+            r_hat += vn[n - 1];
+            if (r_hat >= kBase) break;
+        }
+
+        // Multiply-subtract q_hat * v from the window.
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t product = q_hat * vn[i] + carry;
+            carry = product >> 32;
+            std::int64_t diff = static_cast<std::int64_t>(un[i + j]) -
+                                static_cast<std::int64_t>(product & 0xFFFFFFFFull) - borrow;
+            if (diff < 0) {
+                diff += static_cast<std::int64_t>(kBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            un[i + j] = static_cast<std::uint32_t>(diff);
+        }
+        std::int64_t top = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+        if (top < 0) {
+            // q_hat was one too large: add v back once.
+            top += static_cast<std::int64_t>(kBase);
+            --q_hat;
+            std::uint64_t add_carry = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t sum =
+                    static_cast<std::uint64_t>(un[i + j]) + vn[i] + add_carry;
+                un[i + j] = static_cast<std::uint32_t>(sum);
+                add_carry = sum >> 32;
+            }
+            top += static_cast<std::int64_t>(add_carry);
+            top &= 0xFFFFFFFFll;
+        }
+        un[j + n] = static_cast<std::uint32_t>(top);
+        quotient.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+    }
+    quotient.trim();
+
+    BigInt remainder;
+    remainder.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+    remainder.trim();
+    remainder = remainder >> shift;
+    return {quotient, remainder};
+}
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+    if (modulus.is_zero()) throw std::domain_error("mod_pow: zero modulus");
+    if (modulus == BigInt(1)) return BigInt{};
+    BigInt result(1);
+    BigInt b = base % modulus;
+    const std::size_t bits = exponent.bit_length();
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (exponent.bit(i)) result = (result * b) % modulus;
+        b = (b * b) % modulus;
+    }
+    return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+    while (!b.is_zero()) {
+        BigInt r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+std::optional<BigInt> BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+    // Extended Euclid tracking coefficients as (sign, magnitude) pairs to
+    // stay within unsigned arithmetic.
+    BigInt old_r = a % m;
+    BigInt r = m;
+    BigInt old_s(1);
+    BigInt s{};
+    bool old_s_neg = false;
+    bool s_neg = false;
+
+    while (!r.is_zero()) {
+        const auto [q, rem] = old_r.divmod(r);
+        old_r = std::move(r);
+        r = rem;
+
+        // new_s = old_s - q * s (signed).
+        const BigInt qs = q * s;
+        BigInt new_s;
+        bool new_s_neg = false;
+        if (old_s_neg == s_neg) {
+            if (old_s >= qs) {
+                new_s = old_s - qs;
+                new_s_neg = old_s_neg;
+            } else {
+                new_s = qs - old_s;
+                new_s_neg = !old_s_neg;
+            }
+        } else {
+            new_s = old_s + qs;
+            new_s_neg = old_s_neg;
+        }
+        old_s = std::move(s);
+        old_s_neg = s_neg;
+        s = std::move(new_s);
+        s_neg = new_s_neg;
+    }
+
+    if (!(old_r == BigInt(1))) return std::nullopt;  // not coprime
+    if (old_s_neg) return m - (old_s % m);
+    return old_s % m;
+}
+
+BigInt BigInt::random_bits(Rng& rng, std::size_t bits) {
+    if (bits == 0) return BigInt{};
+    BigInt out;
+    out.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next());
+    const std::size_t top_bit = (bits - 1) % 32;
+    out.limbs_.back() &= (top_bit == 31) ? 0xFFFFFFFFu : ((1u << (top_bit + 1)) - 1);
+    out.limbs_.back() |= 1u << top_bit;  // exact bit length
+    out.trim();
+    return out;
+}
+
+BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {
+    if (bound.is_zero()) return BigInt{};
+    const std::size_t bits = bound.bit_length();
+    while (true) {
+        BigInt candidate;
+        candidate.limbs_.assign((bits + 31) / 32, 0);
+        for (auto& limb : candidate.limbs_) limb = static_cast<std::uint32_t>(rng.next());
+        const std::size_t top_bit = (bits - 1) % 32;
+        candidate.limbs_.back() &= (top_bit == 31) ? 0xFFFFFFFFu : ((1u << (top_bit + 1)) - 1);
+        candidate.trim();
+        if (candidate < bound) return candidate;
+    }
+}
+
+bool BigInt::is_probable_prime(Rng& rng, int rounds) const {
+    if (*this < BigInt(2)) return false;
+    static constexpr std::uint32_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                                     23, 29, 31, 37, 41, 43, 47};
+    for (std::uint32_t p : kSmallPrimes) {
+        if (*this == BigInt(p)) return true;
+        if ((*this % BigInt(p)).is_zero()) return false;
+    }
+    // Miller-Rabin: write n-1 = d * 2^r.
+    const BigInt n_minus_1 = *this - BigInt(1);
+    BigInt d = n_minus_1;
+    std::size_t r = 0;
+    while (!d.is_odd()) {
+        d = d >> 1;
+        ++r;
+    }
+    for (int round = 0; round < rounds; ++round) {
+        const BigInt a = BigInt(2) + random_below(rng, *this - BigInt(4));
+        BigInt x = mod_pow(a, d, *this);
+        if (x == BigInt(1) || x == n_minus_1) continue;
+        bool witness = true;
+        for (std::size_t i = 1; i < r; ++i) {
+            x = (x * x) % *this;
+            if (x == n_minus_1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness) return false;
+    }
+    return true;
+}
+
+BigInt BigInt::random_prime(Rng& rng, std::size_t bits, int rounds) {
+    if (bits < 2) throw std::invalid_argument("random_prime: need >= 2 bits");
+    while (true) {
+        BigInt candidate = random_bits(rng, bits);
+        if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+        if (candidate.is_probable_prime(rng, rounds)) return candidate;
+    }
+}
+
+}  // namespace narada::crypto

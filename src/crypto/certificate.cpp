@@ -1,0 +1,114 @@
+#include "crypto/certificate.hpp"
+
+namespace narada::crypto {
+namespace {
+
+void encode_public_key(wire::ByteWriter& writer, const RsaPublicKey& key) {
+    writer.blob(key.n.to_bytes_be());
+    writer.blob(key.e.to_bytes_be());
+}
+
+RsaPublicKey decode_public_key(wire::ByteReader& reader) {
+    RsaPublicKey key;
+    key.n = BigInt::from_bytes_be(reader.blob());
+    key.e = BigInt::from_bytes_be(reader.blob());
+    return key;
+}
+
+}  // namespace
+
+Bytes Certificate::tbs_bytes() const {
+    wire::ByteWriter writer;
+    writer.str(subject);
+    writer.str(issuer);
+    encode_public_key(writer, public_key);
+    writer.i64(valid_from);
+    writer.i64(valid_to);
+    writer.u64(serial);
+    return writer.take();
+}
+
+void Certificate::encode(wire::ByteWriter& writer) const {
+    writer.str(subject);
+    writer.str(issuer);
+    encode_public_key(writer, public_key);
+    writer.i64(valid_from);
+    writer.i64(valid_to);
+    writer.u64(serial);
+    writer.blob(signature);
+}
+
+Certificate Certificate::decode(wire::ByteReader& reader) {
+    Certificate cert;
+    cert.subject = reader.str();
+    cert.issuer = reader.str();
+    cert.public_key = decode_public_key(reader);
+    cert.valid_from = reader.i64();
+    cert.valid_to = reader.i64();
+    cert.serial = reader.u64();
+    cert.signature = reader.blob();
+    return cert;
+}
+
+Certificate issue_certificate(const std::string& subject, const RsaPublicKey& subject_key,
+                              const std::string& issuer, const RsaPrivateKey& issuer_key,
+                              TimeUs valid_from, TimeUs valid_to, std::uint64_t serial) {
+    Certificate cert;
+    cert.subject = subject;
+    cert.issuer = issuer;
+    cert.public_key = subject_key;
+    cert.valid_from = valid_from;
+    cert.valid_to = valid_to;
+    cert.serial = serial;
+    cert.signature = rsa_sign(issuer_key, cert.tbs_bytes());
+    return cert;
+}
+
+Certificate make_self_signed(const std::string& subject, const RsaKeyPair& keys,
+                             TimeUs valid_from, TimeUs valid_to, std::uint64_t serial) {
+    return issue_certificate(subject, keys.public_key, subject, keys.private_key, valid_from,
+                             valid_to, serial);
+}
+
+const char* to_string(CertStatus status) {
+    switch (status) {
+        case CertStatus::kOk: return "ok";
+        case CertStatus::kEmptyChain: return "empty chain";
+        case CertStatus::kBadSignature: return "bad signature";
+        case CertStatus::kNotYetValid: return "not yet valid";
+        case CertStatus::kExpired: return "expired";
+        case CertStatus::kIssuerMismatch: return "issuer mismatch";
+        case CertStatus::kUntrustedRoot: return "untrusted root";
+    }
+    return "?";
+}
+
+CertStatus verify_chain(const std::vector<Certificate>& chain,
+                        const std::vector<Certificate>& trusted_roots, TimeUs now) {
+    if (chain.empty()) return CertStatus::kEmptyChain;
+
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        const Certificate& cert = chain[i];
+        if (now < cert.valid_from) return CertStatus::kNotYetValid;
+        if (now > cert.valid_to) return CertStatus::kExpired;
+
+        // The signer is the next certificate in the chain; the last one
+        // must be self-signed.
+        const Certificate& signer = (i + 1 < chain.size()) ? chain[i + 1] : cert;
+        if (cert.issuer != signer.subject) return CertStatus::kIssuerMismatch;
+        if (!rsa_verify(signer.public_key, cert.tbs_bytes(), cert.signature)) {
+            return CertStatus::kBadSignature;
+        }
+    }
+
+    // Anchor: the chain's root must be one of the trusted roots.
+    const Certificate& root = chain.back();
+    for (const Certificate& trusted : trusted_roots) {
+        if (trusted.subject == root.subject && trusted.public_key == root.public_key) {
+            return CertStatus::kOk;
+        }
+    }
+    return CertStatus::kUntrustedRoot;
+}
+
+}  // namespace narada::crypto

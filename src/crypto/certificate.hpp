@@ -1,0 +1,67 @@
+// X.509-style certificates and chain validation.
+//
+// "the broker and client may be augmented with digital certificates and
+// PKI authentication schemes" (paper §9.1); Figure 13 times the validation
+// of a client's X.509 certificate. This is a structural analogue of X.509:
+// a signed binding of a subject name to an RSA public key with a validity
+// window, chained to a trusted root. The encoding is our wire codec rather
+// than ASN.1 DER, which preserves the costed operations (signature checks
+// along a chain, expiry checks) without an ASN.1 parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/rsa.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::crypto {
+
+struct Certificate {
+    std::string subject;
+    std::string issuer;
+    RsaPublicKey public_key;
+    TimeUs valid_from = 0;
+    TimeUs valid_to = 0;
+    std::uint64_t serial = 0;
+    Bytes signature;  ///< issuer's RSA signature over tbs_bytes()
+
+    /// The canonical "to be signed" encoding (everything but the signature).
+    [[nodiscard]] Bytes tbs_bytes() const;
+
+    void encode(wire::ByteWriter& writer) const;
+    static Certificate decode(wire::ByteReader& reader);
+
+    friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// Sign `tbs` fields of a certificate with the issuer's private key.
+Certificate issue_certificate(const std::string& subject, const RsaPublicKey& subject_key,
+                              const std::string& issuer, const RsaPrivateKey& issuer_key,
+                              TimeUs valid_from, TimeUs valid_to, std::uint64_t serial);
+
+/// Root certificates sign themselves.
+Certificate make_self_signed(const std::string& subject, const RsaKeyPair& keys,
+                             TimeUs valid_from, TimeUs valid_to, std::uint64_t serial);
+
+enum class CertStatus {
+    kOk,
+    kEmptyChain,
+    kBadSignature,
+    kNotYetValid,
+    kExpired,
+    kIssuerMismatch,  ///< chain names do not line up
+    kUntrustedRoot,
+};
+
+const char* to_string(CertStatus status);
+
+/// Validate `chain` (leaf first, root last) at time `now` against a set of
+/// trusted root certificates. Every link's signature, validity window and
+/// issuer/subject continuity are checked; the final certificate must be a
+/// trusted root (compared by subject and key).
+CertStatus verify_chain(const std::vector<Certificate>& chain,
+                        const std::vector<Certificate>& trusted_roots, TimeUs now);
+
+}  // namespace narada::crypto

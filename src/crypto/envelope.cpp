@@ -1,0 +1,83 @@
+#include "crypto/envelope.hpp"
+
+namespace narada::crypto {
+
+void SecureEnvelope::encode(wire::ByteWriter& writer) const {
+    writer.blob(encrypted_session);
+    writer.blob(ciphertext);
+    writer.str(recipient_hint);
+}
+
+SecureEnvelope SecureEnvelope::decode(wire::ByteReader& reader) {
+    SecureEnvelope env;
+    env.encrypted_session = reader.blob();
+    env.ciphertext = reader.blob();
+    env.recipient_hint = reader.str();
+    return env;
+}
+
+std::optional<SecureEnvelope> seal(const Bytes& payload, const std::string& signer_name,
+                                   const RsaPrivateKey& signer_key,
+                                   const RsaPublicKey& recipient_key,
+                                   const std::string& recipient_hint, Rng& rng) {
+    // Inner bundle: payload, signature over the payload, signer name.
+    const Bytes signature = rsa_sign(signer_key, payload);
+    wire::ByteWriter bundle;
+    bundle.blob(payload);
+    bundle.blob(signature);
+    bundle.str(signer_name);
+
+    // Fresh AES-128 session key and IV.
+    Aes128::Key key;
+    Aes128::Block iv;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next());
+
+    SecureEnvelope env;
+    env.recipient_hint = recipient_hint;
+    env.ciphertext = Aes128(key).encrypt_cbc(bundle.take(), iv);
+
+    Bytes session;
+    session.insert(session.end(), key.begin(), key.end());
+    session.insert(session.end(), iv.begin(), iv.end());
+    auto encrypted = rsa_encrypt(recipient_key, session, rng);
+    if (!encrypted) return std::nullopt;  // recipient modulus too small
+    env.encrypted_session = std::move(*encrypted);
+    return env;
+}
+
+std::optional<OpenedEnvelope> open(const SecureEnvelope& envelope,
+                                   const RsaPrivateKey& recipient_key,
+                                   const RsaPublicKey& signer_key) {
+    const auto session = rsa_decrypt(recipient_key, envelope.encrypted_session);
+    if (!session || session->size() != Aes128::kKeySize + Aes128::kBlockSize) {
+        return std::nullopt;
+    }
+    Aes128::Key key;
+    Aes128::Block iv;
+    std::copy_n(session->begin(), key.size(), key.begin());
+    std::copy_n(session->begin() + static_cast<std::ptrdiff_t>(key.size()), iv.size(),
+                iv.begin());
+
+    Bytes bundle;
+    try {
+        bundle = Aes128(key).decrypt_cbc(envelope.ciphertext, iv);
+    } catch (const std::invalid_argument&) {
+        return std::nullopt;
+    }
+
+    try {
+        wire::ByteReader reader(bundle);
+        OpenedEnvelope out;
+        out.payload = reader.blob();
+        const Bytes signature = reader.blob();
+        out.signer_name = reader.str();
+        reader.expect_end();
+        out.signature_valid = rsa_verify(signer_key, out.payload, signature);
+        return out;
+    } catch (const wire::WireError&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace narada::crypto

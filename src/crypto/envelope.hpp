@@ -1,0 +1,54 @@
+// Secured message envelope: sign-then-encrypt.
+//
+// "a discovery request and response may be secured by sending credentials
+// verifying the authenticity of the clients and also encrypting the
+// discovery request and response" (paper §9.1). Figure 14 times exactly
+// this operation pair over a BrokerDiscoveryRequest: digitally sign and
+// encrypt, then later decrypt and extract.
+//
+// Construction: RSA-sign SHA-256(payload) with the sender's key; bundle
+// {payload, signature, signer-name}; AES-128-CBC encrypt the bundle under
+// a fresh session key; RSA-encrypt (session key || IV) to the recipient.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/rsa.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::crypto {
+
+struct SecureEnvelope {
+    Bytes encrypted_session;  ///< RSA(recipient, session key || IV)
+    Bytes ciphertext;         ///< AES-CBC(payload || signature || signer)
+    std::string recipient_hint;  ///< which key to decrypt with (cleartext)
+
+    void encode(wire::ByteWriter& writer) const;
+    static SecureEnvelope decode(wire::ByteReader& reader);
+};
+
+/// Sign `payload` with the sender's key and encrypt to the recipient.
+/// Returns nullopt if the recipient key is too small for a session block.
+std::optional<SecureEnvelope> seal(const Bytes& payload, const std::string& signer_name,
+                                   const RsaPrivateKey& signer_key,
+                                   const RsaPublicKey& recipient_key,
+                                   const std::string& recipient_hint, Rng& rng);
+
+struct OpenedEnvelope {
+    Bytes payload;
+    std::string signer_name;
+    bool signature_valid = false;
+};
+
+/// Decrypt with the recipient's key and verify against the signer's key.
+/// Returns nullopt if decryption fails structurally; a wrong signature
+/// yields a result with signature_valid == false.
+std::optional<OpenedEnvelope> open(const SecureEnvelope& envelope,
+                                   const RsaPrivateKey& recipient_key,
+                                   const RsaPublicKey& signer_key);
+
+}  // namespace narada::crypto

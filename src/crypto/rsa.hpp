@@ -1,0 +1,54 @@
+// RSA with PKCS#1 v1.5 padding, built on the from-scratch BigInt.
+//
+// Backs the certificate signatures and the session-key encryption of the
+// secured discovery envelope (paper §9.1). Key sizes are configurable;
+// tests use small keys for speed, the security benchmarks use 1024-bit
+// keys comparable to the paper's 2004-era PKI deployments.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/sha256.hpp"
+
+namespace narada::crypto {
+
+struct RsaPublicKey {
+    BigInt n;  ///< modulus
+    BigInt e;  ///< public exponent
+
+    [[nodiscard]] std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+    friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+struct RsaPrivateKey {
+    BigInt n;
+    BigInt d;  ///< private exponent
+
+    [[nodiscard]] std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaKeyPair {
+    RsaPublicKey public_key;
+    RsaPrivateKey private_key;
+};
+
+/// Generate a key pair with a modulus of roughly `bits` bits (e = 65537).
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits);
+
+/// PKCS#1 v1.5 signature over SHA-256(message). Returns modulus-sized bytes.
+Bytes rsa_sign(const RsaPrivateKey& key, const Bytes& message);
+
+/// Verify a PKCS#1 v1.5 SHA-256 signature.
+bool rsa_verify(const RsaPublicKey& key, const Bytes& message, const Bytes& signature);
+
+/// PKCS#1 v1.5 (type 2) encryption. Plaintext must be at most
+/// modulus_bytes() - 11 bytes; returns nullopt otherwise.
+std::optional<Bytes> rsa_encrypt(const RsaPublicKey& key, const Bytes& plaintext, Rng& rng);
+
+/// Decrypt; nullopt if the padding is invalid.
+std::optional<Bytes> rsa_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext);
+
+}  // namespace narada::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for message digests in the secured discovery envelope (paper §9.1)
+// and as the hash inside HMAC and the certificate signatures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace narada::crypto {
+
+class Sha256 {
+public:
+    static constexpr std::size_t kDigestSize = 32;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Sha256();
+
+    void update(const std::uint8_t* data, std::size_t len);
+    void update(const Bytes& data) { update(data.data(), data.size()); }
+    void update(std::string_view text) {
+        update(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    }
+
+    /// Finalize and return the digest. The object must not be reused
+    /// afterwards without reset().
+    Digest finish();
+
+    void reset();
+
+    /// One-shot convenience.
+    static Digest hash(const Bytes& data);
+    static Digest hash(std::string_view text);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_{};
+    std::uint64_t total_len_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Sha256::Digest hmac_sha256(const Bytes& key, const Bytes& message);
+
+}  // namespace narada::crypto

@@ -1,0 +1,244 @@
+#include "discovery/bdn.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "broker/topic.hpp"
+#include "common/log.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+
+Bdn::Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& local,
+         const Clock& local_clock, config::BdnConfig config, std::string name)
+    : scheduler_(scheduler),
+      transport_(transport),
+      local_(local),
+      local_clock_(local_clock),
+      config_(std::move(config)),
+      name_(name.empty() ? "bdn@" + local.str() : std::move(name)),
+      rng_(0x62646Eull ^ (std::uint64_t{local.host} << 16) ^ local.port) {
+    transport_.bind(local_, this);
+}
+
+Bdn::~Bdn() {
+    scheduler_.cancel_timer(refresh_timer_);
+    transport_.unbind(local_);
+}
+
+void Bdn::start() {
+    if (started_) return;
+    started_ = true;
+    refresh_distances();
+}
+
+void Bdn::attach_to_broker(const Endpoint& broker, const Endpoint& client_endpoint) {
+    attachment_ = std::make_unique<broker::PubSubClient>(scheduler_, transport_,
+                                                         client_endpoint, /*credential=*/"");
+    attachment_->on_event([this](const broker::Event& event) {
+        if (event.topic != broker::kBrokerAdvertisementTopic) return;
+        try {
+            wire::ByteReader reader(event.payload);
+            handle_advertisement(BrokerAdvertisement::decode(reader));
+        } catch (const wire::WireError& e) {
+            NARADA_DEBUG("bdn", "{}: bad advertisement event: {}", name_, e.what());
+        }
+    });
+    attachment_->subscribe(std::string(broker::kBrokerAdvertisementTopic));
+    attachment_->connect(broker);
+}
+
+void Bdn::announce_to(const Endpoint& broker) {
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgBdnAdvertisement);
+    writer.u32(local_.host);
+    writer.u16(local_.port);
+    transport_.send_datagram(local_, broker, writer.take());
+}
+
+void Bdn::register_broker(BrokerAdvertisement ad) { handle_advertisement(ad); }
+
+std::vector<Bdn::RegisteredBroker> Bdn::registry() const {
+    std::vector<RegisteredBroker> out;
+    out.reserve(registry_.size());
+    for (const auto& [id, rb] : registry_) out.push_back(rb);
+    return out;
+}
+
+void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
+    try {
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        switch (type) {
+            case wire::kMsgBrokerAdvertisement:
+                handle_advertisement(BrokerAdvertisement::decode(reader));
+                return;
+            case wire::kMsgDiscoveryRequest:
+                handle_request(from, DiscoveryRequest::decode(reader));
+                return;
+            case wire::kMsgPong:
+                handle_pong(from, reader);
+                return;
+            default:
+                NARADA_DEBUG("bdn", "{}: unhandled message type {}", name_, static_cast<int>(type));
+        }
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("bdn", "{}: malformed message from {}: {}", name_, from.str(), e.what());
+    }
+}
+
+void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
+    ++stats_.ads_received;
+    // "this BDN may choose to store the advertisement or ignore it if the
+    // BDN is interested in specific advertisements" (§2.3).
+    if (!config_.accepted_realms.empty() &&
+        std::find(config_.accepted_realms.begin(), config_.accepted_realms.end(), ad.realm) ==
+            config_.accepted_realms.end()) {
+        ++stats_.ads_filtered;
+        return;
+    }
+    const bool known = registry_.contains(ad.broker_id);
+    RegisteredBroker& rb = registry_[ad.broker_id];
+    const DurationUs previous_rtt = known ? rb.rtt : -1;
+    rb.ad = ad;
+    rb.registered_at = local_clock_.now();
+    rb.rtt = previous_rtt;
+    endpoint_to_broker_[ad.endpoint] = ad.broker_id;
+    // Measure the newcomer immediately so the injection strategy can use it.
+    if (!known && started_) {
+        ++stats_.pings_sent;
+        wire::ByteWriter writer;
+        writer.u8(wire::kMsgPing);
+        writer.i64(local_clock_.now());
+        transport_.send_datagram(local_, ad.endpoint, writer.take());
+    }
+}
+
+void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) {
+    (void)from;
+    ++stats_.requests_received;
+
+    // Private BDNs "must also require the presentation of appropriate
+    // credentials before [deciding] whether [to] disseminate the broker
+    // discovery request" (§2.4).
+    if (!config_.required_credential.empty() &&
+        request.credential != config_.required_credential) {
+        ++stats_.credential_rejections;
+        return;
+    }
+
+    // "A BDN is expected to acknowledge the receipt of a discovery request
+    // in a timely manner" (§3). Acks are re-sent even for duplicates so a
+    // requester whose ack was lost learns the BDN is alive.
+    wire::ByteWriter ack;
+    ack.u8(wire::kMsgDiscoveryAck);
+    ack.uuid(request.request_id);
+    transport_.send_datagram(local_, request.reply_to, ack.take());
+    ++stats_.acks_sent;
+
+    // "Multiple requests forwarded to the same BDN would be idempotent"
+    // (§3): only the first copy is disseminated.
+    if (!seen_requests_.insert(request.request_id)) {
+        ++stats_.duplicate_requests;
+        return;
+    }
+    inject(request, injection_targets());
+}
+
+void Bdn::handle_pong(const Endpoint& from, wire::ByteReader& reader) {
+    const TimeUs echoed = reader.i64();
+    ++stats_.pongs_received;
+    const auto it = endpoint_to_broker_.find(from);
+    if (it == endpoint_to_broker_.end()) return;
+    const auto rit = registry_.find(it->second);
+    if (rit == registry_.end()) return;
+    rit->second.rtt = local_clock_.now() - echoed;
+    rit->second.last_pong = local_clock_.now();
+}
+
+std::vector<Endpoint> Bdn::injection_targets() {
+    std::vector<const RegisteredBroker*> brokers;
+    brokers.reserve(registry_.size());
+    for (const auto& [id, rb] : registry_) brokers.push_back(&rb);
+    if (brokers.empty()) return {};
+
+    // Order by measured RTT; unmeasured brokers sort last in registration
+    // order (stable), so the strategy still works before the first pongs.
+    std::stable_sort(brokers.begin(), brokers.end(),
+                     [](const RegisteredBroker* a, const RegisteredBroker* b) {
+                         const DurationUs ra =
+                             a->rtt < 0 ? std::numeric_limits<DurationUs>::max() : a->rtt;
+                         const DurationUs rb =
+                             b->rtt < 0 ? std::numeric_limits<DurationUs>::max() : b->rtt;
+                         return ra < rb;
+                     });
+
+    std::vector<Endpoint> targets;
+    switch (config_.injection) {
+        case config::InjectionStrategy::kClosestAndFarthest:
+            // "the broker discovery request would be issued simultaneously
+            // to the brokers that are closest and farthest from the BDN"
+            // (§4).
+            targets.push_back(brokers.front()->ad.endpoint);
+            if (brokers.size() > 1) targets.push_back(brokers.back()->ad.endpoint);
+            break;
+        case config::InjectionStrategy::kClosestOnly:
+            targets.push_back(brokers.front()->ad.endpoint);
+            break;
+        case config::InjectionStrategy::kRandom:
+            targets.push_back(
+                brokers[rng_.bounded(brokers.size())]->ad.endpoint);
+            break;
+        case config::InjectionStrategy::kAll:
+            // The unconnected topology's O(N) distribution (§9, Figure 2).
+            for (const RegisteredBroker* rb : brokers) targets.push_back(rb->ad.endpoint);
+            break;
+    }
+    return targets;
+}
+
+void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& targets) {
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgDiscoveryRequest);
+    request.encode(writer);
+    const Bytes encoded = writer.take();
+    // Injections are issued sequentially: each send costs the BDN its
+    // per-injection processing time, so fanning out to N brokers takes
+    // O(N * spacing) — the effect Figure 2 measures.
+    DurationUs at = 0;
+    for (const Endpoint& target : targets) {
+        ++stats_.injections;
+        scheduler_.schedule(at, [this, target, encoded] {
+            transport_.send_reliable(local_, target, encoded);
+        });
+        at += config_.injection_spacing;
+    }
+}
+
+void Bdn::refresh_distances() {
+    // Soft-state registry: shed brokers that stopped answering pings.
+    if (config_.registration_expiry > 0) {
+        const TimeUs now = local_clock_.now();
+        for (auto it = registry_.begin(); it != registry_.end();) {
+            const TimeUs last_seen = std::max(it->second.last_pong, it->second.registered_at);
+            if (now - last_seen > config_.registration_expiry) {
+                ++stats_.registrations_expired;
+                endpoint_to_broker_.erase(it->second.ad.endpoint);
+                it = registry_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto& [id, rb] : registry_) {
+        ++stats_.pings_sent;
+        wire::ByteWriter writer;
+        writer.u8(wire::kMsgPing);
+        writer.i64(local_clock_.now());
+        transport_.send_datagram(local_, rb.ad.endpoint, writer.take());
+    }
+    refresh_timer_ =
+        scheduler_.schedule(config_.ping_refresh_interval, [this] { refresh_distances(); });
+}
+
+}  // namespace narada::discovery

@@ -1,0 +1,125 @@
+// Broker Discovery Node (BDN).
+//
+// "Broker Discovery Nodes are registered nodes that facilitate the
+// discovery of brokers within the broker network. BDNs maintain
+// information regarding broker nodes within the system." (paper §2)
+//
+// A BDN:
+//   * accepts broker advertisements sent directly to it, and — when
+//     attached to a broker as a pub/sub client — advertisements published
+//     on the public topic (§2.3), optionally filtered by realm;
+//   * maintains a distance table by pinging registered brokers (§4: "could
+//     easily be constructed by issuing ping requests");
+//   * acknowledges discovery requests in a timely manner (§3) and is
+//     idempotent under retransmission;
+//   * propagates each request into the broker network by injecting it at
+//     brokers chosen by the configured strategy — by default the closest
+//     and the farthest broker, "to ensure that the broker discovery
+//     request propagates faster through the broker network" (§4);
+//   * as a private BDN, can require credentials before serving a request
+//     and can announce itself to brokers so they re-advertise (§2.4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/client.hpp"
+#include "broker/dedup_cache.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+#include "config/node_config.hpp"
+#include "discovery/messages.hpp"
+#include "transport/transport.hpp"
+
+namespace narada::discovery {
+
+class Bdn final : public transport::MessageHandler {
+public:
+    struct RegisteredBroker {
+        BrokerAdvertisement ad;
+        TimeUs registered_at = 0;
+        /// Measured round-trip to the broker; -1 until the first pong.
+        DurationUs rtt = -1;
+        TimeUs last_pong = 0;
+    };
+
+    struct Stats {
+        std::uint64_t ads_received = 0;
+        std::uint64_t ads_filtered = 0;  ///< rejected by realm policy (§2.3)
+        std::uint64_t requests_received = 0;
+        std::uint64_t duplicate_requests = 0;
+        std::uint64_t acks_sent = 0;
+        std::uint64_t injections = 0;
+        std::uint64_t credential_rejections = 0;
+        std::uint64_t pings_sent = 0;
+        std::uint64_t pongs_received = 0;
+        std::uint64_t registrations_expired = 0;  ///< soft-state evictions
+    };
+
+    Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& local,
+        const Clock& local_clock, config::BdnConfig config, std::string name = {});
+    ~Bdn() override;
+
+    Bdn(const Bdn&) = delete;
+    Bdn& operator=(const Bdn&) = delete;
+
+    /// Begin the periodic distance-table refresh.
+    void start();
+
+    /// Attach to a broker as a pub/sub client on `client_endpoint` and
+    /// subscribe to the public advertisement topic (§2.3). The BDN keeps
+    /// the attachment alive for its lifetime.
+    void attach_to_broker(const Endpoint& broker, const Endpoint& client_endpoint);
+
+    /// Announce this (private) BDN to a broker so that it re-advertises
+    /// here (§2.4).
+    void announce_to(const Endpoint& broker);
+
+    /// Directly register an advertisement (same as receiving it).
+    void register_broker(BrokerAdvertisement ad);
+
+    [[nodiscard]] std::size_t registered_count() const { return registry_.size(); }
+    [[nodiscard]] std::vector<RegisteredBroker> registry() const;
+    [[nodiscard]] const Endpoint& endpoint() const { return local_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const config::BdnConfig& config() const { return config_; }
+
+    // MessageHandler.
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+private:
+    void handle_advertisement(const BrokerAdvertisement& ad);
+    void handle_request(const Endpoint& from, const DiscoveryRequest& request);
+    void handle_pong(const Endpoint& from, wire::ByteReader& reader);
+
+    /// Injection points for the configured strategy, best-effort ordered.
+    [[nodiscard]] std::vector<Endpoint> injection_targets();
+
+    /// Sequentially inject `request` at `targets`, spacing sends by the
+    /// configured per-injection processing cost.
+    void inject(const DiscoveryRequest& request, const std::vector<Endpoint>& targets);
+
+    void refresh_distances();
+
+    Scheduler& scheduler_;
+    transport::Transport& transport_;
+    Endpoint local_;
+    const Clock& local_clock_;
+    config::BdnConfig config_;
+    std::string name_;
+    Rng rng_;
+
+    std::map<Uuid, RegisteredBroker> registry_;        // by broker_id
+    std::map<Endpoint, Uuid> endpoint_to_broker_;
+    broker::DedupCache seen_requests_{1000};
+    std::unique_ptr<broker::PubSubClient> attachment_;
+    TimerHandle refresh_timer_ = kInvalidTimerHandle;
+    bool started_ = false;
+    Stats stats_;
+};
+
+}  // namespace narada::discovery

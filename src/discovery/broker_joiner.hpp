@@ -1,0 +1,85 @@
+// Broker join orchestration.
+//
+// "Similarly, an entity may wish to add a broker to this network. In both
+// these cases it is essential for the entity to discover a broker" (paper
+// §1.1). The second use of discovery: a NEW BROKER finds the best existing
+// broker to peer with, links to it, and then advertises itself so BDNs and
+// future requesters see it — closing the loop that lets "newly added
+// brokers within the system [be] assimilated faster" (§1.3).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "broker/broker.hpp"
+#include "discovery/broker_plugin.hpp"
+#include "discovery/client.hpp"
+
+namespace narada::discovery {
+
+/// Runs one discovery on behalf of a broker and wires the result.
+class BrokerJoiner {
+public:
+    struct Result {
+        bool success = false;
+        /// The broker we peered with (unset on failure).
+        std::optional<Endpoint> attached_to;
+        /// The full discovery report for diagnostics.
+        DiscoveryReport report;
+    };
+    using Callback = std::function<void(const Result&)>;
+
+    /// `broker` is the joining broker, `plugin` its discovery service (for
+    /// self-identification and re-advertisement) and `client` a discovery
+    /// client bound on the same host. All must outlive the join.
+    BrokerJoiner(broker::Broker& broker, BrokerDiscoveryPlugin& plugin,
+                 DiscoveryClient& client)
+        : broker_(broker), plugin_(plugin), client_(client) {}
+
+    /// Discover the nearest existing broker (ignoring ourselves, in case
+    /// our own advertisement already circulates), peer with it, then
+    /// (re-)advertise. The callback fires when the join settles.
+    void join(Callback callback) {
+        client_.discover([this, callback = std::move(callback)](
+                             const DiscoveryReport& report) {
+            Result result;
+            result.report = report;
+            const std::size_t choice = pick_peer(report);
+            if (choice != kNoChoice) {
+                const Endpoint peer = report.candidates[choice].response.endpoint;
+                broker_.connect_to_peer(peer);
+                // Make the newcomer visible: direct ads to configured BDNs
+                // plus the public advertisement topic, which now reaches
+                // the network through the fresh link (§2.3).
+                plugin_.advertise();
+                result.success = true;
+                result.attached_to = peer;
+            }
+            callback(result);
+        });
+    }
+
+private:
+    static constexpr std::size_t kNoChoice = static_cast<std::size_t>(-1);
+
+    /// The selected candidate unless it is us; then the best other member
+    /// of the target set.
+    [[nodiscard]] std::size_t pick_peer(const DiscoveryReport& report) const {
+        if (!report.success) return kNoChoice;
+        const Uuid self = plugin_.identity().broker_id;
+        if (report.selected &&
+            report.candidates[*report.selected].response.broker_id != self) {
+            return *report.selected;
+        }
+        for (std::size_t index : report.target_set) {
+            if (report.candidates[index].response.broker_id != self) return index;
+        }
+        return kNoChoice;
+    }
+
+    broker::Broker& broker_;
+    BrokerDiscoveryPlugin& plugin_;
+    DiscoveryClient& client_;
+};
+
+}  // namespace narada::discovery

@@ -1,0 +1,201 @@
+#include "discovery/broker_plugin.hpp"
+
+#include <algorithm>
+
+#include "broker/topic.hpp"
+#include "common/log.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+
+BrokerDiscoveryPlugin::~BrokerDiscoveryPlugin() {
+    if (scheduler_ != nullptr) scheduler_->cancel_timer(readvertise_timer_);
+}
+
+void BrokerDiscoveryPlugin::on_attach(broker::Broker& broker) {
+    broker_ = &broker;
+    scheduler_ = &broker.scheduler();
+    seen_requests_ = broker::DedupCache(broker.config().dedup_cache_size);
+    if (identity_.broker_id.is_nil()) {
+        identity_.broker_id = Uuid::random(broker.rng());
+    }
+    if (join_multicast_) {
+        // Requests multicast by BDN-less clients (§7) arrive at the broker
+        // endpoint like any other datagram.
+        broker.transport().join_multicast(transport::kDiscoveryMulticastGroup,
+                                          broker.endpoint());
+    }
+    // Under subscription routing the responder must declare its interest
+    // in the reserved request topic or flooded requests stop reaching it.
+    broker.add_plugin_interest(std::string(broker::kDiscoveryRequestTopic));
+}
+
+void BrokerDiscoveryPlugin::on_start() {
+    advertise();
+    // Soft-state registration: advertisements are fire-and-forget UDP and
+    // "may also be lost in transit to the BDNs" (§7); periodic
+    // re-advertisement heals losses and BDN restarts.
+    const DurationUs interval = broker_->config().advertise_interval;
+    if (interval > 0 && readvertise_timer_ == kInvalidTimerHandle) {
+        schedule_readvertise(interval);
+    }
+}
+
+void BrokerDiscoveryPlugin::schedule_readvertise(DurationUs interval) {
+    readvertise_timer_ = scheduler_->schedule(interval, [this, interval] {
+        advertise();
+        schedule_readvertise(interval);
+    });
+}
+
+BrokerAdvertisement BrokerDiscoveryPlugin::advertisement() const {
+    BrokerAdvertisement ad;
+    ad.broker_id = identity_.broker_id;
+    ad.broker_name = broker_ ? broker_->name() : std::string{};
+    ad.hostname = identity_.hostname;
+    ad.endpoint = broker_ ? broker_->endpoint() : Endpoint{};
+    ad.protocols = identity_.protocols;
+    ad.realm = identity_.realm;
+    ad.geo_location = identity_.geo_location;
+    ad.institution = identity_.institution;
+    return ad;
+}
+
+void BrokerDiscoveryPlugin::advertise() {
+    if (broker_ == nullptr) return;
+    const BrokerAdvertisement ad = advertisement();
+
+    // Path 1: directly to the BDNs in the broker's configuration (§2.3).
+    // Advertisements travel as datagrams — their loss is tolerated (§7).
+    for (const Endpoint& bdn : broker_->config().advertise_bdns) {
+        wire::ByteWriter writer;
+        writer.u8(wire::kMsgBrokerAdvertisement);
+        ad.encode(writer);
+        broker_->transport().send_datagram(broker_->endpoint(), bdn, writer.take());
+        ++stats_.advertisements_sent;
+    }
+
+    // Path 2: on the public topic all BDNs subscribe to (§2.3).
+    if (broker_->config().advertise_on_topic) {
+        wire::ByteWriter payload;
+        ad.encode(payload);
+        broker::Event event;
+        event.topic = std::string(broker::kBrokerAdvertisementTopic);
+        event.payload = payload.take();
+        broker_->publish(std::move(event));
+        ++stats_.advertisements_sent;
+    }
+}
+
+bool BrokerDiscoveryPlugin::on_message(const Endpoint& from, std::uint8_t type,
+                                       wire::ByteReader& reader, bool reliable) {
+    (void)from;
+    (void)reliable;
+    if (broker_ == nullptr) return false;
+    switch (type) {
+        case wire::kMsgDiscoveryRequest: {
+            // Arrival paths: BDN injection (reliable), direct request from
+            // a node that cached us in its target set (§7), or multicast.
+            const DiscoveryRequest request = DiscoveryRequest::decode(reader);
+            process_request(request, /*flooded=*/false);
+            return true;
+        }
+        case wire::kMsgBdnAdvertisement: {
+            // A (private) BDN announced itself; brokers "may have the
+            // option to re-advertise their information at this newly added
+            // BDN" (§2.4).
+            const Endpoint bdn_endpoint{reader.u32(), reader.u16()};
+            wire::ByteWriter writer;
+            writer.u8(wire::kMsgBrokerAdvertisement);
+            advertisement().encode(writer);
+            broker_->transport().send_datagram(broker_->endpoint(), bdn_endpoint, writer.take());
+            ++stats_.advertisements_sent;
+            return true;
+        }
+        default:
+            return false;
+    }
+}
+
+void BrokerDiscoveryPlugin::on_event(const broker::Event& event) {
+    if (broker_ == nullptr) return;
+    if (event.topic != broker::kDiscoveryRequestTopic) return;
+    try {
+        wire::ByteReader reader(event.payload);
+        const DiscoveryRequest request = DiscoveryRequest::decode(reader);
+        process_request(request, /*flooded=*/true);
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("discovery", "{}: bad flooded request: {}", broker_->name(), e.what());
+    }
+}
+
+void BrokerDiscoveryPlugin::process_request(const DiscoveryRequest& request, bool flooded) {
+    ++stats_.requests_seen;
+    if (!seen_requests_.insert(request.request_id)) {
+        // "so that additional CPU/network cycles are not expended on
+        // previously processed requests" (§4).
+        ++stats_.duplicates_suppressed;
+        return;
+    }
+
+    if (!flooded) {
+        // Re-publish on the reserved topic so the request floods the
+        // broker network. The event id *is* the request UUID, so the
+        // overlay's duplicate suppression and ours agree.
+        wire::ByteWriter payload;
+        request.encode(payload);
+        broker::Event event;
+        event.id = request.request_id;
+        event.topic = std::string(broker::kDiscoveryRequestTopic);
+        event.payload = payload.take();
+        event.ttl = broker_->config().propagation_ttl;
+        broker_->publish(std::move(event));
+    }
+
+    if (!policy_admits(request)) {
+        ++stats_.policy_rejections;
+        return;
+    }
+    send_response(request);
+}
+
+bool BrokerDiscoveryPlugin::policy_admits(const DiscoveryRequest& request) const {
+    const config::BrokerConfig& cfg = broker_->config();
+    // "not every broker within the broker network needs to respond" (§5).
+    if (!cfg.respond_to_discovery) return false;
+    // "A broker's response policy may predicate responses based on the
+    // presentation of appropriate credentials" (§5).
+    if (!cfg.required_credential.empty() && request.credential != cfg.required_credential) {
+        return false;
+    }
+    // "responses be issued only if the request originated from within a
+    // set of pre-defined network realms" (§5).
+    if (!cfg.allowed_realms.empty() &&
+        std::find(cfg.allowed_realms.begin(), cfg.allowed_realms.end(), request.realm) ==
+            cfg.allowed_realms.end()) {
+        return false;
+    }
+    return true;
+}
+
+void BrokerDiscoveryPlugin::send_response(const DiscoveryRequest& request) {
+    DiscoveryResponse response;
+    response.request_id = request.request_id;
+    response.sent_utc = broker_->utc().utc_now();
+    response.broker_id = identity_.broker_id;
+    response.broker_name = broker_->name();
+    response.hostname = identity_.hostname;
+    response.endpoint = broker_->endpoint();
+    response.protocols = identity_.protocols;
+    response.metrics = broker_->metrics();
+
+    // "The communication protocol used for transporting this response is
+    // UDP" — deliberately lossy so that distant brokers self-filter (§5.2).
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgDiscoveryResponse);
+    response.encode(writer);
+    broker_->transport().send_datagram(broker_->endpoint(), request.reply_to, writer.take());
+    ++stats_.responses_sent;
+}
+
+}  // namespace narada::discovery

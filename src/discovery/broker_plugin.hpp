@@ -1,0 +1,87 @@
+// Broker-side discovery service.
+//
+// A BrokerPlugin giving a broker everything the paper asks of it:
+//   * advertise with configured BDNs on startup, directly and/or on the
+//     public advertisement topic (§2.1-2.3);
+//   * re-advertise when a (private) BDN announces itself (§2.4);
+//   * answer discovery requests arriving by BDN injection, overlay flood,
+//     multicast, or directly from a requesting node, subject to the
+//     broker's response policy (§5) and the duplicate cache (§4);
+//   * re-publish each fresh request on the reserved discovery topic so it
+//     floods the broker network (§10: "brokers also propagate discovery
+//     requests on a predefined topic");
+//   * respond over UDP to the requester's reply endpoint (§5.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "broker/dedup_cache.hpp"
+#include "discovery/messages.hpp"
+
+namespace narada::discovery {
+
+/// Static identity a broker presents in advertisements and responses.
+struct BrokerIdentity {
+    Uuid broker_id;
+    std::string hostname;
+    std::vector<std::string> protocols{"tcp", "udp"};
+    std::string realm;
+    std::string geo_location;
+    std::string institution;
+};
+
+class BrokerDiscoveryPlugin final : public broker::BrokerPlugin {
+public:
+    struct Stats {
+        std::uint64_t requests_seen = 0;
+        std::uint64_t duplicates_suppressed = 0;
+        std::uint64_t responses_sent = 0;
+        std::uint64_t policy_rejections = 0;
+        std::uint64_t advertisements_sent = 0;
+    };
+
+    explicit BrokerDiscoveryPlugin(BrokerIdentity identity, bool join_multicast = true)
+        : identity_(std::move(identity)), join_multicast_(join_multicast) {}
+    ~BrokerDiscoveryPlugin() override;
+
+    // BrokerPlugin interface.
+    void on_attach(broker::Broker& broker) override;
+    void on_start() override;
+    bool on_message(const Endpoint& from, std::uint8_t type, wire::ByteReader& reader,
+                    bool reliable) override;
+    void on_event(const broker::Event& event) override;
+
+    /// Send this broker's advertisement now (startup does this; tests and
+    /// churn scenarios can re-trigger it).
+    void advertise();
+
+    [[nodiscard]] const BrokerIdentity& identity() const { return identity_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] BrokerAdvertisement advertisement() const;
+
+private:
+    /// Process a fresh or duplicate request from any arrival path.
+    /// `flooded` is true when the request arrived as an overlay event (so
+    /// it must not be re-published).
+    void process_request(const DiscoveryRequest& request, bool flooded);
+
+    /// The broker's response policy (§5): credentials and realm checks.
+    [[nodiscard]] bool policy_admits(const DiscoveryRequest& request) const;
+
+    /// Arm the next periodic re-advertisement.
+    void schedule_readvertise(DurationUs interval);
+
+    void send_response(const DiscoveryRequest& request);
+
+    BrokerIdentity identity_;
+    bool join_multicast_;
+    broker::Broker* broker_ = nullptr;
+    Scheduler* scheduler_ = nullptr;  ///< outlives the broker; used in dtor
+    broker::DedupCache seen_requests_{1000};
+    TimerHandle readvertise_timer_ = kInvalidTimerHandle;
+    Stats stats_;
+};
+
+}  // namespace narada::discovery

@@ -1,0 +1,319 @@
+#include "discovery/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+
+DiscoveryClient::DiscoveryClient(Scheduler& scheduler, transport::Transport& transport,
+                                 const Endpoint& local, const Clock& local_clock,
+                                 const timesvc::UtcSource& utc, config::DiscoveryConfig config,
+                                 std::string hostname, std::string realm)
+    : scheduler_(scheduler),
+      transport_(transport),
+      local_(local),
+      local_clock_(local_clock),
+      utc_(utc),
+      config_(std::move(config)),
+      hostname_(std::move(hostname)),
+      realm_(std::move(realm)),
+      rng_(0x64697363ull ^ (std::uint64_t{local.host} << 16) ^ local.port) {
+    transport_.bind(local_, this);
+}
+
+DiscoveryClient::~DiscoveryClient() {
+    cancel_timers();
+    transport_.unbind(local_);
+}
+
+void DiscoveryClient::discover(Callback callback) {
+    if (phase_ != Phase::kIdle) {
+        throw std::logic_error("DiscoveryClient::discover: a run is already in flight");
+    }
+    callback_ = std::move(callback);
+    report_ = DiscoveryReport{};
+    active_request_ids_.clear();
+    bdn_attempt_ = 0;
+    fallback_done_ = false;
+    pending_pongs_.clear();
+
+    report_.request_id = Uuid::random(rng_);
+    current_request_id_ = report_.request_id;
+    active_request_ids_.insert(report_.request_id);
+
+    phase_ = Phase::kCollecting;
+    run_start_ = local_clock_.now();
+    send_request();
+
+    // The collection window bounds the wait for responses: "the timeout
+    // period ... specifies the amount of time a client is willing to wait
+    // to gather discovery responses" (§9).
+    window_timer_ = scheduler_.schedule(config_.response_window, [this] { end_collection(); });
+}
+
+Bytes DiscoveryClient::encode_request() const {
+    DiscoveryRequest request;
+    request.request_id = current_request_id_;
+    request.requester_hostname = hostname_;
+    request.reply_to = local_;
+    request.protocols = {"tcp", "udp"};
+    request.credential = config_.credential;
+    request.realm = realm_;
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgDiscoveryRequest);
+    request.encode(writer);
+    return writer.take();
+}
+
+void DiscoveryClient::send_request() {
+    const Bytes encoded = encode_request();
+    send_to_bdn(encoded);
+    if (config_.use_multicast) {
+        multicast_request(encoded);
+    }
+    // "retransmission after predefined period of inactivity" (§7).
+    if (retransmit_timer_ != kInvalidTimerHandle) scheduler_.cancel_timer(retransmit_timer_);
+    retransmit_timer_ =
+        scheduler_.schedule(config_.retransmit_interval, [this] { on_retransmit_timer(); });
+}
+
+void DiscoveryClient::send_to_bdn(const Bytes& encoded) {
+    if (config_.bdns.empty()) return;
+    // "The broker discovery request is generally issued to only [one] BDN"
+    // (§3); retransmissions rotate through the configured list (§7).
+    const Endpoint& bdn = config_.bdns[bdn_attempt_ % config_.bdns.size()];
+    transport_.send_datagram(local_, bdn, encoded);
+}
+
+void DiscoveryClient::multicast_request(const Bytes& encoded) {
+    report_.used_multicast = true;
+    transport_.send_multicast(transport::kDiscoveryMulticastGroup, local_, encoded);
+}
+
+void DiscoveryClient::on_datagram(const Endpoint& from, const Bytes& data) {
+    try {
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        switch (type) {
+            case wire::kMsgDiscoveryAck: on_ack(reader); return;
+            case wire::kMsgDiscoveryResponse: on_response(reader); return;
+            case wire::kMsgPong: on_pong(from, reader); return;
+            default:
+                NARADA_DEBUG("discovery", "{}: unexpected message type {}", local_.str(),
+                             static_cast<int>(type));
+        }
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("discovery", "{}: malformed message from {}: {}", local_.str(), from.str(),
+                     e.what());
+    }
+}
+
+void DiscoveryClient::on_ack(wire::ByteReader& reader) {
+    const Uuid id = reader.uuid();
+    if (phase_ != Phase::kCollecting || !active_request_ids_.contains(id)) return;
+    if (report_.time_to_ack < 0) {
+        report_.time_to_ack = local_clock_.now() - run_start_;
+    }
+}
+
+void DiscoveryClient::on_response(wire::ByteReader& reader) {
+    if (phase_ != Phase::kCollecting) return;  // late responses are ignored
+    const DiscoveryResponse response = DiscoveryResponse::decode(reader);
+    if (!active_request_ids_.contains(response.request_id)) return;
+
+    // One candidate per broker: a broker reached over several paths can
+    // answer a fresh fallback UUID again.
+    for (const Candidate& c : report_.candidates) {
+        if (c.response.broker_id == response.broker_id) return;
+    }
+
+    Candidate candidate;
+    candidate.response = response;
+    // "we can have a very good estimate of the network latencies to the
+    // responding brokers by subtracting the current UTC time from the UTC
+    // time contained in the discovery response" (§6).
+    candidate.estimated_delay = utc_.utc_now() - response.sent_utc;
+    report_.candidates.push_back(std::move(candidate));
+
+    if (report_.time_to_first_response < 0) {
+        report_.time_to_first_response = local_clock_.now() - run_start_;
+        // Responses are flowing; retransmission is no longer needed.
+        scheduler_.cancel_timer(retransmit_timer_);
+        retransmit_timer_ = kInvalidTimerHandle;
+    }
+
+    // "a client might ... specify that only the first N responses must be
+    // considered" (§9).
+    if (config_.max_responses > 0 && report_.candidates.size() >= config_.max_responses) {
+        end_collection();
+    }
+}
+
+void DiscoveryClient::on_retransmit_timer() {
+    retransmit_timer_ = kInvalidTimerHandle;
+    if (phase_ != Phase::kCollecting || !report_.candidates.empty()) return;
+    if (report_.retransmits >= config_.max_retransmits) return;  // window will fall back
+    ++report_.retransmits;
+    ++bdn_attempt_;  // failover to the next configured BDN (§7)
+    send_request();
+}
+
+void DiscoveryClient::end_collection() {
+    if (phase_ != Phase::kCollecting) return;
+    scheduler_.cancel_timer(window_timer_);
+    window_timer_ = kInvalidTimerHandle;
+    scheduler_.cancel_timer(retransmit_timer_);
+    retransmit_timer_ = kInvalidTimerHandle;
+
+    if (report_.candidates.empty()) {
+        if (!fallback_done_) {
+            run_fallback();
+            return;
+        }
+        fail();
+        return;
+    }
+
+    collection_end_ = local_clock_.now();
+    report_.collection_duration = collection_end_ - run_start_;
+
+    // Shortlist: sort by weight, keep the first size(T) (§9).
+    report_.target_set =
+        shortlist(report_.candidates, config_.weights, config_.target_set_size);
+    report_.scoring_duration = local_clock_.now() - collection_end_;
+
+    start_pings();
+}
+
+void DiscoveryClient::run_fallback() {
+    fallback_done_ = true;
+    // A fresh UUID: brokers that deduplicated the original request (e.g.
+    // reached through a different BDN earlier) must answer this round.
+    const Uuid fresh = Uuid::random(rng_);
+    current_request_id_ = fresh;
+    active_request_ids_.insert(fresh);
+    const Bytes encoded = encode_request();
+
+    // Path 1: "the requesting node can issue a broker request to one or
+    // more of the nodes in the [cached] target set" (§7).
+    if (!cached_targets_.empty()) {
+        report_.used_cached_targets = true;
+        for (const Endpoint& target : cached_targets_) {
+            transport_.send_datagram(local_, target, encoded);
+        }
+    }
+    // Path 2: "the approach could work even if none of the BDNs within the
+    // system are functioning ... by sending the discovery request using
+    // multicast" (§7).
+    multicast_request(encoded);
+
+    window_timer_ = scheduler_.schedule(config_.response_window, [this] { end_collection(); });
+}
+
+void DiscoveryClient::start_pings() {
+    phase_ = Phase::kPinging;
+    ping_start_ = local_clock_.now();
+    pending_pongs_.assign(report_.candidates.size(), 0);
+
+    // "To compute [the precise network delay] we send ping requests to
+    // individual brokers ... The ping requests and responses will also be
+    // sent using UDP" (§6).
+    for (std::size_t index : report_.target_set) {
+        pending_pongs_[index] = config_.pings_per_broker;
+        for (std::uint32_t i = 0; i < config_.pings_per_broker; ++i) {
+            wire::ByteWriter writer;
+            writer.u8(wire::kMsgPing);
+            writer.i64(local_clock_.now());
+            transport_.send_datagram(local_, report_.candidates[index].response.endpoint,
+                                     writer.take());
+        }
+    }
+    ping_timer_ = scheduler_.schedule(config_.ping_window, [this] { finish(); });
+}
+
+void DiscoveryClient::on_pong(const Endpoint& from, wire::ByteReader& reader) {
+    if (phase_ != Phase::kPinging) return;
+    const TimeUs echoed = reader.i64();
+    const DurationUs rtt = local_clock_.now() - echoed;
+    for (std::size_t index : report_.target_set) {
+        Candidate& candidate = report_.candidates[index];
+        if (candidate.response.endpoint != from) continue;
+        // Keep the minimum across repeated pings (§10: the PING "may be
+        // repeated multiple times").
+        if (candidate.ping_rtt < 0 || rtt < candidate.ping_rtt) candidate.ping_rtt = rtt;
+        if (pending_pongs_[index] > 0) --pending_pongs_[index];
+        break;
+    }
+    maybe_finish_pings();
+}
+
+void DiscoveryClient::maybe_finish_pings() {
+    for (std::size_t index : report_.target_set) {
+        if (pending_pongs_[index] != 0) return;
+    }
+    finish();  // every expected pong arrived; no need to wait the window out
+}
+
+void DiscoveryClient::finish() {
+    if (phase_ != Phase::kPinging) return;
+    scheduler_.cancel_timer(ping_timer_);
+    ping_timer_ = kInvalidTimerHandle;
+    report_.ping_duration = local_clock_.now() - ping_start_;
+
+    // "The requesting node decides on the target node based on the lowest
+    // delay associated with the ping requests" (§6). Targets whose pongs
+    // were all lost are skipped — UDP loss on the ping path is the same
+    // remote-broker filter as on the response path (§5.2).
+    std::optional<std::size_t> best;
+    for (std::size_t index : report_.target_set) {
+        const Candidate& candidate = report_.candidates[index];
+        if (candidate.ping_rtt < 0) continue;
+        if (!best || candidate.ping_rtt < report_.candidates[*best].ping_rtt) best = index;
+    }
+    if (!best && !report_.target_set.empty()) {
+        // No pongs at all: fall back to the best-weighted candidate.
+        best = report_.target_set.front();
+    }
+    report_.selected = best;
+    report_.success = best.has_value();
+
+    // Refresh the cached target set for §7-style recovery next time.
+    if (!report_.target_set.empty()) {
+        cached_targets_.clear();
+        for (std::size_t index : report_.target_set) {
+            cached_targets_.push_back(report_.candidates[index].response.endpoint);
+        }
+    }
+
+    report_.total_duration = local_clock_.now() - run_start_;
+    phase_ = Phase::kIdle;
+    if (callback_) {
+        // Move the callback out first: it may start a new discover() run.
+        Callback cb = std::move(callback_);
+        callback_ = nullptr;
+        cb(report_);
+    }
+}
+
+void DiscoveryClient::fail() {
+    report_.total_duration = local_clock_.now() - run_start_;
+    report_.success = false;
+    phase_ = Phase::kIdle;
+    if (callback_) {
+        Callback cb = std::move(callback_);
+        callback_ = nullptr;
+        cb(report_);
+    }
+}
+
+void DiscoveryClient::cancel_timers() {
+    scheduler_.cancel_timer(retransmit_timer_);
+    scheduler_.cancel_timer(window_timer_);
+    scheduler_.cancel_timer(ping_timer_);
+    retransmit_timer_ = window_timer_ = ping_timer_ = kInvalidTimerHandle;
+}
+
+}  // namespace narada::discovery

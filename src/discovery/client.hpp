@@ -1,0 +1,153 @@
+// The discovery client — the requesting node's side of the protocol.
+//
+// Implements §3 (issuing requests), §6 (processing responses: NTP-based
+// delay estimation, weighted shortlisting into a target set, UDP ping
+// refinement, final selection) and §7 (fault tolerance: retransmission
+// after inactivity, BDN failover, multicast fallback, and recovery through
+// the cached last target set when no BDN is reachable).
+//
+// The run is asynchronous: discover() starts the state machine and the
+// callback receives a DiscoveryReport once a broker is selected or every
+// fallback is exhausted. Phase timings in the report feed the paper's
+// Figure 2/9/11 breakdowns directly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+#include "config/node_config.hpp"
+#include "discovery/messages.hpp"
+#include "discovery/scoring.hpp"
+#include "timesvc/ntp.hpp"
+#include "transport/transport.hpp"
+
+namespace narada::discovery {
+
+/// Everything a discovery run produced, including the phase breakdown the
+/// paper's figures report.
+struct DiscoveryReport {
+    bool success = false;
+    Uuid request_id;
+
+    /// Every response received (deduplicated per broker), annotated.
+    std::vector<Candidate> candidates;
+    /// Indices into `candidates`: the shortlisted target set, best first.
+    std::vector<std::size_t> target_set;
+    /// Index into `candidates` of the selected broker.
+    std::optional<std::size_t> selected;
+
+    // --- phase timings on the requester's local clock -----------------------
+    DurationUs time_to_ack = -1;             ///< request send -> BDN ack
+    DurationUs time_to_first_response = -1;  ///< request send -> first response
+    DurationUs collection_duration = 0;      ///< request send -> collection end
+    DurationUs scoring_duration = 0;         ///< shortlist computation
+    DurationUs ping_duration = 0;            ///< ping fan-out -> selection
+    DurationUs total_duration = 0;
+
+    std::uint32_t retransmits = 0;
+    bool used_multicast = false;
+    bool used_cached_targets = false;
+
+    [[nodiscard]] const Candidate* selected_candidate() const {
+        return selected ? &candidates[*selected] : nullptr;
+    }
+};
+
+class DiscoveryClient final : public transport::MessageHandler {
+public:
+    using Callback = std::function<void(const DiscoveryReport&)>;
+
+    DiscoveryClient(Scheduler& scheduler, transport::Transport& transport,
+                    const Endpoint& local, const Clock& local_clock,
+                    const timesvc::UtcSource& utc, config::DiscoveryConfig config,
+                    std::string hostname, std::string realm);
+    ~DiscoveryClient() override;
+
+    DiscoveryClient(const DiscoveryClient&) = delete;
+    DiscoveryClient& operator=(const DiscoveryClient&) = delete;
+
+    /// Begin a discovery run. Throws std::logic_error if one is in flight.
+    void discover(Callback callback);
+
+    [[nodiscard]] bool busy() const { return phase_ != Phase::kIdle; }
+    [[nodiscard]] const Endpoint& endpoint() const { return local_; }
+    [[nodiscard]] const config::DiscoveryConfig& config() const { return config_; }
+    config::DiscoveryConfig& mutable_config() { return config_; }
+
+    /// "Every node keeps track of its last target set of brokers" (§7).
+    /// Persisting this across restarts enables BDN-less recovery.
+    [[nodiscard]] const std::vector<Endpoint>& cached_target_set() const {
+        return cached_targets_;
+    }
+    void set_cached_target_set(std::vector<Endpoint> targets) {
+        cached_targets_ = std::move(targets);
+    }
+
+    // MessageHandler.
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+private:
+    enum class Phase { kIdle, kCollecting, kPinging };
+
+    void send_request();
+    void send_to_bdn(const Bytes& encoded);
+    void multicast_request(const Bytes& encoded);
+    [[nodiscard]] Bytes encode_request() const;
+
+    void on_ack(wire::ByteReader& reader);
+    void on_response(wire::ByteReader& reader);
+    void on_pong(const Endpoint& from, wire::ByteReader& reader);
+
+    void on_retransmit_timer();
+    void end_collection();
+    /// Last-resort paths when the collection window closed empty (§7).
+    void run_fallback();
+    void start_pings();
+    void maybe_finish_pings();
+    void finish();
+    void fail();
+
+    void cancel_timers();
+
+    Scheduler& scheduler_;
+    transport::Transport& transport_;
+    Endpoint local_;
+    const Clock& local_clock_;
+    const timesvc::UtcSource& utc_;
+    config::DiscoveryConfig config_;
+    std::string hostname_;
+    std::string realm_;
+    Rng rng_;
+
+    Phase phase_ = Phase::kIdle;
+    Callback callback_;
+    DiscoveryReport report_;
+    /// UUIDs valid for the current run (the fallback issues a fresh one so
+    /// brokers that deduplicated the original still answer).
+    std::set<Uuid> active_request_ids_;
+    /// The UUID outgoing requests carry right now (the newest issued).
+    Uuid current_request_id_;
+    std::size_t bdn_attempt_ = 0;
+    bool fallback_done_ = false;
+
+    TimeUs run_start_ = 0;         ///< local clock at request send
+    TimeUs collection_end_ = 0;    ///< local clock at collection end
+    TimeUs ping_start_ = 0;
+
+    /// Pongs still expected per target-set candidate index.
+    std::vector<std::uint32_t> pending_pongs_;
+
+    TimerHandle retransmit_timer_ = kInvalidTimerHandle;
+    TimerHandle window_timer_ = kInvalidTimerHandle;
+    TimerHandle ping_timer_ = kInvalidTimerHandle;
+
+    std::vector<Endpoint> cached_targets_;
+};
+
+}  // namespace narada::discovery

@@ -1,0 +1,106 @@
+#include "discovery/managed_connection.hpp"
+
+#include "common/log.hpp"
+#include "wire/codec.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+
+ManagedConnection::ManagedConnection(Scheduler& scheduler, transport::Transport& transport,
+                                     const Endpoint& heartbeat_endpoint,
+                                     const Clock& local_clock, broker::PubSubClient& pubsub,
+                                     DiscoveryClient& discovery, Options options)
+    : scheduler_(scheduler),
+      transport_(transport),
+      local_(heartbeat_endpoint),
+      local_clock_(local_clock),
+      pubsub_(pubsub),
+      discovery_(discovery),
+      options_(options) {
+    transport_.bind(local_, this);
+}
+
+ManagedConnection::~ManagedConnection() {
+    scheduler_.cancel_timer(heartbeat_timer_);
+    scheduler_.cancel_timer(retry_timer_);
+    transport_.unbind(local_);
+}
+
+void ManagedConnection::start() { run_discovery(); }
+
+void ManagedConnection::run_discovery() {
+    if (discovering_) return;
+    discovering_ = true;
+    discovery_.discover([this](const DiscoveryReport& report) {
+        discovering_ = false;
+        if (!report.success) {
+            ++stats_.failed_discoveries;
+            NARADA_WARN("managed", "{}: discovery failed, retrying", local_.str());
+            retry_timer_ = scheduler_.schedule(options_.heartbeat_interval,
+                                               [this] { run_discovery(); });
+            return;
+        }
+        attach(report.selected_candidate()->response.endpoint);
+    });
+}
+
+void ManagedConnection::attach(const Endpoint& broker) {
+    current_broker_ = broker;
+    missed_ = 0;
+    pong_pending_ = false;
+    // PubSubClient replays its standing subscriptions on welcome, so the
+    // application's filters survive the migration transparently.
+    pubsub_.connect(broker);
+    if (on_attached_) on_attached_(broker);
+    scheduler_.cancel_timer(heartbeat_timer_);
+    heartbeat_timer_ =
+        scheduler_.schedule(options_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void ManagedConnection::heartbeat_tick() {
+    if (!current_broker_) return;
+    if (pong_pending_) {
+        // The previous heartbeat went unanswered.
+        ++missed_;
+        if (missed_ >= options_.max_missed) {
+            declare_dead();
+            return;
+        }
+    }
+    pong_pending_ = true;
+    ++stats_.heartbeats_sent;
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgPing);
+    writer.i64(local_clock_.now());
+    transport_.send_datagram(local_, *current_broker_, writer.take());
+    heartbeat_timer_ =
+        scheduler_.schedule(options_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void ManagedConnection::declare_dead() {
+    const Endpoint dead = *current_broker_;
+    NARADA_INFO("managed", "{}: broker {} unresponsive, rediscovering", local_.str(),
+                dead.str());
+    current_broker_.reset();
+    pong_pending_ = false;
+    missed_ = 0;
+    if (on_broker_lost_) on_broker_lost_(dead);
+    ++stats_.failovers;
+    run_discovery();
+}
+
+void ManagedConnection::on_datagram(const Endpoint& from, const Bytes& data) {
+    try {
+        wire::ByteReader reader(data);
+        if (reader.u8() != wire::kMsgPong) return;
+        if (!current_broker_ || from != *current_broker_) return;
+        ++stats_.heartbeats_answered;
+        pong_pending_ = false;
+        missed_ = 0;
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("managed", "{}: malformed pong from {}: {}", local_.str(), from.str(),
+                     e.what());
+    }
+}
+
+}  // namespace narada::discovery

@@ -1,0 +1,100 @@
+// Managed broker connection: discovery-backed failover.
+//
+// The paper's motivating environment is "very dynamic and fluid ... broker
+// processes may join and leave the broker network at arbitrary times"; "it
+// is thus not possible for any entity to assume that a given broker may be
+// available indefinitely" (§1.2). ManagedConnection closes that loop for
+// an application client: it discovers a broker, attaches the pub/sub
+// client to it, heartbeats it over UDP pings, and on repeated misses runs
+// discovery again (which falls back to multicast and the cached target set
+// per §7) and re-attaches — the client's standing subscriptions replay
+// automatically on the new broker.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "broker/client.hpp"
+#include "common/scheduler.hpp"
+#include "discovery/client.hpp"
+
+namespace narada::discovery {
+
+/// Heartbeat tuning for ManagedConnection.
+struct ManagedConnectionOptions {
+    DurationUs heartbeat_interval = 2 * kSecond;
+    /// Consecutive unanswered heartbeats before declaring the broker dead
+    /// and rediscovering.
+    std::uint32_t max_missed = 3;
+};
+
+class ManagedConnection final : public transport::MessageHandler {
+public:
+    using Options = ManagedConnectionOptions;
+
+    struct Stats {
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t heartbeats_answered = 0;
+        std::uint64_t failovers = 0;
+        std::uint64_t failed_discoveries = 0;
+    };
+
+    /// `heartbeat_endpoint` is a dedicated local endpoint for ping/pong
+    /// (the pub/sub client's endpoint stays protocol-clean). All referenced
+    /// objects must outlive the connection.
+    ManagedConnection(Scheduler& scheduler, transport::Transport& transport,
+                      const Endpoint& heartbeat_endpoint, const Clock& local_clock,
+                      broker::PubSubClient& pubsub, DiscoveryClient& discovery,
+                      Options options = {});
+    ~ManagedConnection() override;
+
+    ManagedConnection(const ManagedConnection&) = delete;
+    ManagedConnection& operator=(const ManagedConnection&) = delete;
+
+    /// Discover and attach. Safe to call once; failures retry internally
+    /// through the discovery client's own fallback ladder.
+    void start();
+
+    /// Invoked whenever the connection attaches to a (new) broker.
+    void on_attached(std::function<void(const Endpoint&)> callback) {
+        on_attached_ = std::move(callback);
+    }
+    /// Invoked when the current broker is declared dead (before rediscovery).
+    void on_broker_lost(std::function<void(const Endpoint&)> callback) {
+        on_broker_lost_ = std::move(callback);
+    }
+
+    [[nodiscard]] bool attached() const { return current_broker_.has_value(); }
+    [[nodiscard]] std::optional<Endpoint> current_broker() const { return current_broker_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    // MessageHandler (heartbeat pongs).
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+private:
+    void run_discovery();
+    void attach(const Endpoint& broker);
+    void heartbeat_tick();
+    void declare_dead();
+
+    Scheduler& scheduler_;
+    transport::Transport& transport_;
+    Endpoint local_;
+    const Clock& local_clock_;
+    broker::PubSubClient& pubsub_;
+    DiscoveryClient& discovery_;
+    Options options_;
+
+    std::optional<Endpoint> current_broker_;
+    std::uint32_t missed_ = 0;
+    bool pong_pending_ = false;
+    bool discovering_ = false;
+    TimerHandle heartbeat_timer_ = kInvalidTimerHandle;
+    TimerHandle retry_timer_ = kInvalidTimerHandle;
+
+    std::function<void(const Endpoint&)> on_attached_;
+    std::function<void(const Endpoint&)> on_broker_lost_;
+    Stats stats_;
+};
+
+}  // namespace narada::discovery

@@ -1,0 +1,112 @@
+#include "discovery/messages.hpp"
+
+namespace narada::discovery {
+namespace {
+
+constexpr std::uint32_t kMaxListLength = 64;
+
+void encode_string_list(wire::ByteWriter& writer, const std::vector<std::string>& list) {
+    writer.u32(static_cast<std::uint32_t>(list.size()));
+    for (const std::string& item : list) writer.str(item);
+}
+
+std::vector<std::string> decode_string_list(wire::ByteReader& reader) {
+    const std::uint32_t count = reader.u32();
+    if (count > kMaxListLength) throw wire::WireError("string list too long");
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(reader.str());
+    return out;
+}
+
+void encode_endpoint(wire::ByteWriter& writer, const Endpoint& ep) {
+    writer.u32(ep.host);
+    writer.u16(ep.port);
+}
+
+Endpoint decode_endpoint(wire::ByteReader& reader) {
+    Endpoint ep;
+    ep.host = reader.u32();
+    ep.port = reader.u16();
+    return ep;
+}
+
+}  // namespace
+
+void BrokerAdvertisement::encode(wire::ByteWriter& writer) const {
+    writer.uuid(broker_id);
+    writer.str(broker_name);
+    writer.str(hostname);
+    encode_endpoint(writer, endpoint);
+    encode_string_list(writer, protocols);
+    writer.str(realm);
+    writer.str(geo_location);
+    writer.str(institution);
+}
+
+BrokerAdvertisement BrokerAdvertisement::decode(wire::ByteReader& reader) {
+    BrokerAdvertisement ad;
+    ad.broker_id = reader.uuid();
+    ad.broker_name = reader.str();
+    ad.hostname = reader.str();
+    ad.endpoint = decode_endpoint(reader);
+    ad.protocols = decode_string_list(reader);
+    ad.realm = reader.str();
+    ad.geo_location = reader.str();
+    ad.institution = reader.str();
+    return ad;
+}
+
+void DiscoveryRequest::encode(wire::ByteWriter& writer) const {
+    writer.uuid(request_id);
+    writer.str(requester_hostname);
+    encode_endpoint(writer, reply_to);
+    encode_string_list(writer, protocols);
+    writer.str(credential);
+    writer.str(realm);
+}
+
+DiscoveryRequest DiscoveryRequest::decode(wire::ByteReader& reader) {
+    DiscoveryRequest req;
+    req.request_id = reader.uuid();
+    req.requester_hostname = reader.str();
+    req.reply_to = decode_endpoint(reader);
+    req.protocols = decode_string_list(reader);
+    req.credential = reader.str();
+    req.realm = reader.str();
+    return req;
+}
+
+void DiscoveryResponse::encode(wire::ByteWriter& writer) const {
+    writer.uuid(request_id);
+    writer.i64(sent_utc);
+    writer.uuid(broker_id);
+    writer.str(broker_name);
+    writer.str(hostname);
+    encode_endpoint(writer, endpoint);
+    encode_string_list(writer, protocols);
+    writer.u32(metrics.connections);
+    writer.u32(metrics.broker_links);
+    writer.f64(metrics.cpu_load);
+    writer.u64(metrics.total_memory);
+    writer.u64(metrics.free_memory);
+}
+
+DiscoveryResponse DiscoveryResponse::decode(wire::ByteReader& reader) {
+    DiscoveryResponse resp;
+    resp.request_id = reader.uuid();
+    resp.sent_utc = reader.i64();
+    resp.broker_id = reader.uuid();
+    resp.broker_name = reader.str();
+    resp.hostname = reader.str();
+    resp.endpoint = decode_endpoint(reader);
+    resp.protocols = decode_string_list(reader);
+    resp.metrics.connections = reader.u32();
+    resp.metrics.broker_links = reader.u32();
+    resp.metrics.cpu_load = reader.f64();
+    resp.metrics.total_memory = reader.u64();
+    resp.metrics.free_memory = reader.u64();
+    return resp;
+}
+
+}  // namespace narada::discovery

@@ -1,0 +1,81 @@
+// Discovery protocol messages (paper §2.2, §3, §5.1).
+//
+// Three messages make up the discovery conversation:
+//   * BrokerAdvertisement — a broker registering itself with BDNs;
+//   * DiscoveryRequest    — a node asking for the nearest available broker;
+//   * DiscoveryResponse   — a broker answering with its NTP timestamp,
+//     process information and usage metrics.
+// Each struct carries its own encode/decode against the wire codec; the
+// message-type octet is written by the sender (see wire/msg_types.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/load_model.hpp"
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::discovery {
+
+/// "the advertisement contains information regarding the hostname,
+/// transport protocols supported and communication ports, NB logical
+/// address and, if provided, geographical and institutional information"
+/// (§2.2).
+struct BrokerAdvertisement {
+    Uuid broker_id;                       ///< NB logical address
+    std::string broker_name;
+    std::string hostname;
+    Endpoint endpoint;                    ///< connect here
+    std::vector<std::string> protocols;   ///< e.g. {"tcp", "udp"}
+    std::string realm;                    ///< network realm of the broker
+    std::string geo_location;             ///< optional
+    std::string institution;              ///< optional
+
+    void encode(wire::ByteWriter& writer) const;
+    static BrokerAdvertisement decode(wire::ByteReader& reader);
+
+    friend bool operator==(const BrokerAdvertisement&, const BrokerAdvertisement&) = default;
+};
+
+/// "The broker discovery request includes information regarding the
+/// requesting node process such as hostname, ports and transport protocols
+/// ... and sometimes also includes credentials" (§3).
+struct DiscoveryRequest {
+    Uuid request_id;  ///< "a UUID which uniquely identifies the request"
+    std::string requester_hostname;
+    Endpoint reply_to;                   ///< UDP endpoint for responses
+    std::vector<std::string> protocols;  ///< transports the requester speaks
+    std::string credential;              ///< optional, for response policies
+    std::string realm;                   ///< requester's network realm
+
+    void encode(wire::ByteWriter& writer) const;
+    static DiscoveryRequest decode(wire::ByteReader& reader);
+
+    friend bool operator==(const DiscoveryRequest&, const DiscoveryRequest&) = default;
+};
+
+/// "(a) The current timestamp ... (b) The broker process information ...
+/// (c) Usage metric information" (§5.1).
+struct DiscoveryResponse {
+    Uuid request_id;   ///< echoes the request UUID
+    TimeUs sent_utc;   ///< NTP-based UTC when the response was issued
+
+    // Broker process information.
+    Uuid broker_id;
+    std::string broker_name;
+    std::string hostname;
+    Endpoint endpoint;
+    std::vector<std::string> protocols;
+
+    // Usage metric information.
+    broker::UsageMetrics metrics;
+
+    void encode(wire::ByteWriter& writer) const;
+    static DiscoveryResponse decode(wire::ByteReader& reader);
+
+    friend bool operator==(const DiscoveryResponse&, const DiscoveryResponse&) = default;
+};
+
+}  // namespace narada::discovery

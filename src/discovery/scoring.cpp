@@ -1,0 +1,40 @@
+#include "discovery/scoring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace narada::discovery {
+
+double score_response(const DiscoveryResponse& response, DurationUs estimated_delay,
+                      const config::MetricWeights& weights) {
+    const broker::UsageMetrics& m = response.metrics;
+    double weight = 0.0;
+    // Higher the better.
+    if (m.total_memory > 0) {
+        weight += (static_cast<double>(m.free_memory) / static_cast<double>(m.total_memory)) *
+                  weights.free_to_total_memory;
+    }
+    weight += (static_cast<double>(m.total_memory) / (1024.0 * 1024.0)) * weights.total_memory_mb;
+    // Lower the better.
+    weight -= static_cast<double>(m.connections) * weights.num_links;
+    weight -= m.cpu_load * weights.cpu_load;
+    weight -= to_ms(estimated_delay) * weights.delay_ms;
+    return weight;
+}
+
+std::vector<std::size_t> shortlist(std::vector<Candidate>& candidates,
+                                   const config::MetricWeights& weights,
+                                   std::size_t target_set_size) {
+    for (Candidate& c : candidates) {
+        c.score = score_response(c.response, c.estimated_delay, weights);
+    }
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&candidates](std::size_t a, std::size_t b) {
+        return candidates[a].score > candidates[b].score;
+    });
+    if (order.size() > target_set_size) order.resize(target_set_size);
+    return order;
+}
+
+}  // namespace narada::discovery

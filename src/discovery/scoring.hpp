@@ -1,0 +1,45 @@
+// Broker scoring and target-set shortlisting.
+//
+// Implements the paper's §9 weighting pseudo-code verbatim:
+//
+//     weight += (freemem / totalmem) * WEIGHTAGE_FREE_TO_TOTAL_MEMORY;
+//     weight += (totalmem / (1024 * 1024)) * WEIGHTAGE_TOTAL_MEMORY;
+//     weight -= numlinks * WEIGHTAGE_NUM_LINKS;
+//
+// extended with the CPU-load and delay terms the paper lists as "OTHER
+// factors [that] may be similarly added". Shortlisting then sorts by
+// weight and takes the first size(T) responses (§9: size(T) <= size(N)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "config/node_config.hpp"
+#include "discovery/messages.hpp"
+
+namespace narada::discovery {
+
+/// A response annotated with the client's local measurements.
+struct Candidate {
+    DiscoveryResponse response;
+    /// One-way delay estimated from NTP timestamps (§6); may include the
+    /// 1-20 ms clock error.
+    DurationUs estimated_delay = 0;
+    /// Composite weight (higher is better).
+    double score = 0.0;
+    /// Measured ping round-trip, if this candidate made the target set and
+    /// answered; -1 otherwise.
+    DurationUs ping_rtt = -1;
+};
+
+/// The §9 weight for a single response.
+double score_response(const DiscoveryResponse& response, DurationUs estimated_delay,
+                      const config::MetricWeights& weights);
+
+/// Score all candidates in place and return indices of the target set:
+/// the `target_set_size` best-scored candidates, best first.
+std::vector<std::size_t> shortlist(std::vector<Candidate>& candidates,
+                                   const config::MetricWeights& weights,
+                                   std::size_t target_set_size);
+
+}  // namespace narada::discovery

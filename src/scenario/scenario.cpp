@@ -1,0 +1,210 @@
+#include "scenario/scenario.hpp"
+
+#include <stdexcept>
+
+namespace narada::scenario {
+namespace {
+
+// Port conventions inside a scenario.
+constexpr std::uint16_t kTimePort = 123;
+constexpr std::uint16_t kBdnPort = 7100;
+constexpr std::uint16_t kClientPort = 7200;
+constexpr std::uint16_t kNtpClientPort = 7301;
+constexpr std::uint16_t kBrokerPort = 7000;
+constexpr std::uint16_t kBrokerNtpPort = 7302;
+
+}  // namespace
+
+std::string to_string(Topology t) {
+    switch (t) {
+        case Topology::kUnconnected: return "unconnected";
+        case Topology::kStar: return "star";
+        case Topology::kLinear: return "linear";
+        case Topology::kFull: return "full";
+        case Topology::kRing: return "ring";
+    }
+    return "?";
+}
+
+Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) { build(); }
+
+Scenario::~Scenario() = default;
+
+HostId Scenario::broker_host(std::size_t i) const { return deployment_->host(3 + i); }
+
+HostId Scenario::client_host() const { return deployment_->host(2); }
+
+void Scenario::build() {
+    network_ = std::make_unique<sim::SimNetwork>(kernel_, options_.seed);
+    network_->set_per_hop_loss(options_.per_hop_loss);
+
+    // Deployment order: time server, BDN, client, then one host per broker.
+    std::vector<sim::Site> placements = {sim::Site::kBloomington, options_.bdn_site,
+                                         options_.client_site};
+    placements.insert(placements.end(), options_.broker_sites.begin(),
+                      options_.broker_sites.end());
+    deployment_ = std::make_unique<sim::WanDeployment>(*network_, placements);
+
+    const HostId time_host = deployment_->host(0);
+    const HostId bdn_host = deployment_->host(1);
+    const HostId client_host_id = deployment_->host(2);
+
+    const Endpoint time_ep{time_host, kTimePort};
+    // The time server reference is true UTC (an NTP stratum-1 source).
+    time_server_ = std::make_unique<timesvc::TimeServer>(*network_, time_ep,
+                                                         network_->true_clock());
+
+    // --- BDN -----------------------------------------------------------------
+    const Endpoint bdn_ep{bdn_host, kBdnPort};
+    bdn_ = std::make_unique<discovery::Bdn>(kernel_, *network_, bdn_ep,
+                                            network_->host_clock(bdn_host), options_.bdn,
+                                            "gridservicelocator.org");
+
+    // --- brokers -------------------------------------------------------------
+    const std::size_t n = options_.broker_sites.size();
+    auto residual = [this]() -> DurationUs {
+        const DurationUs magnitude = network_->rng().uniform_int(options_.ntp_residual_min,
+                                                                 options_.ntp_residual_max);
+        return network_->rng().chance(0.5) ? magnitude : -magnitude;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const HostId host = deployment_->host(3 + i);
+        const Endpoint broker_ep{host, kBrokerPort};
+
+        // Each broker runs its own NTP service against the time server (§5).
+        timesvc::NtpOptions ntp_options;
+        ntp_options.injected_residual = residual();
+        auto ntp = std::make_unique<timesvc::NtpService>(
+            kernel_, *network_, Endpoint{host, kBrokerNtpPort}, network_->host_clock(host),
+            time_ep, ntp_options);
+        ntp->start();
+
+        config::BrokerConfig broker_cfg = options_.broker;
+        if (i < options_.register_with_bdn) {
+            broker_cfg.advertise_bdns = {bdn_ep};
+        } else {
+            broker_cfg.advertise_bdns.clear();
+        }
+
+        const sim::SiteInfo& info = sim::site_info(options_.broker_sites[i]);
+        auto node = std::make_unique<broker::Broker>(
+            kernel_, *network_, broker_ep, network_->host_clock(host), *ntp, broker_cfg,
+            info.machine + "/broker" + std::to_string(i));
+
+        discovery::BrokerIdentity identity;
+        identity.hostname = info.machine;
+        identity.realm = info.realm;
+        identity.geo_location = info.location;
+        identity.institution = info.site;
+        auto plugin = std::make_unique<discovery::BrokerDiscoveryPlugin>(identity);
+        node->add_plugin(plugin.get());
+
+        broker_ntp_.push_back(std::move(ntp));
+        plugins_.push_back(std::move(plugin));
+        brokers_.push_back(std::move(node));
+    }
+
+    wire_topology();
+
+    // --- requesting node -------------------------------------------------------
+    timesvc::NtpOptions client_ntp_options;
+    client_ntp_options.injected_residual = residual();
+    client_ntp_ = std::make_unique<timesvc::NtpService>(
+        kernel_, *network_, Endpoint{client_host_id, kNtpClientPort},
+        network_->host_clock(client_host_id), time_ep, client_ntp_options);
+    client_ntp_->start();
+
+    config::DiscoveryConfig discovery_cfg = options_.discovery;
+    if (discovery_cfg.bdns.empty() && !discovery_cfg.use_multicast) {
+        discovery_cfg.bdns = {bdn_ep};
+    }
+    const sim::SiteInfo& client_info = sim::site_info(options_.client_site);
+    client_ = std::make_unique<discovery::DiscoveryClient>(
+        kernel_, *network_, Endpoint{client_host_id, kClientPort},
+        network_->host_clock(client_host_id), *client_ntp_, discovery_cfg,
+        "client." + client_info.machine, client_info.realm);
+
+    // Brokers advertise on start; the BDN starts pinging registrants.
+    bdn_->start();
+    for (auto& b : brokers_) b->start();
+}
+
+void Scenario::wire_topology() {
+    const std::size_t n = brokers_.size();
+    if (n < 2) return;
+    switch (options_.topology) {
+        case Topology::kUnconnected:
+            break;
+        case Topology::kStar:
+            // Figure 8: broker 0 is the hub.
+            for (std::size_t i = 1; i < n; ++i) {
+                brokers_[i]->connect_to_peer(brokers_[0]->endpoint());
+            }
+            break;
+        case Topology::kLinear:
+            // Figure 10: a chain; only the head registers with the BDN
+            // (callers set register_with_bdn = 1).
+            for (std::size_t i = 0; i + 1 < n; ++i) {
+                brokers_[i]->connect_to_peer(brokers_[i + 1]->endpoint());
+            }
+            break;
+        case Topology::kFull:
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::size_t j = i + 1; j < n; ++j) {
+                    brokers_[i]->connect_to_peer(brokers_[j]->endpoint());
+                }
+            }
+            break;
+        case Topology::kRing:
+            for (std::size_t i = 0; i < n; ++i) {
+                brokers_[i]->connect_to_peer(brokers_[(i + 1) % n]->endpoint());
+            }
+            break;
+    }
+}
+
+void Scenario::warm_up() {
+    if (warmed_up_) return;
+    warmed_up_ = true;
+    kernel_.run_until(kernel_.now() + options_.warmup);
+}
+
+discovery::DiscoveryReport Scenario::run_discovery() {
+    warm_up();
+    std::optional<discovery::DiscoveryReport> result;
+    client_->discover([&result](const discovery::DiscoveryReport& report) { result = report; });
+
+    // The BDN's periodic distance refresh keeps the event queue non-empty,
+    // so step until the callback fires, with a generous time guard.
+    const TimeUs deadline = kernel_.now() + 10 * 60 * kSecond;
+    while (!result) {
+        if (!kernel_.step()) {
+            throw std::runtime_error("scenario: event queue drained before discovery finished");
+        }
+        if (kernel_.now() > deadline) {
+            throw std::runtime_error("scenario: discovery did not finish within 10 minutes");
+        }
+    }
+    return *result;
+}
+
+void Scenario::set_broker_load(std::size_t i, std::shared_ptr<const broker::LoadModel> model) {
+    brokers_.at(i)->set_load_model(std::move(model));
+}
+
+PhaseBreakdown phase_breakdown(const discovery::DiscoveryReport& report) {
+    PhaseBreakdown out;
+    const double total = static_cast<double>(report.total_duration);
+    if (total <= 0) return out;
+    const double ack = static_cast<double>(report.time_to_ack < 0 ? 0 : report.time_to_ack);
+    const double collect = static_cast<double>(report.collection_duration);
+    const double wait = collect > ack ? collect - ack : 0.0;
+    out.request_and_ack_pct = 100.0 * ack / total;
+    out.wait_responses_pct = 100.0 * wait / total;
+    out.shortlist_pct = 100.0 * static_cast<double>(report.scoring_duration) / total;
+    out.ping_select_pct = 100.0 * static_cast<double>(report.ping_duration) / total;
+    return out;
+}
+
+}  // namespace scenario

@@ -1,0 +1,139 @@
+// Experiment scenarios — the paper's testbed in a box.
+//
+// A Scenario assembles, on the simulated WAN: a time server, N brokers
+// (each with the discovery plugin and an NTP service), one BDN, and one
+// requesting node, wired into one of the paper's three broker-network
+// topologies (Figures 1, 8, 10) or the extra shapes used by the ablation
+// benches. Tests, benches and examples all build on this so every
+// experiment constructs the system the same way.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "config/node_config.hpp"
+#include "discovery/bdn.hpp"
+#include "discovery/broker_plugin.hpp"
+#include "discovery/client.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "sim/site_catalog.hpp"
+#include "timesvc/ntp.hpp"
+
+namespace narada::scenario {
+
+/// Broker-network shapes. Unconnected, star and linear are the paper's
+/// Figures 1, 8 and 10; full and ring serve the scaling ablation.
+enum class Topology { kUnconnected, kStar, kLinear, kFull, kRing };
+
+std::string to_string(Topology t);
+
+struct ScenarioOptions {
+    Topology topology = Topology::kStar;
+
+    /// One broker per entry. Default: the paper's five distributed brokers.
+    std::vector<sim::Site> broker_sites = {
+        sim::Site::kIndianapolis, sim::Site::kNcsa, sim::Site::kUmn,
+        sim::Site::kFsu, sim::Site::kCardiff,
+    };
+    /// Where the requesting node runs (the paper varies this, Figs 3-7).
+    sim::Site client_site = sim::Site::kBloomington;
+    sim::Site bdn_site = sim::Site::kBloomington;
+
+    std::uint64_t seed = 1;
+    /// Per-router-hop datagram loss (0.0005 => ~1 % loss over 20 hops).
+    double per_hop_loss = 0.0005;
+
+    /// How many brokers register with the BDN (from the front of
+    /// broker_sites). The linear topology registers exactly one (§9).
+    std::size_t register_with_bdn = SIZE_MAX;
+
+    /// Client discovery parameters. The scenario fills in the BDN list and,
+    /// if max_responses == 0 is not overridden here, leaves the window as
+    /// the cutoff.
+    config::DiscoveryConfig discovery = [] {
+        config::DiscoveryConfig c;
+        c.max_responses = 5;  // the paper's first-N cutoff with 5 brokers
+        return c;
+    }();
+    config::BrokerConfig broker;
+    config::BdnConfig bdn;
+
+    /// NTP residual error band (paper: nodes within 1-20 ms of each other).
+    DurationUs ntp_residual_min = from_ms(1.0);
+    DurationUs ntp_residual_max = from_ms(20.0);
+
+    /// Virtual time to run before discovery so NTP converges, brokers
+    /// advertise and the BDN measures distances.
+    DurationUs warmup = 8 * kSecond;
+};
+
+class Scenario {
+public:
+    explicit Scenario(ScenarioOptions options);
+    ~Scenario();
+
+    Scenario(const Scenario&) = delete;
+    Scenario& operator=(const Scenario&) = delete;
+
+    /// Run the kernel through the warm-up period (idempotent).
+    void warm_up();
+
+    /// Execute one complete discovery run on virtual time and return its
+    /// report. Calls warm_up() if it has not happened yet.
+    discovery::DiscoveryReport run_discovery();
+
+    // --- access to the assembled system ------------------------------------
+    [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+    [[nodiscard]] sim::SimNetwork& network() { return *network_; }
+    [[nodiscard]] discovery::Bdn& bdn() { return *bdn_; }
+    [[nodiscard]] discovery::DiscoveryClient& client() { return *client_; }
+    [[nodiscard]] broker::Broker& broker_at(std::size_t i) { return *brokers_.at(i); }
+    [[nodiscard]] discovery::BrokerDiscoveryPlugin& plugin_at(std::size_t i) {
+        return *plugins_.at(i);
+    }
+    [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+    [[nodiscard]] HostId broker_host(std::size_t i) const;
+    [[nodiscard]] HostId client_host() const;
+    [[nodiscard]] const ScenarioOptions& options() const { return options_; }
+
+    /// Replace a broker's load model (load-balancing experiments).
+    void set_broker_load(std::size_t i, std::shared_ptr<const broker::LoadModel> model);
+
+private:
+    void build();
+    void wire_topology();
+
+    ScenarioOptions options_;
+    sim::Kernel kernel_;
+    std::unique_ptr<sim::SimNetwork> network_;
+    std::unique_ptr<sim::WanDeployment> deployment_;
+
+    // Node order inside the deployment: [0]=time server, [1]=bdn,
+    // [2]=client, [3..]=brokers.
+    std::unique_ptr<timesvc::TimeServer> time_server_;
+    std::unique_ptr<discovery::Bdn> bdn_;
+    std::unique_ptr<discovery::DiscoveryClient> client_;
+    std::unique_ptr<timesvc::NtpService> client_ntp_;
+    std::vector<std::unique_ptr<broker::Broker>> brokers_;
+    std::vector<std::unique_ptr<discovery::BrokerDiscoveryPlugin>> plugins_;
+    std::vector<std::unique_ptr<timesvc::NtpService>> broker_ntp_;
+
+    bool warmed_up_ = false;
+};
+
+/// Phase-breakdown percentages for the Figure 2/9/11 charts.
+struct PhaseBreakdown {
+    double request_and_ack_pct = 0;   ///< request transmission + BDN ack
+    double wait_responses_pct = 0;    ///< waiting for the initial responses
+    double shortlist_pct = 0;         ///< response processing & shortlisting
+    double ping_select_pct = 0;       ///< ping measurement & selection
+};
+
+/// Decompose one report into the paper's sub-activities.
+PhaseBreakdown phase_breakdown(const discovery::DiscoveryReport& report);
+
+}  // namespace narada::scenario

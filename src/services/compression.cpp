@@ -1,0 +1,178 @@
+#include "services/compression.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace narada::services {
+namespace {
+
+constexpr std::uint8_t kMagic = 0xC7;
+constexpr std::uint8_t kModeRaw = 0;
+constexpr std::uint8_t kModeLzss = 1;
+
+constexpr std::size_t kWindowSize = 4096;   // offset fits in 12 bits
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;       // length - kMinMatch fits in 4 bits
+constexpr std::uint32_t kMaxOriginalSize = 0xFFFFFFFFu;
+
+void put_header(Bytes& out, std::uint8_t mode, std::uint32_t original_size) {
+    out.push_back(kMagic);
+    out.push_back(mode);
+    out.push_back(static_cast<std::uint8_t>(original_size >> 24));
+    out.push_back(static_cast<std::uint8_t>(original_size >> 16));
+    out.push_back(static_cast<std::uint8_t>(original_size >> 8));
+    out.push_back(static_cast<std::uint8_t>(original_size));
+}
+
+/// Hash of a 3-byte prefix for the match-finder chains.
+std::uint32_t hash3(const std::uint8_t* p) {
+    return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
+            static_cast<std::uint32_t>(p[1]) * 40503u ^ p[2]) &
+           (kWindowSize - 1);
+}
+
+Bytes lzss_encode(const Bytes& data) {
+    Bytes out;
+    out.reserve(data.size() / 2 + 16);
+
+    // Hash-head + prev chains over positions (bounded by the window).
+    std::array<std::int32_t, kWindowSize> head;
+    head.fill(-1);
+    std::vector<std::int32_t> prev(data.size(), -1);
+
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t flag_index = out.size();
+        out.push_back(0);  // flag byte: bit set => literal
+        std::uint8_t flags = 0;
+        for (int bit = 0; bit < 8 && pos < data.size(); ++bit) {
+            std::size_t best_len = 0;
+            std::size_t best_offset = 0;
+            if (pos + kMinMatch <= data.size()) {
+                const std::uint32_t h = hash3(&data[pos]);
+                std::int32_t candidate = head[h];
+                int probes = 32;  // bounded effort per position
+                while (candidate >= 0 && probes-- > 0 &&
+                       pos - static_cast<std::size_t>(candidate) <= kWindowSize) {
+                    const std::size_t start = static_cast<std::size_t>(candidate);
+                    std::size_t len = 0;
+                    const std::size_t limit = std::min(kMaxMatch, data.size() - pos);
+                    while (len < limit && data[start + len] == data[pos + len]) ++len;
+                    if (len > best_len) {
+                        best_len = len;
+                        best_offset = pos - start;
+                        if (len == kMaxMatch) break;
+                    }
+                    candidate = prev[start];
+                }
+            }
+
+            // Insert the current position into the chains.
+            if (pos + kMinMatch <= data.size()) {
+                const std::uint32_t h = hash3(&data[pos]);
+                prev[pos] = head[h];
+                head[h] = static_cast<std::int32_t>(pos);
+            }
+
+            if (best_len >= kMinMatch) {
+                // Match token: 12-bit offset-1, 4-bit length-kMinMatch.
+                const std::uint16_t token = static_cast<std::uint16_t>(
+                    ((best_offset - 1) << 4) | (best_len - kMinMatch));
+                out.push_back(static_cast<std::uint8_t>(token >> 8));
+                out.push_back(static_cast<std::uint8_t>(token));
+                // Also chain the skipped positions for future matches.
+                for (std::size_t k = 1; k < best_len && pos + k + kMinMatch <= data.size();
+                     ++k) {
+                    const std::uint32_t h = hash3(&data[pos + k]);
+                    prev[pos + k] = head[h];
+                    head[h] = static_cast<std::int32_t>(pos + k);
+                }
+                pos += best_len;
+            } else {
+                flags = static_cast<std::uint8_t>(flags | (1u << bit));
+                out.push_back(data[pos]);
+                ++pos;
+            }
+        }
+        out[flag_index] = flags;
+    }
+    return out;
+}
+
+std::optional<Bytes> lzss_decode(const std::uint8_t* in, std::size_t len,
+                                 std::uint32_t original_size) {
+    Bytes out;
+    out.reserve(original_size);
+    std::size_t pos = 0;
+    while (pos < len && out.size() < original_size) {
+        const std::uint8_t flags = in[pos++];
+        for (int bit = 0; bit < 8 && out.size() < original_size; ++bit) {
+            if (flags & (1u << bit)) {
+                if (pos >= len) return std::nullopt;
+                out.push_back(in[pos++]);
+            } else {
+                if (pos + 1 >= len) return std::nullopt;
+                const std::uint16_t token =
+                    static_cast<std::uint16_t>((in[pos] << 8) | in[pos + 1]);
+                pos += 2;
+                const std::size_t offset = static_cast<std::size_t>(token >> 4) + 1;
+                const std::size_t match_len = (token & 0xF) + kMinMatch;
+                if (offset > out.size()) return std::nullopt;
+                const std::size_t start = out.size() - offset;
+                for (std::size_t k = 0; k < match_len; ++k) {
+                    out.push_back(out[start + k]);  // may overlap; byte-wise is correct
+                }
+            }
+        }
+    }
+    if (out.size() != original_size) return std::nullopt;
+    return out;
+}
+
+}  // namespace
+
+Bytes compress(const Bytes& data) {
+    if (data.size() > kMaxOriginalSize) {
+        // Out of header range: store raw with a truncated... never — the
+        // codec refuses silently-lossy behaviour. 4 GiB payloads are far
+        // beyond event sizes; treat as programmer error.
+        throw std::length_error("compress: payload exceeds 4 GiB");
+    }
+    Bytes out;
+    const Bytes encoded = lzss_encode(data);
+    if (encoded.size() < data.size()) {
+        out.reserve(kCompressionHeaderSize + encoded.size());
+        put_header(out, kModeLzss, static_cast<std::uint32_t>(data.size()));
+        out.insert(out.end(), encoded.begin(), encoded.end());
+    } else {
+        out.reserve(kCompressionHeaderSize + data.size());
+        put_header(out, kModeRaw, static_cast<std::uint32_t>(data.size()));
+        out.insert(out.end(), data.begin(), data.end());
+    }
+    return out;
+}
+
+std::optional<Bytes> decompress(const Bytes& data) {
+    if (data.size() < kCompressionHeaderSize || data[0] != kMagic) return std::nullopt;
+    const std::uint8_t mode = data[1];
+    const std::uint32_t original_size = (std::uint32_t{data[2]} << 24) |
+                                        (std::uint32_t{data[3]} << 16) |
+                                        (std::uint32_t{data[4]} << 8) | data[5];
+    const std::uint8_t* body = data.data() + kCompressionHeaderSize;
+    const std::size_t body_len = data.size() - kCompressionHeaderSize;
+    if (mode == kModeRaw) {
+        if (body_len != original_size) return std::nullopt;
+        return Bytes(body, body + body_len);
+    }
+    if (mode == kModeLzss) {
+        return lzss_decode(body, body_len, original_size);
+    }
+    return std::nullopt;
+}
+
+bool looks_compressed(const Bytes& data) { return !data.empty() && data[0] == kMagic; }
+
+}  // namespace narada::services

@@ -1,0 +1,30 @@
+// Payload (de)compression service.
+//
+// NaradaBrokering "includes services such as ... (de)compression of large
+// payloads" (paper §1). This is a from-scratch LZSS codec: a 4 KiB
+// sliding window, 3..18-byte matches, flag-byte framing, plus a small
+// header carrying a magic, the original length and an incompressible-
+// passthrough marker so compress() never expands data by more than the
+// header.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace narada::services {
+
+/// Compress `data`. Always succeeds; incompressible input is stored raw
+/// behind the header (overhead: kHeaderSize bytes).
+Bytes compress(const Bytes& data);
+
+/// Decompress a compress() result. nullopt on malformed/corrupt input.
+std::optional<Bytes> decompress(const Bytes& data);
+
+/// Header size in bytes (magic + mode + original length).
+inline constexpr std::size_t kCompressionHeaderSize = 1 + 1 + 4;
+
+/// True if `data` starts with the compression magic octet.
+bool looks_compressed(const Bytes& data);
+
+}  // namespace narada::services

@@ -1,0 +1,152 @@
+#include "services/event_archive.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::services {
+
+void EventArchivePlugin::on_attach(broker::Broker& broker) {
+    broker_ = &broker;
+    // Under subscription routing the archive must declare its appetite or
+    // the events it wants to record never reach this broker.
+    broker.add_plugin_interest(options_.filter);
+}
+
+void EventArchivePlugin::on_event(const broker::Event& event) {
+    if (!broker::topic_matches(options_.filter, event.topic)) return;
+
+    auto it = topics_.find(event.topic);
+    if (it == topics_.end()) {
+        while (topics_.size() >= options_.max_topics && !lru_.empty()) {
+            topics_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.topics_evicted;
+        }
+        TopicRing ring;
+        lru_.push_front(event.topic);
+        ring.lru_position = lru_.begin();
+        it = topics_.emplace(event.topic, std::move(ring)).first;
+    } else {
+        lru_.erase(it->second.lru_position);
+        lru_.push_front(event.topic);
+        it->second.lru_position = lru_.begin();
+    }
+
+    TopicRing& ring = it->second;
+    ring.events.push_back({next_seq_++, event});
+    while (ring.events.size() > options_.capacity_per_topic) ring.events.pop_front();
+    ++stats_.events_archived;
+}
+
+bool EventArchivePlugin::on_message(const Endpoint& from, std::uint8_t type,
+                                    wire::ByteReader& reader, bool reliable) {
+    (void)reliable;
+    if (type != wire::kMsgReplayRequest) return false;
+    handle_replay_request(from, reader);
+    return true;
+}
+
+void EventArchivePlugin::handle_replay_request(const Endpoint& from,
+                                               wire::ByteReader& reader) {
+    const Uuid request_id = reader.uuid();
+    const std::string filter = reader.str();
+    std::uint32_t max_events = reader.u32();
+    max_events = std::min(max_events, options_.max_replay_events);
+
+    // Collect matching archived events across topics, newest `max_events`,
+    // returned oldest-first (global arrival order).
+    std::vector<const ArchivedEvent*> matched;
+    if (broker::is_valid_filter(filter)) {
+        for (const auto& [topic, ring] : topics_) {
+            if (!broker::topic_matches(filter, topic)) continue;
+            for (const ArchivedEvent& archived : ring.events) {
+                matched.push_back(&archived);
+            }
+        }
+    }
+    std::sort(matched.begin(), matched.end(),
+              [](const ArchivedEvent* a, const ArchivedEvent* b) { return a->seq < b->seq; });
+    if (matched.size() > max_events) {
+        matched.erase(matched.begin(),
+                      matched.end() - static_cast<std::ptrdiff_t>(max_events));
+    }
+
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgReplayBatch);
+    writer.uuid(request_id);
+    writer.u32(static_cast<std::uint32_t>(matched.size()));
+    for (const ArchivedEvent* archived : matched) {
+        archived->event.encode(writer);
+    }
+    // Reliable: a replay batch can be large and must arrive whole.
+    broker_->transport().send_reliable(broker_->endpoint(), from, writer.take());
+    ++stats_.replays_served;
+    stats_.events_replayed += matched.size();
+}
+
+ReplayRequester::ReplayRequester(Scheduler& scheduler, transport::Transport& transport,
+                                 const Endpoint& local)
+    : scheduler_(scheduler),
+      transport_(transport),
+      local_(local),
+      rng_(0x72657071ull ^ (std::uint64_t{local.host} << 16) ^ local.port) {
+    transport_.bind(local_, this);
+}
+
+ReplayRequester::~ReplayRequester() {
+    for (auto& [id, pending] : pending_) {
+        scheduler_.cancel_timer(pending.timeout_timer);
+    }
+    transport_.unbind(local_);
+}
+
+void ReplayRequester::request(const Endpoint& archive_broker, const std::string& filter,
+                              std::uint32_t max_events, Callback callback,
+                              DurationUs timeout) {
+    const Uuid request_id = Uuid::random(rng_);
+    wire::ByteWriter writer;
+    writer.u8(wire::kMsgReplayRequest);
+    writer.uuid(request_id);
+    writer.str(filter);
+    writer.u32(max_events);
+    transport_.send_reliable(local_, archive_broker, writer.take());
+
+    PendingRequest pending;
+    pending.callback = std::move(callback);
+    pending.timeout_timer = scheduler_.schedule(timeout, [this, request_id] {
+        const auto it = pending_.find(request_id);
+        if (it == pending_.end()) return;
+        Callback cb = std::move(it->second.callback);
+        pending_.erase(it);
+        cb({});  // timed out: report empty history
+    });
+    pending_.emplace(request_id, std::move(pending));
+}
+
+void ReplayRequester::on_datagram(const Endpoint& from, const Bytes& data) {
+    (void)from;
+    try {
+        wire::ByteReader reader(data);
+        if (reader.u8() != wire::kMsgReplayBatch) return;
+        const Uuid request_id = reader.uuid();
+        const auto it = pending_.find(request_id);
+        if (it == pending_.end()) return;  // late or duplicate batch
+        const std::uint32_t count = reader.u32();
+        if (count > 100000) throw wire::WireError("unreasonable replay count");
+        std::vector<broker::Event> events;
+        events.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            events.push_back(broker::Event::decode(reader));
+        }
+        scheduler_.cancel_timer(it->second.timeout_timer);
+        Callback cb = std::move(it->second.callback);
+        pending_.erase(it);
+        cb(std::move(events));
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("archive", "{}: malformed replay batch: {}", local_.str(), e.what());
+    }
+}
+
+}  // namespace narada::services

@@ -1,0 +1,112 @@
+// Event archive — broker-hosted replay of recent history.
+//
+// NaradaBrokering lists "replays" among its substrate services (paper §1,
+// ref [5]): consumers that join late or suffered an outage longer than
+// publishers' replay buffers can fetch recent history from an archive
+// hosted on a broker. EventArchivePlugin records events flowing through
+// its broker into bounded per-topic rings; ReplayRequester fetches the
+// archived tail for a topic filter.
+//
+// Wire: kMsgReplayRequest {request_id, filter, max_events, reply endpoint}
+//       kMsgReplayBatch   {request_id, count, events...} (reliable)
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "broker/broker.hpp"
+#include "broker/topic.hpp"
+
+namespace narada::services {
+
+/// Options for the archive plugin.
+struct EventArchiveOptions {
+    /// Topic filter selecting what gets archived ('#' = everything).
+    std::string filter = "#";
+    /// Events retained per topic (ring buffer).
+    std::size_t capacity_per_topic = 256;
+    /// Distinct topics tracked; least-recently-active evicted beyond this.
+    std::size_t max_topics = 1024;
+    /// Upper bound a single replay request may ask for.
+    std::uint32_t max_replay_events = 512;
+};
+
+class EventArchivePlugin final : public broker::BrokerPlugin {
+public:
+    struct Stats {
+        std::uint64_t events_archived = 0;
+        std::uint64_t topics_evicted = 0;
+        std::uint64_t replays_served = 0;
+        std::uint64_t events_replayed = 0;
+    };
+
+    explicit EventArchivePlugin(EventArchiveOptions options = {})
+        : options_(std::move(options)) {}
+
+    void on_attach(broker::Broker& broker) override;
+    bool on_message(const Endpoint& from, std::uint8_t type, wire::ByteReader& reader,
+                    bool reliable) override;
+    void on_event(const broker::Event& event) override;
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t archived_topics() const { return topics_.size(); }
+
+private:
+    struct ArchivedEvent {
+        std::uint64_t seq;  ///< arrival order across all topics
+        broker::Event event;
+    };
+    struct TopicRing {
+        std::deque<ArchivedEvent> events;
+        std::list<std::string>::iterator lru_position;
+    };
+
+    void handle_replay_request(const Endpoint& from, wire::ByteReader& reader);
+
+    EventArchiveOptions options_;
+    broker::Broker* broker_ = nullptr;
+    std::unordered_map<std::string, TopicRing> topics_;
+    std::list<std::string> lru_;  // front = most recently active
+    std::uint64_t next_seq_ = 0;
+    Stats stats_;
+};
+
+/// Client-side: request an archived tail from a broker hosting the plugin.
+class ReplayRequester final : public transport::MessageHandler {
+public:
+    using Callback = std::function<void(std::vector<broker::Event>)>;
+
+    ReplayRequester(Scheduler& scheduler, transport::Transport& transport,
+                    const Endpoint& local);
+    ~ReplayRequester() override;
+
+    ReplayRequester(const ReplayRequester&) = delete;
+    ReplayRequester& operator=(const ReplayRequester&) = delete;
+
+    /// Ask `archive_broker` for up to `max_events` archived events matching
+    /// `filter`. The callback receives them oldest-first; an empty vector
+    /// means nothing archived (or the request/response was lost — arm
+    /// `timeout` for that case).
+    void request(const Endpoint& archive_broker, const std::string& filter,
+                 std::uint32_t max_events, Callback callback,
+                 DurationUs timeout = 2 * kSecond);
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+private:
+    Scheduler& scheduler_;
+    transport::Transport& transport_;
+    Endpoint local_;
+    Rng rng_;
+
+    struct PendingRequest {
+        Callback callback;
+        TimerHandle timeout_timer = kInvalidTimerHandle;
+    };
+    std::unordered_map<Uuid, PendingRequest> pending_;
+};
+
+}  // namespace narada::services

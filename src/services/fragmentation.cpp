@@ -1,0 +1,132 @@
+#include "services/fragmentation.hpp"
+
+#include <stdexcept>
+
+namespace narada::services {
+
+void Fragment::encode(wire::ByteWriter& writer) const {
+    writer.uuid(payload_id);
+    writer.u32(index);
+    writer.u32(count);
+    writer.u64(total_size);
+    writer.blob(chunk);
+}
+
+Fragment Fragment::decode(wire::ByteReader& reader) {
+    Fragment f;
+    f.payload_id = reader.uuid();
+    f.index = reader.u32();
+    f.count = reader.u32();
+    f.total_size = reader.u64();
+    f.chunk = reader.blob();
+    return f;
+}
+
+std::vector<Fragment> fragment_payload(const Bytes& payload, std::size_t chunk_size,
+                                       Uuid payload_id) {
+    if (chunk_size == 0) throw std::invalid_argument("fragment_payload: zero chunk size");
+    const std::size_t count =
+        payload.empty() ? 1 : (payload.size() + chunk_size - 1) / chunk_size;
+    std::vector<Fragment> fragments;
+    fragments.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Fragment f;
+        f.payload_id = payload_id;
+        f.index = static_cast<std::uint32_t>(i);
+        f.count = static_cast<std::uint32_t>(count);
+        f.total_size = payload.size();
+        const std::size_t begin = i * chunk_size;
+        const std::size_t end = std::min(begin + chunk_size, payload.size());
+        if (begin < payload.size()) {
+            f.chunk.assign(payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                           payload.begin() + static_cast<std::ptrdiff_t>(end));
+        }
+        fragments.push_back(std::move(f));
+    }
+    return fragments;
+}
+
+void Coalescer::touch(Pending& entry, const Uuid& id) {
+    lru_.erase(entry.lru_position);
+    lru_.push_front(id);
+    entry.lru_position = lru_.begin();
+}
+
+void Coalescer::evict_oldest() {
+    if (lru_.empty()) return;
+    const Uuid victim = lru_.back();
+    lru_.pop_back();
+    pending_.erase(victim);
+    ++stats_.payloads_evicted;
+}
+
+std::optional<Bytes> Coalescer::accept(const Fragment& fragment) {
+    // Structural sanity before touching state.
+    if (fragment.count == 0 || fragment.index >= fragment.count ||
+        fragment.total_size > max_payload_size_ ||
+        fragment.chunk.size() > fragment.total_size) {
+        ++stats_.mismatches_rejected;
+        return std::nullopt;
+    }
+
+    // Single-fragment payloads short-circuit.
+    if (fragment.count == 1) {
+        if (fragment.chunk.size() != fragment.total_size) {
+            ++stats_.mismatches_rejected;
+            return std::nullopt;
+        }
+        ++stats_.fragments_accepted;
+        ++stats_.payloads_completed;
+        return fragment.chunk;
+    }
+
+    auto it = pending_.find(fragment.payload_id);
+    if (it == pending_.end()) {
+        if (pending_.size() >= max_pending_) evict_oldest();
+        Pending entry;
+        entry.count = fragment.count;
+        entry.total_size = fragment.total_size;
+        entry.have.assign(fragment.count, false);
+        entry.chunks.resize(fragment.count);
+        lru_.push_front(fragment.payload_id);
+        entry.lru_position = lru_.begin();
+        it = pending_.emplace(fragment.payload_id, std::move(entry)).first;
+    }
+    Pending& entry = it->second;
+
+    // All fragments of a payload must agree on its shape.
+    if (entry.count != fragment.count || entry.total_size != fragment.total_size) {
+        ++stats_.mismatches_rejected;
+        return std::nullopt;
+    }
+    if (entry.have[fragment.index]) {
+        ++stats_.duplicates_ignored;
+        touch(entry, fragment.payload_id);
+        return std::nullopt;
+    }
+
+    entry.have[fragment.index] = true;
+    entry.chunks[fragment.index] = fragment.chunk;
+    ++entry.received;
+    ++stats_.fragments_accepted;
+    touch(entry, fragment.payload_id);
+
+    if (entry.received < entry.count) return std::nullopt;
+
+    // Complete: concatenate and verify the announced size.
+    Bytes payload;
+    payload.reserve(entry.total_size);
+    for (const Bytes& chunk : entry.chunks) {
+        payload.insert(payload.end(), chunk.begin(), chunk.end());
+    }
+    lru_.erase(entry.lru_position);
+    pending_.erase(it);
+    if (payload.size() != fragment.total_size) {
+        ++stats_.mismatches_rejected;
+        return std::nullopt;
+    }
+    ++stats_.payloads_completed;
+    return payload;
+}
+
+}  // namespace narada::services

@@ -1,0 +1,84 @@
+// Fragmentation and coalescing of large payloads.
+//
+// NaradaBrokering supports "fragmentation and coalescing of large
+// datasets" (paper §1). A Fragmenter splits a payload into numbered
+// fragments keyed by a payload UUID; a Coalescer reassembles them from
+// arbitrary arrival order, tolerates duplicates, and bounds memory by
+// evicting the least-recently-touched incomplete payload.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::services {
+
+struct Fragment {
+    Uuid payload_id;
+    std::uint32_t index = 0;
+    std::uint32_t count = 0;
+    std::uint64_t total_size = 0;  ///< full payload size (sanity / prealloc)
+    Bytes chunk;
+
+    void encode(wire::ByteWriter& writer) const;
+    static Fragment decode(wire::ByteReader& reader);
+
+    friend bool operator==(const Fragment&, const Fragment&) = default;
+};
+
+/// Split `payload` into fragments of at most `chunk_size` bytes. Always
+/// produces at least one fragment (empty payloads yield one empty chunk).
+std::vector<Fragment> fragment_payload(const Bytes& payload, std::size_t chunk_size,
+                                       Uuid payload_id);
+
+class Coalescer {
+public:
+    struct Stats {
+        std::uint64_t fragments_accepted = 0;
+        std::uint64_t duplicates_ignored = 0;
+        std::uint64_t mismatches_rejected = 0;  ///< inconsistent count/size
+        std::uint64_t payloads_completed = 0;
+        std::uint64_t payloads_evicted = 0;
+    };
+
+    /// Keep at most `max_pending` incomplete payloads (LRU eviction) and
+    /// refuse fragments announcing more than `max_payload_size` bytes.
+    explicit Coalescer(std::size_t max_pending = 64,
+                       std::uint64_t max_payload_size = 256ull << 20)
+        : max_pending_(max_pending), max_payload_size_(max_payload_size) {}
+
+    /// Feed one fragment. Returns the reassembled payload when this
+    /// fragment completes it; nullopt otherwise.
+    std::optional<Bytes> accept(const Fragment& fragment);
+
+    [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    struct Pending {
+        std::uint32_t count = 0;
+        std::uint64_t total_size = 0;
+        std::uint32_t received = 0;
+        std::vector<bool> have;
+        std::vector<Bytes> chunks;
+        std::list<Uuid>::iterator lru_position;
+    };
+
+    void touch(Pending& entry, const Uuid& id);
+    void evict_oldest();
+
+    std::size_t max_pending_;
+    std::uint64_t max_payload_size_;
+    std::unordered_map<Uuid, Pending> pending_;
+    std::list<Uuid> lru_;  // front = most recent
+    Stats stats_;
+};
+
+}  // namespace narada::services

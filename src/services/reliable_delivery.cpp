@@ -1,0 +1,152 @@
+#include "services/reliable_delivery.hpp"
+
+#include "common/log.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::services {
+namespace {
+
+constexpr const char* kControlSuffix = "/__nack";
+
+Bytes encode_data(const Uuid& stream, std::uint64_t seq, const Bytes& payload) {
+    wire::ByteWriter writer;
+    writer.uuid(stream);
+    writer.u64(seq);
+    writer.blob(payload);
+    return writer.take();
+}
+
+}  // namespace
+
+ReliablePublisher::ReliablePublisher(broker::PubSubClient& client, std::string topic,
+                                     std::size_t replay_capacity)
+    : client_(client),
+      topic_(std::move(topic)),
+      control_topic_(topic_ + kControlSuffix),
+      replay_capacity_(replay_capacity == 0 ? 1 : replay_capacity) {
+    Rng rng(0x72656C70ull ^ (std::uint64_t{client.endpoint().host} << 16) ^
+            client.endpoint().port);
+    stream_id_ = Uuid::random(rng);
+}
+
+void ReliablePublisher::start() {
+    client_.subscribe(control_topic_);
+    client_.on_event([this](const broker::Event& event) {
+        if (event.topic == control_topic_) handle_control(event);
+    });
+}
+
+std::uint64_t ReliablePublisher::publish(Bytes payload) {
+    const std::uint64_t seq = next_seq_++;
+    replay_buffer_.emplace(seq, payload);
+    while (replay_buffer_.size() > replay_capacity_) {
+        replay_buffer_.erase(replay_buffer_.begin());
+    }
+    send(seq, payload, /*replay=*/false);
+    ++stats_.published;
+    return seq;
+}
+
+void ReliablePublisher::send(std::uint64_t seq, const Bytes& payload, bool replay) {
+    std::map<std::string, std::string> headers;
+    if (replay) headers.emplace("replay", "1");
+    client_.publish(topic_, encode_data(stream_id_, seq, payload), std::move(headers));
+}
+
+void ReliablePublisher::handle_control(const broker::Event& event) {
+    try {
+        wire::ByteReader reader(event.payload);
+        const Uuid stream = reader.uuid();
+        if (stream != stream_id_) return;  // NACK for a different publisher
+        const std::uint64_t from = reader.u64();
+        const std::uint64_t to = reader.u64();
+        ++stats_.nacks_received;
+        // Reject only nonsensical ranges; a gap wider than the replay
+        // buffer is a legitimate (if unrecoverable-in-part) request.
+        if (to < from || to >= next_seq_ || to - from > (1u << 20)) return;
+        for (std::uint64_t seq = from; seq <= to; ++seq) {
+            const auto it = replay_buffer_.find(seq);
+            if (it == replay_buffer_.end()) {
+                // Trimmed out of the bounded buffer: the consumer's gap is
+                // unrecoverable from here (paper [5] would escalate to the
+                // archival storage service).
+                ++stats_.replay_misses;
+                continue;
+            }
+            send(seq, it->second, /*replay=*/true);
+            ++stats_.replayed;
+        }
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("reliable", "bad NACK on {}: {}", control_topic_, e.what());
+    }
+}
+
+ReliableConsumer::ReliableConsumer(broker::PubSubClient& client, std::string topic)
+    : client_(client), topic_(std::move(topic)), control_topic_(topic_ + kControlSuffix) {}
+
+void ReliableConsumer::start(Handler handler) {
+    handler_ = std::move(handler);
+    client_.subscribe(topic_);
+    client_.on_event([this](const broker::Event& event) {
+        if (event.topic == topic_) handle_event(event);
+    });
+}
+
+void ReliableConsumer::handle_event(const broker::Event& event) {
+    try {
+        wire::ByteReader reader(event.payload);
+        const Uuid stream = reader.uuid();
+        const std::uint64_t seq = reader.u64();
+        Bytes payload = reader.blob();
+
+        if (!stream_known_) {
+            stream_known_ = true;
+            stream_id_ = stream;
+            // Join mid-stream: deliver from wherever the stream is now.
+            next_expected_ = seq;
+        } else if (stream != stream_id_) {
+            return;  // a different publisher's stream on the same topic
+        }
+
+        if (seq < next_expected_ || hold_back_.contains(seq)) {
+            ++stats_.duplicates_ignored;
+            return;
+        }
+        if (seq > next_expected_) {
+            // Gap: hold this message back and ask for the missing range.
+            const bool fresh_gap = hold_back_.empty() || seq < hold_back_.begin()->first;
+            hold_back_.emplace(seq, std::move(payload));
+            stats_.held_back = hold_back_.size();
+            if (fresh_gap) {
+                ++stats_.gaps_detected;
+                request_replay(next_expected_, seq - 1);
+            }
+            return;
+        }
+
+        // In order: deliver, then drain the hold-back queue.
+        handler_(seq, payload);
+        ++stats_.delivered;
+        ++next_expected_;
+        while (!hold_back_.empty() && hold_back_.begin()->first == next_expected_) {
+            handler_(next_expected_, hold_back_.begin()->second);
+            ++stats_.delivered;
+            hold_back_.erase(hold_back_.begin());
+            ++next_expected_;
+        }
+        stats_.held_back = hold_back_.size();
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("reliable", "bad data event on {}: {}", topic_, e.what());
+    }
+}
+
+void ReliableConsumer::request_replay(std::uint64_t from, std::uint64_t to) {
+    wire::ByteWriter writer;
+    writer.uuid(stream_id_);
+    writer.u64(from);
+    writer.u64(to);
+    client_.publish(control_topic_, writer.take());
+    ++stats_.nacks_sent;
+}
+
+}  // namespace narada::services

@@ -1,0 +1,74 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace narada::sim {
+
+TimerId Kernel::schedule_at(TimeUs t, Task task) {
+    if (t < now_) t = now_;  // past deadlines fire "immediately"
+    const TimerId id = next_timer_++;
+    queue_.push(Event{t, next_seq_++, id, std::move(task)});
+    return id;
+}
+
+TimerId Kernel::schedule_after(DurationUs delay, Task task) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::move(task));
+}
+
+void Kernel::cancel(TimerId id) {
+    if (id == kInvalidTimer) return;
+    cancelled_.insert(id);
+}
+
+bool Kernel::step() {
+    while (!queue_.empty()) {
+        // priority_queue::top returns const&; we must copy the task out
+        // before pop. Tasks are small closures so this is cheap.
+        Event ev = queue_.top();
+        queue_.pop();
+        if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.time;
+        ev.task();
+        return true;
+    }
+    return false;
+}
+
+std::size_t Kernel::run(std::size_t max_events) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+    if (n == max_events) {
+        throw std::runtime_error("sim::Kernel::run exceeded event budget (runaway loop?)");
+    }
+    return n;
+}
+
+std::size_t Kernel::run_until(TimeUs deadline, std::size_t max_events) {
+    std::size_t n = 0;
+    while (n < max_events && !queue_.empty()) {
+        // Drop cancelled events from the head so the deadline peek below
+        // sees the next *live* event.
+        while (!queue_.empty()) {
+            const auto it = cancelled_.find(queue_.top().id);
+            if (it == cancelled_.end()) break;
+            cancelled_.erase(it);
+            queue_.pop();
+        }
+        if (queue_.empty()) break;
+        // Peek: do not run events scheduled past the deadline.
+        if (queue_.top().time > deadline) break;
+        if (step()) ++n;
+    }
+    if (n == max_events) {
+        throw std::runtime_error("sim::Kernel::run_until exceeded event budget (runaway loop?)");
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+}  // namespace narada::sim

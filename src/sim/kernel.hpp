@@ -1,0 +1,105 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded priority queue of (virtual-time, sequence, task). All
+// simulated network delivery, protocol timers and node behaviour run as
+// events on this kernel, which makes every experiment deterministic for a
+// given seed: two events at the same virtual time fire in scheduling order.
+//
+// Per CP.4 the unit of concurrency here is the *task*, not the thread; the
+// kernel is deliberately single-threaded and the POSIX transport backend
+// (src/transport/posix_transport.*) supplies real concurrency instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/scheduler.hpp"
+#include "common/types.hpp"
+
+namespace narada::sim {
+
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Kernel final : public Scheduler {
+public:
+    using Task = std::function<void()>;
+
+    Kernel() : clock_(*this) {}
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    [[nodiscard]] TimeUs now() const { return now_; }
+
+    /// Clock view of virtual time ("true" UTC in the simulated world).
+    [[nodiscard]] const Clock& clock() const { return clock_; }
+
+    /// Schedule `task` at absolute virtual time `t` (>= now). Returns an id
+    /// that can be passed to cancel().
+    TimerId schedule_at(TimeUs t, Task task);
+
+    /// Schedule `task` after `delay` from now.
+    TimerId schedule_after(DurationUs delay, Task task);
+
+    /// Cancel a pending timer. Cancelling an already-fired or invalid id is
+    /// a no-op (protocols routinely cancel timers that may have fired).
+    void cancel(TimerId id);
+
+    // Scheduler interface (delay-based view of the same queue).
+    TimerHandle schedule(DurationUs delay, std::function<void()> task) override {
+        return schedule_after(delay, std::move(task));
+    }
+    void cancel_timer(TimerHandle handle) override { cancel(handle); }
+
+    /// Execute the next event. Returns false if the queue is empty.
+    bool step();
+
+    /// Run until the queue drains or `max_events` fire. Returns events run.
+    std::size_t run(std::size_t max_events = kDefaultEventBudget);
+
+    /// Run events with time <= `deadline`; afterwards now() == deadline if
+    /// the queue drained past it. Returns events run.
+    std::size_t run_until(TimeUs deadline, std::size_t max_events = kDefaultEventBudget);
+
+    [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+    [[nodiscard]] bool empty() const { return pending() == 0; }
+
+    /// Guard against runaway event loops in tests and benches.
+    static constexpr std::size_t kDefaultEventBudget = 100'000'000;
+
+private:
+    struct Event {
+        TimeUs time;
+        std::uint64_t seq;
+        TimerId id;
+        Task task;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    class VirtualClock final : public Clock {
+    public:
+        explicit VirtualClock(const Kernel& kernel) : kernel_(kernel) {}
+        [[nodiscard]] TimeUs now() const override { return kernel_.now(); }
+
+    private:
+        const Kernel& kernel_;
+    };
+
+    TimeUs now_ = 0;
+    std::uint64_t next_seq_ = 1;
+    TimerId next_timer_ = 1;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<TimerId> cancelled_;
+    VirtualClock clock_;
+};
+
+}  // namespace narada::sim

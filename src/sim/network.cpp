@@ -1,0 +1,207 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace narada::sim {
+
+SimNetwork::SimNetwork(Kernel& kernel, std::uint64_t seed) : kernel_(kernel), rng_(seed) {}
+
+HostId SimNetwork::add_host(HostSpec spec) {
+    const auto id = static_cast<HostId>(hosts_.size());
+    HostState state;
+    state.local_clock = std::make_unique<OffsetClock>(kernel_.clock(), spec.clock_skew);
+    state.spec = std::move(spec);
+    hosts_.push_back(std::move(state));
+    return id;
+}
+
+const HostSpec& SimNetwork::host(HostId id) const {
+    check_host(id, "host()");
+    return hosts_[id].spec;
+}
+
+void SimNetwork::set_link(HostId a, HostId b, LinkQuality q) {
+    check_host(a, "set_link");
+    check_host(b, "set_link");
+    links_[pair_key(a, b)] = q;
+}
+
+LinkQuality SimNetwork::link(HostId a, HostId b) const {
+    if (a == b) {
+        // Loopback: sub-millisecond, one hop, effectively loss-free.
+        return LinkQuality{/*one_way=*/50, /*jitter=*/10, /*hops=*/0};
+    }
+    const auto it = links_.find(pair_key(a, b));
+    return it != links_.end() ? it->second : default_link_;
+}
+
+void SimNetwork::set_host_down(HostId h, bool down) {
+    check_host(h, "set_host_down");
+    hosts_[h].down = down;
+}
+
+bool SimNetwork::host_down(HostId h) const {
+    check_host(h, "host_down");
+    return hosts_[h].down;
+}
+
+void SimNetwork::set_link_down(HostId a, HostId b, bool down) {
+    check_host(a, "set_link_down");
+    check_host(b, "set_link_down");
+    links_down_[pair_key(a, b)] = down;
+}
+
+bool SimNetwork::link_down(HostId a, HostId b) const {
+    const auto it = links_down_.find(pair_key(a, b));
+    return it != links_down_.end() && it->second;
+}
+
+const Clock& SimNetwork::host_clock(HostId h) const {
+    check_host(h, "host_clock");
+    return *hosts_[h].local_clock;
+}
+
+const std::string& SimNetwork::realm_of(HostId h) const {
+    check_host(h, "realm_of");
+    return hosts_[h].spec.realm;
+}
+
+void SimNetwork::bind(const Endpoint& local, transport::MessageHandler* handler) {
+    check_host(local.host, "bind");
+    if (handler == nullptr) throw std::invalid_argument("bind: null handler");
+    bindings_[local] = handler;
+}
+
+void SimNetwork::unbind(const Endpoint& local) {
+    bindings_.erase(local);
+    for (auto& [group, members] : groups_) {
+        std::erase(members, local);
+    }
+}
+
+DurationUs SimNetwork::sample_delay(const LinkQuality& q, std::size_t payload_size) {
+    DurationUs delay = q.one_way;
+    if (q.jitter > 0) delay += rng_.uniform_int(0, q.jitter);
+    if (bandwidth_ > 0) {
+        delay += static_cast<DurationUs>(static_cast<double>(payload_size) / bandwidth_ * 1e6);
+    }
+    return delay;
+}
+
+bool SimNetwork::drop_datagram(int hops) {
+    if (per_hop_loss_ <= 0.0 || hops <= 0) return false;
+    const double survive = std::pow(1.0 - per_hop_loss_, hops);
+    return !rng_.chance(survive);
+}
+
+void SimNetwork::check_host(HostId h, const char* what) const {
+    if (h >= hosts_.size()) {
+        throw std::out_of_range(std::string("SimNetwork::") + what + ": bad host id " +
+                                std::to_string(h));
+    }
+}
+
+void SimNetwork::deliver(const Endpoint& from, const Endpoint& to, Bytes data, bool reliable,
+                         DurationUs delay) {
+    kernel_.schedule_after(delay, [this, from, to, data = std::move(data), reliable] {
+        // Re-check liveness and binding at delivery time: the destination
+        // may have died or unbound while the message was in flight.
+        if (hosts_[to.host].down || hosts_[from.host].down) {
+            ++stats_.datagrams_dropped;
+            return;
+        }
+        const auto it = bindings_.find(to);
+        if (it == bindings_.end()) {
+            ++stats_.datagrams_unrouteable;
+            return;
+        }
+        if (reliable) {
+            ++stats_.reliable_delivered;
+            it->second->on_reliable(from, data);
+        } else {
+            ++stats_.datagrams_delivered;
+            it->second->on_datagram(from, data);
+        }
+    });
+}
+
+void SimNetwork::send_datagram(const Endpoint& from, const Endpoint& to, Bytes data) {
+    check_host(from.host, "send_datagram");
+    check_host(to.host, "send_datagram");
+    ++stats_.datagrams_sent;
+    if (hosts_[from.host].down || hosts_[to.host].down || link_down(from.host, to.host)) {
+        ++stats_.datagrams_dropped;
+        return;
+    }
+    const LinkQuality q = link(from.host, to.host);
+    if (drop_datagram(q.hops)) {
+        ++stats_.datagrams_dropped;
+        NARADA_TRACE("sim", "datagram {} -> {} dropped by loss model", from.str(), to.str());
+        return;
+    }
+    const DurationUs delay = sample_delay(q, data.size());
+    deliver(from, to, std::move(data), /*reliable=*/false, delay);
+}
+
+void SimNetwork::send_reliable(const Endpoint& from, const Endpoint& to, Bytes data) {
+    check_host(from.host, "send_reliable");
+    check_host(to.host, "send_reliable");
+    ++stats_.reliable_sent;
+    if (hosts_[from.host].down || hosts_[to.host].down || link_down(from.host, to.host)) {
+        // A reliable link to a dead peer simply never delivers; the sender
+        // notices through higher-level liveness (as with a broken TCP peer).
+        return;
+    }
+    const LinkQuality q = link(from.host, to.host);
+    DurationUs delay = sample_delay(q, data.size());
+    // Enforce FIFO per directed pair: never arrive earlier than the
+    // previously sent reliable message on the same pair.
+    TimeUs& horizon = reliable_horizon_[{from, to}];
+    TimeUs arrival = kernel_.now() + delay;
+    if (arrival <= horizon) arrival = horizon + 1;
+    horizon = arrival;
+    deliver(from, to, std::move(data), /*reliable=*/true, arrival - kernel_.now());
+}
+
+void SimNetwork::join_multicast(transport::MulticastGroup group, const Endpoint& local) {
+    check_host(local.host, "join_multicast");
+    auto& members = groups_[group];
+    if (std::find(members.begin(), members.end(), local) == members.end()) {
+        members.push_back(local);
+    }
+}
+
+void SimNetwork::leave_multicast(transport::MulticastGroup group, const Endpoint& local) {
+    const auto it = groups_.find(group);
+    if (it == groups_.end()) return;
+    std::erase(it->second, local);
+}
+
+void SimNetwork::send_multicast(transport::MulticastGroup group, const Endpoint& from,
+                                Bytes data) {
+    check_host(from.host, "send_multicast");
+    ++stats_.multicast_sent;
+    if (hosts_[from.host].down) return;
+    const auto it = groups_.find(group);
+    if (it == groups_.end()) return;
+    const std::string& sender_realm = realm_of(from.host);
+    // Copy the member list: delivery handlers may join/leave groups.
+    const std::vector<Endpoint> members = it->second;
+    for (const Endpoint& member : members) {
+        if (member == from) continue;
+        // Realm scoping: multicast does not cross realm boundaries (§9).
+        if (realm_of(member.host) != sender_realm) continue;
+        if (hosts_[member.host].down || link_down(from.host, member.host)) continue;
+        const LinkQuality q = link(from.host, member.host);
+        if (drop_datagram(q.hops)) continue;
+        ++stats_.multicast_delivered;
+        const DurationUs delay = sample_delay(q, data.size());
+        deliver(from, member, data, /*reliable=*/false, delay);
+    }
+}
+
+}  // namespace narada::sim

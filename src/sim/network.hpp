@@ -1,0 +1,150 @@
+// Simulated wide-area network.
+//
+// Implements transport::Transport on virtual time. The model captures the
+// properties the paper's scheme depends on:
+//
+//   * per-pair one-way latency with uniform jitter (site-to-site RTTs are
+//     configured by the site catalog, mirroring the paper's Table 1 WAN);
+//   * per-router-hop datagram loss — §5.2 argues that responses traversing
+//     many hops are *more likely to be lost*, which usefully hides remote
+//     brokers from the requesting node. Reliable messages never drop;
+//   * multicast realms — a multicast send only reaches members whose host
+//     is in the sender's realm, reproducing the paper's observation that
+//     multicast was disabled outside the lab (§9, Figure 12);
+//   * per-host clock skew — every host's local clock differs from true
+//     (virtual) time; the NTP service (src/timesvc) estimates it back;
+//   * host and link failures for fault-injection tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/kernel.hpp"
+#include "transport/transport.hpp"
+
+namespace narada::sim {
+
+struct HostSpec {
+    std::string name;           ///< e.g. "webis.msi.umn.edu"
+    std::string site;           ///< e.g. "UMN"
+    std::string realm;          ///< multicast / policy realm, e.g. "umn"
+    DurationUs clock_skew = 0;  ///< local clock = true time + skew
+};
+
+struct LinkQuality {
+    DurationUs one_way = 100;  ///< base one-way propagation delay
+    DurationUs jitter = 0;     ///< uniform extra delay in [0, jitter]
+    int hops = 1;              ///< router hops, for per-hop datagram loss
+};
+
+struct NetworkStats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_dropped = 0;   ///< loss model or down link/host
+    std::uint64_t datagrams_delivered = 0;
+    std::uint64_t datagrams_unrouteable = 0;  ///< no binding at destination
+    std::uint64_t reliable_sent = 0;
+    std::uint64_t reliable_delivered = 0;
+    std::uint64_t multicast_sent = 0;
+    std::uint64_t multicast_delivered = 0;
+};
+
+class SimNetwork final : public transport::Transport {
+public:
+    SimNetwork(Kernel& kernel, std::uint64_t seed);
+
+    // --- topology construction -------------------------------------------
+    HostId add_host(HostSpec spec);
+    [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+    [[nodiscard]] const HostSpec& host(HostId id) const;
+
+    /// Symmetric link quality between two hosts. Unset pairs fall back to
+    /// the default link.
+    void set_link(HostId a, HostId b, LinkQuality q);
+    void set_default_link(LinkQuality q) { default_link_ = q; }
+    [[nodiscard]] LinkQuality link(HostId a, HostId b) const;
+
+    /// Per-hop probability that a datagram is dropped at each router hop.
+    /// Effective loss = 1 - (1 - p)^hops.
+    void set_per_hop_loss(double p) { per_hop_loss_ = p; }
+    [[nodiscard]] double per_hop_loss() const { return per_hop_loss_; }
+
+    /// Payload serialization rate (bytes/second) added to the latency.
+    void set_bandwidth(double bytes_per_second) { bandwidth_ = bytes_per_second; }
+
+    // --- fault injection ---------------------------------------------------
+    void set_host_down(HostId h, bool down);
+    [[nodiscard]] bool host_down(HostId h) const;
+    void set_link_down(HostId a, HostId b, bool down);
+    [[nodiscard]] bool link_down(HostId a, HostId b) const;
+
+    // --- clocks ------------------------------------------------------------
+    /// The host's skewed local clock. Valid for the network's lifetime.
+    [[nodiscard]] const Clock& host_clock(HostId h) const;
+    /// True (virtual) UTC.
+    [[nodiscard]] const Clock& true_clock() const { return kernel_.clock(); }
+    [[nodiscard]] const std::string& realm_of(HostId h) const;
+
+    // --- Transport interface -----------------------------------------------
+    void bind(const Endpoint& local, transport::MessageHandler* handler) override;
+    void unbind(const Endpoint& local) override;
+    void send_datagram(const Endpoint& from, const Endpoint& to, Bytes data) override;
+    void send_reliable(const Endpoint& from, const Endpoint& to, Bytes data) override;
+    void join_multicast(transport::MulticastGroup group, const Endpoint& local) override;
+    void leave_multicast(transport::MulticastGroup group, const Endpoint& local) override;
+    void send_multicast(transport::MulticastGroup group, const Endpoint& from,
+                        Bytes data) override;
+
+    [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+    [[nodiscard]] Kernel& kernel() { return kernel_; }
+    [[nodiscard]] Rng& rng() { return rng_; }
+
+private:
+    struct HostState {
+        HostSpec spec;
+        std::unique_ptr<OffsetClock> local_clock;
+        bool down = false;
+    };
+
+    [[nodiscard]] static std::uint64_t pair_key(HostId a, HostId b) {
+        if (a > b) std::swap(a, b);
+        return (std::uint64_t{a} << 32) | b;
+    }
+
+    /// Sampled delivery delay for one message over the link.
+    DurationUs sample_delay(const LinkQuality& q, std::size_t payload_size);
+
+    /// True if the loss model drops a datagram crossing `hops` hops.
+    bool drop_datagram(int hops);
+
+    void check_host(HostId h, const char* what) const;
+
+    void deliver(const Endpoint& from, const Endpoint& to, Bytes data, bool reliable,
+                 DurationUs delay);
+
+    Kernel& kernel_;
+    Rng rng_;
+    std::vector<HostState> hosts_;
+    std::unordered_map<std::uint64_t, LinkQuality> links_;
+    std::unordered_map<std::uint64_t, bool> links_down_;
+    LinkQuality default_link_{/*one_way=*/from_ms(5.0), /*jitter=*/from_ms(0.5), /*hops=*/4};
+    double per_hop_loss_ = 0.0;
+    double bandwidth_ = 12.5e6;  // 100 Mbit/s
+
+    std::unordered_map<Endpoint, transport::MessageHandler*> bindings_;
+    std::unordered_map<transport::MulticastGroup, std::vector<Endpoint>> groups_;
+    // FIFO guarantee for reliable messages: last arrival per directed
+    // (from, to) endpoint pair.
+    std::map<std::pair<Endpoint, Endpoint>, TimeUs> reliable_horizon_;
+
+    NetworkStats stats_;
+};
+
+}  // namespace narada::sim

@@ -1,0 +1,132 @@
+#include "sim/site_catalog.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace narada::sim {
+namespace {
+
+const std::vector<SiteInfo> kSites = {
+    {"Bloomington", "gf1.ucs.indiana.edu", "Bloomington, IN, USA", "iu-lab"},
+    {"Indianapolis", "complexity.ucs.indiana.edu", "Indianapolis, IN, USA", "iupui"},
+    {"NCSA", "tungsten.ncsa.uiuc.edu", "NCSA, UIUC, IL, USA", "ncsa"},
+    {"UMN", "webis.msi.umn.edu", "Minneapolis, MN, USA", "umn"},
+    {"FSU", "pamd2.fsit.fsu.edu", "Tallahassee, FL, USA", "fsu"},
+    {"Cardiff", "bouscat.cs.cf.ac.uk", "Cardiff, UK", "cardiff"},
+};
+
+// One-way latency in milliseconds, symmetric, indexed [a][b]. Values are
+// calibrated to 2005-era WAN RTTs between the paper's sites: intra-campus
+// links are sub-millisecond, Midwest academic backbones (Abilene) run
+// 5–15 ms one-way, the IN→FL path ~18 ms, and the transatlantic IN→UK path
+// ~50+ ms one-way.
+constexpr double kLatencyMs[kSiteCount][kSiteCount] = {
+    //  Blo    Indy   NCSA   UMN    FSU    Cardiff
+    {0.15, 1.6, 5.5, 11.0, 18.0, 52.0},   // Bloomington
+    {1.6, 0.15, 5.0, 10.5, 17.0, 51.0},   // Indianapolis
+    {5.5, 5.0, 0.15, 8.0, 21.0, 55.0},    // NCSA
+    {11.0, 10.5, 8.0, 0.15, 25.0, 58.0},  // UMN
+    {18.0, 17.0, 21.0, 25.0, 0.15, 62.0}, // FSU
+    {52.0, 51.0, 55.0, 58.0, 62.0, 0.15}, // Cardiff
+};
+
+// Uniform jitter bound in milliseconds (longer paths jitter more).
+constexpr double kJitterMs[kSiteCount][kSiteCount] = {
+    {0.05, 0.3, 0.8, 1.5, 2.5, 6.0},
+    {0.3, 0.05, 0.8, 1.5, 2.4, 6.0},
+    {0.8, 0.8, 0.05, 1.2, 3.0, 6.5},
+    {1.5, 1.5, 1.2, 0.05, 3.5, 7.0},
+    {2.5, 2.4, 3.0, 3.5, 0.05, 7.5},
+    {6.0, 6.0, 6.5, 7.0, 7.5, 0.05},
+};
+
+// Router hops between sites (drives the per-hop datagram-loss model that
+// the paper's §5.2 relies on to filter far-away brokers).
+constexpr int kHops[kSiteCount][kSiteCount] = {
+    {1, 3, 6, 9, 12, 18},
+    {3, 1, 6, 9, 11, 18},
+    {6, 6, 1, 7, 13, 19},
+    {9, 9, 7, 1, 14, 20},
+    {12, 11, 13, 14, 1, 21},
+    {18, 18, 19, 20, 21, 1},
+};
+
+std::size_t index_of(Site s) {
+    const auto i = static_cast<std::size_t>(s);
+    if (i >= kSiteCount) throw std::out_of_range("bad Site");
+    return i;
+}
+
+}  // namespace
+
+const SiteInfo& site_info(Site s) { return kSites[index_of(s)]; }
+
+const std::vector<SiteInfo>& all_sites() { return kSites; }
+
+double site_latency_ms(Site a, Site b) { return kLatencyMs[index_of(a)][index_of(b)]; }
+
+double site_jitter_ms(Site a, Site b) { return kJitterMs[index_of(a)][index_of(b)]; }
+
+int site_hops(Site a, Site b) { return kHops[index_of(a)][index_of(b)]; }
+
+WanDeployment::WanDeployment(SimNetwork& net, const std::vector<Site>& placements,
+                             DurationUs max_skew) {
+    hosts_.reserve(placements.size());
+    sites_ = placements;
+    for (Site s : placements) {
+        const SiteInfo& info = site_info(s);
+        HostSpec spec;
+        spec.name = info.machine + "#" + std::to_string(hosts_.size());
+        spec.site = info.site;
+        spec.realm = info.realm;
+        spec.clock_skew = net.rng().uniform_int(-max_skew, max_skew);
+        hosts_.push_back(net.add_host(spec));
+    }
+    // Wire every pair from the catalog's tables.
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+        for (std::size_t j = i + 1; j < hosts_.size(); ++j) {
+            LinkQuality q;
+            q.one_way = from_ms(site_latency_ms(sites_[i], sites_[j]));
+            q.jitter = from_ms(site_jitter_ms(sites_[i], sites_[j]));
+            q.hops = site_hops(sites_[i], sites_[j]);
+            net.set_link(hosts_[i], hosts_[j], q);
+        }
+    }
+}
+
+std::string render_site_catalog() {
+    std::string out;
+    char buf[256];
+    out += "Site catalog (Table 1 analogue)\n";
+    std::snprintf(buf, sizeof(buf), "%-14s %-28s %-26s %-9s %s\n", "Site", "Machine",
+                  "Location", "Realm", "One-way to client (ms)");
+    out += buf;
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        const SiteInfo& info = kSites[i];
+        std::snprintf(buf, sizeof(buf), "%-14s %-28s %-26s %-9s %22.2f\n", info.site.c_str(),
+                      info.machine.c_str(), info.location.c_str(), info.realm.c_str(),
+                      kLatencyMs[0][i]);
+        out += buf;
+    }
+    out += "\nOne-way latency matrix (ms):\n";
+    std::snprintf(buf, sizeof(buf), "%-14s", "");
+    out += buf;
+    for (const auto& info : kSites) {
+        std::snprintf(buf, sizeof(buf), "%10s", info.site.c_str());
+        out += buf;
+    }
+    out += "\n";
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        std::snprintf(buf, sizeof(buf), "%-14s", kSites[i].site.c_str());
+        out += buf;
+        for (std::size_t j = 0; j < kSiteCount; ++j) {
+            std::snprintf(buf, sizeof(buf), "%10.2f", kLatencyMs[i][j]);
+            out += buf;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace narada::sim

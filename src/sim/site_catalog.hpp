@@ -1,0 +1,74 @@
+// Site catalog — the simulated analogue of the paper's Table 1.
+//
+// The paper's testbed consisted of five machines "separated by significant
+// network distances": complexity.ucs.indiana.edu (Indianapolis, IN),
+// webis.msi.umn.edu (Minneapolis, MN), tungsten.ncsa.uiuc.edu (Urbana, IL),
+// pamd2.fsit.fsu.edu (Tallahassee, FL) and bouscat.cs.cf.ac.uk (Cardiff,
+// UK), with the discovery client run from Bloomington, IN. We reproduce the
+// testbed as simulated hosts with one-way latencies calibrated to
+// 2005-era geographic RTTs, plus a "lab" realm in Bloomington so the
+// multicast experiment (Figure 12) reproduces the paper's realm-limited
+// behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace narada::sim {
+
+struct SiteInfo {
+    std::string site;       ///< short key, e.g. "UMN"
+    std::string machine;    ///< Table 1 machine name analogue
+    std::string location;   ///< human-readable location
+    std::string realm;      ///< multicast/policy realm
+};
+
+/// Index order of the catalog's canonical sites.
+enum class Site : std::size_t {
+    kBloomington = 0,  ///< client's home in the paper's runs; "lab" realm
+    kIndianapolis,     ///< complexity.ucs.indiana.edu
+    kNcsa,             ///< tungsten.ncsa.uiuc.edu
+    kUmn,              ///< webis.msi.umn.edu
+    kFsu,              ///< pamd2.fsit.fsu.edu
+    kCardiff,          ///< bouscat.cs.cf.ac.uk
+    kCount,
+};
+
+constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+/// Static description of each canonical site.
+const SiteInfo& site_info(Site s);
+const std::vector<SiteInfo>& all_sites();
+
+/// One-way latency between two sites in milliseconds (symmetric).
+double site_latency_ms(Site a, Site b);
+/// Jitter bound between two sites in milliseconds.
+double site_jitter_ms(Site a, Site b);
+/// Router hops between two sites (drives per-hop datagram loss).
+int site_hops(Site a, Site b);
+
+/// A WAN deployment: one host per requested site placement.
+class WanDeployment {
+public:
+    /// Create hosts on `net` for each placement; wires all pairwise links
+    /// from the catalog's latency table and assigns clock skews drawn
+    /// uniformly from ±`max_skew` using the network's RNG.
+    WanDeployment(SimNetwork& net, const std::vector<Site>& placements,
+                  DurationUs max_skew = 2 * kSecond);
+
+    [[nodiscard]] HostId host(std::size_t index) const { return hosts_.at(index); }
+    [[nodiscard]] Site site(std::size_t index) const { return sites_.at(index); }
+    [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+
+private:
+    std::vector<HostId> hosts_;
+    std::vector<Site> sites_;
+};
+
+/// Render the Table 1 analogue (site, machine, location, realm, latency to
+/// the Bloomington client) as fixed-width text for the bench harness.
+std::string render_site_catalog();
+
+}  // namespace narada::sim

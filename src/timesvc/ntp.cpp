@@ -1,0 +1,140 @@
+#include "timesvc/ntp.hpp"
+
+#include "common/log.hpp"
+#include "wire/codec.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::timesvc {
+
+using wire::kMsgTimeRequest;
+using wire::kMsgTimeResponse;
+
+void NtpEstimator::add_sample(TimeUs t1, TimeUs t2, TimeUs t3, TimeUs t4) {
+    const DurationUs offset = ((t2 - t1) + (t3 - t4)) / 2;
+    const DurationUs delay = (t4 - t1) - (t3 - t2);
+    ++samples_;
+    if (!have_ || delay < best_delay_) {
+        have_ = true;
+        best_delay_ = delay;
+        best_offset_ = offset;
+    }
+}
+
+std::optional<DurationUs> NtpEstimator::offset() const {
+    if (!have_) return std::nullopt;
+    return best_offset_;
+}
+
+std::optional<DurationUs> NtpEstimator::best_delay() const {
+    if (!have_) return std::nullopt;
+    return best_delay_;
+}
+
+void NtpEstimator::reset() {
+    samples_ = 0;
+    have_ = false;
+    best_offset_ = 0;
+    best_delay_ = 0;
+}
+
+TimeServer::TimeServer(transport::Transport& transport, const Endpoint& local, const Clock& utc)
+    : transport_(transport), local_(local), utc_(utc) {
+    transport_.bind(local_, this);
+}
+
+TimeServer::~TimeServer() { transport_.unbind(local_); }
+
+void TimeServer::on_datagram(const Endpoint& from, const Bytes& data) {
+    try {
+        wire::ByteReader reader(data);
+        if (reader.u8() != kMsgTimeRequest) return;
+        const std::uint32_t seq = reader.u32();
+        const TimeUs client_t1 = reader.i64();
+        const TimeUs receive_utc = utc_.now();
+
+        wire::ByteWriter writer;
+        writer.u8(kMsgTimeResponse);
+        writer.u32(seq);
+        writer.i64(client_t1);
+        writer.i64(receive_utc);
+        writer.i64(utc_.now());  // transmit timestamp
+        transport_.send_datagram(local_, from, writer.take());
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("timesvc", "malformed time request from {}: {}", from.str(), e.what());
+    }
+}
+
+NtpService::NtpService(Scheduler& scheduler, transport::Transport& transport,
+                       const Endpoint& local, const Clock& local_clock, const Endpoint& server,
+                       Options options)
+    : scheduler_(scheduler),
+      transport_(transport),
+      local_(local),
+      local_clock_(local_clock),
+      server_(server),
+      options_(options) {
+    transport_.bind(local_, this);
+}
+
+NtpService::~NtpService() {
+    scheduler_.cancel_timer(timer_);
+    transport_.unbind(local_);
+}
+
+void NtpService::start() {
+    if (probes_sent_ > 0 || synchronized_) return;
+    send_probe();
+}
+
+void NtpService::send_probe() {
+    if (probes_sent_ >= options_.sample_count) {
+        finish();
+        return;
+    }
+    ++probes_sent_;
+    wire::ByteWriter writer;
+    writer.u8(kMsgTimeRequest);
+    writer.u32(next_seq_++);
+    writer.i64(local_clock_.now());
+    transport_.send_datagram(local_, server_, writer.take());
+
+    timer_ = scheduler_.schedule(options_.sample_interval, [this] { send_probe(); });
+}
+
+void NtpService::on_datagram(const Endpoint& from, const Bytes& data) {
+    if (from != server_) return;
+    try {
+        wire::ByteReader reader(data);
+        if (reader.u8() != kMsgTimeResponse) return;
+        (void)reader.u32();  // seq; probes are idempotent, any reply helps
+        const TimeUs t1 = reader.i64();
+        const TimeUs t2 = reader.i64();
+        const TimeUs t3 = reader.i64();
+        const TimeUs t4 = local_clock_.now();
+        estimator_.add_sample(t1, t2, t3, t4);
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("timesvc", "malformed time response from {}: {}", from.str(), e.what());
+    }
+}
+
+void NtpService::finish() {
+    if (synchronized_) return;
+    const auto estimated = estimator_.offset();
+    if (!estimated) {
+        // Every probe was lost (dead server / partitioned network). Retry
+        // the whole schedule; a node cannot operate without UTC (§5).
+        NARADA_WARN("timesvc", "{}: no NTP samples, retrying", local_.str());
+        probes_sent_ = 0;
+        timer_ = scheduler_.schedule(options_.sample_interval, [this] { send_probe(); });
+        return;
+    }
+    offset_ = *estimated + options_.injected_residual;
+    synchronized_ = true;
+    NARADA_DEBUG("timesvc", "{}: synchronized, offset {} us ({} samples)", local_.str(),
+                 offset_, estimator_.samples());
+    if (on_sync_) on_sync_();
+}
+
+TimeUs NtpService::utc_now() const { return local_clock_.now() + offset_; }
+
+}  // namespace narada::timesvc

@@ -1,0 +1,149 @@
+// NTP-style time service.
+//
+// NaradaBrokering timestamps are "based on the Network Time Protocol which
+// ensures that every node is within 1-20 msecs of each other"; the NTP
+// service is "initialized during node initializations and generally takes
+// between 3-5 seconds before the local clock offsets are computed" (§5).
+// The discovery client then estimates one-way delays by subtracting a
+// response's embedded UTC timestamp from its own UTC estimate (§6).
+//
+// This module provides:
+//   * NtpEstimator — the classic four-timestamp offset/delay computation,
+//     keeping the minimum-delay sample (pure, unit-testable);
+//   * TimeServer  — answers time requests with receive/transmit UTC stamps;
+//   * NtpService  — a node-side actor that samples a TimeServer over the
+//     transport, converges after its sample schedule (~3-5 s with the
+//     default 8 samples x 500 ms), then serves UTC estimates. An optional
+//     residual-error injection models the real-world 1-20 ms NTP accuracy
+//     band on top of whatever asymmetry the network itself introduces.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/clock.hpp"
+#include "common/scheduler.hpp"
+#include "common/types.hpp"
+#include "transport/transport.hpp"
+
+namespace narada::timesvc {
+
+/// A node's view of UTC. The discovery protocol only ever consumes this.
+class UtcSource {
+public:
+    virtual ~UtcSource() = default;
+    [[nodiscard]] virtual TimeUs utc_now() const = 0;
+    [[nodiscard]] virtual bool synchronized() const = 0;
+};
+
+/// Trivial UtcSource for tests and for nodes with perfect clocks.
+class FixedUtcSource final : public UtcSource {
+public:
+    FixedUtcSource(const Clock& clock, DurationUs offset = 0)
+        : clock_(clock), offset_(offset) {}
+    [[nodiscard]] TimeUs utc_now() const override { return clock_.now() + offset_; }
+    [[nodiscard]] bool synchronized() const override { return true; }
+
+private:
+    const Clock& clock_;
+    DurationUs offset_;
+};
+
+/// Four-timestamp NTP offset estimation:
+///   t1 = client transmit (local clock)     t2 = server receive (UTC)
+///   t3 = server transmit (UTC)             t4 = client receive (local clock)
+///   offset = ((t2 - t1) + (t3 - t4)) / 2   delay = (t4 - t1) - (t3 - t2)
+/// The estimate with the smallest round-trip delay is retained, as in RFC
+/// 5905's clock filter.
+class NtpEstimator {
+public:
+    void add_sample(TimeUs t1, TimeUs t2, TimeUs t3, TimeUs t4);
+
+    [[nodiscard]] std::size_t samples() const { return samples_; }
+    [[nodiscard]] std::optional<DurationUs> offset() const;
+    [[nodiscard]] std::optional<DurationUs> best_delay() const;
+    void reset();
+
+private:
+    std::size_t samples_ = 0;
+    DurationUs best_offset_ = 0;
+    DurationUs best_delay_ = 0;
+    bool have_ = false;
+};
+
+/// Server side: answers time requests with (receive, transmit) UTC stamps.
+class TimeServer final : public transport::MessageHandler {
+public:
+    /// `utc` is this server's reference clock (true time in simulation).
+    TimeServer(transport::Transport& transport, const Endpoint& local, const Clock& utc);
+    ~TimeServer() override;
+
+    TimeServer(const TimeServer&) = delete;
+    TimeServer& operator=(const TimeServer&) = delete;
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+    [[nodiscard]] const Endpoint& endpoint() const { return local_; }
+
+private:
+    transport::Transport& transport_;
+    Endpoint local_;
+    const Clock& utc_;
+};
+
+/// Client side: samples a TimeServer, converges, serves UTC estimates.
+/// Tuning for NtpService's sampling schedule.
+struct NtpOptions {
+    std::uint32_t sample_count = 8;
+    DurationUs sample_interval = from_ms(500);  ///< 8 x 500 ms ~= 4 s init
+    /// Extra offset error applied after convergence; models the paper's
+    /// 1-20 ms NTP accuracy band. 0 = trust the protocol's estimate.
+    DurationUs injected_residual = 0;
+};
+
+class NtpService final : public transport::MessageHandler, public UtcSource {
+public:
+    using Options = NtpOptions;
+
+    NtpService(Scheduler& scheduler, transport::Transport& transport, const Endpoint& local,
+               const Clock& local_clock, const Endpoint& server, Options options = {});
+    ~NtpService() override;
+
+    NtpService(const NtpService&) = delete;
+    NtpService& operator=(const NtpService&) = delete;
+
+    /// Begin the sampling schedule. Completion can be observed through
+    /// synchronized() or the callback.
+    void start();
+
+    /// Invoked once when the offset is first computed.
+    void on_synchronized(std::function<void()> callback) { on_sync_ = std::move(callback); }
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override;
+
+    [[nodiscard]] TimeUs utc_now() const override;
+    [[nodiscard]] bool synchronized() const override { return synchronized_; }
+    [[nodiscard]] DurationUs offset() const { return offset_; }
+    [[nodiscard]] const Endpoint& endpoint() const { return local_; }
+
+private:
+    void send_probe();
+    void finish();
+
+    Scheduler& scheduler_;
+    transport::Transport& transport_;
+    Endpoint local_;
+    const Clock& local_clock_;
+    Endpoint server_;
+    Options options_;
+
+    NtpEstimator estimator_;
+    std::uint32_t probes_sent_ = 0;
+    std::uint32_t next_seq_ = 1;
+    bool synchronized_ = false;
+    DurationUs offset_ = 0;
+    TimerHandle timer_ = kInvalidTimerHandle;
+    std::function<void()> on_sync_;
+};
+
+}  // namespace narada::timesvc

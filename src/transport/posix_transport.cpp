@@ -1,0 +1,507 @@
+#include "transport/posix_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+
+#include "common/log.hpp"
+
+namespace narada::transport {
+namespace {
+
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+constexpr std::uint32_t kMaxFrame = 16 * 1024 * 1024;
+
+void set_nonblocking(int fd) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return addr;
+}
+
+/// Blocking write of the whole buffer (loopback TCP; EINTR-safe).
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Socket buffer full: wait for writability.
+                pollfd pfd{fd, POLLOUT, 0};
+                (void)::poll(&pfd, 1, 1000);
+                continue;
+            }
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+PosixTransport::PosixTransport() {
+    if (pipe(wake_pipe_) != 0) {
+        throw std::system_error(errno, std::generic_category(), "pipe");
+    }
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(wake_pipe_[1]);
+    loop_thread_ = std::thread([this] { loop(); });
+}
+
+PosixTransport::~PosixTransport() {
+    running_ = false;
+    wake();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    std::scoped_lock lock(mutex_);
+    for (auto& [ep, binding] : bindings_) {
+        if (binding.udp_fd >= 0) ::close(binding.udp_fd);
+        if (binding.listen_fd >= 0) ::close(binding.listen_fd);
+    }
+    for (auto& [fd, conn] : tcp_conns_) ::close(fd);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+}
+
+TimeUs PosixTransport::wall_now() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void PosixTransport::wake() {
+    const char byte = 'w';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+}
+
+void PosixTransport::bind(const Endpoint& local, MessageHandler* handler) {
+    if (handler == nullptr) throw std::invalid_argument("bind: null handler");
+    Binding binding;
+    binding.handler = handler;
+    binding.endpoint = local;
+
+    const sockaddr_in addr = loopback_addr(local.port);
+
+    binding.udp_fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (binding.udp_fd < 0 ||
+        ::bind(binding.udp_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int saved = errno;
+        if (binding.udp_fd >= 0) ::close(binding.udp_fd);
+        throw std::system_error(saved, std::generic_category(), "udp bind " + local.str());
+    }
+
+    binding.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int reuse = 1;
+    setsockopt(binding.listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    if (binding.listen_fd < 0 ||
+        ::bind(binding.listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(binding.listen_fd, 64) != 0) {
+        const int saved = errno;
+        ::close(binding.udp_fd);
+        if (binding.listen_fd >= 0) ::close(binding.listen_fd);
+        throw std::system_error(saved, std::generic_category(), "tcp bind " + local.str());
+    }
+    set_nonblocking(binding.udp_fd);
+    set_nonblocking(binding.listen_fd);
+
+    {
+        std::scoped_lock lock(mutex_);
+        // Rebinding replaces the handler but keeps sockets if same port.
+        if (const auto it = bindings_.find(local); it != bindings_.end()) {
+            ::close(binding.udp_fd);
+            ::close(binding.listen_fd);
+            it->second.handler = handler;
+            return;
+        }
+        port_to_endpoint_[local.port] = local;
+        bindings_.emplace(local, binding);
+    }
+    wake();
+}
+
+void PosixTransport::unbind(const Endpoint& local) {
+    std::vector<int> to_close;
+    {
+        std::scoped_lock lock(mutex_);
+        const auto it = bindings_.find(local);
+        if (it == bindings_.end()) return;
+        to_close.push_back(it->second.udp_fd);
+        to_close.push_back(it->second.listen_fd);
+        bindings_.erase(it);
+        port_to_endpoint_.erase(local.port);
+        for (auto& [group, members] : groups_) std::erase(members, local);
+        // Drop outgoing connections originating here.
+        for (auto oit = outgoing_.begin(); oit != outgoing_.end();) {
+            if (oit->first.first == local) {
+                to_close.push_back(oit->second);
+                tcp_conns_.erase(oit->second);
+                oit = outgoing_.erase(oit);
+            } else {
+                ++oit;
+            }
+        }
+    }
+    for (int fd : to_close) {
+        if (fd >= 0) ::close(fd);
+    }
+    wake();
+}
+
+void PosixTransport::send_datagram(const Endpoint& from, const Endpoint& to, Bytes data) {
+    int fd = -1;
+    {
+        std::scoped_lock lock(mutex_);
+        const auto it = bindings_.find(from);
+        if (it == bindings_.end()) {
+            NARADA_WARN("posix", "send_datagram from unbound endpoint {}", from.str());
+            return;
+        }
+        fd = it->second.udp_fd;
+    }
+    const sockaddr_in addr = loopback_addr(to.port);
+    (void)::sendto(fd, data.data(), data.size(), 0, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));  // best-effort, like UDP
+}
+
+int PosixTransport::outgoing_fd(const Endpoint& from, const Endpoint& to) {
+    {
+        std::scoped_lock lock(mutex_);
+        const auto it = outgoing_.find({from, to});
+        if (it != outgoing_.end()) return it->second;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    const sockaddr_in addr = loopback_addr(to.port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    const int nodelay = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    // Hello frame: announce our endpoint label so the peer can attribute
+    // inbound messages (TCP source ports are ephemeral).
+    Bytes hello(6);
+    hello[0] = static_cast<std::uint8_t>(from.host >> 24);
+    hello[1] = static_cast<std::uint8_t>(from.host >> 16);
+    hello[2] = static_cast<std::uint8_t>(from.host >> 8);
+    hello[3] = static_cast<std::uint8_t>(from.host);
+    hello[4] = static_cast<std::uint8_t>(from.port >> 8);
+    hello[5] = static_cast<std::uint8_t>(from.port);
+    send_frame(fd, hello);
+
+    set_nonblocking(fd);
+    auto conn = std::make_unique<TcpConn>();
+    conn->fd = fd;
+    conn->local = from;
+    conn->remote = to;
+    conn->remote_known = true;  // we initiated; the peer is `to` by construction
+    {
+        std::scoped_lock lock(mutex_);
+        tcp_conns_.emplace(fd, std::move(conn));
+        outgoing_[{from, to}] = fd;
+    }
+    wake();
+    return fd;
+}
+
+void PosixTransport::send_frame(int fd, const Bytes& payload) {
+    std::uint8_t header[4] = {
+        static_cast<std::uint8_t>(payload.size() >> 24),
+        static_cast<std::uint8_t>(payload.size() >> 16),
+        static_cast<std::uint8_t>(payload.size() >> 8),
+        static_cast<std::uint8_t>(payload.size()),
+    };
+    if (!write_all(fd, header, 4)) return;
+    (void)write_all(fd, payload.data(), payload.size());
+}
+
+void PosixTransport::send_reliable(const Endpoint& from, const Endpoint& to, Bytes data) {
+    const int fd = outgoing_fd(from, to);
+    if (fd < 0) {
+        NARADA_DEBUG("posix", "reliable connect {} -> {} failed", from.str(), to.str());
+        return;
+    }
+    send_frame(fd, data);
+}
+
+void PosixTransport::join_multicast(MulticastGroup group, const Endpoint& local) {
+    std::scoped_lock lock(mutex_);
+    auto& members = groups_[group];
+    if (std::find(members.begin(), members.end(), local) == members.end()) {
+        members.push_back(local);
+    }
+}
+
+void PosixTransport::leave_multicast(MulticastGroup group, const Endpoint& local) {
+    std::scoped_lock lock(mutex_);
+    const auto it = groups_.find(group);
+    if (it != groups_.end()) std::erase(it->second, local);
+}
+
+void PosixTransport::send_multicast(MulticastGroup group, const Endpoint& from, Bytes data) {
+    std::vector<Endpoint> members;
+    {
+        std::scoped_lock lock(mutex_);
+        const auto it = groups_.find(group);
+        if (it != groups_.end()) members = it->second;
+    }
+    for (const Endpoint& member : members) {
+        if (member == from) continue;
+        send_datagram(from, member, data);
+    }
+}
+
+TimerHandle PosixTransport::schedule(DurationUs delay, std::function<void()> task) {
+    if (delay < 0) delay = 0;
+    TimerHandle handle = kInvalidTimerHandle;
+    {
+        std::scoped_lock lock(mutex_);
+        handle = next_timer_++;
+        timers_.push_back(Timer{wall_now() + delay, handle, std::move(task)});
+        std::push_heap(timers_.begin(), timers_.end(), std::greater<>{});
+    }
+    wake();
+    return handle;
+}
+
+void PosixTransport::cancel_timer(TimerHandle handle) {
+    if (handle == kInvalidTimerHandle) return;
+    std::scoped_lock lock(mutex_);
+    const auto it = std::find_if(timers_.begin(), timers_.end(),
+                                 [handle](const Timer& t) { return t.handle == handle; });
+    if (it != timers_.end()) {
+        timers_.erase(it);
+        std::make_heap(timers_.begin(), timers_.end(), std::greater<>{});
+    }
+}
+
+void PosixTransport::handle_udp_readable(int udp_fd, MessageHandler* handler) {
+    std::uint8_t buffer[kMaxDatagram];
+    while (true) {
+        sockaddr_in src{};
+        socklen_t src_len = sizeof(src);
+        const ssize_t n = ::recvfrom(udp_fd, buffer, sizeof(buffer), 0,
+                                     reinterpret_cast<sockaddr*>(&src), &src_len);
+        if (n < 0) return;  // EWOULDBLOCK or error: drained
+        Endpoint from{0, ntohs(src.sin_port)};
+        {
+            std::scoped_lock lock(mutex_);
+            const auto it = port_to_endpoint_.find(from.port);
+            if (it != port_to_endpoint_.end()) from = it->second;
+        }
+        handler->on_datagram(from, Bytes(buffer, buffer + n));
+    }
+}
+
+void PosixTransport::handle_accept(int listen_fd, const Endpoint& local) {
+    while (true) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) return;
+        set_nonblocking(fd);
+        const int nodelay = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+        auto conn = std::make_unique<TcpConn>();
+        conn->fd = fd;
+        conn->local = local;
+        conn->remote_known = false;  // until the hello frame arrives
+        std::scoped_lock lock(mutex_);
+        tcp_conns_.emplace(fd, std::move(conn));
+    }
+}
+
+void PosixTransport::close_tcp(int fd) {
+    std::scoped_lock lock(mutex_);
+    tcp_conns_.erase(fd);
+    for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+        it = (it->second == fd) ? outgoing_.erase(it) : std::next(it);
+    }
+    ::close(fd);
+}
+
+void PosixTransport::handle_tcp_readable(int fd) {
+    // Copy what we need under the lock; deliver outside it.
+    std::uint8_t buffer[64 * 1024];
+    while (true) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n == 0) {
+            close_tcp(fd);
+            return;
+        }
+        if (n < 0) break;  // drained (EWOULDBLOCK) or transient error
+        std::scoped_lock lock(mutex_);
+        const auto it = tcp_conns_.find(fd);
+        if (it == tcp_conns_.end()) return;
+        it->second->rx_buffer.insert(it->second->rx_buffer.end(), buffer, buffer + n);
+    }
+
+    // Extract complete frames.
+    while (true) {
+        Bytes payload;
+        Endpoint from;
+        MessageHandler* handler = nullptr;
+        {
+            std::scoped_lock lock(mutex_);
+            const auto it = tcp_conns_.find(fd);
+            if (it == tcp_conns_.end()) return;
+            TcpConn& conn = *it->second;
+            if (conn.rx_buffer.size() < 4) return;
+            const std::uint32_t len = (std::uint32_t{conn.rx_buffer[0]} << 24) |
+                                      (std::uint32_t{conn.rx_buffer[1]} << 16) |
+                                      (std::uint32_t{conn.rx_buffer[2]} << 8) |
+                                      std::uint32_t{conn.rx_buffer[3]};
+            if (len > kMaxFrame) {
+                // Hostile or corrupt framing: drop the connection.
+                tcp_conns_.erase(it);
+                ::close(fd);
+                return;
+            }
+            if (conn.rx_buffer.size() < 4 + len) return;
+            payload.assign(conn.rx_buffer.begin() + 4, conn.rx_buffer.begin() + 4 + len);
+            conn.rx_buffer.erase(conn.rx_buffer.begin(), conn.rx_buffer.begin() + 4 + len);
+
+            if (!conn.remote_known) {
+                // First frame: the peer's endpoint label.
+                if (payload.size() == 6) {
+                    conn.remote.host = (std::uint32_t{payload[0]} << 24) |
+                                       (std::uint32_t{payload[1]} << 16) |
+                                       (std::uint32_t{payload[2]} << 8) |
+                                       std::uint32_t{payload[3]};
+                    conn.remote.port =
+                        static_cast<std::uint16_t>((payload[4] << 8) | payload[5]);
+                    conn.remote_known = true;
+                }
+                continue;  // hello consumed; look for the next frame
+            }
+            from = conn.remote;
+            const auto bit = bindings_.find(conn.local);
+            if (bit != bindings_.end()) handler = bit->second.handler;
+        }
+        if (handler != nullptr) handler->on_reliable(from, payload);
+    }
+}
+
+void PosixTransport::loop() {
+    while (running_) {
+        std::vector<pollfd> fds;
+        std::vector<Endpoint> udp_owner;     // parallel to fds for UDP entries
+        std::vector<Endpoint> listen_owner;  // for listeners
+        enum class Kind : std::uint8_t { kWake, kUdp, kListen, kTcp };
+        std::vector<Kind> kinds;
+        std::vector<Endpoint> owners;
+        std::vector<int> tcp_fds;
+
+        DurationUs timeout_us = 100 * kMillisecond;  // idle tick
+        {
+            std::scoped_lock lock(mutex_);
+            fds.push_back({wake_pipe_[0], POLLIN, 0});
+            kinds.push_back(Kind::kWake);
+            owners.push_back(Endpoint{});
+            for (const auto& [ep, binding] : bindings_) {
+                fds.push_back({binding.udp_fd, POLLIN, 0});
+                kinds.push_back(Kind::kUdp);
+                owners.push_back(ep);
+                fds.push_back({binding.listen_fd, POLLIN, 0});
+                kinds.push_back(Kind::kListen);
+                owners.push_back(ep);
+            }
+            for (const auto& [fd, conn] : tcp_conns_) {
+                fds.push_back({fd, POLLIN, 0});
+                kinds.push_back(Kind::kTcp);
+                owners.push_back(Endpoint{});
+            }
+            if (!timers_.empty()) {
+                timeout_us = std::max<DurationUs>(0, timers_.front().deadline - wall_now());
+            }
+        }
+
+        const int timeout_ms =
+            static_cast<int>(std::min<DurationUs>(timeout_us / 1000 + 1, 1000));
+        const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+        if (!running_) break;
+
+        // Fire due timers (outside the poll, outside the lock).
+        while (true) {
+            std::function<void()> task;
+            {
+                std::scoped_lock lock(mutex_);
+                if (timers_.empty() || timers_.front().deadline > wall_now()) break;
+                std::pop_heap(timers_.begin(), timers_.end(), std::greater<>{});
+                task = std::move(timers_.back().task);
+                timers_.pop_back();
+            }
+            task();
+        }
+
+        if (ready <= 0) continue;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            switch (kinds[i]) {
+                case Kind::kWake: {
+                    char drain[64];
+                    while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+                    }
+                    break;
+                }
+                case Kind::kUdp: {
+                    int udp_fd = -1;
+                    MessageHandler* handler = nullptr;
+                    {
+                        std::scoped_lock lock(mutex_);
+                        const auto it = bindings_.find(owners[i]);
+                        if (it != bindings_.end()) {
+                            udp_fd = it->second.udp_fd;
+                            handler = it->second.handler;
+                        }
+                    }
+                    if (handler != nullptr) handle_udp_readable(udp_fd, handler);
+                    break;
+                }
+                case Kind::kListen: {
+                    int listen_fd = -1;
+                    {
+                        std::scoped_lock lock(mutex_);
+                        const auto it = bindings_.find(owners[i]);
+                        if (it != bindings_.end()) listen_fd = it->second.listen_fd;
+                    }
+                    if (listen_fd >= 0) handle_accept(listen_fd, owners[i]);
+                    break;
+                }
+                case Kind::kTcp:
+                    handle_tcp_readable(fds[i].fd);
+                    break;
+            }
+        }
+    }
+}
+
+std::uint16_t PosixTransport::find_free_port(std::uint16_t start) {
+    for (std::uint16_t port = start; port < 65500; ++port) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) continue;
+        const sockaddr_in addr = loopback_addr(port);
+        const bool ok =
+            ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+        ::close(fd);
+        if (ok) return port;
+    }
+    throw std::runtime_error("no free loopback port found");
+}
+
+}  // namespace narada::transport

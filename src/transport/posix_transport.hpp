@@ -1,0 +1,120 @@
+// Real-socket transport backend (loopback).
+//
+// Implements the same Transport + Scheduler interfaces as the simulator,
+// over actual POSIX sockets on 127.0.0.1, so the identical protocol stack
+// (brokers, BDNs, discovery clients, NTP) runs over real networking:
+//
+//   * datagrams  -> UDP sockets (genuinely lossy under pressure);
+//   * reliable   -> TCP connections with u32 length-prefixed frames; the
+//     first frame on each connection announces the sender's bound endpoint
+//     (TCP source ports are ephemeral and would not identify the sender);
+//   * multicast  -> process-local group fan-out over UDP (documented
+//     emulation: realm scoping is a WAN property the loopback has not got);
+//   * timers     -> a wall-clock timer heap.
+//
+// Concurrency model (CP.2/CP.3): ONE internal event-loop thread runs
+// poll() over every socket plus a wake pipe and fires due timers, so all
+// MessageHandler and timer callbacks are serialized exactly as on the
+// simulator's virtual-time kernel — protocol objects need no locks.
+// send_* and schedule() may be called from any thread (including from
+// within callbacks).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/scheduler.hpp"
+#include "common/types.hpp"
+#include "transport/transport.hpp"
+
+namespace narada::transport {
+
+class PosixTransport final : public Transport, public Scheduler {
+public:
+    /// Starts the event-loop thread.
+    PosixTransport();
+    /// Stops the loop and closes every socket.
+    ~PosixTransport() override;
+
+    PosixTransport(const PosixTransport&) = delete;
+    PosixTransport& operator=(const PosixTransport&) = delete;
+
+    // --- Transport ----------------------------------------------------------
+    /// Binds a UDP socket and a TCP listener on 127.0.0.1:port. The
+    /// Endpoint's host id is an application-level label (all traffic is
+    /// loopback); the port must be unique within the process/machine.
+    /// Throws std::system_error on bind failure.
+    void bind(const Endpoint& local, MessageHandler* handler) override;
+    void unbind(const Endpoint& local) override;
+    void send_datagram(const Endpoint& from, const Endpoint& to, Bytes data) override;
+    void send_reliable(const Endpoint& from, const Endpoint& to, Bytes data) override;
+    void join_multicast(MulticastGroup group, const Endpoint& local) override;
+    void leave_multicast(MulticastGroup group, const Endpoint& local) override;
+    void send_multicast(MulticastGroup group, const Endpoint& from, Bytes data) override;
+
+    // --- Scheduler ----------------------------------------------------------
+    TimerHandle schedule(DurationUs delay, std::function<void()> task) override;
+    void cancel_timer(TimerHandle handle) override;
+
+    /// Find a free port by probing bind() upward from `start` (test helper).
+    static std::uint16_t find_free_port(std::uint16_t start);
+
+private:
+    struct Binding {
+        MessageHandler* handler = nullptr;
+        Endpoint endpoint;
+        int udp_fd = -1;
+        int listen_fd = -1;
+    };
+
+    /// An accepted or initiated TCP connection carrying framed messages.
+    struct TcpConn {
+        int fd = -1;
+        Endpoint local;        ///< our endpoint label
+        Endpoint remote;       ///< peer label (learned from its hello frame)
+        bool remote_known = false;
+        Bytes rx_buffer;       ///< partial frame accumulation
+    };
+
+    struct Timer {
+        TimeUs deadline;
+        TimerHandle handle;
+        std::function<void()> task;
+        bool operator>(const Timer& other) const { return deadline > other.deadline; }
+    };
+
+    void loop();
+    void wake();
+    void handle_udp_readable(int udp_fd, MessageHandler* handler);
+    void handle_accept(int listen_fd, const Endpoint& local);
+    void handle_tcp_readable(int fd);
+    void close_tcp(int fd);
+    /// Get or create the outgoing connection from `from` to `to`.
+    int outgoing_fd(const Endpoint& from, const Endpoint& to);
+    static void send_frame(int fd, const Bytes& payload);
+    [[nodiscard]] static TimeUs wall_now();
+
+    std::mutex mutex_;  // guards every container below
+    std::map<Endpoint, Binding> bindings_;
+    std::unordered_map<int, std::unique_ptr<TcpConn>> tcp_conns_;     // by fd
+    std::map<std::pair<Endpoint, Endpoint>, int> outgoing_;           // (from,to) -> fd
+    std::map<MulticastGroup, std::vector<Endpoint>> groups_;
+    std::map<std::uint16_t, Endpoint> port_to_endpoint_;
+
+    std::vector<Timer> timers_;  // min-heap by deadline
+    TimerHandle next_timer_ = 1;
+
+    int wake_pipe_[2] = {-1, -1};
+    std::atomic<bool> running_{true};
+    std::thread loop_thread_;
+};
+
+}  // namespace narada::transport

@@ -1,0 +1,67 @@
+// Transport abstraction.
+//
+// The paper uses three kinds of communication (§3, §5, §7):
+//   * reliable connection-oriented messages (TCP) — broker↔broker links and
+//     optionally the request to the BDN;
+//   * unreliable datagrams (UDP) — discovery responses and pings, where the
+//     loss of many-hop packets is *deliberately exploited* to filter remote
+//     brokers (§5.2);
+//   * multicast — the BDN-less fallback, which only reaches brokers in the
+//     sender's network realm (§7, §9).
+//
+// Both backends implement this interface: sim::SimNetwork (deterministic
+// virtual time) and transport::PosixTransport (real sockets). Protocol code
+// is written once against it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace narada::transport {
+
+/// Receives inbound messages for a bound endpoint. Implementations must not
+/// assume any particular thread: the sim delivers on the kernel's thread,
+/// the POSIX backend on its receive thread.
+class MessageHandler {
+public:
+    virtual ~MessageHandler() = default;
+
+    /// An unreliable datagram arrived (UDP semantics).
+    virtual void on_datagram(const Endpoint& from, const Bytes& data) = 0;
+
+    /// A reliable, ordered message arrived (TCP-link semantics). Defaults
+    /// to the datagram path since most nodes treat both uniformly.
+    virtual void on_reliable(const Endpoint& from, const Bytes& data) { on_datagram(from, data); }
+};
+
+/// Identifier of a multicast group (maps to a group address).
+using MulticastGroup = std::uint32_t;
+
+/// Well-known group used for BDN-less discovery (§7).
+constexpr MulticastGroup kDiscoveryMulticastGroup = 1;
+
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    /// Attach `handler` to a local endpoint. The handler must outlive the
+    /// binding; rebinding an endpoint replaces its handler.
+    virtual void bind(const Endpoint& local, MessageHandler* handler) = 0;
+    virtual void unbind(const Endpoint& local) = 0;
+
+    /// Fire-and-forget datagram. May be silently lost; never blocks.
+    virtual void send_datagram(const Endpoint& from, const Endpoint& to, Bytes data) = 0;
+
+    /// Reliable ordered message. Never lost while both endpoints live;
+    /// FIFO per (from, to) pair.
+    virtual void send_reliable(const Endpoint& from, const Endpoint& to, Bytes data) = 0;
+
+    /// Multicast membership and send. Delivery scope is realm-limited in
+    /// the simulator and emulated locally by the POSIX backend.
+    virtual void join_multicast(MulticastGroup group, const Endpoint& local) = 0;
+    virtual void leave_multicast(MulticastGroup group, const Endpoint& local) = 0;
+    virtual void send_multicast(MulticastGroup group, const Endpoint& from, Bytes data) = 0;
+};
+
+}  // namespace narada::transport

@@ -1,0 +1,107 @@
+#include "wire/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace narada::wire {
+
+void ByteWriter::u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::f64(double v) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::str(std::string_view v) {
+    if (v.size() > kMaxFieldLength) throw WireError("string too long");
+    u32(static_cast<std::uint32_t>(v.size()));
+    raw(reinterpret_cast<const std::uint8_t*>(v.data()), v.size());
+}
+
+void ByteWriter::blob(const Bytes& v) {
+    if (v.size() > kMaxFieldLength) throw WireError("blob too long");
+    u32(static_cast<std::uint32_t>(v.size()));
+    raw(v.data(), v.size());
+}
+
+void ByteWriter::raw(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteWriter::uuid(const Uuid& v) {
+    u64(v.hi());
+    u64(v.lo());
+}
+
+void ByteReader::need(std::size_t n) const {
+    if (size_ - pos_ < n) throw WireError("truncated message");
+}
+
+std::uint8_t ByteReader::u8() {
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t ByteReader::u32() {
+    const auto hi = static_cast<std::uint32_t>(u16());
+    const auto lo = static_cast<std::uint32_t>(u16());
+    return (hi << 16) | lo;
+}
+
+std::uint64_t ByteReader::u64() {
+    const auto hi = static_cast<std::uint64_t>(u32());
+    const auto lo = static_cast<std::uint64_t>(u32());
+    return (hi << 32) | lo;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+    const std::uint32_t len = u32();
+    if (len > kMaxFieldLength) throw WireError("string length too large");
+    need(len);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return out;
+}
+
+Bytes ByteReader::blob() {
+    const std::uint32_t len = u32();
+    if (len > kMaxFieldLength) throw WireError("blob length too large");
+    need(len);
+    Bytes out(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return out;
+}
+
+Uuid ByteReader::uuid() {
+    const std::uint64_t hi = u64();
+    const std::uint64_t lo = u64();
+    return Uuid::from_halves(hi, lo);
+}
+
+void ByteReader::expect_end() const {
+    if (!at_end()) throw WireError("trailing bytes after message");
+}
+
+}  // namespace narada::wire

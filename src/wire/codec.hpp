@@ -1,0 +1,88 @@
+// Portable binary wire codec.
+//
+// Every protocol message (broker advertisements, discovery requests and
+// responses, pings, pub/sub events) is encoded through ByteWriter and
+// decoded through ByteReader. Integers are big-endian (network order);
+// variable-size fields carry a u32 length prefix. Decoding is strict:
+// truncated or malformed input throws WireError, which transports catch and
+// count as a dropped packet — a hostile datagram can never crash a broker.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+
+namespace narada::wire {
+
+class WireError : public std::runtime_error {
+public:
+    explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+public:
+    ByteWriter() = default;
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /// Length-prefixed UTF-8 string.
+    void str(std::string_view v);
+    /// Length-prefixed byte blob.
+    void blob(const Bytes& v);
+    /// Raw bytes, no length prefix (caller manages framing).
+    void raw(const std::uint8_t* data, std::size_t len);
+    void uuid(const Uuid& v);
+
+    [[nodiscard]] const Bytes& bytes() const { return buf_; }
+    [[nodiscard]] Bytes take() { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+private:
+    Bytes buf_;
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+    ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    bool boolean() { return u8() != 0; }
+    std::string str();
+    Bytes blob();
+    Uuid uuid();
+
+    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+    [[nodiscard]] bool at_end() const { return pos_ == size_; }
+
+    /// Throw unless the whole buffer was consumed (tail garbage detection).
+    void expect_end() const;
+
+private:
+    void need(std::size_t n) const;
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/// Limit on any length-prefixed field; rejects absurd lengths from corrupt
+/// or hostile datagrams before any allocation happens.
+constexpr std::uint32_t kMaxFieldLength = 16 * 1024 * 1024;
+
+}  // namespace narada::wire

@@ -1,0 +1,69 @@
+#include "broker/dedup_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace narada::broker {
+namespace {
+
+Uuid make_id(std::uint64_t n) { return Uuid::from_halves(n, n * 31); }
+
+TEST(DedupCache, FirstInsertIsNew) {
+    DedupCache cache(10);
+    EXPECT_TRUE(cache.insert(make_id(1)));
+    EXPECT_FALSE(cache.insert(make_id(1)));
+    EXPECT_TRUE(cache.contains(make_id(1)));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DedupCache, EvictsOldestBeyondCapacity) {
+    DedupCache cache(3);
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(cache.insert(make_id(i)));
+    EXPECT_EQ(cache.size(), 3u);
+    // The two oldest were evicted and count as new again.
+    EXPECT_FALSE(cache.contains(make_id(0)));
+    EXPECT_FALSE(cache.contains(make_id(1)));
+    EXPECT_TRUE(cache.contains(make_id(2)));
+    EXPECT_TRUE(cache.contains(make_id(4)));
+    EXPECT_TRUE(cache.insert(make_id(0)));
+}
+
+TEST(DedupCache, PaperDefaultSize) {
+    // "Every broker keeps track of the last 1000 broker discovery requests"
+    // (§4).
+    DedupCache cache;
+    EXPECT_EQ(cache.capacity(), 1000u);
+    for (std::uint64_t i = 0; i < 1000; ++i) cache.insert(make_id(i));
+    EXPECT_TRUE(cache.contains(make_id(0)));
+    cache.insert(make_id(1000));
+    EXPECT_FALSE(cache.contains(make_id(0)));  // strictly the last 1000
+    EXPECT_TRUE(cache.contains(make_id(1)));
+}
+
+TEST(DedupCache, ZeroCapacityDisablesCaching) {
+    DedupCache cache(0);
+    EXPECT_TRUE(cache.insert(make_id(7)));
+    EXPECT_TRUE(cache.insert(make_id(7)));  // everything looks new
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DedupCache, DuplicateInsertDoesNotRefreshPosition) {
+    DedupCache cache(2);
+    cache.insert(make_id(1));
+    cache.insert(make_id(2));
+    cache.insert(make_id(1));  // duplicate; must NOT move 1 to the front
+    cache.insert(make_id(3));  // evicts 1 (the oldest)
+    EXPECT_FALSE(cache.contains(make_id(1)));
+    EXPECT_TRUE(cache.contains(make_id(2)));
+    EXPECT_TRUE(cache.contains(make_id(3)));
+}
+
+TEST(DedupCache, Clear) {
+    DedupCache cache(5);
+    cache.insert(make_id(1));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(cache.insert(make_id(1)));
+}
+
+}  // namespace
+}  // namespace narada::broker

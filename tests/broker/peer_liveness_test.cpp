@@ -1,0 +1,127 @@
+// Peer-link liveness: brokers heartbeat their peers and shed dead links
+// (§1.2's fluid broker network).
+#include <gtest/gtest.h>
+
+#include "broker/broker.hpp"
+#include "broker/client.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace narada::broker {
+namespace {
+
+struct LivenessFixture : ::testing::Test {
+    LivenessFixture() : net(kernel, 404), utc(kernel.clock()) {
+        config::BrokerConfig cfg;
+        cfg.processing_delay = from_ms(1);
+        cfg.peer_heartbeat_interval = from_ms(500);
+        cfg.peer_max_missed = 2;
+        for (int i = 0; i < 3; ++i) {
+            const HostId host = net.add_host({"h" + std::to_string(i), "S", "r", 0});
+            hosts.push_back(host);
+            brokers.push_back(std::make_unique<Broker>(kernel, net, Endpoint{host, 7000},
+                                                       net.host_clock(host), utc, cfg,
+                                                       "b" + std::to_string(i)));
+        }
+        net.set_default_link({from_ms(2), 0, 2});
+        brokers[1]->connect_to_peer(brokers[0]->endpoint());
+        brokers[2]->connect_to_peer(brokers[0]->endpoint());
+        for (auto& b : brokers) b->start();
+        kernel.run_until(kernel.now() + kSecond);
+    }
+
+    void settle(DurationUs d) { kernel.run_until(kernel.now() + d); }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    timesvc::FixedUtcSource utc;
+    std::vector<HostId> hosts;
+    std::vector<std::unique_ptr<Broker>> brokers;
+};
+
+TEST_F(LivenessFixture, HealthyLinksStayUp) {
+    settle(20 * kSecond);
+    EXPECT_EQ(brokers[0]->peers().size(), 2u);
+    EXPECT_EQ(brokers[0]->stats().peers_dropped, 0u);
+}
+
+TEST_F(LivenessFixture, DeadPeerIsShed) {
+    ASSERT_EQ(brokers[0]->peers().size(), 2u);
+    net.set_host_down(hosts[2], true);
+    settle(5 * kSecond);  // several heartbeat rounds
+    EXPECT_EQ(brokers[0]->peers().size(), 1u);
+    EXPECT_EQ(brokers[0]->peers()[0], brokers[1]->endpoint());
+    EXPECT_EQ(brokers[0]->stats().peers_dropped, 1u);
+}
+
+TEST_F(LivenessFixture, NoForwardingToDroppedPeer) {
+    net.set_host_down(hosts[2], true);
+    settle(5 * kSecond);
+    const std::uint64_t before = brokers[0]->stats().events_forwarded;
+
+    Event event;
+    event.topic = "after/drop";
+    brokers[0]->publish(event);
+    settle(kSecond);
+    // Forwarded only to the surviving peer.
+    EXPECT_EQ(brokers[0]->stats().events_forwarded, before + 1);
+}
+
+TEST_F(LivenessFixture, RevivedBrokerRejoinsExplicitly) {
+    net.set_host_down(hosts[2], true);
+    settle(5 * kSecond);
+    ASSERT_EQ(brokers[0]->peers().size(), 1u);
+
+    net.set_host_down(hosts[2], false);
+    // Rejoining is explicit (as with a real broker restart): reconnect.
+    brokers[2]->connect_to_peer(brokers[0]->endpoint());
+    settle(kSecond);
+    EXPECT_EQ(brokers[0]->peers().size(), 2u);
+}
+
+TEST_F(LivenessFixture, RoutedInterestsRelearnedAfterRejoin) {
+    // Routed-mode variant: dropping the link purges its interest table;
+    // rejoining restores routing via the summary exchange.
+    config::BrokerConfig cfg;
+    cfg.processing_delay = from_ms(1);
+    cfg.peer_heartbeat_interval = from_ms(500);
+    cfg.peer_max_missed = 2;
+    cfg.routing_mode = config::RoutingMode::kRouted;
+    std::vector<std::unique_ptr<Broker>> routed;
+    for (int i = 0; i < 2; ++i) {
+        const HostId host = net.add_host({"r" + std::to_string(i), "S", "r", 0});
+        hosts.push_back(host);
+        routed.push_back(std::make_unique<Broker>(kernel, net, Endpoint{host, 7100},
+                                                  net.host_clock(host), utc, cfg,
+                                                  "r" + std::to_string(i)));
+        routed.back()->start();
+    }
+    routed[1]->connect_to_peer(routed[0]->endpoint());
+    const HostId client_host = net.add_host({"c", "S", "r", 0});
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    int received = 0;
+    sub.on_event([&](const Event&) { ++received; });
+    sub.subscribe("routed/t");
+    sub.connect(routed[1]->endpoint());
+    pub.connect(routed[0]->endpoint());
+    settle(kSecond);
+    pub.publish("routed/t", Bytes{});
+    settle(kSecond);
+    ASSERT_EQ(received, 1);
+
+    // r1's host dies long enough for r0 to shed the link, then revives.
+    net.set_host_down(routed[1]->endpoint().host, true);
+    settle(5 * kSecond);
+    EXPECT_TRUE(routed[0]->peers().empty());
+    net.set_host_down(routed[1]->endpoint().host, false);
+    routed[1]->connect_to_peer(routed[0]->endpoint());
+    settle(2 * kSecond);
+
+    pub.publish("routed/t", Bytes{});
+    settle(kSecond);
+    EXPECT_EQ(received, 2);  // interest summary restored the route
+}
+
+}  // namespace
+}  // namespace narada::broker

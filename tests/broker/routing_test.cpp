@@ -1,0 +1,215 @@
+// Subscription-aware routing (RoutingMode::kRouted): interest propagation
+// across the overlay and selective event forwarding, versus flooding.
+#include <gtest/gtest.h>
+
+#include "broker/broker.hpp"
+#include "broker/client.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace narada::broker {
+namespace {
+
+struct RoutingFixture : ::testing::Test {
+    void build(config::RoutingMode mode, int broker_count = 4) {
+        config::BrokerConfig cfg;
+        cfg.routing_mode = mode;
+        cfg.processing_delay = from_ms(1);
+        for (int i = 0; i < broker_count; ++i) {
+            const HostId host = net.add_host({"h" + std::to_string(i), "S", "r", 0});
+            hosts.push_back(host);
+            brokers.push_back(std::make_unique<Broker>(kernel, net, Endpoint{host, 7000},
+                                                       net.host_clock(host), utc, cfg,
+                                                       "b" + std::to_string(i)));
+        }
+        client_host = net.add_host({"clients", "S", "r", 0});
+        net.set_default_link({from_ms(2), 0, 2});
+        for (auto& b : brokers) b->start();
+    }
+
+    void chain() {
+        for (std::size_t i = 0; i + 1 < brokers.size(); ++i) {
+            brokers[i]->connect_to_peer(brokers[i + 1]->endpoint());
+        }
+        kernel.run_until(kernel.now() + kSecond);
+    }
+
+    std::uint64_t total_forwards() const {
+        std::uint64_t total = 0;
+        for (const auto& b : brokers) total += b->stats().events_forwarded;
+        return total;
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net{kernel, 99};
+    timesvc::FixedUtcSource utc{kernel.clock()};
+    std::vector<HostId> hosts;
+    std::vector<std::unique_ptr<Broker>> brokers;
+    HostId client_host{};
+};
+
+TEST_F(RoutingFixture, RoutedDeliveryAcrossChain) {
+    build(config::RoutingMode::kRouted);
+    chain();
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    int received = 0;
+    sub.on_event([&](const Event&) { ++received; });
+    sub.subscribe("news/#");
+    sub.connect(brokers[3]->endpoint());  // far end
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    pub.publish("news/today", Bytes{1});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(received, 1);
+    // The event crossed exactly the three chain links, no more.
+    EXPECT_EQ(total_forwards(), 3u);
+}
+
+TEST_F(RoutingFixture, RoutedDropsUninterestedBranch) {
+    build(config::RoutingMode::kRouted, 3);
+    // Star: b0 is hub, b1/b2 leaves.
+    brokers[1]->connect_to_peer(brokers[0]->endpoint());
+    brokers[2]->connect_to_peer(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    sub.on_event([](const Event&) {});
+    sub.subscribe("only/here");
+    sub.connect(brokers[1]->endpoint());
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    pub.publish("only/here", Bytes{});
+    pub.publish("nobody/cares", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+
+    // 'only/here' forwarded hub->b1 once; 'nobody/cares' not forwarded at
+    // all; b2 never ingested anything beyond its own link traffic.
+    EXPECT_EQ(total_forwards(), 1u);
+    EXPECT_EQ(brokers[2]->stats().events_ingested, 0u);
+}
+
+TEST_F(RoutingFixture, FloodForwardsEverywhere) {
+    build(config::RoutingMode::kFlood, 3);
+    brokers[1]->connect_to_peer(brokers[0]->endpoint());
+    brokers[2]->connect_to_peer(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    pub.publish("nobody/cares", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(total_forwards(), 2u);  // hub blasted both leaves anyway
+    EXPECT_EQ(brokers[2]->stats().events_ingested, 1u);
+}
+
+TEST_F(RoutingFixture, UnsubscribeWithdrawsInterest) {
+    build(config::RoutingMode::kRouted, 2);
+    chain();
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    int received = 0;
+    sub.on_event([&](const Event&) { ++received; });
+    sub.subscribe("t/x");
+    sub.connect(brokers[1]->endpoint());
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    pub.publish("t/x", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(received, 1);
+
+    sub.unsubscribe("t/x");
+    kernel.run_until(kernel.now() + kSecond);
+    pub.publish("t/x", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(received, 1);            // nothing new delivered
+    EXPECT_EQ(total_forwards(), 1u);   // and nothing new forwarded
+}
+
+TEST_F(RoutingFixture, DisconnectWithdrawsInterest) {
+    build(config::RoutingMode::kRouted, 2);
+    chain();
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    sub.on_event([](const Event&) {});
+    sub.subscribe("t/x");
+    sub.connect(brokers[1]->endpoint());
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    sub.disconnect();
+    kernel.run_until(kernel.now() + kSecond);
+    pub.publish("t/x", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(total_forwards(), 0u);
+}
+
+TEST_F(RoutingFixture, LateLinkLearnsExistingInterests) {
+    build(config::RoutingMode::kRouted, 3);
+    // Only b0-b1 linked initially; the subscriber sits on b1.
+    brokers[1]->connect_to_peer(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    int received = 0;
+    sub.on_event([&](const Event&) { ++received; });
+    sub.subscribe("late/topic");
+    sub.connect(brokers[1]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    // b2 joins afterwards; the summary exchange must teach it the route.
+    brokers[2]->connect_to_peer(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    pub.connect(brokers[2]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    pub.publish("late/topic", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(received, 1);
+}
+
+TEST_F(RoutingFixture, CyclicOverlayIsSafeAndDeliversOnce) {
+    build(config::RoutingMode::kRouted, 3);
+    brokers[0]->connect_to_peer(brokers[1]->endpoint());
+    brokers[1]->connect_to_peer(brokers[2]->endpoint());
+    brokers[2]->connect_to_peer(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+
+    PubSubClient sub(kernel, net, Endpoint{client_host, 8000});
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    int received = 0;
+    sub.on_event([&](const Event&) { ++received; });
+    sub.subscribe("ring/t");
+    sub.connect(brokers[2]->endpoint());
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    pub.publish("ring/t", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(received, 1);  // event dedup still guards the cycle
+}
+
+TEST_F(RoutingFixture, PluginInterestKeepsEventsFlowing) {
+    build(config::RoutingMode::kRouted, 2);
+    struct Probe final : BrokerPlugin {
+        void on_attach(Broker& b) override { b.add_plugin_interest("probe/#"); }
+        void on_event(const Event& e) override {
+            if (e.topic == "probe/data") ++hits;
+        }
+        int hits = 0;
+    } probe;
+    brokers[1]->add_plugin(&probe);
+    chain();
+
+    PubSubClient pub(kernel, net, Endpoint{client_host, 8001});
+    pub.connect(brokers[0]->endpoint());
+    kernel.run_until(kernel.now() + kSecond);
+    pub.publish("probe/data", Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(probe.hits, 1);
+}
+
+}  // namespace
+}  // namespace narada::broker

@@ -1,0 +1,166 @@
+#include "broker/subscription_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "broker/topic.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace narada::broker {
+namespace {
+
+bool contains(const std::vector<SubscriberToken>& v, SubscriberToken t) {
+    return std::find(v.begin(), v.end(), t) != v.end();
+}
+
+TEST(SubscriptionTable, ExactMatch) {
+    SubscriptionTable table;
+    EXPECT_TRUE(table.subscribe("a/b", 1));
+    EXPECT_TRUE(contains(table.match("a/b"), 1));
+    EXPECT_TRUE(table.match("a/c").empty());
+    EXPECT_TRUE(table.match("a").empty());
+    EXPECT_TRUE(table.match("a/b/c").empty());
+}
+
+TEST(SubscriptionTable, RejectsInvalidFilter) {
+    SubscriptionTable table;
+    EXPECT_FALSE(table.subscribe("", 1));
+    EXPECT_FALSE(table.subscribe("a//b", 1));
+    EXPECT_FALSE(table.subscribe("a/#/b", 1));
+    EXPECT_EQ(table.filter_count(), 0u);
+}
+
+TEST(SubscriptionTable, WildcardMatches) {
+    SubscriptionTable table;
+    table.subscribe("a/*/c", 1);
+    table.subscribe("a/#", 2);
+    table.subscribe("#", 3);
+    const auto m = table.match("a/b/c");
+    EXPECT_TRUE(contains(m, 1));
+    EXPECT_TRUE(contains(m, 2));
+    EXPECT_TRUE(contains(m, 3));
+    const auto m2 = table.match("x/y");
+    EXPECT_FALSE(contains(m2, 1));
+    EXPECT_FALSE(contains(m2, 2));
+    EXPECT_TRUE(contains(m2, 3));
+}
+
+TEST(SubscriptionTable, MultiWildcardMatchesZeroSegments) {
+    SubscriptionTable table;
+    table.subscribe("a/#", 1);
+    EXPECT_TRUE(contains(table.match("a"), 1));
+}
+
+TEST(SubscriptionTable, DistinctTokensDeduplicated) {
+    SubscriptionTable table;
+    table.subscribe("a/b", 1);
+    table.subscribe("a/*", 1);
+    table.subscribe("a/#", 1);
+    const auto m = table.match("a/b");
+    EXPECT_EQ(m.size(), 1u);  // one token, many matching filters
+}
+
+TEST(SubscriptionTable, SubscribeIdempotent) {
+    SubscriptionTable table;
+    EXPECT_TRUE(table.subscribe("a/b", 1));
+    EXPECT_TRUE(table.subscribe("a/b", 1));
+    EXPECT_EQ(table.filter_count(), 1u);
+}
+
+TEST(SubscriptionTable, Unsubscribe) {
+    SubscriptionTable table;
+    table.subscribe("a/b", 1);
+    table.subscribe("a/b", 2);
+    EXPECT_TRUE(table.unsubscribe("a/b", 1));
+    EXPECT_FALSE(contains(table.match("a/b"), 1));
+    EXPECT_TRUE(contains(table.match("a/b"), 2));
+    EXPECT_FALSE(table.unsubscribe("a/b", 1));  // already removed
+    EXPECT_FALSE(table.unsubscribe("x/y", 9));  // never existed
+}
+
+TEST(SubscriptionTable, UnsubscribeWildcards) {
+    SubscriptionTable table;
+    table.subscribe("a/*/c", 1);
+    table.subscribe("a/#", 1);
+    EXPECT_TRUE(table.unsubscribe("a/*/c", 1));
+    EXPECT_TRUE(contains(table.match("a/b/c"), 1));  // '#' still matches
+    EXPECT_TRUE(table.unsubscribe("a/#", 1));
+    EXPECT_TRUE(table.match("a/b/c").empty());
+    EXPECT_EQ(table.filter_count(), 0u);
+}
+
+TEST(SubscriptionTable, RemoveSubscriberEverywhere) {
+    SubscriptionTable table;
+    table.subscribe("a/b", 1);
+    table.subscribe("c/*", 1);
+    table.subscribe("d/#", 1);
+    table.subscribe("a/b", 2);
+    table.remove_subscriber(1);
+    EXPECT_TRUE(table.match("c/x").empty());
+    EXPECT_TRUE(table.match("d/y").empty());
+    EXPECT_TRUE(contains(table.match("a/b"), 2));
+    EXPECT_EQ(table.filter_count(), 1u);
+}
+
+TEST(SubscriptionTable, PruningKeepsTableConsistent) {
+    SubscriptionTable table;
+    // Build and tear down a deep filter; an unrelated sibling must survive.
+    table.subscribe("a/b/c/d/e", 1);
+    table.subscribe("a/b/x", 2);
+    EXPECT_TRUE(table.unsubscribe("a/b/c/d/e", 1));
+    EXPECT_TRUE(contains(table.match("a/b/x"), 2));
+    EXPECT_TRUE(table.match("a/b/c/d/e").empty());
+}
+
+TEST(SubscriptionTable, MatchesSubscriberHelper) {
+    SubscriptionTable table;
+    table.subscribe("a/#", 7);
+    EXPECT_TRUE(table.matches_subscriber("a/b", 7));
+    EXPECT_FALSE(table.matches_subscriber("b/a", 7));
+    EXPECT_FALSE(table.matches_subscriber("a/b", 8));
+}
+
+// Property test: the trie must agree with brute-force topic_matches over
+// randomized filters and topics.
+TEST(SubscriptionTable, AgreesWithBruteForce) {
+    Rng rng(2024);
+    const std::vector<std::string> alphabet = {"a", "b", "c"};
+    auto random_segments = [&](bool filter) {
+        const int n = static_cast<int>(rng.bounded(4)) + 1;
+        std::vector<std::string> segs;
+        for (int i = 0; i < n; ++i) {
+            const auto roll = rng.bounded(filter ? 6 : 3);
+            if (filter && roll == 4) {
+                segs.push_back("*");
+            } else if (filter && roll == 5 && i == n - 1) {
+                segs.push_back("#");
+            } else {
+                segs.push_back(alphabet[roll % alphabet.size()]);
+            }
+        }
+        return segs;
+    };
+
+    for (int iteration = 0; iteration < 300; ++iteration) {
+        SubscriptionTable table;
+        std::vector<std::pair<std::string, SubscriberToken>> filters;
+        for (SubscriberToken t = 1; t <= 8; ++t) {
+            const std::string filter = join(random_segments(true), '/');
+            if (table.subscribe(filter, t)) filters.emplace_back(filter, t);
+        }
+        for (int q = 0; q < 10; ++q) {
+            const std::string topic = join(random_segments(false), '/');
+            const auto matched = table.match(topic);
+            for (const auto& [filter, token] : filters) {
+                const bool expected = topic_matches(filter, topic);
+                EXPECT_EQ(contains(matched, token), expected)
+                    << "filter=" << filter << " topic=" << topic;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace narada::broker

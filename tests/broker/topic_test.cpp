@@ -1,0 +1,96 @@
+#include "broker/topic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace narada::broker {
+namespace {
+
+TEST(Topic, SegmentsSplit) {
+    const auto segs = topic_segments("Services/BrokerDiscoveryNodes/BrokerAdvertisement");
+    ASSERT_EQ(segs.size(), 3u);
+    EXPECT_EQ(segs[0], "Services");
+    EXPECT_EQ(segs[2], "BrokerAdvertisement");
+}
+
+TEST(Topic, ValidTopics) {
+    EXPECT_TRUE(is_valid_topic("a"));
+    EXPECT_TRUE(is_valid_topic("a/b/c"));
+    EXPECT_TRUE(is_valid_topic(kBrokerAdvertisementTopic));
+    EXPECT_TRUE(is_valid_topic(kDiscoveryRequestTopic));
+}
+
+TEST(Topic, InvalidTopics) {
+    EXPECT_FALSE(is_valid_topic(""));
+    EXPECT_FALSE(is_valid_topic("/a"));
+    EXPECT_FALSE(is_valid_topic("a/"));
+    EXPECT_FALSE(is_valid_topic("a//b"));
+    EXPECT_FALSE(is_valid_topic("a/*/b"));  // wildcard not allowed in topics
+    EXPECT_FALSE(is_valid_topic("a/#"));
+}
+
+TEST(Topic, ValidFilters) {
+    EXPECT_TRUE(is_valid_filter("a/b"));
+    EXPECT_TRUE(is_valid_filter("a/*/c"));
+    EXPECT_TRUE(is_valid_filter("a/#"));
+    EXPECT_TRUE(is_valid_filter("#"));
+    EXPECT_TRUE(is_valid_filter("*"));
+}
+
+TEST(Topic, InvalidFilters) {
+    EXPECT_FALSE(is_valid_filter(""));
+    EXPECT_FALSE(is_valid_filter("a/#/b"));  // '#' must be final
+    EXPECT_FALSE(is_valid_filter("a//b"));
+    EXPECT_FALSE(is_valid_filter("/a"));
+}
+
+struct MatchCase {
+    const char* filter;
+    const char* topic;
+    bool expected;
+};
+
+class TopicMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(TopicMatchTest, Matches) {
+    const MatchCase& c = GetParam();
+    EXPECT_EQ(topic_matches(c.filter, c.topic), c.expected)
+        << c.filter << " vs " << c.topic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MatchMatrix, TopicMatchTest,
+    ::testing::Values(
+        // Exact matching.
+        MatchCase{"a/b/c", "a/b/c", true},
+        MatchCase{"a/b/c", "a/b", false},
+        MatchCase{"a/b", "a/b/c", false},
+        MatchCase{"a", "a", true},
+        MatchCase{"a", "b", false},
+        // Single-segment wildcard.
+        MatchCase{"a/*/c", "a/b/c", true},
+        MatchCase{"a/*/c", "a/x/c", true},
+        MatchCase{"a/*/c", "a/b/d", false},
+        MatchCase{"a/*/c", "a/c", false},
+        MatchCase{"*", "a", true},
+        MatchCase{"*", "a/b", false},
+        MatchCase{"*/b", "a/b", true},
+        MatchCase{"a/*", "a/b", true},
+        MatchCase{"a/*", "a", false},
+        // Multi-segment wildcard.
+        MatchCase{"#", "a", true},
+        MatchCase{"#", "a/b/c/d", true},
+        MatchCase{"a/#", "a/b", true},
+        MatchCase{"a/#", "a/b/c", true},
+        MatchCase{"a/#", "a", true},  // '#' matches zero segments
+        MatchCase{"a/#", "b/c", false},
+        MatchCase{"a/*/#", "a/b", true},
+        MatchCase{"a/*/#", "a", false},
+        // Paper topics.
+        MatchCase{"Services/#", "Services/BrokerDiscoveryNodes/BrokerAdvertisement", true},
+        MatchCase{"Services/*/BrokerAdvertisement",
+                  "Services/BrokerDiscoveryNodes/BrokerAdvertisement", true},
+        MatchCase{"Services/*/BrokerAdvertisement",
+                  "Services/BrokerDiscoveryNodes/DiscoveryRequest", false}));
+
+}  // namespace
+}  // namespace narada::broker

@@ -1,0 +1,48 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace narada {
+namespace {
+
+TEST(ManualClock, StartsAtGivenTime) {
+    ManualClock clock(100);
+    EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(ManualClock, AdvanceAndSet) {
+    ManualClock clock;
+    clock.advance(50);
+    EXPECT_EQ(clock.now(), 50);
+    clock.set(7);
+    EXPECT_EQ(clock.now(), 7);
+}
+
+TEST(OffsetClock, AppliesOffset) {
+    ManualClock base(1000);
+    OffsetClock skewed(base, -300);
+    EXPECT_EQ(skewed.now(), 700);
+    base.advance(100);
+    EXPECT_EQ(skewed.now(), 800);
+    skewed.set_offset(500);
+    EXPECT_EQ(skewed.now(), 1600);
+    EXPECT_EQ(skewed.offset(), 500);
+}
+
+TEST(WallClock, MonotonicEnough) {
+    WallClock clock;
+    const TimeUs a = clock.now();
+    const TimeUs b = clock.now();
+    EXPECT_GE(b, a);
+    // Sanity: after 2020-01-01 in microseconds.
+    EXPECT_GT(a, 1577836800000000LL);
+}
+
+TEST(TimeConversions, MsRoundTrip) {
+    EXPECT_EQ(from_ms(1.5), 1500);
+    EXPECT_DOUBLE_EQ(to_ms(2500), 2.5);
+    EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace narada

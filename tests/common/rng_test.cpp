@@ -1,0 +1,116 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace narada {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+    Rng rng(8);
+    double sum = 0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(9);
+    std::vector<int> counts(6, 0);
+    for (int i = 0; i < 60000; ++i) {
+        const std::int64_t v = rng.uniform_int(10, 15);
+        ASSERT_GE(v, 10);
+        ASSERT_LE(v, 15);
+        ++counts[v - 10];
+    }
+    for (int c : counts) EXPECT_GT(c, 9000);  // roughly uniform
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform_int(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+    Rng rng(11);
+    EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(14);
+    double sum = 0, sum_sq = 0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.gaussian(10.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kN;
+    const double var = sum_sq / kN - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BoundedZeroIsZero) {
+    Rng rng(15);
+    EXPECT_EQ(rng.bounded(0), 0u);
+    EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedStaysBelowBound) {
+    Rng rng(16);
+    for (int i = 0; i < 100000; ++i) {
+        EXPECT_LT(rng.bounded(17), 17u);
+    }
+}
+
+}  // namespace
+}  // namespace narada

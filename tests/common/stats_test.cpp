@@ -1,0 +1,110 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace narada {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Population variance is 4; sample variance is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+    RunningStats online;
+    SampleSet batch;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = std::sin(i * 0.37) * 100 + i * 0.01;
+        online.add(x);
+        batch.add(x);
+    }
+    EXPECT_NEAR(online.mean(), batch.mean(), 1e-9);
+    EXPECT_NEAR(online.stddev(), batch.stddev(), 1e-9);
+    EXPECT_NEAR(online.std_error(), batch.std_error(), 1e-9);
+}
+
+TEST(SampleSet, BasicMetrics) {
+    SampleSet s({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+    EXPECT_NEAR(s.std_error(), std::sqrt(2.5) / std::sqrt(5.0), 1e-12);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+    SampleSet s({10.0, 20.0, 30.0, 40.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(SampleSet, PercentileRejectsOutOfRange) {
+    SampleSet s({1.0});
+    EXPECT_THROW((void)s.percentile(-1), std::invalid_argument);
+    EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSet, TrimOutliersRemovesExtremes) {
+    // 100 samples around 50 plus two wild outliers, as in the paper's
+    // "120 runs, first 100 after removing outliers" pipeline.
+    SampleSet s;
+    for (int i = 0; i < 100; ++i) s.add(50.0 + (i % 10));
+    s.add(100000.0);
+    s.add(-100000.0);
+    const SampleSet trimmed = s.trim_outliers(100);
+    EXPECT_EQ(trimmed.size(), 100u);
+    EXPECT_LT(trimmed.max(), 100.0);
+    EXPECT_GT(trimmed.min(), 0.0);
+}
+
+TEST(SampleSet, TrimNoopWhenSmall) {
+    SampleSet s({1.0, 2.0});
+    EXPECT_EQ(s.trim_outliers(10).size(), 2u);
+}
+
+TEST(SampleSet, MetricTableHasPaperRows) {
+    SampleSet s({1.0, 2.0, 3.0});
+    const std::string table = s.metric_table();
+    EXPECT_NE(table.find("Mean"), std::string::npos);
+    EXPECT_NE(table.find("Standard deviation"), std::string::npos);
+    EXPECT_NE(table.find("Maximum"), std::string::npos);
+    EXPECT_NE(table.find("Minimum"), std::string::npos);
+    EXPECT_NE(table.find("Error"), std::string::npos);
+}
+
+TEST(SampleSet, EmptySafe) {
+    SampleSet s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace narada

@@ -1,0 +1,65 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace narada {
+namespace {
+
+TEST(Strings, SplitBasic) {
+    const auto parts = split("a/b/c", '/');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = split("/a//b/", '/');
+    ASSERT_EQ(parts.size(), 5u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[4], "");
+}
+
+TEST(Strings, SplitEmptyString) {
+    const auto parts = split("", '/');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitViewsAliasOriginal) {
+    const std::string text = "x,y";
+    const auto views = split_views(text, ',');
+    ASSERT_EQ(views.size(), 2u);
+    EXPECT_EQ(views[0].data(), text.data());
+}
+
+TEST(Strings, TrimWhitespace) {
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nabc\r "), "abc");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, JoinInvertsplit) {
+    const std::vector<std::string> parts = {"a", "b", "c"};
+    EXPECT_EQ(join(parts, '/'), "a/b/c");
+    EXPECT_EQ(join({}, '/'), "");
+    EXPECT_EQ(join({"solo"}, '/'), "solo");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(starts_with("Services/Broker", "Services"));
+    EXPECT_TRUE(starts_with("abc", ""));
+    EXPECT_FALSE(starts_with("ab", "abc"));
+    EXPECT_FALSE(starts_with("xyz", "y"));
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(to_lower("HeLLo 123"), "hello 123");
+    EXPECT_EQ(to_lower(""), "");
+}
+
+}  // namespace
+}  // namespace narada

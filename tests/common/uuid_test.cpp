@@ -1,0 +1,95 @@
+#include "common/uuid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace narada {
+namespace {
+
+TEST(Uuid, NilByDefault) {
+    Uuid u;
+    EXPECT_TRUE(u.is_nil());
+    EXPECT_EQ(u.str(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(Uuid, RandomIsVersion4) {
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const Uuid u = Uuid::random(rng);
+        const std::string s = u.str();
+        EXPECT_EQ(s.size(), 36u);
+        EXPECT_EQ(s[14], '4');  // version nibble
+        // Variant nibble is one of 8, 9, a, b.
+        EXPECT_TRUE(s[19] == '8' || s[19] == '9' || s[19] == 'a' || s[19] == 'b') << s;
+    }
+}
+
+TEST(Uuid, RandomIsUnique) {
+    Rng rng(2);
+    std::set<Uuid> seen;
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_TRUE(seen.insert(Uuid::random(rng)).second);
+    }
+}
+
+TEST(Uuid, RoundTripString) {
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Uuid u = Uuid::random(rng);
+        const auto parsed = Uuid::parse(u.str());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, u);
+    }
+}
+
+TEST(Uuid, ParseCanonical) {
+    const auto u = Uuid::parse("12345678-9abc-def0-1122-334455667788");
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(u->hi(), 0x123456789abcdef0ull);
+    EXPECT_EQ(u->lo(), 0x1122334455667788ull);
+}
+
+TEST(Uuid, ParseUpperCase) {
+    const auto u = Uuid::parse("ABCDEF00-0000-0000-0000-000000000001");
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(u->hi() >> 32, 0xABCDEF00u);
+}
+
+TEST(Uuid, ParseRejectsBadInput) {
+    EXPECT_FALSE(Uuid::parse("").has_value());
+    EXPECT_FALSE(Uuid::parse("not-a-uuid").has_value());
+    EXPECT_FALSE(Uuid::parse("12345678-9abc-def0-1122-33445566778").has_value());   // short
+    EXPECT_FALSE(Uuid::parse("12345678-9abc-def0-1122-3344556677889").has_value()); // long
+    EXPECT_FALSE(Uuid::parse("12345678x9abc-def0-1122-334455667788").has_value());  // bad dash
+    EXPECT_FALSE(Uuid::parse("1234567g-9abc-def0-1122-334455667788").has_value());  // bad hex
+}
+
+TEST(Uuid, DeterministicUnderSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(Uuid::random(a), Uuid::random(b));
+    }
+}
+
+TEST(Uuid, OrderingIsConsistent) {
+    const Uuid a = Uuid::from_halves(1, 2);
+    const Uuid b = Uuid::from_halves(1, 3);
+    const Uuid c = Uuid::from_halves(2, 0);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(a, Uuid::from_halves(1, 2));
+}
+
+TEST(Uuid, HashSpreads) {
+    Rng rng(4);
+    std::set<std::size_t> hashes;
+    for (int i = 0; i < 1000; ++i) {
+        hashes.insert(std::hash<Uuid>{}(Uuid::random(rng)));
+    }
+    EXPECT_GT(hashes.size(), 990u);
+}
+
+}  // namespace
+}  // namespace narada

@@ -1,0 +1,76 @@
+// BDN soft-state registry: registrations of silent brokers expire so
+// injection never targets the dead (churn support, §1.2).
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace narada::discovery {
+namespace {
+
+TEST(BdnExpiry, SilentBrokerExpires) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 808;
+    opts.bdn.ping_refresh_interval = from_ms(500);
+    opts.bdn.registration_expiry = from_ms(2000);
+    opts.broker.advertise_interval = 0;  // no re-ads: death is permanent
+    scenario::Scenario s(opts);
+    s.warm_up();
+    ASSERT_EQ(s.bdn().registered_count(), 5u);
+
+    s.network().set_host_down(s.broker_host(0), true);
+    s.kernel().run_until(s.kernel().now() + 10 * kSecond);
+    EXPECT_EQ(s.bdn().registered_count(), 4u);
+    EXPECT_GE(s.bdn().stats().registrations_expired, 1u);
+}
+
+TEST(BdnExpiry, ReAdvertisementKeepsRegistrationAlive) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 809;
+    opts.bdn.ping_refresh_interval = from_ms(500);
+    opts.bdn.registration_expiry = from_ms(2000);
+    opts.broker.advertise_interval = from_ms(1000);  // healthy soft state
+    scenario::Scenario s(opts);
+    s.warm_up();
+    s.kernel().run_until(s.kernel().now() + 20 * kSecond);
+    // Live brokers keep answering pings; nothing expires.
+    EXPECT_EQ(s.bdn().registered_count(), 5u);
+    EXPECT_EQ(s.bdn().stats().registrations_expired, 0u);
+}
+
+TEST(BdnExpiry, RevivedBrokerReRegisters) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 810;
+    opts.bdn.ping_refresh_interval = from_ms(500);
+    opts.bdn.registration_expiry = from_ms(2000);
+    opts.broker.advertise_interval = from_ms(1000);
+    scenario::Scenario s(opts);
+    s.warm_up();
+
+    s.network().set_host_down(s.broker_host(0), true);
+    s.kernel().run_until(s.kernel().now() + 10 * kSecond);
+    EXPECT_EQ(s.bdn().registered_count(), 4u);
+
+    s.network().set_host_down(s.broker_host(0), false);
+    s.kernel().run_until(s.kernel().now() + 5 * kSecond);
+    // The periodic re-advertisement restored the registration.
+    EXPECT_EQ(s.bdn().registered_count(), 5u);
+}
+
+TEST(BdnExpiry, DisabledByDefault) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 811;
+    opts.broker.advertise_interval = 0;
+    // registration_expiry defaults to 0: never expire.
+    scenario::Scenario s(opts);
+    s.warm_up();
+    s.network().set_host_down(s.broker_host(0), true);
+    s.kernel().run_until(s.kernel().now() + 60 * kSecond);
+    EXPECT_EQ(s.bdn().registered_count(), 5u);
+}
+
+}  // namespace
+}  // namespace narada::discovery

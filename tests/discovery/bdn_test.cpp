@@ -1,0 +1,293 @@
+#include "discovery/bdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+namespace {
+
+/// A minimal broker stand-in: answers pings, records discovery requests.
+class FakeBroker final : public transport::MessageHandler {
+public:
+    FakeBroker(sim::Kernel& kernel, transport::Transport& transport, const Endpoint& ep)
+        : kernel_(kernel), transport_(transport), ep_(ep) {
+        transport_.bind(ep_, this);
+    }
+    ~FakeBroker() override { transport_.unbind(ep_); }
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override {
+        wire::ByteReader r(data);
+        const std::uint8_t type = r.u8();
+        if (type == wire::kMsgPing) {
+            const TimeUs echo = r.i64();
+            wire::ByteWriter w;
+            w.u8(wire::kMsgPong);
+            w.i64(echo);
+            w.i64(kernel_.now());
+            transport_.send_datagram(ep_, from, w.take());
+        } else if (type == wire::kMsgDiscoveryRequest) {
+            requests.push_back({from, kernel_.now()});
+        }
+    }
+
+    struct Arrival {
+        Endpoint from;
+        TimeUs at;
+    };
+    std::vector<Arrival> requests;
+
+    BrokerAdvertisement advertisement(Rng& rng, const std::string& realm = "r") const {
+        BrokerAdvertisement ad;
+        ad.broker_id = Uuid::random(rng);
+        ad.broker_name = "fake";
+        ad.endpoint = ep_;
+        ad.realm = realm;
+        return ad;
+    }
+
+private:
+    sim::Kernel& kernel_;
+    transport::Transport& transport_;
+    Endpoint ep_;
+};
+
+struct BdnFixture : ::testing::Test {
+    BdnFixture() : net(kernel, 77), rng(7) {
+        bdn_host = net.add_host({"bdn", "S", "bdn-realm", 0});
+        client_host = net.add_host({"client", "S", "client-realm", 0});
+        for (int i = 0; i < 3; ++i) {
+            broker_hosts.push_back(net.add_host({"b" + std::to_string(i), "S", "r", 0}));
+        }
+        // Distinct latencies so "closest" and "farthest" are unambiguous.
+        net.set_link(bdn_host, broker_hosts[0], {from_ms(5), 0, 2});   // closest
+        net.set_link(bdn_host, broker_hosts[1], {from_ms(20), 0, 5});  // middle
+        net.set_link(bdn_host, broker_hosts[2], {from_ms(50), 0, 9});  // farthest
+        net.set_default_link({from_ms(10), 0, 3});
+        for (HostId h : broker_hosts) {
+            brokers.push_back(std::make_unique<FakeBroker>(kernel, net, Endpoint{h, 7000}));
+        }
+    }
+
+    Bdn make_bdn(config::BdnConfig cfg = {}) {
+        return Bdn(kernel, net, Endpoint{bdn_host, 7100}, net.host_clock(bdn_host), cfg);
+    }
+
+    DiscoveryRequest make_request() {
+        DiscoveryRequest req;
+        req.request_id = Uuid::random(rng);
+        req.reply_to = client_ep();
+        req.realm = "client-realm";
+        return req;
+    }
+
+    void send_request(Bdn& bdn, const DiscoveryRequest& req) {
+        wire::ByteWriter w;
+        w.u8(wire::kMsgDiscoveryRequest);
+        req.encode(w);
+        net.send_datagram(client_ep(), bdn.endpoint(), w.take());
+    }
+
+    Endpoint client_ep() const { return {client_host, 7200}; }
+
+    void register_all(Bdn& bdn, Rng& r) {
+        for (const auto& broker : brokers) {
+            bdn.register_broker(broker->advertisement(r));
+        }
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    Rng rng;
+    HostId bdn_host{}, client_host{};
+    std::vector<HostId> broker_hosts;
+    std::vector<std::unique_ptr<FakeBroker>> brokers;
+};
+
+TEST_F(BdnFixture, RegistersAdvertisements) {
+    Bdn bdn = make_bdn();
+    register_all(bdn, rng);
+    EXPECT_EQ(bdn.registered_count(), 3u);
+    EXPECT_EQ(bdn.stats().ads_received, 3u);
+}
+
+TEST_F(BdnFixture, ReRegistrationUpdatesNotDuplicates) {
+    Bdn bdn = make_bdn();
+    const BrokerAdvertisement ad = brokers[0]->advertisement(rng);
+    bdn.register_broker(ad);
+    bdn.register_broker(ad);
+    EXPECT_EQ(bdn.registered_count(), 1u);
+}
+
+TEST_F(BdnFixture, RealmFilterIgnoresForeignAds) {
+    // §2.3: "a BDN in the US may be interested only in broker additions in
+    // North America".
+    config::BdnConfig cfg;
+    cfg.accepted_realms = {"us-east"};
+    Bdn bdn = make_bdn(cfg);
+    bdn.register_broker(brokers[0]->advertisement(rng, "us-east"));
+    bdn.register_broker(brokers[1]->advertisement(rng, "europe"));
+    EXPECT_EQ(bdn.registered_count(), 1u);
+    EXPECT_EQ(bdn.stats().ads_filtered, 1u);
+}
+
+TEST_F(BdnFixture, DistanceTableFromPings) {
+    Bdn bdn = make_bdn();
+    register_all(bdn, rng);
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+    const auto registry = bdn.registry();
+    ASSERT_EQ(registry.size(), 3u);
+    for (const auto& rb : registry) {
+        EXPECT_GE(rb.rtt, 0) << "ping did not complete";
+    }
+    EXPECT_EQ(bdn.stats().pongs_received, 3u);
+}
+
+TEST_F(BdnFixture, ClosestAndFarthestInjection) {
+    Bdn bdn = make_bdn();  // default strategy
+    register_all(bdn, rng);
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);  // distance table ready
+    send_request(bdn, make_request());
+    kernel.run_until(kernel.now() + kSecond);
+    // §4: injected at exactly the closest (b0) and farthest (b2) brokers.
+    EXPECT_EQ(brokers[0]->requests.size(), 1u);
+    EXPECT_TRUE(brokers[1]->requests.empty());
+    EXPECT_EQ(brokers[2]->requests.size(), 1u);
+    EXPECT_EQ(bdn.stats().injections, 2u);
+}
+
+TEST_F(BdnFixture, ClosestOnlyInjection) {
+    config::BdnConfig cfg;
+    cfg.injection = config::InjectionStrategy::kClosestOnly;
+    Bdn bdn = make_bdn(cfg);
+    register_all(bdn, rng);
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+    send_request(bdn, make_request());
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(brokers[0]->requests.size(), 1u);
+    EXPECT_TRUE(brokers[1]->requests.empty());
+    EXPECT_TRUE(brokers[2]->requests.empty());
+}
+
+TEST_F(BdnFixture, AllInjectionIsSequentiallySpaced) {
+    config::BdnConfig cfg;
+    cfg.injection = config::InjectionStrategy::kAll;
+    cfg.injection_spacing = from_ms(10);
+    Bdn bdn = make_bdn(cfg);
+    register_all(bdn, rng);
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+    const TimeUs t0 = kernel.now();
+    send_request(bdn, make_request());
+    kernel.run_until(kernel.now() + kSecond);
+    ASSERT_EQ(brokers[0]->requests.size(), 1u);
+    ASSERT_EQ(brokers[1]->requests.size(), 1u);
+    ASSERT_EQ(brokers[2]->requests.size(), 1u);
+    // O(N) distribution: send k is spaced k*10 ms after the first (§9).
+    // Arrival = request reaches BDN + k*spacing + link latency.
+    const TimeUs a0 = brokers[0]->requests[0].at - t0;
+    const TimeUs a1 = brokers[1]->requests[0].at - t0;
+    const TimeUs a2 = brokers[2]->requests[0].at - t0;
+    EXPECT_LT(a0, a1);
+    EXPECT_LT(a1, a2);
+    EXPECT_GE(a2 - a0, from_ms(20) + from_ms(45) - from_ms(5));  // spacing + latency gap
+}
+
+TEST_F(BdnFixture, AcksEveryRequestIncludingDuplicates) {
+    struct AckCatcher final : transport::MessageHandler {
+        void on_datagram(const Endpoint&, const Bytes& data) override {
+            wire::ByteReader r(data);
+            if (r.u8() == wire::kMsgDiscoveryAck) ++acks;
+        }
+        int acks = 0;
+    } catcher;
+    net.bind(client_ep(), &catcher);
+
+    Bdn bdn = make_bdn();
+    register_all(bdn, rng);
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+    const DiscoveryRequest req = make_request();
+    send_request(bdn, req);
+    send_request(bdn, req);  // retransmission with the same UUID
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(catcher.acks, 2);                       // §3: timely acks
+    EXPECT_EQ(bdn.stats().duplicate_requests, 1u);    // §3: idempotent
+    EXPECT_EQ(brokers[0]->requests.size(), 1u);       // injected once only
+}
+
+TEST_F(BdnFixture, PrivateBdnRequiresCredential) {
+    config::BdnConfig cfg;
+    cfg.required_credential = "member-key";
+    Bdn bdn = make_bdn(cfg);
+    register_all(bdn, rng);
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+
+    DiscoveryRequest bad = make_request();
+    bad.credential = "wrong";
+    send_request(bdn, bad);
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(bdn.stats().credential_rejections, 1u);
+    EXPECT_TRUE(brokers[0]->requests.empty());
+
+    DiscoveryRequest good = make_request();
+    good.credential = "member-key";
+    send_request(bdn, good);
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_FALSE(brokers[0]->requests.empty());
+}
+
+TEST_F(BdnFixture, NoRegisteredBrokersMeansNoInjection) {
+    Bdn bdn = make_bdn();
+    bdn.start();
+    send_request(bdn, make_request());
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(bdn.stats().requests_received, 1u);
+    EXPECT_EQ(bdn.stats().injections, 0u);
+    EXPECT_EQ(bdn.stats().acks_sent, 1u);  // still acknowledges
+}
+
+TEST_F(BdnFixture, SingleRegisteredBrokerWorks) {
+    // §2.1: "Our scheme will work even if a single broker is registered".
+    Bdn bdn = make_bdn();
+    bdn.register_broker(brokers[1]->advertisement(rng));
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+    send_request(bdn, make_request());
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(brokers[1]->requests.size(), 1u);
+    EXPECT_EQ(bdn.stats().injections, 1u);
+}
+
+TEST_F(BdnFixture, MalformedDatagramIgnored) {
+    Bdn bdn = make_bdn();
+    net.send_datagram(client_ep(), bdn.endpoint(), Bytes{wire::kMsgDiscoveryRequest, 0x01});
+    net.send_datagram(client_ep(), bdn.endpoint(), Bytes{});
+    kernel.run_until(kernel.now() + kSecond);
+    EXPECT_EQ(bdn.stats().requests_received, 0u);
+}
+
+TEST_F(BdnFixture, PeriodicRefreshTracksChangingDistances) {
+    config::BdnConfig cfg;
+    cfg.ping_refresh_interval = from_ms(200);
+    Bdn bdn = make_bdn(cfg);
+    bdn.register_broker(brokers[0]->advertisement(rng));
+    bdn.start();
+    kernel.run_until(kernel.now() + kSecond);
+    const DurationUs rtt_before = bdn.registry()[0].rtt;
+    EXPECT_NEAR(static_cast<double>(rtt_before), static_cast<double>(from_ms(10)), 1000.0);
+    // The link degrades; subsequent refreshes must notice.
+    net.set_link(bdn_host, broker_hosts[0], {from_ms(40), 0, 2});
+    kernel.run_until(kernel.now() + kSecond);
+    const DurationUs rtt_after = bdn.registry()[0].rtt;
+    EXPECT_NEAR(static_cast<double>(rtt_after), static_cast<double>(from_ms(80)), 1000.0);
+}
+
+}  // namespace
+}  // namespace narada::discovery

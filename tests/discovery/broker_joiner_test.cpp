@@ -1,0 +1,137 @@
+// Broker-join flow (§1.1): a new broker discovers the network, peers with
+// the nearest broker, advertises, and becomes discoverable itself.
+#include "discovery/broker_joiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace narada::discovery {
+namespace {
+
+struct JoinerFixture : ::testing::Test {
+    JoinerFixture() {
+        scenario::ScenarioOptions opts;
+        opts.topology = scenario::Topology::kStar;
+        opts.seed = 404;
+        testbed = std::make_unique<scenario::Scenario>(opts);
+        testbed->warm_up();
+
+        // A brand-new broker machine at UMN.
+        auto& net = testbed->network();
+        new_host = net.add_host({"newcomer.msi.umn.edu", "UMN", "umn", from_ms(300)});
+        for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+            sim::LinkQuality q;
+            q.one_way = from_ms(sim::site_latency_ms(sim::Site::kUmn,
+                                                     testbed->options().broker_sites[i]));
+            q.hops = sim::site_hops(sim::Site::kUmn, testbed->options().broker_sites[i]);
+            net.set_link(new_host, testbed->broker_host(i), q);
+        }
+        net.set_link(new_host, testbed->bdn().endpoint().host,
+                     {from_ms(11.0), from_ms(1.0), 9});
+
+        utc = std::make_unique<timesvc::FixedUtcSource>(net.true_clock());
+        config::BrokerConfig cfg;
+        cfg.advertise_bdns = {testbed->bdn().endpoint()};
+        node = std::make_unique<broker::Broker>(testbed->kernel(), net,
+                                                Endpoint{new_host, 7000},
+                                                net.host_clock(new_host), *utc, cfg,
+                                                "newcomer");
+        BrokerIdentity identity;
+        identity.hostname = "newcomer.msi.umn.edu";
+        identity.realm = "umn";
+        plugin = std::make_unique<BrokerDiscoveryPlugin>(identity);
+        node->add_plugin(plugin.get());
+        // NOTE: node->start() is NOT called — the joiner advertises after
+        // peering, exercising the §2.1 "configured within the network"
+        // sequence.
+
+        config::DiscoveryConfig dcfg;
+        dcfg.bdns = {testbed->bdn().endpoint()};
+        dcfg.response_window = from_ms(1500);
+        dcfg.max_responses = 5;
+        client = std::make_unique<DiscoveryClient>(testbed->kernel(), net,
+                                                   Endpoint{new_host, 7200},
+                                                   net.host_clock(new_host), *utc, dcfg,
+                                                   "newcomer.msi.umn.edu", "umn");
+    }
+
+    BrokerJoiner::Result join() {
+        BrokerJoiner joiner(*node, *plugin, *client);
+        std::optional<BrokerJoiner::Result> result;
+        joiner.join([&](const BrokerJoiner::Result& r) { result = r; });
+        auto& kernel = testbed->kernel();
+        while (!result) {
+            if (!kernel.step()) throw std::runtime_error("queue drained");
+        }
+        return *result;
+    }
+
+    std::unique_ptr<scenario::Scenario> testbed;
+    HostId new_host{};
+    std::unique_ptr<timesvc::FixedUtcSource> utc;
+    std::unique_ptr<broker::Broker> node;
+    std::unique_ptr<BrokerDiscoveryPlugin> plugin;
+    std::unique_ptr<DiscoveryClient> client;
+};
+
+TEST_F(JoinerFixture, JoinsNearestBroker) {
+    const auto result = join();
+    ASSERT_TRUE(result.success);
+    ASSERT_TRUE(result.attached_to.has_value());
+    // UMN's nearest testbed broker is the UMN broker (index 2 in the
+    // default site list: Indy, NCSA, UMN, FSU, Cardiff).
+    EXPECT_EQ(*result.attached_to, testbed->broker_at(2).endpoint());
+    testbed->kernel().run_until(testbed->kernel().now() + kSecond);
+    const auto peers = node->peers();
+    ASSERT_EQ(peers.size(), 1u);
+    EXPECT_EQ(peers[0], *result.attached_to);
+}
+
+TEST_F(JoinerFixture, NewcomerBecomesDiscoverable) {
+    const std::size_t before = testbed->bdn().registered_count();
+    const auto result = join();
+    ASSERT_TRUE(result.success);
+    testbed->kernel().run_until(testbed->kernel().now() + kSecond);
+    // The join advertised to the BDN.
+    EXPECT_EQ(testbed->bdn().registered_count(), before + 1);
+
+    // The ORIGINAL client's next discovery now sees six brokers.
+    auto& original = testbed->client();
+    original.mutable_config().max_responses = 6;
+    std::optional<DiscoveryReport> report;
+    original.discover([&](const DiscoveryReport& r) { report = r; });
+    auto& kernel = testbed->kernel();
+    while (!report) {
+        if (!kernel.step()) throw std::runtime_error("queue drained");
+    }
+    ASSERT_TRUE(report->success);
+    EXPECT_EQ(report->candidates.size(), 6u);
+}
+
+TEST_F(JoinerFixture, JoinSkipsSelfIfOwnAdCirculates) {
+    // Pre-advertise the newcomer so its own response may win the scoring
+    // (it is 0 connections and closest to itself). The joiner must still
+    // attach to a DIFFERENT broker.
+    node->start();  // advertises now
+    testbed->kernel().run_until(testbed->kernel().now() + kSecond);
+    const auto result = join();
+    ASSERT_TRUE(result.success);
+    EXPECT_NE(*result.attached_to, node->endpoint());
+}
+
+TEST_F(JoinerFixture, JoinFailsCleanlyWithDeadNetwork) {
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, true);
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), true);
+    }
+    client->mutable_config().response_window = from_ms(400);
+    client->mutable_config().retransmit_interval = from_ms(200);
+    const auto result = join();
+    EXPECT_FALSE(result.success);
+    EXPECT_FALSE(result.attached_to.has_value());
+    EXPECT_TRUE(node->peers().empty());
+}
+
+}  // namespace
+}  // namespace narada::discovery

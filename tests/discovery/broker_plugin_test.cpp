@@ -1,0 +1,269 @@
+#include "discovery/broker_plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "discovery/bdn.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+namespace {
+
+/// Captures everything sent to the requester's reply endpoint.
+class ResponseCatcher final : public transport::MessageHandler {
+public:
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        wire::ByteReader r(data);
+        const std::uint8_t type = r.u8();
+        if (type == wire::kMsgDiscoveryResponse) {
+            responses.push_back(DiscoveryResponse::decode(r));
+        }
+    }
+    std::vector<DiscoveryResponse> responses;
+};
+
+BrokerIdentity make_identity(const std::string& hostname, const std::string& realm) {
+    BrokerIdentity identity;
+    identity.hostname = hostname;
+    identity.realm = realm;
+    return identity;
+}
+
+struct PluginFixture : ::testing::Test {
+    PluginFixture() : net(kernel, 31), utc(kernel.clock(), from_ms(3)), rng(9) {
+        for (int i = 0; i < 3; ++i) {
+            hosts.push_back(net.add_host({"h" + std::to_string(i), "S", "lab", 0}));
+        }
+        net.set_default_link({from_ms(3), 0, 2});
+        requester_ep = {hosts[2], 7200};
+        net.bind(requester_ep, &catcher);
+    }
+
+    std::unique_ptr<broker::Broker> make_broker(const config::BrokerConfig& cfg, int host_index,
+                                                const std::string& name) {
+        auto b = std::make_unique<broker::Broker>(kernel, net,
+                                                  Endpoint{hosts[host_index], 7000},
+                                                  net.host_clock(hosts[host_index]), utc, cfg,
+                                                  name);
+        return b;
+    }
+
+    DiscoveryRequest make_request(const std::string& credential = {},
+                                  const std::string& realm = "lab") {
+        DiscoveryRequest req;
+        req.request_id = Uuid::random(rng);
+        req.reply_to = requester_ep;
+        req.credential = credential;
+        req.realm = realm;
+        return req;
+    }
+
+    void send_request(const Endpoint& to, const DiscoveryRequest& req) {
+        wire::ByteWriter w;
+        w.u8(wire::kMsgDiscoveryRequest);
+        req.encode(w);
+        net.send_datagram(requester_ep, to, w.take());
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    timesvc::FixedUtcSource utc;
+    Rng rng;
+    std::vector<HostId> hosts;
+    Endpoint requester_ep;
+    ResponseCatcher catcher;
+};
+
+TEST_F(PluginFixture, AdvertisementCarriesIdentity) {
+    config::BrokerConfig cfg;
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerIdentity identity;
+    identity.hostname = "host.example.edu";
+    identity.realm = "lab";
+    identity.geo_location = "Bloomington, IN";
+    identity.institution = "IU";
+    identity.protocols = {"tcp", "udp", "multicast"};
+    BrokerDiscoveryPlugin plugin(identity);
+    broker->add_plugin(&plugin);
+    const BrokerAdvertisement ad = plugin.advertisement();
+    EXPECT_FALSE(ad.broker_id.is_nil());  // assigned at attach
+    EXPECT_EQ(ad.hostname, "host.example.edu");
+    EXPECT_EQ(ad.endpoint, broker->endpoint());
+    EXPECT_EQ(ad.realm, "lab");
+    EXPECT_EQ(ad.geo_location, "Bloomington, IN");
+    EXPECT_EQ(ad.institution, "IU");
+    EXPECT_EQ(ad.protocols.size(), 3u);
+    EXPECT_EQ(ad.broker_name, "b0");
+}
+
+TEST_F(PluginFixture, AdvertisesDirectlyToConfiguredBdns) {
+    Bdn bdn(kernel, net, Endpoint{hosts[1], 7100}, net.host_clock(hosts[1]), {});
+    config::BrokerConfig cfg;
+    cfg.advertise_bdns = {bdn.endpoint()};
+    cfg.advertise_on_topic = false;
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);
+    broker->start();
+    kernel.run_until(kSecond);
+    EXPECT_EQ(bdn.registered_count(), 1u);
+}
+
+TEST_F(PluginFixture, TopicAdvertisementReachesAttachedBdn) {
+    // §2.3 path 2: the ad travels over the pub/sub substrate to a BDN that
+    // subscribed to the public topic via a broker attachment.
+    config::BrokerConfig cfg;  // advertise_on_topic defaults true
+    auto b0 = make_broker(cfg, 0, "b0");
+    auto b1 = make_broker(cfg, 1, "b1");
+    b1->connect_to_peer(b0->endpoint());
+    kernel.run_until(from_ms(100));
+
+    Bdn bdn(kernel, net, Endpoint{hosts[2], 7100}, net.host_clock(hosts[2]), {});
+    bdn.attach_to_broker(b0->endpoint(), Endpoint{hosts[2], 7101});
+    kernel.run_until(from_ms(200));
+
+    // b1 starts *after* the BDN subscribed; its ad floods b1 -> b0 -> BDN.
+    BrokerDiscoveryPlugin plugin(make_identity("h1", "lab"));
+    b1->add_plugin(&plugin);
+    b1->start();
+    kernel.run_until(kSecond);
+    EXPECT_EQ(bdn.registered_count(), 1u);
+    EXPECT_EQ(bdn.registry()[0].ad.hostname, "h1");
+}
+
+TEST_F(PluginFixture, RespondsWithTimestampAndMetrics) {
+    config::BrokerConfig cfg;
+    cfg.processing_delay = 0;
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);
+    broker->start();
+    auto load = std::make_shared<broker::StaticLoadModel>(0.25, 512ull << 20, 100ull << 20);
+    broker->set_load_model(load);
+
+    send_request(broker->endpoint(), make_request());
+    kernel.run_until(kSecond);
+    ASSERT_EQ(catcher.responses.size(), 1u);
+    const DiscoveryResponse& resp = catcher.responses[0];
+    EXPECT_EQ(resp.broker_id, plugin.identity().broker_id);
+    EXPECT_EQ(resp.endpoint, broker->endpoint());
+    EXPECT_DOUBLE_EQ(resp.metrics.cpu_load, 0.25);
+    EXPECT_EQ(resp.metrics.free_memory, 100ull << 20);
+    // sent_utc comes from the broker's UTC source (offset +3 ms here).
+    EXPECT_GT(resp.sent_utc, 0);
+}
+
+TEST_F(PluginFixture, DuplicateRequestsSuppressed) {
+    config::BrokerConfig cfg;
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);
+    broker->start();
+    const DiscoveryRequest req = make_request();
+    send_request(broker->endpoint(), req);
+    send_request(broker->endpoint(), req);
+    send_request(broker->endpoint(), req);
+    kernel.run_until(kSecond);
+    EXPECT_EQ(catcher.responses.size(), 1u);
+    // Two wire duplicates plus the broker's own flooded re-publication
+    // echoing back through on_event: three suppressed in total.
+    EXPECT_EQ(plugin.stats().duplicates_suppressed, 3u);
+}
+
+TEST_F(PluginFixture, TinyDedupCacheForgets) {
+    config::BrokerConfig cfg;
+    cfg.dedup_cache_size = 1;  // pathological: remembers only one request
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);
+    broker->start();
+    const DiscoveryRequest req_a = make_request();
+    const DiscoveryRequest req_b = make_request();
+    send_request(broker->endpoint(), req_a);
+    kernel.run_until(kernel.now() + from_ms(100));
+    send_request(broker->endpoint(), req_b);  // evicts req_a
+    kernel.run_until(kernel.now() + from_ms(100));
+    send_request(broker->endpoint(), req_a);  // processed AGAIN
+    kernel.run_until(kernel.now() + from_ms(100));
+    EXPECT_EQ(catcher.responses.size(), 3u);
+}
+
+TEST_F(PluginFixture, NonResponderStillFloods) {
+    // §5: "not every broker ... needs to respond"; but the request keeps
+    // propagating through it.
+    config::BrokerConfig mute_cfg;
+    mute_cfg.respond_to_discovery = false;
+    auto b0 = make_broker(mute_cfg, 0, "mute");
+    config::BrokerConfig talk_cfg;
+    auto b1 = make_broker(talk_cfg, 1, "talker");
+    BrokerDiscoveryPlugin p0(make_identity("h0", "lab"));
+    BrokerDiscoveryPlugin p1(make_identity("h1", "lab"));
+    b0->add_plugin(&p0);
+    b1->add_plugin(&p1);
+    b1->connect_to_peer(b0->endpoint());
+    b0->start();
+    b1->start();
+    kernel.run_until(from_ms(100));
+
+    send_request(b0->endpoint(), make_request());
+    kernel.run_until(kSecond);
+    ASSERT_EQ(catcher.responses.size(), 1u);  // only the talker answered
+    EXPECT_EQ(catcher.responses[0].broker_name, "talker");
+    EXPECT_EQ(p0.stats().policy_rejections, 1u);
+}
+
+TEST_F(PluginFixture, CredentialAndRealmPolicies) {
+    config::BrokerConfig cfg;
+    cfg.required_credential = "key";
+    cfg.allowed_realms = {"lab"};
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);
+    broker->start();
+
+    send_request(broker->endpoint(), make_request("wrong", "lab"));
+    send_request(broker->endpoint(), make_request("key", "mars"));
+    send_request(broker->endpoint(), make_request("key", "lab"));
+    kernel.run_until(kSecond);
+    EXPECT_EQ(catcher.responses.size(), 1u);
+    EXPECT_EQ(plugin.stats().policy_rejections, 2u);
+}
+
+TEST_F(PluginFixture, ReAdvertisesWhenPrivateBdnAnnounces) {
+    // §2.4: a newly added private BDN announces itself; brokers
+    // re-advertise to it.
+    config::BrokerConfig cfg;
+    cfg.advertise_on_topic = false;  // no other path to the BDN
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);
+    broker->start();
+
+    config::BdnConfig private_cfg;
+    private_cfg.required_credential = "org-secret";
+    Bdn private_bdn(kernel, net, Endpoint{hosts[1], 7100}, net.host_clock(hosts[1]),
+                    private_cfg, "private-bdn");
+    EXPECT_EQ(private_bdn.registered_count(), 0u);
+    private_bdn.announce_to(broker->endpoint());
+    kernel.run_until(kSecond);
+    EXPECT_EQ(private_bdn.registered_count(), 1u);
+}
+
+TEST_F(PluginFixture, MulticastRequestAnswered) {
+    config::BrokerConfig cfg;
+    auto broker = make_broker(cfg, 0, "b0");
+    BrokerDiscoveryPlugin plugin(make_identity("h0", "lab"));
+    broker->add_plugin(&plugin);  // joins the discovery multicast group
+    broker->start();
+
+    wire::ByteWriter w;
+    w.u8(wire::kMsgDiscoveryRequest);
+    make_request().encode(w);
+    net.send_multicast(transport::kDiscoveryMulticastGroup, requester_ep, w.take());
+    kernel.run_until(kSecond);
+    EXPECT_EQ(catcher.responses.size(), 1u);
+}
+
+}  // namespace
+}  // namespace narada::discovery

@@ -1,0 +1,182 @@
+// DiscoveryClient protocol details: retransmission exhaustion, late
+// responses, repeated pings, response-window edges, busy-guard.
+#include <gtest/gtest.h>
+
+#include "discovery/client.hpp"
+#include "discovery/messages.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+namespace {
+
+/// A scriptable "broker": answers discovery requests and pings by plan.
+class ScriptedBroker final : public transport::MessageHandler {
+public:
+    ScriptedBroker(sim::Kernel& kernel, transport::Transport& transport, const Endpoint& ep,
+                   const timesvc::UtcSource& utc)
+        : kernel_(kernel), transport_(transport), ep_(ep), utc_(utc), rng_(ep.port) {
+        transport_.bind(ep_, this);
+        broker_id_ = Uuid::random(rng_);
+    }
+    ~ScriptedBroker() override { transport_.unbind(ep_); }
+
+    [[nodiscard]] const Endpoint& endpoint() const { return ep_; }
+
+    bool respond_to_requests = true;
+    bool respond_to_pings = true;
+    DurationUs response_delay = 0;
+    int requests_seen = 0;
+    int pings_seen = 0;
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override {
+        (void)from;
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        if (type == wire::kMsgDiscoveryRequest) {
+            ++requests_seen;
+            if (!respond_to_requests) return;
+            const DiscoveryRequest request = DiscoveryRequest::decode(reader);
+            kernel_.schedule_after(response_delay, [this, request] {
+                DiscoveryResponse response;
+                response.request_id = request.request_id;
+                response.sent_utc = utc_.utc_now();
+                response.broker_id = broker_id_;
+                response.broker_name = "scripted@" + ep_.str();
+                response.endpoint = ep_;
+                response.metrics.total_memory = 512ull << 20;
+                response.metrics.free_memory = 256ull << 20;
+                wire::ByteWriter writer;
+                writer.u8(wire::kMsgDiscoveryResponse);
+                response.encode(writer);
+                transport_.send_datagram(ep_, request.reply_to, writer.take());
+            });
+        } else if (type == wire::kMsgPing) {
+            ++pings_seen;
+            if (!respond_to_pings) return;
+            const TimeUs echo = reader.i64();
+            wire::ByteWriter writer;
+            writer.u8(wire::kMsgPong);
+            writer.i64(echo);
+            writer.i64(utc_.utc_now());
+            transport_.send_datagram(ep_, from, writer.take());
+        }
+    }
+
+private:
+    sim::Kernel& kernel_;
+    transport::Transport& transport_;
+    Endpoint ep_;
+    const timesvc::UtcSource& utc_;
+    Rng rng_;
+    Uuid broker_id_;
+};
+
+struct ClientProtocolFixture : ::testing::Test {
+    ClientProtocolFixture() : net(kernel, 11), utc(kernel.clock()) {
+        host = net.add_host({"h", "S", "r", 0});
+        net.set_default_link({from_ms(2), 0, 2});
+        for (int i = 0; i < 2; ++i) {
+            brokers.push_back(std::make_unique<ScriptedBroker>(
+                kernel, net, Endpoint{host, static_cast<std::uint16_t>(7000 + i)}, utc));
+        }
+        cfg.bdns = {Endpoint{host, 6000}};  // nothing bound there by default
+        cfg.response_window = from_ms(500);
+        cfg.ping_window = from_ms(200);
+        cfg.retransmit_interval = from_ms(100);
+        cfg.max_retransmits = 2;
+    }
+
+    DiscoveryClient make_client() {
+        return DiscoveryClient(kernel, net, Endpoint{host, 9000}, net.host_clock(host), utc,
+                               cfg, "test-client", "r");
+    }
+
+    DiscoveryReport run(DiscoveryClient& client) {
+        std::optional<DiscoveryReport> report;
+        client.discover([&](const DiscoveryReport& r) { report = r; });
+        kernel.run_until(kernel.now() + 30 * kSecond);
+        return report.value();
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    timesvc::FixedUtcSource utc;
+    HostId host{};
+    std::vector<std::unique_ptr<ScriptedBroker>> brokers;
+    config::DiscoveryConfig cfg;
+};
+
+TEST_F(ClientProtocolFixture, RetransmitsExactlyMaxTimesThenFallsBack) {
+    // No BDN bound, no cached targets, no multicast members: total failure
+    // after max_retransmits plus one fallback window.
+    DiscoveryClient client = make_client();
+    const auto report = run(client);
+    EXPECT_FALSE(report.success);
+    EXPECT_EQ(report.retransmits, 2u);
+    EXPECT_TRUE(report.used_multicast);  // the §7 fallback was attempted
+}
+
+TEST_F(ClientProtocolFixture, CachedTargetsQueriedDirectlyOnFallback) {
+    DiscoveryClient client = make_client();
+    client.set_cached_target_set(
+        {brokers[0]->endpoint(), brokers[1]->endpoint()});
+    const auto report = run(client);
+    ASSERT_TRUE(report.success);
+    EXPECT_TRUE(report.used_cached_targets);
+    EXPECT_EQ(report.candidates.size(), 2u);
+}
+
+TEST_F(ClientProtocolFixture, RepeatedPingsKeepMinimumRtt) {
+    cfg.pings_per_broker = 3;
+    DiscoveryClient client = make_client();
+    client.set_cached_target_set({brokers[0]->endpoint()});
+    const auto report = run(client);
+    ASSERT_TRUE(report.success);
+    EXPECT_EQ(brokers[0]->pings_seen, 3);
+    EXPECT_GE(report.selected_candidate()->ping_rtt, 0);
+}
+
+TEST_F(ClientProtocolFixture, SilentPingTargetFallsBackToBestScore) {
+    for (auto& b : brokers) b->respond_to_pings = false;
+    DiscoveryClient client = make_client();
+    client.set_cached_target_set(
+        {brokers[0]->endpoint(), brokers[1]->endpoint()});
+    const auto report = run(client);
+    ASSERT_TRUE(report.success);  // no pongs at all -> best-weighted wins
+    EXPECT_LT(report.selected_candidate()->ping_rtt, 0);
+}
+
+TEST_F(ClientProtocolFixture, LateResponsesIgnoredAfterCollection) {
+    // Broker 1 answers far too late — after the window closed.
+    brokers[1]->response_delay = 5 * kSecond;
+    DiscoveryClient client = make_client();
+    client.set_cached_target_set(
+        {brokers[0]->endpoint(), brokers[1]->endpoint()});
+    const auto report = run(client);
+    ASSERT_TRUE(report.success);
+    EXPECT_EQ(report.candidates.size(), 1u);  // only the prompt broker
+}
+
+TEST_F(ClientProtocolFixture, ConcurrentDiscoverRejected) {
+    DiscoveryClient client = make_client();
+    client.discover([](const DiscoveryReport&) {});
+    EXPECT_TRUE(client.busy());
+    EXPECT_THROW(client.discover([](const DiscoveryReport&) {}), std::logic_error);
+    kernel.run_until(kernel.now() + 30 * kSecond);
+    EXPECT_FALSE(client.busy());
+}
+
+TEST_F(ClientProtocolFixture, BackToBackRunsReuseClient) {
+    DiscoveryClient client = make_client();
+    client.set_cached_target_set({brokers[0]->endpoint()});
+    const auto first = run(client);
+    ASSERT_TRUE(first.success);
+    const auto second = run(client);
+    ASSERT_TRUE(second.success);
+    EXPECT_NE(first.request_id, second.request_id);
+}
+
+}  // namespace
+}  // namespace narada::discovery

@@ -1,0 +1,213 @@
+// Fault-tolerance behaviours from paper §7: BDN failover, multicast
+// fallback, cached-target-set recovery, loss of requests/responses/ads,
+// and response policies (§5).
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace narada {
+namespace {
+
+using scenario::Scenario;
+using scenario::ScenarioOptions;
+using scenario::Topology;
+
+TEST(FaultTolerance, RetransmitsWhenFirstRequestLost) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 21;
+    opts.discovery.retransmit_interval = from_ms(300);
+    Scenario s(opts);
+    s.warm_up();
+    // Kill the BDN's host briefly so the first request (and ack) vanish.
+    const HostId bdn_host = s.bdn().endpoint().host;
+    s.network().set_host_down(bdn_host, true);
+    s.kernel().schedule_after(from_ms(500), [&] { s.network().set_host_down(bdn_host, false); });
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_GE(report.retransmits, 1u);
+}
+
+TEST(FaultTolerance, FailsOverToSecondBdn) {
+    // Two BDNs configured; the primary is permanently dead. The paper's
+    // node config lists several BDNs (gridservicelocator.org/.com/...).
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 22;
+    opts.discovery.retransmit_interval = from_ms(300);
+    // A bogus primary BDN endpoint on the client's own host, never bound.
+    Scenario s(opts);
+    s.warm_up();
+    auto& cfg = s.client().mutable_config();
+    const Endpoint real_bdn = cfg.bdns.at(0);
+    cfg.bdns = {Endpoint{s.client_host(), 9999}, real_bdn};
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_GE(report.retransmits, 1u);  // rotated to the live BDN
+}
+
+TEST(FaultTolerance, MulticastFallbackWithAllBdnsDead) {
+    // §7: "the approach could work even if none of the BDNs ... are
+    // functioning ... by sending the discovery request using multicast".
+    // Two brokers share the client's realm ("iu-lab") and are reachable.
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 23;
+    opts.broker_sites = {sim::Site::kBloomington, sim::Site::kBloomington,
+                         sim::Site::kCardiff, sim::Site::kFsu};
+    opts.discovery.max_responses = 2;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.response_window = from_ms(1500);
+    Scenario s(opts);
+    s.warm_up();
+    s.network().set_host_down(s.bdn().endpoint().host, true);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_TRUE(report.used_multicast);
+    // Only lab-realm brokers can have answered (§9, Figure 12).
+    for (const auto& candidate : report.candidates) {
+        EXPECT_EQ(s.network().realm_of(candidate.response.endpoint.host), "iu-lab");
+    }
+}
+
+TEST(FaultTolerance, CachedTargetSetRecovery) {
+    // First discovery succeeds; then every BDN dies AND multicast finds
+    // nobody (no same-realm brokers). The node must still reconnect via
+    // its cached target set (§7).
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 24;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.response_window = from_ms(1500);
+    Scenario s(opts);
+    const auto first = s.run_discovery();
+    ASSERT_TRUE(first.success);
+    ASSERT_FALSE(s.client().cached_target_set().empty());
+
+    s.network().set_host_down(s.bdn().endpoint().host, true);
+    const auto second = s.run_discovery();
+    ASSERT_TRUE(second.success);
+    EXPECT_TRUE(second.used_cached_targets);
+}
+
+TEST(FaultTolerance, ReportsFailureWhenNothingReachable) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kUnconnected;
+    opts.bdn.injection = config::InjectionStrategy::kAll;
+    opts.seed = 25;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.response_window = from_ms(1000);
+    Scenario s(opts);
+    s.warm_up();
+    // Take down every broker and the BDN; nothing can answer.
+    s.network().set_host_down(s.bdn().endpoint().host, true);
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        s.network().set_host_down(s.broker_host(i), true);
+    }
+    const auto report = s.run_discovery();
+    EXPECT_FALSE(report.success);
+    EXPECT_TRUE(report.candidates.empty());
+    EXPECT_TRUE(report.used_multicast);  // it tried the fallback
+}
+
+TEST(FaultTolerance, ResponsePolicyCredentialFilter) {
+    // §5: a broker may require credentials before responding.
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 26;
+    opts.broker.required_credential = "vip-card";
+    Scenario s(opts);
+    const auto denied = s.run_discovery();
+    EXPECT_FALSE(denied.success);  // no credential -> nobody responds
+
+    s.client().mutable_config().credential = "vip-card";
+    const auto granted = s.run_discovery();
+    EXPECT_TRUE(granted.success);
+    EXPECT_EQ(granted.candidates.size(), 5u);
+}
+
+TEST(FaultTolerance, ResponsePolicyRealmFilter) {
+    // §5: responses only for requests originating in pre-defined realms.
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 27;
+    opts.broker.allowed_realms = {"cardiff"};  // client is in iu-lab
+    opts.discovery.response_window = from_ms(1500);
+    Scenario s(opts);
+    const auto report = s.run_discovery();
+    EXPECT_FALSE(report.success);
+}
+
+TEST(FaultTolerance, RequestSeenExactlyOncePerBrokerDespiteMultiplePaths) {
+    // The request is injected at two points and flooded; every broker must
+    // process it exactly once (§4's dedup cache at work).
+    ScenarioOptions opts;
+    opts.topology = Topology::kFull;  // maximal path redundancy
+    opts.seed = 28;
+    Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        const auto& stats = s.plugin_at(i).stats();
+        EXPECT_EQ(stats.requests_seen - stats.duplicates_suppressed, 1u) << "broker " << i;
+        EXPECT_EQ(stats.responses_sent, 1u) << "broker " << i;
+    }
+}
+
+TEST(FaultTolerance, BrokerChurnNewBrokerDiscovered) {
+    // A broker added after warm-up advertises, registers, and is found by
+    // the next discovery run ("newly added brokers ... assimilated faster",
+    // §1.3) without restarting anything.
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 30;
+    opts.broker_sites = {sim::Site::kIndianapolis, sim::Site::kNcsa};
+    opts.discovery.max_responses = 0;  // collect everything in the window
+    opts.discovery.response_window = from_ms(1200);
+    Scenario s(opts);
+    const auto before = s.run_discovery();
+    ASSERT_TRUE(before.success);
+    EXPECT_EQ(before.candidates.size(), 2u);
+
+    // Bring up a third broker on a fresh host and advertise it.
+    auto& net = s.network();
+    const HostId host = net.add_host({"late.broker", "UMN", "umn", 0});
+    timesvc::FixedUtcSource utc(net.true_clock());
+    config::BrokerConfig cfg;
+    cfg.advertise_bdns = {s.bdn().endpoint()};
+    broker::Broker late(s.kernel(), net, Endpoint{host, 7000}, net.host_clock(host), utc, cfg,
+                        "late-broker");
+    discovery::BrokerIdentity identity;
+    identity.hostname = "late.broker";
+    identity.realm = "umn";
+    discovery::BrokerDiscoveryPlugin plugin(identity);
+    late.add_plugin(&plugin);
+    late.connect_to_peer(s.broker_at(0).endpoint());
+    late.start();
+    s.kernel().run_until(s.kernel().now() + kSecond);
+
+    const auto after = s.run_discovery();
+    ASSERT_TRUE(after.success);
+    EXPECT_EQ(after.candidates.size(), 3u);
+}
+
+TEST(FaultTolerance, LostResponsesShrinkCandidateSetNotCorrectness) {
+    // Heavy per-hop loss: distant brokers' UDP responses die, which §5.2
+    // calls a feature. The client still picks a reachable broker.
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 31;
+    opts.per_hop_loss = 0.03;  // severe; Cardiff path ~18 hops
+    opts.discovery.max_responses = 0;
+    opts.discovery.response_window = from_ms(1500);
+    Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_LT(report.candidates.size(), 5u);  // someone's response was lost
+    EXPECT_GE(report.candidates.size(), 1u);
+    const auto* chosen = report.selected_candidate();
+    ASSERT_NE(chosen, nullptr);
+}
+
+}  // namespace
+}  // namespace narada

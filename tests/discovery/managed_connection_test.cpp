@@ -1,0 +1,144 @@
+// ManagedConnection: heartbeat liveness and discovery-backed failover in
+// the paper's "dynamic and fluid" broker environment (§1.2).
+#include "discovery/managed_connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace narada::discovery {
+namespace {
+
+struct ManagedFixture : ::testing::Test {
+    ManagedFixture() {
+        // Full mesh: the overlay stays connected when any one broker dies,
+        // so failover tests exercise re-attachment rather than partitions.
+        scenario::ScenarioOptions opts;
+        opts.topology = scenario::Topology::kFull;
+        opts.seed = 606;
+        opts.discovery.response_window = from_ms(1200);
+        opts.discovery.retransmit_interval = from_ms(400);
+        testbed = std::make_unique<scenario::Scenario>(opts);
+        testbed->warm_up();
+
+        auto& net = testbed->network();
+        const HostId host = testbed->client_host();
+        pubsub = std::make_unique<broker::PubSubClient>(testbed->kernel(), net,
+                                                        Endpoint{host, 9500});
+        ManagedConnection::Options mc_options;
+        mc_options.heartbeat_interval = from_ms(500);
+        mc_options.max_missed = 2;
+        managed = std::make_unique<ManagedConnection>(
+            testbed->kernel(), net, Endpoint{host, 9501}, net.host_clock(host), *pubsub,
+            testbed->client(), mc_options);
+    }
+
+    void settle(DurationUs d = 2 * kSecond) {
+        testbed->kernel().run_until(testbed->kernel().now() + d);
+    }
+
+    std::unique_ptr<scenario::Scenario> testbed;
+    std::unique_ptr<broker::PubSubClient> pubsub;
+    std::unique_ptr<ManagedConnection> managed;
+};
+
+TEST_F(ManagedFixture, AttachesToDiscoveredBroker) {
+    std::optional<Endpoint> attached_to;
+    managed->on_attached([&](const Endpoint& broker) { attached_to = broker; });
+    managed->start();
+    settle(10 * kSecond);
+    ASSERT_TRUE(managed->attached());
+    ASSERT_TRUE(attached_to.has_value());
+    EXPECT_EQ(*managed->current_broker(), *attached_to);
+    EXPECT_TRUE(pubsub->connected());
+    EXPECT_EQ(pubsub->broker(), *attached_to);
+}
+
+TEST_F(ManagedFixture, HeartbeatsAnsweredWhileHealthy) {
+    managed->start();
+    settle(12 * kSecond);
+    EXPECT_GT(managed->stats().heartbeats_sent, 5u);
+    EXPECT_EQ(managed->stats().heartbeats_answered, managed->stats().heartbeats_sent);
+    EXPECT_EQ(managed->stats().failovers, 0u);
+}
+
+TEST_F(ManagedFixture, FailsOverWhenBrokerDies) {
+    std::optional<Endpoint> lost;
+    managed->on_broker_lost([&](const Endpoint& broker) { lost = broker; });
+    managed->start();
+    settle(5 * kSecond);
+    ASSERT_TRUE(managed->attached());
+    const Endpoint first = *managed->current_broker();
+
+    testbed->network().set_host_down(first.host, true);
+    settle(30 * kSecond);
+
+    ASSERT_TRUE(managed->attached());
+    const Endpoint second = *managed->current_broker();
+    EXPECT_NE(second, first);
+    ASSERT_TRUE(lost.has_value());
+    EXPECT_EQ(*lost, first);
+    EXPECT_EQ(managed->stats().failovers, 1u);
+    EXPECT_FALSE(testbed->network().host_down(second.host));
+}
+
+TEST_F(ManagedFixture, SubscriptionsSurviveFailover) {
+    // The application subscribes once; events must arrive both before and
+    // after the broker it happened to be attached to dies.
+    int received = 0;
+    pubsub->on_event([&](const broker::Event&) { ++received; });
+    pubsub->subscribe("app/feed");
+    managed->start();
+    settle(5 * kSecond);
+    ASSERT_TRUE(managed->attached());
+    const Endpoint first = *managed->current_broker();
+
+    // Publish from a different, surviving broker (the hub if possible).
+    auto& kernel = testbed->kernel();
+    auto& net = testbed->network();
+    broker::PubSubClient publisher(kernel, net, Endpoint{testbed->client_host(), 9502});
+    std::size_t publisher_broker = 0;
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        if (testbed->broker_at(i).endpoint() != first) {
+            publisher_broker = i;
+            break;
+        }
+    }
+    publisher.connect(testbed->broker_at(publisher_broker).endpoint());
+    settle();
+    publisher.publish("app/feed", Bytes{1});
+    settle();
+    EXPECT_EQ(received, 1);
+
+    testbed->network().set_host_down(first.host, true);
+    settle(30 * kSecond);
+    ASSERT_TRUE(managed->attached());
+    EXPECT_NE(*managed->current_broker(), first);
+
+    publisher.publish("app/feed", Bytes{2});
+    settle();
+    EXPECT_EQ(received, 2);  // filter replayed on the new broker
+}
+
+TEST_F(ManagedFixture, RetriesWhenWholeNetworkDown) {
+    // Everything dead: discovery fails, the connection keeps retrying, and
+    // recovers once brokers return.
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), true);
+    }
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, true);
+    managed->start();
+    settle(20 * kSecond);
+    EXPECT_FALSE(managed->attached());
+    EXPECT_GT(managed->stats().failed_discoveries, 0u);
+
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), false);
+    }
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, false);
+    settle(30 * kSecond);
+    EXPECT_TRUE(managed->attached());
+}
+
+}  // namespace
+}  // namespace narada::discovery

@@ -1,0 +1,124 @@
+#include "discovery/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace narada::discovery {
+namespace {
+
+BrokerAdvertisement sample_ad(Rng& rng) {
+    BrokerAdvertisement ad;
+    ad.broker_id = Uuid::random(rng);
+    ad.broker_name = "broker-7";
+    ad.hostname = "webis.msi.umn.edu";
+    ad.endpoint = {4, 7000};
+    ad.protocols = {"tcp", "udp", "multicast"};
+    ad.realm = "umn";
+    ad.geo_location = "Minneapolis, MN, USA";
+    ad.institution = "UMN";
+    return ad;
+}
+
+TEST(Messages, AdvertisementRoundTrip) {
+    Rng rng(1);
+    const BrokerAdvertisement ad = sample_ad(rng);
+    wire::ByteWriter w;
+    ad.encode(w);
+    wire::ByteReader r(w.bytes());
+    EXPECT_EQ(BrokerAdvertisement::decode(r), ad);
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Messages, AdvertisementOptionalFieldsEmpty) {
+    Rng rng(2);
+    BrokerAdvertisement ad = sample_ad(rng);
+    ad.geo_location.clear();
+    ad.institution.clear();
+    ad.protocols.clear();
+    wire::ByteWriter w;
+    ad.encode(w);
+    wire::ByteReader r(w.bytes());
+    EXPECT_EQ(BrokerAdvertisement::decode(r), ad);
+}
+
+TEST(Messages, RequestRoundTrip) {
+    Rng rng(3);
+    DiscoveryRequest req;
+    req.request_id = Uuid::random(rng);
+    req.requester_hostname = "client.gf1.ucs.indiana.edu";
+    req.reply_to = {2, 7200};
+    req.protocols = {"tcp", "udp"};
+    req.credential = "x509:alice";
+    req.realm = "iu-lab";
+    wire::ByteWriter w;
+    req.encode(w);
+    wire::ByteReader r(w.bytes());
+    EXPECT_EQ(DiscoveryRequest::decode(r), req);
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Messages, ResponseRoundTrip) {
+    Rng rng(4);
+    DiscoveryResponse resp;
+    resp.request_id = Uuid::random(rng);
+    resp.sent_utc = 1234567890123456LL;
+    resp.broker_id = Uuid::random(rng);
+    resp.broker_name = "tungsten/broker2";
+    resp.hostname = "tungsten.ncsa.uiuc.edu";
+    resp.endpoint = {5, 7000};
+    resp.protocols = {"tcp", "udp"};
+    resp.metrics.connections = 17;
+    resp.metrics.broker_links = 3;
+    resp.metrics.cpu_load = 0.42;
+    resp.metrics.total_memory = 512ull << 20;
+    resp.metrics.free_memory = 200ull << 20;
+    wire::ByteWriter w;
+    resp.encode(w);
+    wire::ByteReader r(w.bytes());
+    EXPECT_EQ(DiscoveryResponse::decode(r), resp);
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Messages, NegativeTimestampSurvives) {
+    Rng rng(5);
+    DiscoveryResponse resp;
+    resp.request_id = Uuid::random(rng);
+    resp.sent_utc = -5;  // clock skew can make UTC estimates negative early on
+    wire::ByteWriter w;
+    resp.encode(w);
+    wire::ByteReader r(w.bytes());
+    EXPECT_EQ(DiscoveryResponse::decode(r).sent_utc, -5);
+}
+
+TEST(Messages, OversizedProtocolListRejected) {
+    Rng rng(6);
+    DiscoveryRequest req;
+    req.request_id = Uuid::random(rng);
+    req.reply_to = {1, 1};
+    wire::ByteWriter w;
+    req.encode(w);
+    Bytes data = w.take();
+    // The protocol-list count sits right after uuid(16) + hostname(4+0) +
+    // endpoint(6). Corrupt it to a huge value.
+    const std::size_t count_offset = 16 + 4 + 6;
+    data[count_offset] = 0xFF;
+    data[count_offset + 1] = 0xFF;
+    wire::ByteReader r(data);
+    EXPECT_THROW(DiscoveryRequest::decode(r), wire::WireError);
+}
+
+TEST(Messages, TruncatedResponseThrows) {
+    Rng rng(7);
+    DiscoveryResponse resp;
+    resp.request_id = Uuid::random(rng);
+    wire::ByteWriter w;
+    resp.encode(w);
+    Bytes data = w.take();
+    data.resize(data.size() / 2);
+    wire::ByteReader r(data);
+    EXPECT_THROW(DiscoveryResponse::decode(r), wire::WireError);
+}
+
+}  // namespace
+}  // namespace narada::discovery

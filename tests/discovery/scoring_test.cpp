@@ -1,0 +1,149 @@
+#include "discovery/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace narada::discovery {
+namespace {
+
+DiscoveryResponse make_response(double cpu, std::uint32_t connections,
+                                std::uint64_t total_mb, std::uint64_t free_mb) {
+    DiscoveryResponse r;
+    r.metrics.cpu_load = cpu;
+    r.metrics.connections = connections;
+    r.metrics.total_memory = total_mb << 20;
+    r.metrics.free_memory = free_mb << 20;
+    return r;
+}
+
+TEST(Scoring, PaperFormulaComponents) {
+    // Exercise the §9 pseudo-code term by term with unit weights.
+    config::MetricWeights w;
+    w.free_to_total_memory = 1.0;
+    w.total_memory_mb = 0.0;
+    w.num_links = 0.0;
+    w.cpu_load = 0.0;
+    w.delay_ms = 0.0;
+    EXPECT_DOUBLE_EQ(score_response(make_response(0, 0, 512, 256), 0, w), 0.5);
+
+    w.free_to_total_memory = 0.0;
+    w.total_memory_mb = 1.0;
+    EXPECT_DOUBLE_EQ(score_response(make_response(0, 0, 512, 0), 0, w), 512.0);
+
+    w.total_memory_mb = 0.0;
+    w.num_links = 2.0;
+    EXPECT_DOUBLE_EQ(score_response(make_response(0, 3, 0, 0), 0, w), -6.0);
+
+    w.num_links = 0.0;
+    w.cpu_load = 10.0;
+    EXPECT_DOUBLE_EQ(score_response(make_response(0.5, 0, 0, 0), 0, w), -5.0);
+
+    w.cpu_load = 0.0;
+    w.delay_ms = 1.0;
+    EXPECT_DOUBLE_EQ(score_response(make_response(0, 0, 0, 0), from_ms(25), w), -25.0);
+}
+
+TEST(Scoring, ZeroTotalMemorySafe) {
+    const config::MetricWeights w;
+    // Must not divide by zero.
+    const double score = score_response(make_response(0, 0, 0, 0), 0, w);
+    EXPECT_TRUE(std::isfinite(score));
+}
+
+TEST(Scoring, MonotoneInEachFactor) {
+    const config::MetricWeights w;  // defaults
+    const double base = score_response(make_response(0.2, 5, 512, 256), from_ms(10), w);
+    // More free memory -> better.
+    EXPECT_GT(score_response(make_response(0.2, 5, 512, 400), from_ms(10), w), base);
+    // More CPU load -> worse.
+    EXPECT_LT(score_response(make_response(0.8, 5, 512, 256), from_ms(10), w), base);
+    // More connections -> worse.
+    EXPECT_LT(score_response(make_response(0.2, 50, 512, 256), from_ms(10), w), base);
+    // More delay -> worse.
+    EXPECT_LT(score_response(make_response(0.2, 5, 512, 256), from_ms(60), w), base);
+    // More total memory (same free ratio) -> better.
+    EXPECT_GT(score_response(make_response(0.2, 5, 2048, 1024), from_ms(10), w), base);
+}
+
+std::vector<Candidate> make_candidates(std::size_t n) {
+    std::vector<Candidate> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i].response = make_response(0.1, 1, 512, 256);
+        out[i].estimated_delay = from_ms(static_cast<double>(i + 1) * 10);
+        out[i].response.broker_name = "b" + std::to_string(i);
+    }
+    return out;
+}
+
+TEST(Shortlist, OrdersByScoreDescending) {
+    auto candidates = make_candidates(5);
+    const config::MetricWeights w;
+    const auto order = shortlist(candidates, w, 5);
+    ASSERT_EQ(order.size(), 5u);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        EXPECT_GE(candidates[order[i]].score, candidates[order[i + 1]].score);
+    }
+    // Lowest delay wins with identical load metrics.
+    EXPECT_EQ(order.front(), 0u);
+    EXPECT_EQ(order.back(), 4u);
+}
+
+TEST(Shortlist, TruncatesToTargetSetSize) {
+    auto candidates = make_candidates(20);
+    const config::MetricWeights w;
+    // size(T) <= size(N) (§9); the paper's default target is ~10.
+    EXPECT_EQ(shortlist(candidates, w, 10).size(), 10u);
+    EXPECT_EQ(shortlist(candidates, w, 3).size(), 3u);
+}
+
+TEST(Shortlist, SmallerPoolReturnsAll) {
+    auto candidates = make_candidates(2);
+    const config::MetricWeights w;
+    EXPECT_EQ(shortlist(candidates, w, 10).size(), 2u);
+}
+
+TEST(Shortlist, EmptyPool) {
+    std::vector<Candidate> none;
+    const config::MetricWeights w;
+    EXPECT_TRUE(shortlist(none, w, 10).empty());
+}
+
+TEST(Shortlist, StableForEqualScores) {
+    auto candidates = make_candidates(4);
+    for (auto& c : candidates) c.estimated_delay = from_ms(10);
+    const config::MetricWeights w;
+    const auto order = shortlist(candidates, w, 4);
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Shortlist, LoadAwareSelectionPrefersIdleBroker) {
+    // Paper §8 claim 3: "a newly added broker within a cluster would be
+    // preferentially utilized" because responses carry usage metrics.
+    std::vector<Candidate> candidates(2);
+    candidates[0].response = make_response(0.9, 40, 512, 32);   // loaded
+    candidates[1].response = make_response(0.05, 1, 512, 480);  // fresh
+    candidates[0].estimated_delay = from_ms(5);
+    candidates[1].estimated_delay = from_ms(6);  // slightly farther
+    const config::MetricWeights w;
+    const auto order = shortlist(candidates, w, 2);
+    EXPECT_EQ(order.front(), 1u);
+}
+
+TEST(Shortlist, DelayOnlyWeightsReduceToNearest) {
+    std::vector<Candidate> candidates(3);
+    config::MetricWeights w{};  // zero weights
+    w.free_to_total_memory = 0;
+    w.total_memory_mb = 0;
+    w.num_links = 0;
+    w.cpu_load = 0;
+    w.delay_ms = 1.0;
+    candidates[0].estimated_delay = from_ms(30);
+    candidates[1].estimated_delay = from_ms(10);
+    candidates[2].estimated_delay = from_ms(20);
+    const auto order = shortlist(candidates, w, 3);
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace narada::discovery

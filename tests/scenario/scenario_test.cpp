@@ -1,0 +1,137 @@
+// The scenario harness itself: topology wiring, warm-up behaviour, NTP
+// convergence across the testbed, and deterministic reconstruction.
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace narada::scenario {
+namespace {
+
+TEST(Scenario, StarWiring) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    Scenario s(opts);
+    s.warm_up();
+    // Hub (broker 0) peers with all four leaves; leaves only with the hub.
+    EXPECT_EQ(s.broker_at(0).peers().size(), 4u);
+    for (std::size_t i = 1; i < s.broker_count(); ++i) {
+        const auto peers = s.broker_at(i).peers();
+        ASSERT_EQ(peers.size(), 1u) << "leaf " << i;
+        EXPECT_EQ(peers[0], s.broker_at(0).endpoint());
+    }
+}
+
+TEST(Scenario, LinearWiring) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kLinear;
+    Scenario s(opts);
+    s.warm_up();
+    EXPECT_EQ(s.broker_at(0).peers().size(), 1u);
+    EXPECT_EQ(s.broker_at(1).peers().size(), 2u);
+    EXPECT_EQ(s.broker_at(2).peers().size(), 2u);
+    EXPECT_EQ(s.broker_at(3).peers().size(), 2u);
+    EXPECT_EQ(s.broker_at(4).peers().size(), 1u);
+}
+
+TEST(Scenario, FullAndRingWiring) {
+    {
+        ScenarioOptions opts;
+        opts.topology = Topology::kFull;
+        Scenario s(opts);
+        s.warm_up();
+        for (std::size_t i = 0; i < s.broker_count(); ++i) {
+            EXPECT_EQ(s.broker_at(i).peers().size(), s.broker_count() - 1);
+        }
+    }
+    {
+        ScenarioOptions opts;
+        opts.topology = Topology::kRing;
+        Scenario s(opts);
+        s.warm_up();
+        for (std::size_t i = 0; i < s.broker_count(); ++i) {
+            EXPECT_EQ(s.broker_at(i).peers().size(), 2u);
+        }
+    }
+}
+
+TEST(Scenario, UnconnectedHasNoLinks) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kUnconnected;
+    Scenario s(opts);
+    s.warm_up();
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        EXPECT_TRUE(s.broker_at(i).peers().empty());
+    }
+}
+
+TEST(Scenario, WarmUpRegistersAndSynchronizes) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    Scenario s(opts);
+    s.warm_up();
+    // Every broker registered with the BDN and has a measured distance.
+    EXPECT_EQ(s.bdn().registered_count(), s.broker_count());
+    for (const auto& rb : s.bdn().registry()) {
+        EXPECT_GE(rb.rtt, 0);
+    }
+}
+
+TEST(Scenario, RegistrationSubsetRespected) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.register_with_bdn = 2;
+    Scenario s(opts);
+    s.warm_up();
+    EXPECT_EQ(s.bdn().registered_count(), 2u);
+}
+
+TEST(Scenario, PhaseBreakdownSumsToAboutOneHundred) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 17;
+    Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    const auto b = phase_breakdown(report);
+    const double sum =
+        b.request_and_ack_pct + b.wait_responses_pct + b.shortlist_pct + b.ping_select_pct;
+    EXPECT_GT(sum, 90.0);
+    EXPECT_LE(sum, 100.5);
+}
+
+TEST(Scenario, TopologyNames) {
+    EXPECT_EQ(to_string(Topology::kUnconnected), "unconnected");
+    EXPECT_EQ(to_string(Topology::kStar), "star");
+    EXPECT_EQ(to_string(Topology::kLinear), "linear");
+    EXPECT_EQ(to_string(Topology::kFull), "full");
+    EXPECT_EQ(to_string(Topology::kRing), "ring");
+}
+
+TEST(Scenario, SequentialDiscoveriesIndependent) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = 23;
+    Scenario s(opts);
+    const auto first = s.run_discovery();
+    const auto second = s.run_discovery();
+    ASSERT_TRUE(first.success);
+    ASSERT_TRUE(second.success);
+    EXPECT_NE(first.request_id, second.request_id);
+    EXPECT_EQ(first.candidates.size(), second.candidates.size());
+}
+
+TEST(Scenario, RoutedModeEndToEnd) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kLinear;
+    opts.register_with_bdn = 1;
+    opts.broker.routing_mode = config::RoutingMode::kRouted;
+    opts.per_hop_loss = 0;  // all five responses must arrive
+    opts.seed = 29;
+    Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_EQ(report.candidates.size(), 5u);  // interest keeps requests flowing
+}
+
+}  // namespace
+}  // namespace narada::scenario

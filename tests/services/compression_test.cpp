@@ -1,0 +1,125 @@
+#include "services/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace narada::services {
+namespace {
+
+Bytes text_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Compression, EmptyPayload) {
+    const Bytes compressed = compress({});
+    EXPECT_EQ(compressed.size(), kCompressionHeaderSize);
+    const auto decompressed = decompress(compressed);
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_TRUE(decompressed->empty());
+}
+
+TEST(Compression, RoundTripText) {
+    const Bytes data = text_bytes(
+        "Increasingly messaging infrastructures are being used to support the "
+        "communication requirements of a wide variety of clients, services, and "
+        "proxies thereto. Typically, the messaging infrastructure is a distributed "
+        "one with multiple constituent brokers, where we avoid the term servers to "
+        "distinguish them clearly from application servers.");
+    const Bytes compressed = compress(data);
+    const auto decompressed = decompress(compressed);
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_EQ(*decompressed, data);
+}
+
+TEST(Compression, RepetitiveDataShrinks) {
+    Bytes data;
+    for (int i = 0; i < 1000; ++i) {
+        const Bytes unit = text_bytes("Services/BrokerDiscoveryNodes/");
+        data.insert(data.end(), unit.begin(), unit.end());
+    }
+    const Bytes compressed = compress(data);
+    EXPECT_LT(compressed.size(), data.size() / 4);  // highly repetitive
+    const auto decompressed = decompress(compressed);
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_EQ(*decompressed, data);
+}
+
+TEST(Compression, IncompressibleFallsBackToRaw) {
+    Rng rng(42);
+    Bytes data(10000);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    const Bytes compressed = compress(data);
+    // Random bytes cannot compress; the raw passthrough bounds the cost.
+    EXPECT_EQ(compressed.size(), data.size() + kCompressionHeaderSize);
+    const auto decompressed = decompress(compressed);
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_EQ(*decompressed, data);
+}
+
+TEST(Compression, RandomizedRoundTrip) {
+    Rng rng(7);
+    for (int iteration = 0; iteration < 60; ++iteration) {
+        const std::size_t len = rng.bounded(5000);
+        Bytes data(len);
+        // Mix of runs and noise to exercise matches of every length.
+        for (std::size_t i = 0; i < len; ++i) {
+            data[i] = (rng.chance(0.7) && i > 0)
+                          ? data[i - 1 - rng.bounded(std::min<std::size_t>(i, 64))]
+                          : static_cast<std::uint8_t>(rng.next());
+        }
+        const auto decompressed = decompress(compress(data));
+        ASSERT_TRUE(decompressed.has_value()) << "iteration " << iteration;
+        EXPECT_EQ(*decompressed, data) << "iteration " << iteration;
+    }
+}
+
+TEST(Compression, AllSameByte) {
+    const Bytes data(100000, 0x41);
+    const Bytes compressed = compress(data);
+    EXPECT_LT(compressed.size(), 15000u);
+    const auto decompressed = decompress(compressed);
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_EQ(*decompressed, data);
+}
+
+TEST(Compression, DecompressRejectsGarbage) {
+    EXPECT_FALSE(decompress({}).has_value());
+    EXPECT_FALSE(decompress(Bytes{0x00, 0x01, 0x02}).has_value());
+    EXPECT_FALSE(decompress(Bytes(kCompressionHeaderSize, 0)).has_value());  // bad magic
+}
+
+TEST(Compression, DecompressRejectsTruncated) {
+    const Bytes data = text_bytes("a moderately compressible string string string string");
+    Bytes compressed = compress(data);
+    compressed.resize(compressed.size() - 3);
+    EXPECT_FALSE(decompress(compressed).has_value());
+}
+
+TEST(Compression, DecompressRejectsBadMode) {
+    Bytes bogus = compress(text_bytes("x"));
+    bogus[1] = 99;  // unknown mode
+    EXPECT_FALSE(decompress(bogus).has_value());
+}
+
+TEST(Compression, DecompressRejectsLengthMismatch) {
+    Bytes raw = compress(Bytes(10, 1));  // likely raw mode
+    raw[5] = 99;                         // lie about original size
+    EXPECT_FALSE(decompress(raw).has_value());
+}
+
+TEST(Compression, LooksCompressed) {
+    EXPECT_TRUE(looks_compressed(compress(text_bytes("abc"))));
+    EXPECT_FALSE(looks_compressed(text_bytes("abc")));
+    EXPECT_FALSE(looks_compressed({}));
+}
+
+TEST(Compression, OverlappingMatchesDecodeCorrectly) {
+    // "abcabcabc..." forces matches whose offset < length.
+    Bytes data;
+    for (int i = 0; i < 999; ++i) data.push_back(static_cast<std::uint8_t>('a' + i % 3));
+    const auto decompressed = decompress(compress(data));
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_EQ(*decompressed, data);
+}
+
+}  // namespace
+}  // namespace narada::services

@@ -1,0 +1,159 @@
+// Broker-hosted event archive and replay (the "replays" service, §1).
+#include "services/event_archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/client.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace narada::services {
+namespace {
+
+struct ArchiveFixture : ::testing::Test {
+    ArchiveFixture() : net(kernel, 77), utc(kernel.clock()) {
+        host_a = net.add_host({"a", "S", "r", 0});
+        host_b = net.add_host({"b", "S", "r", 0});
+        net.set_default_link({from_ms(2), 0, 2});
+        config::BrokerConfig cfg;
+        cfg.processing_delay = from_ms(1);
+        broker_a = std::make_unique<broker::Broker>(kernel, net, Endpoint{host_a, 7000},
+                                                    net.host_clock(host_a), utc, cfg, "a");
+        broker_b = std::make_unique<broker::Broker>(kernel, net, Endpoint{host_b, 7000},
+                                                    net.host_clock(host_b), utc, cfg, "b");
+        broker_b->connect_to_peer(broker_a->endpoint());
+        // Archive lives on broker A and records app topics only.
+        EventArchiveOptions options;
+        options.filter = "app/#";
+        options.capacity_per_topic = 4;
+        archive = std::make_unique<EventArchivePlugin>(options);
+        broker_a->add_plugin(archive.get());
+        broker_a->start();
+        broker_b->start();
+
+        publisher = std::make_unique<broker::PubSubClient>(kernel, net,
+                                                           Endpoint{host_b, 8000});
+        publisher->connect(broker_b->endpoint());
+        requester = std::make_unique<ReplayRequester>(kernel, net, Endpoint{host_b, 8001});
+        settle();
+    }
+
+    void settle(DurationUs d = kSecond) { kernel.run_until(kernel.now() + d); }
+
+    std::vector<broker::Event> fetch(const std::string& filter, std::uint32_t max = 100) {
+        std::optional<std::vector<broker::Event>> result;
+        requester->request(broker_a->endpoint(), filter, max,
+                           [&](std::vector<broker::Event> events) { result = events; });
+        settle(3 * kSecond);
+        return result.value_or(std::vector<broker::Event>{});
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    timesvc::FixedUtcSource utc;
+    HostId host_a{}, host_b{};
+    std::unique_ptr<broker::Broker> broker_a, broker_b;
+    std::unique_ptr<EventArchivePlugin> archive;
+    std::unique_ptr<broker::PubSubClient> publisher;
+    std::unique_ptr<ReplayRequester> requester;
+};
+
+TEST_F(ArchiveFixture, RecordsAndReplaysInOrder) {
+    for (std::uint8_t i = 0; i < 3; ++i) publisher->publish("app/feed", Bytes{i});
+    settle();
+    EXPECT_EQ(archive->stats().events_archived, 3u);
+    const auto events = fetch("app/feed");
+    ASSERT_EQ(events.size(), 3u);
+    for (std::uint8_t i = 0; i < 3; ++i) EXPECT_EQ(events[i].payload[0], i);
+}
+
+TEST_F(ArchiveFixture, FilterSelectsWhatIsArchived) {
+    publisher->publish("app/feed", Bytes{1});
+    publisher->publish("other/topic", Bytes{2});  // outside the archive filter
+    settle();
+    EXPECT_EQ(archive->stats().events_archived, 1u);
+    EXPECT_TRUE(fetch("other/topic").empty());
+}
+
+TEST_F(ArchiveFixture, RingCapacityKeepsNewest) {
+    for (std::uint8_t i = 0; i < 10; ++i) publisher->publish("app/ring", Bytes{i});
+    settle();
+    const auto events = fetch("app/ring");
+    ASSERT_EQ(events.size(), 4u);  // capacity_per_topic = 4
+    EXPECT_EQ(events.front().payload[0], 6);
+    EXPECT_EQ(events.back().payload[0], 9);
+}
+
+TEST_F(ArchiveFixture, ReplayFilterSpansTopics) {
+    publisher->publish("app/a", Bytes{1});
+    publisher->publish("app/b", Bytes{2});
+    publisher->publish("app/a", Bytes{3});
+    settle();
+    const auto events = fetch("app/#");
+    ASSERT_EQ(events.size(), 3u);
+    // Global arrival order preserved across topics.
+    EXPECT_EQ(events[0].payload[0], 1);
+    EXPECT_EQ(events[1].payload[0], 2);
+    EXPECT_EQ(events[2].payload[0], 3);
+}
+
+TEST_F(ArchiveFixture, MaxEventsBoundsTheTail) {
+    for (std::uint8_t i = 0; i < 4; ++i) publisher->publish("app/t", Bytes{i});
+    settle();
+    const auto events = fetch("app/t", /*max=*/2);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].payload[0], 2);  // newest two, oldest first
+    EXPECT_EQ(events[1].payload[0], 3);
+}
+
+TEST_F(ArchiveFixture, EmptyArchiveYieldsEmptyBatch) {
+    const auto events = fetch("app/nothing");
+    EXPECT_TRUE(events.empty());
+    EXPECT_EQ(archive->stats().replays_served, 1u);
+}
+
+TEST_F(ArchiveFixture, TimeoutWhenArchiveUnreachable) {
+    net.set_host_down(host_a, true);
+    bool called = false;
+    std::vector<broker::Event> got;
+    requester->request(broker_a->endpoint(), "app/#", 10,
+                       [&](std::vector<broker::Event> events) {
+                           called = true;
+                           got = std::move(events);
+                       },
+                       /*timeout=*/from_ms(500));
+    settle(2 * kSecond);
+    EXPECT_TRUE(called);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST_F(ArchiveFixture, LateJoinerBackfillsThenFollowsLive) {
+    // The canonical use: history via the archive, future via subscription.
+    for (std::uint8_t i = 0; i < 3; ++i) publisher->publish("app/news", Bytes{i});
+    settle();
+
+    broker::PubSubClient late(kernel, net, Endpoint{host_b, 8002});
+    std::vector<std::uint8_t> seen;
+    late.on_event([&](const broker::Event& e) { seen.push_back(e.payload[0]); });
+    late.subscribe("app/news");
+    late.connect(broker_b->endpoint());
+    settle();
+
+    const auto history = fetch("app/news");
+    for (const auto& e : history) seen.insert(seen.begin() + (&e - history.data()),
+                                              e.payload[0]);
+    publisher->publish("app/news", Bytes{9});
+    settle();
+    ASSERT_EQ(seen.size(), 4u);
+    EXPECT_EQ(seen[0], 0);
+    EXPECT_EQ(seen[3], 9);
+}
+
+TEST_F(ArchiveFixture, InvalidReplayFilterYieldsEmpty) {
+    publisher->publish("app/x", Bytes{1});
+    settle();
+    EXPECT_TRUE(fetch("bad//filter").empty());
+}
+
+}  // namespace
+}  // namespace narada::services

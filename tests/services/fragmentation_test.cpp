@@ -1,0 +1,204 @@
+#include "services/fragmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace narada::services {
+namespace {
+
+Bytes make_payload(std::size_t len, std::uint64_t seed = 1) {
+    Rng rng(seed);
+    Bytes out(len);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+TEST(Fragmentation, SplitShapes) {
+    Rng rng(1);
+    const Uuid id = Uuid::random(rng);
+    const auto fragments = fragment_payload(make_payload(1000), 300, id);
+    ASSERT_EQ(fragments.size(), 4u);
+    EXPECT_EQ(fragments[0].chunk.size(), 300u);
+    EXPECT_EQ(fragments[3].chunk.size(), 100u);
+    for (const auto& f : fragments) {
+        EXPECT_EQ(f.payload_id, id);
+        EXPECT_EQ(f.count, 4u);
+        EXPECT_EQ(f.total_size, 1000u);
+    }
+}
+
+TEST(Fragmentation, ExactMultiple) {
+    Rng rng(2);
+    const auto fragments = fragment_payload(make_payload(900), 300, Uuid::random(rng));
+    EXPECT_EQ(fragments.size(), 3u);
+}
+
+TEST(Fragmentation, EmptyPayloadSingleFragment) {
+    Rng rng(3);
+    const auto fragments = fragment_payload({}, 100, Uuid::random(rng));
+    ASSERT_EQ(fragments.size(), 1u);
+    EXPECT_TRUE(fragments[0].chunk.empty());
+    Coalescer coalescer;
+    const auto payload = coalescer.accept(fragments[0]);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_TRUE(payload->empty());
+}
+
+TEST(Fragmentation, ZeroChunkSizeThrows) {
+    Rng rng(4);
+    EXPECT_THROW(fragment_payload(make_payload(10), 0, Uuid::random(rng)),
+                 std::invalid_argument);
+}
+
+TEST(Fragmentation, CodecRoundTrip) {
+    Rng rng(5);
+    const auto fragments = fragment_payload(make_payload(500), 200, Uuid::random(rng));
+    for (const auto& f : fragments) {
+        wire::ByteWriter writer;
+        f.encode(writer);
+        wire::ByteReader reader(writer.bytes());
+        EXPECT_EQ(Fragment::decode(reader), f);
+    }
+}
+
+TEST(Coalescer, InOrderReassembly) {
+    Rng rng(6);
+    const Bytes payload = make_payload(10000, 7);
+    const auto fragments = fragment_payload(payload, 1024, Uuid::random(rng));
+    Coalescer coalescer;
+    std::optional<Bytes> result;
+    for (const auto& f : fragments) {
+        EXPECT_FALSE(result.has_value());
+        result = coalescer.accept(f);
+    }
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, payload);
+    EXPECT_EQ(coalescer.pending(), 0u);
+    EXPECT_EQ(coalescer.stats().payloads_completed, 1u);
+}
+
+TEST(Coalescer, OutOfOrderReassembly) {
+    Rng rng(8);
+    const Bytes payload = make_payload(5000, 9);
+    auto fragments = fragment_payload(payload, 512, Uuid::random(rng));
+    std::shuffle(fragments.begin(), fragments.end(), rng);
+    Coalescer coalescer;
+    std::optional<Bytes> result;
+    for (const auto& f : fragments) {
+        auto r = coalescer.accept(f);
+        if (r) result = std::move(r);
+    }
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, payload);
+}
+
+TEST(Coalescer, DuplicatesIgnored) {
+    Rng rng(10);
+    const Bytes payload = make_payload(1000, 11);
+    const auto fragments = fragment_payload(payload, 400, Uuid::random(rng));
+    Coalescer coalescer;
+    coalescer.accept(fragments[0]);
+    coalescer.accept(fragments[0]);  // duplicate
+    coalescer.accept(fragments[1]);
+    const auto result = coalescer.accept(fragments[2]);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, payload);
+    EXPECT_EQ(coalescer.stats().duplicates_ignored, 1u);
+}
+
+TEST(Coalescer, InterleavedPayloads) {
+    Rng rng(12);
+    const Bytes a = make_payload(3000, 13);
+    const Bytes b = make_payload(2000, 14);
+    const auto fa = fragment_payload(a, 500, Uuid::random(rng));
+    const auto fb = fragment_payload(b, 500, Uuid::random(rng));
+    Coalescer coalescer;
+    std::optional<Bytes> ra, rb;
+    for (std::size_t i = 0; i < std::max(fa.size(), fb.size()); ++i) {
+        if (i < fa.size()) {
+            if (auto r = coalescer.accept(fa[i])) ra = std::move(r);
+        }
+        if (i < fb.size()) {
+            if (auto r = coalescer.accept(fb[i])) rb = std::move(r);
+        }
+    }
+    ASSERT_TRUE(ra.has_value());
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_EQ(*ra, a);
+    EXPECT_EQ(*rb, b);
+}
+
+TEST(Coalescer, MissingFragmentNeverCompletes) {
+    Rng rng(15);
+    const auto fragments = fragment_payload(make_payload(1000, 16), 100, Uuid::random(rng));
+    Coalescer coalescer;
+    for (std::size_t i = 0; i + 1 < fragments.size(); ++i) {
+        EXPECT_FALSE(coalescer.accept(fragments[i]).has_value());
+    }
+    EXPECT_EQ(coalescer.pending(), 1u);
+    EXPECT_EQ(coalescer.stats().payloads_completed, 0u);
+}
+
+TEST(Coalescer, LruEvictionBoundsMemory) {
+    Rng rng(17);
+    Coalescer coalescer(/*max_pending=*/3);
+    // Start four incomplete payloads; the oldest must be evicted.
+    std::vector<std::vector<Fragment>> all;
+    for (int i = 0; i < 4; ++i) {
+        all.push_back(fragment_payload(make_payload(300, 100 + i), 100, Uuid::random(rng)));
+        coalescer.accept(all.back()[0]);
+    }
+    EXPECT_EQ(coalescer.pending(), 3u);
+    EXPECT_EQ(coalescer.stats().payloads_evicted, 1u);
+    // The evicted (first) payload can no longer complete with one fragment.
+    coalescer.accept(all[0][1]);
+    EXPECT_FALSE(coalescer.accept(all[0][2]).has_value());
+    // But a surviving one can.
+    coalescer.accept(all[3][1]);
+    EXPECT_TRUE(coalescer.accept(all[3][2]).has_value());
+}
+
+TEST(Coalescer, RejectsStructurallyInvalidFragments) {
+    Coalescer coalescer;
+    Fragment bad;
+    bad.count = 0;
+    EXPECT_FALSE(coalescer.accept(bad).has_value());
+    bad.count = 2;
+    bad.index = 5;  // out of range
+    EXPECT_FALSE(coalescer.accept(bad).has_value());
+    bad.index = 0;
+    bad.total_size = 1ull << 60;  // exceeds the size cap
+    EXPECT_FALSE(coalescer.accept(bad).has_value());
+    EXPECT_EQ(coalescer.stats().mismatches_rejected, 3u);
+}
+
+TEST(Coalescer, RejectsShapeDisagreement) {
+    Rng rng(18);
+    const Uuid id = Uuid::random(rng);
+    auto fragments = fragment_payload(make_payload(1000, 19), 250, id);
+    Coalescer coalescer;
+    coalescer.accept(fragments[0]);
+    Fragment liar = fragments[1];
+    liar.count = 9;  // disagrees with fragment 0
+    EXPECT_FALSE(coalescer.accept(liar).has_value());
+    EXPECT_EQ(coalescer.stats().mismatches_rejected, 1u);
+    // The honest stream still completes.
+    coalescer.accept(fragments[1]);
+    coalescer.accept(fragments[2]);
+    EXPECT_TRUE(coalescer.accept(fragments[3]).has_value());
+}
+
+TEST(Coalescer, SingleFragmentSizeLieRejected) {
+    Coalescer coalescer;
+    Fragment f;
+    f.count = 1;
+    f.total_size = 100;
+    f.chunk = Bytes(50, 0);  // claims 100, carries 50
+    EXPECT_FALSE(coalescer.accept(f).has_value());
+}
+
+}  // namespace
+}  // namespace narada::services

@@ -1,0 +1,195 @@
+// Reliable delivery with replays (paper §1, ref [5]) over the pub/sub
+// substrate on the simulated network.
+#include "services/reliable_delivery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/broker.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace narada::services {
+namespace {
+
+struct ReliableFixture : ::testing::Test {
+    ReliableFixture() : net(kernel, 55), utc(kernel.clock()) {
+        host_a = net.add_host({"a", "S", "r", 0});
+        host_b = net.add_host({"b", "S", "r", 0});
+        net.set_default_link({from_ms(2), 0, 2});
+        config::BrokerConfig cfg;
+        cfg.processing_delay = from_ms(1);
+        broker_a = std::make_unique<broker::Broker>(kernel, net, Endpoint{host_a, 7000},
+                                                    net.host_clock(host_a), utc, cfg, "a");
+        broker_b = std::make_unique<broker::Broker>(kernel, net, Endpoint{host_b, 7000},
+                                                    net.host_clock(host_b), utc, cfg, "b");
+        broker_b->connect_to_peer(broker_a->endpoint());
+        broker_a->start();
+        broker_b->start();
+
+        pub_client = std::make_unique<broker::PubSubClient>(kernel, net,
+                                                            Endpoint{host_a, 8000});
+        sub_client = std::make_unique<broker::PubSubClient>(kernel, net,
+                                                            Endpoint{host_b, 8000});
+        publisher = std::make_unique<ReliablePublisher>(*pub_client, "stream/data", 64);
+        consumer = std::make_unique<ReliableConsumer>(*sub_client, "stream/data");
+
+        publisher->start();
+        consumer->start([this](std::uint64_t seq, const Bytes& payload) {
+            delivered.emplace_back(seq, payload);
+        });
+        pub_client->connect(broker_a->endpoint());
+        sub_client->connect(broker_b->endpoint());
+        kernel.run_until(kernel.now() + kSecond);
+    }
+
+    void settle() { kernel.run_until(kernel.now() + kSecond); }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    timesvc::FixedUtcSource utc;
+    HostId host_a{}, host_b{};
+    std::unique_ptr<broker::Broker> broker_a, broker_b;
+    std::unique_ptr<broker::PubSubClient> pub_client, sub_client;
+    std::unique_ptr<ReliablePublisher> publisher;
+    std::unique_ptr<ReliableConsumer> consumer;
+    std::vector<std::pair<std::uint64_t, Bytes>> delivered;
+};
+
+TEST_F(ReliableFixture, InOrderStream) {
+    for (std::uint8_t i = 0; i < 20; ++i) publisher->publish(Bytes{i});
+    settle();
+    ASSERT_EQ(delivered.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(delivered[i].first, i);
+        EXPECT_EQ(delivered[i].second[0], static_cast<std::uint8_t>(i));
+    }
+    EXPECT_EQ(consumer->stats().gaps_detected, 0u);
+}
+
+TEST_F(ReliableFixture, DisconnectGapIsReplayed) {
+    publisher->publish(Bytes{0});
+    publisher->publish(Bytes{1});
+    settle();
+    ASSERT_EQ(delivered.size(), 2u);
+
+    // The subscriber drops off; messages 2..4 sail past it.
+    sub_client->disconnect();
+    settle();
+    publisher->publish(Bytes{2});
+    publisher->publish(Bytes{3});
+    publisher->publish(Bytes{4});
+    settle();
+    EXPECT_EQ(delivered.size(), 2u);
+
+    // Reconnect; message 5 arrives, exposing the 2..4 gap, which the
+    // consumer NACKs and the publisher replays.
+    sub_client->connect(broker_b->endpoint());
+    settle();
+    publisher->publish(Bytes{5});
+    settle();
+
+    ASSERT_EQ(delivered.size(), 6u);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(delivered[i].first, i) << "order must be preserved";
+    }
+    EXPECT_GE(consumer->stats().gaps_detected, 1u);
+    EXPECT_GE(consumer->stats().nacks_sent, 1u);
+    EXPECT_EQ(publisher->stats().nacks_received, consumer->stats().nacks_sent);
+    EXPECT_GE(publisher->stats().replayed, 3u);
+}
+
+TEST_F(ReliableFixture, ReplayBeyondBufferIsLost) {
+    // Tiny replay buffer: only the last 2 messages survive.
+    ReliablePublisher small(*pub_client, "stream/tiny", 2);
+    ReliableConsumer tiny_consumer(*sub_client, "stream/tiny");
+    std::vector<std::uint64_t> seqs;
+    small.start();
+    tiny_consumer.start([&](std::uint64_t seq, const Bytes&) { seqs.push_back(seq); });
+    settle();
+
+    // Establish the stream so the consumer is not a mid-stream joiner.
+    small.publish(Bytes{0});
+    settle();
+    ASSERT_EQ(seqs.size(), 1u);
+
+    sub_client->disconnect();
+    settle();
+    for (std::uint8_t i = 1; i <= 5; ++i) small.publish(Bytes{i});  // 1..5 missed
+    settle();
+    sub_client->connect(broker_b->endpoint());
+    settle();
+    small.publish(Bytes{6});
+    settle();
+
+    // 1..3 were trimmed from the 2-deep buffer; 4..6 are recoverable but
+    // the consumer blocks on the unrecoverable prefix — nothing beyond
+    // seq 0 is delivered, and the publisher records the misses.
+    EXPECT_GE(small.stats().replay_misses, 1u);
+    EXPECT_EQ(seqs.size(), 1u);
+    EXPECT_GT(tiny_consumer.stats().held_back, 0u);
+}
+
+TEST_F(ReliableFixture, LateJoinerStartsMidStream) {
+    publisher->publish(Bytes{0});
+    publisher->publish(Bytes{1});
+    settle();
+
+    // A second consumer joins after the stream began.
+    broker::PubSubClient late_client(kernel, net, Endpoint{host_b, 8001});
+    ReliableConsumer late(late_client, "stream/data");
+    std::vector<std::uint64_t> seqs;
+    late.start([&](std::uint64_t seq, const Bytes&) { seqs.push_back(seq); });
+    late_client.connect(broker_b->endpoint());
+    settle();
+
+    publisher->publish(Bytes{2});
+    publisher->publish(Bytes{3});
+    settle();
+    // The late joiner adopts the stream at seq 2 — no NACK storm for the
+    // history it never subscribed to.
+    ASSERT_EQ(seqs.size(), 2u);
+    EXPECT_EQ(seqs[0], 2u);
+    EXPECT_EQ(seqs[1], 3u);
+    EXPECT_EQ(late.stats().nacks_sent, 0u);
+}
+
+TEST_F(ReliableFixture, ForeignStreamIgnored) {
+    // A second publisher on the SAME topic: the consumer sticks with the
+    // stream it adopted first.
+    broker::PubSubClient other_client(kernel, net, Endpoint{host_a, 8001});
+    ReliablePublisher other(other_client, "stream/data", 16);
+    other.start();
+    other_client.connect(broker_a->endpoint());
+    settle();
+
+    publisher->publish(Bytes{7});  // adopted stream
+    settle();
+    other.publish(Bytes{99});  // foreign stream
+    settle();
+    publisher->publish(Bytes{8});
+    settle();
+
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0].second[0], 7);
+    EXPECT_EQ(delivered[1].second[0], 8);
+}
+
+TEST_F(ReliableFixture, DuplicateDeliverySuppressed) {
+    // Force a replay that overlaps already-delivered messages: NACKing is
+    // internal, so simulate by having the publisher answer a manual NACK.
+    publisher->publish(Bytes{0});
+    settle();
+    ASSERT_EQ(delivered.size(), 1u);
+    // Manual duplicate: replay seq 0 through the control topic.
+    wire::ByteWriter writer;
+    writer.uuid(publisher->stream_id());
+    writer.u64(0);
+    writer.u64(0);
+    sub_client->publish("stream/data/__nack", writer.take());
+    settle();
+    EXPECT_EQ(delivered.size(), 1u);  // not delivered twice
+    EXPECT_GE(consumer->stats().duplicates_ignored, 1u);
+}
+
+}  // namespace
+}  // namespace narada::services

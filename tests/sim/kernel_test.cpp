@@ -1,0 +1,162 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace narada::sim {
+namespace {
+
+TEST(Kernel, StartsAtZero) {
+    Kernel k;
+    EXPECT_EQ(k.now(), 0);
+    EXPECT_TRUE(k.empty());
+    EXPECT_FALSE(k.step());
+}
+
+TEST(Kernel, ExecutesInTimeOrder) {
+    Kernel k;
+    std::vector<int> order;
+    k.schedule_at(30, [&] { order.push_back(3); });
+    k.schedule_at(10, [&] { order.push_back(1); });
+    k.schedule_at(20, [&] { order.push_back(2); });
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(k.now(), 30);
+}
+
+TEST(Kernel, FifoAtSameTimestamp) {
+    Kernel k;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        k.schedule_at(5, [&order, i] { order.push_back(i); });
+    }
+    k.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Kernel, ScheduleAfterUsesCurrentTime) {
+    Kernel k;
+    TimeUs fired_at = -1;
+    k.schedule_at(100, [&] {
+        k.schedule_after(50, [&] { fired_at = k.now(); });
+    });
+    k.run();
+    EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Kernel, PastDeadlineFiresImmediately) {
+    Kernel k;
+    k.schedule_at(100, [] {});
+    k.run();
+    bool fired = false;
+    k.schedule_at(10, [&] { fired = true; });  // in the past now
+    k.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(k.now(), 100);  // time never goes backwards
+}
+
+TEST(Kernel, NegativeDelayClamped) {
+    Kernel k;
+    bool fired = false;
+    k.schedule_after(-5, [&] { fired = true; });
+    k.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(k.now(), 0);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+    Kernel k;
+    bool fired = false;
+    const TimerId id = k.schedule_at(10, [&] { fired = true; });
+    k.cancel(id);
+    k.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Kernel, CancelInvalidIsNoop) {
+    Kernel k;
+    k.cancel(kInvalidTimer);
+    k.cancel(999999);
+    bool fired = false;
+    k.schedule_at(1, [&] { fired = true; });
+    k.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Kernel, RunUntilStopsAtDeadline) {
+    Kernel k;
+    std::vector<TimeUs> fired;
+    for (TimeUs t : {10, 20, 30, 40}) {
+        k.schedule_at(t, [&fired, &k] { fired.push_back(k.now()); });
+    }
+    k.run_until(25);
+    EXPECT_EQ(fired, (std::vector<TimeUs>{10, 20}));
+    EXPECT_EQ(k.now(), 25);  // time advanced to the deadline
+    k.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Kernel, RunUntilSkipsCancelledHead) {
+    Kernel k;
+    bool late_fired = false;
+    const TimerId id = k.schedule_at(10, [] {});
+    k.schedule_at(50, [&] { late_fired = true; });
+    k.cancel(id);
+    k.run_until(20);
+    // The cancelled head must not cause the later event to run early.
+    EXPECT_FALSE(late_fired);
+    EXPECT_EQ(k.now(), 20);
+}
+
+TEST(Kernel, EventsScheduledDuringRunExecute) {
+    Kernel k;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5) k.schedule_after(10, chain);
+    };
+    k.schedule_after(0, chain);
+    k.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(k.now(), 40);
+}
+
+TEST(Kernel, RunawayLoopHitsBudget) {
+    Kernel k;
+    std::function<void()> forever = [&] { k.schedule_after(1, forever); };
+    k.schedule_after(0, forever);
+    EXPECT_THROW(k.run(/*max_events=*/1000), std::runtime_error);
+}
+
+TEST(Kernel, ClockTracksVirtualTime) {
+    Kernel k;
+    const Clock& clock = k.clock();
+    EXPECT_EQ(clock.now(), 0);
+    k.schedule_at(77, [] {});
+    k.run();
+    EXPECT_EQ(clock.now(), 77);
+}
+
+TEST(Kernel, SchedulerInterface) {
+    Kernel k;
+    Scheduler& s = k;
+    bool fired = false;
+    const TimerHandle h = s.schedule(10, [&] { fired = true; });
+    EXPECT_NE(h, kInvalidTimerHandle);
+    s.cancel_timer(h);
+    k.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Kernel, PendingCountExcludesCancelled) {
+    Kernel k;
+    const TimerId a = k.schedule_at(10, [] {});
+    k.schedule_at(20, [] {});
+    EXPECT_EQ(k.pending(), 2u);
+    k.cancel(a);
+    EXPECT_EQ(k.pending(), 1u);
+    EXPECT_FALSE(k.empty());
+}
+
+}  // namespace
+}  // namespace narada::sim

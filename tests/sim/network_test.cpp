@@ -1,0 +1,280 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/site_catalog.hpp"
+
+namespace narada::sim {
+namespace {
+
+class Recorder final : public transport::MessageHandler {
+public:
+    struct Received {
+        Endpoint from;
+        Bytes data;
+        bool reliable;
+        TimeUs at;
+    };
+    explicit Recorder(const Kernel& kernel) : kernel_(kernel) {}
+    void on_datagram(const Endpoint& from, const Bytes& data) override {
+        received.push_back({from, data, false, kernel_.now()});
+    }
+    void on_reliable(const Endpoint& from, const Bytes& data) override {
+        received.push_back({from, data, true, kernel_.now()});
+    }
+    std::vector<Received> received;
+
+private:
+    const Kernel& kernel_;
+};
+
+struct NetworkFixture : ::testing::Test {
+    NetworkFixture() : net(kernel, /*seed=*/42), rx(kernel) {
+        a = net.add_host({"a", "SiteA", "realm-a", 0});
+        b = net.add_host({"b", "SiteB", "realm-a", 0});
+        c = net.add_host({"c", "SiteC", "realm-b", 0});
+        net.set_bandwidth(0);  // pure-latency tests unless stated
+        net.set_link(a, b, {from_ms(10), 0, 4});
+        net.set_link(a, c, {from_ms(30), 0, 10});
+        net.set_link(b, c, {from_ms(20), 0, 8});
+        ep_a = {a, 100};
+        ep_b = {b, 200};
+        ep_c = {c, 300};
+        net.bind(ep_b, &rx);
+    }
+
+    Kernel kernel;
+    SimNetwork net;
+    Recorder rx;
+    HostId a{}, b{}, c{};
+    Endpoint ep_a, ep_b, ep_c;
+};
+
+TEST_F(NetworkFixture, DatagramArrivesAfterLatency) {
+    net.send_datagram(ep_a, ep_b, Bytes{1, 2, 3});
+    kernel.run();
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_EQ(rx.received[0].at, from_ms(10));
+    EXPECT_EQ(rx.received[0].from, ep_a);
+    EXPECT_EQ(rx.received[0].data, (Bytes{1, 2, 3}));
+    EXPECT_FALSE(rx.received[0].reliable);
+    EXPECT_EQ(net.stats().datagrams_delivered, 1u);
+}
+
+TEST_F(NetworkFixture, ReliableUsesOnReliable) {
+    net.send_reliable(ep_a, ep_b, Bytes{9});
+    kernel.run();
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_TRUE(rx.received[0].reliable);
+}
+
+TEST_F(NetworkFixture, UnboundDestinationCounted) {
+    net.send_datagram(ep_a, ep_c, Bytes{1});
+    kernel.run();
+    EXPECT_EQ(net.stats().datagrams_unrouteable, 1u);
+}
+
+TEST_F(NetworkFixture, LoopbackIsFast) {
+    Recorder rx2(kernel);
+    const Endpoint ep_a2{a, 101};
+    net.bind(ep_a2, &rx2);
+    net.send_datagram(ep_a, ep_a2, Bytes{1});
+    kernel.run();
+    ASSERT_EQ(rx2.received.size(), 1u);
+    EXPECT_LT(rx2.received[0].at, from_ms(1.0));
+}
+
+TEST_F(NetworkFixture, JitterVariesDelay) {
+    net.set_link(a, b, {from_ms(10), from_ms(5), 4});
+    std::set<TimeUs> arrivals;
+    for (int i = 0; i < 50; ++i) net.send_datagram(ep_a, ep_b, Bytes{1});
+    kernel.run();
+    for (const auto& r : rx.received) {
+        EXPECT_GE(r.at, from_ms(10));
+        EXPECT_LE(r.at, from_ms(15));
+        arrivals.insert(r.at);
+    }
+    EXPECT_GT(arrivals.size(), 10u);  // jitter actually varies
+}
+
+TEST_F(NetworkFixture, BandwidthAddsSerializationDelay) {
+    net.set_bandwidth(1e6);  // 1 MB/s => 1 us per byte
+    net.send_datagram(ep_a, ep_b, Bytes(1000, 0));
+    kernel.run();
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_EQ(rx.received[0].at, from_ms(10) + 1000);
+}
+
+TEST_F(NetworkFixture, PerHopLossDropsDatagrams) {
+    net.set_per_hop_loss(0.05);  // over 4 hops: ~18.5 % loss
+    constexpr int kN = 2000;
+    for (int i = 0; i < kN; ++i) net.send_datagram(ep_a, ep_b, Bytes{1});
+    kernel.run();
+    const double loss_rate =
+        static_cast<double>(net.stats().datagrams_dropped) / kN;
+    EXPECT_NEAR(loss_rate, 1.0 - std::pow(0.95, 4), 0.03);
+}
+
+TEST_F(NetworkFixture, MoreHopsLoseMore) {
+    net.set_per_hop_loss(0.05);
+    Recorder rx_c(kernel);
+    net.bind(ep_c, &rx_c);
+    constexpr int kN = 2000;
+    for (int i = 0; i < kN; ++i) {
+        net.send_datagram(ep_a, ep_b, Bytes{1});  // 4 hops
+        net.send_datagram(ep_a, ep_c, Bytes{1});  // 10 hops
+    }
+    kernel.run();
+    // §5.2: responses over more router hops are lost more often.
+    EXPECT_GT(rx.received.size(), rx_c.received.size());
+}
+
+TEST_F(NetworkFixture, ReliableNeverDrops) {
+    net.set_per_hop_loss(0.2);
+    for (int i = 0; i < 500; ++i) net.send_reliable(ep_a, ep_b, Bytes{1});
+    kernel.run();
+    EXPECT_EQ(rx.received.size(), 500u);
+}
+
+TEST_F(NetworkFixture, ReliableIsFifoPerPair) {
+    net.set_link(a, b, {from_ms(10), from_ms(9), 4});  // heavy jitter
+    for (std::uint8_t i = 0; i < 100; ++i) net.send_reliable(ep_a, ep_b, Bytes{i});
+    kernel.run();
+    ASSERT_EQ(rx.received.size(), 100u);
+    for (std::uint8_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(rx.received[i].data[0], i);  // order preserved
+    }
+}
+
+TEST_F(NetworkFixture, DownHostDropsTraffic) {
+    net.set_host_down(b, true);
+    net.send_datagram(ep_a, ep_b, Bytes{1});
+    net.send_reliable(ep_a, ep_b, Bytes{2});
+    kernel.run();
+    EXPECT_TRUE(rx.received.empty());
+    net.set_host_down(b, false);
+    net.send_datagram(ep_a, ep_b, Bytes{3});
+    kernel.run();
+    EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST_F(NetworkFixture, HostDyingMidFlightDropsDelivery) {
+    net.send_datagram(ep_a, ep_b, Bytes{1});
+    kernel.run_until(from_ms(5));  // message still in flight
+    net.set_host_down(b, true);
+    kernel.run();
+    EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(NetworkFixture, DownLinkDropsTraffic) {
+    net.set_link_down(a, b, true);
+    net.send_datagram(ep_a, ep_b, Bytes{1});
+    kernel.run();
+    EXPECT_TRUE(rx.received.empty());
+    net.set_link_down(a, b, false);
+    net.send_datagram(ep_a, ep_b, Bytes{1});
+    kernel.run();
+    EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST_F(NetworkFixture, UnbindStopsDelivery) {
+    net.send_datagram(ep_a, ep_b, Bytes{1});
+    net.unbind(ep_b);
+    kernel.run();
+    EXPECT_TRUE(rx.received.empty());
+    EXPECT_EQ(net.stats().datagrams_unrouteable, 1u);
+}
+
+TEST_F(NetworkFixture, MulticastScopedToRealm) {
+    Recorder rx_a(kernel);
+    Recorder rx_c(kernel);
+    const Endpoint ep_a2{a, 101};
+    net.bind(ep_a2, &rx_a);
+    net.bind(ep_c, &rx_c);
+    net.join_multicast(5, ep_a2);
+    net.join_multicast(5, ep_b);
+    net.join_multicast(5, ep_c);  // different realm
+    net.send_multicast(5, ep_a, Bytes{7});
+    kernel.run();
+    EXPECT_EQ(rx_a.received.size(), 1u);  // same realm (other endpoint)
+    EXPECT_EQ(rx.received.size(), 1u);    // same realm, host b
+    EXPECT_TRUE(rx_c.received.empty());   // realm-b never sees it (§9)
+}
+
+TEST_F(NetworkFixture, MulticastNotDeliveredToSender) {
+    net.join_multicast(5, ep_a);
+    Recorder rx_a(kernel);
+    net.bind(ep_a, &rx_a);
+    net.send_multicast(5, ep_a, Bytes{7});
+    kernel.run();
+    EXPECT_TRUE(rx_a.received.empty());
+}
+
+TEST_F(NetworkFixture, MulticastLeave) {
+    net.join_multicast(5, ep_b);
+    net.leave_multicast(5, ep_b);
+    net.send_multicast(5, ep_a, Bytes{1});
+    kernel.run();
+    EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(NetworkFixture, HostClockAppliesSkew) {
+    const HostId skewed = net.add_host({"d", "SiteD", "realm-a", from_ms(123)});
+    EXPECT_EQ(net.host_clock(skewed).now(), kernel.now() + from_ms(123));
+    EXPECT_EQ(net.true_clock().now(), kernel.now());
+}
+
+TEST_F(NetworkFixture, BadHostIdThrows) {
+    EXPECT_THROW(net.send_datagram({999, 1}, ep_b, Bytes{}), std::out_of_range);
+    EXPECT_THROW((void)net.host(999), std::out_of_range);
+    EXPECT_THROW((void)net.host_clock(999), std::out_of_range);
+}
+
+TEST_F(NetworkFixture, NullHandlerRejected) {
+    EXPECT_THROW(net.bind(ep_a, nullptr), std::invalid_argument);
+}
+
+TEST(SiteCatalog, TableOneAnalogue) {
+    EXPECT_EQ(all_sites().size(), kSiteCount);
+    // Latency matrix is symmetric with near-zero diagonal.
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        for (std::size_t j = 0; j < kSiteCount; ++j) {
+            const auto si = static_cast<Site>(i);
+            const auto sj = static_cast<Site>(j);
+            EXPECT_DOUBLE_EQ(site_latency_ms(si, sj), site_latency_ms(sj, si));
+            EXPECT_EQ(site_hops(si, sj), site_hops(sj, si));
+        }
+        EXPECT_LT(site_latency_ms(static_cast<Site>(i), static_cast<Site>(i)), 1.0);
+    }
+    // Cardiff is the farthest site from Bloomington (transatlantic).
+    for (std::size_t i = 1; i + 1 < kSiteCount; ++i) {
+        EXPECT_LT(site_latency_ms(Site::kBloomington, static_cast<Site>(i)),
+                  site_latency_ms(Site::kBloomington, Site::kCardiff));
+    }
+}
+
+TEST(SiteCatalog, WanDeploymentWiresLinks) {
+    Kernel kernel;
+    SimNetwork net(kernel, 7);
+    const WanDeployment wan(net, {Site::kBloomington, Site::kCardiff, Site::kUmn});
+    ASSERT_EQ(wan.size(), 3u);
+    const LinkQuality q = net.link(wan.host(0), wan.host(1));
+    EXPECT_EQ(q.one_way, from_ms(site_latency_ms(Site::kBloomington, Site::kCardiff)));
+    EXPECT_EQ(q.hops, site_hops(Site::kBloomington, Site::kCardiff));
+    // Realms carried over from the catalog.
+    EXPECT_EQ(net.realm_of(wan.host(0)), "iu-lab");
+    EXPECT_EQ(net.realm_of(wan.host(1)), "cardiff");
+}
+
+TEST(SiteCatalog, RenderContainsMachines) {
+    const std::string table = render_site_catalog();
+    EXPECT_NE(table.find("complexity.ucs.indiana.edu"), std::string::npos);
+    EXPECT_NE(table.find("bouscat.cs.cf.ac.uk"), std::string::npos);
+    EXPECT_NE(table.find("webis.msi.umn.edu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace narada::sim

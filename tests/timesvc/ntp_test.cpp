@@ -1,0 +1,155 @@
+#include "timesvc/ntp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace narada::timesvc {
+namespace {
+
+TEST(NtpEstimator, SymmetricPathExactOffset) {
+    NtpEstimator est;
+    // Client clock is 500 behind UTC; 100 each way.
+    // t1=1000 (local), t2=1600 (utc), t3=1600, t4=1200 (local).
+    est.add_sample(1000, 1600, 1600, 1200);
+    ASSERT_TRUE(est.offset().has_value());
+    EXPECT_EQ(*est.offset(), 500);
+    EXPECT_EQ(*est.best_delay(), 200);
+}
+
+TEST(NtpEstimator, KeepsMinimumDelaySample) {
+    NtpEstimator est;
+    est.add_sample(0, 1000, 1000, 400);  // delay 400, offset 800
+    est.add_sample(0, 600, 600, 200);    // delay 200, offset 500
+    est.add_sample(0, 2000, 2000, 900);  // delay 900, offset 1550
+    EXPECT_EQ(*est.offset(), 500);
+    EXPECT_EQ(*est.best_delay(), 200);
+    EXPECT_EQ(est.samples(), 3u);
+}
+
+TEST(NtpEstimator, EmptyHasNoOffset) {
+    NtpEstimator est;
+    EXPECT_FALSE(est.offset().has_value());
+    EXPECT_FALSE(est.best_delay().has_value());
+}
+
+TEST(NtpEstimator, ResetClears) {
+    NtpEstimator est;
+    est.add_sample(0, 100, 100, 50);
+    est.reset();
+    EXPECT_FALSE(est.offset().has_value());
+    EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(NtpEstimator, NegativeOffsetWhenClockAhead) {
+    NtpEstimator est;
+    // Client clock 300 ahead of UTC, symmetric 50 each way.
+    // t1=1000(local)=700utc; t2=750; t3=750; t4=1100(local)=800utc.
+    est.add_sample(1000, 750, 750, 1100);
+    EXPECT_EQ(*est.offset(), -300);
+}
+
+struct NtpServiceFixture : ::testing::Test {
+    NtpServiceFixture() : net(kernel, 11) {
+        server_host = net.add_host({"time", "S", "r", 0});
+        // Client clock is 1.5 s fast.
+        client_host = net.add_host({"node", "S", "r", from_ms(1500)});
+        net.set_link(server_host, client_host, {from_ms(8), from_ms(1), 4});
+        server_ep = {server_host, 123};
+        client_ep = {client_host, 5000};
+        server = std::make_unique<TimeServer>(net, server_ep, net.true_clock());
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    HostId server_host{}, client_host{};
+    Endpoint server_ep, client_ep;
+    std::unique_ptr<TimeServer> server;
+};
+
+TEST_F(NtpServiceFixture, ConvergesWithinThreeToFiveSeconds) {
+    NtpService svc(kernel, net, client_ep, net.host_clock(client_host), server_ep);
+    svc.start();
+    EXPECT_FALSE(svc.synchronized());
+    kernel.run_until(10 * kSecond);
+    ASSERT_TRUE(svc.synchronized());
+    // Default schedule: 8 samples x 500 ms (§5: "3-5 seconds").
+    // The estimated UTC must be close to true time despite the 1.5 s skew.
+    const DurationUs error = std::abs(svc.utc_now() - net.true_clock().now());
+    EXPECT_LT(error, from_ms(2.0));  // bounded by path asymmetry/jitter
+}
+
+TEST_F(NtpServiceFixture, ConvergenceTimeMatchesSchedule) {
+    NtpService svc(kernel, net, client_ep, net.host_clock(client_host), server_ep);
+    TimeUs synced_at = -1;
+    svc.on_synchronized([&] { synced_at = kernel.now(); });
+    svc.start();
+    kernel.run_until(10 * kSecond);
+    ASSERT_GE(synced_at, 0);
+    EXPECT_GE(synced_at, 3 * kSecond);
+    EXPECT_LE(synced_at, 5 * kSecond);
+}
+
+TEST_F(NtpServiceFixture, InjectedResidualShiftsEstimate) {
+    NtpOptions options;
+    options.injected_residual = from_ms(15);
+    NtpService svc(kernel, net, client_ep, net.host_clock(client_host), server_ep, options);
+    svc.start();
+    kernel.run_until(10 * kSecond);
+    ASSERT_TRUE(svc.synchronized());
+    const DurationUs error = svc.utc_now() - net.true_clock().now();
+    EXPECT_NEAR(static_cast<double>(error), static_cast<double>(from_ms(15)),
+                static_cast<double>(from_ms(2)));
+}
+
+TEST_F(NtpServiceFixture, SurvivesProbeLoss) {
+    net.set_per_hop_loss(0.08);  // heavy loss; some probes die
+    NtpService svc(kernel, net, client_ep, net.host_clock(client_host), server_ep);
+    svc.start();
+    kernel.run_until(30 * kSecond);
+    EXPECT_TRUE(svc.synchronized());
+}
+
+TEST_F(NtpServiceFixture, RetriesWhenServerInitiallyDead) {
+    net.set_host_down(server_host, true);
+    NtpService svc(kernel, net, client_ep, net.host_clock(client_host), server_ep);
+    svc.start();
+    kernel.run_until(6 * kSecond);
+    EXPECT_FALSE(svc.synchronized());
+    net.set_host_down(server_host, false);
+    kernel.run_until(20 * kSecond);
+    EXPECT_TRUE(svc.synchronized());
+}
+
+TEST_F(NtpServiceFixture, IgnoresMalformedAndForeignPackets) {
+    NtpService svc(kernel, net, client_ep, net.host_clock(client_host), server_ep);
+    svc.start();
+    // Garbage from the server's address and valid-looking bytes from a
+    // stranger must both be ignored without crashing.
+    net.send_datagram(server_ep, client_ep, Bytes{0x72, 0x01});
+    const Endpoint stranger{client_host, 999};
+    net.send_datagram(stranger, client_ep, Bytes{0x72, 0, 0, 0, 1});
+    kernel.run_until(10 * kSecond);
+    EXPECT_TRUE(svc.synchronized());
+}
+
+TEST_F(NtpServiceFixture, FixedUtcSourcePassthrough) {
+    ManualClock clock(1000);
+    FixedUtcSource utc(clock, 50);
+    EXPECT_TRUE(utc.synchronized());
+    EXPECT_EQ(utc.utc_now(), 1050);
+}
+
+TEST_F(NtpServiceFixture, TimeServerIgnoresGarbage) {
+    // Malformed requests must not crash the server or produce replies.
+    net.send_datagram(client_ep, server_ep, Bytes{0x71});        // truncated
+    net.send_datagram(client_ep, server_ep, Bytes{0xAA, 0xBB});  // wrong type
+    kernel.run();
+    EXPECT_EQ(net.stats().datagrams_delivered, 2u);  // received, no replies
+}
+
+}  // namespace
+}  // namespace narada::timesvc

@@ -1,0 +1,145 @@
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace narada::wire {
+namespace {
+
+TEST(Codec, IntegersBigEndian) {
+    ByteWriter w;
+    w.u16(0x1234);
+    w.u32(0xDEADBEEF);
+    const Bytes& b = w.bytes();
+    ASSERT_EQ(b.size(), 6u);
+    EXPECT_EQ(b[0], 0x12);
+    EXPECT_EQ(b[1], 0x34);
+    EXPECT_EQ(b[2], 0xDE);
+    EXPECT_EQ(b[3], 0xAD);
+    EXPECT_EQ(b[4], 0xBE);
+    EXPECT_EQ(b[5], 0xEF);
+}
+
+TEST(Codec, RoundTripAllTypes) {
+    Rng rng(1);
+    ByteWriter w;
+    w.u8(0xAB);
+    w.u16(0xCDEF);
+    w.u32(0x12345678);
+    w.u64(0x123456789ABCDEF0ull);
+    w.i64(-42);
+    w.f64(3.14159);
+    w.boolean(true);
+    w.boolean(false);
+    w.str("hello world");
+    w.blob(Bytes{1, 2, 3});
+    const Uuid id = Uuid::random(rng);
+    w.uuid(id);
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xCDEF);
+    EXPECT_EQ(r.u32(), 0x12345678u);
+    EXPECT_EQ(r.u64(), 0x123456789ABCDEF0ull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.str(), "hello world");
+    EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+    EXPECT_EQ(r.uuid(), id);
+    EXPECT_TRUE(r.at_end());
+    EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Codec, EmptyStringAndBlob) {
+    ByteWriter w;
+    w.str("");
+    w.blob(Bytes{});
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_EQ(r.blob(), Bytes{});
+}
+
+TEST(Codec, SpecialFloats) {
+    ByteWriter w;
+    w.f64(0.0);
+    w.f64(-0.0);
+    w.f64(std::numeric_limits<double>::infinity());
+    w.f64(1e-300);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.f64(), 0.0);
+    EXPECT_EQ(r.f64(), -0.0);
+    EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+    EXPECT_DOUBLE_EQ(r.f64(), 1e-300);
+}
+
+TEST(Codec, TruncatedReadsThrow) {
+    ByteWriter w;
+    w.u32(7);
+    {
+        ByteReader r(w.bytes());
+        EXPECT_THROW((void)r.u64(), WireError);
+    }
+    {
+        Bytes empty;
+        ByteReader r(empty);
+        EXPECT_THROW((void)r.u8(), WireError);
+    }
+}
+
+TEST(Codec, TruncatedStringThrows) {
+    ByteWriter w;
+    w.str("hello");
+    Bytes data = w.bytes();
+    data.resize(data.size() - 2);  // chop the payload
+    ByteReader r(data);
+    EXPECT_THROW((void)r.str(), WireError);
+}
+
+TEST(Codec, HugeLengthPrefixRejectedBeforeAllocation) {
+    ByteWriter w;
+    w.u32(0xFFFFFFFF);  // absurd length prefix with no payload
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)r.str(), WireError);
+    ByteReader r2(w.bytes());
+    EXPECT_THROW((void)r2.blob(), WireError);
+}
+
+TEST(Codec, ExpectEndDetectsTrailingGarbage) {
+    ByteWriter w;
+    w.u8(1);
+    w.u8(2);
+    ByteReader r(w.bytes());
+    (void)r.u8();
+    EXPECT_THROW(r.expect_end(), WireError);
+    EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Codec, RandomizedRoundTrip) {
+    Rng rng(99);
+    for (int iter = 0; iter < 200; ++iter) {
+        ByteWriter w;
+        std::vector<std::uint64_t> values;
+        const int n = static_cast<int>(rng.bounded(20)) + 1;
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t v = rng.next();
+            values.push_back(v);
+            w.u64(v);
+        }
+        ByteReader r(w.bytes());
+        for (std::uint64_t v : values) EXPECT_EQ(r.u64(), v);
+        EXPECT_TRUE(r.at_end());
+    }
+}
+
+TEST(Codec, TakeMovesBuffer) {
+    ByteWriter w;
+    w.u32(5);
+    Bytes b = w.take();
+    EXPECT_EQ(b.size(), 4u);
+}
+
+}  // namespace
+}  // namespace narada::wire

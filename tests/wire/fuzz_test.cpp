@@ -1,0 +1,164 @@
+// Decoder robustness: every protocol decoder must survive arbitrary bytes
+// (throwing wire::WireError at worst — never crashing, hanging, or
+// allocating absurd amounts) and must survive every truncation of a valid
+// encoding. A hostile datagram can reach any node, so this is a security
+// property of the whole system.
+#include <gtest/gtest.h>
+
+#include "broker/event.hpp"
+#include "common/rng.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/envelope.hpp"
+#include "discovery/messages.hpp"
+#include "services/fragmentation.hpp"
+#include "wire/codec.hpp"
+
+namespace narada {
+namespace {
+
+using DecoderFn = void (*)(wire::ByteReader&);
+
+struct NamedDecoder {
+    const char* name;
+    DecoderFn decode;
+};
+
+const NamedDecoder kDecoders[] = {
+    {"Event", [](wire::ByteReader& r) { (void)broker::Event::decode(r); }},
+    {"BrokerAdvertisement",
+     [](wire::ByteReader& r) { (void)discovery::BrokerAdvertisement::decode(r); }},
+    {"DiscoveryRequest",
+     [](wire::ByteReader& r) { (void)discovery::DiscoveryRequest::decode(r); }},
+    {"DiscoveryResponse",
+     [](wire::ByteReader& r) { (void)discovery::DiscoveryResponse::decode(r); }},
+    {"Fragment", [](wire::ByteReader& r) { (void)services::Fragment::decode(r); }},
+    {"Certificate", [](wire::ByteReader& r) { (void)crypto::Certificate::decode(r); }},
+    {"SecureEnvelope", [](wire::ByteReader& r) { (void)crypto::SecureEnvelope::decode(r); }},
+};
+
+TEST(WireFuzz, RandomBytesNeverCrashDecoders) {
+    Rng rng(0xF0221);
+    for (int iteration = 0; iteration < 500; ++iteration) {
+        const std::size_t len = rng.bounded(512);
+        Bytes junk(len);
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+        for (const auto& decoder : kDecoders) {
+            wire::ByteReader reader(junk);
+            try {
+                decoder.decode(reader);
+            } catch (const wire::WireError&) {
+                // Expected for malformed input.
+            }
+        }
+    }
+}
+
+TEST(WireFuzz, BitFlippedValidMessagesNeverCrash) {
+    Rng rng(0xF0222);
+    // A valid DiscoveryResponse, then every single-bit corruption.
+    discovery::DiscoveryResponse response;
+    response.request_id = Uuid::random(rng);
+    response.broker_id = Uuid::random(rng);
+    response.broker_name = "bouscat.cs.cf.ac.uk/broker4";
+    response.hostname = "bouscat.cs.cf.ac.uk";
+    response.endpoint = {4, 7000};
+    response.protocols = {"tcp", "udp"};
+    wire::ByteWriter writer;
+    response.encode(writer);
+    const Bytes valid = writer.take();
+
+    for (std::size_t byte = 0; byte < valid.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            Bytes mutated = valid;
+            mutated[byte] = static_cast<std::uint8_t>(mutated[byte] ^ (1u << bit));
+            wire::ByteReader reader(mutated);
+            try {
+                (void)discovery::DiscoveryResponse::decode(reader);
+            } catch (const wire::WireError&) {
+            }
+        }
+    }
+}
+
+TEST(WireFuzz, EveryTruncationOfValidEncodingsThrowsOrParses) {
+    Rng rng(0xF0223);
+    // Valid encodings for each message type.
+    std::vector<std::pair<const NamedDecoder*, Bytes>> cases;
+
+    {
+        broker::Event event;
+        event.id = Uuid::random(rng);
+        event.topic = "Services/BrokerDiscoveryNodes/BrokerAdvertisement";
+        event.payload = Bytes(64, 0x42);
+        event.headers = {{"k", "v"}};
+        wire::ByteWriter w;
+        event.encode(w);
+        cases.emplace_back(&kDecoders[0], w.take());
+    }
+    {
+        discovery::BrokerAdvertisement ad;
+        ad.broker_id = Uuid::random(rng);
+        ad.broker_name = "b";
+        ad.hostname = "h";
+        ad.protocols = {"tcp"};
+        wire::ByteWriter w;
+        ad.encode(w);
+        cases.emplace_back(&kDecoders[1], w.take());
+    }
+    {
+        discovery::DiscoveryRequest req;
+        req.request_id = Uuid::random(rng);
+        req.reply_to = {1, 2};
+        req.protocols = {"udp"};
+        wire::ByteWriter w;
+        req.encode(w);
+        cases.emplace_back(&kDecoders[2], w.take());
+    }
+    {
+        services::Fragment f;
+        f.payload_id = Uuid::random(rng);
+        f.count = 2;
+        f.total_size = 10;
+        f.chunk = Bytes(5, 1);
+        wire::ByteWriter w;
+        f.encode(w);
+        cases.emplace_back(&kDecoders[4], w.take());
+    }
+
+    for (const auto& [decoder, valid] : cases) {
+        // The full encoding must parse.
+        {
+            wire::ByteReader reader(valid);
+            EXPECT_NO_THROW(decoder->decode(reader)) << decoder->name;
+        }
+        // Every strict prefix must throw (no silent partial parses).
+        for (std::size_t len = 0; len < valid.size(); ++len) {
+            Bytes prefix(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+            wire::ByteReader reader(prefix);
+            EXPECT_THROW(decoder->decode(reader), wire::WireError)
+                << decoder->name << " len=" << len;
+        }
+    }
+}
+
+TEST(WireFuzz, LengthPrefixBombsRejectedWithoutAllocation) {
+    // Craft messages whose length prefixes announce gigabytes.
+    Rng rng(0xF0224);
+    for (int iteration = 0; iteration < 50; ++iteration) {
+        wire::ByteWriter w;
+        w.uuid(Uuid::random(rng));      // plausible uuid field
+        w.u32(0x7FFFFFFF);              // huge string length
+        w.raw(reinterpret_cast<const std::uint8_t*>("x"), 1);
+        const Bytes bomb = w.take();
+        for (const auto& decoder : kDecoders) {
+            wire::ByteReader reader(bomb);
+            try {
+                decoder.decode(reader);
+            } catch (const wire::WireError&) {
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace narada
