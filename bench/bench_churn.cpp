@@ -11,7 +11,15 @@
 // Soft-state machinery under test: periodic re-advertisement (revived
 // brokers re-register), BDN registration expiry (dead brokers leave the
 // injection pool), peer heartbeats (dead links shed and re-formed).
+//
+// A second experiment measures *overlay* recovery rather than discovery
+// availability: brokers crash under the chaos engine and we time
+// crash -> reconverged (the fault reverted, every RejoinSupervisor stood
+// down, and the overlay one component again), reporting heal-time
+// percentiles and emitting machine-readable NARADA_JSON records.
 #include "harness.hpp"
+#include "scenario/chaos.hpp"
+#include "sim/fault_plan.hpp"
 
 using namespace narada;
 using namespace narada::bench;
@@ -81,6 +89,73 @@ ChurnOutcome run_churn(DurationUs churn_interval, DurationUs down_time) {
     return outcome;
 }
 
+struct HealOutcome {
+    int rounds = 0;
+    int reconverged = 0;
+    SampleSet heal_ms;  ///< crash -> overlay reconverged, per round
+};
+
+/// Crash a random broker per round (star overlay, rejoin supervision on)
+/// and time how long the self-healing machinery needs to reconverge.
+///
+/// peer_floor = 2 is deliberate: with six brokers and at most one down, a
+/// partition into components where every broker still meets a floor of two
+/// would need two components of three — impossible with five live nodes —
+/// so some supervisor always keeps healing until the overlay is whole.
+/// (floor 1 permits stable splits: two pairs of mutually peered brokers
+/// both satisfy the floor and nobody heals.)
+HealOutcome run_heal_rounds(int rounds, DurationUs down_time) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.broker_sites.assign(6, sim::Site::kIndianapolis);
+    opts.seed = 0x48454153;
+    opts.enable_rejoin = true;
+    opts.rejoin.peer_floor = 2;
+    opts.rejoin.backoff_max = 8 * kSecond;
+    opts.discovery.response_window = from_ms(800);
+    opts.discovery.retransmit_interval = from_ms(400);
+    opts.discovery.max_responses = 0;
+    opts.broker.advertise_interval = 5 * kSecond;
+    opts.broker.peer_heartbeat_interval = 1 * kSecond;
+    opts.broker.peer_max_missed = 2;
+    opts.bdn.ping_refresh_interval = 3 * kSecond;
+    opts.bdn.ad_lease = 15 * kSecond;
+    scenario::Scenario s(opts);
+    s.warm_up();
+    auto& kernel = s.kernel();
+    sim::ChaosInjector injector(kernel, s.network());
+    Rng victim_rng(0xFA17);
+
+    // The star only gives spokes one peer; let the supervisors fill the
+    // floor of two before the crash rounds start.
+    auto quiet = [&] {
+        for (std::size_t i = 0; i < s.broker_count(); ++i) {
+            if (s.rejoin_at(i).below_floor() || s.rejoin_at(i).healing()) return false;
+        }
+        return scenario::overlay_connected(s);
+    };
+    scenario::run_until(s, 60 * kSecond, quiet);
+
+    HealOutcome outcome;
+    for (int round = 0; round < rounds; ++round) {
+        ++outcome.rounds;
+        const std::size_t victim = victim_rng.bounded(s.broker_count());
+        const TimeUs crash_at = kernel.now() + 1 * kSecond;
+        sim::FaultPlan plan;
+        plan.crash(1 * kSecond, s.broker_host(victim), down_time);
+        injector.run(plan);
+
+        auto reconverged = [&] { return injector.done() && quiet(); };
+        if (scenario::run_until(s, 120 * kSecond, reconverged)) {
+            ++outcome.reconverged;
+            outcome.heal_ms.add(to_ms(kernel.now() - crash_at));
+        }
+        // Breathe between rounds so backoff state fully quiesces.
+        kernel.run_until(kernel.now() + 5 * kSecond);
+    }
+    return outcome;
+}
+
 }  // namespace
 
 int main() {
@@ -110,6 +185,11 @@ int main() {
                                  : 0.0;
         std::printf("%16s %11.1f%% %17.1f%% %18.2f\n", rate.label, success, alive,
                     outcome.total_ms.mean());
+        print_json_record("churn_discovery",
+                          {{"interval_s", to_ms(rate.interval) / 1000.0},
+                           {"success_pct", success},
+                           {"selected_alive_pct", alive},
+                           {"mean_total_ms", outcome.total_ms.mean()}});
         success_rates[index++] = success;
     }
 
@@ -122,5 +202,28 @@ int main() {
             }
             return "HOLDS";
         }());
-    return 0;
+
+    // --- overlay heal time under the chaos engine ---------------------------
+    std::printf(
+        "\nOverlay heal time: star of 6 brokers with rejoin supervision\n"
+        "(peer floor 2, backoff 0.5 s -> 8 s); one broker crashes per round\n"
+        "and returns after 8 s; heal = crash -> fault reverted, supervisors\n"
+        "quiet, overlay one component again.\n");
+    const HealOutcome heal = run_heal_rounds(/*rounds=*/30, /*down_time=*/8 * kSecond);
+    std::printf("\n%-28s %10d\n", "rounds", heal.rounds);
+    std::printf("%-28s %10d\n", "reconverged", heal.reconverged);
+    if (!heal.heal_ms.empty()) {
+        std::printf("%-28s %10.0f ms\n", "heal time p50", heal.heal_ms.percentile(50));
+        std::printf("%-28s %10.0f ms\n", "heal time p90", heal.heal_ms.percentile(90));
+        std::printf("%-28s %10.0f ms\n", "heal time p99", heal.heal_ms.percentile(99));
+        std::printf("%-28s %10.0f ms\n", "heal time max", heal.heal_ms.max());
+    }
+    auto fields = percentile_fields(heal.heal_ms);
+    fields.emplace_back("rounds", static_cast<double>(heal.rounds));
+    fields.emplace_back("reconverged", static_cast<double>(heal.reconverged));
+    print_json_record("overlay_heal_time", fields);
+
+    std::printf("\nShape check: every crash round reconverged: %s\n",
+                heal.reconverged == heal.rounds ? "HOLDS" : "VIOLATED");
+    return heal.reconverged == heal.rounds ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -113,6 +114,28 @@ inline void print_heading(const std::string& title) {
 inline void print_metric_table(const std::string& title, const SampleSet& samples) {
     print_heading(title);
     std::fputs(samples.metric_table().c_str(), stdout);
+}
+
+/// One machine-readable result record per line. Consumers grep stdout for
+/// the "NARADA_JSON " prefix and parse the remainder as a JSON object, so
+/// benches can keep their human-readable tables alongside.
+inline void print_json_record(const std::string& bench,
+                              const std::vector<std::pair<std::string, double>>& fields) {
+    std::string out = "NARADA_JSON {\"bench\":\"" + bench + "\"";
+    char buffer[96];
+    for (const auto& [key, value] : fields) {
+        std::snprintf(buffer, sizeof(buffer), ",\"%s\":%.4f", key.c_str(), value);
+        out += buffer;
+    }
+    out += "}";
+    std::printf("%s\n", out.c_str());
+}
+
+/// The standard percentile fields for a latency distribution.
+inline std::vector<std::pair<std::string, double>> percentile_fields(const SampleSet& s) {
+    return {{"n", static_cast<double>(s.size())}, {"mean_ms", s.mean()},
+            {"p50_ms", s.percentile(50)},         {"p90_ms", s.percentile(90)},
+            {"p99_ms", s.percentile(99)},         {"max_ms", s.max()}};
 }
 
 inline void print_breakdown(const std::string& title, const scenario::PhaseBreakdown& b) {

@@ -137,6 +137,18 @@ void Broker::send_interest_summary(const Endpoint& peer) {
     }
 }
 
+std::size_t Broker::established_peer_count() const {
+    std::size_t count = 0;
+    for (const auto& [ep, state] : peers_) {
+        if (state.established) ++count;
+    }
+    return count;
+}
+
+void Broker::notify_peer_observer(const Endpoint& peer, bool up) {
+    if (peer_observer_) peer_observer_(peer, up, established_peer_count());
+}
+
 std::vector<Endpoint> Broker::peers() const {
     std::vector<Endpoint> out;
     out.reserve(peers_.size());
@@ -267,17 +279,22 @@ void Broker::handle_publish(const Endpoint& from, wire::ByteReader& reader) {
 }
 
 void Broker::handle_link_hello(const Endpoint& from) {
-    peers_[from].established = true;
+    PeerState& state = peers_[from];
+    const bool was_established = state.established;
+    state.established = true;
     wire::ByteWriter writer;
     writer.u8(wire::kMsgLinkAccept);
     transport_.send_reliable(local_, from, writer.take());
     send_interest_summary(from);
+    if (!was_established) notify_peer_observer(from, /*up=*/true);
 }
 
 void Broker::handle_link_accept(const Endpoint& from) {
     const auto it = peers_.find(from);
+    const bool was_established = it != peers_.end() && it->second.established;
     if (it != peers_.end()) it->second.established = true;
     send_interest_summary(from);
+    if (it != peers_.end() && !was_established) notify_peer_observer(from, /*up=*/true);
 }
 
 void Broker::handle_event_flood(const Endpoint& from, wire::ByteReader& reader) {
@@ -327,13 +344,17 @@ void Broker::peer_heartbeat_tick() {
 }
 
 void Broker::drop_peer(const Endpoint& peer) {
-    if (peers_.erase(peer) == 0) return;
+    const auto it = peers_.find(peer);
+    if (it == peers_.end()) return;
+    const bool was_established = it->second.established;
+    peers_.erase(it);
     ++stats_.peers_dropped;
     // Routing state learned over this link is stale; interests still held
     // by live origins will be re-learned through their periodic paths (or
     // immediately via summaries when links re-form).
     link_interests_.erase(peer);
     NARADA_INFO("broker", "{}: dropped unresponsive peer {}", name_, peer.str());
+    if (was_established) notify_peer_observer(peer, /*up=*/false);
 }
 
 void Broker::ingest(Event event, const Endpoint& source) {

@@ -8,6 +8,7 @@
 // discovery protocol.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <utility>
@@ -101,6 +102,20 @@ public:
     /// routing it keeps matching events flowing to this broker.
     void add_plugin_interest(const std::string& filter);
 
+    /// Observer of peer-link transitions (the paper's "very dynamic and
+    /// fluid" overlay, §1.2): fired after a link becomes established
+    /// (`up == true`) or is dropped/lost (`up == false`), with the
+    /// resulting established-peer count. One observer per broker; the
+    /// RejoinSupervisor uses it to notice when the broker falls below its
+    /// configured peer floor. The observer may call back into the broker
+    /// (e.g. connect_to_peer).
+    using PeerLinkObserver =
+        std::function<void(const Endpoint& peer, bool up, std::size_t established_peers)>;
+    void set_peer_observer(PeerLinkObserver observer) {
+        peer_observer_ = std::move(observer);
+    }
+    [[nodiscard]] std::size_t established_peer_count() const;
+
     /// This broker's identity on the overlay (interest announcements).
     [[nodiscard]] const Uuid& overlay_id() const { return overlay_id_; }
 
@@ -155,6 +170,8 @@ private:
     void peer_heartbeat_tick();
     /// Remove a peer link and its routing state.
     void drop_peer(const Endpoint& peer);
+    /// Tell the registered observer about a link transition.
+    void notify_peer_observer(const Endpoint& peer, bool up);
 
     // --- subscription routing (RoutingMode::kRouted) --------------------------
     /// Bump/drop the local-interest refcount; edge transitions announce.
@@ -202,6 +219,7 @@ private:
     DedupCache seen_announcements_{4096};
     std::shared_ptr<const LoadModel> load_model_;
     std::vector<BrokerPlugin*> plugins_;
+    PeerLinkObserver peer_observer_;
     TimerHandle peer_heartbeat_timer_ = kInvalidTimerHandle;
     Stats stats_;
     bool started_ = false;

@@ -1,0 +1,69 @@
+// Jittered exponential backoff.
+//
+// Retry loops that share a failure cause (a crashed BDN, a partitioned
+// overlay) must not retry in lockstep or the recovering component is hit
+// by a synchronized storm the moment it returns. Every retrying component
+// (RejoinSupervisor, ManagedConnection) therefore draws its delays from
+// this helper: the base delay grows geometrically up to a cap, each drawn
+// delay is multiplied by a uniform jitter factor in [1 - jitter, 1 + jitter],
+// and a success resets the base. Delays come from the caller's seeded Rng,
+// so simulated runs stay deterministic.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace narada {
+
+struct BackoffOptions {
+    DurationUs initial = 500 * kMillisecond;  ///< first retry delay
+    DurationUs max = 30 * kSecond;            ///< base-delay cap
+    double multiplier = 2.0;                  ///< base-delay growth per failure
+    double jitter = 0.2;                      ///< uniform factor in [1-j, 1+j]
+};
+
+class JitteredBackoff {
+public:
+    JitteredBackoff() = default;
+    explicit JitteredBackoff(BackoffOptions options) : options_(options) {
+        options_.initial = std::max<DurationUs>(options_.initial, 1);
+        options_.max = std::max(options_.max, options_.initial);
+        options_.multiplier = std::max(options_.multiplier, 1.0);
+        options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+        base_ = options_.initial;
+    }
+
+    /// Draw the next delay and advance the base toward the cap.
+    DurationUs next(Rng& rng) {
+        const DurationUs delay = jittered(base_, rng);
+        base_ = std::min<DurationUs>(
+            options_.max, static_cast<DurationUs>(static_cast<double>(base_) *
+                                                  options_.multiplier));
+        return delay;
+    }
+
+    /// Peek at what next() would use as its base, without advancing.
+    [[nodiscard]] DurationUs current() const { return base_; }
+
+    /// A success: the next failure starts over from the initial delay.
+    void reset() { base_ = options_.initial; }
+
+    [[nodiscard]] bool at_cap() const { return base_ >= options_.max; }
+    [[nodiscard]] const BackoffOptions& options() const { return options_; }
+
+private:
+    [[nodiscard]] DurationUs jittered(DurationUs base, Rng& rng) const {
+        if (options_.jitter <= 0.0) return base;
+        const double factor =
+            rng.uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+        const auto scaled = static_cast<DurationUs>(static_cast<double>(base) * factor);
+        return std::max<DurationUs>(scaled, 1);
+    }
+
+    BackoffOptions options_{};
+    DurationUs base_ = BackoffOptions{}.initial;
+};
+
+}  // namespace narada

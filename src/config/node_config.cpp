@@ -126,6 +126,20 @@ BrokerConfig BrokerConfig::from_ini(const Ini& ini) {
     return c;
 }
 
+RejoinConfig RejoinConfig::from_ini(const Ini& ini) {
+    RejoinConfig c;
+    c.peer_floor =
+        static_cast<std::uint32_t>(ini.get_int("rejoin", "peer_floor", c.peer_floor));
+    c.backoff_initial = from_ms(
+        ini.get_double("rejoin", "backoff_initial_ms", to_ms(c.backoff_initial)));
+    c.backoff_max =
+        from_ms(ini.get_double("rejoin", "backoff_max_ms", to_ms(c.backoff_max)));
+    c.backoff_multiplier =
+        ini.get_double("rejoin", "backoff_multiplier", c.backoff_multiplier);
+    c.backoff_jitter = ini.get_double("rejoin", "backoff_jitter", c.backoff_jitter);
+    return c;
+}
+
 BdnConfig BdnConfig::from_ini(const Ini& ini) {
     BdnConfig c;
     if (const auto v = ini.get("bdn", "injection")) {
@@ -139,6 +153,7 @@ BdnConfig BdnConfig::from_ini(const Ini& ini) {
         from_ms(ini.get_double("bdn", "injection_spacing_ms", to_ms(c.injection_spacing)));
     c.registration_expiry = from_ms(
         ini.get_double("bdn", "registration_expiry_ms", to_ms(c.registration_expiry)));
+    c.ad_lease = from_ms(ini.get_double("bdn", "ad_lease_ms", to_ms(c.ad_lease)));
     return c;
 }
 

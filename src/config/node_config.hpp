@@ -122,6 +122,26 @@ struct BrokerConfig {
     static BrokerConfig from_ini(const Ini& ini);
 };
 
+/// Overlay self-healing ([rejoin] section). A broker that falls below
+/// `peer_floor` established peer links re-runs discovery and re-peers,
+/// spacing attempts with jittered exponential backoff so simultaneous
+/// rejoiners do not storm the surviving brokers/BDNs.
+struct RejoinConfig {
+    /// Minimum established peer links; below this the broker self-heals.
+    /// 0 disables rejoin supervision.
+    std::uint32_t peer_floor = 1;
+    /// First retry delay after a failed (or insufficient) rejoin.
+    DurationUs backoff_initial = 500 * kMillisecond;
+    /// Cap on the backoff base delay.
+    DurationUs backoff_max = 30 * kSecond;
+    /// Base-delay growth factor per failed attempt.
+    double backoff_multiplier = 2.0;
+    /// Uniform jitter factor: each delay is scaled by [1-j, 1+j].
+    double backoff_jitter = 0.2;
+
+    static RejoinConfig from_ini(const Ini& ini);
+};
+
 /// BDN-side configuration (§2, §4).
 struct BdnConfig {
     InjectionStrategy injection = InjectionStrategy::kClosestAndFarthest;
@@ -135,6 +155,12 @@ struct BdnConfig {
     /// pings for this long (soft-state registry; 0 = registrations never
     /// expire). Keeps the injection targets honest under broker churn.
     DurationUs registration_expiry = 0;
+    /// Advertisement lease: a registration lapses unless the broker
+    /// re-advertises within this long (0 = ads never lapse). Unlike
+    /// `registration_expiry`, pongs do NOT renew a lease — only a fresh
+    /// advertisement does, so crashed brokers age out of the registry and
+    /// rejoining brokers re-assert themselves by re-advertising.
+    DurationUs ad_lease = 0;
     /// Per-injection cost at the BDN: connection setup to the broker plus
     /// request serialization and processing. Injections to multiple
     /// brokers are issued sequentially with this spacing, which is what

@@ -65,6 +65,16 @@ std::vector<Bdn::RegisteredBroker> Bdn::registry() const {
     return out;
 }
 
+std::size_t Bdn::stale_count() const {
+    if (config_.ad_lease <= 0) return 0;
+    const TimeUs now = local_clock_.now();
+    std::size_t stale = 0;
+    for (const auto& [id, rb] : registry_) {
+        if (rb.lease_expires_at > 0 && now >= rb.lease_expires_at) ++stale;
+    }
+    return stale;
+}
+
 void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
     try {
         wire::ByteReader reader(data);
@@ -103,6 +113,13 @@ void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
     rb.ad = ad;
     rb.registered_at = local_clock_.now();
     rb.rtt = previous_rtt;
+    // Renewable lease: the advertisement itself is the renewal message.
+    // A broker that stops re-advertising (crashed, partitioned away) ages
+    // out; a rejoining broker re-asserts itself with a fresh ad.
+    if (config_.ad_lease > 0) {
+        rb.lease_expires_at = local_clock_.now() + config_.ad_lease;
+        if (known) ++stats_.leases_renewed;
+    }
     endpoint_to_broker_[ad.endpoint] = ad.broker_id;
     // Measure the newcomer immediately so the injection strategy can use it.
     if (!known && started_) {
@@ -216,18 +233,30 @@ void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& t
 }
 
 void Bdn::refresh_distances() {
-    // Soft-state registry: shed brokers that stopped answering pings.
-    if (config_.registration_expiry > 0) {
-        const TimeUs now = local_clock_.now();
-        for (auto it = registry_.begin(); it != registry_.end();) {
+    // Soft-state registry: shed brokers that stopped answering pings, and
+    // evict registrations whose advertisement lease lapsed unrenewed.
+    const TimeUs now = local_clock_.now();
+    for (auto it = registry_.begin(); it != registry_.end();) {
+        bool evict = false;
+        if (config_.registration_expiry > 0) {
             const TimeUs last_seen = std::max(it->second.last_pong, it->second.registered_at);
             if (now - last_seen > config_.registration_expiry) {
                 ++stats_.registrations_expired;
-                endpoint_to_broker_.erase(it->second.ad.endpoint);
-                it = registry_.erase(it);
-            } else {
-                ++it;
+                evict = true;
             }
+        }
+        if (!evict && config_.ad_lease > 0 && it->second.lease_expires_at > 0 &&
+            now >= it->second.lease_expires_at) {
+            ++stats_.leases_expired;
+            NARADA_DEBUG("bdn", "{}: advertisement lease of {} lapsed", name_,
+                         it->second.ad.broker_name);
+            evict = true;
+        }
+        if (evict) {
+            endpoint_to_broker_.erase(it->second.ad.endpoint);
+            it = registry_.erase(it);
+        } else {
+            ++it;
         }
     }
     for (const auto& [id, rb] : registry_) {

@@ -44,6 +44,9 @@ public:
         /// Measured round-trip to the broker; -1 until the first pong.
         DurationUs rtt = -1;
         TimeUs last_pong = 0;
+        /// When the advertisement lease lapses (0 = no lease). Renewed only
+        /// by a fresh advertisement, never by pongs.
+        TimeUs lease_expires_at = 0;
     };
 
     struct Stats {
@@ -57,6 +60,8 @@ public:
         std::uint64_t pings_sent = 0;
         std::uint64_t pongs_received = 0;
         std::uint64_t registrations_expired = 0;  ///< soft-state evictions
+        std::uint64_t leases_renewed = 0;         ///< re-advertisements in time
+        std::uint64_t leases_expired = 0;         ///< ads aged out unrenewed
     };
 
     Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& local,
@@ -83,6 +88,10 @@ public:
 
     [[nodiscard]] std::size_t registered_count() const { return registry_.size(); }
     [[nodiscard]] std::vector<RegisteredBroker> registry() const;
+    /// Registrations whose advertisement lease has lapsed but which have
+    /// not been swept yet; the next refresh evicts them. Soak tests assert
+    /// this reaches zero after churn quiesces.
+    [[nodiscard]] std::size_t stale_count() const;
     [[nodiscard]] const Endpoint& endpoint() const { return local_; }
     [[nodiscard]] const std::string& name() const { return name_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }

@@ -8,6 +8,7 @@
 // brokers within the system [be] assimilated faster" (§1.3).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 
@@ -62,17 +63,22 @@ public:
 private:
     static constexpr std::size_t kNoChoice = static_cast<std::size_t>(-1);
 
-    /// The selected candidate unless it is us; then the best other member
-    /// of the target set.
+    /// The selected candidate unless it is us or an existing peer; then the
+    /// best other member of the target set. Skipping established peers
+    /// matters when a RejoinSupervisor re-runs the join to regain a peer
+    /// floor above one: re-linking an existing peer gains nothing.
     [[nodiscard]] std::size_t pick_peer(const DiscoveryReport& report) const {
         if (!report.success) return kNoChoice;
         const Uuid self = plugin_.identity().broker_id;
-        if (report.selected &&
-            report.candidates[*report.selected].response.broker_id != self) {
-            return *report.selected;
-        }
+        const std::vector<Endpoint> peered = broker_.peers();
+        auto usable = [&](std::size_t index) {
+            const DiscoveryResponse& r = report.candidates[index].response;
+            return r.broker_id != self &&
+                   std::find(peered.begin(), peered.end(), r.endpoint) == peered.end();
+        };
+        if (report.selected && usable(*report.selected)) return *report.selected;
         for (std::size_t index : report.target_set) {
-            if (report.candidates[index].response.broker_id != self) return index;
+            if (usable(index)) return index;
         }
         return kNoChoice;
     }

@@ -5,6 +5,15 @@
 #include "wire/msg_types.hpp"
 
 namespace narada::discovery {
+namespace {
+
+BackoffOptions resolve_backoff(const ManagedConnectionOptions& options) {
+    BackoffOptions b = options.rediscovery_backoff;
+    if (b.initial == 0) b.initial = options.heartbeat_interval;
+    return b;
+}
+
+}  // namespace
 
 ManagedConnection::ManagedConnection(Scheduler& scheduler, transport::Transport& transport,
                                      const Endpoint& heartbeat_endpoint,
@@ -16,7 +25,10 @@ ManagedConnection::ManagedConnection(Scheduler& scheduler, transport::Transport&
       local_clock_(local_clock),
       pubsub_(pubsub),
       discovery_(discovery),
-      options_(options) {
+      options_(options),
+      rng_(0x6D676364ull ^ (std::uint64_t{heartbeat_endpoint.host} << 16) ^
+           heartbeat_endpoint.port),
+      backoff_(resolve_backoff(options)) {
     transport_.bind(local_, this);
 }
 
@@ -30,17 +42,37 @@ void ManagedConnection::start() { run_discovery(); }
 
 void ManagedConnection::run_discovery() {
     if (discovering_) return;
+    if (discovery_.busy()) {
+        // The discovery client may be shared (another ManagedConnection, a
+        // RejoinSupervisor, or the application itself) and has a run in
+        // flight; discover() would throw std::logic_error from inside our
+        // failover path. Defer and retry with backoff instead.
+        ++stats_.busy_deferrals;
+        NARADA_DEBUG("managed", "{}: discovery client busy, deferring rediscovery",
+                     local_.str());
+        schedule_retry();
+        return;
+    }
     discovering_ = true;
     discovery_.discover([this](const DiscoveryReport& report) {
         discovering_ = false;
         if (!report.success) {
             ++stats_.failed_discoveries;
             NARADA_WARN("managed", "{}: discovery failed, retrying", local_.str());
-            retry_timer_ = scheduler_.schedule(options_.heartbeat_interval,
-                                               [this] { run_discovery(); });
+            schedule_retry();
             return;
         }
+        backoff_.reset();
         attach(report.selected_candidate()->response.endpoint);
+    });
+}
+
+void ManagedConnection::schedule_retry() {
+    if (retry_timer_ != kInvalidTimerHandle) return;
+    const DurationUs delay = backoff_.next(rng_);
+    retry_timer_ = scheduler_.schedule(delay, [this] {
+        retry_timer_ = kInvalidTimerHandle;
+        run_discovery();
     });
 }
 

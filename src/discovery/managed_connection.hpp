@@ -15,6 +15,8 @@
 #include <optional>
 
 #include "broker/client.hpp"
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
 #include "common/scheduler.hpp"
 #include "discovery/client.hpp"
 
@@ -26,6 +28,11 @@ struct ManagedConnectionOptions {
     /// Consecutive unanswered heartbeats before declaring the broker dead
     /// and rediscovering.
     std::uint32_t max_missed = 3;
+    /// Rediscovery retries (failed run, or a shared discovery client that
+    /// is busy) back off with jitter instead of hammering a fixed cadence.
+    /// initial == 0 means "start from heartbeat_interval".
+    BackoffOptions rediscovery_backoff{/*initial=*/0, /*max=*/10 * kSecond,
+                                       /*multiplier=*/2.0, /*jitter=*/0.2};
 };
 
 class ManagedConnection final : public transport::MessageHandler {
@@ -37,6 +44,9 @@ public:
         std::uint64_t heartbeats_answered = 0;
         std::uint64_t failovers = 0;
         std::uint64_t failed_discoveries = 0;
+        /// Rediscoveries deferred because the shared discovery client had
+        /// a run in flight (would otherwise throw mid-failover).
+        std::uint64_t busy_deferrals = 0;
     };
 
     /// `heartbeat_endpoint` is a dedicated local endpoint for ping/pong
@@ -66,6 +76,8 @@ public:
 
     [[nodiscard]] bool attached() const { return current_broker_.has_value(); }
     [[nodiscard]] std::optional<Endpoint> current_broker() const { return current_broker_; }
+    /// The backoff base the next rediscovery retry will draw from.
+    [[nodiscard]] DurationUs current_backoff() const { return backoff_.current(); }
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
     // MessageHandler (heartbeat pongs).
@@ -73,6 +85,8 @@ public:
 
 private:
     void run_discovery();
+    /// Arm the rediscovery retry timer with the next backoff delay.
+    void schedule_retry();
     void attach(const Endpoint& broker);
     void heartbeat_tick();
     void declare_dead();
@@ -84,6 +98,8 @@ private:
     broker::PubSubClient& pubsub_;
     DiscoveryClient& discovery_;
     Options options_;
+    Rng rng_;
+    JitteredBackoff backoff_;
 
     std::optional<Endpoint> current_broker_;
     std::uint32_t missed_ = 0;

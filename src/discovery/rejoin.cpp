@@ -1,0 +1,107 @@
+#include "discovery/rejoin.hpp"
+
+#include "common/log.hpp"
+
+namespace narada::discovery {
+
+RejoinSupervisor::RejoinSupervisor(broker::Broker& broker, BrokerDiscoveryPlugin& plugin,
+                                   DiscoveryClient& client, config::RejoinConfig config)
+    : broker_(broker),
+      plugin_(plugin),
+      client_(client),
+      config_(config),
+      joiner_(broker, plugin, client),
+      backoff_(BackoffOptions{config.backoff_initial, config.backoff_max,
+                              config.backoff_multiplier, config.backoff_jitter}) {}
+
+RejoinSupervisor::~RejoinSupervisor() {
+    broker_.scheduler().cancel_timer(timer_);
+    if (started_) broker_.set_peer_observer(nullptr);
+}
+
+void RejoinSupervisor::start() {
+    if (started_ || config_.peer_floor == 0) return;
+    started_ = true;
+    broker_.set_peer_observer([this](const Endpoint& peer, bool up, std::size_t established) {
+        on_peer_link(peer, up, established);
+    });
+    if (below_floor()) {
+        ++stats_.floor_violations;
+        schedule_attempt();
+    }
+}
+
+void RejoinSupervisor::on_peer_link(const Endpoint& peer, bool up, std::size_t established) {
+    (void)peer;
+    if (!up) {
+        if (established < config_.peer_floor && !healing()) {
+            ++stats_.floor_violations;
+            NARADA_INFO("rejoin", "{}: {} peers < floor {}, healing", broker_.name(),
+                        established, config_.peer_floor);
+            schedule_attempt();
+        }
+        return;
+    }
+    // A link landed. If the floor is satisfied again, stand down: cancel
+    // any pending attempt and reset the backoff so the next outage starts
+    // fresh. (A join in flight simply finds the floor met when it settles.)
+    if (established >= config_.peer_floor && timer_ != kInvalidTimerHandle) {
+        broker_.scheduler().cancel_timer(timer_);
+        timer_ = kInvalidTimerHandle;
+        backoff_.reset();
+        ++stats_.backoff_resets;
+    }
+}
+
+void RejoinSupervisor::schedule_attempt() {
+    if (timer_ != kInvalidTimerHandle || join_inflight_) return;
+    const DurationUs delay = backoff_.next(broker_.rng());
+    stats_.last_delay = delay;
+    timer_ = broker_.scheduler().schedule(delay, [this] { attempt(); });
+}
+
+void RejoinSupervisor::attempt() {
+    timer_ = kInvalidTimerHandle;
+    if (!below_floor()) {
+        // A peer reconnected to us while we waited.
+        backoff_.reset();
+        ++stats_.backoff_resets;
+        return;
+    }
+    if (client_.busy()) {
+        // The discovery client is shared and a run is in flight; never
+        // throw from a timer callback — defer with the next backoff step.
+        ++stats_.deferrals;
+        schedule_attempt();
+        return;
+    }
+    ++stats_.attempts;
+    join_inflight_ = true;
+    joiner_.join([this](const BrokerJoiner::Result& result) { on_join_result(result); });
+}
+
+void RejoinSupervisor::on_join_result(const BrokerJoiner::Result& result) {
+    join_inflight_ = false;
+    if (result.success) {
+        ++stats_.successes;
+        NARADA_INFO("rejoin", "{}: re-peering with {}", broker_.name(),
+                    result.attached_to->str());
+        // connect_to_peer only *initiated* the LinkHello handshake; the
+        // floor is satisfied when LinkAccept lands, which cancels this
+        // retry and resets the backoff (see on_peer_link). If the chosen
+        // peer died in the meantime, the timer fires and we go again.
+        schedule_attempt();
+        return;
+    }
+    ++stats_.failures;
+    if (below_floor()) {
+        schedule_attempt();
+        return;
+    }
+    // An incoming link met the floor while our join was in flight; the
+    // overlay healed even though the join found no usable candidate.
+    backoff_.reset();
+    ++stats_.backoff_resets;
+}
+
+}  // namespace narada::discovery

@@ -1,0 +1,92 @@
+// Overlay self-healing: broker rejoin supervision.
+//
+// The paper's broker network is "very dynamic and fluid ... broker
+// processes may join and leave the broker network at arbitrary times"
+// (§1.2), but §7 sketches recovery only for requesting entities. A broker
+// that loses its peers through the liveness sweep would otherwise stay
+// partitioned forever: nothing re-attaches it to the overlay.
+//
+// The RejoinSupervisor closes that loop. It observes the broker's
+// peer-link transitions and, whenever the established-peer count falls
+// below the configured floor, re-runs broker discovery via BrokerJoiner,
+// re-peers with the best reachable broker and re-advertises (renewing the
+// broker's BDN lease, see bdn.hpp). Attempts are spaced with jittered
+// exponential backoff — capped, and reset the moment a re-peer actually
+// lands — so a fleet of brokers orphaned by the same crash does not storm
+// the survivors in lockstep.
+//
+// State machine:
+//
+//     kIdle ──(peers < floor)──► kWaiting ──(timer)──► kJoining
+//       ▲                           ▲  ▲                  │
+//       │                           │  └──(busy/fail)─────┤
+//       └──(link up, peers >= floor; backoff resets)──────┘
+#pragma once
+
+#include "common/backoff.hpp"
+#include "config/node_config.hpp"
+#include "discovery/broker_joiner.hpp"
+
+namespace narada::discovery {
+
+class RejoinSupervisor {
+public:
+    struct Stats {
+        std::uint64_t floor_violations = 0;  ///< drops below the peer floor
+        std::uint64_t attempts = 0;          ///< discovery-backed join attempts
+        std::uint64_t successes = 0;         ///< joins that selected a peer
+        std::uint64_t failures = 0;          ///< joins with no usable peer
+        std::uint64_t deferrals = 0;         ///< discovery client was busy
+        std::uint64_t backoff_resets = 0;    ///< successful re-peers
+        DurationUs last_delay = 0;           ///< most recent scheduled delay
+    };
+
+    /// `broker` is the supervised broker, `plugin` its discovery service
+    /// and `client` a discovery client on the same host (it may be shared;
+    /// busy runs defer). All must outlive the supervisor, and no further
+    /// kernel/scheduler activity may happen between destroying the
+    /// supervisor and its collaborators.
+    RejoinSupervisor(broker::Broker& broker, BrokerDiscoveryPlugin& plugin,
+                     DiscoveryClient& client, config::RejoinConfig config);
+    ~RejoinSupervisor();
+
+    RejoinSupervisor(const RejoinSupervisor&) = delete;
+    RejoinSupervisor& operator=(const RejoinSupervisor&) = delete;
+
+    /// Install the peer observer and begin supervising. If the broker is
+    /// already below its floor, healing starts immediately.
+    void start();
+
+    [[nodiscard]] bool below_floor() const {
+        return broker_.established_peer_count() < config_.peer_floor;
+    }
+    /// True while a rejoin attempt is pending or in flight.
+    [[nodiscard]] bool healing() const {
+        return timer_ != kInvalidTimerHandle || join_inflight_;
+    }
+    /// The backoff base the next attempt will draw from (observability).
+    [[nodiscard]] DurationUs current_backoff() const { return backoff_.current(); }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const config::RejoinConfig& config() const { return config_; }
+
+private:
+    void on_peer_link(const Endpoint& peer, bool up, std::size_t established);
+    /// Arm the retry timer with the next backoff delay (no-op if armed).
+    void schedule_attempt();
+    /// Timer body: run one discovery-backed join, or defer if busy.
+    void attempt();
+    void on_join_result(const BrokerJoiner::Result& result);
+
+    broker::Broker& broker_;
+    BrokerDiscoveryPlugin& plugin_;
+    DiscoveryClient& client_;
+    config::RejoinConfig config_;
+    BrokerJoiner joiner_;
+    JitteredBackoff backoff_;
+    TimerHandle timer_ = kInvalidTimerHandle;
+    bool join_inflight_ = false;
+    bool started_ = false;
+    Stats stats_;
+};
+
+}  // namespace narada::discovery

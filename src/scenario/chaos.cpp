@@ -1,0 +1,63 @@
+#include "scenario/chaos.hpp"
+
+#include <map>
+#include <set>
+
+namespace narada::scenario {
+
+std::vector<std::size_t> live_brokers(Scenario& s) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        if (!s.network().host_down(s.broker_host(i))) out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<HostId> broker_hosts(Scenario& s) {
+    std::vector<HostId> out;
+    out.reserve(s.broker_count());
+    for (std::size_t i = 0; i < s.broker_count(); ++i) out.push_back(s.broker_host(i));
+    return out;
+}
+
+bool overlay_connected(Scenario& s) {
+    const std::vector<std::size_t> live = live_brokers(s);
+    if (live.size() < 2) return true;
+
+    std::map<Endpoint, std::size_t> index_of;
+    for (const std::size_t i : live) index_of[s.broker_at(i).endpoint()] = i;
+
+    // Undirected adjacency between live brokers: an edge exists if either
+    // side considers the link established.
+    std::map<std::size_t, std::set<std::size_t>> adj;
+    for (const std::size_t i : live) {
+        for (const Endpoint& peer : s.broker_at(i).peers()) {
+            const auto it = index_of.find(peer);
+            if (it == index_of.end()) continue;  // dead or foreign peer
+            adj[i].insert(it->second);
+            adj[it->second].insert(i);
+        }
+    }
+
+    std::set<std::size_t> seen{live.front()};
+    std::vector<std::size_t> frontier{live.front()};
+    while (!frontier.empty()) {
+        const std::size_t at = frontier.back();
+        frontier.pop_back();
+        for (const std::size_t next : adj[at]) {
+            if (seen.insert(next).second) frontier.push_back(next);
+        }
+    }
+    return seen.size() == live.size();
+}
+
+bool run_until(Scenario& s, DurationUs timeout, const std::function<bool()>& pred) {
+    const TimeUs deadline = s.kernel().now() + timeout;
+    while (!pred()) {
+        if (s.kernel().now() >= deadline) return false;
+        if (!s.kernel().step()) return pred();
+    }
+    return true;
+}
+
+}  // namespace narada::scenario

@@ -1,0 +1,37 @@
+// Chaos-experiment helpers over an assembled Scenario.
+//
+// The chaos soak tests (and bench_churn's heal-time measurement) all ask
+// the same questions after a FaultPlan has run: which brokers are alive,
+// does the overlay form one component again, and did the system reach a
+// goal state within bounded virtual time? These helpers answer them from
+// the brokers' own link state so the assertions test what the overlay
+// believes, not what the test wishes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace narada::scenario {
+
+/// Indices of brokers whose simulated host is currently up.
+std::vector<std::size_t> live_brokers(Scenario& s);
+
+/// Hosts of all brokers, in broker order — the target list for fault
+/// plans (FaultPlan::random_crashes and friends).
+std::vector<HostId> broker_hosts(Scenario& s);
+
+/// True when every live broker can reach every other live broker over
+/// established peer links (BFS treating links as undirected). Vacuously
+/// true with fewer than two live brokers. Links to crashed brokers that
+/// the liveness sweep has not yet shed do not help connectivity: only
+/// edges between live brokers count.
+bool overlay_connected(Scenario& s);
+
+/// Step the kernel until `pred` holds or `timeout` virtual time elapses,
+/// evaluating `pred` between events. Returns the predicate's final value.
+bool run_until(Scenario& s, DurationUs timeout, const std::function<bool()>& pred);
+
+}  // namespace narada::scenario

@@ -12,6 +12,7 @@ constexpr std::uint16_t kClientPort = 7200;
 constexpr std::uint16_t kNtpClientPort = 7301;
 constexpr std::uint16_t kBrokerPort = 7000;
 constexpr std::uint16_t kBrokerNtpPort = 7302;
+constexpr std::uint16_t kBrokerDiscPort = 7400;
 
 }  // namespace
 
@@ -103,6 +104,22 @@ void Scenario::build() {
         broker_ntp_.push_back(std::move(ntp));
         plugins_.push_back(std::move(plugin));
         brokers_.push_back(std::move(node));
+
+        if (options_.enable_rejoin) {
+            // Each broker gets its own discovery client so healing runs
+            // never contend with the requesting node's.
+            config::DiscoveryConfig rejoin_cfg = options_.discovery;
+            rejoin_cfg.bdns = {bdn_ep};
+            rejoin_cfg.use_multicast = false;
+            auto rejoin_client = std::make_unique<discovery::DiscoveryClient>(
+                kernel_, *network_, Endpoint{host, kBrokerDiscPort},
+                network_->host_clock(host), *broker_ntp_.back(), rejoin_cfg,
+                info.machine + "/rejoin", info.realm);
+            auto supervisor = std::make_unique<discovery::RejoinSupervisor>(
+                *brokers_.back(), *plugins_.back(), *rejoin_client, options_.rejoin);
+            broker_discovery_.push_back(std::move(rejoin_client));
+            rejoin_.push_back(std::move(supervisor));
+        }
     }
 
     wire_topology();
@@ -128,6 +145,7 @@ void Scenario::build() {
     // Brokers advertise on start; the BDN starts pinging registrants.
     bdn_->start();
     for (auto& b : brokers_) b->start();
+    for (auto& supervisor : rejoin_) supervisor->start();
 }
 
 void Scenario::wire_topology() {

@@ -18,6 +18,7 @@
 #include "discovery/bdn.hpp"
 #include "discovery/broker_plugin.hpp"
 #include "discovery/client.hpp"
+#include "discovery/rejoin.hpp"
 #include "sim/kernel.hpp"
 #include "sim/network.hpp"
 #include "sim/site_catalog.hpp"
@@ -62,6 +63,12 @@ struct ScenarioOptions {
     config::BrokerConfig broker;
     config::BdnConfig bdn;
 
+    /// Give every broker a RejoinSupervisor (with its own discovery client
+    /// against the BDN) so the overlay self-heals after crashes and
+    /// partitions. Tune thresholds through `rejoin`.
+    bool enable_rejoin = false;
+    config::RejoinConfig rejoin;
+
     /// NTP residual error band (paper: nodes within 1-20 ms of each other).
     DurationUs ntp_residual_min = from_ms(1.0);
     DurationUs ntp_residual_max = from_ms(20.0);
@@ -96,6 +103,13 @@ public:
         return *plugins_.at(i);
     }
     [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+    /// Valid only with options.enable_rejoin.
+    [[nodiscard]] discovery::RejoinSupervisor& rejoin_at(std::size_t i) {
+        return *rejoin_.at(i);
+    }
+    [[nodiscard]] discovery::DiscoveryClient& broker_client_at(std::size_t i) {
+        return *broker_discovery_.at(i);
+    }
     [[nodiscard]] HostId broker_host(std::size_t i) const;
     [[nodiscard]] HostId client_host() const;
     [[nodiscard]] const ScenarioOptions& options() const { return options_; }
@@ -121,6 +135,11 @@ private:
     std::vector<std::unique_ptr<broker::Broker>> brokers_;
     std::vector<std::unique_ptr<discovery::BrokerDiscoveryPlugin>> plugins_;
     std::vector<std::unique_ptr<timesvc::NtpService>> broker_ntp_;
+    // Rejoin supervision (enable_rejoin): per-broker discovery clients and
+    // their supervisors. rejoin_ is declared last so supervisors are
+    // destroyed before the brokers/plugins/clients they reference.
+    std::vector<std::unique_ptr<discovery::DiscoveryClient>> broker_discovery_;
+    std::vector<std::unique_ptr<discovery::RejoinSupervisor>> rejoin_;
 
     bool warmed_up_ = false;
 };

@@ -1,0 +1,174 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace narada::sim {
+
+const char* to_string(FaultType t) {
+    switch (t) {
+        case FaultType::kHostCrash: return "host_crash";
+        case FaultType::kLinkCut: return "link_cut";
+        case FaultType::kPartition: return "partition";
+        case FaultType::kLossStorm: return "loss_storm";
+        case FaultType::kClockSkewStep: return "clock_skew_step";
+    }
+    return "?";
+}
+
+FaultPlan& FaultPlan::crash(DurationUs at, HostId host, DurationUs down_for) {
+    FaultAction action;
+    action.type = FaultType::kHostCrash;
+    action.at = at;
+    action.duration = down_for;
+    action.host = host;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::cut_link(DurationUs at, HostId a, HostId b, DurationUs down_for) {
+    FaultAction action;
+    action.type = FaultType::kLinkCut;
+    action.at = at;
+    action.duration = down_for;
+    action.host = a;
+    action.peer = b;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::partition(DurationUs at, std::vector<HostId> side_a,
+                                std::vector<HostId> side_b, DurationUs down_for) {
+    FaultAction action;
+    action.type = FaultType::kPartition;
+    action.at = at;
+    action.duration = down_for;
+    action.group_a = std::move(side_a);
+    action.group_b = std::move(side_b);
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::loss_storm(DurationUs at, double per_hop_loss, DurationUs down_for) {
+    FaultAction action;
+    action.type = FaultType::kLossStorm;
+    action.at = at;
+    action.duration = down_for;
+    action.loss = per_hop_loss;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::skew_step(DurationUs at, HostId host, DurationUs delta) {
+    FaultAction action;
+    action.type = FaultType::kClockSkewStep;
+    action.at = at;
+    action.host = host;
+    action.skew_delta = delta;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+DurationUs FaultPlan::duration() const {
+    DurationUs end = 0;
+    for (const FaultAction& action : actions) {
+        end = std::max(end, action.at + action.duration);
+    }
+    return end;
+}
+
+FaultPlan FaultPlan::random_crashes(std::uint64_t seed, const std::vector<HostId>& hosts,
+                                    std::size_t crashes, DurationUs horizon,
+                                    DurationUs min_down, DurationUs max_down) {
+    FaultPlan plan;
+    if (hosts.empty() || crashes == 0) return plan;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < crashes; ++i) {
+        const DurationUs at = rng.uniform_int(0, horizon);
+        const DurationUs down = rng.uniform_int(min_down, max_down);
+        const HostId host = hosts[rng.bounded(hosts.size())];
+        plan.crash(at, host, down);
+    }
+    std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                     [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+    return plan;
+}
+
+void ChaosInjector::run(const FaultPlan& plan) {
+    const TimeUs start = kernel_.now();
+    for (const FaultAction& action : plan.actions) {
+        kernel_.schedule_at(start + action.at, [this, action] { apply(action); });
+        plan_end_ = std::max(plan_end_, start + action.at + action.duration);
+    }
+}
+
+void ChaosInjector::apply(const FaultAction& action) {
+    double pre_storm_loss = 0.0;
+    switch (action.type) {
+        case FaultType::kHostCrash:
+            network_.set_host_down(action.host, true);
+            ++stats_.crashes;
+            break;
+        case FaultType::kLinkCut:
+            network_.set_link_down(action.host, action.peer, true);
+            ++stats_.link_cuts;
+            break;
+        case FaultType::kPartition:
+            set_partition(action.group_a, action.group_b, /*down=*/true);
+            ++stats_.partitions;
+            break;
+        case FaultType::kLossStorm:
+            pre_storm_loss = network_.per_hop_loss();
+            network_.set_per_hop_loss(action.loss);
+            ++stats_.loss_storms;
+            break;
+        case FaultType::kClockSkewStep:
+            network_.step_clock_skew(action.host, action.skew_delta);
+            ++stats_.skew_steps;
+            return;  // one-way: nothing to revert
+    }
+    NARADA_DEBUG("chaos", "t={} inject {}", kernel_.now(), to_string(action.type));
+    if (action.duration > 0) {
+        kernel_.schedule_after(action.duration, [this, action, pre_storm_loss] {
+            revert(action, pre_storm_loss);
+        });
+    }
+}
+
+void ChaosInjector::revert(const FaultAction& action, double pre_storm_loss) {
+    switch (action.type) {
+        case FaultType::kHostCrash:
+            network_.set_host_down(action.host, false);
+            ++stats_.restarts;
+            break;
+        case FaultType::kLinkCut:
+            network_.set_link_down(action.host, action.peer, false);
+            ++stats_.link_heals;
+            break;
+        case FaultType::kPartition:
+            set_partition(action.group_a, action.group_b, /*down=*/false);
+            ++stats_.partition_heals;
+            break;
+        case FaultType::kLossStorm:
+            // Overlapping storms: each revert restores the loss seen when
+            // its own storm began.
+            network_.set_per_hop_loss(pre_storm_loss);
+            break;
+        case FaultType::kClockSkewStep:
+            break;
+    }
+    NARADA_DEBUG("chaos", "t={} revert {}", kernel_.now(), to_string(action.type));
+}
+
+void ChaosInjector::set_partition(const std::vector<HostId>& a, const std::vector<HostId>& b,
+                                  bool down) {
+    for (const HostId ha : a) {
+        for (const HostId hb : b) {
+            if (ha == hb) continue;
+            network_.set_link_down(ha, hb, down);
+        }
+    }
+}
+
+}  // namespace narada::sim

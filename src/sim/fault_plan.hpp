@@ -1,0 +1,121 @@
+// Deterministic chaos injection on the virtual-time kernel.
+//
+// The paper's environment is "very dynamic and fluid": "broker processes
+// may join and leave the broker network at arbitrary times and intervals"
+// (§1.2). A FaultPlan is a declarative, serializable-in-spirit schedule of
+// such outages — host crashes with restarts, link flaps, realm partitions,
+// datagram loss storms and clock-skew steps — and the ChaosInjector plays
+// it against a SimNetwork by scheduling every application and reversal on
+// the discrete-event kernel. Because both the kernel and every random
+// draw are seeded, the same plan against the same seed produces the same
+// event sequence bit-for-bit, so soak tests can inject a scripted outage
+// and assert hard invariants about the healed system.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace narada::sim {
+
+enum class FaultType : std::uint8_t {
+    kHostCrash,      ///< host down for `duration`, then restarted
+    kLinkCut,        ///< link host<->peer down for `duration` (a "flap")
+    kPartition,      ///< every link between group_a and group_b cut
+    kLossStorm,      ///< per-hop datagram loss raised to `loss`
+    kClockSkewStep,  ///< host's local clock jumps by `skew_delta`
+};
+
+const char* to_string(FaultType t);
+
+struct FaultAction {
+    FaultType type = FaultType::kHostCrash;
+    /// When the fault strikes, relative to ChaosInjector::run().
+    DurationUs at = 0;
+    /// How long it lasts before the injector reverts it. 0 = permanent
+    /// (crashes with duration 0 never restart). Ignored by kClockSkewStep,
+    /// which is a one-way step.
+    DurationUs duration = 0;
+
+    HostId host = kInvalidHost;  ///< crash / skew-step subject
+    HostId peer = kInvalidHost;  ///< second endpoint of a link cut
+    std::vector<HostId> group_a;  ///< partition side A
+    std::vector<HostId> group_b;  ///< partition side B
+    double loss = 0.0;            ///< storm per-hop drop probability
+    DurationUs skew_delta = 0;    ///< clock step amount
+};
+
+/// An ordered fault schedule with fluent builders:
+///
+///   FaultPlan plan;
+///   plan.crash(5 * kSecond, hub, 10 * kSecond)
+///       .partition(20 * kSecond, {a, b}, {c, d}, 8 * kSecond)
+///       .loss_storm(35 * kSecond, 0.05, 5 * kSecond);
+struct FaultPlan {
+    std::vector<FaultAction> actions;
+
+    FaultPlan& crash(DurationUs at, HostId host, DurationUs down_for);
+    FaultPlan& cut_link(DurationUs at, HostId a, HostId b, DurationUs down_for);
+    FaultPlan& partition(DurationUs at, std::vector<HostId> side_a,
+                         std::vector<HostId> side_b, DurationUs down_for);
+    FaultPlan& loss_storm(DurationUs at, double per_hop_loss, DurationUs down_for);
+    FaultPlan& skew_step(DurationUs at, HostId host, DurationUs delta);
+
+    /// When the last fault has been reverted, relative to run().
+    [[nodiscard]] DurationUs duration() const;
+    [[nodiscard]] bool empty() const { return actions.empty(); }
+
+    /// A seeded random plan over `hosts`: `crashes` crash/restart cycles
+    /// spread uniformly over `horizon`, each down for [min_down, max_down].
+    /// The same seed always yields the same plan.
+    static FaultPlan random_crashes(std::uint64_t seed, const std::vector<HostId>& hosts,
+                                    std::size_t crashes, DurationUs horizon,
+                                    DurationUs min_down, DurationUs max_down);
+};
+
+/// Plays a FaultPlan against a SimNetwork on its kernel.
+class ChaosInjector {
+public:
+    struct Stats {
+        std::uint64_t crashes = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t link_cuts = 0;
+        std::uint64_t link_heals = 0;
+        std::uint64_t partitions = 0;
+        std::uint64_t partition_heals = 0;
+        std::uint64_t loss_storms = 0;
+        std::uint64_t skew_steps = 0;
+    };
+
+    ChaosInjector(Kernel& kernel, SimNetwork& network)
+        : kernel_(kernel), network_(network) {}
+
+    ChaosInjector(const ChaosInjector&) = delete;
+    ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+    /// Schedule every action of `plan` from now. May be called more than
+    /// once; plans accumulate. The injector must outlive the kernel run.
+    void run(const FaultPlan& plan);
+
+    /// Absolute virtual time at which the last scheduled fault has been
+    /// reverted (the plan "ends"); 0 before any run().
+    [[nodiscard]] TimeUs plan_end() const { return plan_end_; }
+    /// True once virtual time has passed plan_end().
+    [[nodiscard]] bool done() const { return kernel_.now() >= plan_end_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    void apply(const FaultAction& action);
+    void revert(const FaultAction& action, double pre_storm_loss);
+    void set_partition(const std::vector<HostId>& a, const std::vector<HostId>& b,
+                       bool down);
+
+    Kernel& kernel_;
+    SimNetwork& network_;
+    TimeUs plan_end_ = 0;
+    Stats stats_;
+};
+
+}  // namespace narada::sim

@@ -65,6 +65,18 @@ const Clock& SimNetwork::host_clock(HostId h) const {
     return *hosts_[h].local_clock;
 }
 
+void SimNetwork::step_clock_skew(HostId h, DurationUs delta) {
+    check_host(h, "step_clock_skew");
+    OffsetClock& clock = *hosts_[h].local_clock;
+    clock.set_offset(clock.offset() + delta);
+    hosts_[h].spec.clock_skew = clock.offset();
+}
+
+DurationUs SimNetwork::clock_skew(HostId h) const {
+    check_host(h, "clock_skew");
+    return hosts_[h].local_clock->offset();
+}
+
 const std::string& SimNetwork::realm_of(HostId h) const {
     check_host(h, "realm_of");
     return hosts_[h].spec.realm;

@@ -87,6 +87,11 @@ public:
     // --- clocks ------------------------------------------------------------
     /// The host's skewed local clock. Valid for the network's lifetime.
     [[nodiscard]] const Clock& host_clock(HostId h) const;
+    /// Step the host's clock skew (chaos injection: an operator fixing a
+    /// clock, a VM migration, an NTP daemon restart). `delta` is added to
+    /// the current skew; NTP services re-converge on the new offset.
+    void step_clock_skew(HostId h, DurationUs delta);
+    [[nodiscard]] DurationUs clock_skew(HostId h) const;
     /// True (virtual) UTC.
     [[nodiscard]] const Clock& true_clock() const { return kernel_.clock(); }
     [[nodiscard]] const std::string& realm_of(HostId h) const;

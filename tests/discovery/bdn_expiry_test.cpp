@@ -59,6 +59,65 @@ TEST(BdnExpiry, RevivedBrokerReRegisters) {
     EXPECT_EQ(s.bdn().registered_count(), 5u);
 }
 
+TEST(BdnExpiry, AdLeaseEvictsBrokersThatStopAdvertising) {
+    // The lease is renewed ONLY by fresh advertisements — answering pings
+    // is not enough. A broker that is reachable but no longer advertises
+    // (stale soft state) ages out of the registry.
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 812;
+    opts.bdn.ping_refresh_interval = from_ms(500);
+    opts.bdn.ad_lease = from_ms(2000);
+    opts.broker.advertise_interval = 0;  // one ad at start, then silence
+    scenario::Scenario s(opts);
+    s.warm_up();
+    s.kernel().run_until(s.kernel().now() + 10 * kSecond);
+    // Every broker still answers pings, yet every lease has lapsed. (An
+    // initial ad can be lost to the datagram loss model, so at least four
+    // of the five registrations exist to expire.)
+    EXPECT_EQ(s.bdn().registered_count(), 0u);
+    EXPECT_GE(s.bdn().stats().leases_expired, 4u);
+    EXPECT_EQ(s.bdn().stale_count(), 0u);
+}
+
+TEST(BdnExpiry, PeriodicAdsRenewLease) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 813;
+    opts.bdn.ping_refresh_interval = from_ms(500);
+    opts.bdn.ad_lease = from_ms(3000);
+    opts.broker.advertise_interval = from_ms(1000);
+    scenario::Scenario s(opts);
+    s.warm_up();
+    s.kernel().run_until(s.kernel().now() + 20 * kSecond);
+    EXPECT_EQ(s.bdn().registered_count(), 5u);
+    EXPECT_EQ(s.bdn().stats().leases_expired, 0u);
+    EXPECT_GT(s.bdn().stats().leases_renewed, 0u);
+    EXPECT_EQ(s.bdn().stale_count(), 0u);
+}
+
+TEST(BdnExpiry, AdLeaseAgesOutCrashedBroker) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kFull;
+    opts.seed = 814;
+    opts.bdn.ping_refresh_interval = from_ms(500);
+    opts.bdn.ad_lease = from_ms(3000);
+    opts.broker.advertise_interval = from_ms(1000);
+    scenario::Scenario s(opts);
+    s.warm_up();
+    ASSERT_EQ(s.bdn().registered_count(), 5u);
+
+    s.network().set_host_down(s.broker_host(0), true);
+    s.kernel().run_until(s.kernel().now() + 10 * kSecond);
+    EXPECT_EQ(s.bdn().registered_count(), 4u);
+    EXPECT_GE(s.bdn().stats().leases_expired, 1u);
+    EXPECT_EQ(s.bdn().stale_count(), 0u);
+
+    s.network().set_host_down(s.broker_host(0), false);
+    s.kernel().run_until(s.kernel().now() + 5 * kSecond);
+    EXPECT_EQ(s.bdn().registered_count(), 5u);  // re-advertisement re-registers
+}
+
 TEST(BdnExpiry, DisabledByDefault) {
     scenario::ScenarioOptions opts;
     opts.topology = scenario::Topology::kFull;

@@ -140,5 +140,64 @@ TEST_F(ManagedFixture, RetriesWhenWholeNetworkDown) {
     EXPECT_TRUE(managed->attached());
 }
 
+TEST_F(ManagedFixture, DefersFailoverWhileSharedDiscoveryClientBusy) {
+    // Regression: the connection shares its DiscoveryClient with the
+    // application. If the broker dies while an application-initiated
+    // discovery run is in flight, the failover used to call discover() on
+    // the busy client and throw std::logic_error from a timer callback.
+    // Now it defers with backoff and recovers once the client frees up.
+    managed->start();
+    settle(5 * kSecond);
+    ASSERT_TRUE(managed->attached());
+
+    // Take the whole network down so the application's discovery run grinds
+    // through its whole fallback ladder (long-lived busy window), and the
+    // attached broker is declared dead inside it.
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), true);
+    }
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, true);
+
+    bool app_run_done = false;
+    testbed->client().discover([&](const DiscoveryReport&) { app_run_done = true; });
+    ASSERT_TRUE(testbed->client().busy());
+
+    settle(30 * kSecond);
+    EXPECT_TRUE(app_run_done);
+    EXPECT_GT(managed->stats().busy_deferrals, 0u);  // guard engaged, no throw
+    EXPECT_EQ(managed->stats().failovers, 1u);
+
+    // The world returns; the deferred rediscovery re-attaches.
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), false);
+    }
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, false);
+    settle(40 * kSecond);
+    ASSERT_TRUE(managed->attached());
+    EXPECT_FALSE(testbed->network().host_down(managed->current_broker()->host));
+}
+
+TEST_F(ManagedFixture, RediscoveryBackoffGrowsThenResetsOnAttach) {
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), true);
+    }
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, true);
+    managed->start();
+    const DurationUs initial = managed->current_backoff();
+    settle(60 * kSecond);
+    EXPECT_FALSE(managed->attached());
+    EXPECT_GT(managed->stats().failed_discoveries, 1u);
+    // Consecutive failures walked the retry delay up from its initial value.
+    EXPECT_GT(managed->current_backoff(), initial);
+
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        testbed->network().set_host_down(testbed->broker_host(i), false);
+    }
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, false);
+    settle(40 * kSecond);
+    ASSERT_TRUE(managed->attached());
+    EXPECT_EQ(managed->current_backoff(), initial);  // success resets
+}
+
 }  // namespace
 }  // namespace narada::discovery

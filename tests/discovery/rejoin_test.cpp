@@ -1,0 +1,160 @@
+// RejoinSupervisor: overlay self-healing with jittered exponential
+// backoff. The paper's overlay is "very dynamic and fluid" (§1.2); these
+// tests crash brokers and assert the survivors re-assemble themselves.
+#include "discovery/rejoin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "scenario/chaos.hpp"
+#include "scenario/scenario.hpp"
+
+namespace narada::discovery {
+namespace {
+
+struct RejoinFixture : ::testing::Test {
+    void build(scenario::Topology topology, std::vector<sim::Site> sites,
+               std::uint32_t peer_floor = 1) {
+        opts.topology = topology;
+        opts.broker_sites = std::move(sites);
+        opts.seed = 777;
+        opts.enable_rejoin = true;
+        opts.rejoin.peer_floor = peer_floor;
+        // Tight timers so failure detection and healing fit in test time.
+        opts.broker.peer_heartbeat_interval = 1 * kSecond;
+        opts.broker.advertise_interval = 5 * kSecond;
+        opts.bdn.ad_lease = 12 * kSecond;
+        opts.discovery.response_window = from_ms(1200);
+        opts.discovery.retransmit_interval = from_ms(400);
+        testbed = std::make_unique<scenario::Scenario>(opts);
+        testbed->warm_up();
+    }
+
+    void settle(DurationUs d) {
+        testbed->kernel().run_until(testbed->kernel().now() + d);
+    }
+
+    scenario::ScenarioOptions opts;
+    std::unique_ptr<scenario::Scenario> testbed;
+};
+
+TEST_F(RejoinFixture, SpokesRejoinAfterHubCrash) {
+    build(scenario::Topology::kStar,
+          {sim::Site::kIndianapolis, sim::Site::kNcsa, sim::Site::kUmn, sim::Site::kFsu,
+           sim::Site::kCardiff});
+    settle(5 * kSecond);
+    // Every spoke starts with exactly one peer: the hub.
+    for (std::size_t i = 1; i < testbed->broker_count(); ++i) {
+        ASSERT_EQ(testbed->broker_at(i).established_peer_count(), 1u) << i;
+    }
+
+    testbed->network().set_host_down(testbed->broker_host(0), true);
+    settle(60 * kSecond);
+
+    std::uint64_t attempts = 0, successes = 0, resets = 0;
+    for (std::size_t i = 1; i < testbed->broker_count(); ++i) {
+        EXPECT_GE(testbed->broker_at(i).established_peer_count(), 1u)
+            << "spoke " << i << " still orphaned";
+        const RejoinSupervisor::Stats& s = testbed->rejoin_at(i).stats();
+        attempts += s.attempts;
+        successes += s.successes;
+        resets += s.backoff_resets;
+        EXPECT_FALSE(testbed->rejoin_at(i).below_floor());
+        // A successful re-peer resets the backoff base to the initial delay.
+        EXPECT_EQ(testbed->rejoin_at(i).current_backoff(), opts.rejoin.backoff_initial);
+    }
+    EXPECT_GT(attempts, 0u);
+    EXPECT_GT(successes, 0u);
+    EXPECT_GT(resets, 0u);
+    EXPECT_TRUE(scenario::overlay_connected(*testbed));
+}
+
+TEST_F(RejoinFixture, BackoffGrowsWhileIsolatedAndResetsOnRepeer) {
+    build(scenario::Topology::kFull, {sim::Site::kNcsa, sim::Site::kUmn});
+    settle(5 * kSecond);
+    ASSERT_EQ(testbed->broker_at(0).established_peer_count(), 1u);
+
+    // Kill the only peer AND the BDN: broker 0 cannot possibly heal.
+    testbed->network().set_host_down(testbed->broker_host(1), true);
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, true);
+    settle(90 * kSecond);
+
+    RejoinSupervisor& supervisor = testbed->rejoin_at(0);
+    EXPECT_TRUE(supervisor.below_floor());
+    EXPECT_GT(supervisor.stats().floor_violations, 0u);
+    EXPECT_GE(supervisor.stats().attempts, 2u);
+    EXPECT_GT(supervisor.stats().failures, 0u);
+    EXPECT_GT(supervisor.stats().last_delay, 0);
+    // Repeated failures walked the base up from the initial delay.
+    EXPECT_GT(supervisor.current_backoff(), opts.rejoin.backoff_initial);
+
+    // Revive the world; the next attempt finds the peer and re-links.
+    testbed->network().set_host_down(testbed->broker_host(1), false);
+    testbed->network().set_host_down(testbed->bdn().endpoint().host, false);
+    settle(90 * kSecond);
+
+    EXPECT_FALSE(supervisor.below_floor());
+    EXPECT_GE(testbed->broker_at(0).established_peer_count(), 1u);
+    EXPECT_GT(supervisor.stats().backoff_resets, 0u);
+    EXPECT_EQ(supervisor.current_backoff(), opts.rejoin.backoff_initial);
+    EXPECT_TRUE(scenario::overlay_connected(*testbed));
+}
+
+TEST_F(RejoinFixture, FloorOfTwoRestoresRedundancy) {
+    build(scenario::Topology::kRing,
+          {sim::Site::kIndianapolis, sim::Site::kNcsa, sim::Site::kUmn, sim::Site::kFsu,
+           sim::Site::kCardiff},
+          /*peer_floor=*/2);
+    settle(5 * kSecond);
+    for (std::size_t i = 0; i < testbed->broker_count(); ++i) {
+        ASSERT_EQ(testbed->broker_at(i).established_peer_count(), 2u) << i;
+    }
+
+    // Crash one ring member: its two neighbours drop to a single peer and
+    // must find a *new* peer (the joiner skips already-linked brokers).
+    testbed->network().set_host_down(testbed->broker_host(2), true);
+    settle(90 * kSecond);
+
+    for (const std::size_t i : scenario::live_brokers(*testbed)) {
+        EXPECT_GE(testbed->broker_at(i).established_peer_count(), 2u) << i;
+    }
+    EXPECT_TRUE(scenario::overlay_connected(*testbed));
+}
+
+TEST(RejoinDeterminism, IdenticalStatsAcrossRuns) {
+    auto digest = [] {
+        scenario::ScenarioOptions o;
+        o.topology = scenario::Topology::kStar;
+        o.broker_sites = {sim::Site::kIndianapolis, sim::Site::kNcsa, sim::Site::kUmn,
+                          sim::Site::kFsu};
+        o.seed = 777;
+        o.enable_rejoin = true;
+        o.rejoin.peer_floor = 1;
+        o.broker.peer_heartbeat_interval = 1 * kSecond;
+        o.broker.advertise_interval = 5 * kSecond;
+        o.bdn.ad_lease = 12 * kSecond;
+        o.discovery.response_window = from_ms(1200);
+        o.discovery.retransmit_interval = from_ms(400);
+        scenario::Scenario t(o);
+        t.warm_up();
+        t.kernel().run_until(t.kernel().now() + 5 * kSecond);
+        t.network().set_host_down(t.broker_host(0), true);
+        t.kernel().run_until(t.kernel().now() + 60 * kSecond);
+        std::vector<std::uint64_t> out;
+        for (std::size_t i = 1; i < t.broker_count(); ++i) {
+            const RejoinSupervisor::Stats& s = t.rejoin_at(i).stats();
+            out.push_back(s.attempts);
+            out.push_back(s.successes);
+            out.push_back(static_cast<std::uint64_t>(s.last_delay));
+            out.push_back(t.broker_at(i).established_peer_count());
+        }
+        out.push_back(static_cast<std::uint64_t>(t.network().stats().datagrams_sent));
+        return out;
+    };
+    EXPECT_EQ(digest(), digest());
+}
+
+}  // namespace
+}  // namespace narada::discovery

@@ -1,0 +1,129 @@
+// End-to-end partition heal: split the overlay with link faults, verify
+// events stop crossing, heal the network, and assert the rejoin machinery
+// re-peers the orphan, exchanges subscription summaries over the fresh
+// link, and deliveries resume (§1.2's fluid overlay, closed-loop).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broker/client.hpp"
+#include "scenario/chaos.hpp"
+#include "scenario/scenario.hpp"
+
+namespace narada {
+namespace {
+
+struct PartitionHealFixture : ::testing::Test {
+    PartitionHealFixture() {
+        scenario::ScenarioOptions opts;
+        opts.topology = scenario::Topology::kStar;
+        opts.seed = 4242;
+        opts.enable_rejoin = true;
+        opts.rejoin.peer_floor = 1;
+        // Routed dissemination: delivery across the healed link only works
+        // if the subscription summary actually crossed it.
+        opts.broker.routing_mode = config::RoutingMode::kRouted;
+        opts.broker.peer_heartbeat_interval = 1 * kSecond;
+        opts.broker.advertise_interval = 5 * kSecond;
+        opts.bdn.ad_lease = 15 * kSecond;
+        opts.discovery.response_window = from_ms(1200);
+        opts.discovery.retransmit_interval = from_ms(400);
+        testbed = std::make_unique<scenario::Scenario>(opts);
+        testbed->warm_up();
+    }
+
+    void settle(DurationUs d) {
+        testbed->kernel().run_until(testbed->kernel().now() + d);
+    }
+
+    /// Every host except the isolated one.
+    std::vector<HostId> other_hosts(HostId isolated) {
+        std::vector<HostId> out;
+        for (HostId h = 0; h < testbed->network().host_count(); ++h) {
+            if (h != isolated) out.push_back(h);
+        }
+        return out;
+    }
+
+    std::unique_ptr<scenario::Scenario> testbed;
+};
+
+TEST_F(PartitionHealFixture, DeliveryStopsAcrossSplitAndResumesAfterHeal) {
+    auto& net = testbed->network();
+    const std::size_t spoke = 3;
+    const HostId spoke_host = testbed->broker_host(spoke);
+
+    // Subscriber rides the spoke's own host (loopback is partition-proof),
+    // publisher rides the hub's host: events must cross the overlay.
+    broker::PubSubClient subscriber(testbed->kernel(), net, Endpoint{spoke_host, 9600});
+    int received = 0;
+    subscriber.on_event([&](const broker::Event&) { ++received; });
+    subscriber.connect(testbed->broker_at(spoke).endpoint());
+    subscriber.subscribe("app/feed");
+
+    broker::PubSubClient publisher(testbed->kernel(), net,
+                                   Endpoint{testbed->broker_host(0), 9601});
+    publisher.connect(testbed->broker_at(0).endpoint());
+    settle(3 * kSecond);  // interest announcement propagates
+
+    publisher.publish("app/feed", Bytes{1});
+    settle(2 * kSecond);
+    ASSERT_EQ(received, 1);
+
+    // Split: the spoke's host against the rest of the world (including the
+    // BDN, so rejoin attempts inside the partition fail and back off).
+    sim::ChaosInjector injector(testbed->kernel(), net);
+    sim::FaultPlan plan;
+    plan.partition(0, {spoke_host}, other_hosts(spoke_host), /*down_for=*/0);
+    injector.run(plan);
+    settle(10 * kSecond);
+
+    publisher.publish("app/feed", Bytes{2});
+    settle(3 * kSecond);
+    EXPECT_EQ(received, 1);  // events no longer cross the split
+    EXPECT_EQ(testbed->broker_at(spoke).established_peer_count(), 0u);
+    EXPECT_TRUE(testbed->rejoin_at(spoke).below_floor());
+    EXPECT_GT(testbed->rejoin_at(spoke).stats().floor_violations, 0u);
+
+    // Heal the split and let the supervisor re-peer.
+    for (const HostId h : other_hosts(spoke_host)) net.set_link_down(spoke_host, h, false);
+    settle(60 * kSecond);
+
+    EXPECT_GE(testbed->broker_at(spoke).established_peer_count(), 1u);
+    EXPECT_GT(testbed->rejoin_at(spoke).stats().successes, 0u);
+    EXPECT_TRUE(scenario::overlay_connected(*testbed));
+
+    // The re-established link carried the subscription summary: routed
+    // delivery to the spoke's subscriber resumes.
+    publisher.publish("app/feed", Bytes{3});
+    settle(3 * kSecond);
+    EXPECT_EQ(received, 2);
+    // Backoff stood down after the successful re-peer.
+    EXPECT_EQ(testbed->rejoin_at(spoke).current_backoff(),
+              testbed->rejoin_at(spoke).config().backoff_initial);
+}
+
+TEST_F(PartitionHealFixture, TimedPartitionHealsThroughChaosInjector) {
+    auto& net = testbed->network();
+    const std::size_t spoke = 2;
+    const HostId spoke_host = testbed->broker_host(spoke);
+
+    sim::ChaosInjector injector(testbed->kernel(), net);
+    sim::FaultPlan plan;
+    plan.partition(1 * kSecond, {spoke_host}, other_hosts(spoke_host), 12 * kSecond);
+    injector.run(plan);
+
+    settle(8 * kSecond);
+    EXPECT_EQ(testbed->broker_at(spoke).established_peer_count(), 0u);
+
+    settle(70 * kSecond);
+    EXPECT_TRUE(injector.done());
+    EXPECT_EQ(injector.stats().partitions, 1u);
+    EXPECT_EQ(injector.stats().partition_heals, 1u);
+    EXPECT_GE(testbed->broker_at(spoke).established_peer_count(), 1u);
+    EXPECT_TRUE(scenario::overlay_connected(*testbed));
+}
+
+}  // namespace
+}  // namespace narada

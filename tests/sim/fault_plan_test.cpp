@@ -1,0 +1,154 @@
+// FaultPlan / ChaosInjector: deterministic scripted outages on the
+// virtual-time kernel.
+#include "sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+
+namespace narada::sim {
+namespace {
+
+struct ChaosFixture : ::testing::Test {
+    ChaosFixture() : network(kernel, /*seed=*/99) {
+        for (int i = 0; i < 4; ++i) {
+            hosts.push_back(network.add_host({"h" + std::to_string(i), "site", "realm"}));
+        }
+    }
+
+    void run_to(TimeUs t) { kernel.run_until(t); }
+
+    Kernel kernel;
+    SimNetwork network;
+    std::vector<HostId> hosts;
+};
+
+TEST_F(ChaosFixture, CrashAndRestartWindow) {
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.crash(1 * kSecond, hosts[0], 2 * kSecond);
+    injector.run(plan);
+
+    run_to(from_ms(500));
+    EXPECT_FALSE(network.host_down(hosts[0]));
+    run_to(from_ms(1500));
+    EXPECT_TRUE(network.host_down(hosts[0]));
+    run_to(from_ms(3500));
+    EXPECT_FALSE(network.host_down(hosts[0]));
+    EXPECT_EQ(injector.stats().crashes, 1u);
+    EXPECT_EQ(injector.stats().restarts, 1u);
+    EXPECT_TRUE(injector.done());
+    EXPECT_EQ(injector.plan_end(), 3 * kSecond);
+}
+
+TEST_F(ChaosFixture, PermanentCrashNeverRestarts) {
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.crash(1 * kSecond, hosts[1], /*down_for=*/0);
+    injector.run(plan);
+    run_to(60 * kSecond);
+    EXPECT_TRUE(network.host_down(hosts[1]));
+    EXPECT_EQ(injector.stats().restarts, 0u);
+}
+
+TEST_F(ChaosFixture, PartitionCutsEveryCrossLinkThenHeals) {
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.partition(1 * kSecond, {hosts[0], hosts[1]}, {hosts[2], hosts[3]}, 2 * kSecond);
+    injector.run(plan);
+
+    run_to(from_ms(1500));
+    EXPECT_TRUE(network.link_down(hosts[0], hosts[2]));
+    EXPECT_TRUE(network.link_down(hosts[1], hosts[3]));
+    EXPECT_FALSE(network.link_down(hosts[0], hosts[1]));  // same side intact
+    EXPECT_FALSE(network.link_down(hosts[2], hosts[3]));
+
+    run_to(from_ms(3500));
+    EXPECT_FALSE(network.link_down(hosts[0], hosts[2]));
+    EXPECT_FALSE(network.link_down(hosts[1], hosts[3]));
+    EXPECT_EQ(injector.stats().partitions, 1u);
+    EXPECT_EQ(injector.stats().partition_heals, 1u);
+}
+
+TEST_F(ChaosFixture, LossStormRestoresPriorLoss) {
+    network.set_per_hop_loss(0.001);
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.loss_storm(1 * kSecond, 0.2, 2 * kSecond);
+    injector.run(plan);
+
+    run_to(from_ms(1500));
+    EXPECT_DOUBLE_EQ(network.per_hop_loss(), 0.2);
+    run_to(from_ms(3500));
+    EXPECT_DOUBLE_EQ(network.per_hop_loss(), 0.001);
+    EXPECT_EQ(injector.stats().loss_storms, 1u);
+}
+
+TEST_F(ChaosFixture, SkewStepIsOneWay) {
+    const DurationUs before = network.clock_skew(hosts[2]);
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.skew_step(1 * kSecond, hosts[2], from_ms(250));
+    injector.run(plan);
+    run_to(10 * kSecond);
+    EXPECT_EQ(network.clock_skew(hosts[2]), before + from_ms(250));
+    EXPECT_EQ(injector.stats().skew_steps, 1u);
+    // duration is ignored: nothing reverts the step.
+    EXPECT_EQ(injector.plan_end(), 1 * kSecond);
+}
+
+TEST_F(ChaosFixture, LinkFlap) {
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.cut_link(1 * kSecond, hosts[0], hosts[1], 1 * kSecond);
+    injector.run(plan);
+    run_to(from_ms(1500));
+    EXPECT_TRUE(network.link_down(hosts[0], hosts[1]));
+    run_to(from_ms(2500));
+    EXPECT_FALSE(network.link_down(hosts[0], hosts[1]));
+    EXPECT_EQ(injector.stats().link_cuts, 1u);
+    EXPECT_EQ(injector.stats().link_heals, 1u);
+}
+
+TEST(FaultPlanTest, DurationIsLastRevert) {
+    FaultPlan plan;
+    plan.crash(1 * kSecond, 0, 5 * kSecond).cut_link(2 * kSecond, 0, 1, 1 * kSecond);
+    EXPECT_EQ(plan.duration(), 6 * kSecond);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlanTest, RandomCrashesDeterministicPerSeed) {
+    const std::vector<HostId> hosts{3, 4, 5, 6};
+    const FaultPlan a = FaultPlan::random_crashes(11, hosts, 6, 60 * kSecond,
+                                                  1 * kSecond, 5 * kSecond);
+    const FaultPlan b = FaultPlan::random_crashes(11, hosts, 6, 60 * kSecond,
+                                                  1 * kSecond, 5 * kSecond);
+    ASSERT_EQ(a.actions.size(), 6u);
+    for (std::size_t i = 0; i < a.actions.size(); ++i) {
+        EXPECT_EQ(a.actions[i].at, b.actions[i].at);
+        EXPECT_EQ(a.actions[i].host, b.actions[i].host);
+        EXPECT_EQ(a.actions[i].duration, b.actions[i].duration);
+        EXPECT_GE(a.actions[i].duration, 1 * kSecond);
+        EXPECT_LE(a.actions[i].duration, 5 * kSecond);
+        EXPECT_LE(a.actions[i].at, 60 * kSecond);
+        if (i > 0) EXPECT_GE(a.actions[i].at, a.actions[i - 1].at);  // sorted
+    }
+
+    const FaultPlan c = FaultPlan::random_crashes(12, hosts, 6, 60 * kSecond,
+                                                  1 * kSecond, 5 * kSecond);
+    bool differs = false;
+    for (std::size_t i = 0; i < c.actions.size(); ++i) {
+        if (c.actions[i].at != a.actions[i].at || c.actions[i].host != a.actions[i].host) {
+            differs = true;
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace narada::sim
