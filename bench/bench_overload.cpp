@@ -1,0 +1,166 @@
+// Overload resilience — request storms against a bounded-ingest BDN.
+//
+// Sweeps storm intensity against a star overlay whose primary BDN runs
+// bounded ingest with per-source quotas, while the client runs circuit
+// breakers with a healthy secondary BDN to fail over to. Reports the BDN
+// shed rate, time-to-first-response and end-to-end selection latency per
+// intensity, then measures what the adaptive (quiesce-based) response
+// window saves over a fixed window. All figures are emitted as
+// NARADA_JSON records for the CI artifact pipeline.
+#include <memory>
+
+#include "discovery/bdn.hpp"
+#include "harness.hpp"
+#include "scenario/chaos.hpp"
+#include "sim/fault_plan.hpp"
+
+using namespace narada;
+using namespace narada::bench;
+
+namespace {
+
+scenario::ScenarioOptions storm_options(std::uint64_t seed) {
+    scenario::ScenarioOptions opts = star_options();
+    opts.seed = seed;
+    opts.broker_sites.assign(8, sim::Site::kIndianapolis);
+    opts.bdn.ingest_queue_limit = 16;
+    opts.bdn.request_service_cost = from_ms(2);
+    opts.bdn.per_source_rate = 4.0;
+    opts.bdn.per_source_burst = 8.0;
+    opts.discovery.response_window = from_ms(1200);
+    opts.discovery.retransmit_interval = from_ms(400);
+    opts.discovery.max_responses = 5;
+    opts.discovery.breaker_failure_threshold = 1;
+    opts.discovery.breaker_open_initial = 4 * kSecond;
+    return opts;
+}
+
+struct StormPoint {
+    double shed_rate = 0;  ///< shed / received at the primary BDN
+    SampleSet first_response;
+    SampleSet selection;
+    int failures = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t forced_probes = 0;
+    std::uint64_t queue_peak = 0;
+};
+
+StormPoint measure_storm(std::uint32_t storm_clients) {
+    StormPoint point;
+    std::uint64_t shed = 0;
+    std::uint64_t received = 0;
+    constexpr int kRuns = 10;
+    for (int run = 0; run < kRuns; ++run) {
+        scenario::Scenario s(storm_options(300 + static_cast<std::uint64_t>(run) * 7919));
+        s.warm_up();
+        auto& kernel = s.kernel();
+        auto& net = s.network();
+
+        const HostId backup = net.add_host({"bdn2.backup.net", "BACKUP", "", 0});
+        discovery::Bdn secondary(kernel, net, Endpoint{backup, 7100},
+                                 net.host_clock(backup), config::BdnConfig{},
+                                 "secondary-bdn");
+        for (std::size_t i = 0; i < s.broker_count(); ++i) {
+            secondary.register_broker(s.plugin_at(i).advertisement());
+        }
+        secondary.start();
+        s.client().mutable_config().bdns.push_back(secondary.endpoint());
+        kernel.run_until(kernel.now() + 2 * kSecond);
+
+        sim::ChaosInjector chaos(kernel, net);
+        chaos.run(scenario::request_storm_plan(s, 0, storm_clients, from_ms(20),
+                                               30 * kSecond));
+        kernel.run_until(kernel.now() + 1 * kSecond);  // the storm ramps up
+
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const auto report = s.run_discovery();
+            if (!report.success) {
+                ++point.failures;
+            } else {
+                if (report.time_to_first_response >= 0) {
+                    point.first_response.add(to_ms(report.time_to_first_response));
+                }
+                point.selection.add(to_ms(report.total_duration));
+            }
+            kernel.run_until(kernel.now() + 2 * kSecond);
+        }
+        shed += s.bdn().stats().requests_shed();
+        received += s.bdn().stats().requests_received;
+        point.breaker_opens += s.client().bdn_breaker(0).stats().opens;
+        point.forced_probes += s.client().stats().forced_probes;
+        point.queue_peak = std::max(point.queue_peak, s.bdn().stats().queue_depth_peak);
+    }
+    point.shed_rate = received ? static_cast<double>(shed) / static_cast<double>(received) : 0.0;
+    return point;
+}
+
+void adaptive_window_comparison() {
+    print_heading("Adaptive response window (quiet overlay, 4.5 s fixed window)");
+    std::printf("%10s %20s %16s\n", "mode", "mean collection (ms)", "adaptive closes");
+    for (const bool adaptive : {false, true}) {
+        SampleSet collection;
+        std::uint64_t closes = 0;
+        constexpr int kRuns = 20;
+        for (int run = 0; run < kRuns; ++run) {
+            scenario::ScenarioOptions opts = star_options();
+            opts.seed = 900 + static_cast<std::uint64_t>(run) * 104729;
+            opts.discovery.max_responses = 0;
+            opts.discovery.response_window = from_ms(4500);  // the paper's 4-5 s
+            opts.discovery.adaptive_window = adaptive;
+            opts.discovery.quiesce_ticks = 3;
+            opts.discovery.quiesce_tick = from_ms(100);
+            opts.discovery.response_window_min = from_ms(200);
+            scenario::Scenario s(opts);
+            const auto report = s.run_discovery();
+            if (!report.success) continue;
+            collection.add(to_ms(report.collection_duration));
+            if (report.adaptive_close) ++closes;
+        }
+        std::printf("%10s %20.1f %16llu\n", adaptive ? "adaptive" : "fixed",
+                    collection.mean(), static_cast<unsigned long long>(closes));
+        print_json_record("adaptive_window",
+                          {{"adaptive", adaptive ? 1.0 : 0.0},
+                           {"mean_collection_ms", collection.mean()},
+                           {"p99_collection_ms", collection.percentile(99)},
+                           {"adaptive_closes", static_cast<double>(closes)}});
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Overload sweep: N storm clients flood the primary BDN every 20 ms;\n");
+    std::printf("the client fails over to a healthy secondary through circuit breakers.\n");
+    std::printf("(8-broker star, 10 seeds x 3 discoveries per point)\n\n");
+    std::printf("%8s %10s %12s %12s %14s %10s %8s\n", "clients", "shed rate", "ttfr p50",
+                "ttfr p99", "selection p99", "failures", "opens");
+
+    for (const std::uint32_t clients : {0u, 4u, 16u, 32u}) {
+        const StormPoint p = measure_storm(clients);
+        std::printf("%8u %9.1f%% %10.1fms %10.1fms %12.1fms %10d %8llu\n", clients,
+                    p.shed_rate * 100.0, p.first_response.percentile(50),
+                    p.first_response.percentile(99), p.selection.percentile(99),
+                    p.failures, static_cast<unsigned long long>(p.breaker_opens));
+        print_json_record("overload_storm",
+                          {{"storm_clients", static_cast<double>(clients)},
+                           {"shed_rate", p.shed_rate},
+                           {"ttfr_p50_ms", p.first_response.percentile(50)},
+                           {"ttfr_p99_ms", p.first_response.percentile(99)},
+                           {"selection_p50_ms", p.selection.percentile(50)},
+                           {"selection_p99_ms", p.selection.percentile(99)},
+                           {"failures", static_cast<double>(p.failures)},
+                           {"breaker_opens", static_cast<double>(p.breaker_opens)},
+                           {"forced_probes", static_cast<double>(p.forced_probes)},
+                           {"queue_depth_peak", static_cast<double>(p.queue_peak)}});
+    }
+
+    std::printf("\n");
+    adaptive_window_comparison();
+
+    std::printf(
+        "\nShape check: shed rate climbs with storm intensity while selection p99\n"
+        "stays bounded (the breaker diverts to the secondary BDN instead of\n"
+        "waiting out retransmits), and the adaptive window cuts collection time\n"
+        "well below the fixed 4.5 s bound once responses quiesce.\n");
+    return 0;
+}

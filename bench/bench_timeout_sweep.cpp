@@ -41,6 +41,12 @@ int main() {
         const int successes = kRuns - failures;
         std::printf("%12.0f %18.2f %18.2f %14d\n", window,
                     successes ? responses_acc / successes : 0.0, totals.mean(), failures);
+        print_json_record("timeout_sweep",
+                          {{"window_ms", window},
+                           {"mean_responses", successes ? responses_acc / successes : 0.0},
+                           {"mean_total_ms", totals.mean()},
+                           {"p99_total_ms", totals.percentile(99)},
+                           {"failures", static_cast<double>(failures)}});
     }
 
     std::printf(

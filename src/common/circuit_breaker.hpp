@@ -1,0 +1,126 @@
+// Closed -> open -> half-open circuit breaker.
+//
+// A dead or storming BDN must not cost every discovery run a full
+// retransmit timeout before the client fails over. The breaker counts
+// consecutive failures against one endpoint; at the threshold it opens and
+// callers skip the endpoint instantly. After a cool-down (drawn from the
+// shared jittered-backoff helper so probes from many clients never
+// synchronize) one probe is let through half-open: success closes the
+// breaker, failure re-opens it with a longer cool-down. All time comes
+// from the caller's clock and all jitter from the caller's seeded Rng, so
+// breaker timelines are reproducible in simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace narada {
+
+struct CircuitBreakerOptions {
+    /// Consecutive failures that open the breaker.
+    std::uint32_t failure_threshold = 2;
+    /// Cool-down before a half-open probe; grows per re-open, jittered.
+    BackoffOptions open_backoff{/*initial=*/2 * kSecond, /*max=*/30 * kSecond,
+                                /*multiplier=*/2.0, /*jitter=*/0.2};
+};
+
+class CircuitBreaker {
+public:
+    enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+    struct Stats {
+        std::uint64_t opens = 0;    ///< closed/half-open -> open transitions
+        std::uint64_t probes = 0;   ///< half-open probes admitted
+        std::uint64_t rejections = 0;  ///< allow() calls answered false
+    };
+
+    explicit CircuitBreaker(CircuitBreakerOptions options = {})
+        : options_(options), backoff_(options.open_backoff) {}
+
+    /// May a request be sent to this endpoint right now? An open breaker
+    /// whose cool-down elapsed transitions to half-open and admits exactly
+    /// one probe; further calls are rejected until the probe resolves.
+    bool allow(TimeUs now, Rng& rng) {
+        (void)rng;
+        switch (state_) {
+            case State::kClosed:
+                return true;
+            case State::kHalfOpen:
+                ++stats_.rejections;
+                return false;  // a probe is already in flight
+            case State::kOpen:
+                if (now >= retry_at_) {
+                    state_ = State::kHalfOpen;
+                    ++stats_.probes;
+                    return true;
+                }
+                ++stats_.rejections;
+                return false;
+        }
+        return true;
+    }
+
+    /// Force a half-open probe even though the cool-down has not elapsed —
+    /// used when *every* configured endpoint is open and a request must go
+    /// somewhere rather than nowhere.
+    void force_probe() {
+        if (state_ == State::kClosed) return;
+        state_ = State::kHalfOpen;
+        ++stats_.probes;
+    }
+
+    /// The endpoint answered: close and forget the failure history.
+    void record_success() {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        backoff_.reset();
+    }
+
+    /// The endpoint stayed silent. Half-open probes re-open immediately
+    /// (with a longer cool-down); closed breakers open at the threshold.
+    void record_failure(TimeUs now, Rng& rng) {
+        if (options_.failure_threshold == 0) return;  // breaker disabled
+        if (state_ == State::kHalfOpen || state_ == State::kOpen) {
+            open(now, rng);
+            return;
+        }
+        ++consecutive_failures_;
+        if (consecutive_failures_ >= options_.failure_threshold) open(now, rng);
+    }
+
+    [[nodiscard]] State state() const { return state_; }
+    /// Earliest time an open breaker will admit a half-open probe.
+    [[nodiscard]] TimeUs retry_at() const { return retry_at_; }
+    [[nodiscard]] std::uint32_t consecutive_failures() const { return consecutive_failures_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const CircuitBreakerOptions& options() const { return options_; }
+
+private:
+    void open(TimeUs now, Rng& rng) {
+        state_ = State::kOpen;
+        consecutive_failures_ = 0;
+        retry_at_ = now + backoff_.next(rng);
+        ++stats_.opens;
+    }
+
+    CircuitBreakerOptions options_;
+    JitteredBackoff backoff_;
+    State state_ = State::kClosed;
+    std::uint32_t consecutive_failures_ = 0;
+    TimeUs retry_at_ = 0;
+    Stats stats_;
+};
+
+inline const char* to_string(CircuitBreaker::State s) {
+    switch (s) {
+        case CircuitBreaker::State::kClosed: return "closed";
+        case CircuitBreaker::State::kOpen: return "open";
+        case CircuitBreaker::State::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+}  // namespace narada

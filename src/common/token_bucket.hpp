@@ -1,0 +1,65 @@
+// Deterministic token-bucket rate limiter.
+//
+// Overload protection at the BDN and the broker discovery plugin admits
+// work through token buckets: tokens refill continuously at `rate` per
+// second up to `burst`, and each admitted unit of work consumes one token.
+// The bucket is purely a function of the timestamps the caller feeds it —
+// no wall clock, no hidden state — so rate-limited components stay
+// bit-for-bit reproducible on the discrete-event kernel.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace narada {
+
+class TokenBucket {
+public:
+    /// `rate_per_sec` <= 0 disables limiting: try_consume always admits.
+    TokenBucket(double rate_per_sec, double burst)
+        : rate_(rate_per_sec), burst_(std::max(burst, 1.0)), tokens_(burst_) {}
+    TokenBucket() : TokenBucket(0.0, 1.0) {}
+
+    /// Admit `cost` units of work at time `now`; false = over quota.
+    bool try_consume(TimeUs now, double cost = 1.0) {
+        if (rate_ <= 0.0) return true;
+        refill(now);
+        if (tokens_ < cost) return false;
+        tokens_ -= cost;
+        return true;
+    }
+
+    /// Tokens available right now (after refill), for watermark checks.
+    [[nodiscard]] double available(TimeUs now) {
+        if (rate_ <= 0.0) return burst_;
+        refill(now);
+        return tokens_;
+    }
+
+    [[nodiscard]] bool limited() const { return rate_ > 0.0; }
+    [[nodiscard]] double rate() const { return rate_; }
+    [[nodiscard]] double burst() const { return burst_; }
+
+private:
+    void refill(TimeUs now) {
+        if (!primed_) {
+            primed_ = true;
+            last_refill_ = now;
+            return;
+        }
+        if (now <= last_refill_) return;  // clock steps backwards: hold
+        const double elapsed_s =
+            static_cast<double>(now - last_refill_) / static_cast<double>(kSecond);
+        tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_s);
+        last_refill_ = now;
+    }
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    TimeUs last_refill_ = 0;
+    bool primed_ = false;
+};
+
+}  // namespace narada

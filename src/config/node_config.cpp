@@ -75,6 +75,7 @@ MetricWeights MetricWeights::from_ini(const Ini& ini, const std::string& section
     w.num_links = ini.get_double(section, "num_links", w.num_links);
     w.cpu_load = ini.get_double(section, "cpu_load", w.cpu_load);
     w.delay_ms = ini.get_double(section, "delay_ms", w.delay_ms);
+    w.overload_penalty = ini.get_double(section, "overload_penalty", w.overload_penalty);
     return w;
 }
 
@@ -96,6 +97,19 @@ DiscoveryConfig DiscoveryConfig::from_ini(const Ini& ini) {
         ini.get_int("discovery", "max_retransmits", c.max_retransmits));
     c.use_multicast = ini.get_bool("discovery", "use_multicast", c.use_multicast);
     c.credential = ini.get_or("discovery", "credential", c.credential);
+    c.breaker_failure_threshold = static_cast<std::uint32_t>(
+        ini.get_int("discovery", "breaker_failure_threshold", c.breaker_failure_threshold));
+    c.breaker_open_initial = from_ms(
+        ini.get_double("discovery", "breaker_open_initial_ms", to_ms(c.breaker_open_initial)));
+    c.breaker_open_max =
+        from_ms(ini.get_double("discovery", "breaker_open_max_ms", to_ms(c.breaker_open_max)));
+    c.adaptive_window = ini.get_bool("discovery", "adaptive_window", c.adaptive_window);
+    c.quiesce_ticks = static_cast<std::uint32_t>(
+        ini.get_int("discovery", "quiesce_ticks", c.quiesce_ticks));
+    c.quiesce_tick =
+        from_ms(ini.get_double("discovery", "quiesce_tick_ms", to_ms(c.quiesce_tick)));
+    c.response_window_min = from_ms(
+        ini.get_double("discovery", "response_window_min_ms", to_ms(c.response_window_min)));
     c.weights = MetricWeights::from_ini(ini);
     return c;
 }
@@ -123,6 +137,11 @@ BrokerConfig BrokerConfig::from_ini(const Ini& ini) {
         ini.get_double("broker", "peer_heartbeat_interval_ms", to_ms(c.peer_heartbeat_interval)));
     c.peer_max_missed = static_cast<std::uint32_t>(
         ini.get_int("broker", "peer_max_missed", c.peer_max_missed));
+    c.discovery_rate_limit =
+        ini.get_double("broker", "discovery_rate_limit", c.discovery_rate_limit);
+    c.discovery_burst = ini.get_double("broker", "discovery_burst", c.discovery_burst);
+    c.overload_hold =
+        from_ms(ini.get_double("broker", "overload_hold_ms", to_ms(c.overload_hold)));
     return c;
 }
 
@@ -154,6 +173,12 @@ BdnConfig BdnConfig::from_ini(const Ini& ini) {
     c.registration_expiry = from_ms(
         ini.get_double("bdn", "registration_expiry_ms", to_ms(c.registration_expiry)));
     c.ad_lease = from_ms(ini.get_double("bdn", "ad_lease_ms", to_ms(c.ad_lease)));
+    c.ingest_queue_limit = static_cast<std::uint32_t>(
+        ini.get_int("bdn", "ingest_queue_limit", c.ingest_queue_limit));
+    c.request_service_cost = from_ms(
+        ini.get_double("bdn", "request_service_cost_ms", to_ms(c.request_service_cost)));
+    c.per_source_rate = ini.get_double("bdn", "per_source_rate", c.per_source_rate);
+    c.per_source_burst = ini.get_double("bdn", "per_source_burst", c.per_source_burst);
     return c;
 }
 

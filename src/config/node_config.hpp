@@ -56,6 +56,11 @@ struct MetricWeights {
     /// Weight on the estimated one-way delay in ms (subtracted); combines
     /// "nearest" with "least loaded" in a single score.
     double delay_ms = 1.0;
+    /// Flat penalty subtracted when a broker's response carries the
+    /// overload flag (the broker shed discovery work recently). Keeps
+    /// storming brokers out of the target set without excluding them when
+    /// nothing better answered.
+    double overload_penalty = 50.0;
 
     static MetricWeights from_ini(const Ini& ini, const std::string& section = "weights");
 };
@@ -83,6 +88,26 @@ struct DiscoveryConfig {
     /// Credential string presented to brokers with response policies.
     std::string credential;
     MetricWeights weights;
+
+    // --- overload resilience -------------------------------------------------
+    /// Consecutive unacknowledged sends that open a BDN's circuit breaker
+    /// (the BDN is then skipped instantly and requests fail over to the
+    /// next configured BDN). 0 disables breakers: plain §7 rotation.
+    std::uint32_t breaker_failure_threshold = 2;
+    /// First cool-down before an open breaker admits a half-open probe.
+    DurationUs breaker_open_initial = 2 * kSecond;
+    /// Cap on the (exponentially grown, jittered) cool-down.
+    DurationUs breaker_open_max = 30 * kSecond;
+
+    /// Adaptive response window: once at least one response has arrived,
+    /// close collection after `quiesce_ticks` consecutive silent ticks of
+    /// `quiesce_tick` each, no earlier than `response_window_min` into the
+    /// window. `response_window` stays the hard upper bound. Off by
+    /// default: the fixed §9 window governs.
+    bool adaptive_window = false;
+    std::uint32_t quiesce_ticks = 3;
+    DurationUs quiesce_tick = from_ms(100);
+    DurationUs response_window_min = from_ms(200);
 
     static DiscoveryConfig from_ini(const Ini& ini);
 };
@@ -118,6 +143,17 @@ struct BrokerConfig {
     DurationUs peer_heartbeat_interval = 5 * kSecond;
     /// Consecutive unanswered peer heartbeats before dropping the link.
     std::uint32_t peer_max_missed = 3;
+
+    // --- discovery-plane load shedding ---------------------------------------
+    /// Fresh discovery requests the broker processes per second (token
+    /// bucket); requests over quota are shed — neither flooded onward nor
+    /// answered. 0 = unlimited (no shedding).
+    double discovery_rate_limit = 0.0;
+    /// Token-bucket burst for `discovery_rate_limit`.
+    double discovery_burst = 8.0;
+    /// After shedding, responses advertise the overload flag for this long
+    /// so requesters' scoring steers new clients elsewhere.
+    DurationUs overload_hold = 2 * kSecond;
 
     static BrokerConfig from_ini(const Ini& ini);
 };
@@ -168,6 +204,24 @@ struct BdnConfig {
     /// (§9, Figure 2 — the paper's BDN opened a fresh connection per
     /// registered broker).
     DurationUs injection_spacing = from_ms(50.0);
+
+    // --- bounded ingest / load shedding --------------------------------------
+    /// Maximum discovery requests queued awaiting injection. 0 = legacy
+    /// unbounded inline processing. When set, requests are admitted into a
+    /// bounded queue and serviced at `request_service_cost` spacing;
+    /// arrivals past the bound are shed (and not acked, so requesters fail
+    /// over instead of waiting). Advertisements are never queued and never
+    /// shed — a lease renewal is a registry write, not injection work.
+    std::uint32_t ingest_queue_limit = 0;
+    /// Per-request servicing time once dequeued (CPU cost of injection
+    /// planning); the drain rate is 1 / request_service_cost.
+    DurationUs request_service_cost = from_ms(1.0);
+    /// Per-source-host token bucket: discovery requests admitted per
+    /// second from any single host. 0 = unlimited. Over-quota requests
+    /// are shed before they reach the queue.
+    double per_source_rate = 0.0;
+    /// Burst allowance for `per_source_rate`.
+    double per_source_burst = 8.0;
 
     static BdnConfig from_ini(const Ini& ini);
 };

@@ -23,6 +23,7 @@ Bdn::Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& 
 
 Bdn::~Bdn() {
     scheduler_.cancel_timer(refresh_timer_);
+    scheduler_.cancel_timer(drain_timer_);
     transport_.unbind(local_);
 }
 
@@ -132,7 +133,6 @@ void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
 }
 
 void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) {
-    (void)from;
     ++stats_.requests_received;
 
     // Private BDNs "must also require the presentation of appropriate
@@ -144,14 +144,13 @@ void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) 
         return;
     }
 
-    // "A BDN is expected to acknowledge the receipt of a discovery request
-    // in a timely manner" (§3). Acks are re-sent even for duplicates so a
-    // requester whose ack was lost learns the BDN is alive.
-    wire::ByteWriter ack;
-    ack.u8(wire::kMsgDiscoveryAck);
-    ack.uuid(request.request_id);
-    transport_.send_datagram(local_, request.reply_to, ack.take());
-    ++stats_.acks_sent;
+    if (config_.ingest_queue_limit > 0) {
+        admit_request(from, request);
+        return;
+    }
+
+    // Legacy inline path: unbounded, serviced as fast as they arrive.
+    send_ack(request);
 
     // "Multiple requests forwarded to the same BDN would be idempotent"
     // (§3): only the first copy is disseminated.
@@ -160,6 +159,80 @@ void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) 
         return;
     }
     inject(request, injection_targets());
+}
+
+void Bdn::admit_request(const Endpoint& from, const DiscoveryRequest& request) {
+    // Shed order per policy: duplicates first (they cost nothing and are
+    // still acked so a requester whose ack was lost learns we are alive),
+    // then over-quota sources, then queue overflow. Advertisement renewals
+    // never pass through here — handle_advertisement stays inline — so
+    // leases cannot expire because of a request storm.
+    if (seen_requests_.contains(request.request_id)) {
+        ++stats_.duplicate_requests;
+        send_ack(request);
+        return;
+    }
+
+    if (config_.per_source_rate > 0.0) {
+        if (source_buckets_.size() >= kMaxTrackedSources &&
+            !source_buckets_.contains(from.host)) {
+            // Bounded memory under spoofed floods: forget everyone and
+            // start over rather than growing without limit.
+            source_buckets_.clear();
+        }
+        auto [it, inserted] = source_buckets_.try_emplace(
+            from.host, config_.per_source_rate, config_.per_source_burst);
+        if (!it->second.try_consume(local_clock_.now())) {
+            ++stats_.requests_shed_quota;
+            NARADA_DEBUG("bdn", "{}: shed request {} from host {} (over quota)", name_,
+                         request.request_id.str(), from.host);
+            // No ack: the requester should fail over, not wait on us.
+            return;
+        }
+    }
+
+    if (ingest_queue_.size() >= config_.ingest_queue_limit) {
+        ++stats_.requests_shed_overflow;
+        NARADA_DEBUG("bdn", "{}: shed request {} from host {} (queue full at {})", name_,
+                     request.request_id.str(), from.host, ingest_queue_.size());
+        return;
+    }
+
+    send_ack(request);
+    seen_requests_.insert(request.request_id);
+    ingest_queue_.push_back(request);
+    stats_.queue_depth_peak = std::max<std::uint64_t>(stats_.queue_depth_peak,
+                                                      ingest_queue_.size());
+    if (drain_timer_ == kInvalidTimerHandle) {
+        // First element: service it after one service interval, modeling
+        // the BDN's per-request processing cost.
+        drain_timer_ =
+            scheduler_.schedule(config_.request_service_cost, [this] { drain_queue(); });
+    }
+}
+
+void Bdn::drain_queue() {
+    drain_timer_ = kInvalidTimerHandle;
+    if (ingest_queue_.empty()) return;
+    const DiscoveryRequest request = ingest_queue_.front();
+    ingest_queue_.pop_front();
+    ++stats_.requests_serviced;
+    inject(request, injection_targets());
+    if (!ingest_queue_.empty()) {
+        drain_timer_ =
+            scheduler_.schedule(config_.request_service_cost, [this] { drain_queue(); });
+    }
+}
+
+void Bdn::send_ack(const DiscoveryRequest& request) {
+    // "A BDN is expected to acknowledge the receipt of a discovery request
+    // in a timely manner" (§3). Acks are re-sent even for duplicates so a
+    // requester whose ack was lost learns the BDN is alive.
+    wire::ByteWriter ack;
+    ack.u8(wire::kMsgDiscoveryAck);
+    ack.uuid(request.request_id);
+    transport_.send_datagram(local_, request.reply_to, ack.take());
+    ++stats_.acks_sent;
 }
 
 void Bdn::handle_pong(const Endpoint& from, wire::ByteReader& reader) {

@@ -20,6 +20,7 @@
 //     and can announce itself to brokers so they re-advertise (§2.4).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,6 +31,7 @@
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
+#include "common/token_bucket.hpp"
 #include "config/node_config.hpp"
 #include "discovery/messages.hpp"
 #include "transport/transport.hpp"
@@ -62,6 +64,17 @@ public:
         std::uint64_t registrations_expired = 0;  ///< soft-state evictions
         std::uint64_t leases_renewed = 0;         ///< re-advertisements in time
         std::uint64_t leases_expired = 0;         ///< ads aged out unrenewed
+
+        // --- bounded ingest / load shedding (ingest_queue_limit > 0) --------
+        std::uint64_t requests_shed_quota = 0;     ///< over per-source rate
+        std::uint64_t requests_shed_overflow = 0;  ///< ingest queue full
+        std::uint64_t requests_serviced = 0;       ///< dequeued and injected
+        std::uint64_t queue_depth_peak = 0;        ///< high-water mark
+
+        /// Every shed decision, for digests and logs.
+        [[nodiscard]] std::uint64_t requests_shed() const {
+            return requests_shed_quota + requests_shed_overflow;
+        }
     };
 
     Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& local,
@@ -96,6 +109,9 @@ public:
     [[nodiscard]] const std::string& name() const { return name_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
     [[nodiscard]] const config::BdnConfig& config() const { return config_; }
+    /// Requests admitted but not yet injected (bounded by
+    /// `ingest_queue_limit`; always 0 in legacy inline mode).
+    [[nodiscard]] std::size_t queue_depth() const { return ingest_queue_.size(); }
 
     // MessageHandler.
     void on_datagram(const Endpoint& from, const Bytes& data) override;
@@ -104,6 +120,15 @@ private:
     void handle_advertisement(const BrokerAdvertisement& ad);
     void handle_request(const Endpoint& from, const DiscoveryRequest& request);
     void handle_pong(const Endpoint& from, wire::ByteReader& reader);
+
+    /// Bounded-ingest admission (ingest_queue_limit > 0): dedup filter,
+    /// per-source quota, queue bound. Admitted requests are acked and
+    /// queued; shed requests are dropped without an ack so the requester
+    /// fails over instead of waiting out its window.
+    void admit_request(const Endpoint& from, const DiscoveryRequest& request);
+    /// Service one queued request and re-arm the drain timer.
+    void drain_queue();
+    void send_ack(const DiscoveryRequest& request);
 
     /// Injection points for the configured strategy, best-effort ordered.
     [[nodiscard]] std::vector<Endpoint> injection_targets();
@@ -129,6 +154,14 @@ private:
     TimerHandle refresh_timer_ = kInvalidTimerHandle;
     bool started_ = false;
     Stats stats_;
+
+    // Bounded ingest (ingest_queue_limit > 0).
+    std::deque<DiscoveryRequest> ingest_queue_;
+    TimerHandle drain_timer_ = kInvalidTimerHandle;
+    /// Per-source-host rate limiters; bounded so spoofed source floods
+    /// cannot grow BDN memory (the map resets when it overflows).
+    std::map<HostId, TokenBucket> source_buckets_;
+    static constexpr std::size_t kMaxTrackedSources = 1024;
 };
 
 }  // namespace narada::discovery

@@ -16,6 +16,8 @@ void BrokerDiscoveryPlugin::on_attach(broker::Broker& broker) {
     broker_ = &broker;
     scheduler_ = &broker.scheduler();
     seen_requests_ = broker::DedupCache(broker.config().dedup_cache_size);
+    response_budget_ =
+        TokenBucket(broker.config().discovery_rate_limit, broker.config().discovery_burst);
     if (identity_.broker_id.is_nil()) {
         identity_.broker_id = Uuid::random(broker.rng());
     }
@@ -156,7 +158,24 @@ void BrokerDiscoveryPlugin::process_request(const DiscoveryRequest& request, boo
         ++stats_.policy_rejections;
         return;
     }
+
+    // Load shedding: a broker under a request storm answers only what its
+    // discovery budget allows. The request has already flooded (above), so
+    // shedding here silences this broker without silencing the network.
+    if (response_budget_.limited() &&
+        !response_budget_.try_consume(broker_->local_clock().now())) {
+        ++stats_.requests_shed;
+        last_shed_ = broker_->local_clock().now();
+        NARADA_DEBUG("discovery", "{}: shed discovery request {} (over budget)",
+                     broker_->name(), request.request_id.str());
+        return;
+    }
     send_response(request);
+}
+
+bool BrokerDiscoveryPlugin::overloaded() const {
+    if (broker_ == nullptr || last_shed_ < 0) return false;
+    return broker_->local_clock().now() - last_shed_ <= broker_->config().overload_hold;
 }
 
 bool BrokerDiscoveryPlugin::policy_admits(const DiscoveryRequest& request) const {
@@ -188,6 +207,7 @@ void BrokerDiscoveryPlugin::send_response(const DiscoveryRequest& request) {
     response.endpoint = broker_->endpoint();
     response.protocols = identity_.protocols;
     response.metrics = broker_->metrics();
+    response.overloaded = overloaded();
 
     // "The communication protocol used for transporting this response is
     // UDP" — deliberately lossy so that distant brokers self-filter (§5.2).

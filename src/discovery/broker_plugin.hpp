@@ -18,6 +18,7 @@
 
 #include "broker/broker.hpp"
 #include "broker/dedup_cache.hpp"
+#include "common/token_bucket.hpp"
 #include "discovery/messages.hpp"
 
 namespace narada::discovery {
@@ -40,6 +41,10 @@ public:
         std::uint64_t responses_sent = 0;
         std::uint64_t policy_rejections = 0;
         std::uint64_t advertisements_sent = 0;
+        /// Fresh requests dropped by the discovery rate limiter
+        /// (`discovery_rate_limit` knob); the request still floods so other
+        /// brokers can answer, but this broker stays silent.
+        std::uint64_t requests_shed = 0;
     };
 
     explicit BrokerDiscoveryPlugin(BrokerIdentity identity, bool join_multicast = true)
@@ -60,6 +65,10 @@ public:
     [[nodiscard]] const BrokerIdentity& identity() const { return identity_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
     [[nodiscard]] BrokerAdvertisement advertisement() const;
+    /// True while the broker shed discovery work within the last
+    /// `overload_hold`; advertised in responses so selection steers new
+    /// clients away until the hot spot drains.
+    [[nodiscard]] bool overloaded() const;
 
 private:
     /// Process a fresh or duplicate request from any arrival path.
@@ -82,6 +91,10 @@ private:
     broker::DedupCache seen_requests_{1000};
     TimerHandle readvertise_timer_ = kInvalidTimerHandle;
     Stats stats_;
+
+    // Load shedding (discovery_rate_limit > 0).
+    TokenBucket response_budget_{0.0, 0.0};
+    TimeUs last_shed_ = -1;  ///< -1 until the first shed
 };
 
 }  // namespace narada::discovery

@@ -39,6 +39,9 @@ void DiscoveryClient::discover(Callback callback) {
     bdn_attempt_ = 0;
     fallback_done_ = false;
     pending_pongs_.clear();
+    ack_pending_ = false;
+    silent_ticks_ = 0;
+    responses_at_last_tick_ = 0;
 
     report_.request_id = Uuid::random(rng_);
     current_request_id_ = report_.request_id;
@@ -84,8 +87,61 @@ void DiscoveryClient::send_to_bdn(const Bytes& encoded) {
     if (config_.bdns.empty()) return;
     // "The broker discovery request is generally issued to only [one] BDN"
     // (§3); retransmissions rotate through the configured list (§7).
-    const Endpoint& bdn = config_.bdns[bdn_attempt_ % config_.bdns.size()];
-    transport_.send_datagram(local_, bdn, encoded);
+    const std::size_t count = config_.bdns.size();
+    std::size_t chosen = bdn_attempt_ % count;
+    if (breakers_enabled()) {
+        ensure_breakers();
+        const TimeUs now = local_clock_.now();
+        // Walk the rotation from the nominal pick, skipping open breakers
+        // so dead or storming BDNs cost nothing instead of a full window.
+        bool found = false;
+        for (std::size_t i = 0; i < count && !found; ++i) {
+            const std::size_t index = (bdn_attempt_ + i) % count;
+            if (breakers_[index].allow(now, rng_)) {
+                chosen = index;
+                found = true;
+            } else {
+                ++stats_.breaker_skips;
+            }
+        }
+        if (!found) {
+            // Every configured BDN is open: a request must still go
+            // somewhere, so probe the one whose cool-down ends soonest.
+            chosen = 0;
+            for (std::size_t i = 1; i < count; ++i) {
+                if (breakers_[i].retry_at() < breakers_[chosen].retry_at()) chosen = i;
+            }
+            breakers_[chosen].force_probe();
+            ++stats_.forced_probes;
+            NARADA_DEBUG("discovery", "{}: all BDN breakers open; forced probe of {}",
+                         local_.str(), config_.bdns[chosen].str());
+        }
+    }
+    last_bdn_ = chosen;
+    ack_pending_ = true;
+    transport_.send_datagram(local_, config_.bdns[chosen], encoded);
+}
+
+void DiscoveryClient::ensure_breakers() {
+    if (breakers_.size() == config_.bdns.size()) return;
+    CircuitBreakerOptions options;
+    options.failure_threshold = config_.breaker_failure_threshold;
+    options.open_backoff.initial = config_.breaker_open_initial;
+    options.open_backoff.max = config_.breaker_open_max;
+    breakers_.assign(config_.bdns.size(), CircuitBreaker(options));
+}
+
+void DiscoveryClient::record_bdn_failure() {
+    if (!ack_pending_) return;
+    ack_pending_ = false;
+    if (!breakers_enabled()) return;
+    ensure_breakers();
+    if (last_bdn_ >= breakers_.size()) return;
+    breakers_[last_bdn_].record_failure(local_clock_.now(), rng_);
+    if (breakers_[last_bdn_].state() == CircuitBreaker::State::kOpen) {
+        NARADA_DEBUG("discovery", "{}: breaker for BDN {} opened (retry at {})", local_.str(),
+                     config_.bdns[last_bdn_].str(), breakers_[last_bdn_].retry_at());
+    }
 }
 
 void DiscoveryClient::multicast_request(const Bytes& encoded) {
@@ -98,7 +154,7 @@ void DiscoveryClient::on_datagram(const Endpoint& from, const Bytes& data) {
         wire::ByteReader reader(data);
         const std::uint8_t type = reader.u8();
         switch (type) {
-            case wire::kMsgDiscoveryAck: on_ack(reader); return;
+            case wire::kMsgDiscoveryAck: on_ack(from, reader); return;
             case wire::kMsgDiscoveryResponse: on_response(reader); return;
             case wire::kMsgPong: on_pong(from, reader); return;
             default:
@@ -111,9 +167,21 @@ void DiscoveryClient::on_datagram(const Endpoint& from, const Bytes& data) {
     }
 }
 
-void DiscoveryClient::on_ack(wire::ByteReader& reader) {
+void DiscoveryClient::on_ack(const Endpoint& from, wire::ByteReader& reader) {
     const Uuid id = reader.uuid();
-    if (phase_ != Phase::kCollecting || !active_request_ids_.contains(id)) return;
+    if (!active_request_ids_.contains(id)) return;
+    // Success attribution: the acking BDN (if configured) closes its breaker.
+    ack_pending_ = false;
+    if (breakers_enabled()) {
+        ensure_breakers();
+        for (std::size_t i = 0; i < breakers_.size(); ++i) {
+            if (config_.bdns[i] == from) {
+                breakers_[i].record_success();
+                break;
+            }
+        }
+    }
+    if (phase_ != Phase::kCollecting) return;
     if (report_.time_to_ack < 0) {
         report_.time_to_ack = local_clock_.now() - run_start_;
     }
@@ -145,6 +213,17 @@ void DiscoveryClient::on_response(wire::ByteReader& reader) {
         retransmit_timer_ = kInvalidTimerHandle;
     }
 
+    // Adaptive window: once responses flow, watch for them to quiesce
+    // instead of waiting the whole window out (§9's fixed timeout becomes
+    // an upper bound).
+    if (config_.adaptive_window && quiesce_timer_ == kInvalidTimerHandle &&
+        config_.quiesce_ticks > 0 && config_.quiesce_tick > 0) {
+        silent_ticks_ = 0;
+        responses_at_last_tick_ = report_.candidates.size();
+        quiesce_timer_ =
+            scheduler_.schedule(config_.quiesce_tick, [this] { on_quiesce_tick(); });
+    }
+
     // "a client might ... specify that only the first N responses must be
     // considered" (§9).
     if (config_.max_responses > 0 && report_.candidates.size() >= config_.max_responses) {
@@ -155,10 +234,35 @@ void DiscoveryClient::on_response(wire::ByteReader& reader) {
 void DiscoveryClient::on_retransmit_timer() {
     retransmit_timer_ = kInvalidTimerHandle;
     if (phase_ != Phase::kCollecting || !report_.candidates.empty()) return;
+    // A full inactivity period without the BDN's ack is a failure against
+    // its breaker (an unreachable BDN opens after the threshold).
+    record_bdn_failure();
     if (report_.retransmits >= config_.max_retransmits) return;  // window will fall back
     ++report_.retransmits;
     ++bdn_attempt_;  // failover to the next configured BDN (§7)
     send_request();
+}
+
+void DiscoveryClient::on_quiesce_tick() {
+    quiesce_timer_ = kInvalidTimerHandle;
+    if (phase_ != Phase::kCollecting) return;
+    if (report_.candidates.size() == responses_at_last_tick_) {
+        ++silent_ticks_;
+    } else {
+        silent_ticks_ = 0;
+        responses_at_last_tick_ = report_.candidates.size();
+    }
+    const DurationUs elapsed = local_clock_.now() - run_start_;
+    if (!report_.candidates.empty() && silent_ticks_ >= config_.quiesce_ticks &&
+        elapsed >= config_.response_window_min) {
+        ++stats_.adaptive_closes;
+        report_.adaptive_close = true;
+        NARADA_DEBUG("discovery", "{}: responses quiesced after {} candidates; closing window",
+                     local_.str(), report_.candidates.size());
+        end_collection();
+        return;
+    }
+    quiesce_timer_ = scheduler_.schedule(config_.quiesce_tick, [this] { on_quiesce_tick(); });
 }
 
 void DiscoveryClient::end_collection() {
@@ -167,8 +271,12 @@ void DiscoveryClient::end_collection() {
     window_timer_ = kInvalidTimerHandle;
     scheduler_.cancel_timer(retransmit_timer_);
     retransmit_timer_ = kInvalidTimerHandle;
+    scheduler_.cancel_timer(quiesce_timer_);
+    quiesce_timer_ = kInvalidTimerHandle;
 
     if (report_.candidates.empty()) {
+        // The whole window elapsed without even an ack: charge the BDN.
+        record_bdn_failure();
         if (!fallback_done_) {
             run_fallback();
             return;
@@ -190,6 +298,8 @@ void DiscoveryClient::end_collection() {
 
 void DiscoveryClient::run_fallback() {
     fallback_done_ = true;
+    silent_ticks_ = 0;
+    responses_at_last_tick_ = 0;
     // A fresh UUID: brokers that deduplicated the original request (e.g.
     // reached through a different BDN earlier) must answer this round.
     const Uuid fresh = Uuid::random(rng_);
@@ -313,7 +423,8 @@ void DiscoveryClient::cancel_timers() {
     scheduler_.cancel_timer(retransmit_timer_);
     scheduler_.cancel_timer(window_timer_);
     scheduler_.cancel_timer(ping_timer_);
-    retransmit_timer_ = window_timer_ = ping_timer_ = kInvalidTimerHandle;
+    scheduler_.cancel_timer(quiesce_timer_);
+    retransmit_timer_ = window_timer_ = ping_timer_ = quiesce_timer_ = kInvalidTimerHandle;
 }
 
 }  // namespace narada::discovery

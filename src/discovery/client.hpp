@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
@@ -53,6 +54,8 @@ struct DiscoveryReport {
     std::uint32_t retransmits = 0;
     bool used_multicast = false;
     bool used_cached_targets = false;
+    /// Collection closed early because responses quiesced (adaptive window).
+    bool adaptive_close = false;
 
     [[nodiscard]] const Candidate* selected_candidate() const {
         return selected ? &candidates[*selected] : nullptr;
@@ -62,6 +65,13 @@ struct DiscoveryReport {
 class DiscoveryClient final : public transport::MessageHandler {
 public:
     using Callback = std::function<void(const DiscoveryReport&)>;
+
+    /// Lifetime counters across every run of this client.
+    struct Stats {
+        std::uint64_t breaker_skips = 0;    ///< sends diverted off an open BDN
+        std::uint64_t forced_probes = 0;    ///< all BDNs open; probed anyway
+        std::uint64_t adaptive_closes = 0;  ///< windows closed by quiescence
+    };
 
     DiscoveryClient(Scheduler& scheduler, transport::Transport& transport,
                     const Endpoint& local, const Clock& local_clock,
@@ -79,6 +89,12 @@ public:
     [[nodiscard]] const Endpoint& endpoint() const { return local_; }
     [[nodiscard]] const config::DiscoveryConfig& config() const { return config_; }
     config::DiscoveryConfig& mutable_config() { return config_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    /// The circuit breaker guarding `config().bdns[index]`.
+    [[nodiscard]] const CircuitBreaker& bdn_breaker(std::size_t index) {
+        ensure_breakers();
+        return breakers_.at(index);
+    }
 
     /// "Every node keeps track of its last target set of brokers" (§7).
     /// Persisting this across restarts enables BDN-less recovery.
@@ -100,11 +116,21 @@ private:
     void multicast_request(const Bytes& encoded);
     [[nodiscard]] Bytes encode_request() const;
 
-    void on_ack(wire::ByteReader& reader);
+    void on_ack(const Endpoint& from, wire::ByteReader& reader);
     void on_response(wire::ByteReader& reader);
     void on_pong(const Endpoint& from, wire::ByteReader& reader);
 
+    /// (Re)build one breaker per configured BDN; called lazily so tests
+    /// that mutate `config().bdns` after construction still get breakers.
+    void ensure_breakers();
+    [[nodiscard]] bool breakers_enabled() const {
+        return config_.breaker_failure_threshold > 0 && !config_.bdns.empty();
+    }
+    /// The last BDN we sent to never acked: charge its breaker.
+    void record_bdn_failure();
+
     void on_retransmit_timer();
+    void on_quiesce_tick();
     void end_collection();
     /// Last-resort paths when the collection window closed empty (§7).
     void run_fallback();
@@ -136,6 +162,16 @@ private:
     std::size_t bdn_attempt_ = 0;
     bool fallback_done_ = false;
 
+    /// One breaker per entry of config_.bdns (see ensure_breakers()).
+    std::vector<CircuitBreaker> breakers_;
+    std::size_t last_bdn_ = 0;   ///< index the last request went to
+    bool ack_pending_ = false;   ///< a send awaits its BDN ack
+    Stats stats_;
+
+    // Adaptive window state (config_.adaptive_window).
+    std::uint32_t silent_ticks_ = 0;
+    std::size_t responses_at_last_tick_ = 0;
+
     TimeUs run_start_ = 0;         ///< local clock at request send
     TimeUs collection_end_ = 0;    ///< local clock at collection end
     TimeUs ping_start_ = 0;
@@ -146,6 +182,7 @@ private:
     TimerHandle retransmit_timer_ = kInvalidTimerHandle;
     TimerHandle window_timer_ = kInvalidTimerHandle;
     TimerHandle ping_timer_ = kInvalidTimerHandle;
+    TimerHandle quiesce_timer_ = kInvalidTimerHandle;
 
     std::vector<Endpoint> cached_targets_;
 };

@@ -90,6 +90,7 @@ void DiscoveryResponse::encode(wire::ByteWriter& writer) const {
     writer.f64(metrics.cpu_load);
     writer.u64(metrics.total_memory);
     writer.u64(metrics.free_memory);
+    writer.boolean(overloaded);
 }
 
 DiscoveryResponse DiscoveryResponse::decode(wire::ByteReader& reader) {
@@ -106,6 +107,7 @@ DiscoveryResponse DiscoveryResponse::decode(wire::ByteReader& reader) {
     resp.metrics.cpu_load = reader.f64();
     resp.metrics.total_memory = reader.u64();
     resp.metrics.free_memory = reader.u64();
+    resp.overloaded = reader.boolean();
     return resp;
 }
 

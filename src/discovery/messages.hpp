@@ -72,6 +72,11 @@ struct DiscoveryResponse {
     // Usage metric information.
     broker::UsageMetrics metrics;
 
+    /// The broker shed discovery work recently (load shedding engaged);
+    /// requesters penalize overloaded brokers when shortlisting so new
+    /// clients steer away from the hot spot while it drains.
+    bool overloaded = false;
+
     void encode(wire::ByteWriter& writer) const;
     static DiscoveryResponse decode(wire::ByteReader& reader);
 

@@ -19,6 +19,7 @@ double score_response(const DiscoveryResponse& response, DurationUs estimated_de
     weight -= static_cast<double>(m.connections) * weights.num_links;
     weight -= m.cpu_load * weights.cpu_load;
     weight -= to_ms(estimated_delay) * weights.delay_ms;
+    if (response.overloaded) weight -= weights.overload_penalty;
     return weight;
 }
 

@@ -2,6 +2,11 @@
 
 #include <map>
 #include <set>
+#include <utility>
+
+#include "common/uuid.hpp"
+#include "discovery/messages.hpp"
+#include "wire/msg_types.hpp"
 
 namespace narada::scenario {
 
@@ -58,6 +63,53 @@ bool run_until(Scenario& s, DurationUs timeout, const std::function<bool()>& pre
         if (!s.kernel().step()) return pred();
     }
     return true;
+}
+
+sim::StormPayloadFactory discovery_storm_payload(std::vector<HostId> sources,
+                                                 std::string realm,
+                                                 std::string credential) {
+    return [sources = std::move(sources), realm = std::move(realm),
+            credential = std::move(credential)](Rng& rng, std::uint32_t i) -> Bytes {
+        discovery::DiscoveryRequest request;
+        request.request_id = Uuid::random(rng);
+        request.requester_hostname = "storm-client-" + std::to_string(i);
+        const HostId source = sources.empty() ? kInvalidHost : sources[i % sources.size()];
+        // Mirrors ChaosInjector::storm_tick's synthetic source endpoint.
+        request.reply_to = Endpoint{source, static_cast<std::uint16_t>(50000 + (i % 10000))};
+        request.protocols = {"tcp", "udp"};
+        request.credential = credential;
+        request.realm = realm;
+        wire::ByteWriter writer;
+        writer.u8(wire::kMsgDiscoveryRequest);
+        request.encode(writer);
+        return writer.take();
+    };
+}
+
+sim::FaultPlan request_storm_plan(Scenario& s, DurationUs at, std::uint32_t clients,
+                                  DurationUs interval, DurationUs duration) {
+    std::vector<HostId> sources{s.client_host()};
+    sim::FaultPlan plan;
+    plan.request_storm(at, s.bdn().endpoint(), clients, interval, duration, sources,
+                       discovery_storm_payload(sources));
+    return plan;
+}
+
+std::vector<std::uint64_t> overload_digest(Scenario& s) {
+    std::vector<std::uint64_t> digest;
+    const discovery::Bdn::Stats& b = s.bdn().stats();
+    digest.insert(digest.end(),
+                  {b.requests_received, b.duplicate_requests, b.acks_sent, b.injections,
+                   b.requests_shed_quota, b.requests_shed_overflow, b.requests_serviced,
+                   b.queue_depth_peak});
+    const discovery::DiscoveryClient::Stats& c = s.client().stats();
+    digest.insert(digest.end(), {c.breaker_skips, c.forced_probes, c.adaptive_closes});
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        const discovery::BrokerDiscoveryPlugin::Stats& p = s.plugin_at(i).stats();
+        digest.insert(digest.end(),
+                      {p.requests_seen, p.requests_shed, p.responses_sent});
+    }
+    return digest;
 }
 
 }  // namespace narada::scenario

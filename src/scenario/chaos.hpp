@@ -34,4 +34,24 @@ bool overlay_connected(Scenario& s);
 /// evaluating `pred` between events. Returns the predicate's final value.
 bool run_until(Scenario& s, DurationUs timeout, const std::function<bool()>& pred);
 
+/// A storm payload factory producing well-formed DiscoveryRequests with
+/// fresh UUIDs drawn from the injector's Rng. `sources` must match the
+/// sources given to FaultPlan::request_storm so each synthetic request's
+/// reply_to mirrors the endpoint the storm actually sends from (an unbound
+/// port — acks and responses to storm clients die on arrival).
+sim::StormPayloadFactory discovery_storm_payload(std::vector<HostId> sources,
+                                                 std::string realm = {},
+                                                 std::string credential = {});
+
+/// A ready-made plan: `clients` synthetic clients on the scenario's client
+/// host flood the scenario BDN every `interval` from `at` for `duration`.
+sim::FaultPlan request_storm_plan(Scenario& s, DurationUs at, std::uint32_t clients,
+                                  DurationUs interval, DurationUs duration);
+
+/// Deterministic fingerprint of every shed/breaker/overload counter in the
+/// scenario (BDN ingest stats, client breaker stats, per-broker shed
+/// counts). Two same-seed runs of the same storm must produce equal
+/// digests.
+std::vector<std::uint64_t> overload_digest(Scenario& s);
+
 }  // namespace narada::scenario

@@ -13,6 +13,7 @@ const char* to_string(FaultType t) {
         case FaultType::kPartition: return "partition";
         case FaultType::kLossStorm: return "loss_storm";
         case FaultType::kClockSkewStep: return "clock_skew_step";
+        case FaultType::kRequestStorm: return "request_storm";
     }
     return "?";
 }
@@ -56,6 +57,23 @@ FaultPlan& FaultPlan::loss_storm(DurationUs at, double per_hop_loss, DurationUs 
     action.at = at;
     action.duration = down_for;
     action.loss = per_hop_loss;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::request_storm(DurationUs at, Endpoint target, std::uint32_t clients,
+                                    DurationUs interval, DurationUs down_for,
+                                    std::vector<HostId> sources,
+                                    StormPayloadFactory payload) {
+    FaultAction action;
+    action.type = FaultType::kRequestStorm;
+    action.at = at;
+    action.duration = down_for;
+    action.storm_target = target;
+    action.storm_clients = clients;
+    action.storm_interval = interval;
+    action.storm_sources = std::move(sources);
+    action.storm_payload = std::move(payload);
     actions.push_back(std::move(action));
     return *this;
 }
@@ -127,6 +145,13 @@ void ChaosInjector::apply(const FaultAction& action) {
             network_.step_clock_skew(action.host, action.skew_delta);
             ++stats_.skew_steps;
             return;  // one-way: nothing to revert
+        case FaultType::kRequestStorm:
+            ++stats_.request_storms;
+            NARADA_DEBUG("chaos", "t={} inject request_storm ({} clients every {}us for {}us)",
+                         kernel_.now(), action.storm_clients, action.storm_interval,
+                         action.duration);
+            storm_tick(action, kernel_.now() + action.duration);
+            return;  // stops by itself at storm_end; nothing to revert
     }
     NARADA_DEBUG("chaos", "t={} inject {}", kernel_.now(), to_string(action.type));
     if (action.duration > 0) {
@@ -156,9 +181,31 @@ void ChaosInjector::revert(const FaultAction& action, double pre_storm_loss) {
             network_.set_per_hop_loss(pre_storm_loss);
             break;
         case FaultType::kClockSkewStep:
+        case FaultType::kRequestStorm:
             break;
     }
     NARADA_DEBUG("chaos", "t={} revert {}", kernel_.now(), to_string(action.type));
+}
+
+void ChaosInjector::storm_tick(const FaultAction& action, TimeUs storm_end) {
+    if (kernel_.now() >= storm_end) {
+        NARADA_DEBUG("chaos", "t={} request_storm over", kernel_.now());
+        return;
+    }
+    for (std::uint32_t i = 0; i < action.storm_clients; ++i) {
+        const HostId source = action.storm_sources.empty()
+                                  ? action.host
+                                  : action.storm_sources[i % action.storm_sources.size()];
+        // Ephemeral, unbound reply ports: storm responses die on arrival,
+        // as real responses to a spoofed or overwhelmed client would.
+        const Endpoint from{source, static_cast<std::uint16_t>(50000 + (i % 10000))};
+        if (!action.storm_payload) continue;
+        network_.send_datagram(from, action.storm_target, action.storm_payload(rng_, i));
+        ++stats_.storm_requests_sent;
+    }
+    if (action.storm_interval <= 0) return;  // single burst
+    kernel_.schedule_after(action.storm_interval,
+                           [this, action, storm_end] { storm_tick(action, storm_end); });
 }
 
 void ChaosInjector::set_partition(const std::vector<HostId>& a, const std::vector<HostId>& b,

@@ -12,6 +12,7 @@
 // and assert hard invariants about the healed system.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,7 +27,15 @@ enum class FaultType : std::uint8_t {
     kPartition,      ///< every link between group_a and group_b cut
     kLossStorm,      ///< per-hop datagram loss raised to `loss`
     kClockSkewStep,  ///< host's local clock jumps by `skew_delta`
+    kRequestStorm,   ///< synthetic clients flood `storm_target` with datagrams
 };
+
+/// Builds one synthetic storm datagram. The sim layer knows nothing about
+/// the discovery wire format (layering: narada_sim depends only on
+/// narada_common), so the payload — typically an encoded DiscoveryRequest
+/// with a fresh UUID — is produced by the caller from the injector's seeded
+/// Rng and the synthetic client's index, keeping storms reproducible.
+using StormPayloadFactory = std::function<Bytes(Rng& rng, std::uint32_t client_index)>;
 
 const char* to_string(FaultType t);
 
@@ -45,6 +54,13 @@ struct FaultAction {
     std::vector<HostId> group_b;  ///< partition side B
     double loss = 0.0;            ///< storm per-hop drop probability
     DurationUs skew_delta = 0;    ///< clock step amount
+
+    // kRequestStorm only.
+    Endpoint storm_target{};             ///< flood destination (usually a BDN)
+    std::uint32_t storm_clients = 0;     ///< synthetic clients per round
+    DurationUs storm_interval = 0;       ///< spacing between rounds
+    std::vector<HostId> storm_sources;   ///< source hosts, cycled per client
+    StormPayloadFactory storm_payload;   ///< datagram builder per client
 };
 
 /// An ordered fault schedule with fluent builders:
@@ -62,6 +78,13 @@ struct FaultPlan {
                          std::vector<HostId> side_b, DurationUs down_for);
     FaultPlan& loss_storm(DurationUs at, double per_hop_loss, DurationUs down_for);
     FaultPlan& skew_step(DurationUs at, HostId host, DurationUs delta);
+    /// A scripted request storm: every `interval`, each of `clients`
+    /// synthetic clients (sending from `sources`, cycled, on ephemeral
+    /// ports) fires one `payload(rng, i)` datagram at `target`, for
+    /// `down_for` of virtual time.
+    FaultPlan& request_storm(DurationUs at, Endpoint target, std::uint32_t clients,
+                             DurationUs interval, DurationUs down_for,
+                             std::vector<HostId> sources, StormPayloadFactory payload);
 
     /// When the last fault has been reverted, relative to run().
     [[nodiscard]] DurationUs duration() const;
@@ -87,10 +110,15 @@ public:
         std::uint64_t partition_heals = 0;
         std::uint64_t loss_storms = 0;
         std::uint64_t skew_steps = 0;
+        std::uint64_t request_storms = 0;       ///< storms started
+        std::uint64_t storm_requests_sent = 0;  ///< synthetic datagrams fired
     };
 
-    ChaosInjector(Kernel& kernel, SimNetwork& network)
-        : kernel_(kernel), network_(network) {}
+    /// `seed` feeds the injector's own Rng (storm payload UUIDs etc.), so
+    /// chaos draws never perturb the streams of the system under test.
+    ChaosInjector(Kernel& kernel, SimNetwork& network,
+                  std::uint64_t seed = 0x73746F726Dull)
+        : kernel_(kernel), network_(network), rng_(seed) {}
 
     ChaosInjector(const ChaosInjector&) = delete;
     ChaosInjector& operator=(const ChaosInjector&) = delete;
@@ -111,11 +139,14 @@ private:
     void revert(const FaultAction& action, double pre_storm_loss);
     void set_partition(const std::vector<HostId>& a, const std::vector<HostId>& b,
                        bool down);
+    /// One storm round; self-reschedules until `storm_end`.
+    void storm_tick(const FaultAction& action, TimeUs storm_end);
 
     Kernel& kernel_;
     SimNetwork& network_;
     TimeUs plan_end_ = 0;
     Stats stats_;
+    Rng rng_;
 };
 
 }  // namespace narada::sim

@@ -1,5 +1,6 @@
 #include "wire/codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -50,6 +51,14 @@ void ByteReader::need(std::size_t n) const {
     if (size_ - pos_ < n) throw WireError("truncated message");
 }
 
+void ByteReader::set_max_field_length(std::uint32_t limit) {
+    max_field_length_ = std::min(limit, kMaxFieldLength);
+}
+
+void ByteReader::check_length(std::uint32_t len) const {
+    if (len > max_field_length_) throw FrameTooLargeError(len, max_field_length_);
+}
+
 std::uint8_t ByteReader::u8() {
     need(1);
     return data_[pos_++];
@@ -78,7 +87,7 @@ double ByteReader::f64() { return std::bit_cast<double>(u64()); }
 
 std::string ByteReader::str() {
     const std::uint32_t len = u32();
-    if (len > kMaxFieldLength) throw WireError("string length too large");
+    check_length(len);
     need(len);
     std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
@@ -87,7 +96,7 @@ std::string ByteReader::str() {
 
 Bytes ByteReader::blob() {
     const std::uint32_t len = u32();
-    if (len > kMaxFieldLength) throw WireError("blob length too large");
+    check_length(len);
     need(len);
     Bytes out(data_ + pos_, data_ + pos_ + len);
     pos_ += len;

@@ -18,9 +18,33 @@
 
 namespace narada::wire {
 
+/// Limit on any length-prefixed field; rejects absurd lengths from corrupt
+/// or hostile datagrams before any allocation happens. Readers may lower
+/// this per-instance via ByteReader::set_max_field_length.
+constexpr std::uint32_t kMaxFieldLength = 16 * 1024 * 1024;
+
 class WireError : public std::runtime_error {
 public:
     explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A length prefix exceeded the reader's frame-size cap. Raised before any
+/// allocation, so a hostile 4 GB length prefix costs nothing. Typed so
+/// transports can count oversized frames separately from plain corruption.
+class FrameTooLargeError : public WireError {
+public:
+    FrameTooLargeError(std::uint32_t length, std::uint32_t limit)
+        : WireError("length prefix " + std::to_string(length) + " exceeds frame cap " +
+                    std::to_string(limit)),
+          length_(length),
+          limit_(limit) {}
+
+    [[nodiscard]] std::uint32_t length() const { return length_; }
+    [[nodiscard]] std::uint32_t limit() const { return limit_; }
+
+private:
+    std::uint32_t length_;
+    std::uint32_t limit_;
 };
 
 class ByteWriter {
@@ -70,19 +94,24 @@ public:
     [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
     [[nodiscard]] bool at_end() const { return pos_ == size_; }
 
+    /// Tighten (or relax, up to the global kMaxFieldLength) the cap applied
+    /// to every subsequent length prefix. Transports that know their MTU
+    /// can reject oversized frames long before the global cap.
+    void set_max_field_length(std::uint32_t limit);
+    [[nodiscard]] std::uint32_t max_field_length() const { return max_field_length_; }
+
     /// Throw unless the whole buffer was consumed (tail garbage detection).
     void expect_end() const;
 
 private:
     void need(std::size_t n) const;
+    /// Validate a just-read length prefix before any allocation.
+    void check_length(std::uint32_t len) const;
 
     const std::uint8_t* data_;
     std::size_t size_;
     std::size_t pos_ = 0;
+    std::uint32_t max_field_length_ = kMaxFieldLength;
 };
-
-/// Limit on any length-prefixed field; rejects absurd lengths from corrupt
-/// or hostile datagrams before any allocation happens.
-constexpr std::uint32_t kMaxFieldLength = 16 * 1024 * 1024;
 
 }  // namespace narada::wire

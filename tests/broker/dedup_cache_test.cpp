@@ -57,6 +57,54 @@ TEST(DedupCache, DuplicateInsertDoesNotRefreshPosition) {
     EXPECT_TRUE(cache.contains(make_id(3)));
 }
 
+TEST(DedupCache, InsertAtExactCapacityKeepsAllEntries) {
+    // Boundary audit: filling to exactly `capacity` must evict nothing —
+    // eviction triggers strictly beyond capacity, not at it.
+    DedupCache cache(4);
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(cache.insert(make_id(i)));
+    EXPECT_EQ(cache.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(cache.contains(make_id(i)));
+    // The very next insert evicts exactly one entry: the oldest.
+    EXPECT_TRUE(cache.insert(make_id(4)));
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_FALSE(cache.contains(make_id(0)));
+    EXPECT_TRUE(cache.contains(make_id(1)));
+}
+
+TEST(DedupCache, DuplicateAtCapacityEvictsNothing) {
+    DedupCache cache(3);
+    for (std::uint64_t i = 0; i < 3; ++i) cache.insert(make_id(i));
+    // A duplicate at capacity is a no-op: no eviction, no reorder.
+    EXPECT_FALSE(cache.insert(make_id(0)));
+    EXPECT_EQ(cache.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) EXPECT_TRUE(cache.contains(make_id(i)));
+}
+
+TEST(DedupCache, ReinsertAfterEvictionIsNewAndEvictsNextOldest) {
+    DedupCache cache(2);
+    cache.insert(make_id(1));
+    cache.insert(make_id(2));
+    cache.insert(make_id(3));  // evicts 1
+    EXPECT_FALSE(cache.contains(make_id(1)));
+    // Re-inserting the evicted id is "new" again and pushes out the now
+    // oldest entry (2), never a newer one.
+    EXPECT_TRUE(cache.insert(make_id(1)));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.contains(make_id(2)));
+    EXPECT_TRUE(cache.contains(make_id(3)));
+    EXPECT_TRUE(cache.contains(make_id(1)));
+}
+
+TEST(DedupCache, CapacityOneKeepsOnlyNewest) {
+    DedupCache cache(1);
+    EXPECT_TRUE(cache.insert(make_id(1)));
+    EXPECT_FALSE(cache.insert(make_id(1)));
+    EXPECT_TRUE(cache.insert(make_id(2)));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_FALSE(cache.contains(make_id(1)));
+    EXPECT_TRUE(cache.contains(make_id(2)));
+}
+
 TEST(DedupCache, Clear) {
     DedupCache cache(5);
     cache.insert(make_id(1));

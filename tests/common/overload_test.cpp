@@ -1,0 +1,155 @@
+// Unit tests for the overload-protection primitives: the deterministic
+// token bucket and the closed/open/half-open circuit breaker.
+#include <gtest/gtest.h>
+
+#include "common/circuit_breaker.hpp"
+#include "common/token_bucket.hpp"
+
+namespace narada {
+namespace {
+
+// --- TokenBucket ------------------------------------------------------------
+
+TEST(TokenBucket, DisabledRateAlwaysAdmits) {
+    TokenBucket bucket(0.0, 4.0);
+    EXPECT_FALSE(bucket.limited());
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_consume(i * kMillisecond));
+}
+
+TEST(TokenBucket, BurstThenStarves) {
+    TokenBucket bucket(1.0, 3.0);  // 1 token/s, burst of 3
+    EXPECT_TRUE(bucket.limited());
+    const TimeUs t0 = 10 * kSecond;
+    EXPECT_TRUE(bucket.try_consume(t0));
+    EXPECT_TRUE(bucket.try_consume(t0));
+    EXPECT_TRUE(bucket.try_consume(t0));
+    EXPECT_FALSE(bucket.try_consume(t0));  // burst exhausted
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+    TokenBucket bucket(2.0, 2.0);  // 2 tokens/s
+    const TimeUs t0 = 0;
+    EXPECT_TRUE(bucket.try_consume(t0));
+    EXPECT_TRUE(bucket.try_consume(t0));
+    EXPECT_FALSE(bucket.try_consume(t0));
+    // 500 ms later one token has refilled.
+    EXPECT_TRUE(bucket.try_consume(t0 + 500 * kMillisecond));
+    EXPECT_FALSE(bucket.try_consume(t0 + 500 * kMillisecond));
+}
+
+TEST(TokenBucket, RefillClampsAtBurst) {
+    TokenBucket bucket(100.0, 2.0);
+    const TimeUs t0 = 0;
+    EXPECT_TRUE(bucket.try_consume(t0));
+    // A long idle period must not bank more than `burst` tokens.
+    const TimeUs later = t0 + 60 * kSecond;
+    EXPECT_TRUE(bucket.try_consume(later));
+    EXPECT_TRUE(bucket.try_consume(later));
+    EXPECT_FALSE(bucket.try_consume(later));
+}
+
+TEST(TokenBucket, ClockBackwardsHoldsTokens) {
+    TokenBucket bucket(1.0, 1.0);
+    EXPECT_TRUE(bucket.try_consume(10 * kSecond));
+    // Time running backwards (a skew step) must not mint tokens.
+    EXPECT_FALSE(bucket.try_consume(5 * kSecond));
+    EXPECT_FALSE(bucket.try_consume(10 * kSecond));
+    EXPECT_TRUE(bucket.try_consume(11 * kSecond));
+}
+
+TEST(TokenBucket, AvailableReportsAfterRefill) {
+    TokenBucket bucket(1.0, 4.0);
+    EXPECT_DOUBLE_EQ(bucket.available(0), 4.0);
+    EXPECT_TRUE(bucket.try_consume(0));
+    EXPECT_DOUBLE_EQ(bucket.available(0), 3.0);
+    EXPECT_DOUBLE_EQ(bucket.available(1 * kSecond), 4.0);  // clamped
+}
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+CircuitBreakerOptions breaker_options(std::uint32_t threshold) {
+    CircuitBreakerOptions options;
+    options.failure_threshold = threshold;
+    options.open_backoff.initial = 1 * kSecond;
+    options.open_backoff.max = 8 * kSecond;
+    options.open_backoff.jitter = 0.0;  // exact timelines for assertions
+    return options;
+}
+
+TEST(CircuitBreaker, OpensAtThreshold) {
+    Rng rng(1);
+    CircuitBreaker breaker(breaker_options(2));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_TRUE(breaker.allow(0, rng));
+    breaker.record_failure(0, rng);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);  // 1 < threshold
+    breaker.record_failure(0, rng);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_FALSE(breaker.allow(0, rng));
+    EXPECT_EQ(breaker.stats().opens, 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureCount) {
+    Rng rng(1);
+    CircuitBreaker breaker(breaker_options(2));
+    breaker.record_failure(0, rng);
+    breaker.record_success();
+    breaker.record_failure(0, rng);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeAfterCooldown) {
+    Rng rng(1);
+    CircuitBreaker breaker(breaker_options(1));
+    breaker.record_failure(0, rng);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_FALSE(breaker.allow(500 * kMillisecond, rng));
+    // Cool-down (1 s, no jitter) elapsed: exactly one probe is admitted.
+    EXPECT_TRUE(breaker.allow(1 * kSecond, rng));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_FALSE(breaker.allow(1 * kSecond, rng));  // probe in flight
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_TRUE(breaker.allow(1 * kSecond, rng));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithLongerCooldown) {
+    Rng rng(1);
+    CircuitBreaker breaker(breaker_options(1));
+    breaker.record_failure(0, rng);
+    const TimeUs first_retry = breaker.retry_at();
+    EXPECT_TRUE(breaker.allow(first_retry, rng));  // half-open probe
+    breaker.record_failure(first_retry, rng);      // probe failed
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    // Backoff doubled: the second cool-down is 2 s, not 1 s.
+    EXPECT_EQ(breaker.retry_at() - first_retry, 2 * kSecond);
+    EXPECT_EQ(breaker.stats().opens, 2u);
+}
+
+TEST(CircuitBreaker, ForceProbeAdmitsWhileOpen) {
+    Rng rng(1);
+    CircuitBreaker breaker(breaker_options(1));
+    breaker.record_failure(0, rng);
+    EXPECT_FALSE(breaker.allow(0, rng));
+    breaker.force_probe();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, ZeroThresholdDisables) {
+    Rng rng(1);
+    CircuitBreaker breaker(breaker_options(0));
+    for (int i = 0; i < 50; ++i) breaker.record_failure(0, rng);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_TRUE(breaker.allow(0, rng));
+}
+
+TEST(CircuitBreaker, StateNames) {
+    EXPECT_STREQ(to_string(CircuitBreaker::State::kClosed), "closed");
+    EXPECT_STREQ(to_string(CircuitBreaker::State::kOpen), "open");
+    EXPECT_STREQ(to_string(CircuitBreaker::State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace narada

@@ -1,0 +1,395 @@
+// Overload resilience: BDN bounded ingest and shedding policy, broker
+// plugin load shedding with the overload flag, breaker-based BDN failover
+// and the adaptive (quiesce-based) response window.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "discovery/bdn.hpp"
+#include "discovery/broker_plugin.hpp"
+#include "discovery/scoring.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "timesvc/ntp.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+namespace {
+
+// --- BDN bounded ingest -----------------------------------------------------
+
+struct BdnOverloadFixture : ::testing::Test {
+    BdnOverloadFixture() : net(kernel, 404), rng(11) {
+        bdn_host = net.add_host({"bdn", "S", "bdn-realm", 0});
+        client_host = net.add_host({"client", "S", "client-realm", 0});
+        other_host = net.add_host({"other", "S", "client-realm", 0});
+        broker_host = net.add_host({"broker", "S", "r", 0});
+        net.set_default_link({from_ms(1), 0, 1});
+    }
+
+    Bdn make_bdn(config::BdnConfig cfg = {}) {
+        return Bdn(kernel, net, Endpoint{bdn_host, 7100}, net.host_clock(bdn_host), cfg);
+    }
+
+    DiscoveryRequest make_request(HostId reply_host) {
+        DiscoveryRequest req;
+        req.request_id = Uuid::random(rng);
+        req.reply_to = Endpoint{reply_host, 7200};
+        req.realm = "client-realm";
+        return req;
+    }
+
+    void send_request(Bdn& bdn, const DiscoveryRequest& req, HostId source) {
+        wire::ByteWriter w;
+        w.u8(wire::kMsgDiscoveryRequest);
+        req.encode(w);
+        net.send_datagram(Endpoint{source, 7200}, bdn.endpoint(), w.take());
+    }
+
+    void settle(DurationUs d = 200 * kMillisecond) { kernel.run_until(kernel.now() + d); }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    Rng rng;
+    HostId bdn_host{}, client_host{}, other_host{}, broker_host{};
+};
+
+TEST_F(BdnOverloadFixture, LegacyInlinePathWhenQueueDisabled) {
+    Bdn bdn = make_bdn();  // ingest_queue_limit == 0: legacy behavior
+    for (int i = 0; i < 3; ++i) send_request(bdn, make_request(client_host), client_host);
+    settle();
+    const auto& stats = bdn.stats();
+    EXPECT_EQ(stats.requests_received, 3u);
+    EXPECT_EQ(stats.acks_sent, 3u);
+    EXPECT_EQ(stats.requests_serviced, 0u);  // inline path never queues
+    EXPECT_EQ(stats.requests_shed(), 0u);
+    EXPECT_EQ(bdn.queue_depth(), 0u);
+}
+
+TEST_F(BdnOverloadFixture, QueueOverflowShedsWithoutAck) {
+    config::BdnConfig cfg;
+    cfg.ingest_queue_limit = 4;
+    cfg.request_service_cost = from_ms(5);
+    Bdn bdn = make_bdn(cfg);
+    // A burst of 10 distinct requests lands before the first drain tick.
+    for (int i = 0; i < 10; ++i) send_request(bdn, make_request(client_host), client_host);
+    kernel.run_until(kernel.now() + from_ms(2));  // delivered, nothing drained yet
+    EXPECT_EQ(bdn.queue_depth(), 4u);
+    EXPECT_EQ(bdn.stats().requests_shed_overflow, 6u);
+    // Shed requests were NOT acked: only the 4 admitted ones were.
+    EXPECT_EQ(bdn.stats().acks_sent, 4u);
+    settle();  // drain completes at one request per service interval
+    EXPECT_EQ(bdn.stats().requests_serviced, 4u);
+    EXPECT_EQ(bdn.queue_depth(), 0u);
+    EXPECT_EQ(bdn.stats().queue_depth_peak, 4u);
+}
+
+TEST_F(BdnOverloadFixture, DuplicatesAckedButNeverOccupyQueueSlots) {
+    config::BdnConfig cfg;
+    cfg.ingest_queue_limit = 2;
+    cfg.request_service_cost = from_ms(50);
+    Bdn bdn = make_bdn(cfg);
+    const DiscoveryRequest first = make_request(client_host);
+    send_request(bdn, first, client_host);
+    send_request(bdn, make_request(client_host), client_host);  // queue now full
+    kernel.run_until(kernel.now() + from_ms(2));
+    EXPECT_EQ(bdn.queue_depth(), 2u);
+    // A retransmission of an admitted request while the queue is full is
+    // still acked (the requester must learn the BDN is alive) but neither
+    // queues again nor counts as overflow.
+    send_request(bdn, first, client_host);
+    kernel.run_until(kernel.now() + from_ms(2));
+    EXPECT_EQ(bdn.stats().duplicate_requests, 1u);
+    EXPECT_EQ(bdn.stats().acks_sent, 3u);
+    EXPECT_EQ(bdn.stats().requests_shed_overflow, 0u);
+    EXPECT_EQ(bdn.queue_depth(), 2u);
+}
+
+TEST_F(BdnOverloadFixture, PerSourceQuotaShedsGreedySourcesOnly) {
+    config::BdnConfig cfg;
+    cfg.ingest_queue_limit = 100;
+    cfg.request_service_cost = from_ms(50);  // nothing drains mid-assert
+    cfg.per_source_rate = 1.0;               // 1 request/s steady state
+    cfg.per_source_burst = 2.0;
+    Bdn bdn = make_bdn(cfg);
+    for (int i = 0; i < 5; ++i) send_request(bdn, make_request(client_host), client_host);
+    kernel.run_until(kernel.now() + from_ms(2));
+    EXPECT_EQ(bdn.stats().requests_shed_quota, 3u);  // burst of 2 admitted
+    EXPECT_EQ(bdn.queue_depth(), 2u);
+    // A different source has its own bucket and is not punished.
+    send_request(bdn, make_request(other_host), other_host);
+    kernel.run_until(kernel.now() + from_ms(2));
+    EXPECT_EQ(bdn.stats().requests_shed_quota, 3u);
+    EXPECT_EQ(bdn.queue_depth(), 3u);
+}
+
+TEST_F(BdnOverloadFixture, AdvertisementRenewalsNeverShed) {
+    // Policy: advertisement renewals are never shed, even while the request
+    // queue is saturated — leases must not lapse because of a storm.
+    config::BdnConfig cfg;
+    cfg.ingest_queue_limit = 1;
+    cfg.request_service_cost = from_ms(100);
+    cfg.per_source_rate = 0.5;
+    cfg.per_source_burst = 1.0;
+    cfg.ad_lease = 10 * kSecond;
+    Bdn bdn = make_bdn(cfg);
+    for (int i = 0; i < 20; ++i) send_request(bdn, make_request(client_host), client_host);
+    kernel.run_until(kernel.now() + from_ms(2));
+    ASSERT_GT(bdn.stats().requests_shed(), 0u);  // the BDN is in shedding state
+
+    BrokerAdvertisement ad;
+    ad.broker_id = Uuid::random(rng);
+    ad.broker_name = "storm-survivor";
+    ad.endpoint = Endpoint{broker_host, 7000};
+    ad.realm = "r";
+    wire::ByteWriter w;
+    w.u8(wire::kMsgBrokerAdvertisement);
+    ad.encode(w);
+    net.send_datagram(Endpoint{broker_host, 7000}, bdn.endpoint(), w.take());
+    kernel.run_until(kernel.now() + from_ms(5));
+    EXPECT_EQ(bdn.registered_count(), 1u);
+    EXPECT_EQ(bdn.stats().ads_received, 1u);
+    // And the renewal path too: re-advertise under the same saturation.
+    wire::ByteWriter w2;
+    w2.u8(wire::kMsgBrokerAdvertisement);
+    ad.encode(w2);
+    net.send_datagram(Endpoint{broker_host, 7000}, bdn.endpoint(), w2.take());
+    kernel.run_until(kernel.now() + from_ms(5));
+    EXPECT_EQ(bdn.stats().leases_renewed, 1u);
+    EXPECT_EQ(bdn.stale_count(), 0u);
+}
+
+// --- broker plugin shedding -------------------------------------------------
+
+/// Captures discovery responses sent to a requester endpoint.
+class ResponseSink final : public transport::MessageHandler {
+public:
+    ResponseSink(transport::Transport& transport, const Endpoint& ep)
+        : transport_(transport), ep_(ep) {
+        transport_.bind(ep_, this);
+    }
+    ~ResponseSink() override { transport_.unbind(ep_); }
+
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        wire::ByteReader r(data);
+        if (r.u8() != wire::kMsgDiscoveryResponse) return;
+        responses.push_back(DiscoveryResponse::decode(r));
+    }
+
+    std::vector<DiscoveryResponse> responses;
+
+private:
+    transport::Transport& transport_;
+    Endpoint ep_;
+};
+
+TEST(BrokerPluginShedding, OverBudgetRequestsShedAndOverloadAdvertised) {
+    sim::Kernel kernel;
+    sim::SimNetwork net(kernel, 505);
+    const HostId broker_host = net.add_host({"broker", "S", "r", 0});
+    const HostId client_host = net.add_host({"client", "S", "r", 0});
+    net.set_default_link({from_ms(1), 0, 1});
+    timesvc::FixedUtcSource utc(net.true_clock());
+
+    config::BrokerConfig cfg;
+    cfg.discovery_rate_limit = 1.0;  // 1 response/s
+    cfg.discovery_burst = 1.0;
+    cfg.overload_hold = 2 * kSecond;
+    broker::Broker broker(kernel, net, Endpoint{broker_host, 7000},
+                          net.host_clock(broker_host), utc, cfg, "shedder");
+    BrokerIdentity identity;
+    identity.hostname = "shedder.host";
+    identity.realm = "r";
+    // No multicast: the loop-back re-delivery would double every sighting.
+    BrokerDiscoveryPlugin plugin(identity, /*join_multicast=*/false);
+    broker.add_plugin(&plugin);
+    broker.start();
+
+    const Endpoint reply{client_host, 7200};
+    ResponseSink sink(net, reply);
+    Rng rng(3);
+    auto send = [&](TimeUs at) {
+        kernel.schedule_at(at, [&net, &rng, reply, broker_host] {
+            DiscoveryRequest req;
+            req.request_id = Uuid::random(rng);
+            req.reply_to = reply;
+            req.realm = "r";
+            wire::ByteWriter w;
+            w.u8(wire::kMsgDiscoveryRequest);
+            req.encode(w);
+            net.send_datagram(reply, Endpoint{broker_host, 7000}, w.take());
+        });
+    };
+    send(kernel.now() + from_ms(10));   // consumes the only token
+    send(kernel.now() + from_ms(50));   // over budget: shed, no response
+    send(kernel.now() + from_ms(1200)); // a token refilled; answered while hot
+    kernel.run_until(kernel.now() + 2 * kSecond);
+
+    // Each request is sighted twice — direct datagram plus its own flood
+    // looping back through the broker — and deduped the second time.
+    EXPECT_EQ(plugin.stats().requests_seen, 6u);
+    EXPECT_EQ(plugin.stats().duplicates_suppressed, 3u);
+    EXPECT_EQ(plugin.stats().requests_shed, 1u);
+    EXPECT_EQ(plugin.stats().responses_sent, 2u);
+    ASSERT_EQ(sink.responses.size(), 2u);
+    EXPECT_FALSE(sink.responses[0].overloaded);  // before any shedding
+    EXPECT_TRUE(sink.responses[1].overloaded);   // shed within overload_hold
+}
+
+TEST(BrokerPluginShedding, SheddingDisabledByDefault) {
+    // Default BrokerConfig: discovery_rate_limit == 0, no shedding ever.
+    config::BrokerConfig cfg;
+    EXPECT_EQ(cfg.discovery_rate_limit, 0.0);
+}
+
+// --- scoring penalty --------------------------------------------------------
+
+TEST(OverloadScoring, OverloadedResponseLosesExactlyThePenalty) {
+    config::MetricWeights weights;
+    DiscoveryResponse healthy;
+    healthy.sent_utc = 0;
+    healthy.metrics.total_memory = 1 << 30;
+    healthy.metrics.free_memory = 1 << 29;
+    DiscoveryResponse hot = healthy;
+    hot.overloaded = true;
+    const double d = score_response(healthy, from_ms(10), weights) -
+                     score_response(hot, from_ms(10), weights);
+    EXPECT_DOUBLE_EQ(d, weights.overload_penalty);
+}
+
+TEST(OverloadScoring, PenaltyDemotesOverloadedBrokerInShortlist) {
+    config::MetricWeights weights;
+    std::vector<Candidate> candidates(2);
+    candidates[0].response.metrics.total_memory = 1 << 30;
+    candidates[0].response.metrics.free_memory = 1 << 29;
+    candidates[0].response.overloaded = true;  // otherwise identical
+    candidates[1].response.metrics.total_memory = 1 << 30;
+    candidates[1].response.metrics.free_memory = 1 << 29;
+    candidates[0].estimated_delay = from_ms(10);
+    candidates[1].estimated_delay = from_ms(10);
+    const auto order = shortlist(candidates, weights, 2);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order.front(), 1u);  // the healthy twin ranks first
+}
+
+// --- adaptive response window -----------------------------------------------
+
+TEST(AdaptiveWindow, ClosesEarlyOnceResponsesQuiesce) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = 71;
+    opts.discovery.max_responses = 0;          // no first-N cutoff
+    opts.discovery.response_window = 5 * kSecond;  // generous upper bound
+    opts.discovery.adaptive_window = true;
+    opts.discovery.quiesce_ticks = 3;
+    opts.discovery.quiesce_tick = from_ms(100);
+    opts.discovery.response_window_min = from_ms(200);
+    scenario::Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_TRUE(report.adaptive_close);
+    EXPECT_GE(report.candidates.size(), 1u);
+    // The window closed on quiescence, far before the 5 s bound.
+    EXPECT_LT(report.collection_duration, 3 * kSecond);
+    EXPECT_GE(report.collection_duration, from_ms(200));  // min respected
+    EXPECT_GE(s.client().stats().adaptive_closes, 1u);
+}
+
+TEST(AdaptiveWindow, DisabledByDefaultWindowRunsToCutoff) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = 72;
+    opts.discovery.max_responses = 0;
+    opts.discovery.response_window = from_ms(1500);
+    scenario::Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_FALSE(report.adaptive_close);
+    // Fixed window: collection runs the full configured length.
+    EXPECT_GE(report.collection_duration, from_ms(1500));
+    EXPECT_EQ(s.client().stats().adaptive_closes, 0u);
+}
+
+// --- circuit-breaking BDN failover -------------------------------------------
+
+TEST(BdnBreakers, SecondRunSkipsDeadPrimaryInstantly) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = 73;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.breaker_failure_threshold = 1;
+    opts.discovery.breaker_open_initial = 20 * kSecond;  // stays open throughout
+    scenario::Scenario s(opts);
+    s.warm_up();
+    auto& cfg = s.client().mutable_config();
+    const Endpoint real_bdn = cfg.bdns.at(0);
+    cfg.bdns = {Endpoint{s.client_host(), 9999}, real_bdn};  // dead primary
+
+    // Run 1 pays one retransmit interval to learn the primary is dead...
+    const auto first = s.run_discovery();
+    ASSERT_TRUE(first.success);
+    EXPECT_GE(first.retransmits, 1u);
+    EXPECT_EQ(s.client().bdn_breaker(0).state(), CircuitBreaker::State::kOpen);
+
+    // ...run 2 skips it instantly: no retransmit needed at all.
+    const auto second = s.run_discovery();
+    ASSERT_TRUE(second.success);
+    EXPECT_EQ(second.retransmits, 0u);
+    EXPECT_GE(s.client().stats().breaker_skips, 1u);
+    EXPECT_LT(second.time_to_ack, from_ms(300));  // never waited on the corpse
+}
+
+TEST(BdnBreakers, ForcedProbeRecoversWhenEveryBreakerIsOpen) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = 74;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.response_window = from_ms(1200);
+    opts.discovery.breaker_failure_threshold = 1;
+    opts.discovery.breaker_open_initial = 60 * kSecond;  // would block run 2
+    scenario::Scenario s(opts);
+    s.warm_up();
+
+    // The only BDN dies; discovery fails and its breaker opens.
+    const HostId bdn_host = s.bdn().endpoint().host;
+    s.network().set_host_down(bdn_host, true);
+    const auto failed = s.run_discovery();
+    EXPECT_FALSE(failed.success);
+    EXPECT_EQ(s.client().bdn_breaker(0).state(), CircuitBreaker::State::kOpen);
+
+    // The BDN returns. The breaker is still deep in its cool-down, but
+    // with nowhere else to send the client must force a probe — which
+    // succeeds and closes the breaker.
+    s.network().set_host_down(bdn_host, false);
+    const auto recovered = s.run_discovery();
+    ASSERT_TRUE(recovered.success);
+    EXPECT_GE(s.client().stats().forced_probes, 1u);
+    EXPECT_EQ(s.client().bdn_breaker(0).state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(BdnBreakers, DisabledThresholdKeepsLegacyRotation) {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = 75;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.breaker_failure_threshold = 0;  // breakers off
+    scenario::Scenario s(opts);
+    s.warm_up();
+    auto& cfg = s.client().mutable_config();
+    const Endpoint real_bdn = cfg.bdns.at(0);
+    cfg.bdns = {Endpoint{s.client_host(), 9999}, real_bdn};
+    // Both runs pay the retransmit: no breaker memory between them.
+    const auto first = s.run_discovery();
+    ASSERT_TRUE(first.success);
+    EXPECT_GE(first.retransmits, 1u);
+    const auto second = s.run_discovery();
+    ASSERT_TRUE(second.success);
+    EXPECT_GE(second.retransmits, 1u);
+    EXPECT_EQ(s.client().stats().breaker_skips, 0u);
+}
+
+}  // namespace
+}  // namespace narada::discovery

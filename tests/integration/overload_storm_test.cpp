@@ -1,0 +1,149 @@
+// Fixed-seed storm soak (the PR's acceptance scenario): a scripted
+// request_storm floods a bounded-ingest BDN in front of a 16-broker
+// overlay. The BDN queue must stay bounded, no advertisement lease may
+// lapse during the storm, the client must keep selecting brokers in
+// bounded time by breaker-failover to a healthy secondary BDN, and two
+// same-seed runs must produce bit-identical shed/breaker digests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "discovery/bdn.hpp"
+#include "scenario/chaos.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/site_catalog.hpp"
+
+namespace narada {
+namespace {
+
+constexpr std::uint64_t kStormSeed = 20260806;
+constexpr std::size_t kBrokers = 16;
+constexpr DurationUs kStormLength = 20 * kSecond;
+
+struct StormSoakResult {
+    std::size_t runs = 0;
+    std::size_t successes = 0;
+    DurationUs worst_selection = 0;  ///< max total_duration across runs
+    std::uint64_t leases_expired = 0;
+    std::uint64_t queue_depth_peak = 0;
+    std::size_t queue_limit = 0;
+    std::uint64_t requests_shed = 0;
+    std::uint64_t storm_requests_sent = 0;
+    std::uint64_t breaker_opens = 0;
+    std::vector<std::uint64_t> digest;
+};
+
+StormSoakResult run_storm_soak() {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = kStormSeed;
+    // 16 brokers cycling through the paper's site catalog.
+    opts.broker_sites.clear();
+    for (std::size_t i = 0; i < kBrokers; ++i) {
+        opts.broker_sites.push_back(static_cast<sim::Site>(i % sim::kSiteCount));
+    }
+    opts.broker.advertise_interval = 5 * kSecond;
+    opts.bdn.ad_lease = 15 * kSecond;  // renewals must keep beating this
+    opts.bdn.ingest_queue_limit = 16;
+    opts.bdn.request_service_cost = from_ms(2);
+    opts.bdn.per_source_rate = 4.0;  // the storm source is quota-shed hard
+    opts.bdn.per_source_burst = 8.0;
+    opts.discovery.response_window = from_ms(1200);
+    opts.discovery.retransmit_interval = from_ms(400);
+    opts.discovery.max_responses = 8;
+    opts.discovery.breaker_failure_threshold = 1;
+    opts.discovery.breaker_open_initial = 4 * kSecond;
+    scenario::Scenario s(opts);
+    s.warm_up();
+    auto& kernel = s.kernel();
+    auto& net = s.network();
+
+    // A healthy, unthrottled secondary BDN that already knows every broker:
+    // the breaker failover target.
+    const HostId backup_host = net.add_host({"bdn2.backup.net", "BACKUP", "", 0});
+    discovery::Bdn secondary(kernel, net, Endpoint{backup_host, 7100},
+                             net.host_clock(backup_host), config::BdnConfig{},
+                             "secondary-bdn");
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        secondary.register_broker(s.plugin_at(i).advertisement());
+    }
+    secondary.start();
+    s.client().mutable_config().bdns.push_back(secondary.endpoint());
+    kernel.run_until(kernel.now() + 2 * kSecond);  // secondary pings settle
+
+    StormSoakResult result;
+    result.queue_limit = opts.bdn.ingest_queue_limit;
+    auto discover_once = [&] {
+        const auto report = s.run_discovery();
+        ++result.runs;
+        if (report.success) ++result.successes;
+        result.worst_selection = std::max(result.worst_selection, report.total_duration);
+    };
+
+    discover_once();  // baseline before the storm
+
+    // 16 synthetic clients flood the primary BDN every 20 ms for 20 s.
+    sim::ChaosInjector chaos(kernel, net);
+    chaos.run(scenario::request_storm_plan(s, 1 * kSecond, 16, from_ms(20),
+                                           kStormLength));
+    const TimeUs storm_end = kernel.now() + 1 * kSecond + kStormLength;
+    kernel.run_until(kernel.now() + 2 * kSecond);  // storm well underway
+
+    // Discovery keeps working mid-storm, in bounded time per run.
+    for (int i = 0; i < 4; ++i) {
+        discover_once();
+        kernel.run_until(kernel.now() + 2 * kSecond);
+    }
+
+    kernel.run_until(storm_end + 5 * kSecond);
+    discover_once();  // and after the storm subsides
+
+    result.leases_expired = s.bdn().stats().leases_expired;
+    result.queue_depth_peak = s.bdn().stats().queue_depth_peak;
+    result.requests_shed = s.bdn().stats().requests_shed();
+    result.storm_requests_sent = chaos.stats().storm_requests_sent;
+    result.breaker_opens = s.client().bdn_breaker(0).stats().opens;
+
+    result.digest = scenario::overload_digest(s);
+    result.digest.push_back(chaos.stats().storm_requests_sent);
+    result.digest.push_back(secondary.stats().requests_received);
+    result.digest.push_back(secondary.stats().acks_sent);
+    result.digest.push_back(secondary.stats().injections);
+    return result;
+}
+
+TEST(OverloadStormSoak, BoundedQueuesLeasesAndSelectionUnderStorm) {
+    const StormSoakResult r = run_storm_soak();
+
+    // The storm really happened and really got shed.
+    EXPECT_GT(r.storm_requests_sent, 1000u);
+    EXPECT_GT(r.requests_shed, 0u);
+
+    // 1. No BDN queue grows unbounded: the high-water mark respects the cap.
+    EXPECT_LE(r.queue_depth_peak, r.queue_limit);
+
+    // 2. Zero lease expiries during the storm: advertisement renewals are
+    //    never shed, so no registration lapsed.
+    EXPECT_EQ(r.leases_expired, 0u);
+
+    // 3. Every client run selected a broker in bounded time — the breaker
+    //    opened on the shedding primary and failover kept selections fast.
+    EXPECT_EQ(r.successes, r.runs);
+    EXPECT_GE(r.breaker_opens, 1u);
+    EXPECT_LT(r.worst_selection, 5 * kSecond);
+}
+
+TEST(OverloadStormSoak, SameSeedRunsProduceIdenticalDigests) {
+    const StormSoakResult a = run_storm_soak();
+    const StormSoakResult b = run_storm_soak();
+    ASSERT_FALSE(a.digest.empty());
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.storm_requests_sent, b.storm_requests_sent);
+    EXPECT_EQ(a.worst_selection, b.worst_selection);
+}
+
+}  // namespace
+}  // namespace narada

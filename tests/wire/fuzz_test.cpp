@@ -160,5 +160,71 @@ TEST(WireFuzz, LengthPrefixBombsRejectedWithoutAllocation) {
     }
 }
 
+TEST(WireFuzz, OversizedLengthPrefixThrowsTypedErrorBeforeAllocation) {
+    // A length prefix beyond the cap must raise FrameTooLargeError (a
+    // WireError subtype carrying the offending length) without touching
+    // the (absent) payload bytes.
+    wire::ByteWriter w;
+    w.u32(wire::kMaxFieldLength + 1);
+    const Bytes bomb = w.take();
+    wire::ByteReader reader(bomb);
+    try {
+        (void)reader.str();
+        FAIL() << "oversized prefix must throw";
+    } catch (const wire::FrameTooLargeError& e) {
+        EXPECT_EQ(e.length(), wire::kMaxFieldLength + 1);
+        EXPECT_EQ(e.limit(), wire::kMaxFieldLength);
+    }
+    // blob() enforces the same cap.
+    wire::ByteReader blob_reader(bomb);
+    EXPECT_THROW((void)blob_reader.blob(), wire::FrameTooLargeError);
+}
+
+TEST(WireFuzz, PerReaderFrameCapTightensTheLimit) {
+    // A transport that knows its MTU can reject far smaller bombs. The
+    // prefix here is under the global cap but over the reader's.
+    wire::ByteWriter w;
+    w.u32(4096);
+    w.raw(reinterpret_cast<const std::uint8_t*>("x"), 1);
+    const Bytes frame = w.take();
+
+    wire::ByteReader strict(frame);
+    strict.set_max_field_length(1024);
+    EXPECT_EQ(strict.max_field_length(), 1024u);
+    EXPECT_THROW((void)strict.str(), wire::FrameTooLargeError);
+
+    // The default reader only rejects it as truncated (length is honest
+    // about exceeding the buffer), not as oversized.
+    wire::ByteReader lax(frame);
+    try {
+        (void)lax.str();
+        FAIL() << "truncated payload must throw";
+    } catch (const wire::FrameTooLargeError&) {
+        FAIL() << "under-cap length must not be typed as oversized";
+    } catch (const wire::WireError&) {
+        // truncated message — expected
+    }
+}
+
+TEST(WireFuzz, PerReaderCapCannotExceedGlobalCap) {
+    wire::ByteWriter w;
+    w.u32(wire::kMaxFieldLength + 1);
+    const Bytes bomb = w.take();
+    wire::ByteReader reader(bomb);
+    reader.set_max_field_length(0xFFFFFFFFu);  // clamped to the global cap
+    EXPECT_EQ(reader.max_field_length(), wire::kMaxFieldLength);
+    EXPECT_THROW((void)reader.str(), wire::FrameTooLargeError);
+}
+
+TEST(WireFuzz, FrameTooLargeIsCatchableAsWireError) {
+    // Transports catch WireError and count a dropped packet; the typed
+    // subclass must keep flowing through those handlers.
+    wire::ByteWriter w;
+    w.u32(wire::kMaxFieldLength + 7);
+    const Bytes bomb = w.take();
+    wire::ByteReader reader(bomb);
+    EXPECT_THROW((void)reader.str(), wire::WireError);
+}
+
 }  // namespace
 }  // namespace narada
