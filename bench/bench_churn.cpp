@@ -33,7 +33,7 @@ struct ChurnOutcome {
     SampleSet total_ms;
 };
 
-ChurnOutcome run_churn(DurationUs churn_interval, DurationUs down_time) {
+ChurnOutcome run_churn(DurationUs churn_interval, DurationUs down_time, int discoveries) {
     scenario::ScenarioOptions opts;
     opts.topology = scenario::Topology::kFull;
     opts.broker_sites.assign(8, sim::Site::kIndianapolis);
@@ -73,7 +73,7 @@ ChurnOutcome run_churn(DurationUs churn_interval, DurationUs down_time) {
     if (churn_interval > 0) kernel.schedule_after(churn_interval, churn_tick);
 
     ChurnOutcome outcome;
-    constexpr int kDiscoveries = 60;
+    const int kDiscoveries = discoveries;
     for (int i = 0; i < kDiscoveries; ++i) {
         ++outcome.attempts;
         const auto report = s.run_discovery();
@@ -158,7 +158,8 @@ HealOutcome run_heal_rounds(int rounds, DurationUs down_time) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 60);
     std::printf("Discovery under broker churn: full mesh of 8 brokers, 60 client\n");
     std::printf("arrivals spaced 2 s apart; a random broker crashes every 'interval'\n");
     std::printf("and returns after 8 s (soft-state: re-ads 5 s, BDN expiry 10 s)\n\n");
@@ -178,7 +179,7 @@ int main() {
     double success_rates[std::size(rates)] = {};
     std::size_t index = 0;
     for (const auto& rate : rates) {
-        const ChurnOutcome outcome = run_churn(rate.interval, 8 * kSecond);
+        const ChurnOutcome outcome = run_churn(rate.interval, 8 * kSecond, kRuns);
         const double success = 100.0 * outcome.successes / outcome.attempts;
         const double alive = outcome.successes
                                  ? 100.0 * outcome.selected_alive / outcome.successes
@@ -209,7 +210,7 @@ int main() {
         "(peer floor 2, backoff 0.5 s -> 8 s); one broker crashes per round\n"
         "and returns after 8 s; heal = crash -> fault reverted, supervisors\n"
         "quiet, overlay one component again.\n");
-    const HealOutcome heal = run_heal_rounds(/*rounds=*/30, /*down_time=*/8 * kSecond);
+    const HealOutcome heal = run_heal_rounds(/*rounds=*/std::min(kRuns, 30), /*down_time=*/8 * kSecond);
     std::printf("\n%-28s %10d\n", "rounds", heal.rounds);
     std::printf("%-28s %10d\n", "reconverged", heal.reconverged);
     if (!heal.heal_ms.empty()) {

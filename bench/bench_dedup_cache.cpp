@@ -16,7 +16,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRequests = parse_runs(argc, argv, 30);
     std::printf("Dedup-cache ablation, full mesh of five brokers, 30 sequential\n");
     std::printf("discoveries per cache size (client in Bloomington)\n\n");
     std::printf("%12s %22s %22s\n", "cache size", "duplicate suppressions",
@@ -30,7 +31,6 @@ int main() {
         scenario::Scenario s(opts);
 
         std::uint64_t responses = 0;
-        constexpr int kRequests = 30;
         for (int i = 0; i < kRequests; ++i) {
             const auto report = s.run_discovery();
             responses += report.candidates.size();

@@ -9,7 +9,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 120);
     struct SiteCase {
         const char* figure;
         sim::Site site;
@@ -29,7 +30,7 @@ int main() {
     for (const SiteCase& c : cases) {
         scenario::ScenarioOptions opts = unconnected_options();
         opts.client_site = c.site;
-        const SeriesResult result = run_series(opts);
+        const SeriesResult result = run_series(opts, kRuns);
         print_metric_table(std::string(c.figure) + ": Time required for discovery with " +
                                c.label,
                            result.total_ms);

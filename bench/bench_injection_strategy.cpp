@@ -10,7 +10,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 60);
     const struct {
         config::InjectionStrategy strategy;
         const char* label;
@@ -36,7 +37,6 @@ int main() {
         SampleSet collect, totals;
         double responses = 0;
         int successes = 0;
-        constexpr int kRuns = 60;
         for (int run = 0; run < kRuns; ++run) {
             opts.seed = 500 + static_cast<std::uint64_t>(run) * 7919;
             scenario::Scenario s(opts);

@@ -63,8 +63,8 @@ Outcome run_arrivals(bool load_aware, int arrivals) {
 
 }  // namespace
 
-int main() {
-    constexpr int kArrivals = 60;
+int main(int argc, char** argv) {
+    const int kArrivals = parse_runs(argc, argv, 60);
     std::printf("Load-balancing ablation: Bloomington cluster with one saturated and\n");
     std::printf("one newly added idle broker; %d client arrivals per policy\n\n", kArrivals);
     std::printf("%-26s %10s %10s %10s\n", "selection policy", "fresh", "loaded", "remote");
@@ -80,6 +80,8 @@ int main() {
         "\nShape check: with usage metrics in the score the fresh broker absorbs\n"
         "the arrivals (paper §8 claim 3); latency-only selection splits them\n"
         "blindly across the cluster: %s\n",
-        (aware.fresh > blind.fresh && aware.loaded < kArrivals / 4) ? "HOLDS" : "VIOLATED");
+        (aware.fresh > blind.fresh && aware.loaded < std::max(1, kArrivals / 4))
+            ? "HOLDS"
+            : "VIOLATED");
     return 0;
 }

@@ -13,6 +13,8 @@
 #include "crypto/sha256.hpp"
 #include "discovery/messages.hpp"
 #include "discovery/scoring.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "services/compression.hpp"
 #include "services/fragmentation.hpp"
 #include "sim/kernel.hpp"
@@ -178,6 +180,46 @@ void BM_FragmentAndCoalesce(benchmark::State& state) {
     state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_FragmentAndCoalesce)->Arg(1 << 20);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+    // The cost the broker request path pays per ++stats_ mirror: one
+    // relaxed fetch_add through a pre-resolved handle.
+    obs::MetricsRegistry registry;
+    obs::Counter& counter = registry.counter("bench_counter", "node");
+    for (auto _ : state) {
+        counter.inc();
+        benchmark::DoNotOptimize(counter);
+    }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+    obs::MetricsRegistry registry;
+    obs::Histogram& histogram =
+        registry.histogram("bench_latency_ms", "node", obs::latency_buckets_ms());
+    Rng rng(7);
+    double v = 0.1;
+    for (auto _ : state) {
+        histogram.observe(v);
+        v = v > 4000 ? 0.1 : v * 1.7;  // sweep the bucket ladder
+        benchmark::DoNotOptimize(histogram);
+    }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_SpanBeginEnd(benchmark::State& state) {
+    obs::SpanRecorder recorder(1 << 20);
+    Rng rng(8);
+    const Uuid trace = Uuid::random(rng);
+    TimeUs now = 0;
+    for (auto _ : state) {
+        const std::uint64_t span = recorder.begin(trace, 0, "bench.span", "node", now);
+        recorder.end(span, now + 10);
+        now += 20;
+        if (recorder.size() + 2 >= (1 << 20)) recorder.clear();
+    }
+}
+BENCHMARK(BM_SpanBeginEnd);
 
 void BM_RsaSign(benchmark::State& state) {
     Rng rng(5);

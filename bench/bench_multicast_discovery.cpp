@@ -11,7 +11,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 120);
     scenario::ScenarioOptions opts;
     opts.topology = scenario::Topology::kStar;
     // Two lab-realm brokers plus three remote ones.
@@ -29,7 +30,7 @@ int main() {
 
     // Scenario fills in the BDN endpoint only when it is needed; here the
     // client's BDN list stays empty because use_multicast is set.
-    const SeriesResult result = run_series(opts);
+    const SeriesResult result = run_series(opts, kRuns);
     print_metric_table("Figure 12: Broker Discovery times using ONLY multicast",
                        result.total_ms);
     if (result.failures > 0) {

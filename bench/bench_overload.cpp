@@ -45,12 +45,11 @@ struct StormPoint {
     std::uint64_t queue_peak = 0;
 };
 
-StormPoint measure_storm(std::uint32_t storm_clients) {
+StormPoint measure_storm(std::uint32_t storm_clients, int runs) {
     StormPoint point;
     std::uint64_t shed = 0;
     std::uint64_t received = 0;
-    constexpr int kRuns = 10;
-    for (int run = 0; run < kRuns; ++run) {
+    for (int run = 0; run < runs; ++run) {
         scenario::Scenario s(storm_options(300 + static_cast<std::uint64_t>(run) * 7919));
         s.warm_up();
         auto& kernel = s.kernel();
@@ -94,14 +93,13 @@ StormPoint measure_storm(std::uint32_t storm_clients) {
     return point;
 }
 
-void adaptive_window_comparison() {
+void adaptive_window_comparison(int runs) {
     print_heading("Adaptive response window (quiet overlay, 4.5 s fixed window)");
     std::printf("%10s %20s %16s\n", "mode", "mean collection (ms)", "adaptive closes");
     for (const bool adaptive : {false, true}) {
         SampleSet collection;
         std::uint64_t closes = 0;
-        constexpr int kRuns = 20;
-        for (int run = 0; run < kRuns; ++run) {
+        for (int run = 0; run < runs; ++run) {
             scenario::ScenarioOptions opts = star_options();
             opts.seed = 900 + static_cast<std::uint64_t>(run) * 104729;
             opts.discovery.max_responses = 0;
@@ -128,7 +126,8 @@ void adaptive_window_comparison() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 10);
     std::printf("Overload sweep: N storm clients flood the primary BDN every 20 ms;\n");
     std::printf("the client fails over to a healthy secondary through circuit breakers.\n");
     std::printf("(8-broker star, 10 seeds x 3 discoveries per point)\n\n");
@@ -136,7 +135,7 @@ int main() {
                 "ttfr p99", "selection p99", "failures", "opens");
 
     for (const std::uint32_t clients : {0u, 4u, 16u, 32u}) {
-        const StormPoint p = measure_storm(clients);
+        const StormPoint p = measure_storm(clients, kRuns);
         std::printf("%8u %9.1f%% %10.1fms %10.1fms %12.1fms %10d %8llu\n", clients,
                     p.shed_rate * 100.0, p.first_response.percentile(50),
                     p.first_response.percentile(99), p.selection.percentile(99),
@@ -155,12 +154,24 @@ int main() {
     }
 
     std::printf("\n");
-    adaptive_window_comparison();
+    adaptive_window_comparison(2 * kRuns);
 
     std::printf(
         "\nShape check: shed rate climbs with storm intensity while selection p99\n"
         "stays bounded (the breaker diverts to the secondary BDN instead of\n"
         "waiting out retransmits), and the adaptive window cuts collection time\n"
         "well below the fixed 4.5 s bound once responses quiesce.\n");
+
+    // One instrumented run: the metric snapshot and the aggregate debug
+    // snapshot land on stdout for the CI artifact pipeline.
+    {
+        scenario::ScenarioOptions opts = storm_options(424242);
+        opts.obs.enabled = true;
+        opts.obs.trace_sample_rate = 1.0;
+        scenario::Scenario s(opts);
+        (void)s.run_discovery();
+        print_metrics_snapshot(s.metrics());
+        std::printf("NARADA_SNAPSHOT %s\n", s.debug_snapshot().c_str());
+    }
     return 0;
 }

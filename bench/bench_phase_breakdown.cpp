@@ -10,7 +10,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 120);
     struct Case {
         const char* figure;
         scenario::ScenarioOptions opts;
@@ -28,7 +29,7 @@ int main() {
     double collect_mean[3] = {0, 0, 0};
     int index = 0;
     for (const Case& c : cases) {
-        const SeriesResult result = run_series(c.opts);
+        const SeriesResult result = run_series(c.opts, kRuns);
         print_breakdown(c.figure, result.mean_breakdown);
         std::printf("%-40s %6.2f ms\n", "(mean wait for initial responses)",
                     result.collect_ms.mean());

@@ -14,12 +14,18 @@
 #include "discovery/bdn.hpp"
 #include "discovery/broker_plugin.hpp"
 #include "discovery/client.hpp"
+#include "harness.hpp"
 #include "transport/posix_transport.hpp"
 
 using namespace narada;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = bench::parse_runs(argc, argv, 60);
+
     transport::PosixTransport transport;
+    obs::MetricsRegistry registry;
+    // Traffic totals over the real sockets; must be wired before any bind.
+    transport.set_observability(&registry, "loopback");
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
 
@@ -74,7 +80,6 @@ int main() {
 
     SampleSet totals, collects, pings;
     int failures = 0;
-    constexpr int kRuns = 60;
     for (int run = 0; run < kRuns; ++run) {
         std::mutex m;
         std::condition_variable cv;
@@ -97,12 +102,14 @@ int main() {
 
     std::printf("\n== Discovery over real loopback sockets (%d runs, %d failures) ==\n",
                 kRuns, failures);
-    std::fputs(totals.trim_outliers(50).metric_table().c_str(), stdout);
+    std::fputs(totals.trim_outliers(bench::default_keep(kRuns)).metric_table().c_str(),
+               stdout);
     std::printf("\nphase means: collect %.3f ms, ping %.3f ms\n", collects.mean(),
                 pings.mean());
     std::printf(
         "\nNote: loopback removes WAN latency; totals reflect protocol and OS\n"
         "overhead only. The WAN figures (3-7) come from the calibrated\n"
         "simulation in bench_discovery_sites.\n");
+    bench::print_metrics_snapshot(registry);
     return failures < kRuns / 2 ? 0 : 1;
 }

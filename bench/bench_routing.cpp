@@ -56,8 +56,8 @@ TrafficResult run_traffic(config::RoutingMode mode, std::size_t n, int events) {
 
 }  // namespace
 
-int main() {
-    constexpr int kEvents = 100;
+int main(int argc, char** argv) {
+    const int kEvents = parse_runs(argc, argv, 100);
     std::printf("Flooding vs subscription routing: %d events from broker 0 to one\n", kEvents);
     std::printf("subscriber halfway around a ring of N brokers\n\n");
     std::printf("%6s %22s %22s %14s\n", "N", "flood forwards", "routed forwards",

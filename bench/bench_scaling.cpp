@@ -24,7 +24,8 @@ std::vector<sim::Site> sites_for(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 20);
     std::printf("Scaling: mean wait-for-all-responses (ms) vs broker count\n");
     std::printf("(20 runs per point, max_responses = N so the client waits for all)\n\n");
     std::printf("%10s %14s %14s %14s\n", "brokers", "unconnected", "star", "linear");
@@ -52,7 +53,6 @@ int main() {
                 opts.register_with_bdn = 1;
             }
             SampleSet collect;
-            constexpr int kRuns = 20;
             for (int run = 0; run < kRuns; ++run) {
                 opts.seed = 7000 + static_cast<std::uint64_t>(run) * 7919;
                 scenario::Scenario s(opts);

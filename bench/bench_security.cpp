@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/stats.hpp"
+#include "harness.hpp"
 #include "crypto/certificate.hpp"
 #include "crypto/envelope.hpp"
 #include "discovery/messages.hpp"
@@ -44,10 +45,10 @@ Bytes sample_request_bytes(Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     constexpr std::size_t kRsaBits = 1024;
-    constexpr int kRuns = 120;
-    constexpr int kKeep = 100;
+    const int kRuns = bench::parse_runs(argc, argv, 120);
+    const int kKeep = bench::default_keep(kRuns);
 
     Rng rng(0x5EC5EC);
     std::printf("Generating %zu-bit RSA keys (CA, client, broker)...\n", kRsaBits);

@@ -10,7 +10,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 40);
     std::printf("Target-set-size ablation, full mesh of 10 brokers (two per site),\n");
     std::printf("client in Bloomington (40 runs per size)\n\n");
     std::printf("%8s %16s %20s %24s\n", "size T", "mean total (ms)", "mean ping phase (ms)",
@@ -31,7 +32,6 @@ int main() {
         SampleSet totals, pings;
         int nearest_hits = 0;
         int successes = 0;
-        constexpr int kRuns = 40;
         for (int run = 0; run < kRuns; ++run) {
             opts.seed = 900 + static_cast<std::uint64_t>(run) * 7919;
             scenario::Scenario s(opts);

@@ -10,7 +10,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const int kRuns = parse_runs(argc, argv, 40);
     const double windows_ms[] = {25, 50, 100, 200, 400, 800, 1600, 3200, 4500};
 
     std::printf("Timeout sweep, star topology, five brokers, client in Bloomington\n");
@@ -26,7 +27,6 @@ int main() {
         double responses_acc = 0;
         SampleSet totals;
         int failures = 0;
-        constexpr int kRuns = 40;
         for (int run = 0; run < kRuns; ++run) {
             opts.seed = 100 + static_cast<std::uint64_t>(run) * 7919;
             scenario::Scenario s(opts);

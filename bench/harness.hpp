@@ -12,11 +12,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/json.hpp"
 #include "scenario/scenario.hpp"
 
 namespace narada::bench {
@@ -41,11 +44,33 @@ struct SeriesResult {
     std::size_t runs = 0;
 };
 
+/// Parse `--runs N` (or `--runs=N`) from the command line; the CI smoke
+/// job passes `--runs 3` so every bench sweeps its full configuration grid
+/// at a fraction of the measurement cost. Returns `fallback` when the flag
+/// is absent or malformed; the result is always >= 1.
+inline int parse_runs(int argc, char** argv, int fallback) {
+    int runs = fallback;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+            runs = std::atoi(argv[i + 1]);
+        } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+            runs = std::atoi(argv[i] + 7);
+        }
+    }
+    return runs >= 1 ? runs : fallback;
+}
+
+/// The paper's outlier-trim ratio: 120 runs keep 100, so `runs` keep
+/// `runs - runs/6` (at least 1).
+inline int default_keep(int runs) { return std::max(1, runs - runs / 6); }
+
 /// Run `runs` independent discoveries (fresh scenario per run, seed =
 /// base_seed + run * 7919); keep the `keep` runs closest to the median
-/// total time; aggregate everything from the kept runs.
+/// total time (keep < 0 applies the paper's 120->100 trim ratio);
+/// aggregate everything from the kept runs.
 inline SeriesResult run_series(const scenario::ScenarioOptions& base, int runs = 120,
-                               int keep = 100) {
+                               int keep = -1) {
+    if (keep < 0) keep = default_keep(runs);
     SeriesResult result;
     std::vector<RunRecord> records;
     records.reserve(static_cast<std::size_t>(runs));
@@ -118,17 +143,22 @@ inline void print_metric_table(const std::string& title, const SampleSet& sample
 
 /// One machine-readable result record per line. Consumers grep stdout for
 /// the "NARADA_JSON " prefix and parse the remainder as a JSON object, so
-/// benches can keep their human-readable tables alongside.
+/// benches can keep their human-readable tables alongside. Emission goes
+/// through the obs JSON writer, so names and keys are escaped correctly
+/// (the old snprintf emitter produced invalid JSON on quotes/backslashes).
 inline void print_json_record(const std::string& bench,
                               const std::vector<std::pair<std::string, double>>& fields) {
-    std::string out = "NARADA_JSON {\"bench\":\"" + bench + "\"";
-    char buffer[96];
-    for (const auto& [key, value] : fields) {
-        std::snprintf(buffer, sizeof(buffer), ",\"%s\":%.4f", key.c_str(), value);
-        out += buffer;
-    }
-    out += "}";
-    std::printf("%s\n", out.c_str());
+    obs::JsonWriter w;
+    w.begin_object().field("bench", bench);
+    for (const auto& [key, value] : fields) w.field(key, value, 4);
+    w.end_object();
+    std::printf("NARADA_JSON %s\n", w.str().c_str());
+}
+
+/// One metrics-registry snapshot per line ("NARADA_METRICS " prefix; the
+/// CI bench-smoke job collects these as artifacts).
+inline void print_metrics_snapshot(obs::MetricsRegistry& registry) {
+    std::printf("NARADA_METRICS %s\n", registry.to_json().c_str());
 }
 
 /// The standard percentile fields for a latency distribution.

@@ -17,6 +17,9 @@
 //   realm = lab
 //   run_for_ms = 0          ; 0 = run until SIGINT (brokers/BDNs)
 // plus the standard [broker] / [bdn] / [discovery] / [weights] sections.
+// An [obs] section (enabled, trace_sample_rate, span_capacity) wires the
+// observability plane: every node prints a NARADA_METRICS snapshot on
+// shutdown, and a traced client prints its span timeline.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -30,6 +33,8 @@
 #include "discovery/bdn.hpp"
 #include "discovery/broker_plugin.hpp"
 #include "discovery/client.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "transport/posix_transport.hpp"
 
 using namespace narada;
@@ -39,6 +44,28 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 void handle_signal(int) { g_stop = true; }
+
+/// Observability plane for one process, built from the [obs] section.
+/// Null members mean the plane is off and every wiring call is skipped.
+struct ObsPlane {
+    std::optional<obs::MetricsRegistry> metrics;
+    std::optional<obs::SpanRecorder> spans;
+
+    explicit ObsPlane(const config::ObsConfig& cfg) {
+        if (!cfg.enabled) return;
+        metrics.emplace();
+        spans.emplace(cfg.span_capacity);
+    }
+
+    [[nodiscard]] obs::MetricsRegistry* registry() {
+        return metrics ? &*metrics : nullptr;
+    }
+    [[nodiscard]] obs::SpanRecorder* recorder() { return spans ? &*spans : nullptr; }
+
+    void print_metrics() const {
+        if (metrics) std::printf("NARADA_METRICS %s\n", metrics->to_json().c_str());
+    }
+};
 
 void wait_until_stopped(std::int64_t run_for_ms) {
     const auto start = std::chrono::steady_clock::now();
@@ -54,7 +81,7 @@ void wait_until_stopped(std::int64_t run_for_ms) {
 
 int run_broker(const config::Ini& ini, transport::PosixTransport& transport,
                const Endpoint& endpoint, const std::string& name, const std::string& realm,
-               std::int64_t run_for_ms) {
+               std::int64_t run_for_ms, ObsPlane& obs) {
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
     const config::BrokerConfig cfg = config::BrokerConfig::from_ini(ini);
@@ -64,6 +91,8 @@ int run_broker(const config::Ini& ini, transport::PosixTransport& transport,
     identity.realm = realm;
     discovery::BrokerDiscoveryPlugin plugin(identity);
     node.add_plugin(&plugin);
+    node.set_observability(obs.registry());
+    plugin.set_observability(obs.registry(), obs.recorder());
     for (const auto& peer : ini.get_list("node", "peers")) {
         node.connect_to_peer(config::parse_endpoint(peer));
     }
@@ -75,29 +104,36 @@ int run_broker(const config::Ini& ini, transport::PosixTransport& transport,
     std::printf("[%s] shutting down; stats: %llu events, %llu responses sent\n", name.c_str(),
                 static_cast<unsigned long long>(node.stats().events_ingested),
                 static_cast<unsigned long long>(plugin.stats().responses_sent));
+    obs.print_metrics();
     return 0;
 }
 
 int run_bdn(const config::Ini& ini, transport::PosixTransport& transport,
-            const Endpoint& endpoint, const std::string& name, std::int64_t run_for_ms) {
+            const Endpoint& endpoint, const std::string& name, std::int64_t run_for_ms,
+            ObsPlane& obs) {
     WallClock wall;
+    timesvc::FixedUtcSource utc(wall);
     discovery::Bdn bdn(transport, transport, endpoint, wall, config::BdnConfig::from_ini(ini),
                        name);
+    bdn.set_observability(obs.registry(), obs.recorder(), &utc);
     bdn.start();
     std::printf("[%s] BDN up on 127.0.0.1:%u\n", name.c_str(), endpoint.port);
     wait_until_stopped(run_for_ms);
     std::printf("[%s] shutting down; %zu brokers registered, %llu requests served\n",
                 name.c_str(), bdn.registered_count(),
                 static_cast<unsigned long long>(bdn.stats().requests_received));
+    obs.print_metrics();
     return 0;
 }
 
 int run_client(const config::Ini& ini, transport::PosixTransport& transport,
-               const Endpoint& endpoint, const std::string& name, const std::string& realm) {
+               const Endpoint& endpoint, const std::string& name, const std::string& realm,
+               const config::ObsConfig& obs_cfg, ObsPlane& obs) {
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
     discovery::DiscoveryClient client(transport, transport, endpoint, wall, utc,
                                       config::DiscoveryConfig::from_ini(ini), name, realm);
+    client.set_observability(obs.registry(), obs.recorder(), obs_cfg.trace_sample_rate);
     std::printf("[%s] discovering...\n", name.c_str());
     std::mutex m;
     std::condition_variable cv;
@@ -131,6 +167,11 @@ int run_client(const config::Ini& ini, transport::PosixTransport& transport,
     }
     std::printf("[%s] selected %s at 127.0.0.1:%u\n", name.c_str(),
                 chosen->response.broker_name.c_str(), chosen->response.endpoint.port);
+    if (obs.recorder() != nullptr && client.trace_context().sampled()) {
+        std::printf("NARADA_TRACE %s\n",
+                    obs.recorder()->to_json(client.trace_context().trace_id).c_str());
+    }
+    obs.print_metrics();
     return 0;
 }
 
@@ -155,13 +196,20 @@ int main(int argc, char** argv) {
             std::printf("config error: [node] port is required\n");
             return 2;
         }
+        const config::ObsConfig obs_cfg = config::ObsConfig::from_ini(ini);
+        ObsPlane obs(obs_cfg);
         transport::PosixTransport transport;
+        // Before any bind: the event-loop thread reads the instrument
+        // pointers unsynchronized once sockets are live.
+        transport.set_observability(obs.registry(), name);
         const Endpoint endpoint{0, port};  // host label 0: cross-process convention
         if (role == "broker") {
-            return run_broker(ini, transport, endpoint, name, realm, run_for_ms);
+            return run_broker(ini, transport, endpoint, name, realm, run_for_ms, obs);
         }
-        if (role == "bdn") return run_bdn(ini, transport, endpoint, name, run_for_ms);
-        if (role == "client") return run_client(ini, transport, endpoint, name, realm);
+        if (role == "bdn") return run_bdn(ini, transport, endpoint, name, run_for_ms, obs);
+        if (role == "client") {
+            return run_client(ini, transport, endpoint, name, realm, obs_cfg, obs);
+        }
         std::printf("config error: [node] role must be broker, bdn or client\n");
         return 2;
     } catch (const std::exception& e) {

@@ -2,6 +2,7 @@
 
 #include "broker/topic.hpp"
 #include "common/log.hpp"
+#include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
 namespace narada::broker {
@@ -216,6 +217,7 @@ void Broker::dispatch(const Endpoint& from, const Bytes& data, bool reliable) {
                      from.str());
     } catch (const wire::WireError& e) {
         ++stats_.malformed_dropped;
+        if (inst_.malformed) inst_.malformed->inc();
         NARADA_DEBUG("broker", "{}: malformed message from {}: {}", name_, from.str(), e.what());
     }
 }
@@ -307,6 +309,7 @@ void Broker::handle_ping(const Endpoint& from, wire::ByteReader& reader) {
     // UTC estimate so the pinger can also refresh one-way estimates (§6).
     const TimeUs echo = reader.i64();
     ++stats_.pings_answered;
+    if (inst_.pings) inst_.pings->inc();
     wire::ByteWriter writer;
     writer.u8(wire::kMsgPong);
     writer.i64(echo);
@@ -349,6 +352,7 @@ void Broker::drop_peer(const Endpoint& peer) {
     const bool was_established = it->second.established;
     peers_.erase(it);
     ++stats_.peers_dropped;
+    if (inst_.peers_dropped) inst_.peers_dropped->inc();
     // Routing state learned over this link is stale; interests still held
     // by live origins will be re-learned through their periodic paths (or
     // immediately via summaries when links re-form).
@@ -360,9 +364,11 @@ void Broker::drop_peer(const Endpoint& peer) {
 void Broker::ingest(Event event, const Endpoint& source) {
     if (!seen_events_.insert(event.id)) {
         ++stats_.duplicates_suppressed;
+        if (inst_.duplicates) inst_.duplicates->inc();
         return;
     }
     ++stats_.events_ingested;
+    if (inst_.ingested) inst_.ingested->inc();
     // Model per-event processing cost: plugin work, delivery and fan-out
     // all happen after the broker's CPU has handled the event.
     const DurationUs delay = config_.processing_delay;
@@ -397,6 +403,7 @@ void Broker::forward_to_peers(const Event& event, const Endpoint& except) {
             }
         }
         ++stats_.events_forwarded;
+        if (inst_.forwarded) inst_.forwarded->inc();
         transport_.send_reliable(local_, peer, encoded);
     }
 }
@@ -410,8 +417,42 @@ void Broker::deliver_to_clients(const Event& event) {
         const auto it = token_to_client_.find(token);
         if (it == token_to_client_.end()) continue;
         ++stats_.events_delivered;
+        if (inst_.delivered) inst_.delivered->inc();
         transport_.send_reliable(local_, it->second, encoded);
     }
+}
+
+void Broker::set_observability(obs::MetricsRegistry* metrics) {
+    inst_ = {};
+    if (metrics == nullptr) return;
+    inst_.ingested = &metrics->counter("broker_events_ingested", name_);
+    inst_.forwarded = &metrics->counter("broker_events_forwarded", name_);
+    inst_.delivered = &metrics->counter("broker_events_delivered", name_);
+    inst_.duplicates = &metrics->counter("broker_duplicates_suppressed", name_);
+    inst_.pings = &metrics->counter("broker_pings_answered", name_);
+    inst_.malformed = &metrics->counter("broker_malformed_dropped", name_);
+    inst_.peers_dropped = &metrics->counter("broker_peers_dropped", name_);
+}
+
+std::string Broker::debug_snapshot() const {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("component", "broker")
+        .field("name", name_)
+        .field("started", started_)
+        .field("established_peers", static_cast<std::uint64_t>(established_peer_count()))
+        .field("clients", static_cast<std::uint64_t>(clients_.size()));
+    w.key("stats").begin_object()
+        .field("events_ingested", stats_.events_ingested)
+        .field("events_forwarded", stats_.events_forwarded)
+        .field("events_delivered", stats_.events_delivered)
+        .field("duplicates_suppressed", stats_.duplicates_suppressed)
+        .field("pings_answered", stats_.pings_answered)
+        .field("malformed_dropped", stats_.malformed_dropped)
+        .field("peers_dropped", stats_.peers_dropped)
+        .end_object();
+    w.end_object();
+    return w.take();
 }
 
 }  // namespace narada::broker

@@ -25,6 +25,7 @@
 #include "common/scheduler.hpp"
 #include "common/types.hpp"
 #include "config/node_config.hpp"
+#include "obs/metrics.hpp"
 #include "timesvc/ntp.hpp"
 #include "transport/transport.hpp"
 
@@ -128,6 +129,13 @@ public:
     [[nodiscard]] UsageMetrics metrics() const;
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
+    /// Mirror the broker core's counters into a metrics registry (null =
+    /// off). The instruments are labelled with the broker's name; the hot
+    /// path stays atomics-only.
+    void set_observability(obs::MetricsRegistry* metrics);
+    /// JSON introspection dump: overlay shape and lifetime counters.
+    [[nodiscard]] std::string debug_snapshot() const;
+
     // --- services for plugins -------------------------------------------------
     [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
     [[nodiscard]] transport::Transport& transport() { return transport_; }
@@ -223,6 +231,17 @@ private:
     TimerHandle peer_heartbeat_timer_ = kInvalidTimerHandle;
     Stats stats_;
     bool started_ = false;
+
+    // Observability (optional; null = off).
+    struct Instruments {
+        obs::Counter* ingested = nullptr;
+        obs::Counter* forwarded = nullptr;
+        obs::Counter* delivered = nullptr;
+        obs::Counter* duplicates = nullptr;
+        obs::Counter* pings = nullptr;
+        obs::Counter* malformed = nullptr;
+        obs::Counter* peers_dropped = nullptr;
+    } inst_;
 };
 
 }  // namespace narada::broker

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/types.hpp"
 
@@ -49,9 +50,22 @@ private:
             return;
         }
         if (now <= last_refill_) return;  // clock steps backwards: hold
+        // Subtract in unsigned space: the timestamps may sit at opposite
+        // extremes of the TimeUs range (e.g. a clock-skew chaos step), and
+        // signed overflow would be UB. The true difference always fits in
+        // a u64 once now > last_refill_.
+        const std::uint64_t elapsed_us = static_cast<std::uint64_t>(now) -
+                                         static_cast<std::uint64_t>(last_refill_);
         const double elapsed_s =
-            static_cast<double>(now - last_refill_) / static_cast<double>(kSecond);
-        tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_s);
+            static_cast<double>(elapsed_us) / static_cast<double>(kSecond);
+        // Saturate: a huge gap (or a huge rate) refills to the burst cap
+        // directly instead of pushing rate * elapsed through an addition
+        // that could lose precision or overflow to +inf.
+        if (rate_ * elapsed_s >= burst_) {
+            tokens_ = burst_;
+        } else {
+            tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_s);
+        }
         last_refill_ = now;
     }
 

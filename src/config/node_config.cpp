@@ -159,6 +159,15 @@ RejoinConfig RejoinConfig::from_ini(const Ini& ini) {
     return c;
 }
 
+ObsConfig ObsConfig::from_ini(const Ini& ini) {
+    ObsConfig c;
+    c.enabled = ini.get_bool("obs", "enabled", c.enabled);
+    c.trace_sample_rate = ini.get_double("obs", "trace_sample_rate", c.trace_sample_rate);
+    c.span_capacity =
+        static_cast<std::uint32_t>(ini.get_int("obs", "span_capacity", c.span_capacity));
+    return c;
+}
+
 BdnConfig BdnConfig::from_ini(const Ini& ini) {
     BdnConfig c;
     if (const auto v = ini.get("bdn", "injection")) {

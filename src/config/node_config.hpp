@@ -178,6 +178,24 @@ struct RejoinConfig {
     static RejoinConfig from_ini(const Ini& ini);
 };
 
+/// Observability plane ([obs] section): the metrics registry and the
+/// per-request trace spans piggybacked on discovery messages.
+struct ObsConfig {
+    /// Master switch: when false, no component is wired to a registry or
+    /// span recorder and the only residual cost is a null-pointer branch.
+    bool enabled = false;
+    /// Probability that a discovery run is traced (0 = never, 1 = always).
+    /// The sampling decision is made once per run at the client; every
+    /// downstream hop honours the nil-trace-id convention.
+    double trace_sample_rate = 0.0;
+    /// Maximum spans the recorder retains; further spans are counted as
+    /// dropped rather than evicting earlier ones (a trace with a hole at
+    /// the end beats a trace with a hole at the root).
+    std::uint32_t span_capacity = 4096;
+
+    static ObsConfig from_ini(const Ini& ini);
+};
+
 /// BDN-side configuration (§2, §4).
 struct BdnConfig {
     InjectionStrategy injection = InjectionStrategy::kClosestAndFarthest;

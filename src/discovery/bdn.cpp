@@ -5,6 +5,7 @@
 
 #include "broker/topic.hpp"
 #include "common/log.hpp"
+#include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
 namespace narada::discovery {
@@ -59,6 +60,68 @@ void Bdn::announce_to(const Endpoint& broker) {
 
 void Bdn::register_broker(BrokerAdvertisement ad) { handle_advertisement(ad); }
 
+void Bdn::set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
+                            const timesvc::UtcSource* utc) {
+    spans_ = spans;
+    utc_ = utc;
+    inst_ = {};
+    if (metrics == nullptr) return;
+    inst_.requests = &metrics->counter("bdn_requests_received", name_);
+    inst_.duplicates = &metrics->counter("bdn_duplicate_requests", name_);
+    inst_.acks = &metrics->counter("bdn_acks_sent", name_);
+    inst_.injections = &metrics->counter("bdn_injections", name_);
+    inst_.shed_quota = &metrics->counter("bdn_requests_shed_quota", name_);
+    inst_.shed_overflow = &metrics->counter("bdn_requests_shed_overflow", name_);
+    inst_.serviced = &metrics->counter("bdn_requests_serviced", name_);
+    inst_.ads = &metrics->counter("bdn_ads_received", name_);
+    inst_.pings = &metrics->counter("bdn_pings_sent", name_);
+    inst_.pongs = &metrics->counter("bdn_pongs_received", name_);
+    inst_.leases_expired = &metrics->counter("bdn_leases_expired", name_);
+    inst_.queue_depth = &metrics->gauge("bdn_queue_depth", name_);
+    inst_.fanout =
+        &metrics->histogram("bdn_injection_fanout", name_, {1, 2, 4, 8, 16, 32, 64});
+}
+
+std::string Bdn::debug_snapshot() const {
+    const TimeUs now = local_clock_.now();
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("component", "bdn")
+        .field("name", name_)
+        .field("started", started_)
+        .field("queue_depth", static_cast<std::uint64_t>(ingest_queue_.size()));
+    w.key("stats").begin_object()
+        .field("ads_received", stats_.ads_received)
+        .field("ads_filtered", stats_.ads_filtered)
+        .field("requests_received", stats_.requests_received)
+        .field("duplicate_requests", stats_.duplicate_requests)
+        .field("acks_sent", stats_.acks_sent)
+        .field("injections", stats_.injections)
+        .field("credential_rejections", stats_.credential_rejections)
+        .field("requests_shed_quota", stats_.requests_shed_quota)
+        .field("requests_shed_overflow", stats_.requests_shed_overflow)
+        .field("requests_serviced", stats_.requests_serviced)
+        .field("queue_depth_peak", stats_.queue_depth_peak)
+        .field("leases_renewed", stats_.leases_renewed)
+        .field("leases_expired", stats_.leases_expired)
+        .field("registrations_expired", stats_.registrations_expired)
+        .end_object();
+    w.key("registry").begin_array();
+    for (const auto& [id, rb] : registry_) {
+        w.begin_object()
+            .field("broker", rb.ad.broker_name)
+            .field("rtt_ms", rb.rtt < 0 ? -1.0 : to_ms(rb.rtt), 3)
+            .field("age_ms", to_ms(now - rb.registered_at), 3)
+            .field("last_pong_age_ms",
+                   rb.last_pong > 0 ? to_ms(now - rb.last_pong) : -1.0, 3)
+            .field("lease_remaining_ms",
+                   rb.lease_expires_at > 0 ? to_ms(rb.lease_expires_at - now) : -1.0, 3)
+            .end_object();
+    }
+    w.end_array().end_object();
+    return w.take();
+}
+
 std::vector<Bdn::RegisteredBroker> Bdn::registry() const {
     std::vector<RegisteredBroker> out;
     out.reserve(registry_.size());
@@ -100,6 +163,7 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
 
 void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
     ++stats_.ads_received;
+    if (inst_.ads) inst_.ads->inc();
     // "this BDN may choose to store the advertisement or ignore it if the
     // BDN is interested in specific advertisements" (§2.3).
     if (!config_.accepted_realms.empty() &&
@@ -125,6 +189,7 @@ void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
     // Measure the newcomer immediately so the injection strategy can use it.
     if (!known && started_) {
         ++stats_.pings_sent;
+        if (inst_.pings) inst_.pings->inc();
         wire::ByteWriter writer;
         writer.u8(wire::kMsgPing);
         writer.i64(local_clock_.now());
@@ -132,8 +197,20 @@ void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
     }
 }
 
-void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) {
+void Bdn::handle_request(const Endpoint& from, DiscoveryRequest request) {
     ++stats_.requests_received;
+    if (inst_.requests) inst_.requests->inc();
+
+    // A sampled request opens the BDN's span immediately — receipt is the
+    // moment the client's span hands over — and the trace parent is
+    // rewritten so everything downstream (queue wait, injection) nests
+    // under it.
+    std::uint64_t request_span = 0;
+    if (tracing() && request.trace.sampled()) {
+        request_span = spans_->begin(request.trace.trace_id, request.trace.parent_span,
+                                     "bdn.request", name_, span_now());
+        if (request_span != 0) request.trace.parent_span = request_span;
+    }
 
     // Private BDNs "must also require the presentation of appropriate
     // credentials before [deciding] whether [to] disseminate the broker
@@ -141,11 +218,12 @@ void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) 
     if (!config_.required_credential.empty() &&
         request.credential != config_.required_credential) {
         ++stats_.credential_rejections;
+        if (request_span != 0) spans_->end(request_span, span_now());
         return;
     }
 
     if (config_.ingest_queue_limit > 0) {
-        admit_request(from, request);
+        admit_request(from, std::move(request), request_span);
         return;
     }
 
@@ -156,12 +234,16 @@ void Bdn::handle_request(const Endpoint& from, const DiscoveryRequest& request) 
     // (§3): only the first copy is disseminated.
     if (!seen_requests_.insert(request.request_id)) {
         ++stats_.duplicate_requests;
+        if (inst_.duplicates) inst_.duplicates->inc();
+        if (request_span != 0) spans_->end(request_span, span_now());
         return;
     }
     inject(request, injection_targets());
+    if (request_span != 0) spans_->end(request_span, span_now());
 }
 
-void Bdn::admit_request(const Endpoint& from, const DiscoveryRequest& request) {
+void Bdn::admit_request(const Endpoint& from, DiscoveryRequest request,
+                        std::uint64_t request_span) {
     // Shed order per policy: duplicates first (they cost nothing and are
     // still acked so a requester whose ack was lost learns we are alive),
     // then over-quota sources, then queue overflow. Advertisement renewals
@@ -169,7 +251,9 @@ void Bdn::admit_request(const Endpoint& from, const DiscoveryRequest& request) {
     // leases cannot expire because of a request storm.
     if (seen_requests_.contains(request.request_id)) {
         ++stats_.duplicate_requests;
+        if (inst_.duplicates) inst_.duplicates->inc();
         send_ack(request);
+        if (request_span != 0) spans_->end(request_span, span_now());
         return;
     }
 
@@ -184,25 +268,30 @@ void Bdn::admit_request(const Endpoint& from, const DiscoveryRequest& request) {
             from.host, config_.per_source_rate, config_.per_source_burst);
         if (!it->second.try_consume(local_clock_.now())) {
             ++stats_.requests_shed_quota;
+            if (inst_.shed_quota) inst_.shed_quota->inc();
             NARADA_DEBUG("bdn", "{}: shed request {} from host {} (over quota)", name_,
                          request.request_id.str(), from.host);
             // No ack: the requester should fail over, not wait on us.
+            if (request_span != 0) spans_->end(request_span, span_now());
             return;
         }
     }
 
     if (ingest_queue_.size() >= config_.ingest_queue_limit) {
         ++stats_.requests_shed_overflow;
+        if (inst_.shed_overflow) inst_.shed_overflow->inc();
         NARADA_DEBUG("bdn", "{}: shed request {} from host {} (queue full at {})", name_,
                      request.request_id.str(), from.host, ingest_queue_.size());
+        if (request_span != 0) spans_->end(request_span, span_now());
         return;
     }
 
     send_ack(request);
     seen_requests_.insert(request.request_id);
-    ingest_queue_.push_back(request);
+    ingest_queue_.push_back({std::move(request), request_span});
     stats_.queue_depth_peak = std::max<std::uint64_t>(stats_.queue_depth_peak,
                                                       ingest_queue_.size());
+    if (inst_.queue_depth) inst_.queue_depth->set(static_cast<double>(ingest_queue_.size()));
     if (drain_timer_ == kInvalidTimerHandle) {
         // First element: service it after one service interval, modeling
         // the BDN's per-request processing cost.
@@ -214,10 +303,14 @@ void Bdn::admit_request(const Endpoint& from, const DiscoveryRequest& request) {
 void Bdn::drain_queue() {
     drain_timer_ = kInvalidTimerHandle;
     if (ingest_queue_.empty()) return;
-    const DiscoveryRequest request = ingest_queue_.front();
+    const QueuedRequest entry = ingest_queue_.front();
     ingest_queue_.pop_front();
+    if (inst_.queue_depth) inst_.queue_depth->set(static_cast<double>(ingest_queue_.size()));
     ++stats_.requests_serviced;
-    inject(request, injection_targets());
+    if (inst_.serviced) inst_.serviced->inc();
+    inject(entry.request, injection_targets());
+    // The request span covers receipt through queue wait to injection start.
+    if (entry.span != 0 && spans_ != nullptr) spans_->end(entry.span, span_now());
     if (!ingest_queue_.empty()) {
         drain_timer_ =
             scheduler_.schedule(config_.request_service_cost, [this] { drain_queue(); });
@@ -233,6 +326,7 @@ void Bdn::send_ack(const DiscoveryRequest& request) {
     ack.uuid(request.request_id);
     transport_.send_datagram(local_, request.reply_to, ack.take());
     ++stats_.acks_sent;
+    if (inst_.acks) inst_.acks->inc();
 }
 
 void Bdn::handle_pong(const Endpoint& from, wire::ByteReader& reader) {
@@ -240,6 +334,7 @@ void Bdn::handle_pong(const Endpoint& from, wire::ByteReader& reader) {
     ++stats_.pongs_received;
     const auto it = endpoint_to_broker_.find(from);
     if (it == endpoint_to_broker_.end()) return;
+    if (inst_.pongs) inst_.pongs->inc();
     const auto rit = registry_.find(it->second);
     if (rit == registry_.end()) return;
     rit->second.rtt = local_clock_.now() - echoed;
@@ -288,9 +383,27 @@ std::vector<Endpoint> Bdn::injection_targets() {
 }
 
 void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& targets) {
+    if (inst_.fanout) inst_.fanout->observe(static_cast<double>(targets.size()));
+
+    // A sampled request gets a `bdn.inject` span covering the whole spaced
+    // fan-out; the forwarded copies carry it as their trace parent so
+    // broker-side spans nest under the injection.
+    const DiscoveryRequest* outgoing = &request;
+    DiscoveryRequest forwarded;
+    std::uint64_t inject_span = 0;
+    if (tracing() && request.trace.sampled() && !targets.empty()) {
+        inject_span = spans_->begin(request.trace.trace_id, request.trace.parent_span,
+                                    "bdn.inject", name_, span_now());
+        if (inject_span != 0) {
+            forwarded = request;
+            forwarded.trace.parent_span = inject_span;
+            outgoing = &forwarded;
+        }
+    }
+
     wire::ByteWriter writer;
     writer.u8(wire::kMsgDiscoveryRequest);
-    request.encode(writer);
+    outgoing->encode(writer);
     const Bytes encoded = writer.take();
     // Injections are issued sequentially: each send costs the BDN its
     // per-injection processing time, so fanning out to N brokers takes
@@ -298,10 +411,16 @@ void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& t
     DurationUs at = 0;
     for (const Endpoint& target : targets) {
         ++stats_.injections;
+        if (inst_.injections) inst_.injections->inc();
         scheduler_.schedule(at, [this, target, encoded] {
             transport_.send_reliable(local_, target, encoded);
         });
         at += config_.injection_spacing;
+    }
+    if (inject_span != 0) {
+        const DurationUs last_send = at > 0 ? at - config_.injection_spacing : 0;
+        scheduler_.schedule(last_send,
+                            [this, inject_span] { spans_->end(inject_span, span_now()); });
     }
 }
 
@@ -321,6 +440,7 @@ void Bdn::refresh_distances() {
         if (!evict && config_.ad_lease > 0 && it->second.lease_expires_at > 0 &&
             now >= it->second.lease_expires_at) {
             ++stats_.leases_expired;
+            if (inst_.leases_expired) inst_.leases_expired->inc();
             NARADA_DEBUG("bdn", "{}: advertisement lease of {} lapsed", name_,
                          it->second.ad.broker_name);
             evict = true;
@@ -334,6 +454,7 @@ void Bdn::refresh_distances() {
     }
     for (const auto& [id, rb] : registry_) {
         ++stats_.pings_sent;
+        if (inst_.pings) inst_.pings->inc();
         wire::ByteWriter writer;
         writer.u8(wire::kMsgPing);
         writer.i64(local_clock_.now());

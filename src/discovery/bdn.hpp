@@ -34,6 +34,9 @@
 #include "common/token_bucket.hpp"
 #include "config/node_config.hpp"
 #include "discovery/messages.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "timesvc/ntp.hpp"
 #include "transport/transport.hpp"
 
 namespace narada::discovery {
@@ -113,19 +116,34 @@ public:
     /// `ingest_queue_limit`; always 0 in legacy inline mode).
     [[nodiscard]] std::size_t queue_depth() const { return ingest_queue_.size(); }
 
+    /// Wire this BDN into an observability plane. Any argument may be null
+    /// (that facility is simply skipped). `utc` stamps trace spans — the
+    /// BDN runs no NTP service of its own, so scenarios pass a source over
+    /// the deployment's true clock. Call before traffic flows.
+    void set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
+                           const timesvc::UtcSource* utc);
+    /// JSON introspection dump: counters, queue state, and the lease /
+    /// liveness age of every registered broker.
+    [[nodiscard]] std::string debug_snapshot() const;
+
     // MessageHandler.
     void on_datagram(const Endpoint& from, const Bytes& data) override;
 
 private:
     void handle_advertisement(const BrokerAdvertisement& ad);
-    void handle_request(const Endpoint& from, const DiscoveryRequest& request);
+    /// Takes the request by value: when the request is sampled the BDN
+    /// opens a `bdn.request` span and rewrites the trace parent before the
+    /// request travels further (queue or injection).
+    void handle_request(const Endpoint& from, DiscoveryRequest request);
     void handle_pong(const Endpoint& from, wire::ByteReader& reader);
 
     /// Bounded-ingest admission (ingest_queue_limit > 0): dedup filter,
     /// per-source quota, queue bound. Admitted requests are acked and
     /// queued; shed requests are dropped without an ack so the requester
-    /// fails over instead of waiting out its window.
-    void admit_request(const Endpoint& from, const DiscoveryRequest& request);
+    /// fails over instead of waiting out its window. `request_span` is the
+    /// already-open `bdn.request` span (0 = unsampled).
+    void admit_request(const Endpoint& from, DiscoveryRequest request,
+                       std::uint64_t request_span);
     /// Service one queued request and re-arm the drain timer.
     void drain_queue();
     void send_ack(const DiscoveryRequest& request);
@@ -134,10 +152,15 @@ private:
     [[nodiscard]] std::vector<Endpoint> injection_targets();
 
     /// Sequentially inject `request` at `targets`, spacing sends by the
-    /// configured per-injection processing cost.
+    /// configured per-injection processing cost. A sampled request gets a
+    /// `bdn.inject` span spanning first to last send.
     void inject(const DiscoveryRequest& request, const std::vector<Endpoint>& targets);
 
     void refresh_distances();
+
+    /// Span-time source; only valid when spans are wired.
+    [[nodiscard]] TimeUs span_now() const { return utc_->utc_now(); }
+    [[nodiscard]] bool tracing() const { return spans_ != nullptr && utc_ != nullptr; }
 
     Scheduler& scheduler_;
     transport::Transport& transport_;
@@ -155,8 +178,31 @@ private:
     bool started_ = false;
     Stats stats_;
 
+    // Observability (all optional; null = off).
+    obs::SpanRecorder* spans_ = nullptr;
+    const timesvc::UtcSource* utc_ = nullptr;
+    struct Instruments {
+        obs::Counter* requests = nullptr;
+        obs::Counter* duplicates = nullptr;
+        obs::Counter* acks = nullptr;
+        obs::Counter* injections = nullptr;
+        obs::Counter* shed_quota = nullptr;
+        obs::Counter* shed_overflow = nullptr;
+        obs::Counter* serviced = nullptr;
+        obs::Counter* ads = nullptr;
+        obs::Counter* pings = nullptr;
+        obs::Counter* pongs = nullptr;
+        obs::Counter* leases_expired = nullptr;
+        obs::Gauge* queue_depth = nullptr;
+        obs::Histogram* fanout = nullptr;  ///< injection targets per request
+    } inst_;
+
     // Bounded ingest (ingest_queue_limit > 0).
-    std::deque<DiscoveryRequest> ingest_queue_;
+    struct QueuedRequest {
+        DiscoveryRequest request;
+        std::uint64_t span = 0;  ///< open `bdn.request` span (0 = unsampled)
+    };
+    std::deque<QueuedRequest> ingest_queue_;
     TimerHandle drain_timer_ = kInvalidTimerHandle;
     /// Per-source-host rate limiters; bounded so spoofed source floods
     /// cannot grow BDN memory (the map resets when it overflows).

@@ -4,6 +4,7 @@
 
 #include "broker/topic.hpp"
 #include "common/log.hpp"
+#include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
 namespace narada::discovery {
@@ -75,6 +76,7 @@ void BrokerDiscoveryPlugin::advertise() {
         ad.encode(writer);
         broker_->transport().send_datagram(broker_->endpoint(), bdn, writer.take());
         ++stats_.advertisements_sent;
+        if (inst_.ads) inst_.ads->inc();
     }
 
     // Path 2: on the public topic all BDNs subscribe to (§2.3).
@@ -86,6 +88,7 @@ void BrokerDiscoveryPlugin::advertise() {
         event.payload = payload.take();
         broker_->publish(std::move(event));
         ++stats_.advertisements_sent;
+        if (inst_.ads) inst_.ads->inc();
     }
 }
 
@@ -112,6 +115,7 @@ bool BrokerDiscoveryPlugin::on_message(const Endpoint& from, std::uint8_t type,
             advertisement().encode(writer);
             broker_->transport().send_datagram(broker_->endpoint(), bdn_endpoint, writer.take());
             ++stats_.advertisements_sent;
+            if (inst_.ads) inst_.ads->inc();
             return true;
         }
         default:
@@ -131,12 +135,31 @@ void BrokerDiscoveryPlugin::on_event(const broker::Event& event) {
     }
 }
 
-void BrokerDiscoveryPlugin::process_request(const DiscoveryRequest& request, bool flooded) {
+void BrokerDiscoveryPlugin::process_request(DiscoveryRequest request, bool flooded) {
     ++stats_.requests_seen;
+    if (inst_.seen) inst_.seen->inc();
+
+    // Open the broker-side span on a sampled request; the parent is
+    // whatever hop delivered the request (BDN injection or a peer
+    // broker's flood), so the recorded tree follows the actual
+    // propagation path.
+    std::uint64_t process_span = 0;
+    if (spans_ != nullptr && request.trace.sampled()) {
+        process_span =
+            spans_->begin(request.trace.trace_id, request.trace.parent_span,
+                          "broker.process", broker_->name(), broker_->utc().utc_now());
+        if (process_span != 0) request.trace.parent_span = process_span;
+    }
+    const auto close_span = [this, process_span] {
+        if (process_span != 0) spans_->end(process_span, broker_->utc().utc_now());
+    };
+
     if (!seen_requests_.insert(request.request_id)) {
         // "so that additional CPU/network cycles are not expended on
         // previously processed requests" (§4).
         ++stats_.duplicates_suppressed;
+        if (inst_.duplicates) inst_.duplicates->inc();
+        close_span();
         return;
     }
 
@@ -156,6 +179,8 @@ void BrokerDiscoveryPlugin::process_request(const DiscoveryRequest& request, boo
 
     if (!policy_admits(request)) {
         ++stats_.policy_rejections;
+        if (inst_.rejections) inst_.rejections->inc();
+        close_span();
         return;
     }
 
@@ -165,12 +190,15 @@ void BrokerDiscoveryPlugin::process_request(const DiscoveryRequest& request, boo
     if (response_budget_.limited() &&
         !response_budget_.try_consume(broker_->local_clock().now())) {
         ++stats_.requests_shed;
+        if (inst_.shed) inst_.shed->inc();
         last_shed_ = broker_->local_clock().now();
         NARADA_DEBUG("discovery", "{}: shed discovery request {} (over budget)",
                      broker_->name(), request.request_id.str());
+        close_span();
         return;
     }
     send_response(request);
+    close_span();
 }
 
 bool BrokerDiscoveryPlugin::overloaded() const {
@@ -208,6 +236,10 @@ void BrokerDiscoveryPlugin::send_response(const DiscoveryRequest& request) {
     response.protocols = identity_.protocols;
     response.metrics = broker_->metrics();
     response.overloaded = overloaded();
+    // Echo the trace so the requester can attach its response event under
+    // this broker's span (request.trace.parent_span was rewritten to our
+    // `broker.process` span in process_request).
+    response.trace = request.trace;
 
     // "The communication protocol used for transporting this response is
     // UDP" — deliberately lossy so that distant brokers self-filter (§5.2).
@@ -216,6 +248,45 @@ void BrokerDiscoveryPlugin::send_response(const DiscoveryRequest& request) {
     response.encode(writer);
     broker_->transport().send_datagram(broker_->endpoint(), request.reply_to, writer.take());
     ++stats_.responses_sent;
+    if (inst_.responses) inst_.responses->inc();
+}
+
+void BrokerDiscoveryPlugin::set_observability(obs::MetricsRegistry* metrics,
+                                              obs::SpanRecorder* spans) {
+    spans_ = spans;
+    inst_ = {};
+    if (metrics == nullptr) return;
+    const std::string node = broker_ != nullptr ? broker_->name() : identity_.hostname;
+    inst_.seen = &metrics->counter("plugin_requests_seen", node);
+    inst_.duplicates = &metrics->counter("plugin_duplicates_suppressed", node);
+    inst_.responses = &metrics->counter("plugin_responses_sent", node);
+    inst_.rejections = &metrics->counter("plugin_policy_rejections", node);
+    inst_.shed = &metrics->counter("plugin_requests_shed", node);
+    inst_.ads = &metrics->counter("plugin_advertisements_sent", node);
+}
+
+std::string BrokerDiscoveryPlugin::debug_snapshot() const {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("component", "broker_plugin")
+        .field("broker", broker_ != nullptr ? broker_->name() : identity_.hostname)
+        .field("overloaded", overloaded());
+    if (response_budget_.limited() && broker_ != nullptr) {
+        // available() refills as a side effect; mirror through a copy so a
+        // snapshot never perturbs the budget.
+        TokenBucket probe = response_budget_;
+        w.field("response_budget_tokens", probe.available(broker_->local_clock().now()), 3);
+    }
+    w.key("stats").begin_object()
+        .field("requests_seen", stats_.requests_seen)
+        .field("duplicates_suppressed", stats_.duplicates_suppressed)
+        .field("responses_sent", stats_.responses_sent)
+        .field("policy_rejections", stats_.policy_rejections)
+        .field("advertisements_sent", stats_.advertisements_sent)
+        .field("requests_shed", stats_.requests_shed)
+        .end_object();
+    w.end_object();
+    return w.take();
 }
 
 }  // namespace narada::discovery

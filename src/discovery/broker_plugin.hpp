@@ -20,6 +20,8 @@
 #include "broker/dedup_cache.hpp"
 #include "common/token_bucket.hpp"
 #include "discovery/messages.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace narada::discovery {
 
@@ -70,11 +72,22 @@ public:
     /// clients away until the hot spot drains.
     [[nodiscard]] bool overloaded() const;
 
+    /// Wire the plugin into an observability plane (either pointer may be
+    /// null). Call after on_attach so the broker's name labels the
+    /// instruments; spans are stamped off the broker's NTP-corrected UTC
+    /// source. The metrics hot path is atomics-only.
+    void set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans);
+    /// JSON introspection dump: counters, overload state, response budget.
+    [[nodiscard]] std::string debug_snapshot() const;
+
 private:
     /// Process a fresh or duplicate request from any arrival path.
     /// `flooded` is true when the request arrived as an overlay event (so
-    /// it must not be re-published).
-    void process_request(const DiscoveryRequest& request, bool flooded);
+    /// it must not be re-published). Takes the request by value: a sampled
+    /// request's trace parent is rewritten to this broker's span before
+    /// re-publication / response, which is what links the hop-by-hop span
+    /// tree together.
+    void process_request(DiscoveryRequest request, bool flooded);
 
     /// The broker's response policy (§5): credentials and realm checks.
     [[nodiscard]] bool policy_admits(const DiscoveryRequest& request) const;
@@ -95,6 +108,17 @@ private:
     // Load shedding (discovery_rate_limit > 0).
     TokenBucket response_budget_{0.0, 0.0};
     TimeUs last_shed_ = -1;  ///< -1 until the first shed
+
+    // Observability (optional; null = off).
+    obs::SpanRecorder* spans_ = nullptr;
+    struct Instruments {
+        obs::Counter* seen = nullptr;
+        obs::Counter* duplicates = nullptr;
+        obs::Counter* responses = nullptr;
+        obs::Counter* rejections = nullptr;
+        obs::Counter* shed = nullptr;
+        obs::Counter* ads = nullptr;
+    } inst_;
 };
 
 }  // namespace narada::discovery

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
 namespace narada::discovery {
@@ -29,6 +30,57 @@ DiscoveryClient::~DiscoveryClient() {
     transport_.unbind(local_);
 }
 
+void DiscoveryClient::set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
+                                        double trace_sample_rate) {
+    spans_ = spans;
+    trace_sample_rate_ = trace_sample_rate;
+    inst_ = {};
+    if (metrics == nullptr) return;
+    inst_.discoveries = &metrics->counter("client_discoveries", hostname_);
+    inst_.successes = &metrics->counter("client_successes", hostname_);
+    inst_.failures = &metrics->counter("client_failures", hostname_);
+    inst_.responses = &metrics->counter("client_responses", hostname_);
+    inst_.retransmits = &metrics->counter("client_retransmits", hostname_);
+    inst_.breaker_skips = &metrics->counter("client_breaker_skips", hostname_);
+    inst_.forced_probes = &metrics->counter("client_forced_probes", hostname_);
+    inst_.breaker_opens = &metrics->counter("client_breaker_opens", hostname_);
+    inst_.selection_ms =
+        &metrics->histogram("client_selection_ms", hostname_, obs::latency_buckets_ms());
+    inst_.first_response_ms =
+        &metrics->histogram("client_first_response_ms", hostname_, obs::latency_buckets_ms());
+}
+
+std::string DiscoveryClient::debug_snapshot() const {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("component", "discovery_client")
+        .field("hostname", hostname_)
+        .field("phase", phase_ == Phase::kIdle      ? "idle"
+                        : phase_ == Phase::kCollecting ? "collecting"
+                                                       : "pinging")
+        .field("cached_targets", static_cast<std::uint64_t>(cached_targets_.size()));
+    w.key("stats").begin_object()
+        .field("breaker_skips", stats_.breaker_skips)
+        .field("forced_probes", stats_.forced_probes)
+        .field("adaptive_closes", stats_.adaptive_closes)
+        .end_object();
+    w.key("bdn_breakers").begin_array();
+    for (std::size_t i = 0; i < breakers_.size() && i < config_.bdns.size(); ++i) {
+        const CircuitBreaker& b = breakers_[i];
+        w.begin_object()
+            .field("bdn", config_.bdns[i].str())
+            .field("state", to_string(b.state()))
+            .field("consecutive_failures", b.consecutive_failures())
+            .field("opens", b.stats().opens)
+            .field("probes", b.stats().probes)
+            .field("rejections", b.stats().rejections)
+            .field("retry_at_us", static_cast<std::int64_t>(b.retry_at()))
+            .end_object();
+    }
+    w.end_array().end_object();
+    return w.take();
+}
+
 void DiscoveryClient::discover(Callback callback) {
     if (phase_ != Phase::kIdle) {
         throw std::logic_error("DiscoveryClient::discover: a run is already in flight");
@@ -46,6 +98,22 @@ void DiscoveryClient::discover(Callback callback) {
     report_.request_id = Uuid::random(rng_);
     current_request_id_ = report_.request_id;
     active_request_ids_.insert(report_.request_id);
+
+    // Sampling decision: one per run, at the root. A sampled run mints the
+    // trace id every downstream hop keys on; an unsampled run carries the
+    // nil id and costs each hop a single branch.
+    trace_ = obs::TraceContext{};
+    root_span_ = collect_span_ = ping_span_ = 0;
+    if (spans_ != nullptr && trace_sample_rate_ > 0.0 &&
+        (trace_sample_rate_ >= 1.0 || rng_.chance(trace_sample_rate_))) {
+        trace_.trace_id = Uuid::random(rng_);
+        const TimeUs now_utc = utc_.utc_now();
+        root_span_ = spans_->begin(trace_.trace_id, 0, "client.discover", hostname_, now_utc);
+        collect_span_ =
+            spans_->begin(trace_.trace_id, root_span_, "client.collect", hostname_, now_utc);
+        trace_.parent_span = root_span_;
+    }
+    if (inst_.discoveries) inst_.discoveries->inc();
 
     phase_ = Phase::kCollecting;
     run_start_ = local_clock_.now();
@@ -65,6 +133,7 @@ Bytes DiscoveryClient::encode_request() const {
     request.protocols = {"tcp", "udp"};
     request.credential = config_.credential;
     request.realm = realm_;
+    request.trace = trace_;
     wire::ByteWriter writer;
     writer.u8(wire::kMsgDiscoveryRequest);
     request.encode(writer);
@@ -102,6 +171,7 @@ void DiscoveryClient::send_to_bdn(const Bytes& encoded) {
                 found = true;
             } else {
                 ++stats_.breaker_skips;
+                if (inst_.breaker_skips) inst_.breaker_skips->inc();
             }
         }
         if (!found) {
@@ -113,6 +183,7 @@ void DiscoveryClient::send_to_bdn(const Bytes& encoded) {
             }
             breakers_[chosen].force_probe();
             ++stats_.forced_probes;
+            if (inst_.forced_probes) inst_.forced_probes->inc();
             NARADA_DEBUG("discovery", "{}: all BDN breakers open; forced probe of {}",
                          local_.str(), config_.bdns[chosen].str());
         }
@@ -139,6 +210,9 @@ void DiscoveryClient::record_bdn_failure() {
     if (last_bdn_ >= breakers_.size()) return;
     breakers_[last_bdn_].record_failure(local_clock_.now(), rng_);
     if (breakers_[last_bdn_].state() == CircuitBreaker::State::kOpen) {
+        // The breaker primitive stays obs-free (it lives below the obs
+        // layer); its owner mirrors state transitions into the registry.
+        if (inst_.breaker_opens) inst_.breaker_opens->inc();
         NARADA_DEBUG("discovery", "{}: breaker for BDN {} opened (retry at {})", local_.str(),
                      config_.bdns[last_bdn_].str(), breakers_[last_bdn_].retry_at());
     }
@@ -205,6 +279,19 @@ void DiscoveryClient::on_response(wire::ByteReader& reader) {
     // time contained in the discovery response" (§6).
     candidate.estimated_delay = utc_.utc_now() - response.sent_utc;
     report_.candidates.push_back(std::move(candidate));
+    if (inst_.responses) inst_.responses->inc();
+
+    // Attach the response event under the responding broker's span when
+    // the response carries our trace; fall back to the root span for
+    // responses from paths that lost the context (e.g. cached targets
+    // answering a fallback request from an older run).
+    if (spans_ != nullptr && trace_.sampled()) {
+        const std::uint64_t parent = response.trace.trace_id == trace_.trace_id
+                                         ? response.trace.parent_span
+                                         : root_span_;
+        spans_->instant(trace_.trace_id, parent, "client.response", hostname_,
+                        utc_.utc_now());
+    }
 
     if (report_.time_to_first_response < 0) {
         report_.time_to_first_response = local_clock_.now() - run_start_;
@@ -239,6 +326,7 @@ void DiscoveryClient::on_retransmit_timer() {
     record_bdn_failure();
     if (report_.retransmits >= config_.max_retransmits) return;  // window will fall back
     ++report_.retransmits;
+    if (inst_.retransmits) inst_.retransmits->inc();
     ++bdn_attempt_;  // failover to the next configured BDN (§7)
     send_request();
 }
@@ -287,6 +375,10 @@ void DiscoveryClient::end_collection() {
 
     collection_end_ = local_clock_.now();
     report_.collection_duration = collection_end_ - run_start_;
+    if (collect_span_ != 0) {
+        spans_->end(collect_span_, utc_.utc_now());
+        collect_span_ = 0;
+    }
 
     // Shortlist: sort by weight, keep the first size(T) (§9).
     report_.target_set =
@@ -326,6 +418,10 @@ void DiscoveryClient::run_fallback() {
 void DiscoveryClient::start_pings() {
     phase_ = Phase::kPinging;
     ping_start_ = local_clock_.now();
+    if (spans_ != nullptr && trace_.sampled()) {
+        ping_span_ =
+            spans_->begin(trace_.trace_id, root_span_, "client.ping", hostname_, utc_.utc_now());
+    }
     pending_pongs_.assign(report_.candidates.size(), 0);
 
     // "To compute [the precise network delay] we send ping requests to
@@ -399,6 +495,12 @@ void DiscoveryClient::finish() {
     }
 
     report_.total_duration = local_clock_.now() - run_start_;
+    if (inst_.successes && report_.success) inst_.successes->inc();
+    if (inst_.selection_ms) inst_.selection_ms->observe(to_ms(report_.total_duration));
+    if (inst_.first_response_ms && report_.time_to_first_response >= 0) {
+        inst_.first_response_ms->observe(to_ms(report_.time_to_first_response));
+    }
+    close_run_spans();
     phase_ = Phase::kIdle;
     if (callback_) {
         // Move the callback out first: it may start a new discover() run.
@@ -411,12 +513,23 @@ void DiscoveryClient::finish() {
 void DiscoveryClient::fail() {
     report_.total_duration = local_clock_.now() - run_start_;
     report_.success = false;
+    if (inst_.failures) inst_.failures->inc();
+    close_run_spans();
     phase_ = Phase::kIdle;
     if (callback_) {
         Callback cb = std::move(callback_);
         callback_ = nullptr;
         cb(report_);
     }
+}
+
+void DiscoveryClient::close_run_spans() {
+    if (spans_ == nullptr || !trace_.sampled()) return;
+    const TimeUs now_utc = utc_.utc_now();
+    if (collect_span_ != 0) spans_->end(collect_span_, now_utc);
+    if (ping_span_ != 0) spans_->end(ping_span_, now_utc);
+    if (root_span_ != 0) spans_->end(root_span_, now_utc);
+    collect_span_ = ping_span_ = 0;
 }
 
 void DiscoveryClient::cancel_timers() {

@@ -25,6 +25,8 @@
 #include "config/node_config.hpp"
 #include "discovery/messages.hpp"
 #include "discovery/scoring.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "timesvc/ntp.hpp"
 #include "transport/transport.hpp"
 
@@ -96,6 +98,20 @@ public:
         return breakers_.at(index);
     }
 
+    /// Wire the client into an observability plane (either pointer may be
+    /// null). `trace_sample_rate` is the per-run probability of tracing;
+    /// the client makes the sampling decision and mints the trace id, so
+    /// every downstream hop only checks for a nil id.
+    void set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
+                           double trace_sample_rate);
+    /// The trace context of the current (or most recent) run; nil trace id
+    /// when the run was not sampled.
+    [[nodiscard]] const obs::TraceContext& trace_context() const { return trace_; }
+    /// JSON introspection dump: run phase, counters, and per-BDN circuit
+    /// breaker states (the breaker primitive itself stays obs-free; this
+    /// is where its state surfaces).
+    [[nodiscard]] std::string debug_snapshot() const;
+
     /// "Every node keeps track of its last target set of brokers" (§7).
     /// Persisting this across restarts enables BDN-less recovery.
     [[nodiscard]] const std::vector<Endpoint>& cached_target_set() const {
@@ -138,6 +154,8 @@ private:
     void maybe_finish_pings();
     void finish();
     void fail();
+    /// End every span of the current run (collect/ping/root) at UTC now.
+    void close_run_spans();
 
     void cancel_timers();
 
@@ -185,6 +203,26 @@ private:
     TimerHandle quiesce_timer_ = kInvalidTimerHandle;
 
     std::vector<Endpoint> cached_targets_;
+
+    // Observability (optional; null = off).
+    obs::SpanRecorder* spans_ = nullptr;
+    double trace_sample_rate_ = 0.0;
+    obs::TraceContext trace_;       ///< current run's context (nil = unsampled)
+    std::uint64_t root_span_ = 0;   ///< client.discover
+    std::uint64_t collect_span_ = 0;
+    std::uint64_t ping_span_ = 0;
+    struct Instruments {
+        obs::Counter* discoveries = nullptr;
+        obs::Counter* successes = nullptr;
+        obs::Counter* failures = nullptr;
+        obs::Counter* responses = nullptr;
+        obs::Counter* retransmits = nullptr;
+        obs::Counter* breaker_skips = nullptr;
+        obs::Counter* forced_probes = nullptr;
+        obs::Counter* breaker_opens = nullptr;
+        obs::Histogram* selection_ms = nullptr;
+        obs::Histogram* first_response_ms = nullptr;
+    } inst_;
 };
 
 }  // namespace narada::discovery

@@ -1,6 +1,7 @@
 #include "discovery/managed_connection.hpp"
 
 #include "common/log.hpp"
+#include "obs/json.hpp"
 #include "wire/codec.hpp"
 #include "wire/msg_types.hpp"
 
@@ -48,6 +49,7 @@ void ManagedConnection::run_discovery() {
         // flight; discover() would throw std::logic_error from inside our
         // failover path. Defer and retry with backoff instead.
         ++stats_.busy_deferrals;
+        if (inst_.busy_deferrals) inst_.busy_deferrals->inc();
         NARADA_DEBUG("managed", "{}: discovery client busy, deferring rediscovery",
                      local_.str());
         schedule_retry();
@@ -58,6 +60,7 @@ void ManagedConnection::run_discovery() {
         discovering_ = false;
         if (!report.success) {
             ++stats_.failed_discoveries;
+            if (inst_.failed_discoveries) inst_.failed_discoveries->inc();
             NARADA_WARN("managed", "{}: discovery failed, retrying", local_.str());
             schedule_retry();
             return;
@@ -101,6 +104,7 @@ void ManagedConnection::heartbeat_tick() {
     }
     pong_pending_ = true;
     ++stats_.heartbeats_sent;
+    if (inst_.heartbeats_sent) inst_.heartbeats_sent->inc();
     wire::ByteWriter writer;
     writer.u8(wire::kMsgPing);
     writer.i64(local_clock_.now());
@@ -118,6 +122,7 @@ void ManagedConnection::declare_dead() {
     missed_ = 0;
     if (on_broker_lost_) on_broker_lost_(dead);
     ++stats_.failovers;
+    if (inst_.failovers) inst_.failovers->inc();
     run_discovery();
 }
 
@@ -127,12 +132,49 @@ void ManagedConnection::on_datagram(const Endpoint& from, const Bytes& data) {
         if (reader.u8() != wire::kMsgPong) return;
         if (!current_broker_ || from != *current_broker_) return;
         ++stats_.heartbeats_answered;
+        if (inst_.heartbeats_answered) inst_.heartbeats_answered->inc();
         pong_pending_ = false;
         missed_ = 0;
     } catch (const wire::WireError& e) {
         NARADA_DEBUG("managed", "{}: malformed pong from {}: {}", local_.str(), from.str(),
                      e.what());
     }
+}
+
+void ManagedConnection::set_observability(obs::MetricsRegistry* metrics) {
+    inst_ = {};
+    if (metrics == nullptr) return;
+    const std::string node = local_.str();
+    inst_.heartbeats_sent = &metrics->counter("conn_heartbeats_sent", node);
+    inst_.heartbeats_answered = &metrics->counter("conn_heartbeats_answered", node);
+    inst_.failovers = &metrics->counter("conn_failovers", node);
+    inst_.failed_discoveries = &metrics->counter("conn_failed_discoveries", node);
+    inst_.busy_deferrals = &metrics->counter("conn_busy_deferrals", node);
+}
+
+std::string ManagedConnection::debug_snapshot() const {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("component", "managed_connection")
+        .field("endpoint", local_.str())
+        .field("attached", attached());
+    if (current_broker_) {
+        w.field("current_broker", current_broker_->str());
+    } else {
+        w.key("current_broker").value_null();
+    }
+    w.field("missed_heartbeats", static_cast<std::uint64_t>(missed_))
+        .field("discovering", discovering_)
+        .field("backoff_us", static_cast<std::int64_t>(backoff_.current()));
+    w.key("stats").begin_object()
+        .field("heartbeats_sent", stats_.heartbeats_sent)
+        .field("heartbeats_answered", stats_.heartbeats_answered)
+        .field("failovers", stats_.failovers)
+        .field("failed_discoveries", stats_.failed_discoveries)
+        .field("busy_deferrals", stats_.busy_deferrals)
+        .end_object();
+    w.end_object();
+    return w.take();
 }
 
 }  // namespace narada::discovery

@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
 #include "discovery/client.hpp"
+#include "obs/metrics.hpp"
 
 namespace narada::discovery {
 
@@ -80,6 +81,12 @@ public:
     [[nodiscard]] DurationUs current_backoff() const { return backoff_.current(); }
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
+    /// Mirror the connection's counters into a metrics registry (null =
+    /// off). Instruments are labelled with the heartbeat endpoint.
+    void set_observability(obs::MetricsRegistry* metrics);
+    /// JSON introspection dump: attachment, backoff, lifetime counters.
+    [[nodiscard]] std::string debug_snapshot() const;
+
     // MessageHandler (heartbeat pongs).
     void on_datagram(const Endpoint& from, const Bytes& data) override;
 
@@ -111,6 +118,15 @@ private:
     std::function<void(const Endpoint&)> on_attached_;
     std::function<void(const Endpoint&)> on_broker_lost_;
     Stats stats_;
+
+    // Observability (optional; null = off).
+    struct Instruments {
+        obs::Counter* heartbeats_sent = nullptr;
+        obs::Counter* heartbeats_answered = nullptr;
+        obs::Counter* failovers = nullptr;
+        obs::Counter* failed_discoveries = nullptr;
+        obs::Counter* busy_deferrals = nullptr;
+    } inst_;
 };
 
 }  // namespace narada::discovery

@@ -64,6 +64,7 @@ void DiscoveryRequest::encode(wire::ByteWriter& writer) const {
     encode_string_list(writer, protocols);
     writer.str(credential);
     writer.str(realm);
+    trace.encode(writer);
 }
 
 DiscoveryRequest DiscoveryRequest::decode(wire::ByteReader& reader) {
@@ -74,6 +75,7 @@ DiscoveryRequest DiscoveryRequest::decode(wire::ByteReader& reader) {
     req.protocols = decode_string_list(reader);
     req.credential = reader.str();
     req.realm = reader.str();
+    req.trace = obs::TraceContext::decode(reader);
     return req;
 }
 
@@ -91,6 +93,7 @@ void DiscoveryResponse::encode(wire::ByteWriter& writer) const {
     writer.u64(metrics.total_memory);
     writer.u64(metrics.free_memory);
     writer.boolean(overloaded);
+    trace.encode(writer);
 }
 
 DiscoveryResponse DiscoveryResponse::decode(wire::ByteReader& reader) {
@@ -108,6 +111,7 @@ DiscoveryResponse DiscoveryResponse::decode(wire::ByteReader& reader) {
     resp.metrics.total_memory = reader.u64();
     resp.metrics.free_memory = reader.u64();
     resp.overloaded = reader.boolean();
+    resp.trace = obs::TraceContext::decode(reader);
     return resp;
 }
 

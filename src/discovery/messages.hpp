@@ -15,6 +15,7 @@
 #include "broker/load_model.hpp"
 #include "common/types.hpp"
 #include "common/uuid.hpp"
+#include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
 namespace narada::discovery {
@@ -49,6 +50,11 @@ struct DiscoveryRequest {
     std::vector<std::string> protocols;  ///< transports the requester speaks
     std::string credential;              ///< optional, for response policies
     std::string realm;                   ///< requester's network realm
+    /// Observability piggyback: nil trace id = not sampled. Each hop
+    /// (client -> BDN -> injection -> broker) rewrites `parent_span` to its
+    /// own active span before forwarding, so the recorded spans link into
+    /// one end-to-end tree.
+    obs::TraceContext trace;
 
     void encode(wire::ByteWriter& writer) const;
     static DiscoveryRequest decode(wire::ByteReader& reader);
@@ -76,6 +82,10 @@ struct DiscoveryResponse {
     /// requesters penalize overloaded brokers when shortlisting so new
     /// clients steer away from the hot spot while it drains.
     bool overloaded = false;
+
+    /// Echo of the request's trace id; `parent_span` is the responding
+    /// broker's span so the client's response events attach under it.
+    obs::TraceContext trace;
 
     void encode(wire::ByteWriter& writer) const;
     static DiscoveryResponse decode(wire::ByteReader& reader);

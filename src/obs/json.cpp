@@ -1,0 +1,134 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace narada::obs {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::comma() {
+    if (need_comma_) out_ += ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    comma();
+    out_ += '{';
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    out_ += '}';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    comma();
+    out_ += '[';
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    out_ += ']';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int decimals) {
+    comma();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+    } else {
+        char buf[48];
+        if (decimals >= 0) {
+            std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+        }
+        out_ += buf;
+    }
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+    comma();
+    out_ += "null";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+    comma();
+    out_ += json;
+    need_comma_ = true;
+    return *this;
+}
+
+}  // namespace narada::obs

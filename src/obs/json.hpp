@@ -1,0 +1,72 @@
+// Minimal JSON emitter shared by the observability exporters and the
+// bench harness.
+//
+// The bench harness used to hand-roll `NARADA_JSON` lines with snprintf,
+// which silently produced invalid JSON whenever a bench name or field key
+// contained a quote or backslash. Every machine-readable line the repo
+// emits (bench records, metric snapshots, trace dumps, debug snapshots)
+// now goes through this writer, so escaping is correct in exactly one
+// place. The writer is append-only and allocation-light: one std::string,
+// no DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace narada::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal. Quotes are NOT
+/// added; control characters become \uXXXX sequences.
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Call sequence is the caller's responsibility
+/// (begin_object -> field... -> end_object); the writer only tracks where
+/// commas belong. Doubles print as %.17g by default or with a fixed number
+/// of decimals when requested; non-finite doubles print as null (JSON has
+/// no NaN/Inf).
+class JsonWriter {
+public:
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+    JsonWriter& value(bool v);
+    JsonWriter& value(double v, int decimals = -1);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+    JsonWriter& value_null();
+    /// Splice pre-serialized JSON (e.g. a component's debug snapshot).
+    JsonWriter& raw(std::string_view json);
+
+    JsonWriter& field(std::string_view k, std::string_view v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, const char* v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, const std::string& v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, bool v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, double v, int decimals = -1) {
+        return key(k).value(v, decimals);
+    }
+    JsonWriter& field(std::string_view k, std::int64_t v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, std::uint64_t v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, int v) { return key(k).value(v); }
+    JsonWriter& field(std::string_view k, unsigned v) { return key(k).value(v); }
+
+    [[nodiscard]] const std::string& str() const { return out_; }
+    [[nodiscard]] std::string take() { return std::move(out_); }
+
+private:
+    void comma();
+
+    std::string out_;
+    bool need_comma_ = false;
+};
+
+}  // namespace narada::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace narada::obs {
+
+void TraceContext::encode(wire::ByteWriter& writer) const {
+    writer.uuid(trace_id);
+    writer.u64(parent_span);
+}
+
+TraceContext TraceContext::decode(wire::ByteReader& reader) {
+    TraceContext ctx;
+    ctx.trace_id = reader.uuid();
+    ctx.parent_span = reader.u64();
+    return ctx;
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity) {
+    spans_.reserve(std::min<std::size_t>(capacity_, 256));
+}
+
+std::uint64_t SpanRecorder::begin(const Uuid& trace_id, std::uint64_t parent_span,
+                                  std::string name, std::string node, TimeUs start_utc) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= capacity_) {
+        ++dropped_;
+        return 0;
+    }
+    SpanRecord span;
+    span.trace_id = trace_id;
+    span.span_id = next_id_++;
+    span.parent_span = parent_span;
+    span.name = std::move(name);
+    span.node = std::move(node);
+    span.start_utc = start_utc;
+    index_[span.span_id] = spans_.size();
+    spans_.push_back(std::move(span));
+    return spans_.back().span_id;
+}
+
+void SpanRecorder::end(std::uint64_t span_id, TimeUs end_utc) {
+    if (span_id == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(span_id);
+    if (it == index_.end()) return;
+    spans_[it->second].end_utc = end_utc;
+}
+
+std::uint64_t SpanRecorder::instant(const Uuid& trace_id, std::uint64_t parent_span,
+                                    std::string name, std::string node, TimeUs at_utc) {
+    const std::uint64_t id =
+        begin(trace_id, parent_span, std::move(name), std::move(node), at_utc);
+    end(id, at_utc);
+    return id;
+}
+
+std::vector<SpanRecord> SpanRecorder::trace(const Uuid& trace_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    for (const SpanRecord& span : spans_) {
+        if (span.trace_id == trace_id) out.push_back(span);
+    }
+    std::stable_sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+        return a.start_utc < b.start_utc;
+    });
+    return out;
+}
+
+std::vector<SpanRecord> SpanRecorder::all() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::size_t SpanRecorder::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+std::uint64_t SpanRecorder::dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void SpanRecorder::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    index_.clear();
+    dropped_ = 0;
+}
+
+std::string SpanRecorder::to_json(const Uuid& trace_id) const {
+    const auto records = trace(trace_id);
+    JsonWriter w;
+    w.begin_array();
+    for (const SpanRecord& span : records) {
+        w.begin_object()
+            .field("trace_id", span.trace_id.str())
+            .field("span_id", span.span_id)
+            .field("parent_span", span.parent_span)
+            .field("name", span.name)
+            .field("node", span.node)
+            .field("start_utc_us", static_cast<std::int64_t>(span.start_utc));
+        if (span.finished()) {
+            w.field("end_utc_us", static_cast<std::int64_t>(span.end_utc));
+        } else {
+            w.key("end_utc_us").value_null();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    return w.take();
+}
+
+}  // namespace narada::obs

@@ -1,0 +1,103 @@
+// Per-request trace spans for the discovery plane.
+//
+// A sampled discovery carries a TraceContext (trace id + parent span id)
+// on the DiscoveryRequest/DiscoveryResponse wire messages. Each component
+// that touches the request opens a span against a SpanRecorder, stamps it
+// off its NTP-corrected UTC source (raw local clocks skew by seconds in
+// the simulated WAN — see sim/site_catalog), and rewrites the context's
+// parent span before forwarding, so a single discovery can be
+// reconstructed end-to-end:
+//
+//   client.discover
+//   ├── client.collect       (request sent -> collection closed)
+//   ├── bdn.request          (receipt -> ack/queue decision)
+//   │   └── bdn.inject       (first -> last spaced injection send)
+//   │       └── broker.process    (dedup, policy, shed, flood, respond)
+//   │           └── client.response  (instant; the client records each
+//   │                                 accepted response under the echoed
+//   │                                 responding-broker span)
+//   └── client.ping          (ping measurement -> selection)
+//
+// A nil trace id means "unsampled": components skip recording entirely, so
+// the only cost on the unsampled path is a branch.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::obs {
+
+/// Piggybacked on discovery wire messages (16-byte trace id + 8-byte
+/// parent span id appended to DiscoveryRequest and DiscoveryResponse).
+struct TraceContext {
+    Uuid trace_id;                  ///< nil = this request is not sampled
+    std::uint64_t parent_span = 0;  ///< span id of the sender's active span
+
+    [[nodiscard]] bool sampled() const { return !trace_id.is_nil(); }
+
+    void encode(wire::ByteWriter& writer) const;
+    static TraceContext decode(wire::ByteReader& reader);
+
+    friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+struct SpanRecord {
+    Uuid trace_id;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span = 0;  ///< 0 = root
+    std::string name;               ///< e.g. "bdn.inject"
+    std::string node;               ///< emitting node's hostname/role
+    TimeUs start_utc = 0;
+    TimeUs end_utc = kOpenEnd;      ///< kOpenEnd until end() is called
+
+    /// Sentinel for a span that was started but never ended.
+    static constexpr TimeUs kOpenEnd = std::numeric_limits<TimeUs>::min();
+
+    [[nodiscard]] bool finished() const { return end_utc != kOpenEnd; }
+};
+
+/// Bounded in-memory span store. One recorder typically serves a whole
+/// scenario (every simulated node), so span ids are unique across nodes
+/// and a trace can be reassembled with a single query. Guarded by a mutex:
+/// span recording only happens on sampled requests, never on the unsampled
+/// hot path (the metrics registry covers always-on accounting).
+class SpanRecorder {
+public:
+    explicit SpanRecorder(std::size_t capacity = 4096);
+
+    /// Open a span; returns its id (0 if the recorder is full — end() on 0
+    /// is a no-op, so callers never need to check).
+    std::uint64_t begin(const Uuid& trace_id, std::uint64_t parent_span, std::string name,
+                        std::string node, TimeUs start_utc);
+    void end(std::uint64_t span_id, TimeUs end_utc);
+    /// A zero-duration span (events like "response accepted").
+    std::uint64_t instant(const Uuid& trace_id, std::uint64_t parent_span, std::string name,
+                          std::string node, TimeUs at_utc);
+
+    [[nodiscard]] std::vector<SpanRecord> trace(const Uuid& trace_id) const;
+    [[nodiscard]] std::vector<SpanRecord> all() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::uint64_t dropped() const;
+    void clear();
+
+    /// JSON array of span objects for one trace, ordered by start time.
+    [[nodiscard]] std::string to_json(const Uuid& trace_id) const;
+
+private:
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t dropped_ = 0;
+    std::vector<SpanRecord> spans_;
+    std::unordered_map<std::uint64_t, std::size_t> index_;  ///< span id -> position
+};
+
+}  // namespace narada::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace narada::scenario {
 namespace {
 
@@ -38,6 +40,12 @@ HostId Scenario::client_host() const { return deployment_->host(2); }
 void Scenario::build() {
     network_ = std::make_unique<sim::SimNetwork>(kernel_, options_.seed);
     network_->set_per_hop_loss(options_.per_hop_loss);
+
+    if (options_.obs.enabled) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        spans_ = std::make_unique<obs::SpanRecorder>(options_.obs.span_capacity);
+        bdn_utc_ = std::make_unique<timesvc::FixedUtcSource>(network_->true_clock());
+    }
 
     // Deployment order: time server, BDN, client, then one host per broker.
     std::vector<sim::Site> placements = {sim::Site::kBloomington, options_.bdn_site,
@@ -142,6 +150,18 @@ void Scenario::build() {
         network_->host_clock(client_host_id), *client_ntp_, discovery_cfg,
         "client." + client_info.machine, client_info.realm);
 
+    if (options_.obs.enabled) {
+        bdn_->set_observability(metrics_.get(), spans_.get(), bdn_utc_.get());
+        client_->set_observability(metrics_.get(), spans_.get(),
+                                   options_.obs.trace_sample_rate);
+        for (std::size_t i = 0; i < brokers_.size(); ++i) {
+            brokers_[i]->set_observability(metrics_.get());
+            // Plugins are attached (add_plugin above), so instruments carry
+            // the broker name.
+            plugins_[i]->set_observability(metrics_.get(), spans_.get());
+        }
+    }
+
     // Brokers advertise on start; the BDN starts pinging registrants.
     bdn_->start();
     for (auto& b : brokers_) b->start();
@@ -209,6 +229,40 @@ discovery::DiscoveryReport Scenario::run_discovery() {
 
 void Scenario::set_broker_load(std::size_t i, std::shared_ptr<const broker::LoadModel> model) {
     brokers_.at(i)->set_load_model(std::move(model));
+}
+
+std::string Scenario::debug_snapshot() const {
+    if (metrics_ == nullptr) {
+        throw std::logic_error("scenario: debug_snapshot() requires options.obs.enabled");
+    }
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("bdn").raw(bdn_->debug_snapshot());
+    w.key("client").raw(client_->debug_snapshot());
+    w.key("brokers").begin_array();
+    for (const auto& b : brokers_) w.raw(b->debug_snapshot());
+    w.end_array();
+    w.key("plugins").begin_array();
+    for (const auto& p : plugins_) w.raw(p->debug_snapshot());
+    w.end_array();
+    if (!rejoin_.empty()) {
+        w.key("rejoin").begin_array();
+        for (const auto& s : rejoin_) {
+            w.begin_object()
+                .field("below_floor", s->below_floor())
+                .field("healing", s->healing())
+                .field("backoff_us", static_cast<std::int64_t>(s->current_backoff()))
+                .field("floor_violations", s->stats().floor_violations)
+                .field("attempts", s->stats().attempts)
+                .field("successes", s->stats().successes)
+                .field("failures", s->stats().failures)
+                .end_object();
+        }
+        w.end_array();
+    }
+    w.key("metrics").raw(metrics_->to_json());
+    w.end_object();
+    return w.take();
 }
 
 PhaseBreakdown phase_breakdown(const discovery::DiscoveryReport& report) {

@@ -19,6 +19,8 @@
 #include "discovery/broker_plugin.hpp"
 #include "discovery/client.hpp"
 #include "discovery/rejoin.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/kernel.hpp"
 #include "sim/network.hpp"
 #include "sim/site_catalog.hpp"
@@ -76,6 +78,10 @@ struct ScenarioOptions {
     /// Virtual time to run before discovery so NTP converges, brokers
     /// advertise and the BDN measures distances.
     DurationUs warmup = 8 * kSecond;
+
+    /// Observability plane (off by default; obs.enabled = true wires a
+    /// MetricsRegistry and SpanRecorder through every component).
+    config::ObsConfig obs;
 };
 
 class Scenario {
@@ -117,6 +123,15 @@ public:
     /// Replace a broker's load model (load-balancing experiments).
     void set_broker_load(std::size_t i, std::shared_ptr<const broker::LoadModel> model);
 
+    // --- observability (valid only with options.obs.enabled) ----------------
+    [[nodiscard]] bool observed() const { return metrics_ != nullptr; }
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+    [[nodiscard]] obs::SpanRecorder& spans() { return *spans_; }
+    /// Aggregate JSON introspection dump over every wired component:
+    /// {"bdn":{...},"client":{...},"brokers":[{...}],"plugins":[{...}],
+    ///  "metrics":{...}}. Throws std::logic_error when obs is disabled.
+    [[nodiscard]] std::string debug_snapshot() const;
+
 private:
     void build();
     void wire_topology();
@@ -125,6 +140,14 @@ private:
     sim::Kernel kernel_;
     std::unique_ptr<sim::SimNetwork> network_;
     std::unique_ptr<sim::WanDeployment> deployment_;
+
+    // Observability plane (options_.obs.enabled). Declared before the
+    // components so instrument handles outlive their holders. The BDN has
+    // no NTP service of its own, so its spans are stamped from a true-UTC
+    // source over the network's reference clock.
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    std::unique_ptr<obs::SpanRecorder> spans_;
+    std::unique_ptr<timesvc::FixedUtcSource> bdn_utc_;
 
     // Node order inside the deployment: [0]=time server, [1]=bdn,
     // [2]=client, [3..]=brokers.

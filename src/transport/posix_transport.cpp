@@ -177,6 +177,8 @@ void PosixTransport::send_datagram(const Endpoint& from, const Endpoint& to, Byt
     const sockaddr_in addr = loopback_addr(to.port);
     (void)::sendto(fd, data.data(), data.size(), 0, reinterpret_cast<const sockaddr*>(&addr),
                    sizeof(addr));  // best-effort, like UDP
+    if (inst_.frames_out) inst_.frames_out->inc();
+    if (inst_.bytes_out) inst_.bytes_out->inc(data.size());
 }
 
 int PosixTransport::outgoing_fd(const Endpoint& from, const Endpoint& to) {
@@ -239,6 +241,8 @@ void PosixTransport::send_reliable(const Endpoint& from, const Endpoint& to, Byt
         return;
     }
     send_frame(fd, data);
+    if (inst_.frames_out) inst_.frames_out->inc();
+    if (inst_.bytes_out) inst_.bytes_out->inc(data.size());
 }
 
 void PosixTransport::join_multicast(MulticastGroup group, const Endpoint& local) {
@@ -306,6 +310,8 @@ void PosixTransport::handle_udp_readable(int udp_fd, MessageHandler* handler) {
             const auto it = port_to_endpoint_.find(from.port);
             if (it != port_to_endpoint_.end()) from = it->second;
         }
+        if (inst_.frames_in) inst_.frames_in->inc();
+        if (inst_.bytes_in) inst_.bytes_in->inc(static_cast<std::uint64_t>(n));
         handler->on_datagram(from, Bytes(buffer, buffer + n));
     }
 }
@@ -393,6 +399,8 @@ void PosixTransport::handle_tcp_readable(int fd) {
             const auto bit = bindings_.find(conn.local);
             if (bit != bindings_.end()) handler = bit->second.handler;
         }
+        if (inst_.frames_in) inst_.frames_in->inc();
+        if (inst_.bytes_in) inst_.bytes_in->inc(payload.size());
         if (handler != nullptr) handler->on_reliable(from, payload);
     }
 }
@@ -502,6 +510,15 @@ std::uint16_t PosixTransport::find_free_port(std::uint16_t start) {
         if (ok) return port;
     }
     throw std::runtime_error("no free loopback port found");
+}
+
+void PosixTransport::set_observability(obs::MetricsRegistry* metrics, const std::string& node) {
+    inst_ = {};
+    if (metrics == nullptr) return;
+    inst_.bytes_in = &metrics->counter("transport_bytes_in", node);
+    inst_.bytes_out = &metrics->counter("transport_bytes_out", node);
+    inst_.frames_in = &metrics->counter("transport_frames_in", node);
+    inst_.frames_out = &metrics->counter("transport_frames_out", node);
 }
 
 }  // namespace narada::transport

@@ -33,6 +33,7 @@
 
 #include "common/scheduler.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "transport/transport.hpp"
 
 namespace narada::transport {
@@ -66,6 +67,13 @@ public:
 
     /// Find a free port by probing bind() upward from `start` (test helper).
     static std::uint16_t find_free_port(std::uint16_t start);
+
+    /// Mirror traffic totals (bytes/frames in and out) into a metrics
+    /// registry. MUST be called before the first bind(): the instrument
+    /// pointers are read by the event-loop thread without synchronization,
+    /// so they may only be written while no sockets exist. Updates
+    /// themselves are relaxed atomics and safe from every thread.
+    void set_observability(obs::MetricsRegistry* metrics, const std::string& node = "posix");
 
 private:
     struct Binding {
@@ -115,6 +123,15 @@ private:
     int wake_pipe_[2] = {-1, -1};
     std::atomic<bool> running_{true};
     std::thread loop_thread_;
+
+    // Observability (optional; written once before any bind, see
+    // set_observability).
+    struct Instruments {
+        obs::Counter* bytes_in = nullptr;
+        obs::Counter* bytes_out = nullptr;
+        obs::Counter* frames_in = nullptr;
+        obs::Counter* frames_out = nullptr;
+    } inst_;
 };
 
 }  // namespace narada::transport

@@ -2,6 +2,8 @@
 // token bucket and the closed/open/half-open circuit breaker.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/circuit_breaker.hpp"
 #include "common/token_bucket.hpp"
 
@@ -55,6 +57,38 @@ TEST(TokenBucket, ClockBackwardsHoldsTokens) {
     EXPECT_FALSE(bucket.try_consume(5 * kSecond));
     EXPECT_FALSE(bucket.try_consume(10 * kSecond));
     EXPECT_TRUE(bucket.try_consume(11 * kSecond));
+}
+
+TEST(TokenBucket, ExtremeTimestampGapSaturatesWithoutOverflow) {
+    // Regression: refill() used to compute `now - last_refill_` in signed
+    // arithmetic; with timestamps at opposite extremes of the TimeUs range
+    // (a clock-skew chaos step) the subtraction overflowed (UB). The gap
+    // must instead saturate the bucket at its burst capacity.
+    TokenBucket bucket(1.0, 3.0);
+    const TimeUs ancient = std::numeric_limits<TimeUs>::min() + 1;
+    EXPECT_TRUE(bucket.try_consume(ancient));  // primes at `ancient`
+    EXPECT_TRUE(bucket.try_consume(ancient));
+    EXPECT_TRUE(bucket.try_consume(ancient));
+    EXPECT_FALSE(bucket.try_consume(ancient));  // drained
+
+    const TimeUs far_future = std::numeric_limits<TimeUs>::max();
+    EXPECT_TRUE(bucket.try_consume(far_future));
+    EXPECT_TRUE(bucket.try_consume(far_future));
+    EXPECT_TRUE(bucket.try_consume(far_future));  // refilled to burst, no more
+    EXPECT_FALSE(bucket.try_consume(far_future));
+}
+
+TEST(TokenBucket, HugeRateDoesNotProduceInfiniteTokens) {
+    TokenBucket bucket(1e300, 2.0);
+    EXPECT_TRUE(bucket.try_consume(0));
+    EXPECT_TRUE(bucket.try_consume(0));
+    EXPECT_FALSE(bucket.try_consume(0));
+    // rate * elapsed would overflow to +inf; the refill must clamp to
+    // burst and keep admitting exactly `burst` units.
+    EXPECT_TRUE(bucket.try_consume(1000 * kSecond));
+    EXPECT_TRUE(bucket.try_consume(1000 * kSecond));
+    EXPECT_FALSE(bucket.try_consume(1000 * kSecond));
+    EXPECT_DOUBLE_EQ(bucket.available(1000 * kSecond), 0.0);
 }
 
 TEST(TokenBucket, AvailableReportsAfterRefill) {

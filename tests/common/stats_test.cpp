@@ -106,5 +106,50 @@ TEST(SampleSet, EmptySafe) {
     EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
 }
 
+// --- percentile edge cases --------------------------------------------------
+
+TEST(SampleSet, PercentileEmptyIsZeroAtEveryP) {
+    SampleSet s;
+    EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.9), 0.0);
+}
+
+TEST(SampleSet, PercentileSingleSampleIsThatSample) {
+    SampleSet s;
+    s.add(7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
+TEST(SampleSet, PercentileEndpointsAreMinAndMax) {
+    SampleSet s;
+    for (double x : {3.0, 1.0, 4.0, 1.5, 9.0, 2.6}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0), s.min());
+    EXPECT_DOUBLE_EQ(s.percentile(100), s.max());
+}
+
+TEST(SampleSet, PercentileIgnoresInsertionOrder) {
+    // Identical multisets in different orders must agree at every p —
+    // percentile() sorts internally and must not trust insertion order.
+    SampleSet ascending, shuffled;
+    for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) ascending.add(x);
+    for (double x : {40.0, 10.0, 50.0, 30.0, 20.0}) shuffled.add(x);
+    for (double p : {0.0, 12.5, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(ascending.percentile(p), shuffled.percentile(p)) << "p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(shuffled.percentile(25), 20.0);
+    EXPECT_DOUBLE_EQ(shuffled.percentile(50), 30.0);
+}
+
+TEST(SampleSet, PercentileInterpolatesBetweenRanks) {
+    SampleSet s;
+    s.add(0.0);
+    s.add(100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 25.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+}
+
 }  // namespace
 }  // namespace narada

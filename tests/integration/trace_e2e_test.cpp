@@ -1,0 +1,161 @@
+// End-to-end observability: one traced discovery run must reconstruct the
+// full causal chain (client -> BDN -> injection -> broker -> response) from
+// the span recorder, and the metric counters must match the component
+// stats they mirror.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "scenario/scenario.hpp"
+#include "sim/site_catalog.hpp"
+
+namespace narada {
+namespace {
+
+using scenario::Scenario;
+using scenario::ScenarioOptions;
+using scenario::Topology;
+
+ScenarioOptions traced_options(std::uint64_t seed = 1) {
+    ScenarioOptions opts;
+    opts.topology = Topology::kStar;
+    opts.seed = seed;
+    opts.per_hop_loss = 0;  // every response arrives: exact span counts
+    // Spans are stamped from NTP-corrected UTC on each host; zero the
+    // residual band so cross-host timestamp comparisons are exact.
+    opts.ntp_residual_min = 0;
+    opts.ntp_residual_max = 0;
+    opts.obs.enabled = true;
+    opts.obs.trace_sample_rate = 1.0;
+    return opts;
+}
+
+TEST(TraceE2E, DiscoveryRunReconstructsCausalChain) {
+    Scenario s(traced_options());
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    ASSERT_TRUE(s.observed());
+
+    const obs::TraceContext& ctx = s.client().trace_context();
+    ASSERT_TRUE(ctx.sampled());
+    const auto spans = s.spans().trace(ctx.trace_id);
+    ASSERT_FALSE(spans.empty());
+    EXPECT_EQ(s.spans().dropped(), 0u);
+
+    std::map<std::string, std::size_t> by_name;
+    for (const auto& span : spans) ++by_name[span.name];
+
+    // Every stage of the pipeline shows up.
+    EXPECT_EQ(by_name["client.discover"], 1u);
+    EXPECT_EQ(by_name["client.collect"], 1u);
+    EXPECT_EQ(by_name["client.ping"], 1u);
+    EXPECT_EQ(by_name["bdn.request"], 1u);
+    EXPECT_GE(by_name["bdn.inject"], 1u);
+    // The request floods the star: every broker processes it at least once.
+    EXPECT_GE(by_name["broker.process"], s.broker_count());
+    // One response-accepted instant per collected candidate.
+    EXPECT_EQ(by_name["client.response"], report.candidates.size());
+
+    // Structural checks: exactly one root, every parent id resolves within
+    // the trace, and children never start before their parents (clock
+    // residuals are zeroed above, so no tolerance is needed).
+    std::unordered_map<std::uint64_t, const obs::SpanRecord*> by_id;
+    for (const auto& span : spans) by_id[span.span_id] = &span;
+    std::size_t roots = 0;
+    for (const auto& span : spans) {
+        EXPECT_TRUE(span.finished()) << span.name << " was never ended";
+        EXPECT_LE(span.start_utc, span.end_utc) << span.name;
+        if (span.parent_span == 0) {
+            ++roots;
+            EXPECT_EQ(span.name, "client.discover");
+            continue;
+        }
+        const auto parent = by_id.find(span.parent_span);
+        ASSERT_NE(parent, by_id.end()) << span.name << " has a dangling parent id";
+        EXPECT_GE(span.start_utc, parent->second->start_utc)
+            << span.name << " starts before its parent " << parent->second->name;
+    }
+    EXPECT_EQ(roots, 1u);
+
+    // Expected parentage along the pipeline.
+    for (const auto& span : spans) {
+        if (span.name == "bdn.request") {
+            EXPECT_EQ(by_id.at(span.parent_span)->name, "client.discover");
+        } else if (span.name == "bdn.inject") {
+            EXPECT_EQ(by_id.at(span.parent_span)->name, "bdn.request");
+        } else if (span.name == "broker.process") {
+            const std::string& parent_name = by_id.at(span.parent_span)->name;
+            EXPECT_TRUE(parent_name == "bdn.inject" || parent_name == "broker.process")
+                << "broker.process hangs off " << parent_name;
+        } else if (span.name == "client.response") {
+            const std::string& parent_name = by_id.at(span.parent_span)->name;
+            EXPECT_TRUE(parent_name == "broker.process" || parent_name == "client.discover")
+                << "client.response hangs off " << parent_name;
+        }
+    }
+}
+
+TEST(TraceE2E, CountersMatchComponentGroundTruth) {
+    Scenario s(traced_options(/*seed=*/5));
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    auto& m = s.metrics();
+
+    const std::string client_node =
+        "client." + sim::site_info(s.options().client_site).machine;
+    EXPECT_EQ(m.counter_value("client_discoveries", client_node), 1u);
+    EXPECT_EQ(m.counter_value("client_successes", client_node), 1u);
+    EXPECT_EQ(m.counter_value("client_responses", client_node), report.candidates.size());
+
+    const std::string bdn_node = s.bdn().name();
+    EXPECT_EQ(m.counter_value("bdn_requests_received", bdn_node),
+              s.bdn().stats().requests_received);
+    EXPECT_GE(m.counter_value("bdn_requests_received", bdn_node), 1u);
+    EXPECT_EQ(m.counter_value("bdn_injections", bdn_node), s.bdn().stats().injections);
+
+    std::uint64_t seen = 0, dups = 0, responses = 0;
+    std::uint64_t seen_truth = 0, dups_truth = 0, responses_truth = 0;
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        const std::string& node = s.broker_at(i).name();
+        seen += m.counter_value("plugin_requests_seen", node);
+        dups += m.counter_value("plugin_duplicates_suppressed", node);
+        responses += m.counter_value("plugin_responses_sent", node);
+        const auto& stats = s.plugin_at(i).stats();
+        seen_truth += stats.requests_seen;
+        dups_truth += stats.duplicates_suppressed;
+        responses_truth += stats.responses_sent;
+    }
+    EXPECT_EQ(seen, seen_truth);
+    EXPECT_EQ(dups, dups_truth);
+    EXPECT_EQ(responses, responses_truth);
+    EXPECT_GE(responses, report.candidates.size());
+
+    // The aggregate introspection dump covers every wired component.
+    const std::string snapshot = s.debug_snapshot();
+    EXPECT_NE(snapshot.find("\"bdn\""), std::string::npos);
+    EXPECT_NE(snapshot.find("\"client\""), std::string::npos);
+    EXPECT_NE(snapshot.find("\"brokers\""), std::string::npos);
+    EXPECT_NE(snapshot.find("\"plugins\""), std::string::npos);
+    EXPECT_NE(snapshot.find("\"metrics\""), std::string::npos);
+    EXPECT_EQ(snapshot.find('\n'), std::string::npos);
+}
+
+TEST(TraceE2E, UnsampledRunRecordsNothing) {
+    ScenarioOptions opts = traced_options(/*seed=*/9);
+    opts.obs.trace_sample_rate = 0.0;  // metrics on, tracing off
+    Scenario s(opts);
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_FALSE(s.client().trace_context().sampled());
+    EXPECT_EQ(s.spans().size(), 0u);
+    // Counters still accumulate: the metrics plane is sampling-independent.
+    const std::string client_node =
+        "client." + sim::site_info(s.options().client_site).machine;
+    EXPECT_EQ(s.metrics().counter_value("client_responses", client_node),
+              report.candidates.size());
+}
+
+}  // namespace
+}  // namespace narada

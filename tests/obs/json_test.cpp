@@ -1,0 +1,93 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace narada::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+    EXPECT_EQ(json_escape("client.gf1.ucs.indiana.edu"), "client.gf1.ucs.indiana.edu");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+    EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+    EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+    EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonWriter, EmptyObject) {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, ObjectWithMixedFields) {
+    JsonWriter w;
+    w.begin_object()
+        .field("name", "bdn")
+        .field("count", std::uint64_t{3})
+        .field("up", true)
+        .field("rate", 0.25, 2)
+        .end_object();
+    EXPECT_EQ(w.str(), "{\"name\":\"bdn\",\"count\":3,\"up\":true,\"rate\":0.25}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+    JsonWriter w;
+    w.begin_object().key("xs").begin_array().value(1).value(2).begin_object().field(
+        "y", 3).end_object().end_array().end_object();
+    EXPECT_EQ(w.str(), "{\"xs\":[1,2,{\"y\":3}]}");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+    JsonWriter w;
+    w.begin_object().field("we\"ird", "va\\lue").end_object();
+    EXPECT_EQ(w.str(), "{\"we\\\"ird\":\"va\\\\lue\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+    JsonWriter w;
+    w.begin_array()
+        .value(std::nan(""))
+        .value(std::numeric_limits<double>::infinity())
+        .value(1.5)
+        .end_array();
+    EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, FixedDecimalsMatchSnprintf) {
+    JsonWriter w;
+    w.begin_array().value(3.14159, 4).end_array();
+    EXPECT_EQ(w.str(), "[3.1416]");
+}
+
+TEST(JsonWriter, NegativeAndNullValues) {
+    JsonWriter w;
+    w.begin_object().field("d", std::int64_t{-7}).key("n").value_null().end_object();
+    EXPECT_EQ(w.str(), "{\"d\":-7,\"n\":null}");
+}
+
+TEST(JsonWriter, RawSplicesPreserialized) {
+    JsonWriter inner;
+    inner.begin_object().field("a", 1).end_object();
+    JsonWriter w;
+    w.begin_object().key("in").raw(inner.str()).field("b", 2).end_object();
+    EXPECT_EQ(w.str(), "{\"in\":{\"a\":1},\"b\":2}");
+}
+
+TEST(JsonWriter, RawInsideArrayGetsCommas) {
+    JsonWriter w;
+    w.begin_array().raw("{}").raw("{}").end_array();
+    EXPECT_EQ(w.str(), "[{},{}]");
+}
+
+}  // namespace
+}  // namespace narada::obs

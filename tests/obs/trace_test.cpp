@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace narada::obs {
+namespace {
+
+TEST(TraceContext, DefaultIsUnsampled) {
+    const TraceContext ctx;
+    EXPECT_FALSE(ctx.sampled());
+}
+
+TEST(TraceContext, WireRoundTrip) {
+    Rng rng(1);
+    TraceContext ctx;
+    ctx.trace_id = Uuid::random(rng);
+    ctx.parent_span = 0xDEADBEEFCAFE;
+    wire::ByteWriter writer;
+    ctx.encode(writer);
+    wire::ByteReader reader(writer.bytes());
+    const TraceContext decoded = TraceContext::decode(reader);
+    EXPECT_EQ(decoded, ctx);
+    EXPECT_TRUE(decoded.sampled());
+}
+
+TEST(SpanRecorder, BeginEndProducesFinishedSpan) {
+    Rng rng(2);
+    SpanRecorder recorder;
+    const Uuid trace = Uuid::random(rng);
+    const std::uint64_t id = recorder.begin(trace, 0, "client.discover", "client", 100);
+    ASSERT_NE(id, 0u);
+    recorder.end(id, 250);
+    const auto spans = recorder.trace(trace);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "client.discover");
+    EXPECT_EQ(spans[0].node, "client");
+    EXPECT_EQ(spans[0].start_utc, 100);
+    EXPECT_EQ(spans[0].end_utc, 250);
+    EXPECT_TRUE(spans[0].finished());
+}
+
+TEST(SpanRecorder, UnendedSpanStaysOpen) {
+    Rng rng(3);
+    SpanRecorder recorder;
+    const Uuid trace = Uuid::random(rng);
+    recorder.begin(trace, 0, "x", "n", 10);
+    const auto spans = recorder.trace(trace);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_FALSE(spans[0].finished());
+}
+
+TEST(SpanRecorder, EndOnZeroOrUnknownIsNoop) {
+    SpanRecorder recorder;
+    recorder.end(0, 50);
+    recorder.end(999, 50);
+    EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(SpanRecorder, TraceFiltersAndSortsByStart) {
+    Rng rng(4);
+    SpanRecorder recorder;
+    const Uuid trace_a = Uuid::random(rng);
+    const Uuid trace_b = Uuid::random(rng);
+    recorder.begin(trace_a, 0, "late", "n", 300);
+    recorder.begin(trace_b, 0, "other", "n", 50);
+    recorder.begin(trace_a, 0, "early", "n", 100);
+    const auto spans = recorder.trace(trace_a);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "early");
+    EXPECT_EQ(spans[1].name, "late");
+}
+
+TEST(SpanRecorder, ParentChildIdsLink) {
+    Rng rng(5);
+    SpanRecorder recorder;
+    const Uuid trace = Uuid::random(rng);
+    const std::uint64_t root = recorder.begin(trace, 0, "root", "n", 1);
+    const std::uint64_t child = recorder.begin(trace, root, "child", "n", 2);
+    recorder.instant(trace, child, "event", "n", 3);
+    const auto spans = recorder.trace(trace);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].parent_span, 0u);
+    EXPECT_EQ(spans[1].parent_span, root);
+    EXPECT_EQ(spans[2].parent_span, child);
+    EXPECT_TRUE(spans[2].finished());  // instants are closed at creation
+    EXPECT_EQ(spans[2].start_utc, spans[2].end_utc);
+}
+
+TEST(SpanRecorder, CapacityDropsReturnZero) {
+    Rng rng(6);
+    SpanRecorder recorder(2);
+    const Uuid trace = Uuid::random(rng);
+    EXPECT_NE(recorder.begin(trace, 0, "a", "n", 1), 0u);
+    EXPECT_NE(recorder.begin(trace, 0, "b", "n", 2), 0u);
+    EXPECT_EQ(recorder.begin(trace, 0, "c", "n", 3), 0u);
+    EXPECT_EQ(recorder.size(), 2u);
+    EXPECT_EQ(recorder.dropped(), 1u);
+    recorder.end(0, 9);  // the dropped span's "id": must not corrupt anything
+    recorder.clear();
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_NE(recorder.begin(trace, 0, "d", "n", 4), 0u);
+}
+
+TEST(SpanRecorder, ToJsonEmitsArray) {
+    Rng rng(7);
+    SpanRecorder recorder;
+    const Uuid trace = Uuid::random(rng);
+    const std::uint64_t id = recorder.begin(trace, 0, "bdn.request", "bdn0", 10);
+    recorder.end(id, 20);
+    recorder.begin(trace, id, "open", "bdn0", 15);
+    const std::string json = recorder.to_json(trace);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"name\":\"bdn.request\""), std::string::npos);
+    // Unfinished spans carry a null end timestamp.
+    EXPECT_NE(json.find("\"end_utc_us\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace narada::obs
