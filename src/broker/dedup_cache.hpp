@@ -4,13 +4,20 @@
 // through the broker configuration file) broker discovery requests so that
 // additional CPU/network cycles are not expended on previously processed
 // requests" (paper §4). The same structure suppresses duplicate events
-// during overlay flooding. FIFO eviction over an unordered set: O(1)
-// insert/lookup, strictly "the last N".
+// during overlay flooding.
+//
+// Implementation: a single open-addressed hash table (linear probing,
+// backward-shift deletion) whose slots double as the FIFO ring. One
+// up-front allocation at construction, zero allocations afterwards, and
+// roughly half the memory of the former unordered_set + deque pair (which
+// paid a heap node and two deque copies of every UUID). Load factor is
+// kept at <= 0.5 so probes stay O(1) expected.
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <unordered_set>
+#include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "common/uuid.hpp"
 
@@ -18,35 +25,92 @@ namespace narada::broker {
 
 class DedupCache {
 public:
-    explicit DedupCache(std::size_t capacity = 1000) : capacity_(capacity) {}
+    explicit DedupCache(std::size_t capacity = 1000) : capacity_(capacity) {
+        if (capacity_ == 0) return;  // caching disabled: no storage at all
+        std::size_t slots = 8;
+        while (slots < capacity_ * 2) slots *= 2;
+        slots_.resize(slots);
+        ring_.resize(capacity_);
+    }
 
     /// Record `id`. Returns true if it was new (caller should process),
     /// false if it was already present (duplicate — skip).
     bool insert(const Uuid& id) {
         if (capacity_ == 0) return true;  // caching disabled: everything "new"
-        if (seen_.contains(id)) return false;
-        seen_.insert(id);
-        order_.push_back(id);
-        while (order_.size() > capacity_) {
-            seen_.erase(order_.front());
-            order_.pop_front();
-        }
+        if (find_slot(id) != kNotFound) return false;
+        if (size_ == capacity_) evict_oldest();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = std::hash<Uuid>{}(id)&mask;
+        while (slots_[i].occupied) i = (i + 1) & mask;
+        const std::uint32_t tail = static_cast<std::uint32_t>((head_ + size_) % capacity_);
+        slots_[i] = Slot{id, tail, true};
+        ring_[tail] = static_cast<std::uint32_t>(i);
+        ++size_;
         return true;
     }
 
-    [[nodiscard]] bool contains(const Uuid& id) const { return seen_.contains(id); }
-    [[nodiscard]] std::size_t size() const { return order_.size(); }
+    [[nodiscard]] bool contains(const Uuid& id) const { return find_slot(id) != kNotFound; }
+    [[nodiscard]] std::size_t size() const { return size_; }
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
     void clear() {
-        seen_.clear();
-        order_.clear();
+        for (Slot& s : slots_) s.occupied = false;
+        head_ = 0;
+        size_ = 0;
     }
 
 private:
+    struct Slot {
+        Uuid id;
+        std::uint32_t ring_pos = 0;  ///< index into ring_ (FIFO age)
+        bool occupied = false;       ///< nil UUID is a legal key, so a flag, not a sentinel
+    };
+
+    static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] std::size_t find_slot(const Uuid& id) const {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = std::hash<Uuid>{}(id)&mask;
+        while (slots_[i].occupied) {
+            if (slots_[i].id == id) return i;
+            i = (i + 1) & mask;
+        }
+        return kNotFound;
+    }
+
+    void evict_oldest() {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t hole = ring_[head_];
+        slots_[hole].occupied = false;
+        // Backward-shift deletion: slide displaced entries into the hole so
+        // probe chains never need tombstones. Each move updates the ring's
+        // back-pointer to the entry's new slot.
+        std::size_t j = hole;
+        while (true) {
+            j = (j + 1) & mask;
+            if (!slots_[j].occupied) break;
+            const std::size_t home = std::hash<Uuid>{}(slots_[j].id) & mask;
+            // Move j into the hole only if its home position does not lie
+            // cyclically inside (hole, j] — otherwise j is already as close
+            // to home as it can get.
+            const bool displaced = (j > hole) ? (home <= hole || home > j)
+                                              : (home <= hole && home > j);
+            if (displaced) {
+                slots_[hole] = slots_[j];
+                ring_[slots_[hole].ring_pos] = static_cast<std::uint32_t>(hole);
+                slots_[j].occupied = false;
+                hole = j;
+            }
+        }
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+    }
+
     std::size_t capacity_;
-    std::unordered_set<Uuid> seen_;
-    std::deque<Uuid> order_;
+    std::vector<Slot> slots_;        ///< open-addressed table, power-of-two size
+    std::vector<std::uint32_t> ring_;  ///< FIFO position -> slot index
+    std::size_t head_ = 0;           ///< ring index of the oldest entry
+    std::size_t size_ = 0;
 };
 
 }  // namespace narada::broker

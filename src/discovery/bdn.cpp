@@ -51,7 +51,8 @@ void Bdn::attach_to_broker(const Endpoint& broker, const Endpoint& client_endpoi
 }
 
 void Bdn::announce_to(const Endpoint& broker) {
-    wire::ByteWriter writer;
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + 4 + 2);
     writer.u8(wire::kMsgBdnAdvertisement);
     writer.u32(local_.host);
     writer.u16(local_.port);
@@ -145,10 +146,10 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
         const std::uint8_t type = reader.u8();
         switch (type) {
             case wire::kMsgBrokerAdvertisement:
-                handle_advertisement(BrokerAdvertisement::decode(reader));
+                handle_advertisement(BrokerAdvertisementView::peek(reader));
                 return;
             case wire::kMsgDiscoveryRequest:
-                handle_request(from, DiscoveryRequest::decode(reader));
+                handle_request(from, DiscoveryRequestView::peek(reader));
                 return;
             case wire::kMsgPong:
                 handle_pong(from, reader);
@@ -161,17 +162,37 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
     }
 }
 
+bool Bdn::realm_accepted(std::string_view realm) const {
+    // "this BDN may choose to store the advertisement or ignore it if the
+    // BDN is interested in specific advertisements" (§2.3).
+    return config_.accepted_realms.empty() ||
+           std::find(config_.accepted_realms.begin(), config_.accepted_realms.end(), realm) !=
+               config_.accepted_realms.end();
+}
+
 void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
     ++stats_.ads_received;
     if (inst_.ads) inst_.ads->inc();
-    // "this BDN may choose to store the advertisement or ignore it if the
-    // BDN is interested in specific advertisements" (§2.3).
-    if (!config_.accepted_realms.empty() &&
-        std::find(config_.accepted_realms.begin(), config_.accepted_realms.end(), ad.realm) ==
-            config_.accepted_realms.end()) {
+    if (!realm_accepted(ad.realm)) {
         ++stats_.ads_filtered;
         return;
     }
+    register_advertisement(ad);
+}
+
+void Bdn::handle_advertisement(const BrokerAdvertisementView& view) {
+    ++stats_.ads_received;
+    if (inst_.ads) inst_.ads->inc();
+    // Realm filter on the borrowed view: a filtered advertisement is
+    // rejected without materializing its strings.
+    if (!realm_accepted(view.realm)) {
+        ++stats_.ads_filtered;
+        return;
+    }
+    register_advertisement(view.materialize());
+}
+
+void Bdn::register_advertisement(const BrokerAdvertisement& ad) {
     const bool known = registry_.contains(ad.broker_id);
     RegisteredBroker& rb = registry_[ad.broker_id];
     const DurationUs previous_rtt = known ? rb.rtt : -1;
@@ -190,21 +211,53 @@ void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
     if (!known && started_) {
         ++stats_.pings_sent;
         if (inst_.pings) inst_.pings->inc();
-        wire::ByteWriter writer;
+        wire::ByteWriter writer(transport_.acquire_buffer());
+        writer.reserve(1 + 8);
         writer.u8(wire::kMsgPing);
         writer.i64(local_clock_.now());
         transport_.send_datagram(local_, ad.endpoint, writer.take());
     }
 }
 
-void Bdn::handle_request(const Endpoint& from, DiscoveryRequest request) {
+void Bdn::handle_request(const Endpoint& from, const DiscoveryRequestView& view) {
     ++stats_.requests_received;
     if (inst_.requests) inst_.requests->inc();
 
+    // Sampled requests take the owned slow path: the span rewrite mutates
+    // the trace parent, which forces a re-encode anyway.
+    if (tracing() && view.trace.sampled()) {
+        handle_request(from, view.materialize());
+        return;
+    }
+
+    // Credential policy on the borrowed view — a rejected, shed or
+    // duplicate request never touches the heap.
+    if (!config_.required_credential.empty() &&
+        view.credential != config_.required_credential) {
+        ++stats_.credential_rejections;
+        return;
+    }
+
+    if (config_.ingest_queue_limit > 0) {
+        admit_request(from, view);
+        return;
+    }
+
+    // Legacy inline path: unbounded, serviced as fast as they arrive.
+    send_ack(view.request_id, view.reply_to);
+    if (!seen_requests_.insert(view.request_id)) {
+        ++stats_.duplicate_requests;
+        if (inst_.duplicates) inst_.duplicates->inc();
+        return;
+    }
+    inject_raw(view.raw, injection_targets());
+}
+
+void Bdn::handle_request(const Endpoint& from, DiscoveryRequest request) {
     // A sampled request opens the BDN's span immediately — receipt is the
     // moment the client's span hands over — and the trace parent is
     // rewritten so everything downstream (queue wait, injection) nests
-    // under it.
+    // under it. (Receipt was already counted by the view entry point.)
     std::uint64_t request_span = 0;
     if (tracing() && request.trace.sampled()) {
         request_span = spans_->begin(request.trace.trace_id, request.trace.parent_span,
@@ -228,7 +281,7 @@ void Bdn::handle_request(const Endpoint& from, DiscoveryRequest request) {
     }
 
     // Legacy inline path: unbounded, serviced as fast as they arrive.
-    send_ack(request);
+    send_ack(request.request_id, request.reply_to);
 
     // "Multiple requests forwarded to the same BDN would be idempotent"
     // (§3): only the first copy is disseminated.
@@ -242,6 +295,53 @@ void Bdn::handle_request(const Endpoint& from, DiscoveryRequest request) {
     if (request_span != 0) spans_->end(request_span, span_now());
 }
 
+void Bdn::admit_request(const Endpoint& from, const DiscoveryRequestView& view) {
+    // View twin of the owned admission path below: every shed decision
+    // (duplicate, over-quota, overflow) runs on borrowed data; only an
+    // actually-admitted request is materialized into the queue.
+    if (seen_requests_.contains(view.request_id)) {
+        ++stats_.duplicate_requests;
+        if (inst_.duplicates) inst_.duplicates->inc();
+        send_ack(view.request_id, view.reply_to);
+        return;
+    }
+
+    if (config_.per_source_rate > 0.0) {
+        if (source_buckets_.size() >= kMaxTrackedSources &&
+            !source_buckets_.contains(from.host)) {
+            source_buckets_.clear();
+        }
+        auto [it, inserted] = source_buckets_.try_emplace(
+            from.host, config_.per_source_rate, config_.per_source_burst);
+        if (!it->second.try_consume(local_clock_.now())) {
+            ++stats_.requests_shed_quota;
+            if (inst_.shed_quota) inst_.shed_quota->inc();
+            NARADA_DEBUG("bdn", "{}: shed request {} from host {} (over quota)", name_,
+                         view.request_id.str(), from.host);
+            return;
+        }
+    }
+
+    if (ingest_queue_.size() >= config_.ingest_queue_limit) {
+        ++stats_.requests_shed_overflow;
+        if (inst_.shed_overflow) inst_.shed_overflow->inc();
+        NARADA_DEBUG("bdn", "{}: shed request {} from host {} (queue full at {})", name_,
+                     view.request_id.str(), from.host, ingest_queue_.size());
+        return;
+    }
+
+    send_ack(view.request_id, view.reply_to);
+    seen_requests_.insert(view.request_id);
+    ingest_queue_.push_back({view.materialize(), 0});
+    stats_.queue_depth_peak = std::max<std::uint64_t>(stats_.queue_depth_peak,
+                                                      ingest_queue_.size());
+    if (inst_.queue_depth) inst_.queue_depth->set(static_cast<double>(ingest_queue_.size()));
+    if (drain_timer_ == kInvalidTimerHandle) {
+        drain_timer_ =
+            scheduler_.schedule(config_.request_service_cost, [this] { drain_queue(); });
+    }
+}
+
 void Bdn::admit_request(const Endpoint& from, DiscoveryRequest request,
                         std::uint64_t request_span) {
     // Shed order per policy: duplicates first (they cost nothing and are
@@ -252,7 +352,7 @@ void Bdn::admit_request(const Endpoint& from, DiscoveryRequest request,
     if (seen_requests_.contains(request.request_id)) {
         ++stats_.duplicate_requests;
         if (inst_.duplicates) inst_.duplicates->inc();
-        send_ack(request);
+        send_ack(request.request_id, request.reply_to);
         if (request_span != 0) spans_->end(request_span, span_now());
         return;
     }
@@ -286,7 +386,7 @@ void Bdn::admit_request(const Endpoint& from, DiscoveryRequest request,
         return;
     }
 
-    send_ack(request);
+    send_ack(request.request_id, request.reply_to);
     seen_requests_.insert(request.request_id);
     ingest_queue_.push_back({std::move(request), request_span});
     stats_.queue_depth_peak = std::max<std::uint64_t>(stats_.queue_depth_peak,
@@ -317,14 +417,15 @@ void Bdn::drain_queue() {
     }
 }
 
-void Bdn::send_ack(const DiscoveryRequest& request) {
+void Bdn::send_ack(const Uuid& request_id, const Endpoint& reply_to) {
     // "A BDN is expected to acknowledge the receipt of a discovery request
     // in a timely manner" (§3). Acks are re-sent even for duplicates so a
     // requester whose ack was lost learns the BDN is alive.
-    wire::ByteWriter ack;
+    wire::ByteWriter ack(transport_.acquire_buffer());
+    ack.reserve(1 + 16);
     ack.u8(wire::kMsgDiscoveryAck);
-    ack.uuid(request.request_id);
-    transport_.send_datagram(local_, request.reply_to, ack.take());
+    ack.uuid(request_id);
+    transport_.send_datagram(local_, reply_to, ack.take());
     ++stats_.acks_sent;
     if (inst_.acks) inst_.acks->inc();
 }
@@ -401,10 +502,13 @@ void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& t
         }
     }
 
-    wire::ByteWriter writer;
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + outgoing->measured_size());
     writer.u8(wire::kMsgDiscoveryRequest);
     outgoing->encode(writer);
-    const Bytes encoded = writer.take();
+    // One shared encode for the whole fan-out; each spaced send copies it
+    // into a fresh (pooled) payload at send time.
+    const auto encoded = std::make_shared<const Bytes>(writer.take());
     // Injections are issued sequentially: each send costs the BDN its
     // per-injection processing time, so fanning out to N brokers takes
     // O(N * spacing) — the effect Figure 2 measures.
@@ -413,7 +517,7 @@ void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& t
         ++stats_.injections;
         if (inst_.injections) inst_.injections->inc();
         scheduler_.schedule(at, [this, target, encoded] {
-            transport_.send_reliable(local_, target, encoded);
+            transport_.send_reliable(local_, target, *encoded);
         });
         at += config_.injection_spacing;
     }
@@ -421,6 +525,28 @@ void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& t
         const DurationUs last_send = at > 0 ? at - config_.injection_spacing : 0;
         scheduler_.schedule(last_send,
                             [this, inject_span] { spans_->end(inject_span, span_now()); });
+    }
+}
+
+void Bdn::inject_raw(std::span<const std::uint8_t> raw, const std::vector<Endpoint>& targets) {
+    if (inst_.fanout) inst_.fanout->observe(static_cast<double>(targets.size()));
+    // Unsampled fast path: nothing in the request was rewritten, so the
+    // borrowed message region is re-framed verbatim (type octet + bytes)
+    // into one pooled buffer shared by every spaced send — the decode ->
+    // mutate -> re-encode round trip disappears.
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + raw.size());
+    writer.u8(wire::kMsgDiscoveryRequest);
+    writer.raw(raw.data(), raw.size());
+    const auto encoded = std::make_shared<const Bytes>(writer.take());
+    DurationUs at = 0;
+    for (const Endpoint& target : targets) {
+        ++stats_.injections;
+        if (inst_.injections) inst_.injections->inc();
+        scheduler_.schedule(at, [this, target, encoded] {
+            transport_.send_reliable(local_, target, *encoded);
+        });
+        at += config_.injection_spacing;
     }
 }
 
@@ -455,7 +581,8 @@ void Bdn::refresh_distances() {
     for (const auto& [id, rb] : registry_) {
         ++stats_.pings_sent;
         if (inst_.pings) inst_.pings->inc();
-        wire::ByteWriter writer;
+        wire::ByteWriter writer(transport_.acquire_buffer());
+        writer.reserve(1 + 8);
         writer.u8(wire::kMsgPing);
         writer.i64(local_clock_.now());
         transport_.send_datagram(local_, rb.ad.endpoint, writer.take());

@@ -23,7 +23,9 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "broker/client.hpp"
@@ -130,10 +132,21 @@ public:
     void on_datagram(const Endpoint& from, const Bytes& data) override;
 
 private:
+    /// Counted entry points; both delegate registration to
+    /// register_advertisement after the realm filter.
     void handle_advertisement(const BrokerAdvertisement& ad);
-    /// Takes the request by value: when the request is sampled the BDN
-    /// opens a `bdn.request` span and rewrites the trace parent before the
-    /// request travels further (queue or injection).
+    void handle_advertisement(const BrokerAdvertisementView& view);
+    [[nodiscard]] bool realm_accepted(std::string_view realm) const;
+    void register_advertisement(const BrokerAdvertisement& ad);
+
+    /// Hot entry: dedup, credential policy and shed decisions run on the
+    /// borrowed view; the request is only materialized when it is actually
+    /// admitted, and an unsampled request is re-injected verbatim from the
+    /// view's raw bytes (no re-encode).
+    void handle_request(const Endpoint& from, const DiscoveryRequestView& view);
+    /// Owned slow path for sampled requests: opens a `bdn.request` span and
+    /// rewrites the trace parent before the request travels further (queue
+    /// or injection), which forces the re-encode anyway.
     void handle_request(const Endpoint& from, DiscoveryRequest request);
     void handle_pong(const Endpoint& from, wire::ByteReader& reader);
 
@@ -144,9 +157,13 @@ private:
     /// already-open `bdn.request` span (0 = unsampled).
     void admit_request(const Endpoint& from, DiscoveryRequest request,
                        std::uint64_t request_span);
+    /// View twin of admit_request for unsampled requests: every shed
+    /// decision happens on borrowed data; only an admitted request pays for
+    /// materialization.
+    void admit_request(const Endpoint& from, const DiscoveryRequestView& view);
     /// Service one queued request and re-arm the drain timer.
     void drain_queue();
-    void send_ack(const DiscoveryRequest& request);
+    void send_ack(const Uuid& request_id, const Endpoint& reply_to);
 
     /// Injection points for the configured strategy, best-effort ordered.
     [[nodiscard]] std::vector<Endpoint> injection_targets();
@@ -155,6 +172,10 @@ private:
     /// configured per-injection processing cost. A sampled request gets a
     /// `bdn.inject` span spanning first to last send.
     void inject(const DiscoveryRequest& request, const std::vector<Endpoint>& targets);
+    /// Verbatim injection of an unsampled request: the borrowed message
+    /// region is framed once into a pooled buffer shared by every spaced
+    /// send — no decode-encode round trip.
+    void inject_raw(std::span<const std::uint8_t> raw, const std::vector<Endpoint>& targets);
 
     void refresh_distances();
 

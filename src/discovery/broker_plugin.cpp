@@ -71,7 +71,8 @@ void BrokerDiscoveryPlugin::advertise() {
     // Path 1: directly to the BDNs in the broker's configuration (§2.3).
     // Advertisements travel as datagrams — their loss is tolerated (§7).
     for (const Endpoint& bdn : broker_->config().advertise_bdns) {
-        wire::ByteWriter writer;
+        wire::ByteWriter writer(broker_->transport().acquire_buffer());
+        writer.reserve(1 + ad.measured_size());
         writer.u8(wire::kMsgBrokerAdvertisement);
         ad.encode(writer);
         broker_->transport().send_datagram(broker_->endpoint(), bdn, writer.take());
@@ -82,6 +83,7 @@ void BrokerDiscoveryPlugin::advertise() {
     // Path 2: on the public topic all BDNs subscribe to (§2.3).
     if (broker_->config().advertise_on_topic) {
         wire::ByteWriter payload;
+        payload.reserve(ad.measured_size());
         ad.encode(payload);
         broker::Event event;
         event.topic = std::string(broker::kBrokerAdvertisementTopic);
@@ -101,8 +103,7 @@ bool BrokerDiscoveryPlugin::on_message(const Endpoint& from, std::uint8_t type,
         case wire::kMsgDiscoveryRequest: {
             // Arrival paths: BDN injection (reliable), direct request from
             // a node that cached us in its target set (§7), or multicast.
-            const DiscoveryRequest request = DiscoveryRequest::decode(reader);
-            process_request(request, /*flooded=*/false);
+            process_request(DiscoveryRequestView::peek(reader), /*flooded=*/false);
             return true;
         }
         case wire::kMsgBdnAdvertisement: {
@@ -110,9 +111,11 @@ bool BrokerDiscoveryPlugin::on_message(const Endpoint& from, std::uint8_t type,
             // option to re-advertise their information at this newly added
             // BDN" (§2.4).
             const Endpoint bdn_endpoint{reader.u32(), reader.u16()};
-            wire::ByteWriter writer;
+            const BrokerAdvertisement ad = advertisement();
+            wire::ByteWriter writer(broker_->transport().acquire_buffer());
+            writer.reserve(1 + ad.measured_size());
             writer.u8(wire::kMsgBrokerAdvertisement);
-            advertisement().encode(writer);
+            ad.encode(writer);
             broker_->transport().send_datagram(broker_->endpoint(), bdn_endpoint, writer.take());
             ++stats_.advertisements_sent;
             if (inst_.ads) inst_.ads->inc();
@@ -128,16 +131,66 @@ void BrokerDiscoveryPlugin::on_event(const broker::Event& event) {
     if (event.topic != broker::kDiscoveryRequestTopic) return;
     try {
         wire::ByteReader reader(event.payload);
-        const DiscoveryRequest request = DiscoveryRequest::decode(reader);
-        process_request(request, /*flooded=*/true);
+        process_request(DiscoveryRequestView::peek(reader), /*flooded=*/true);
     } catch (const wire::WireError& e) {
         NARADA_DEBUG("discovery", "{}: bad flooded request: {}", broker_->name(), e.what());
     }
 }
 
-void BrokerDiscoveryPlugin::process_request(DiscoveryRequest request, bool flooded) {
+void BrokerDiscoveryPlugin::process_request(const DiscoveryRequestView& view, bool flooded) {
     ++stats_.requests_seen;
     if (inst_.seen) inst_.seen->inc();
+
+    // A sampled request needs its trace parent rewritten to this broker's
+    // span, which invalidates the borrowed bytes — hand it to the owned
+    // slow path.
+    if (spans_ != nullptr && view.trace.sampled()) {
+        process_request(view.materialize(), flooded);
+        return;
+    }
+
+    if (!seen_requests_.insert(view.request_id)) {
+        ++stats_.duplicates_suppressed;
+        if (inst_.duplicates) inst_.duplicates->inc();
+        return;
+    }
+
+    if (!flooded) {
+        // Re-publish on the reserved topic so the request floods the broker
+        // network. The borrowed message region is the exact encoding we
+        // would produce, so the flood payload is copied verbatim — no
+        // decode-encode round trip on the hot path.
+        broker::Event event;
+        event.id = view.request_id;
+        event.topic = std::string(broker::kDiscoveryRequestTopic);
+        event.payload.assign(view.raw.begin(), view.raw.end());
+        event.ttl = broker_->config().propagation_ttl;
+        broker_->publish(std::move(event));
+    }
+
+    if (!policy_admits(view.credential, view.realm)) {
+        ++stats_.policy_rejections;
+        if (inst_.rejections) inst_.rejections->inc();
+        return;
+    }
+
+    // Load shedding: a broker under a request storm answers only what its
+    // discovery budget allows. The request has already flooded (above), so
+    // shedding here silences this broker without silencing the network.
+    if (response_budget_.limited() &&
+        !response_budget_.try_consume(broker_->local_clock().now())) {
+        ++stats_.requests_shed;
+        if (inst_.shed) inst_.shed->inc();
+        last_shed_ = broker_->local_clock().now();
+        NARADA_DEBUG("discovery", "{}: shed discovery request {} (over budget)",
+                     broker_->name(), view.request_id.str());
+        return;
+    }
+    send_response(view.request_id, view.reply_to, view.trace);
+}
+
+void BrokerDiscoveryPlugin::process_request(DiscoveryRequest request, bool flooded) {
+    // Receipt was already counted by the view entry point.
 
     // Open the broker-side span on a sampled request; the parent is
     // whatever hop delivered the request (BDN injection or a peer
@@ -166,8 +219,10 @@ void BrokerDiscoveryPlugin::process_request(DiscoveryRequest request, bool flood
     if (!flooded) {
         // Re-publish on the reserved topic so the request floods the
         // broker network. The event id *is* the request UUID, so the
-        // overlay's duplicate suppression and ours agree.
+        // overlay's duplicate suppression and ours agree. The trace parent
+        // was just rewritten, so this path must re-encode.
         wire::ByteWriter payload;
+        payload.reserve(request.measured_size());
         request.encode(payload);
         broker::Event event;
         event.id = request.request_id;
@@ -177,7 +232,7 @@ void BrokerDiscoveryPlugin::process_request(DiscoveryRequest request, bool flood
         broker_->publish(std::move(event));
     }
 
-    if (!policy_admits(request)) {
+    if (!policy_admits(request.credential, request.realm)) {
         ++stats_.policy_rejections;
         if (inst_.rejections) inst_.rejections->inc();
         close_span();
@@ -197,7 +252,7 @@ void BrokerDiscoveryPlugin::process_request(DiscoveryRequest request, bool flood
         close_span();
         return;
     }
-    send_response(request);
+    send_response(request.request_id, request.reply_to, request.trace);
     close_span();
 }
 
@@ -206,28 +261,30 @@ bool BrokerDiscoveryPlugin::overloaded() const {
     return broker_->local_clock().now() - last_shed_ <= broker_->config().overload_hold;
 }
 
-bool BrokerDiscoveryPlugin::policy_admits(const DiscoveryRequest& request) const {
+bool BrokerDiscoveryPlugin::policy_admits(std::string_view credential,
+                                          std::string_view realm) const {
     const config::BrokerConfig& cfg = broker_->config();
     // "not every broker within the broker network needs to respond" (§5).
     if (!cfg.respond_to_discovery) return false;
     // "A broker's response policy may predicate responses based on the
     // presentation of appropriate credentials" (§5).
-    if (!cfg.required_credential.empty() && request.credential != cfg.required_credential) {
+    if (!cfg.required_credential.empty() && credential != cfg.required_credential) {
         return false;
     }
     // "responses be issued only if the request originated from within a
     // set of pre-defined network realms" (§5).
     if (!cfg.allowed_realms.empty() &&
-        std::find(cfg.allowed_realms.begin(), cfg.allowed_realms.end(), request.realm) ==
+        std::find(cfg.allowed_realms.begin(), cfg.allowed_realms.end(), realm) ==
             cfg.allowed_realms.end()) {
         return false;
     }
     return true;
 }
 
-void BrokerDiscoveryPlugin::send_response(const DiscoveryRequest& request) {
+void BrokerDiscoveryPlugin::send_response(const Uuid& request_id, const Endpoint& reply_to,
+                                          const obs::TraceContext& trace) {
     DiscoveryResponse response;
-    response.request_id = request.request_id;
+    response.request_id = request_id;
     response.sent_utc = broker_->utc().utc_now();
     response.broker_id = identity_.broker_id;
     response.broker_name = broker_->name();
@@ -237,16 +294,17 @@ void BrokerDiscoveryPlugin::send_response(const DiscoveryRequest& request) {
     response.metrics = broker_->metrics();
     response.overloaded = overloaded();
     // Echo the trace so the requester can attach its response event under
-    // this broker's span (request.trace.parent_span was rewritten to our
-    // `broker.process` span in process_request).
-    response.trace = request.trace;
+    // this broker's span (trace.parent_span was rewritten to our
+    // `broker.process` span on the sampled path).
+    response.trace = trace;
 
     // "The communication protocol used for transporting this response is
     // UDP" — deliberately lossy so that distant brokers self-filter (§5.2).
-    wire::ByteWriter writer;
+    wire::ByteWriter writer(broker_->transport().acquire_buffer());
+    writer.reserve(1 + response.measured_size());
     writer.u8(wire::kMsgDiscoveryResponse);
     response.encode(writer);
-    broker_->transport().send_datagram(broker_->endpoint(), request.reply_to, writer.take());
+    broker_->transport().send_datagram(broker_->endpoint(), reply_to, writer.take());
     ++stats_.responses_sent;
     if (inst_.responses) inst_.responses->inc();
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "broker/broker.hpp"
@@ -81,21 +82,25 @@ public:
     [[nodiscard]] std::string debug_snapshot() const;
 
 private:
-    /// Process a fresh or duplicate request from any arrival path.
-    /// `flooded` is true when the request arrived as an overlay event (so
-    /// it must not be re-published). Takes the request by value: a sampled
-    /// request's trace parent is rewritten to this broker's span before
-    /// re-publication / response, which is what links the hop-by-hop span
-    /// tree together.
+    /// Hot entry for every arrival path (`flooded` = arrived as an overlay
+    /// event, so it must not be re-published). Dedup, policy and shed
+    /// decisions run on the borrowed view; a fresh unsampled request is
+    /// re-published verbatim from the view's raw bytes (no re-encode).
+    void process_request(const DiscoveryRequestView& view, bool flooded);
+    /// Owned slow path for sampled requests: the trace parent is rewritten
+    /// to this broker's span before re-publication / response, which is
+    /// what links the hop-by-hop span tree together (and forces the
+    /// re-encode the fast path avoids).
     void process_request(DiscoveryRequest request, bool flooded);
 
     /// The broker's response policy (§5): credentials and realm checks.
-    [[nodiscard]] bool policy_admits(const DiscoveryRequest& request) const;
+    [[nodiscard]] bool policy_admits(std::string_view credential, std::string_view realm) const;
 
     /// Arm the next periodic re-advertisement.
     void schedule_readvertise(DurationUs interval);
 
-    void send_response(const DiscoveryRequest& request);
+    void send_response(const Uuid& request_id, const Endpoint& reply_to,
+                       const obs::TraceContext& trace);
 
     BrokerIdentity identity_;
     bool join_multicast_;

@@ -134,7 +134,8 @@ Bytes DiscoveryClient::encode_request() const {
     request.credential = config_.credential;
     request.realm = realm_;
     request.trace = trace_;
-    wire::ByteWriter writer;
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + request.measured_size());
     writer.u8(wire::kMsgDiscoveryRequest);
     request.encode(writer);
     return writer.take();
@@ -263,14 +264,17 @@ void DiscoveryClient::on_ack(const Endpoint& from, wire::ByteReader& reader) {
 
 void DiscoveryClient::on_response(wire::ByteReader& reader) {
     if (phase_ != Phase::kCollecting) return;  // late responses are ignored
-    const DiscoveryResponse response = DiscoveryResponse::decode(reader);
-    if (!active_request_ids_.contains(response.request_id)) return;
+    // Filter on the borrowed view first: stale-run responses and duplicate
+    // brokers are dropped before any field of the message is copied.
+    const DiscoveryResponseView view = DiscoveryResponseView::peek(reader);
+    if (!active_request_ids_.contains(view.request_id)) return;
 
     // One candidate per broker: a broker reached over several paths can
     // answer a fresh fallback UUID again.
     for (const Candidate& c : report_.candidates) {
-        if (c.response.broker_id == response.broker_id) return;
+        if (c.response.broker_id == view.broker_id) return;
     }
+    const DiscoveryResponse response = view.materialize();
 
     Candidate candidate;
     candidate.response = response;
@@ -430,7 +434,8 @@ void DiscoveryClient::start_pings() {
     for (std::size_t index : report_.target_set) {
         pending_pongs_[index] = config_.pings_per_broker;
         for (std::uint32_t i = 0; i < config_.pings_per_broker; ++i) {
-            wire::ByteWriter writer;
+            wire::ByteWriter writer(transport_.acquire_buffer());
+            writer.reserve(1 + 8);
             writer.u8(wire::kMsgPing);
             writer.i64(local_clock_.now());
             transport_.send_datagram(local_, report_.candidates[index].response.endpoint,

@@ -4,6 +4,7 @@ namespace narada::discovery {
 namespace {
 
 constexpr std::uint32_t kMaxListLength = 64;
+constexpr std::size_t kEndpointWireSize = 4 + 2;  // host u32 + port u16
 
 void encode_string_list(wire::ByteWriter& writer, const std::vector<std::string>& list) {
     writer.u32(static_cast<std::uint32_t>(list.size()));
@@ -17,6 +18,20 @@ std::vector<std::string> decode_string_list(wire::ByteReader& reader) {
     out.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) out.push_back(reader.str());
     return out;
+}
+
+/// Validate and step over a string list without materializing it (the
+/// borrowed-view decoders capture it inside their raw span instead).
+void skip_string_list(wire::ByteReader& reader) {
+    const std::uint32_t count = reader.u32();
+    if (count > kMaxListLength) throw wire::WireError("string list too long");
+    for (std::uint32_t i = 0; i < count; ++i) (void)reader.str_view();
+}
+
+std::size_t string_list_size(const std::vector<std::string>& list) {
+    std::size_t n = 4;
+    for (const std::string& item : list) n += 4 + item.size();
+    return n;
 }
 
 void encode_endpoint(wire::ByteWriter& writer, const Endpoint& ep) {
@@ -57,6 +72,32 @@ BrokerAdvertisement BrokerAdvertisement::decode(wire::ByteReader& reader) {
     return ad;
 }
 
+std::size_t BrokerAdvertisement::measured_size() const {
+    return 16 + (4 + broker_name.size()) + (4 + hostname.size()) + kEndpointWireSize +
+           string_list_size(protocols) + (4 + realm.size()) + (4 + geo_location.size()) +
+           (4 + institution.size());
+}
+
+BrokerAdvertisementView BrokerAdvertisementView::peek(wire::ByteReader& reader) {
+    const std::size_t start = reader.position();
+    BrokerAdvertisementView v;
+    v.broker_id = reader.uuid();
+    v.broker_name = reader.str_view();
+    v.hostname = reader.str_view();
+    v.endpoint = decode_endpoint(reader);
+    skip_string_list(reader);
+    v.realm = reader.str_view();
+    v.geo_location = reader.str_view();
+    v.institution = reader.str_view();
+    v.raw = reader.span_from(start);
+    return v;
+}
+
+BrokerAdvertisement BrokerAdvertisementView::materialize() const {
+    wire::ByteReader reader(raw);
+    return BrokerAdvertisement::decode(reader);
+}
+
 void DiscoveryRequest::encode(wire::ByteWriter& writer) const {
     writer.uuid(request_id);
     writer.str(requester_hostname);
@@ -77,6 +118,31 @@ DiscoveryRequest DiscoveryRequest::decode(wire::ByteReader& reader) {
     req.realm = reader.str();
     req.trace = obs::TraceContext::decode(reader);
     return req;
+}
+
+std::size_t DiscoveryRequest::measured_size() const {
+    return 16 + (4 + requester_hostname.size()) + kEndpointWireSize +
+           string_list_size(protocols) + (4 + credential.size()) + (4 + realm.size()) +
+           obs::TraceContext::kWireSize;
+}
+
+DiscoveryRequestView DiscoveryRequestView::peek(wire::ByteReader& reader) {
+    const std::size_t start = reader.position();
+    DiscoveryRequestView v;
+    v.request_id = reader.uuid();
+    v.requester_hostname = reader.str_view();
+    v.reply_to = decode_endpoint(reader);
+    skip_string_list(reader);
+    v.credential = reader.str_view();
+    v.realm = reader.str_view();
+    v.trace = obs::TraceContext::decode(reader);
+    v.raw = reader.span_from(start);
+    return v;
+}
+
+DiscoveryRequest DiscoveryRequestView::materialize() const {
+    wire::ByteReader reader(raw);
+    return DiscoveryRequest::decode(reader);
 }
 
 void DiscoveryResponse::encode(wire::ByteWriter& writer) const {
@@ -113,6 +179,38 @@ DiscoveryResponse DiscoveryResponse::decode(wire::ByteReader& reader) {
     resp.overloaded = reader.boolean();
     resp.trace = obs::TraceContext::decode(reader);
     return resp;
+}
+
+std::size_t DiscoveryResponse::measured_size() const {
+    return 16 + 8 + 16 + (4 + broker_name.size()) + (4 + hostname.size()) +
+           kEndpointWireSize + string_list_size(protocols) + 4 + 4 + 8 + 8 + 8 + 1 +
+           obs::TraceContext::kWireSize;
+}
+
+DiscoveryResponseView DiscoveryResponseView::peek(wire::ByteReader& reader) {
+    const std::size_t start = reader.position();
+    DiscoveryResponseView v;
+    v.request_id = reader.uuid();
+    v.sent_utc = reader.i64();
+    v.broker_id = reader.uuid();
+    v.broker_name = reader.str_view();
+    v.hostname = reader.str_view();
+    v.endpoint = decode_endpoint(reader);
+    skip_string_list(reader);
+    v.metrics.connections = reader.u32();
+    v.metrics.broker_links = reader.u32();
+    v.metrics.cpu_load = reader.f64();
+    v.metrics.total_memory = reader.u64();
+    v.metrics.free_memory = reader.u64();
+    v.overloaded = reader.boolean();
+    v.trace = obs::TraceContext::decode(reader);
+    v.raw = reader.span_from(start);
+    return v;
+}
+
+DiscoveryResponse DiscoveryResponseView::materialize() const {
+    wire::ByteReader reader(raw);
+    return DiscoveryResponse::decode(reader);
 }
 
 }  // namespace narada::discovery

@@ -7,9 +7,22 @@
 //     process information and usage metrics.
 // Each struct carries its own encode/decode against the wire codec; the
 // message-type octet is written by the sender (see wire/msg_types.hpp).
+//
+// Hot-path support: each message also has
+//   * measured_size() — the exact encoded byte count, so senders can
+//     reserve once (measure-then-encode, at most one allocation);
+//   * a borrowed View (peek()) — string fields become string_views into
+//     the receive buffer and the whole message region is captured as a raw
+//     span, so BDNs and brokers that only inspect-and-reforward a message
+//     (dedup, credential/realm policy, verbatim re-injection) touch the
+//     heap zero times. A View is valid only while the receive buffer
+//     lives; materialize() produces the owned struct when a component
+//     must retain or mutate the message (see DESIGN.md borrowing rules).
 #pragma once
 
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "broker/load_model.hpp"
@@ -36,8 +49,27 @@ struct BrokerAdvertisement {
 
     void encode(wire::ByteWriter& writer) const;
     static BrokerAdvertisement decode(wire::ByteReader& reader);
+    [[nodiscard]] std::size_t measured_size() const;
 
     friend bool operator==(const BrokerAdvertisement&, const BrokerAdvertisement&) = default;
+};
+
+/// Borrowed decode of a BrokerAdvertisement: string fields alias the
+/// receive buffer. Lets a BDN apply its realm filter (§2.3) before paying
+/// for an owned copy it may throw away.
+struct BrokerAdvertisementView {
+    Uuid broker_id;
+    std::string_view broker_name;
+    std::string_view hostname;
+    Endpoint endpoint;
+    std::string_view realm;
+    std::string_view geo_location;
+    std::string_view institution;
+    /// The full encoded message region (no type octet); re-decodable.
+    std::span<const std::uint8_t> raw;
+
+    static BrokerAdvertisementView peek(wire::ByteReader& reader);
+    [[nodiscard]] BrokerAdvertisement materialize() const;
 };
 
 /// "The broker discovery request includes information regarding the
@@ -58,8 +90,28 @@ struct DiscoveryRequest {
 
     void encode(wire::ByteWriter& writer) const;
     static DiscoveryRequest decode(wire::ByteReader& reader);
+    [[nodiscard]] std::size_t measured_size() const;
 
     friend bool operator==(const DiscoveryRequest&, const DiscoveryRequest&) = default;
+};
+
+/// Borrowed decode of a DiscoveryRequest: everything a forwarding hop
+/// (BDN or broker) inspects — request UUID for dedup, credential/realm for
+/// policy, reply endpoint for acks, trace for the sampling branch —
+/// without copying. The untouched protocol list stays inside `raw`.
+struct DiscoveryRequestView {
+    Uuid request_id;
+    std::string_view requester_hostname;
+    Endpoint reply_to;
+    std::string_view credential;
+    std::string_view realm;
+    obs::TraceContext trace;
+    /// The full encoded message region (no type octet); forward this
+    /// verbatim instead of re-encoding when nothing was rewritten.
+    std::span<const std::uint8_t> raw;
+
+    static DiscoveryRequestView peek(wire::ByteReader& reader);
+    [[nodiscard]] DiscoveryRequest materialize() const;
 };
 
 /// "(a) The current timestamp ... (b) The broker process information ...
@@ -89,8 +141,29 @@ struct DiscoveryResponse {
 
     void encode(wire::ByteWriter& writer) const;
     static DiscoveryResponse decode(wire::ByteReader& reader);
+    [[nodiscard]] std::size_t measured_size() const;
 
     friend bool operator==(const DiscoveryResponse&, const DiscoveryResponse&) = default;
+};
+
+/// Borrowed decode of a DiscoveryResponse: enough to filter (request UUID
+/// match, duplicate broker id) before materializing a candidate the client
+/// will actually keep. Late or duplicate responses cost no allocation.
+struct DiscoveryResponseView {
+    Uuid request_id;
+    TimeUs sent_utc = 0;
+    Uuid broker_id;
+    std::string_view broker_name;
+    std::string_view hostname;
+    Endpoint endpoint;
+    broker::UsageMetrics metrics;
+    bool overloaded = false;
+    obs::TraceContext trace;
+    /// The full encoded message region (no type octet); re-decodable.
+    std::span<const std::uint8_t> raw;
+
+    static DiscoveryResponseView peek(wire::ByteReader& reader);
+    [[nodiscard]] DiscoveryResponse materialize() const;
 };
 
 }  // namespace narada::discovery

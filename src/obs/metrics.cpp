@@ -40,6 +40,8 @@ std::vector<double> latency_buckets_ms() {
     return {0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000};
 }
 
+std::vector<double> batch_buckets() { return {1, 2, 4, 8, 16, 32, 64}; }
+
 Counter& MetricsRegistry::counter(const std::string& name, const std::string& node) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& slot = counters_[{name, node}];

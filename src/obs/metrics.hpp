@@ -94,6 +94,10 @@ private:
 /// sub-millisecond LAN hops up through the paper's 4.5 s response window.
 std::vector<double> latency_buckets_ms();
 
+/// Power-of-two ladder for syscall batch-size histograms (recvmmsg /
+/// sendmmsg datagrams per call): {1, 2, 4, 8, 16, 32, 64}.
+std::vector<double> batch_buckets();
+
 class MetricsRegistry {
 public:
     /// Fetch-or-create. Handles remain valid for the registry's lifetime.

@@ -41,6 +41,10 @@ struct TraceContext {
     Uuid trace_id;                  ///< nil = this request is not sampled
     std::uint64_t parent_span = 0;  ///< span id of the sender's active span
 
+    /// Exact encoded size (16-byte trace id + 8-byte parent span); used by
+    /// the measure-then-encode fast path of the discovery messages.
+    static constexpr std::size_t kWireSize = 16 + 8;
+
     [[nodiscard]] bool sampled() const { return !trace_id.is_nil(); }
 
     void encode(wire::ByteWriter& writer) const;

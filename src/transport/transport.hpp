@@ -62,6 +62,14 @@ public:
     virtual void join_multicast(MulticastGroup group, const Endpoint& local) = 0;
     virtual void leave_multicast(MulticastGroup group, const Endpoint& local) = 0;
     virtual void send_multicast(MulticastGroup group, const Endpoint& from, Bytes data) = 0;
+
+    /// Borrow an encode buffer from the transport's recycling pool, if it
+    /// has one. Encode into it (wire::ByteWriter's recycle constructor
+    /// keeps the capacity) and pass the result back through send_* — the
+    /// POSIX backend returns the buffer to its pool once the bytes hit the
+    /// wire, so a steady-state sender allocates nothing per message. The
+    /// default returns an empty buffer (simulated paths just allocate).
+    virtual Bytes acquire_buffer() { return {}; }
 };
 
 }  // namespace narada::transport

@@ -103,6 +103,34 @@ Bytes ByteReader::blob() {
     return out;
 }
 
+std::string_view ByteReader::str_view() {
+    const std::uint32_t len = u32();
+    check_length(len);
+    need(len);
+    const std::string_view out(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return out;
+}
+
+std::span<const std::uint8_t> ByteReader::blob_view() {
+    const std::uint32_t len = u32();
+    check_length(len);
+    need(len);
+    const std::span<const std::uint8_t> out(data_ + pos_, len);
+    pos_ += len;
+    return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+}
+
+std::span<const std::uint8_t> ByteReader::span_from(std::size_t pos) const {
+    if (pos > pos_) throw WireError("span_from beyond current position");
+    return {data_ + pos, pos_ - pos};
+}
+
 Uuid ByteReader::uuid() {
     const std::uint64_t hi = u64();
     const std::uint64_t lo = u64();

@@ -6,9 +6,23 @@
 // variable-size fields carry a u32 length prefix. Decoding is strict:
 // truncated or malformed input throws WireError, which transports catch and
 // count as a dropped packet — a hostile datagram can never crash a broker.
+//
+// Hot-path support (DESIGN.md transport section):
+//   * ByteWriter can be seeded with a recycled buffer (its capacity is
+//     reused) and pre-sized with reserve(), so the measure()-then-encode
+//     pattern produces a message with at most one allocation — zero when
+//     the recycled buffer is large enough;
+//   * ByteMeter mirrors ByteWriter's method surface but only counts bytes,
+//     giving encoders an exact size to reserve;
+//   * ByteReader offers borrowed accessors (str_view / blob_view /
+//     span_from) that return views into the underlying buffer instead of
+//     copies. Borrowed views are valid only while the decoded buffer is
+//     alive and unmodified — a handler that retains data past its callback
+//     must copy (see the decode-borrowing rules in DESIGN.md).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -50,6 +64,14 @@ private:
 class ByteWriter {
 public:
     ByteWriter() = default;
+    /// Pre-size the buffer (single-allocation encode when `reserve_bytes`
+    /// came from a ByteMeter measurement).
+    explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+    /// Reuse a recycled buffer's capacity: the contents are discarded but
+    /// the allocation is kept, so steady-state encoding allocates nothing.
+    explicit ByteWriter(Bytes&& recycle) : buf_(std::move(recycle)) { buf_.clear(); }
+
+    void reserve(std::size_t n) { buf_.reserve(n); }
 
     void u8(std::uint8_t v) { buf_.push_back(v); }
     void u16(std::uint16_t v);
@@ -75,10 +97,36 @@ private:
     Bytes buf_;
 };
 
+/// Counts the bytes an encode would produce without writing anything.
+/// Mirrors ByteWriter's method surface so a message's encode logic can be
+/// written once against either (or a measured_size() kept in lockstep —
+/// tests assert measurement == encoded size).
+class ByteMeter {
+public:
+    void u8(std::uint8_t) { n_ += 1; }
+    void u16(std::uint16_t) { n_ += 2; }
+    void u32(std::uint32_t) { n_ += 4; }
+    void u64(std::uint64_t) { n_ += 8; }
+    void i64(std::int64_t) { n_ += 8; }
+    void f64(double) { n_ += 8; }
+    void boolean(bool) { n_ += 1; }
+    void str(std::string_view v) { n_ += 4 + v.size(); }
+    void blob(const Bytes& v) { n_ += 4 + v.size(); }
+    void raw(const std::uint8_t*, std::size_t len) { n_ += len; }
+    void uuid(const Uuid&) { n_ += 16; }
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+
+private:
+    std::size_t n_ = 0;
+};
+
 class ByteReader {
 public:
     explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
     ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+    explicit ByteReader(std::span<const std::uint8_t> data)
+        : data_(data.data()), size_(data.size()) {}
 
     std::uint8_t u8();
     std::uint16_t u16();
@@ -90,6 +138,28 @@ public:
     std::string str();
     Bytes blob();
     Uuid uuid();
+
+    // --- borrowed (zero-copy) accessors ---------------------------------
+    // Same wire format and validation as str()/blob(), but the returned
+    // view aliases the reader's underlying buffer: no allocation, no copy.
+    // The view is invalidated when that buffer is destroyed, shrunk, or
+    // recycled (e.g. a transport returning a pooled receive buffer); a
+    // caller that needs the data afterwards must copy it out.
+    std::string_view str_view();
+    std::span<const std::uint8_t> blob_view();
+
+    /// Skip `n` raw bytes (bounds-checked); lets inspect-only decoders
+    /// step over fields they do not care about without materializing them.
+    void skip(std::size_t n);
+
+    /// Borrowed window [pos, current position) over the underlying buffer;
+    /// used to capture a whole message region for verbatim re-forwarding.
+    [[nodiscard]] std::span<const std::uint8_t> span_from(std::size_t pos) const;
+    /// Borrowed view of everything not yet consumed.
+    [[nodiscard]] std::span<const std::uint8_t> remaining_span() const {
+        return {data_ + pos_, size_ - pos_};
+    }
+    [[nodiscard]] std::size_t position() const { return pos_; }
 
     [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
     [[nodiscard]] bool at_end() const { return pos_ == size_; }

@@ -1,0 +1,267 @@
+// Steady-state allocation audit of the real-socket datapath.
+//
+// A process-global counting allocator (operator new/delete overrides, which
+// is why this test lives in its own binary) proves the ISSUE's datapath
+// guarantee: once buffers, rings and pools are warm, the hot paths touch
+// the heap ZERO times per packet —
+//   * send: acquire_buffer -> encode -> send_datagram (pooled payload moved
+//     end-to-end, sendmmsg returns it to the pool);
+//   * receive -> decode -> forward: recvmmsg slab -> reused delivery buffer
+//     -> borrowed DiscoveryRequestView -> verbatim re-encode into a pooled
+//     buffer -> send_datagram;
+//   * send_reliable: payload coalesced into the connection's output ring,
+//     pooled buffer recycled.
+#include "transport/posix_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "discovery/messages.hpp"
+#include "wire/codec.hpp"
+#include "wire/msg_types.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace narada::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Allocation-free handler: counts deliveries on an atomic; optionally
+/// peeks a borrowed view and re-forwards the message region verbatim
+/// through a pooled buffer (the broker/BDN forwarding shape).
+class CountingHandler final : public MessageHandler {
+public:
+    CountingHandler() = default;
+    CountingHandler(PosixTransport* transport, Endpoint self, Endpoint forward_to)
+        : transport_(transport), self_(self), forward_to_(forward_to) {}
+
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        if (transport_ != nullptr) {
+            wire::ByteReader reader(data);
+            const auto type = reader.u8();
+            if (type == wire::kMsgDiscoveryRequest) {
+                const auto view = discovery::DiscoveryRequestView::peek(reader);
+                wire::ByteWriter writer(transport_->acquire_buffer());
+                writer.reserve(1 + view.raw.size());
+                writer.u8(wire::kMsgDiscoveryRequest);
+                writer.raw(view.raw.data(), view.raw.size());
+                transport_->send_datagram(self_, forward_to_, writer.take());
+            }
+        }
+        received_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_reliable(const Endpoint&, const Bytes&) override {
+        received_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t received() const {
+        return received_.load(std::memory_order_relaxed);
+    }
+    bool wait_for(std::uint64_t count, int timeout_ms = 5000) const {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        while (received() < count) {
+            if (std::chrono::steady_clock::now() > deadline) return false;
+            std::this_thread::sleep_for(200us);
+        }
+        return true;
+    }
+
+private:
+    PosixTransport* transport_ = nullptr;
+    Endpoint self_;
+    Endpoint forward_to_;
+    std::atomic<std::uint64_t> received_{0};
+};
+
+struct DatapathAllocFixture : ::testing::Test {
+    DatapathAllocFixture() {
+        const std::uint16_t base = PosixTransport::find_free_port(47000);
+        a = Endpoint{1, base};
+        b = Endpoint{2, static_cast<std::uint16_t>(base + 1)};
+        c = Endpoint{3, static_cast<std::uint16_t>(base + 2)};
+    }
+
+    /// Deterministically grow the pool's circulation to `depth` buffers:
+    /// the pool only mints on a miss, so a lucky warmup can leave fewer
+    /// buffers circulating than a later burst needs. Holding `depth`
+    /// buffers at once forces the mints up front; sending them returns
+    /// every one to the free list.
+    void prewarm_pool(const Endpoint& from, const Endpoint& to, const CountingHandler& sink,
+                      std::size_t depth) {
+        std::vector<Bytes> held;
+        held.reserve(depth);
+        for (std::size_t i = 0; i < depth; ++i) {
+            held.push_back(transport.acquire_buffer());
+        }
+        const std::uint64_t start = sink.received();
+        for (Bytes& buf : held) {
+            wire::ByteWriter writer((Bytes(std::move(buf))));
+            writer.u8(0x00);
+            transport.send_datagram(from, to, writer.take());
+        }
+        ASSERT_TRUE(sink.wait_for(start + depth));
+    }
+
+    PosixTransportOptions options;
+    PosixTransport transport;
+    Endpoint a, b, c;
+};
+
+// Burst a round of pooled datagrams from `from` to `to` and wait for
+// delivery; returns false on timeout. Kept outside the measured region's
+// assertions so the measured loop itself never calls gtest.
+bool send_round(PosixTransport& transport, const Endpoint& from, const Endpoint& to,
+                const CountingHandler& sink, std::size_t count, std::size_t payload_size) {
+    const std::uint64_t start = sink.received();
+    for (std::size_t i = 0; i < count; ++i) {
+        wire::ByteWriter writer(transport.acquire_buffer());
+        writer.reserve(1 + payload_size);
+        writer.u8(0x55);
+        for (std::size_t j = 1; j < payload_size; ++j) {
+            writer.u8(static_cast<std::uint8_t>(j));
+        }
+        transport.send_datagram(from, to, writer.take());
+    }
+    return sink.wait_for(start + count);
+}
+
+TEST_F(DatapathAllocFixture, SendPathIsAllocationFreeInSteadyState) {
+    CountingHandler sender;
+    CountingHandler sink;
+    transport.bind(a, &sender);
+    transport.bind(b, &sink);
+
+    // Warm-up: force the pool's circulation above the burst depth, then
+    // grow the send ring and dirty lists to their high-water marks and
+    // reserve the delivery buffers.
+    prewarm_pool(a, b, sink, 32);
+    for (int round = 0; round < 4; ++round) {
+        ASSERT_TRUE(send_round(transport, a, b, sink, 16, 256));
+    }
+
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    bool delivered = true;
+    for (int round = 0; round < 8; ++round) {
+        delivered = delivered && send_round(transport, a, b, sink, 16, 256);
+    }
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    ASSERT_TRUE(delivered);
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " allocations across 128 pooled datagrams";
+}
+
+TEST_F(DatapathAllocFixture, ReceiveDecodeForwardIsAllocationFree) {
+    // Topology: a sprays encoded DiscoveryRequests at b; b peeks the
+    // borrowed view and re-forwards the region verbatim to c.
+    CountingHandler sender;
+    CountingHandler forwarder(&transport, b, c);
+    CountingHandler sink;
+    transport.bind(a, &sender);
+    transport.bind(b, &forwarder);
+    transport.bind(c, &sink);
+
+    discovery::DiscoveryRequest request;
+    Rng rng(7);
+    request.request_id = Uuid::random(rng);
+    request.requester_hostname = "alloc-test-client";
+    request.reply_to = a;
+    request.protocols = {"udp"};
+    request.realm = "alloc-test-realm";
+
+    // Both the sprayer and the forwarder draw on the shared pool, so the
+    // worst-case concurrent in-flight depth is two bursts.
+    prewarm_pool(a, c, sink, 48);
+
+    const auto spray = [&](std::size_t count) {
+        const std::uint64_t start = sink.received();
+        for (std::size_t i = 0; i < count; ++i) {
+            wire::ByteWriter writer(transport.acquire_buffer());
+            writer.reserve(1 + request.measured_size());
+            writer.u8(wire::kMsgDiscoveryRequest);
+            request.encode(writer);
+            transport.send_datagram(a, b, writer.take());
+        }
+        return sink.wait_for(start + count);
+    };
+
+    for (int round = 0; round < 4; ++round) {
+        ASSERT_TRUE(spray(16));
+    }
+
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    bool delivered = true;
+    for (int round = 0; round < 8; ++round) {
+        delivered = delivered && spray(16);
+    }
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    ASSERT_TRUE(delivered);
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " allocations across 128 receive->decode->forward hops";
+}
+
+TEST_F(DatapathAllocFixture, ReliableSendCoalescesWithoutAllocating) {
+    CountingHandler sender;
+    CountingHandler sink;
+    transport.bind(a, &sender);
+    transport.bind(b, &sink);
+
+    const auto send_frames = [&](std::size_t count) {
+        const std::uint64_t start = sink.received();
+        for (std::size_t i = 0; i < count; ++i) {
+            wire::ByteWriter writer(transport.acquire_buffer());
+            writer.reserve(128);
+            for (std::size_t j = 0; j < 128; ++j) {
+                writer.u8(static_cast<std::uint8_t>(j));
+            }
+            transport.send_reliable(a, b, writer.take());
+        }
+        return sink.wait_for(start + count);
+    };
+
+    // Warm-up establishes the connection (hello frame, rx/tx rings) and
+    // forces the pool's circulation above the burst depth.
+    prewarm_pool(a, b, sink, 32);
+    for (int round = 0; round < 4; ++round) {
+        ASSERT_TRUE(send_frames(16));
+    }
+
+    bool delivered = true;
+    std::uint64_t delta = 0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+        for (int round = 0; round < 8; ++round) {
+            delivered = delivered && send_frames(16);
+        }
+        delta = g_allocs.load(std::memory_order_relaxed) - before;
+        if (delta == 0) break;
+        // A scheduling stall (busy CI box) can pile more bytes into a ring
+        // than the warm-up ever saw; that one-time capacity growth is
+        // itself warm-up, so the steady-state claim gets a fresh window.
+    }
+    ASSERT_TRUE(delivered);
+    EXPECT_EQ(delta, 0u) << delta << " allocations across 128 reliable frames";
+}
+
+}  // namespace
+}  // namespace narada::transport

@@ -1,0 +1,271 @@
+// Tests for the zero-copy codec fast path (DESIGN.md transport section):
+// ByteReader's borrowed-view accessors and the ByteWriter pooled-buffer
+// round trips for the three discovery messages.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "discovery/messages.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::wire {
+namespace {
+
+TEST(Codec, StrViewAliasesBuffer) {
+    ByteWriter w;
+    w.str("aliased payload");
+    const Bytes encoded = w.bytes();
+    ByteReader r(encoded);
+    const std::string_view view = r.str_view();
+    EXPECT_EQ(view, "aliased payload");
+    // The view points into the encoded buffer, not at a copy.
+    EXPECT_GE(view.data(), reinterpret_cast<const char*>(encoded.data()));
+    EXPECT_LT(view.data(), reinterpret_cast<const char*>(encoded.data() + encoded.size()));
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, BlobViewAliasesBuffer) {
+    ByteWriter w;
+    w.blob(Bytes{9, 8, 7, 6});
+    const Bytes encoded = w.bytes();
+    ByteReader r(encoded);
+    const auto view = r.blob_view();
+    ASSERT_EQ(view.size(), 4u);
+    EXPECT_EQ(view[0], 9);
+    EXPECT_EQ(view.data(), encoded.data() + 4);  // right past the length prefix
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, ViewMatchesOwnedAccessor) {
+    ByteWriter w;
+    w.str("twice-read");
+    w.blob(Bytes{1, 2, 3});
+    const Bytes encoded = w.bytes();
+
+    ByteReader owned(encoded);
+    ByteReader borrowed(encoded);
+    EXPECT_EQ(owned.str(), borrowed.str_view());
+    const Bytes owned_blob = owned.blob();
+    const auto view = borrowed.blob_view();
+    ASSERT_EQ(owned_blob.size(), view.size());
+    EXPECT_EQ(std::memcmp(owned_blob.data(), view.data(), view.size()), 0);
+    EXPECT_EQ(owned.position(), borrowed.position());
+}
+
+TEST(Codec, StrViewTruncatedLengthThrows) {
+    ByteWriter w;
+    w.u32(100);  // length prefix promising 100 bytes...
+    w.raw(reinterpret_cast<const std::uint8_t*>("abc"), 3);  // ...with only 3
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)r.str_view(), WireError);
+}
+
+TEST(Codec, BorrowedViewsRespectFrameCap) {
+    ByteWriter w;
+    w.u32(kMaxFieldLength + 1);
+    ByteReader r(w.bytes());
+    // The cap fires on the length prefix alone — the body does not exist.
+    EXPECT_THROW((void)r.str_view(), FrameTooLargeError);
+
+    ByteWriter small;
+    small.str("0123456789");
+    ByteReader tight(small.bytes());
+    tight.set_max_field_length(4);
+    try {
+        (void)tight.blob_view();
+        FAIL() << "expected FrameTooLargeError";
+    } catch (const FrameTooLargeError& e) {
+        EXPECT_EQ(e.length(), 10u);
+        EXPECT_EQ(e.limit(), 4u);
+    }
+}
+
+TEST(Codec, SkipSteppsOverFieldsAndChecksBounds) {
+    ByteWriter w;
+    w.u32(7);
+    w.str("skipped");
+    ByteReader r(w.bytes());
+    r.skip(4);
+    EXPECT_EQ(r.str_view(), "skipped");
+    EXPECT_THROW(r.skip(1), WireError);  // nothing left
+}
+
+TEST(Codec, SpanFromCapturesMessageRegion) {
+    ByteWriter w;
+    w.u8(0x7F);  // pretend type octet
+    w.str("region");
+    w.u32(42);
+    const Bytes encoded = w.bytes();
+    ByteReader r(encoded);
+    (void)r.u8();
+    const std::size_t start = r.position();
+    (void)r.str_view();
+    (void)r.u32();
+    const auto region = r.span_from(start);
+    EXPECT_EQ(region.data(), encoded.data() + 1);
+    EXPECT_EQ(region.size(), encoded.size() - 1);
+    // A region captured this way must re-decode to the same fields.
+    ByteReader again(region);
+    EXPECT_EQ(again.str_view(), "region");
+    EXPECT_EQ(again.u32(), 42u);
+    EXPECT_THROW((void)r.span_from(r.position() + 1), WireError);
+}
+
+TEST(Codec, ExpectEndDetectsTailGarbageAfterViews) {
+    ByteWriter w;
+    w.str("payload");
+    w.u8(0xEE);  // trailing garbage
+    ByteReader r(w.bytes());
+    (void)r.str_view();
+    EXPECT_FALSE(r.at_end());
+    EXPECT_THROW(r.expect_end(), WireError);
+}
+
+TEST(Codec, RecycledWriterKeepsCapacityAndClearsContent) {
+    ByteWriter first(std::size_t{256});
+    first.str("old content that must not leak");
+    Bytes recycled = first.take();
+    const std::uint8_t* storage = recycled.data();
+    const std::size_t capacity = recycled.capacity();
+    ASSERT_GE(capacity, 256u);
+
+    ByteWriter second((Bytes(std::move(recycled))));
+    second.str("new");
+    const Bytes& out = second.bytes();
+    EXPECT_EQ(out.data(), storage);  // same allocation, reused
+    EXPECT_EQ(out.capacity(), capacity);
+    ByteReader r(out);
+    EXPECT_EQ(r.str_view(), "new");
+    EXPECT_TRUE(r.at_end());
+}
+
+// --- pooled round trips for the three discovery messages -----------------
+
+discovery::BrokerAdvertisement sample_ad(Rng& rng) {
+    discovery::BrokerAdvertisement ad;
+    ad.broker_id = Uuid::random(rng);
+    ad.broker_name = "broker-7";
+    ad.hostname = "host.example.edu";
+    ad.endpoint = Endpoint{0x0A000001, 9000};
+    ad.protocols = {"tcp", "udp", "niagara"};
+    ad.realm = "cs.indiana.edu";
+    ad.geo_location = "39.17N,86.52W";
+    ad.institution = "IU";
+    return ad;
+}
+
+discovery::DiscoveryRequest sample_request(Rng& rng) {
+    discovery::DiscoveryRequest request;
+    request.request_id = Uuid::random(rng);
+    request.requester_hostname = "client-3";
+    request.reply_to = Endpoint{0x0A000002, 4001};
+    request.protocols = {"udp"};
+    request.credential = "secret";
+    request.realm = "realm-a";
+    request.trace.trace_id = Uuid::random(rng);
+    request.trace.parent_span = 77;
+    return request;
+}
+
+discovery::DiscoveryResponse sample_response(Rng& rng) {
+    discovery::DiscoveryResponse response;
+    response.request_id = Uuid::random(rng);
+    response.sent_utc = 1'234'567;
+    response.broker_id = Uuid::random(rng);
+    response.broker_name = "broker-2";
+    response.hostname = "b2.example.edu";
+    response.endpoint = Endpoint{0x0A000003, 9100};
+    response.protocols = {"tcp", "udp"};
+    response.metrics.connections = 17;
+    response.metrics.broker_links = 3;
+    response.metrics.cpu_load = 0.25;
+    response.metrics.total_memory = 1ull << 31;
+    response.metrics.free_memory = 1ull << 30;
+    response.overloaded = true;
+    response.trace.trace_id = Uuid::random(rng);
+    response.trace.parent_span = 99;
+    return response;
+}
+
+// Encode `msg` through a recycled buffer sized by measured_size(); decode a
+// borrowed view and an owned struct back and check all three agree.
+template <typename Message, typename View>
+void pooled_round_trip(const Message& original) {
+    // A warm pooled buffer, as PosixTransport::acquire_buffer returns.
+    Bytes pooled;
+    pooled.reserve(1024);
+    const std::uint8_t* storage = pooled.data();
+
+    ByteWriter writer((Bytes(std::move(pooled))));
+    writer.reserve(original.measured_size());
+    original.encode(writer);
+    const Bytes encoded = writer.take();
+    EXPECT_EQ(encoded.size(), original.measured_size());  // meter in lockstep
+    EXPECT_EQ(encoded.data(), storage);                   // no reallocation
+
+    ByteReader view_reader(encoded);
+    const View view = View::peek(view_reader);
+    EXPECT_TRUE(view_reader.at_end());
+    EXPECT_EQ(view.raw.data(), encoded.data());
+    EXPECT_EQ(view.raw.size(), encoded.size());
+    EXPECT_EQ(view.materialize(), original);
+
+    ByteReader owned_reader(encoded);
+    EXPECT_EQ(Message::decode(owned_reader), original);
+}
+
+TEST(Codec, PooledRoundTripAdvertisement) {
+    Rng rng(11);
+    pooled_round_trip<discovery::BrokerAdvertisement, discovery::BrokerAdvertisementView>(
+        sample_ad(rng));
+}
+
+TEST(Codec, PooledRoundTripRequest) {
+    Rng rng(22);
+    pooled_round_trip<discovery::DiscoveryRequest, discovery::DiscoveryRequestView>(
+        sample_request(rng));
+}
+
+TEST(Codec, PooledRoundTripResponse) {
+    Rng rng(33);
+    pooled_round_trip<discovery::DiscoveryResponse, discovery::DiscoveryResponseView>(
+        sample_response(rng));
+}
+
+TEST(Codec, ViewFieldsAliasEncodedBuffer) {
+    Rng rng(44);
+    const discovery::DiscoveryRequest original = sample_request(rng);
+    ByteWriter writer;
+    original.encode(writer);
+    const Bytes encoded = writer.take();
+
+    ByteReader reader(encoded);
+    const auto view = discovery::DiscoveryRequestView::peek(reader);
+    EXPECT_EQ(view.request_id, original.request_id);
+    EXPECT_EQ(view.requester_hostname, original.requester_hostname);
+    EXPECT_EQ(view.credential, original.credential);
+    EXPECT_EQ(view.realm, original.realm);
+    EXPECT_EQ(view.trace.trace_id, original.trace.trace_id);
+    // Borrowed fields alias the buffer — the whole point of the fast path.
+    const auto* begin = reinterpret_cast<const char*>(encoded.data());
+    const auto* end = begin + encoded.size();
+    EXPECT_GE(view.requester_hostname.data(), begin);
+    EXPECT_LT(view.requester_hostname.data(), end);
+    EXPECT_GE(view.credential.data(), begin);
+    EXPECT_LT(view.credential.data(), end);
+}
+
+TEST(Codec, ViewPeekRejectsTruncatedMessage) {
+    Rng rng(55);
+    const discovery::DiscoveryRequest original = sample_request(rng);
+    ByteWriter writer;
+    original.encode(writer);
+    Bytes encoded = writer.take();
+    encoded.resize(encoded.size() - 3);  // chop the tail
+    ByteReader reader(encoded);
+    EXPECT_THROW((void)discovery::DiscoveryRequestView::peek(reader), WireError);
+}
+
+}  // namespace
+}  // namespace narada::wire
