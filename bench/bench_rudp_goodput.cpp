@@ -1,0 +1,225 @@
+// Reliable-UDP bulk lane: goodput vs. packet loss on the virtual-time
+// kernel. Sweeps the data-path loss rate over {0, 10, 30, 50}% and measures
+// how fast a fixed bulk payload crosses the link — goodput is computed from
+// *virtual* completion time, so the numbers are deterministic per seed and
+// independent of the machine running the bench.
+//
+// Results go to stdout (NARADA_JSON lines + a table) and to BENCH_rudp.json
+// in the working directory; the CI bench-smoke job runs `--runs 3`,
+// validates the JSON and uploads it next to BENCH_transport.json.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "harness.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "transport/rudp_channel.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::transport {
+namespace {
+
+constexpr std::size_t kPayloadBytes = 2 * 1024 * 1024;
+constexpr double kLossPoints[] = {0.0, 0.10, 0.30, 0.50};
+
+Bytes bulk_payload(std::size_t size) {
+    Bytes payload(size);
+    std::uint32_t x = 0x9E3779B9u;
+    for (std::size_t i = 0; i < size; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        payload[i] = static_cast<std::uint8_t>(x);
+    }
+    return payload;
+}
+
+class Router final : public MessageHandler {
+public:
+    void attach(RudpChannel* channel) { channel_ = channel; }
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        if (channel_ == nullptr || data.empty()) return;
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        channel_->handle_frame(type, reader);
+    }
+
+private:
+    RudpChannel* channel_ = nullptr;
+};
+
+struct TransferSample {
+    bool completed = false;
+    double seconds = 0;          ///< virtual completion time
+    double goodput_kibps = 0;    ///< payload KiB per virtual second
+    double retransmit_ratio = 0; ///< retransmits / segments_sent
+};
+
+/// One transfer: fresh kernel + network per run so every sample is an
+/// independent draw from the loss process.
+TransferSample run_transfer(std::uint64_t seed, double loss) {
+    sim::Kernel kernel;
+    sim::SimNetwork net(kernel, seed);
+    const HostId host_a = net.add_host({"a", "S", "r", 0});
+    const HostId host_b = net.add_host({"b", "S", "r", 0});
+    net.set_default_link({from_ms(2), from_ms(1), 1});
+    const Endpoint end_a{host_a, 9000};
+    const Endpoint end_b{host_b, 9000};
+    Router router_a, router_b;
+    net.bind(end_a, &router_a);
+    net.bind(end_b, &router_b);
+
+    RudpOptions options;
+    options.abandon_after = 120 * kSecond;  // heavy loss must degrade, not die
+    RudpChannel chan_a(kernel, net, net.host_clock(host_a), end_a, end_b, options, "a");
+    RudpChannel chan_b(kernel, net, net.host_clock(host_b), end_b, end_a, options, "b");
+    router_a.attach(&chan_a);
+    router_b.attach(&chan_b);
+
+    std::size_t delivered = 0;
+    chan_b.on_deliver([&delivered](Bytes) { ++delivered; });
+    if (loss > 0) net.set_directed_loss(host_a, host_b, loss);
+
+    const TimeUs start = kernel.now();
+    chan_a.send_bulk(bulk_payload(kPayloadBytes));
+    while (delivered == 0 && kernel.now() - start < 600 * kSecond &&
+           chan_a.state() != RudpChannel::State::kAbandoned) {
+        kernel.run_until(kernel.now() + from_ms(50));
+    }
+
+    TransferSample sample;
+    sample.completed = delivered == 1;
+    if (!sample.completed) return sample;
+    sample.seconds = static_cast<double>(kernel.now() - start) / 1e6;
+    sample.goodput_kibps = static_cast<double>(kPayloadBytes) / 1024.0 / sample.seconds;
+    const auto& tx = chan_a.stats();
+    sample.retransmit_ratio =
+        tx.segments_sent > 0
+            ? static_cast<double>(tx.retransmits) / static_cast<double>(tx.segments_sent)
+            : 0.0;
+    return sample;
+}
+
+struct LossPointResult {
+    double loss = 0;
+    SampleSet goodput_kibps;
+    SampleSet seconds;
+    SampleSet retransmit_ratio;
+    std::size_t failures = 0;
+};
+
+}  // namespace
+}  // namespace narada::transport
+
+int main(int argc, char** argv) {
+    using namespace narada;
+    using namespace narada::transport;
+
+    const int kRuns = bench::parse_runs(argc, argv, 5);
+
+    std::vector<LossPointResult> results;
+    for (const double loss : kLossPoints) {
+        LossPointResult r;
+        r.loss = loss;
+        for (int run = 0; run < kRuns; ++run) {
+            // Distinct seeds per (loss, run); the 7919 stride matches the
+            // harness's run_series convention.
+            const auto seed = static_cast<std::uint64_t>(
+                1000.0 * loss + 1 + static_cast<double>(run) * 7919.0);
+            const TransferSample sample = run_transfer(seed, loss);
+            if (!sample.completed) {
+                ++r.failures;
+                continue;
+            }
+            r.goodput_kibps.add(sample.goodput_kibps);
+            r.seconds.add(sample.seconds);
+            r.retransmit_ratio.add(sample.retransmit_ratio);
+        }
+        results.push_back(std::move(r));
+    }
+
+    bench::print_heading("RUDP bulk lane: goodput vs. data-path loss (2 MiB, virtual time)");
+    std::printf("%-6s %14s %14s %14s %12s %9s\n", "loss", "mean KiB/s", "min KiB/s",
+                "max KiB/s", "mean sec", "rtx/seg");
+    for (const LossPointResult& r : results) {
+        if (r.goodput_kibps.empty()) {
+            std::printf("%4.0f%% %14s (all %zu runs failed to complete)\n", r.loss * 100,
+                        "-", r.failures);
+            continue;
+        }
+        std::printf("%4.0f%% %14.1f %14.1f %14.1f %12.3f %9.3f\n", r.loss * 100,
+                    r.goodput_kibps.mean(), r.goodput_kibps.min(), r.goodput_kibps.max(),
+                    r.seconds.mean(), r.retransmit_ratio.mean());
+        bench::print_json_record(
+            "rudp_goodput",
+            {{"loss", r.loss},
+             {"payload_bytes", static_cast<double>(kPayloadBytes)},
+             {"goodput_kibps_mean", r.goodput_kibps.mean()},
+             {"goodput_kibps_min", r.goodput_kibps.min()},
+             {"goodput_kibps_max", r.goodput_kibps.max()},
+             {"seconds_mean", r.seconds.mean()},
+             {"retransmit_ratio_mean", r.retransmit_ratio.mean()},
+             {"failures", static_cast<double>(r.failures)}});
+    }
+
+    // BENCH_rudp.json: the machine-readable goodput-vs-loss record.
+    {
+        obs::JsonWriter w;
+        w.begin_object()
+            .field("bench", "rudp_goodput")
+            .field("runs", kRuns)
+            .field("payload_bytes", static_cast<std::uint64_t>(kPayloadBytes))
+            .key("results")
+            .begin_array();
+        for (const LossPointResult& r : results) {
+            w.begin_object()
+                .field("loss", r.loss, 2)
+                .field("completed", static_cast<std::uint64_t>(r.goodput_kibps.size()))
+                .field("failures", static_cast<std::uint64_t>(r.failures))
+                .field("goodput_kibps_mean",
+                       r.goodput_kibps.empty() ? 0.0 : r.goodput_kibps.mean(), 1)
+                .field("goodput_kibps_min",
+                       r.goodput_kibps.empty() ? 0.0 : r.goodput_kibps.min(), 1)
+                .field("goodput_kibps_max",
+                       r.goodput_kibps.empty() ? 0.0 : r.goodput_kibps.max(), 1)
+                .field("seconds_mean", r.seconds.empty() ? 0.0 : r.seconds.mean(), 3)
+                .field("retransmit_ratio_mean",
+                       r.retransmit_ratio.empty() ? 0.0 : r.retransmit_ratio.mean(), 3)
+                .end_object();
+        }
+        w.end_array().end_object();
+        if (std::FILE* f = std::fopen("BENCH_rudp.json", "w")) {
+            std::fputs(w.str().c_str(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("\nwrote BENCH_rudp.json\n");
+        } else {
+            std::perror("bench: BENCH_rudp.json");
+        }
+    }
+
+    // Regression gates: every run must complete (the lane's whole point is
+    // surviving 50% loss), goodput must fall monotonically-ish with loss
+    // (clean-link goodput strictly above the 50%-loss goodput), and the
+    // clean link must not be retransmitting.
+    bool ok = true;
+    for (const LossPointResult& r : results) {
+        if (r.failures > 0 || r.goodput_kibps.empty()) {
+            std::printf("FAIL: %zu incomplete transfers at %.0f%% loss\n", r.failures,
+                        r.loss * 100);
+            ok = false;
+        }
+    }
+    if (ok && results.front().goodput_kibps.mean() <= results.back().goodput_kibps.mean()) {
+        std::printf("FAIL: clean-link goodput not above 50%%-loss goodput\n");
+        ok = false;
+    }
+    if (ok && results.front().retransmit_ratio.mean() > 0.01) {
+        std::printf("FAIL: clean link retransmitted (%.3f per segment)\n",
+                    results.front().retransmit_ratio.mean());
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -142,6 +142,8 @@ BrokerConfig BrokerConfig::from_ini(const Ini& ini) {
     c.discovery_burst = ini.get_double("broker", "discovery_burst", c.discovery_burst);
     c.overload_hold =
         from_ms(ini.get_double("broker", "overload_hold_ms", to_ms(c.overload_hold)));
+    c.response_rudp_threshold = static_cast<std::uint32_t>(
+        ini.get_int("broker", "response_rudp_threshold", c.response_rudp_threshold));
     return c;
 }
 
@@ -188,6 +190,9 @@ BdnConfig BdnConfig::from_ini(const Ini& ini) {
         ini.get_double("bdn", "request_service_cost_ms", to_ms(c.request_service_cost)));
     c.per_source_rate = ini.get_double("bdn", "per_source_rate", c.per_source_rate);
     c.per_source_burst = ini.get_double("bdn", "per_source_burst", c.per_source_burst);
+    c.sync_peers = parse_endpoint_list(ini, "bdn", "sync_peers");
+    c.registry_sync_interval = from_ms(
+        ini.get_double("bdn", "registry_sync_interval_ms", to_ms(c.registry_sync_interval)));
     return c;
 }
 

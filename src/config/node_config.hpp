@@ -155,6 +155,13 @@ struct BrokerConfig {
     /// so requesters' scoring steers new clients elsewhere.
     DurationUs overload_hold = 2 * kSecond;
 
+    // --- reliable-UDP bulk lane ----------------------------------------------
+    /// Discovery responses whose encoded size exceeds this many bytes are
+    /// delivered over the RUDP bulk lane (fragmented, NAK-repaired)
+    /// instead of a single datagram. 0 keeps every response one lossy
+    /// datagram — the paper's §5.2 self-filtering default.
+    std::uint32_t response_rudp_threshold = 0;
+
     static BrokerConfig from_ini(const Ini& ini);
 };
 
@@ -240,6 +247,15 @@ struct BdnConfig {
     double per_source_rate = 0.0;
     /// Burst allowance for `per_source_rate`.
     double per_source_burst = 8.0;
+
+    // --- bulk ad-registry sync over the reliable-UDP lane --------------------
+    /// Peer BDNs that receive periodic full-registry snapshots over the
+    /// RUDP bulk lane, so a BDN that was partitioned away (or freshly
+    /// started) converges on the broker population without waiting a full
+    /// re-advertisement cycle.
+    std::vector<Endpoint> sync_peers;
+    /// Push a registry snapshot to every sync peer this often (0 = never).
+    DurationUs registry_sync_interval = 0;
 
     static BdnConfig from_ini(const Ini& ini);
 };

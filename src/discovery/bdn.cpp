@@ -25,6 +25,7 @@ Bdn::Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& 
 Bdn::~Bdn() {
     scheduler_.cancel_timer(refresh_timer_);
     scheduler_.cancel_timer(drain_timer_);
+    scheduler_.cancel_timer(sync_timer_);
     transport_.unbind(local_);
 }
 
@@ -32,6 +33,16 @@ void Bdn::start() {
     if (started_) return;
     started_ = true;
     refresh_distances();
+    if (config_.registry_sync_interval > 0 && !config_.sync_peers.empty()) {
+        arm_sync_timer();
+    }
+}
+
+void Bdn::arm_sync_timer() {
+    sync_timer_ = scheduler_.schedule(config_.registry_sync_interval, [this] {
+        sync_registry();
+        arm_sync_timer();
+    });
 }
 
 void Bdn::attach_to_broker(const Endpoint& broker, const Endpoint& client_endpoint) {
@@ -61,11 +72,90 @@ void Bdn::announce_to(const Endpoint& broker) {
 
 void Bdn::register_broker(BrokerAdvertisement ad) { handle_advertisement(ad); }
 
+transport::RudpChannel& Bdn::rudp_channel(const Endpoint& peer) {
+    auto it = rudp_channels_.find(peer);
+    if (it == rudp_channels_.end()) {
+        auto channel = std::make_unique<transport::RudpChannel>(
+            scheduler_, transport_, local_clock_, local_, peer, transport::RudpOptions{},
+            name_.empty() ? "bdn-sync" : name_ + "-sync");
+        channel->on_deliver(
+            [this, peer](Bytes payload) { handle_bulk_payload(peer, payload); });
+        if (metrics_ != nullptr) {
+            channel->set_observability(metrics_, name_ + "->" + peer.str());
+        }
+        it = rudp_channels_.emplace(peer, std::move(channel)).first;
+    }
+    return *it->second;
+}
+
+const transport::RudpChannel* Bdn::sync_channel(const Endpoint& peer) const {
+    const auto it = rudp_channels_.find(peer);
+    return it != rudp_channels_.end() ? it->second.get() : nullptr;
+}
+
+void Bdn::sync_registry() {
+    if (registry_.empty() || config_.sync_peers.empty()) return;
+    // One snapshot, encoded once; each peer's lane gets its own copy (the
+    // channel references the payload in place until fully acked).
+    std::size_t body = 1 + 4;
+    for (const auto& [id, rb] : registry_) body += rb.ad.measured_size();
+    wire::ByteWriter writer;
+    writer.reserve(body);
+    writer.u8(wire::kMsgBdnRegistrySync);
+    writer.u32(static_cast<std::uint32_t>(registry_.size()));
+    for (const auto& [id, rb] : registry_) rb.ad.encode(writer);
+    const Bytes snapshot = writer.take();
+
+    for (const Endpoint& peer : config_.sync_peers) {
+        if (peer == local_) continue;
+        transport::RudpChannel& channel = rudp_channel(peer);
+        if (channel.state() == transport::RudpChannel::State::kAbandoned) {
+            // The lane gave up on this peer (dead long enough to abandon);
+            // a periodic push is exactly the moment to try a fresh start.
+            channel.reset();
+        }
+        if (channel.send_bulk(snapshot)) {
+            ++stats_.sync_pushes;
+        } else {
+            ++stats_.sync_push_failures;
+        }
+    }
+}
+
+void Bdn::handle_bulk_payload(const Endpoint& peer, const Bytes& payload) {
+    try {
+        wire::ByteReader reader(payload);
+        const std::uint8_t type = reader.u8();
+        if (type != wire::kMsgBdnRegistrySync) {
+            NARADA_DEBUG("bdn", "{}: unexpected bulk payload type {} from {}", name_,
+                         static_cast<int>(type), peer.str());
+            return;
+        }
+        const std::uint32_t count = reader.u32();
+        ++stats_.sync_received;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const BrokerAdvertisement ad = BrokerAdvertisement::decode(reader);
+            const bool fresh = !registry_.contains(ad.broker_id);
+            // Same path as a direct advertisement: realm filter, lease
+            // renewal, newcomer ping.
+            handle_advertisement(ad);
+            if (fresh && registry_.contains(ad.broker_id)) ++stats_.sync_brokers_learned;
+        }
+        NARADA_DEBUG("bdn", "{}: registry sync from {}: {} brokers", name_, peer.str(), count);
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("bdn", "{}: bad registry sync from {}: {}", name_, peer.str(), e.what());
+    }
+}
+
 void Bdn::set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
                             const timesvc::UtcSource* utc) {
+    metrics_ = metrics;
     spans_ = spans;
     utc_ = utc;
     inst_ = {};
+    for (auto& [peer, channel] : rudp_channels_) {
+        channel->set_observability(metrics, name_ + "->" + peer.str());
+    }
     if (metrics == nullptr) return;
     inst_.requests = &metrics->counter("bdn_requests_received", name_);
     inst_.duplicates = &metrics->counter("bdn_duplicate_requests", name_);
@@ -106,7 +196,23 @@ std::string Bdn::debug_snapshot() const {
         .field("leases_renewed", stats_.leases_renewed)
         .field("leases_expired", stats_.leases_expired)
         .field("registrations_expired", stats_.registrations_expired)
+        .field("sync_pushes", stats_.sync_pushes)
+        .field("sync_push_failures", stats_.sync_push_failures)
+        .field("sync_received", stats_.sync_received)
+        .field("sync_brokers_learned", stats_.sync_brokers_learned)
         .end_object();
+    if (!rudp_channels_.empty()) {
+        w.key("sync_channels").begin_array();
+        for (const auto& [peer, channel] : rudp_channels_) {
+            w.begin_object()
+                .field("peer", peer.str())
+                .field("state", transport::to_string(channel->state()))
+                .field("in_flight", static_cast<std::uint64_t>(channel->in_flight()))
+                .field("srtt_ms", to_ms(channel->srtt()), 3)
+                .end_object();
+        }
+        w.end_array();
+    }
     w.key("registry").begin_array();
     for (const auto& [id, rb] : registry_) {
         w.begin_object()
@@ -153,6 +259,19 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
                 return;
             case wire::kMsgPong:
                 handle_pong(from, reader);
+                return;
+            case wire::kMsgRudpData:
+            case wire::kMsgRudpAck:
+                // Bulk-lane frames (registry sync). Unknown senders only get
+                // a channel while the map has room, so spoofed frames cannot
+                // grow BDN memory without bound.
+                if (!rudp_channels_.contains(from) &&
+                    rudp_channels_.size() >= kMaxSyncChannels) {
+                    NARADA_DEBUG("bdn", "{}: dropping RUDP frame from {} (channel cap)",
+                                 name_, from.str());
+                    return;
+                }
+                rudp_channel(from).handle_frame(type, reader);
                 return;
             default:
                 NARADA_DEBUG("bdn", "{}: unhandled message type {}", name_, static_cast<int>(type));

@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "timesvc/ntp.hpp"
+#include "transport/rudp_channel.hpp"
 #include "transport/transport.hpp"
 
 namespace narada::discovery {
@@ -75,6 +76,12 @@ public:
         std::uint64_t requests_shed_overflow = 0;  ///< ingest queue full
         std::uint64_t requests_serviced = 0;       ///< dequeued and injected
         std::uint64_t queue_depth_peak = 0;        ///< high-water mark
+
+        // --- bulk registry sync (registry_sync_interval > 0) -----------------
+        std::uint64_t sync_pushes = 0;         ///< snapshots handed to the lane
+        std::uint64_t sync_push_failures = 0;  ///< channel refused the payload
+        std::uint64_t sync_received = 0;       ///< snapshots reassembled here
+        std::uint64_t sync_brokers_learned = 0;  ///< ads ingested from snapshots
 
         /// Every shed decision, for digests and logs.
         [[nodiscard]] std::uint64_t requests_shed() const {
@@ -117,6 +124,13 @@ public:
     /// Requests admitted but not yet injected (bounded by
     /// `ingest_queue_limit`; always 0 in legacy inline mode).
     [[nodiscard]] std::size_t queue_depth() const { return ingest_queue_.size(); }
+
+    /// Push a full-registry snapshot to every configured sync peer now
+    /// (the periodic timer does this; tests can force a round).
+    void sync_registry();
+    /// The RUDP lane to/from `peer` (created lazily); null if none exists
+    /// yet. Exposes degradation state to tests and snapshots.
+    [[nodiscard]] const transport::RudpChannel* sync_channel(const Endpoint& peer) const;
 
     /// Wire this BDN into an observability plane. Any argument may be null
     /// (that facility is simply skipped). `utc` stamps trace spans — the
@@ -179,6 +193,15 @@ private:
 
     void refresh_distances();
 
+    /// The bulk lane to/from `peer`, created on first use. Channels are
+    /// bidirectional: the same instance carries outbound snapshots and
+    /// acks inbound ones.
+    transport::RudpChannel& rudp_channel(const Endpoint& peer);
+    /// Re-arm the periodic registry push.
+    void arm_sync_timer();
+    /// Reassembled bulk payload from `peer` (framed with its type octet).
+    void handle_bulk_payload(const Endpoint& peer, const Bytes& payload);
+
     /// Span-time source; only valid when spans are wired.
     [[nodiscard]] TimeUs span_now() const { return utc_->utc_now(); }
     [[nodiscard]] bool tracing() const { return spans_ != nullptr && utc_ != nullptr; }
@@ -199,7 +222,13 @@ private:
     bool started_ = false;
     Stats stats_;
 
+    // Bulk registry sync over the RUDP lane, keyed by the peer endpoint
+    // (outbound snapshots and inbound frames share one channel per peer).
+    std::map<Endpoint, std::unique_ptr<transport::RudpChannel>> rudp_channels_;
+    TimerHandle sync_timer_ = kInvalidTimerHandle;
+
     // Observability (all optional; null = off).
+    obs::MetricsRegistry* metrics_ = nullptr;  ///< kept for lazy RUDP channels
     obs::SpanRecorder* spans_ = nullptr;
     const timesvc::UtcSource* utc_ = nullptr;
     struct Instruments {
@@ -229,6 +258,8 @@ private:
     /// cannot grow BDN memory (the map resets when it overflows).
     std::map<HostId, TokenBucket> source_buckets_;
     static constexpr std::size_t kMaxTrackedSources = 1024;
+    /// Bound on lazily-created RUDP channels (spoofed-frame protection).
+    static constexpr std::size_t kMaxSyncChannels = 64;
 };
 
 }  // namespace narada::discovery

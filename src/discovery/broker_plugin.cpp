@@ -106,6 +106,15 @@ bool BrokerDiscoveryPlugin::on_message(const Endpoint& from, std::uint8_t type,
             process_request(DiscoveryRequestView::peek(reader), /*flooded=*/false);
             return true;
         }
+        case wire::kMsgRudpData:
+        case wire::kMsgRudpAck: {
+            // Acks (and stray data) for a bulk response lane. Frames from
+            // endpoints we never opened a lane to are consumed and dropped —
+            // a response channel only exists because we sent to that peer.
+            const auto it = rudp_channels_.find(from);
+            if (it != rudp_channels_.end()) it->second->handle_frame(type, reader);
+            return true;
+        }
         case wire::kMsgBdnAdvertisement: {
             // A (private) BDN announced itself; brokers "may have the
             // option to re-advertise their information at this newly added
@@ -304,13 +313,61 @@ void BrokerDiscoveryPlugin::send_response(const Uuid& request_id, const Endpoint
     writer.reserve(1 + response.measured_size());
     writer.u8(wire::kMsgDiscoveryResponse);
     response.encode(writer);
-    broker_->transport().send_datagram(broker_->endpoint(), reply_to, writer.take());
+    Bytes encoded = writer.take();
+
+    // A response too big for one MTU-ish datagram goes over the bulk lane:
+    // fragmented, NAK-repaired, paced. Small responses keep the paper's
+    // lossy single-datagram semantics.
+    const std::uint32_t threshold = broker_->config().response_rudp_threshold;
+    if (threshold > 0 && encoded.size() > threshold) {
+        if (transport::RudpChannel* lane = response_channel(reply_to)) {
+            if (lane->state() == transport::RudpChannel::State::kAbandoned) lane->reset();
+            if (lane->send_bulk(Bytes(encoded))) {
+                ++stats_.responses_sent;
+                ++stats_.responses_rudp;
+                if (inst_.responses) inst_.responses->inc();
+                return;
+            }
+        }
+        // No lane available (map saturated or channel refused): fall back
+        // to the lossy datagram rather than answering nothing.
+    }
+    broker_->transport().send_datagram(broker_->endpoint(), reply_to, std::move(encoded));
     ++stats_.responses_sent;
     if (inst_.responses) inst_.responses->inc();
 }
 
+transport::RudpChannel* BrokerDiscoveryPlugin::response_channel(const Endpoint& peer) {
+    auto it = rudp_channels_.find(peer);
+    if (it != rudp_channels_.end()) return it->second.get();
+    if (rudp_channels_.size() >= kMaxResponseChannels) {
+        // Evict a lane that is done (or given up); if every lane is
+        // mid-transfer the new requester falls back to a datagram.
+        auto victim = rudp_channels_.end();
+        for (auto i = rudp_channels_.begin(); i != rudp_channels_.end(); ++i) {
+            const transport::RudpChannel& lane = *i->second;
+            if (lane.state() == transport::RudpChannel::State::kAbandoned ||
+                (lane.in_flight() == 0 && lane.queued_segments() == 0)) {
+                victim = i;
+                break;
+            }
+        }
+        if (victim == rudp_channels_.end()) return nullptr;
+        rudp_channels_.erase(victim);
+    }
+    auto channel = std::make_unique<transport::RudpChannel>(
+        broker_->scheduler(), broker_->transport(), broker_->local_clock(),
+        broker_->endpoint(), peer, transport::RudpOptions{}, broker_->name() + "-resp");
+    if (metrics_ != nullptr) {
+        channel->set_observability(metrics_, broker_->name() + "->" + peer.str());
+    }
+    it = rudp_channels_.emplace(peer, std::move(channel)).first;
+    return it->second.get();
+}
+
 void BrokerDiscoveryPlugin::set_observability(obs::MetricsRegistry* metrics,
                                               obs::SpanRecorder* spans) {
+    metrics_ = metrics;
     spans_ = spans;
     inst_ = {};
     if (metrics == nullptr) return;
@@ -342,7 +399,19 @@ std::string BrokerDiscoveryPlugin::debug_snapshot() const {
         .field("policy_rejections", stats_.policy_rejections)
         .field("advertisements_sent", stats_.advertisements_sent)
         .field("requests_shed", stats_.requests_shed)
+        .field("responses_rudp", stats_.responses_rudp)
         .end_object();
+    if (!rudp_channels_.empty()) {
+        w.key("response_lanes").begin_array();
+        for (const auto& [peer, lane] : rudp_channels_) {
+            w.begin_object()
+                .field("peer", peer.str())
+                .field("state", transport::to_string(lane->state()))
+                .field("in_flight", static_cast<std::uint64_t>(lane->in_flight()))
+                .end_object();
+        }
+        w.end_array();
+    }
     w.end_object();
     return w.take();
 }

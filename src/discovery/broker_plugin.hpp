@@ -13,6 +13,8 @@
 //   * respond over UDP to the requester's reply endpoint (§5.2).
 #pragma once
 
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "discovery/messages.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "transport/rudp_channel.hpp"
 
 namespace narada::discovery {
 
@@ -48,6 +51,9 @@ public:
         /// (`discovery_rate_limit` knob); the request still floods so other
         /// brokers can answer, but this broker stays silent.
         std::uint64_t requests_shed = 0;
+        /// Responses that exceeded `response_rudp_threshold` and went out
+        /// over the reliable-UDP bulk lane instead of one lossy datagram.
+        std::uint64_t responses_rudp = 0;
     };
 
     explicit BrokerDiscoveryPlugin(BrokerIdentity identity, bool join_multicast = true)
@@ -102,6 +108,11 @@ private:
     void send_response(const Uuid& request_id, const Endpoint& reply_to,
                        const obs::TraceContext& trace);
 
+    /// The bulk lane to `peer` for oversized responses, created on demand.
+    /// Null when the channel map is full of mid-transfer lanes — the caller
+    /// then falls back to a single (lossy) datagram.
+    transport::RudpChannel* response_channel(const Endpoint& peer);
+
     BrokerIdentity identity_;
     bool join_multicast_;
     broker::Broker* broker_ = nullptr;
@@ -114,7 +125,14 @@ private:
     TokenBucket response_budget_{0.0, 0.0};
     TimeUs last_shed_ = -1;  ///< -1 until the first shed
 
+    // Bulk lanes for oversized responses (response_rudp_threshold > 0),
+    // keyed by the requester's reply endpoint. Bounded: idle or abandoned
+    // lanes are evicted before a new requester gets one.
+    std::map<Endpoint, std::unique_ptr<transport::RudpChannel>> rudp_channels_;
+    static constexpr std::size_t kMaxResponseChannels = 32;
+
     // Observability (optional; null = off).
+    obs::MetricsRegistry* metrics_ = nullptr;  ///< kept for lazy RUDP lanes
     obs::SpanRecorder* spans_ = nullptr;
     struct Instruments {
         obs::Counter* seen = nullptr;

@@ -224,6 +224,22 @@ void DiscoveryClient::multicast_request(const Bytes& encoded) {
     transport_.send_multicast(transport::kDiscoveryMulticastGroup, local_, encoded);
 }
 
+transport::RudpChannel& DiscoveryClient::rudp_channel(const Endpoint& peer) {
+    auto it = rudp_channels_.find(peer);
+    if (it == rudp_channels_.end()) {
+        auto channel = std::make_unique<transport::RudpChannel>(
+            scheduler_, transport_, local_clock_, local_, peer, transport::RudpOptions{},
+            hostname_ + "-rudp");
+        // A reassembled payload is a complete framed message (type octet
+        // first); re-entering on_datagram dispatches it like any arrival —
+        // an oversized DiscoveryResponse lands in on_response.
+        channel->on_deliver(
+            [this, peer](Bytes payload) { on_datagram(peer, payload); });
+        it = rudp_channels_.emplace(peer, std::move(channel)).first;
+    }
+    return *it->second;
+}
+
 void DiscoveryClient::on_datagram(const Endpoint& from, const Bytes& data) {
     try {
         wire::ByteReader reader(data);
@@ -232,6 +248,17 @@ void DiscoveryClient::on_datagram(const Endpoint& from, const Bytes& data) {
             case wire::kMsgDiscoveryAck: on_ack(from, reader); return;
             case wire::kMsgDiscoveryResponse: on_response(reader); return;
             case wire::kMsgPong: on_pong(from, reader); return;
+            case wire::kMsgRudpData:
+            case wire::kMsgRudpAck:
+                // A broker streaming an oversized response over the bulk
+                // lane. Unknown senders only get a lane while the map has
+                // room, so spoofed frames cannot grow client memory.
+                if (!rudp_channels_.contains(from) &&
+                    rudp_channels_.size() >= kMaxRudpPeers) {
+                    return;
+                }
+                rudp_channel(from).handle_frame(type, reader);
+                return;
             default:
                 NARADA_DEBUG("discovery", "{}: unexpected message type {}", local_.str(),
                              static_cast<int>(type));

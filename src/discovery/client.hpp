@@ -13,6 +13,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -28,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "timesvc/ntp.hpp"
+#include "transport/rudp_channel.hpp"
 #include "transport/transport.hpp"
 
 namespace narada::discovery {
@@ -136,6 +139,11 @@ private:
     void on_response(wire::ByteReader& reader);
     void on_pong(const Endpoint& from, wire::ByteReader& reader);
 
+    /// The bulk lane from `peer` (a broker streaming an oversized
+    /// response), created on first RUDP frame. Reassembled payloads are
+    /// framed messages and re-enter on_datagram for normal dispatch.
+    transport::RudpChannel& rudp_channel(const Endpoint& peer);
+
     /// (Re)build one breaker per configured BDN; called lazily so tests
     /// that mutate `config().bdns` after construction still get breakers.
     void ensure_breakers();
@@ -203,6 +211,10 @@ private:
     TimerHandle quiesce_timer_ = kInvalidTimerHandle;
 
     std::vector<Endpoint> cached_targets_;
+
+    // Inbound bulk lanes, one per sending broker (spoof-bounded).
+    std::map<Endpoint, std::unique_ptr<transport::RudpChannel>> rudp_channels_;
+    static constexpr std::size_t kMaxRudpPeers = 16;
 
     // Observability (optional; null = off).
     obs::SpanRecorder* spans_ = nullptr;

@@ -69,9 +69,14 @@ std::optional<Bytes> Coalescer::accept(const Fragment& fragment) {
         return std::nullopt;
     }
 
-    // Single-fragment payloads short-circuit.
+    // Single-fragment payloads short-circuit — unless the payload_id is
+    // already reassembling as a multi-fragment payload. A corrupt (or
+    // forged) count=1 fragment reusing an in-flight id must not hijack
+    // that transfer's completion; the shape disagreement rejects it and
+    // the pending entry stays intact.
     if (fragment.count == 1) {
-        if (fragment.chunk.size() != fragment.total_size) {
+        if (fragment.chunk.size() != fragment.total_size ||
+            pending_.contains(fragment.payload_id)) {
             ++stats_.mismatches_rejected;
             return std::nullopt;
         }

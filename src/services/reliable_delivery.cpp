@@ -1,5 +1,9 @@
 #include "services/reliable_delivery.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/log.hpp"
 #include "wire/codec.hpp"
 
@@ -58,23 +62,47 @@ void ReliablePublisher::handle_control(const broker::Event& event) {
         wire::ByteReader reader(event.payload);
         const Uuid stream = reader.uuid();
         if (stream != stream_id_) return;  // NACK for a different publisher
-        const std::uint64_t from = reader.u64();
-        const std::uint64_t to = reader.u64();
         ++stats_.nacks_received;
-        // Reject only nonsensical ranges; a gap wider than the replay
-        // buffer is a legitimate (if unrecoverable-in-part) request.
-        if (to < from || to >= next_seq_ || to - from > (1u << 20)) return;
-        for (std::uint64_t seq = from; seq <= to; ++seq) {
-            const auto it = replay_buffer_.find(seq);
-            if (it == replay_buffer_.end()) {
-                // Trimmed out of the bounded buffer: the consumer's gap is
-                // unrecoverable from here (paper [5] would escalate to the
-                // archival storage service).
-                ++stats_.replay_misses;
-                continue;
+        // One or more {from,to} ranges per frame, read to the end.
+        // Nonsensical ranges are skipped individually; a gap wider than the
+        // replay buffer is a legitimate (if unrecoverable-in-part) request.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+        while (reader.remaining() >= 16) {
+            const std::uint64_t from = reader.u64();
+            const std::uint64_t to = reader.u64();
+            if (to < from || to >= next_seq_ || to - from > (1u << 20)) continue;
+            ranges.emplace_back(from, to);
+        }
+        if (ranges.empty()) return;
+        // Coalesce overlapping/adjacent ranges so a seq requested twice in
+        // one frame is replayed (and accounted) exactly once.
+        std::sort(ranges.begin(), ranges.end());
+        std::size_t merged = 0;
+        for (std::size_t i = 1; i < ranges.size(); ++i) {
+            if (ranges[i].first <= ranges[merged].second + 1) {
+                ranges[merged].second = std::max(ranges[merged].second, ranges[i].second);
+            } else {
+                ranges[++merged] = ranges[i];
             }
-            send(seq, it->second, /*replay=*/true);
-            ++stats_.replayed;
+        }
+        ranges.resize(merged + 1);
+        for (const auto& [from, to] : ranges) {
+            for (std::uint64_t seq = from; seq <= to; ++seq) {
+                const auto it = replay_buffer_.find(seq);
+                if (it == replay_buffer_.end()) {
+                    // Trimmed out of the bounded buffer: the consumer's gap
+                    // is unrecoverable from here (paper [5] would escalate
+                    // to the archival storage service). The watermark keeps
+                    // re-NACKs of a known-lost range from recounting it.
+                    if (seq >= miss_horizon_) {
+                        ++stats_.replay_misses;
+                        miss_horizon_ = seq + 1;
+                    }
+                    continue;
+                }
+                send(seq, it->second, /*replay=*/true);
+                ++stats_.replayed;
+            }
         }
     } catch (const wire::WireError& e) {
         NARADA_DEBUG("reliable", "bad NACK on {}: {}", control_topic_, e.what());

@@ -9,7 +9,12 @@
 // by replaying from its buffer.
 //
 // Wire format: data events carry {stream-id uuid, seq u64, payload blob};
-// NACKs travel on "<topic>/__nack" carrying {stream-id, from, to}.
+// NACKs travel on "<topic>/__nack" carrying {stream-id} followed by one or
+// more {from u64, to u64} inclusive ranges (read to the end of the frame;
+// single-range senders remain wire-compatible). The publisher coalesces
+// overlapping/adjacent ranges before replaying, so a sequence requested
+// twice in one frame replays once, and counts each irrecoverable sequence
+// at most once across re-NACKs (miss watermark).
 #pragma once
 
 #include <functional>
@@ -27,7 +32,10 @@ public:
         std::uint64_t published = 0;
         std::uint64_t nacks_received = 0;
         std::uint64_t replayed = 0;
-        std::uint64_t replay_misses = 0;  ///< requested seq already trimmed
+        /// Requested seqs already trimmed from the replay buffer. Each
+        /// missing seq is counted once ever — a consumer re-NACKing a
+        /// known-lost range does not inflate the loss accounting.
+        std::uint64_t replay_misses = 0;
     };
 
     /// Publishes on `topic` through `client` (which must already be
@@ -59,6 +67,10 @@ private:
     Uuid stream_id_;
     std::uint64_t next_seq_ = 0;
     std::map<std::uint64_t, Bytes> replay_buffer_;
+    /// Miss watermark: every irrecoverable seq below this has been counted
+    /// in `replay_misses` (the replay buffer trims from the bottom, so
+    /// misses only ever appear below the buffered range).
+    std::uint64_t miss_horizon_ = 0;
     Stats stats_;
 };
 

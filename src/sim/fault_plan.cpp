@@ -14,6 +14,8 @@ const char* to_string(FaultType t) {
         case FaultType::kLossStorm: return "loss_storm";
         case FaultType::kClockSkewStep: return "clock_skew_step";
         case FaultType::kRequestStorm: return "request_storm";
+        case FaultType::kAsymmetricLoss: return "asymmetric_loss";
+        case FaultType::kBurstReorder: return "burst_reorder";
     }
     return "?";
 }
@@ -57,6 +59,31 @@ FaultPlan& FaultPlan::loss_storm(DurationUs at, double per_hop_loss, DurationUs 
     action.at = at;
     action.duration = down_for;
     action.loss = per_hop_loss;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::asymmetric_loss(DurationUs at, HostId from, HostId to,
+                                      double per_hop_loss, DurationUs down_for) {
+    FaultAction action;
+    action.type = FaultType::kAsymmetricLoss;
+    action.at = at;
+    action.duration = down_for;
+    action.host = from;
+    action.peer = to;
+    action.loss = per_hop_loss;
+    actions.push_back(std::move(action));
+    return *this;
+}
+
+FaultPlan& FaultPlan::burst_reorder(DurationUs at, double probability,
+                                    DurationUs max_extra, DurationUs down_for) {
+    FaultAction action;
+    action.type = FaultType::kBurstReorder;
+    action.at = at;
+    action.duration = down_for;
+    action.loss = probability;
+    action.reorder_extra = max_extra;
     actions.push_back(std::move(action));
     return *this;
 }
@@ -122,7 +149,7 @@ void ChaosInjector::run(const FaultPlan& plan) {
 }
 
 void ChaosInjector::apply(const FaultAction& action) {
-    double pre_storm_loss = 0.0;
+    PriorState prior;
     switch (action.type) {
         case FaultType::kHostCrash:
             network_.set_host_down(action.host, true);
@@ -137,9 +164,20 @@ void ChaosInjector::apply(const FaultAction& action) {
             ++stats_.partitions;
             break;
         case FaultType::kLossStorm:
-            pre_storm_loss = network_.per_hop_loss();
+            prior.loss = network_.per_hop_loss();
             network_.set_per_hop_loss(action.loss);
             ++stats_.loss_storms;
+            break;
+        case FaultType::kAsymmetricLoss:
+            prior.loss = network_.directed_loss(action.host, action.peer);
+            network_.set_directed_loss(action.host, action.peer, action.loss);
+            ++stats_.asymmetric_losses;
+            break;
+        case FaultType::kBurstReorder:
+            prior.reorder_prob = network_.reorder_probability();
+            prior.reorder_extra = network_.reorder_max_extra();
+            network_.set_reorder(action.loss, action.reorder_extra);
+            ++stats_.reorder_storms;
             break;
         case FaultType::kClockSkewStep:
             network_.step_clock_skew(action.host, action.skew_delta);
@@ -155,13 +193,12 @@ void ChaosInjector::apply(const FaultAction& action) {
     }
     NARADA_DEBUG("chaos", "t={} inject {}", kernel_.now(), to_string(action.type));
     if (action.duration > 0) {
-        kernel_.schedule_after(action.duration, [this, action, pre_storm_loss] {
-            revert(action, pre_storm_loss);
-        });
+        kernel_.schedule_after(action.duration,
+                               [this, action, prior] { revert(action, prior); });
     }
 }
 
-void ChaosInjector::revert(const FaultAction& action, double pre_storm_loss) {
+void ChaosInjector::revert(const FaultAction& action, const PriorState& prior) {
     switch (action.type) {
         case FaultType::kHostCrash:
             network_.set_host_down(action.host, false);
@@ -178,7 +215,13 @@ void ChaosInjector::revert(const FaultAction& action, double pre_storm_loss) {
         case FaultType::kLossStorm:
             // Overlapping storms: each revert restores the loss seen when
             // its own storm began.
-            network_.set_per_hop_loss(pre_storm_loss);
+            network_.set_per_hop_loss(prior.loss);
+            break;
+        case FaultType::kAsymmetricLoss:
+            network_.set_directed_loss(action.host, action.peer, prior.loss);
+            break;
+        case FaultType::kBurstReorder:
+            network_.set_reorder(prior.reorder_prob, prior.reorder_extra);
             break;
         case FaultType::kClockSkewStep:
         case FaultType::kRequestStorm:

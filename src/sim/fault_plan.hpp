@@ -28,6 +28,8 @@ enum class FaultType : std::uint8_t {
     kLossStorm,      ///< per-hop datagram loss raised to `loss`
     kClockSkewStep,  ///< host's local clock jumps by `skew_delta`
     kRequestStorm,   ///< synthetic clients flood `storm_target` with datagrams
+    kAsymmetricLoss, ///< directed host->peer per-hop loss raised to `loss`
+    kBurstReorder,   ///< datagrams held back randomly so later sends overtake
 };
 
 /// Builds one synthetic storm datagram. The sim layer knows nothing about
@@ -52,8 +54,9 @@ struct FaultAction {
     HostId peer = kInvalidHost;  ///< second endpoint of a link cut
     std::vector<HostId> group_a;  ///< partition side A
     std::vector<HostId> group_b;  ///< partition side B
-    double loss = 0.0;            ///< storm per-hop drop probability
+    double loss = 0.0;            ///< storm per-hop drop / reorder probability
     DurationUs skew_delta = 0;    ///< clock step amount
+    DurationUs reorder_extra = 0; ///< kBurstReorder: max extra holding delay
 
     // kRequestStorm only.
     Endpoint storm_target{};             ///< flood destination (usually a BDN)
@@ -77,6 +80,15 @@ struct FaultPlan {
     FaultPlan& partition(DurationUs at, std::vector<HostId> side_a,
                          std::vector<HostId> side_b, DurationUs down_for);
     FaultPlan& loss_storm(DurationUs at, double per_hop_loss, DurationUs down_for);
+    /// One-way congestion: datagrams `from` -> `to` suffer `per_hop_loss`
+    /// per hop while the reverse direction keeps the ambient loss. The
+    /// classic trap for ack-clocked protocols.
+    FaultPlan& asymmetric_loss(DurationUs at, HostId from, HostId to,
+                               double per_hop_loss, DurationUs down_for);
+    /// Burst reordering: each datagram is independently held back by up to
+    /// `max_extra` with probability `probability`.
+    FaultPlan& burst_reorder(DurationUs at, double probability, DurationUs max_extra,
+                             DurationUs down_for);
     FaultPlan& skew_step(DurationUs at, HostId host, DurationUs delta);
     /// A scripted request storm: every `interval`, each of `clients`
     /// synthetic clients (sending from `sources`, cycled, on ephemeral
@@ -112,6 +124,8 @@ public:
         std::uint64_t skew_steps = 0;
         std::uint64_t request_storms = 0;       ///< storms started
         std::uint64_t storm_requests_sent = 0;  ///< synthetic datagrams fired
+        std::uint64_t asymmetric_losses = 0;
+        std::uint64_t reorder_storms = 0;
     };
 
     /// `seed` feeds the injector's own Rng (storm payload UUIDs etc.), so
@@ -135,8 +149,16 @@ public:
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
 private:
+    /// Network knobs captured when a fault strikes, restored by revert()
+    /// so overlapping faults each put back what they found.
+    struct PriorState {
+        double loss = 0.0;
+        double reorder_prob = 0.0;
+        DurationUs reorder_extra = 0;
+    };
+
     void apply(const FaultAction& action);
-    void revert(const FaultAction& action, double pre_storm_loss);
+    void revert(const FaultAction& action, const PriorState& prior);
     void set_partition(const std::vector<HostId>& a, const std::vector<HostId>& b,
                        bool down);
     /// One storm round; self-reschedules until `storm_end`.

@@ -104,10 +104,30 @@ DurationUs SimNetwork::sample_delay(const LinkQuality& q, std::size_t payload_si
     return delay;
 }
 
-bool SimNetwork::drop_datagram(int hops) {
-    if (per_hop_loss_ <= 0.0 || hops <= 0) return false;
-    const double survive = std::pow(1.0 - per_hop_loss_, hops);
+bool SimNetwork::drop_datagram(int hops, double per_hop) {
+    if (per_hop <= 0.0 || hops <= 0) return false;
+    const double survive = std::pow(1.0 - std::min(per_hop, 1.0), hops);
     return !rng_.chance(survive);
+}
+
+void SimNetwork::set_directed_loss(HostId from, HostId to, double p) {
+    check_host(from, "set_directed_loss");
+    check_host(to, "set_directed_loss");
+    if (p <= 0.0) {
+        directed_loss_.erase(directed_key(from, to));
+    } else {
+        directed_loss_[directed_key(from, to)] = p;
+    }
+}
+
+double SimNetwork::directed_loss(HostId from, HostId to) const {
+    const auto it = directed_loss_.find(directed_key(from, to));
+    return it != directed_loss_.end() ? it->second : 0.0;
+}
+
+void SimNetwork::set_reorder(double probability, DurationUs max_extra) {
+    reorder_prob_ = std::clamp(probability, 0.0, 1.0);
+    reorder_extra_ = std::max<DurationUs>(max_extra, 0);
 }
 
 void SimNetwork::check_host(HostId h, const char* what) const {
@@ -150,12 +170,19 @@ void SimNetwork::send_datagram(const Endpoint& from, const Endpoint& to, Bytes d
         return;
     }
     const LinkQuality q = link(from.host, to.host);
-    if (drop_datagram(q.hops)) {
+    // A directed override models asymmetric congestion; otherwise the
+    // global per-hop loss applies.
+    const double directed = directed_loss(from.host, to.host);
+    if (drop_datagram(q.hops, directed > 0.0 ? directed : per_hop_loss_)) {
         ++stats_.datagrams_dropped;
         NARADA_TRACE("sim", "datagram {} -> {} dropped by loss model", from.str(), to.str());
         return;
     }
-    const DurationUs delay = sample_delay(q, data.size());
+    DurationUs delay = sample_delay(q, data.size());
+    if (reorder_prob_ > 0.0 && reorder_extra_ > 0 && rng_.chance(reorder_prob_)) {
+        delay += rng_.uniform_int(0, reorder_extra_);
+        ++stats_.datagrams_reordered;
+    }
     deliver(from, to, std::move(data), /*reliable=*/false, delay);
 }
 
@@ -209,7 +236,8 @@ void SimNetwork::send_multicast(transport::MulticastGroup group, const Endpoint&
         if (realm_of(member.host) != sender_realm) continue;
         if (hosts_[member.host].down || link_down(from.host, member.host)) continue;
         const LinkQuality q = link(from.host, member.host);
-        if (drop_datagram(q.hops)) continue;
+        const double directed = directed_loss(from.host, member.host);
+        if (drop_datagram(q.hops, directed > 0.0 ? directed : per_hop_loss_)) continue;
         ++stats_.multicast_delivered;
         const DurationUs delay = sample_delay(q, data.size());
         deliver(from, member, data, /*reliable=*/false, delay);

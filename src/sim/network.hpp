@@ -49,6 +49,7 @@ struct NetworkStats {
     std::uint64_t datagrams_dropped = 0;   ///< loss model or down link/host
     std::uint64_t datagrams_delivered = 0;
     std::uint64_t datagrams_unrouteable = 0;  ///< no binding at destination
+    std::uint64_t datagrams_reordered = 0;    ///< held back by the reorder model
     std::uint64_t reliable_sent = 0;
     std::uint64_t reliable_delivered = 0;
     std::uint64_t multicast_sent = 0;
@@ -74,6 +75,20 @@ public:
     /// Effective loss = 1 - (1 - p)^hops.
     void set_per_hop_loss(double p) { per_hop_loss_ = p; }
     [[nodiscard]] double per_hop_loss() const { return per_hop_loss_; }
+
+    /// Directed per-hop loss override for datagrams flowing `from` -> `to`
+    /// only (asymmetric congestion: a saturated uplink drops data while the
+    /// reverse ack path stays clean). <= 0 clears the override and the pair
+    /// falls back to the global per-hop loss.
+    void set_directed_loss(HostId from, HostId to, double p);
+    [[nodiscard]] double directed_loss(HostId from, HostId to) const;
+
+    /// Burst reordering: each datagram is independently held back by an
+    /// extra uniform delay in [0, max_extra] with probability `probability`,
+    /// letting later sends overtake it. 0 disables.
+    void set_reorder(double probability, DurationUs max_extra);
+    [[nodiscard]] double reorder_probability() const { return reorder_prob_; }
+    [[nodiscard]] DurationUs reorder_max_extra() const { return reorder_extra_; }
 
     /// Payload serialization rate (bytes/second) added to the latency.
     void set_bandwidth(double bytes_per_second) { bandwidth_ = bytes_per_second; }
@@ -126,8 +141,13 @@ private:
     /// Sampled delivery delay for one message over the link.
     DurationUs sample_delay(const LinkQuality& q, std::size_t payload_size);
 
-    /// True if the loss model drops a datagram crossing `hops` hops.
-    bool drop_datagram(int hops);
+    /// True if the loss model drops a datagram crossing `hops` hops at
+    /// `per_hop` loss probability.
+    bool drop_datagram(int hops, double per_hop);
+
+    [[nodiscard]] static std::uint64_t directed_key(HostId from, HostId to) {
+        return (std::uint64_t{from} << 32) | to;
+    }
 
     void check_host(HostId h, const char* what) const;
 
@@ -141,6 +161,9 @@ private:
     std::unordered_map<std::uint64_t, bool> links_down_;
     LinkQuality default_link_{/*one_way=*/from_ms(5.0), /*jitter=*/from_ms(0.5), /*hops=*/4};
     double per_hop_loss_ = 0.0;
+    std::unordered_map<std::uint64_t, double> directed_loss_;  ///< directed_key -> p
+    double reorder_prob_ = 0.0;
+    DurationUs reorder_extra_ = 0;
     double bandwidth_ = 12.5e6;  // 100 Mbit/s
 
     std::unordered_map<Endpoint, transport::MessageHandler*> bindings_;

@@ -1,0 +1,634 @@
+#include "transport/rudp_channel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::transport {
+namespace {
+
+/// Per-segment overhead on top of the chunk: type + seq + ts + fragment
+/// header (uuid + index + count + total_size + chunk length prefix).
+constexpr std::size_t kSegmentOverhead = 1 + 8 + 8 + 16 + 4 + 4 + 8 + 4;
+
+/// EWMA weight for the retransmit-ratio loss estimator.
+constexpr double kLossAlpha = 1.0 / 16.0;
+
+std::uint64_t seed_for(const Endpoint& local, const Endpoint& peer) {
+    return 0x52554450ull ^ (std::uint64_t{local.host} << 40) ^
+           (std::uint64_t{local.port} << 24) ^ (std::uint64_t{peer.host} << 8) ^
+           peer.port;
+}
+
+}  // namespace
+
+const char* to_string(RudpChannel::State s) {
+    switch (s) {
+        case RudpChannel::State::kHealthy: return "healthy";
+        case RudpChannel::State::kLossy: return "lossy";
+        case RudpChannel::State::kStalled: return "stalled";
+        case RudpChannel::State::kAbandoned: return "abandoned";
+    }
+    return "?";
+}
+
+RudpChannel::RudpChannel(Scheduler& scheduler, Transport& transport, const Clock& clock,
+                         Endpoint local, Endpoint peer, RudpOptions options,
+                         std::string name)
+    : scheduler_(scheduler),
+      transport_(transport),
+      clock_(clock),
+      local_(local),
+      peer_(peer),
+      opts_(options),
+      name_(std::move(name)),
+      rng_(seed_for(local, peer)),
+      pacer_(opts_.pace_bytes_per_sec,
+             std::max(opts_.pace_burst_bytes,
+                      static_cast<double>(opts_.chunk_size + kSegmentOverhead))),
+      reassembly_(opts_.max_reassembly, opts_.max_payload_bytes) {
+    opts_.chunk_size = std::max<std::size_t>(opts_.chunk_size, 1);
+    opts_.window = std::bit_ceil(std::max<std::size_t>(opts_.window, 1));
+    opts_.min_rto = std::max<DurationUs>(opts_.min_rto, 1);
+    opts_.max_rto = std::max(opts_.max_rto, opts_.min_rto);
+    opts_.stall_after = std::max<DurationUs>(opts_.stall_after, 1);
+    opts_.abandon_after = std::max(opts_.abandon_after, opts_.stall_after);
+    opts_.keepalive_interval = std::max<DurationUs>(opts_.keepalive_interval, 1);
+    opts_.max_nak_ranges = std::min<std::size_t>(opts_.max_nak_ranges, 255);
+    slots_.resize(opts_.window);
+    slot_mask_ = opts_.window - 1;
+    BackoffOptions backoff;
+    backoff.initial = std::max<DurationUs>(2 * opts_.min_rto, 1);
+    backoff.max = opts_.max_rto;
+    backoff.multiplier = 2.0;
+    backoff.jitter = 0.15;
+    rto_backoff_ = JitteredBackoff(backoff);
+}
+
+RudpChannel::~RudpChannel() {
+    scheduler_.cancel_timer(pump_timer_);
+    scheduler_.cancel_timer(rto_timer_);
+    scheduler_.cancel_timer(keepalive_timer_);
+}
+
+// --- sender ------------------------------------------------------------------
+
+bool RudpChannel::send_bulk(Bytes payload) {
+    if (state_ == State::kAbandoned) {
+        ++stats_.send_rejected;
+        return false;
+    }
+    if (payload.size() > opts_.max_payload_bytes) {
+        ++stats_.send_rejected;
+        return false;
+    }
+    const std::size_t count =
+        payload.empty() ? 1 : (payload.size() + opts_.chunk_size - 1) / opts_.chunk_size;
+    if (queued_segments_ + count > opts_.max_queued_segments) {
+        ++stats_.send_rejected;
+        return false;
+    }
+    PendingTransfer transfer;
+    transfer.id = Uuid::random(rng_);
+    transfer.payload = std::move(payload);
+    transfer.count = static_cast<std::uint32_t>(count);
+    queued_segments_ += count;
+    transfers_.push_back(std::move(transfer));
+    ++stats_.payloads_accepted;
+    pump();
+    return true;
+}
+
+void RudpChannel::transfers_pop_front() {
+    // Destroy the finished transfer's payload now (it can be megabytes),
+    // then recycle the vector's capacity once the queue drains — the FIFO
+    // never allocates again in steady state.
+    transfers_[transfer_head_] = PendingTransfer{};
+    ++transfer_head_;
+    if (transfer_head_ >= transfers_.size()) {
+        transfers_.clear();
+        transfer_head_ = 0;
+    } else if (transfer_head_ >= 64) {
+        // A queue that never fully drains would otherwise accumulate dead
+        // head entries; compacting shifts the few live ones left in place.
+        transfers_.erase(transfers_.begin(),
+                         transfers_.begin() +
+                             static_cast<std::ptrdiff_t>(transfer_head_));
+        transfer_head_ = 0;
+    }
+}
+
+void RudpChannel::transfers_clear() {
+    transfers_.clear();
+    transfer_head_ = 0;
+}
+
+void RudpChannel::encode_segment(PendingTransfer& transfer, Slot& slot) {
+    const std::size_t begin = std::size_t{transfer.next_index} * opts_.chunk_size;
+    const std::size_t end =
+        std::min(begin + opts_.chunk_size, transfer.payload.size());
+    const std::size_t len = end > begin ? end - begin : 0;
+
+    slot.seq = next_seq_;
+    slot.active = true;
+    slot.nak_pending = false;
+    slot.transmits = 0;
+    slot.last_sent = 0;
+
+    // The frame layout is wire-compatible with services::Fragment so the
+    // receive side reassembles through the stock Coalescer; the chunk is
+    // written straight out of the queued payload (no intermediate copy) and
+    // the slot's buffer capacity is recycled across sequence numbers.
+    wire::ByteWriter writer(std::move(slot.frame));
+    writer.reserve(kSegmentOverhead + len);
+    writer.u8(wire::kMsgRudpData);
+    writer.u64(slot.seq);
+    writer.i64(0);  // ts: patched with the send-time clock by transmit()
+    writer.uuid(transfer.id);
+    writer.u32(transfer.next_index);
+    writer.u32(transfer.count);
+    writer.u64(transfer.payload.size());
+    writer.u32(static_cast<std::uint32_t>(len));
+    if (len > 0) writer.raw(transfer.payload.data() + begin, len);
+    slot.frame = writer.take();
+
+    ++transfer.next_index;
+    ++next_seq_;
+}
+
+void RudpChannel::transmit(Slot& slot, TimeUs now, bool retransmit) {
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(slot.frame.size());
+    writer.raw(slot.frame.data(), kTsOffset);
+    writer.i64(now);
+    writer.raw(slot.frame.data() + kTsOffset + 8, slot.frame.size() - kTsOffset - 8);
+    transport_.send_datagram(local_, peer_, writer.take());
+
+    slot.last_sent = now;
+    ++slot.transmits;
+    if (retransmit) {
+        ++stats_.retransmits;
+        if (m_retransmits_ != nullptr) m_retransmits_->inc();
+    } else {
+        ++stats_.segments_sent;
+        if (m_segments_sent_ != nullptr) m_segments_sent_->inc();
+    }
+    loss_ewma_ += ((retransmit ? 1.0 : 0.0) - loss_ewma_) * kLossAlpha;
+}
+
+void RudpChannel::schedule_pump(DurationUs delay) {
+    if (pump_timer_ != kInvalidTimerHandle) return;
+    pump_timer_ = scheduler_.schedule(delay, [this] {
+        pump_timer_ = kInvalidTimerHandle;
+        pump();
+    });
+}
+
+void RudpChannel::pump() {
+    if (state_ == State::kAbandoned) return;
+    const TimeUs now = clock_.now();
+
+    // 1. NAK-driven retransmits, lowest sequence first. A segment resent
+    // less than an RTT ago is still in flight — drop the flag and let the
+    // next keepalive NAK re-raise it if it really was lost again.
+    if (naks_flagged_ > 0) {
+        const DurationUs holdoff =
+            std::max(opts_.min_rto, static_cast<DurationUs>(srtt_us_));
+        for (std::uint64_t seq = tx_base_; seq < next_seq_ && naks_flagged_ > 0; ++seq) {
+            Slot& slot = slot_for(seq);
+            if (!slot.active || slot.seq != seq || !slot.nak_pending) continue;
+            if (now - slot.last_sent < holdoff) {
+                slot.nak_pending = false;
+                --naks_flagged_;
+                continue;
+            }
+            if (!pacer_.try_consume(now, static_cast<double>(slot.frame.size()))) {
+                ++stats_.pacer_deferrals;
+                schedule_pump(std::max<DurationUs>(kMillisecond, opts_.min_rto / 4));
+                return;
+            }
+            transmit(slot, now, /*retransmit=*/true);
+            slot.nak_pending = false;
+            --naks_flagged_;
+        }
+    }
+
+    // 2. Fresh segments while the window has room.
+    while (!transfers_empty() && in_flight() < slots_.size()) {
+        PendingTransfer& transfer = transfers_front();
+        const std::size_t begin =
+            std::size_t{transfer.next_index} * opts_.chunk_size;
+        const std::size_t len =
+            std::min(opts_.chunk_size,
+                     transfer.payload.size() > begin ? transfer.payload.size() - begin : 0);
+        if (!pacer_.try_consume(now, static_cast<double>(len + kSegmentOverhead))) {
+            ++stats_.pacer_deferrals;
+            schedule_pump(std::max<DurationUs>(kMillisecond, opts_.min_rto / 4));
+            break;
+        }
+        Slot& slot = slot_for(next_seq_);
+        encode_segment(transfer, slot);
+        transmit(slot, now, /*retransmit=*/false);
+        --queued_segments_;
+        if (transfer.next_index >= transfer.count) transfers_pop_front();
+        if (!progress_primed_) {
+            progress_primed_ = true;
+            last_progress_ = now;
+        }
+    }
+
+    if (m_inflight_ != nullptr) m_inflight_->set(static_cast<double>(in_flight()));
+    arm_rto();
+}
+
+// --- RTT / RTO ---------------------------------------------------------------
+
+void RudpChannel::observe_rtt(DurationUs sample) {
+    const auto rtt = static_cast<double>(std::max<DurationUs>(sample, 1));
+    if (!have_rtt_) {
+        have_rtt_ = true;
+        srtt_us_ = rtt;
+        rttvar_us_ = rtt / 2.0;
+    } else {
+        // RFC 6298: RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|, SRTT <- 7/8 SRTT + 1/8 R'.
+        rttvar_us_ = 0.75 * rttvar_us_ + 0.25 * std::abs(srtt_us_ - rtt);
+        srtt_us_ = 0.875 * srtt_us_ + 0.125 * rtt;
+    }
+    ++stats_.rtt_samples;
+    if (m_srtt_ms_ != nullptr) m_srtt_ms_->set(srtt_us_ / 1000.0);
+}
+
+DurationUs RudpChannel::base_rto() const {
+    if (!have_rtt_) {
+        return std::clamp<DurationUs>(8 * opts_.min_rto, opts_.min_rto, opts_.max_rto);
+    }
+    const auto rto = static_cast<DurationUs>(srtt_us_ + 4.0 * rttvar_us_);
+    return std::clamp(rto, opts_.min_rto, opts_.max_rto);
+}
+
+DurationUs RudpChannel::rto() const {
+    return std::min(opts_.max_rto, std::max(base_rto(), backed_off_));
+}
+
+void RudpChannel::arm_rto() {
+    if (in_flight() == 0) {
+        scheduler_.cancel_timer(rto_timer_);
+        rto_timer_ = kInvalidTimerHandle;
+        return;
+    }
+    if (rto_timer_ != kInvalidTimerHandle) return;
+    rto_timer_ = scheduler_.schedule(rto(), [this] {
+        rto_timer_ = kInvalidTimerHandle;
+        on_rto_expired();
+    });
+}
+
+void RudpChannel::on_rto_expired() {
+    if (state_ == State::kAbandoned || in_flight() == 0) return;
+    const TimeUs now = clock_.now();
+    ++stats_.rto_expirations;
+    ++consecutive_rtos_;
+    // Exponential backoff with jitter: consecutive expirations without ack
+    // progress space the probes geometrically so a dead peer is probed at
+    // max_rto, not hammered at min_rto.
+    backed_off_ = rto_backoff_.next(rng_);
+    // Probe by retransmitting the oldest unacked segment; its ack (or the
+    // NAKs it provokes) restarts the pipeline.
+    Slot& head = slot_for(tx_base_);
+    if (head.active && head.seq == tx_base_ && !head.nak_pending) {
+        head.nak_pending = true;
+        ++naks_flagged_;
+        // The probe must actually go out: it is the only recovery signal on
+        // a totally dead link, so bypass the freshness holdoff.
+        head.last_sent = std::min(head.last_sent, now - opts_.max_rto);
+    }
+    update_state(now);
+    if (state_ == State::kAbandoned) return;
+    pump();
+    arm_rto();
+}
+
+// --- progress / degradation --------------------------------------------------
+
+void RudpChannel::note_progress(TimeUs now) {
+    last_progress_ = now;
+    progress_primed_ = true;
+    consecutive_rtos_ = 0;
+    backed_off_ = 0;
+    rto_backoff_.reset();
+    // A fresh RTO from now, based on the recovered estimator.
+    scheduler_.cancel_timer(rto_timer_);
+    rto_timer_ = kInvalidTimerHandle;
+}
+
+void RudpChannel::update_state(TimeUs now) {
+    if (state_ == State::kAbandoned) return;
+    State next;
+    const bool lossy = state_ == State::kLossy ? loss_ewma_ > opts_.lossy_exit
+                                              : loss_ewma_ > opts_.lossy_enter;
+    if (progress_primed_ && tx_busy()) {
+        const DurationUs idle = now - last_progress_;
+        if (idle >= opts_.abandon_after) {
+            do_abandon();
+            return;
+        }
+        next = idle >= opts_.stall_after ? State::kStalled
+                                        : (lossy ? State::kLossy : State::kHealthy);
+    } else {
+        next = lossy ? State::kLossy : State::kHealthy;
+    }
+    if (next != state_) enter_state(next);
+}
+
+void RudpChannel::enter_state(State next) {
+    if (next == state_) return;
+    if (next == State::kStalled) {
+        ++stats_.stalls;
+        if (m_stalls_ != nullptr) m_stalls_->inc();
+        NARADA_DEBUG("rudp", "{}: stalled ({} in flight)", name_, in_flight());
+    } else if (next == State::kAbandoned) {
+        ++stats_.abandons;
+        if (m_abandons_ != nullptr) m_abandons_->inc();
+        NARADA_DEBUG("rudp", "{}: abandoned", name_);
+    }
+    state_ = next;
+    if (m_state_ != nullptr) m_state_->set(static_cast<double>(static_cast<int>(next)));
+}
+
+void RudpChannel::do_abandon() {
+    stats_.segments_dropped += in_flight() + queued_segments_;
+    transfers_clear();
+    queued_segments_ = 0;
+    for (Slot& slot : slots_) {
+        slot.active = false;
+        slot.nak_pending = false;
+    }
+    naks_flagged_ = 0;
+    tx_base_ = next_seq_;
+    progress_primed_ = false;
+    scheduler_.cancel_timer(pump_timer_);
+    pump_timer_ = kInvalidTimerHandle;
+    scheduler_.cancel_timer(rto_timer_);
+    rto_timer_ = kInvalidTimerHandle;
+    enter_state(State::kAbandoned);
+}
+
+void RudpChannel::reset() {
+    do_abandon();  // idempotent tx teardown (counts an abandon only once)
+    // Write off the inbound tail as well: the owner is starting over.
+    for (const auto& [from, to] : rx_gaps_) stats_.gaps_given_up += to - from + 1;
+    rx_gaps_.clear();
+    cum_ack_ = rx_horizon_;
+    echo_ts_ = 0;
+    unacked_arrivals_ = 0;
+    reassembly_ = services::Coalescer(opts_.max_reassembly, opts_.max_payload_bytes);
+    scheduler_.cancel_timer(keepalive_timer_);
+    keepalive_timer_ = kInvalidTimerHandle;
+    loss_ewma_ = 0.0;
+    enter_state(State::kHealthy);
+}
+
+// --- inbound frames ----------------------------------------------------------
+
+bool RudpChannel::handle_frame(std::uint8_t type, wire::ByteReader& reader) {
+    if (type == wire::kMsgRudpData) {
+        handle_data(reader);
+        return true;
+    }
+    if (type == wire::kMsgRudpAck) {
+        handle_ack(reader);
+        return true;
+    }
+    return false;
+}
+
+void RudpChannel::handle_ack(wire::ByteReader& reader) {
+    const std::uint64_t cum = reader.u64();
+    const std::uint64_t horizon = reader.u64();
+    const TimeUs echo = reader.i64();
+    const std::uint8_t nak_count = reader.u8();
+    (void)horizon;  // carried for snapshots/debugging; cum + NAKs drive the sender
+    ++stats_.acks_received;
+    const TimeUs now = clock_.now();
+
+    if (echo != 0 && now > echo) observe_rtt(now - echo);
+
+    if (cum > tx_base_ && cum <= next_seq_) {
+        for (std::uint64_t seq = tx_base_; seq < cum; ++seq) {
+            Slot& slot = slot_for(seq);
+            if (slot.active && slot.seq == seq) {
+                slot.active = false;
+                if (slot.nak_pending) {
+                    slot.nak_pending = false;
+                    --naks_flagged_;
+                }
+            }
+        }
+        tx_base_ = cum;
+        note_progress(now);
+        if (in_flight() == 0 && transfers_empty()) progress_primed_ = false;
+    }
+
+    for (std::uint8_t i = 0; i < nak_count; ++i) {
+        const std::uint64_t from = reader.u64();
+        const std::uint64_t to = reader.u64();
+        if (to < from) continue;
+        ++stats_.nak_ranges_received;
+        if (m_nak_ranges_received_ != nullptr) m_nak_ranges_received_->inc();
+        const std::uint64_t lo = std::max(from, tx_base_);
+        const std::uint64_t hi = std::min(to, next_seq_ > 0 ? next_seq_ - 1 : 0);
+        for (std::uint64_t seq = lo; next_seq_ > 0 && seq <= hi; ++seq) {
+            Slot& slot = slot_for(seq);
+            if (slot.active && slot.seq == seq && !slot.nak_pending) {
+                slot.nak_pending = true;
+                ++naks_flagged_;
+            }
+        }
+    }
+
+    if (m_inflight_ != nullptr) m_inflight_->set(static_cast<double>(in_flight()));
+    update_state(now);
+    pump();
+}
+
+void RudpChannel::handle_data(wire::ByteReader& reader) {
+    const std::uint64_t seq = reader.u64();
+    const TimeUs ts = reader.i64();
+    const services::Fragment fragment = services::Fragment::decode(reader);
+    const TimeUs now = clock_.now();
+
+    ++stats_.segments_received;
+    last_rx_data_ = now;
+    // Echoing the newest transmission timestamp (original or retransmit)
+    // gives the sender a Karn-safe RTT sample: the ts always identifies the
+    // copy actually received.
+    echo_ts_ = ts;
+
+    if (!track_rx_seq(seq)) {
+        ++stats_.duplicate_segments;
+    } else if (auto payload = reassembly_.accept(fragment)) {
+        ++stats_.payloads_delivered;
+        if (m_payloads_delivered_ != nullptr) m_payloads_delivered_->inc();
+        send_ack();  // completion ack before delivery: the handler may reply in kind
+        if (deliver_) deliver_(std::move(*payload));
+    }
+
+    ++unacked_arrivals_;
+    if (unacked_arrivals_ >= opts_.ack_every) send_ack();
+    ensure_keepalive();
+}
+
+bool RudpChannel::track_rx_seq(std::uint64_t seq) {
+    if (seq < cum_ack_) return false;
+    if (seq >= rx_horizon_) {
+        if (seq > rx_horizon_) {
+            rx_gaps_[rx_horizon_] = seq - 1;
+            if (rx_gaps_.size() > opts_.max_tracked_gaps) {
+                give_up_oldest_gaps(opts_.max_tracked_gaps);
+            }
+        }
+        rx_horizon_ = seq + 1;
+    } else {
+        auto it = rx_gaps_.upper_bound(seq);
+        if (it == rx_gaps_.begin()) return false;  // below every gap: duplicate
+        --it;
+        const auto [from, to] = *it;
+        if (seq > to) return false;  // inside covered ground: duplicate
+        rx_gaps_.erase(it);
+        if (from < seq) rx_gaps_.emplace(from, seq - 1);
+        if (seq < to) rx_gaps_.emplace(seq + 1, to);
+    }
+    cum_ack_ = rx_gaps_.empty() ? rx_horizon_ : rx_gaps_.begin()->first;
+    return true;
+}
+
+void RudpChannel::give_up_oldest_gaps(std::size_t keep) {
+    // Bounded gap tracking: a pathological reorder/loss pattern cannot grow
+    // receiver state without limit. Giving up a gap declares its segments
+    // permanently missing — the affected payload will die in the Coalescer's
+    // LRU, which is exactly the degradation the lane promises.
+    while (rx_gaps_.size() > keep) {
+        const auto it = rx_gaps_.begin();
+        stats_.gaps_given_up += it->second - it->first + 1;
+        rx_gaps_.erase(it);
+    }
+}
+
+void RudpChannel::send_ack() {
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + 8 + 8 + 8 + 1 + 16 * opts_.max_nak_ranges);
+    writer.u8(wire::kMsgRudpAck);
+    writer.u64(cum_ack_);
+    writer.u64(rx_horizon_);
+    writer.i64(echo_ts_);
+    const auto ranges =
+        static_cast<std::uint8_t>(std::min(rx_gaps_.size(), opts_.max_nak_ranges));
+    writer.u8(ranges);
+    std::uint8_t written = 0;
+    for (const auto& [from, to] : rx_gaps_) {
+        if (written >= ranges) break;
+        writer.u64(from);
+        writer.u64(to);
+        ++written;
+    }
+    transport_.send_datagram(local_, peer_, writer.take());
+    echo_ts_ = 0;
+    unacked_arrivals_ = 0;
+    ++stats_.acks_sent;
+    stats_.nak_ranges_sent += ranges;
+    if (m_nak_ranges_sent_ != nullptr) m_nak_ranges_sent_->inc(ranges);
+}
+
+void RudpChannel::ensure_keepalive() {
+    if (keepalive_timer_ != kInvalidTimerHandle) return;
+    keepalive_timer_ = scheduler_.schedule(opts_.keepalive_interval, [this] {
+        keepalive_timer_ = kInvalidTimerHandle;
+        on_keepalive();
+    });
+}
+
+void RudpChannel::on_keepalive() {
+    const TimeUs now = clock_.now();
+    const DurationUs idle = now - last_rx_data_;
+    if (!rx_gaps_.empty() && idle >= opts_.abandon_after) {
+        // The sender went away mid-transfer: write off the missing tail and
+        // go quiet instead of NAKing a ghost forever.
+        give_up_oldest_gaps(0);
+        cum_ack_ = rx_horizon_;
+        return;
+    }
+    if (rx_gaps_.empty() && idle > 4 * opts_.keepalive_interval) {
+        return;  // stream is idle and complete: stop keepalives until data resumes
+    }
+    send_ack();
+    ensure_keepalive();
+}
+
+// --- observability -----------------------------------------------------------
+
+void RudpChannel::set_observability(obs::MetricsRegistry* registry,
+                                    const std::string& node) {
+    if (registry == nullptr) return;
+    m_segments_sent_ = &registry->counter("rudp_segments_sent", node);
+    m_retransmits_ = &registry->counter("rudp_retransmits", node);
+    m_payloads_delivered_ = &registry->counter("rudp_payloads_delivered", node);
+    m_nak_ranges_sent_ = &registry->counter("rudp_nak_ranges_sent", node);
+    m_nak_ranges_received_ = &registry->counter("rudp_nak_ranges_received", node);
+    m_stalls_ = &registry->counter("rudp_stalls", node);
+    m_abandons_ = &registry->counter("rudp_abandons", node);
+    m_state_ = &registry->gauge("rudp_state", node);
+    m_srtt_ms_ = &registry->gauge("rudp_srtt_ms", node);
+    m_inflight_ = &registry->gauge("rudp_inflight_segments", node);
+    m_state_->set(static_cast<double>(static_cast<int>(state_)));
+}
+
+std::string RudpChannel::debug_snapshot() const {
+    obs::JsonWriter json;
+    json.begin_object()
+        .field("name", name_)
+        .field("peer", peer_.str())
+        .field("state", to_string(state_))
+        .field("srtt_ms", srtt_us_ / 1000.0, 3)
+        .field("rttvar_ms", rttvar_us_ / 1000.0, 3)
+        .field("rto_ms", to_ms(rto()), 3)
+        .field("loss_ewma", loss_ewma_, 4)
+        .field("in_flight", static_cast<std::uint64_t>(in_flight()))
+        .field("queued_segments", static_cast<std::uint64_t>(queued_segments_))
+        .field("pending_transfers", static_cast<std::uint64_t>(transfers_pending()))
+        .field("tx_base", tx_base_)
+        .field("next_seq", next_seq_)
+        .field("cum_ack", cum_ack_)
+        .field("rx_horizon", rx_horizon_)
+        .field("rx_gaps", static_cast<std::uint64_t>(rx_gaps_.size()))
+        .field("reassembly_pending", static_cast<std::uint64_t>(reassembly_.pending()));
+    json.key("stats")
+        .begin_object()
+        .field("payloads_accepted", stats_.payloads_accepted)
+        .field("payloads_delivered", stats_.payloads_delivered)
+        .field("segments_sent", stats_.segments_sent)
+        .field("retransmits", stats_.retransmits)
+        .field("segments_received", stats_.segments_received)
+        .field("duplicate_segments", stats_.duplicate_segments)
+        .field("acks_sent", stats_.acks_sent)
+        .field("acks_received", stats_.acks_received)
+        .field("nak_ranges_sent", stats_.nak_ranges_sent)
+        .field("nak_ranges_received", stats_.nak_ranges_received)
+        .field("rto_expirations", stats_.rto_expirations)
+        .field("rtt_samples", stats_.rtt_samples)
+        .field("pacer_deferrals", stats_.pacer_deferrals)
+        .field("stalls", stats_.stalls)
+        .field("abandons", stats_.abandons)
+        .field("send_rejected", stats_.send_rejected)
+        .field("segments_dropped", stats_.segments_dropped)
+        .field("gaps_given_up", stats_.gaps_given_up)
+        .end_object();
+    json.end_object();
+    return json.take();
+}
+
+}  // namespace narada::transport

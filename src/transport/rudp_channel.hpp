@@ -1,0 +1,309 @@
+// Reliable-UDP bulk lane.
+//
+// The paper deliberately keeps discovery responses lossy (§5.2), but some
+// flows need better-than-lossy delivery without TCP head-of-line blocking:
+// bulk ad-registry sync between BDNs, multi-fragment discovery responses,
+// and cache bootstrap after long disconnects. RudpChannel layers a
+// NAK-driven retransmission protocol over the unreliable datagram path:
+//
+//   * the sender fragments each payload (wire-compatible with
+//     services::Fragment), numbers segments with a channel-wide sequence,
+//     and paces them through a token bucket into a fixed send window;
+//   * the receiver reassembles through a bounded services::Coalescer (LRU
+//     eviction caps memory no matter how many transfers a peer abandons)
+//     and piggybacks selective-NAK ranges on periodic keepalive ACKs;
+//   * retransmit timing is RFC6298-style (SRTT/RTTVAR -> RTO) with
+//     jittered exponential backoff from common/backoff.hpp when the peer
+//     stops answering;
+//   * instead of hanging, a channel degrades explicitly:
+//     healthy -> lossy (retransmit ratio high) -> stalled (no ack progress)
+//     -> abandoned (queues dropped, send_bulk refuses until reset()), and
+//     every transition is surfaced through obs metrics + debug_snapshot().
+//
+// The channel does not bind a transport endpoint itself: its owner routes
+// inbound kMsgRudpData / kMsgRudpAck frames into handle_frame(). All frame
+// buffers are drawn from the transport's BufferPool and segment slots are
+// preallocated at construction, so the steady-state transmit path — encode
+// into a recycled slot, copy into a pooled buffer, send, recycle on ack —
+// touches the heap zero times per segment. Driven purely by the injected
+// Scheduler/Clock/Rng, the same channel runs bit-for-bit deterministically
+// on the sim kernel and on PosixTransport's event loop.
+//
+// Wire format (after the type octet):
+//   DATA: seq u64 | ts i64 (sender clock at transmission, patched on every
+//         retransmit) | fragment {payload_id uuid, index u32, count u32,
+//         total_size u64, chunk blob}
+//   ACK:  cum_ack u64 (next expected seq) | horizon u64 (highest seq seen
+//         + 1) | echo_ts i64 (ts of the newest data frame since the last
+//         ack, 0 = no fresh RTT sample) | nak_count u8 | nak_count x
+//         {from u64, to u64} inclusive missing ranges
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+#include "common/token_bucket.hpp"
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+#include "services/fragmentation.hpp"
+#include "transport/transport.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace narada::obs
+
+namespace narada::transport {
+
+struct RudpOptions {
+    /// Fragment chunk size; with headers a segment stays under typical MTUs.
+    std::size_t chunk_size = 1200;
+    /// Max unacked segments in flight (rounded up to a power of two).
+    std::size_t window = 64;
+    /// Token-bucket pacing in bytes/second; <= 0 sends as fast as the
+    /// window allows. Burst is clamped so one segment always fits.
+    double pace_bytes_per_sec = 0.0;
+    double pace_burst_bytes = 64.0 * 1024.0;
+    /// Receiver keepalive/NAK cadence while a transfer is live.
+    DurationUs keepalive_interval = 40 * kMillisecond;
+    /// RFC6298 RTO clamp.
+    DurationUs min_rto = 30 * kMillisecond;
+    DurationUs max_rto = 3 * kSecond;
+    /// No cumulative-ack progress for this long while data is in flight:
+    /// the channel reports stalled, then abandons the transfer entirely.
+    DurationUs stall_after = 1500 * kMillisecond;
+    DurationUs abandon_after = 8 * kSecond;
+    /// Receive-side bounds: incomplete payloads kept (Coalescer LRU cap),
+    /// max announced payload size, and tracked missing-seq ranges (overflow
+    /// gives up on the oldest gap instead of growing).
+    std::size_t max_reassembly = 8;
+    std::uint64_t max_payload_bytes = 64ull << 20;
+    std::size_t max_tracked_gaps = 64;
+    /// Selective-NAK ranges piggybacked per ACK frame.
+    std::size_t max_nak_ranges = 16;
+    /// Receiver sends an immediate ACK every this many data arrivals
+    /// (keepalives cover the tail).
+    std::size_t ack_every = 8;
+    /// Sender backpressure: queued-but-unsent segments across all pending
+    /// transfers before send_bulk refuses.
+    std::size_t max_queued_segments = 16384;
+    /// EWMA retransmit-ratio thresholds for the lossy state (hysteresis).
+    double lossy_enter = 0.10;
+    double lossy_exit = 0.02;
+};
+
+class RudpChannel {
+public:
+    enum class State : std::uint8_t { kHealthy = 0, kLossy = 1, kStalled = 2, kAbandoned = 3 };
+
+    struct Stats {
+        std::uint64_t payloads_accepted = 0;   ///< send_bulk calls admitted
+        std::uint64_t payloads_delivered = 0;  ///< reassembled + handed up
+        std::uint64_t segments_sent = 0;       ///< first transmissions
+        std::uint64_t retransmits = 0;         ///< NAK- or RTO-driven resends
+        std::uint64_t segments_received = 0;
+        std::uint64_t duplicate_segments = 0;
+        std::uint64_t acks_sent = 0;
+        std::uint64_t acks_received = 0;
+        std::uint64_t nak_ranges_sent = 0;
+        std::uint64_t nak_ranges_received = 0;
+        std::uint64_t rto_expirations = 0;
+        std::uint64_t rtt_samples = 0;
+        std::uint64_t pacer_deferrals = 0;  ///< pump paused waiting for tokens
+        std::uint64_t stalls = 0;           ///< transitions into kStalled
+        std::uint64_t abandons = 0;         ///< transitions into kAbandoned
+        std::uint64_t send_rejected = 0;    ///< send_bulk refused
+        std::uint64_t segments_dropped = 0; ///< queued work discarded on abandon
+        std::uint64_t gaps_given_up = 0;    ///< rx missing seqs written off
+    };
+
+    /// The channel sends from `local` to `peer` over `transport`; the owner
+    /// is responsible for binding `local` and routing inbound RUDP frames
+    /// into handle_frame(). `clock` is the local (possibly skewed) clock;
+    /// only differences of its timestamps are used.
+    RudpChannel(Scheduler& scheduler, Transport& transport, const Clock& clock,
+                Endpoint local, Endpoint peer, RudpOptions options = {},
+                std::string name = "rudp");
+    ~RudpChannel();
+
+    RudpChannel(const RudpChannel&) = delete;
+    RudpChannel& operator=(const RudpChannel&) = delete;
+
+    /// Queue one payload for reliable delivery. Returns false (and counts
+    /// send_rejected) when the channel is abandoned or backpressured.
+    bool send_bulk(Bytes payload);
+
+    /// Reassembled payloads from the peer arrive here, in completion order.
+    void on_deliver(std::function<void(Bytes payload)> handler) {
+        deliver_ = std::move(handler);
+    }
+
+    /// Route an inbound frame (reader positioned after the type octet).
+    /// Returns false if `type` is not an RUDP frame.
+    bool handle_frame(std::uint8_t type, wire::ByteReader& reader);
+
+    /// Drop all state (both directions) and return to kHealthy; the next
+    /// send_bulk starts a fresh transfer. Sequence numbers keep advancing so
+    /// stale peers' frames stay distinguishable.
+    void reset();
+
+    [[nodiscard]] State state() const { return state_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const Endpoint& peer() const { return peer_; }
+    /// Segments transmitted but not yet cumulatively acked.
+    [[nodiscard]] std::size_t in_flight() const {
+        return static_cast<std::size_t>(next_seq_ - tx_base_);
+    }
+    /// Segments queued across pending transfers, not yet transmitted.
+    [[nodiscard]] std::size_t queued_segments() const { return queued_segments_; }
+    /// Incomplete inbound payloads currently buffered (<= max_reassembly).
+    [[nodiscard]] std::size_t reassembly_pending() const { return reassembly_.pending(); }
+    [[nodiscard]] std::size_t tracked_gaps() const { return rx_gaps_.size(); }
+    [[nodiscard]] DurationUs srtt() const { return static_cast<DurationUs>(srtt_us_); }
+    [[nodiscard]] DurationUs rto() const;
+    [[nodiscard]] double loss_estimate() const { return loss_ewma_; }
+
+    void set_observability(obs::MetricsRegistry* registry, const std::string& node);
+
+    /// One-line JSON of the full channel state (DESIGN.md introspection
+    /// convention): state machine, window, RTT estimator, rx gaps, stats.
+    [[nodiscard]] std::string debug_snapshot() const;
+
+private:
+    /// One window slot: the encoded DATA frame is kept for retransmission
+    /// and its buffer capacity is recycled across sequence numbers.
+    struct Slot {
+        std::uint64_t seq = 0;
+        bool active = false;
+        bool nak_pending = false;
+        TimeUs last_sent = 0;
+        std::uint32_t transmits = 0;
+        Bytes frame;
+    };
+
+    /// A queued payload being cut into segments on demand as the window
+    /// opens (payload bytes are referenced in place, never re-copied).
+    struct PendingTransfer {
+        Uuid id;
+        Bytes payload;
+        std::uint32_t count = 0;
+        std::uint32_t next_index = 0;
+    };
+
+    static constexpr std::size_t kTsOffset = 9;  ///< type(1) + seq(8)
+
+    void handle_data(wire::ByteReader& reader);
+    void handle_ack(wire::ByteReader& reader);
+
+    Slot& slot_for(std::uint64_t seq) { return slots_[seq & slot_mask_]; }
+    [[nodiscard]] bool tx_busy() const { return in_flight() > 0 || !transfers_empty(); }
+
+    // The transfer queue is a vector-backed FIFO (live range
+    // [transfer_head_, size)) instead of a deque: a deque allocates a fresh
+    // block node every ~10 pushes forever, while the vector's capacity is
+    // recycled once it has drained, keeping the steady-state transmit path
+    // allocation-free.
+    [[nodiscard]] bool transfers_empty() const {
+        return transfer_head_ >= transfers_.size();
+    }
+    [[nodiscard]] std::size_t transfers_pending() const {
+        return transfers_.size() - transfer_head_;
+    }
+    PendingTransfer& transfers_front() { return transfers_[transfer_head_]; }
+    void transfers_pop_front();
+    void transfers_clear();
+
+    /// Move segments onto the wire: NAK retransmits first, then fresh
+    /// segments while the window has room, all gated by the pacer.
+    void pump();
+    void schedule_pump(DurationUs delay);
+    void encode_segment(PendingTransfer& transfer, Slot& slot);
+    void transmit(Slot& slot, TimeUs now, bool retransmit);
+    void note_progress(TimeUs now);
+    void update_state(TimeUs now);
+    void enter_state(State next);
+    void do_abandon();
+
+    void arm_rto();
+    void on_rto_expired();
+    [[nodiscard]] DurationUs base_rto() const;
+    void observe_rtt(DurationUs sample);
+
+    /// Receiver bookkeeping for one arrived seq; true if it was new.
+    bool track_rx_seq(std::uint64_t seq);
+    void give_up_oldest_gaps(std::size_t keep);
+    void send_ack();
+    void ensure_keepalive();
+    void on_keepalive();
+
+    Scheduler& scheduler_;
+    Transport& transport_;
+    const Clock& clock_;
+    Endpoint local_;
+    Endpoint peer_;
+    RudpOptions opts_;
+    std::string name_;
+    std::function<void(Bytes)> deliver_;
+    Rng rng_;
+
+    State state_ = State::kHealthy;
+
+    // --- sender ------------------------------------------------------------
+    std::vector<Slot> slots_;
+    std::size_t slot_mask_ = 0;
+    std::uint64_t tx_base_ = 0;   ///< lowest unacked transmitted seq
+    std::uint64_t next_seq_ = 0;  ///< next seq to assign at transmission
+    std::vector<PendingTransfer> transfers_;
+    std::size_t transfer_head_ = 0;
+    std::size_t queued_segments_ = 0;
+    std::size_t naks_flagged_ = 0;  ///< slots with nak_pending set
+    TokenBucket pacer_;
+    JitteredBackoff rto_backoff_;
+    DurationUs backed_off_ = 0;  ///< last backoff draw; 0 until an RTO fires
+    double srtt_us_ = 0.0;
+    double rttvar_us_ = 0.0;
+    bool have_rtt_ = false;
+    double loss_ewma_ = 0.0;
+    TimeUs last_progress_ = 0;
+    bool progress_primed_ = false;
+    std::uint32_t consecutive_rtos_ = 0;
+    TimerHandle pump_timer_ = kInvalidTimerHandle;
+    TimerHandle rto_timer_ = kInvalidTimerHandle;
+
+    // --- receiver ----------------------------------------------------------
+    std::uint64_t cum_ack_ = 0;  ///< next expected seq (all below received)
+    std::uint64_t rx_horizon_ = 0;  ///< highest seq seen + 1
+    std::map<std::uint64_t, std::uint64_t> rx_gaps_;  ///< from -> to, inclusive, missing
+    services::Coalescer reassembly_;
+    TimeUs last_rx_data_ = 0;
+    TimeUs echo_ts_ = 0;  ///< newest data ts not yet echoed (0 = none)
+    std::size_t unacked_arrivals_ = 0;
+    TimerHandle keepalive_timer_ = kInvalidTimerHandle;
+
+    Stats stats_;
+
+    // --- observability ------------------------------------------------------
+    obs::Counter* m_segments_sent_ = nullptr;
+    obs::Counter* m_retransmits_ = nullptr;
+    obs::Counter* m_payloads_delivered_ = nullptr;
+    obs::Counter* m_nak_ranges_sent_ = nullptr;
+    obs::Counter* m_nak_ranges_received_ = nullptr;
+    obs::Counter* m_stalls_ = nullptr;
+    obs::Counter* m_abandons_ = nullptr;
+    obs::Gauge* m_state_ = nullptr;
+    obs::Gauge* m_srtt_ms_ = nullptr;
+    obs::Gauge* m_inflight_ = nullptr;
+};
+
+const char* to_string(RudpChannel::State s);
+
+}  // namespace narada::transport

@@ -33,12 +33,19 @@ constexpr std::uint8_t kMsgPing = 0x24;                 ///< UDP ping (§6)
 constexpr std::uint8_t kMsgPong = 0x25;
 constexpr std::uint8_t kMsgBdnAdvertisement = 0x26;     ///< private BDN ad (§2.4)
 
+// --- BDN federation ----------------------------------------------------------
+constexpr std::uint8_t kMsgBdnRegistrySync = 0x27;  ///< bulk ad-registry push (RUDP payload)
+
 // --- event archive / replays (§1 services) -----------------------------------
 constexpr std::uint8_t kMsgReplayRequest = 0x50;  ///< fetch archived history
 constexpr std::uint8_t kMsgReplayBatch = 0x51;    ///< archived events, oldest first
 
 // --- security (§9.1) ---------------------------------------------------------
 constexpr std::uint8_t kMsgSecureEnvelope = 0x40;  ///< signed + encrypted wrapper
+
+// --- reliable-UDP bulk lane --------------------------------------------------
+constexpr std::uint8_t kMsgRudpData = 0x60;  ///< paced bulk segment (seq + fragment)
+constexpr std::uint8_t kMsgRudpAck = 0x61;   ///< cumulative ack + selective-NAK ranges
 
 // --- time service (§5) -------------------------------------------------------
 constexpr std::uint8_t kMsgTimeRequest = 0x71;

@@ -65,6 +65,42 @@ TEST(BackoffTest, JitterStaysWithinBand) {
     EXPECT_GT(hi, 1150);
 }
 
+TEST(BackoffTest, JitterBandTracksGrowingBase) {
+    // The jitter band must be relative to the *current* (growing) base,
+    // not the initial delay: a late retry drawn near the initial value
+    // would defeat the exponential spacing entirely.
+    BackoffOptions options;
+    options.initial = 100;
+    options.max = 1'000'000;
+    options.multiplier = 2.0;
+    options.jitter = 0.2;
+    JitteredBackoff backoff(options);
+    Rng rng(11);
+
+    for (int i = 0; i < 12; ++i) {
+        const DurationUs base = backoff.current();
+        const DurationUs d = backoff.next(rng);
+        EXPECT_GE(d, static_cast<DurationUs>(static_cast<double>(base) * 0.8) - 1)
+            << "draw " << i << " fell below the band around base " << base;
+        EXPECT_LE(d, static_cast<DurationUs>(static_cast<double>(base) * 1.2) + 1)
+            << "draw " << i << " rose above the band around base " << base;
+    }
+}
+
+TEST(BackoffTest, FullJitterNeverReturnsZero) {
+    // jitter = 1.0 allows a factor of 0; the floor keeps a drawn delay
+    // from collapsing to an immediate (hot-loop) retry.
+    BackoffOptions options;
+    options.initial = 1;
+    options.max = 4;
+    options.jitter = 1.0;
+    JitteredBackoff backoff(options);
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_GE(backoff.next(rng), 1);
+    }
+}
+
 TEST(BackoffTest, DeterministicForSameSeed) {
     const BackoffOptions options;
     std::vector<DurationUs> a, b;

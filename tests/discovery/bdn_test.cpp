@@ -289,5 +289,59 @@ TEST_F(BdnFixture, PeriodicRefreshTracksChangingDistances) {
     EXPECT_NEAR(static_cast<double>(rtt_after), static_cast<double>(from_ms(80)), 1000.0);
 }
 
+TEST_F(BdnFixture, RegistrySyncPushesAdsToPeerBdn) {
+    const HostId peer_host = net.add_host({"bdn2", "S", "bdn-realm", 0});
+    const Endpoint peer_ep{peer_host, 7100};
+
+    config::BdnConfig cfg;
+    cfg.sync_peers = {peer_ep};
+    cfg.registry_sync_interval = from_ms(500);
+    Bdn bdn_a = make_bdn(cfg);
+    Bdn bdn_b(kernel, net, peer_ep, net.host_clock(peer_host), {});
+    bdn_a.start();
+    bdn_b.start();
+
+    register_all(bdn_a, rng);
+    kernel.run_until(kernel.now() + 2 * kSecond);
+
+    EXPECT_EQ(bdn_b.registered_count(), 3u) << "peer must learn the full registry";
+    EXPECT_GE(bdn_a.stats().sync_pushes, 1u);
+    EXPECT_GE(bdn_b.stats().sync_received, 1u);
+    EXPECT_EQ(bdn_b.stats().sync_brokers_learned, 3u);
+    ASSERT_NE(bdn_a.sync_channel(peer_ep), nullptr);
+    EXPECT_EQ(bdn_a.sync_channel(peer_ep)->state(),
+              transport::RudpChannel::State::kHealthy);
+}
+
+TEST_F(BdnFixture, RegistrySyncSurvivesLossyPath) {
+    // A registry big enough to fragment across many segments, pushed over
+    // a 30%-loss path: the RUDP lane must still converge the peer.
+    const HostId peer_host = net.add_host({"bdn2", "S", "bdn-realm", 0});
+    const Endpoint peer_ep{peer_host, 7100};
+    net.set_directed_loss(bdn_host, peer_host, 0.30);
+
+    config::BdnConfig cfg;
+    cfg.sync_peers = {peer_ep};
+    cfg.registry_sync_interval = from_ms(500);
+    Bdn bdn_a = make_bdn(cfg);
+    Bdn bdn_b(kernel, net, peer_ep, net.host_clock(peer_host), {});
+    bdn_a.start();
+    bdn_b.start();
+
+    for (int i = 0; i < 200; ++i) {
+        BrokerAdvertisement ad;
+        ad.broker_id = Uuid::random(rng);
+        ad.broker_name = "bulk-broker-" + std::to_string(i) +
+                         std::string(64, 'x');  // pad past one chunk's worth
+        ad.endpoint = Endpoint{broker_hosts[0], static_cast<std::uint16_t>(9000 + i)};
+        ad.realm = "r";
+        bdn_a.register_broker(ad);
+    }
+    kernel.run_until(kernel.now() + 10 * kSecond);
+
+    EXPECT_EQ(bdn_b.registered_count(), 200u);
+    EXPECT_GE(bdn_a.stats().sync_pushes, 1u);
+}
+
 }  // namespace
 }  // namespace narada::discovery

@@ -200,5 +200,90 @@ TEST(Coalescer, SingleFragmentSizeLieRejected) {
     EXPECT_FALSE(coalescer.accept(f).has_value());
 }
 
+TEST(Coalescer, SingleFragmentCannotHijackPendingPayload) {
+    // A count=1 fragment reusing an in-flight multi-fragment payload_id is
+    // a shape disagreement: it must neither complete "the" payload with
+    // bogus bytes nor disturb the real reassembly.
+    Rng rng(20);
+    const Uuid id = Uuid::random(rng);
+    const Bytes payload = make_payload(1000, 21);
+    const auto fragments = fragment_payload(payload, 250, id);
+    Coalescer coalescer;
+    coalescer.accept(fragments[0]);
+    coalescer.accept(fragments[1]);
+
+    Fragment hijack;
+    hijack.payload_id = id;
+    hijack.index = 0;
+    hijack.count = 1;
+    hijack.chunk = Bytes(8, 0xEE);
+    hijack.total_size = hijack.chunk.size();
+    EXPECT_FALSE(coalescer.accept(hijack).has_value());
+    EXPECT_EQ(coalescer.stats().mismatches_rejected, 1u);
+
+    // The honest transfer is untouched and still completes.
+    EXPECT_EQ(coalescer.pending(), 1u);
+    coalescer.accept(fragments[2]);
+    const auto result = coalescer.accept(fragments[3]);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, payload);
+}
+
+TEST(Coalescer, DuplicatesRefreshLruAtCapacity) {
+    // At capacity, a duplicate arrival must count as recency: the payload
+    // still actively receiving (even redundant) fragments survives and the
+    // untouched one is evicted.
+    Rng rng(22);
+    Coalescer coalescer(/*max_pending=*/2);
+    const Bytes a = make_payload(400, 23);
+    const auto fa = fragment_payload(a, 100, Uuid::random(rng));
+    const auto fb = fragment_payload(make_payload(400, 24), 100, Uuid::random(rng));
+    const auto fc = fragment_payload(make_payload(400, 25), 100, Uuid::random(rng));
+
+    coalescer.accept(fa[0]);  // LRU: a
+    coalescer.accept(fb[0]);  // LRU: b, a
+    coalescer.accept(fa[0]);  // duplicate of a -> LRU: a, b
+    EXPECT_EQ(coalescer.stats().duplicates_ignored, 1u);
+
+    coalescer.accept(fc[0]);  // at capacity: evicts b, not a
+    EXPECT_EQ(coalescer.stats().payloads_evicted, 1u);
+    EXPECT_EQ(coalescer.pending(), 2u);
+
+    // a completes out of order; b was evicted and cannot.
+    coalescer.accept(fa[3]);
+    coalescer.accept(fa[1]);
+    const auto result = coalescer.accept(fa[2]);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, a);
+    EXPECT_FALSE(coalescer.accept(fb[1]).has_value());
+    EXPECT_FALSE(coalescer.accept(fb[2]).has_value());
+    EXPECT_FALSE(coalescer.accept(fb[3]).has_value());
+    EXPECT_EQ(coalescer.stats().payloads_completed, 1u);
+}
+
+TEST(Coalescer, OutOfOrderArrivalRefreshesLruAtCapacity) {
+    // Same property for genuinely new out-of-order fragments: progress on
+    // an old payload protects it from eviction when a third arrives.
+    Rng rng(26);
+    Coalescer coalescer(/*max_pending=*/2);
+    const Bytes a = make_payload(500, 27);
+    const auto fa = fragment_payload(a, 100, Uuid::random(rng));
+    const auto fb = fragment_payload(make_payload(500, 28), 100, Uuid::random(rng));
+    const auto fc = fragment_payload(make_payload(500, 29), 100, Uuid::random(rng));
+
+    coalescer.accept(fa[0]);  // LRU: a
+    coalescer.accept(fb[0]);  // LRU: b, a
+    coalescer.accept(fa[4]);  // out-of-order progress on a -> LRU: a, b
+    coalescer.accept(fc[0]);  // evicts b
+    EXPECT_EQ(coalescer.stats().payloads_evicted, 1u);
+
+    coalescer.accept(fa[2]);
+    coalescer.accept(fa[1]);
+    EXPECT_FALSE(coalescer.accept(fa[2]).has_value());  // duplicate mid-stream
+    const auto result = coalescer.accept(fa[3]);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, a);
+}
+
 }  // namespace
 }  // namespace narada::services

@@ -191,5 +191,80 @@ TEST_F(ReliableFixture, DuplicateDeliverySuppressed) {
     EXPECT_GE(consumer->stats().duplicates_ignored, 1u);
 }
 
+TEST_F(ReliableFixture, OverlappingNackRangesCoalesceToOneReplayEach) {
+    // A batched NACK frame with overlapping ranges {2-5},{4-7},{6-6} must
+    // replay each sequence exactly once (2..7 -> 6 replays), not 11.
+    ReliablePublisher pub(*pub_client, "stream/multi", 64);
+    pub.start();
+    settle();
+    for (std::uint8_t i = 0; i < 10; ++i) pub.publish(Bytes{i});
+    settle();
+
+    wire::ByteWriter writer;
+    writer.uuid(pub.stream_id());
+    writer.u64(2);
+    writer.u64(5);
+    writer.u64(4);
+    writer.u64(7);
+    writer.u64(6);
+    writer.u64(6);
+    sub_client->publish("stream/multi/__nack", writer.take());
+    settle();
+
+    EXPECT_EQ(pub.stats().nacks_received, 1u);
+    EXPECT_EQ(pub.stats().replayed, 6u);
+    EXPECT_EQ(pub.stats().replay_misses, 0u);
+}
+
+TEST_F(ReliableFixture, InvalidRangeSkippedWithoutRejectingFrame) {
+    // One nonsensical range (to < from) must not poison the valid range
+    // travelling in the same frame.
+    ReliablePublisher pub(*pub_client, "stream/mixed", 64);
+    pub.start();
+    settle();
+    for (std::uint8_t i = 0; i < 4; ++i) pub.publish(Bytes{i});
+    settle();
+
+    wire::ByteWriter writer;
+    writer.uuid(pub.stream_id());
+    writer.u64(3);  // invalid range (to < from), skipped
+    writer.u64(1);
+    writer.u64(0);  // valid range
+    writer.u64(1);
+    sub_client->publish("stream/mixed/__nack", writer.take());
+    settle();
+
+    EXPECT_EQ(pub.stats().replayed, 2u);
+}
+
+TEST_F(ReliableFixture, ReplayMissCountedOncePerMissingSeq) {
+    // Capacity 2: publishing 0..5 trims 0..3 out of the buffer. A consumer
+    // re-NACKing the same lost range over and over must count each missing
+    // sequence once ever, not once per frame.
+    ReliablePublisher pub(*pub_client, "stream/miss", 2);
+    pub.start();
+    settle();
+    for (std::uint8_t i = 0; i < 6; ++i) pub.publish(Bytes{i});
+    settle();
+
+    const auto nack = [&](std::uint64_t from, std::uint64_t to) {
+        wire::ByteWriter writer;
+        writer.uuid(pub.stream_id());
+        writer.u64(from);
+        writer.u64(to);
+        sub_client->publish("stream/miss/__nack", writer.take());
+        settle();
+    };
+
+    nack(0, 3);
+    EXPECT_EQ(pub.stats().replay_misses, 4u);
+    nack(0, 3);  // identical re-NACK: nothing new to count
+    EXPECT_EQ(pub.stats().replay_misses, 4u);
+    nack(0, 5);  // 4 and 5 are buffered: replayed, not missed
+    EXPECT_EQ(pub.stats().replay_misses, 4u);
+    EXPECT_EQ(pub.stats().replayed, 2u);
+    EXPECT_EQ(pub.stats().nacks_received, 3u);
+}
+
 }  // namespace
 }  // namespace narada::services

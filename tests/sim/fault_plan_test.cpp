@@ -114,6 +114,45 @@ TEST_F(ChaosFixture, LinkFlap) {
     EXPECT_EQ(injector.stats().link_heals, 1u);
 }
 
+TEST_F(ChaosFixture, AsymmetricLossIsDirectedAndReverts) {
+    network.set_per_hop_loss(0.001);
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.asymmetric_loss(1 * kSecond, hosts[0], hosts[1], 0.5, 2 * kSecond);
+    injector.run(plan);
+
+    run_to(from_ms(1500));
+    EXPECT_DOUBLE_EQ(network.directed_loss(hosts[0], hosts[1]), 0.5);
+    // Only the stated direction gets an override; the reverse path (and the
+    // ambient per-hop loss) are untouched.
+    EXPECT_DOUBLE_EQ(network.directed_loss(hosts[1], hosts[0]), 0.0);
+    EXPECT_DOUBLE_EQ(network.per_hop_loss(), 0.001);
+
+    run_to(from_ms(3500));
+    EXPECT_DOUBLE_EQ(network.directed_loss(hosts[0], hosts[1]), 0.0)
+        << "revert must clear the override so the pair falls back to ambient loss";
+    EXPECT_EQ(injector.stats().asymmetric_losses, 1u);
+    EXPECT_TRUE(injector.done());
+}
+
+TEST_F(ChaosFixture, BurstReorderSetsAndRestoresKnobs) {
+    network.set_reorder(0.01, from_ms(2));  // pre-existing mild reordering
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.burst_reorder(1 * kSecond, 0.4, from_ms(50), 2 * kSecond);
+    injector.run(plan);
+
+    run_to(from_ms(1500));
+    EXPECT_DOUBLE_EQ(network.reorder_probability(), 0.4);
+    EXPECT_EQ(network.reorder_max_extra(), from_ms(50));
+
+    run_to(from_ms(3500));
+    // The wave puts back what it found, not zero.
+    EXPECT_DOUBLE_EQ(network.reorder_probability(), 0.01);
+    EXPECT_EQ(network.reorder_max_extra(), from_ms(2));
+    EXPECT_EQ(injector.stats().reorder_storms, 1u);
+}
+
 TEST(FaultPlanTest, DurationIsLastRevert) {
     FaultPlan plan;
     plan.crash(1 * kSecond, 0, 5 * kSecond).cut_link(2 * kSecond, 0, 1, 1 * kSecond);

@@ -21,8 +21,10 @@
 #include <new>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "discovery/messages.hpp"
+#include "transport/rudp_channel.hpp"
 #include "wire/codec.hpp"
 #include "wire/msg_types.hpp"
 
@@ -261,6 +263,145 @@ TEST_F(DatapathAllocFixture, ReliableSendCoalescesWithoutAllocating) {
     }
     ASSERT_TRUE(delivered);
     EXPECT_EQ(delta, 0u) << delta << " allocations across 128 reliable frames";
+}
+
+// --- RUDP bulk lane ----------------------------------------------------------
+
+/// Allocation-free RUDP receiver stand-in: acks DATA frames without the
+/// (inherently allocating) reassembly path, so the measurement isolates the
+/// sender's steady-state datapath — encode into a recycled slot, copy into
+/// a pooled buffer, send, recycle on ack.
+class AckReflector final : public MessageHandler {
+public:
+    AckReflector(PosixTransport* transport, Endpoint self, Endpoint peer)
+        : transport_(transport), self_(self), peer_(peer) {}
+
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        wire::ByteReader reader(data);
+        if (reader.u8() != wire::kMsgRudpData) return;
+        const std::uint64_t seq = reader.u64();
+        const TimeUs ts = reader.i64();
+        if (seq == cum_) ++cum_;
+        if (seq >= horizon_) horizon_ = seq + 1;
+        // Ack every arrival: keeps the sender's window moving and feeds its
+        // RTT estimator (reflect the newest transmission timestamp).
+        wire::ByteWriter writer(transport_->acquire_buffer());
+        writer.reserve(1 + 8 + 8 + 8 + 1);
+        writer.u8(wire::kMsgRudpAck);
+        writer.u64(cum_);
+        writer.u64(horizon_);
+        writer.i64(ts);
+        writer.u8(0);  // no NAK ranges: loopback loss recovers via sender RTO
+        transport_->send_datagram(self_, peer_, writer.take());
+        cum_public_.store(cum_, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t cum() const {
+        return cum_public_.load(std::memory_order_relaxed);
+    }
+    bool wait_for_cum(std::uint64_t target, int timeout_ms = 5000) const {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        while (cum() < target) {
+            if (std::chrono::steady_clock::now() > deadline) return false;
+            std::this_thread::sleep_for(200us);
+        }
+        return true;
+    }
+
+private:
+    PosixTransport* transport_;
+    Endpoint self_;
+    Endpoint peer_;
+    std::uint64_t cum_ = 0;      // reactor thread only
+    std::uint64_t horizon_ = 0;  // reactor thread only
+    std::atomic<std::uint64_t> cum_public_{0};
+};
+
+/// Routes inbound ACK frames into the sender channel (reactor thread).
+class RudpSenderHandler final : public MessageHandler {
+public:
+    void attach(RudpChannel* channel) { channel_ = channel; }
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        if (channel_ == nullptr || data.empty()) return;
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        channel_->handle_frame(type, reader);
+    }
+
+private:
+    RudpChannel* channel_ = nullptr;
+};
+
+TEST_F(DatapathAllocFixture, RudpSendPathIsAllocationFreeInSteadyState) {
+    WallClock clock;
+    RudpSenderHandler sender_handler;
+    AckReflector reflector(&transport, b, a);
+    transport.bind(a, &sender_handler);
+    transport.bind(b, &reflector);
+
+    // Modest window + every-segment acks keep loopback bursts inside the
+    // socket buffers; the pump still exercises slot recycling end to end.
+    RudpOptions rudp;
+    rudp.window = 16;
+    RudpChannel channel(transport, transport, clock, a, b, rudp, "alloc");
+    sender_handler.attach(&channel);
+
+    constexpr std::size_t kSegments = 16;
+    constexpr std::size_t kPayloadSize = kSegments * 1200;
+
+    // All channel interaction happens on the reactor thread; the test
+    // thread only schedules work and watches the reflector's atomics.
+    struct SendCtx {
+        RudpChannel* channel;
+        Bytes* payload;
+    };
+    const auto send_round = [&](Bytes* payload) {
+        SendCtx ctx{&channel, payload};
+        transport.schedule(0, [ctx] { ctx.channel->send_bulk(std::move(*ctx.payload)); });
+    };
+
+    // Warm-up: grow the pool, the slot ring's frame buffers, the timer heap
+    // and the reflector's path to their high-water marks.
+    std::uint64_t expected_cum = 0;
+    for (int round = 0; round < 6; ++round) {
+        Bytes payload(kPayloadSize, static_cast<std::uint8_t>(round));
+        send_round(&payload);
+        expected_cum += kSegments;
+        ASSERT_TRUE(reflector.wait_for_cum(expected_cum));
+    }
+
+    // Payloads for the measured region are minted up front: the lane takes
+    // ownership of each (that hand-off is the caller's allocation, not the
+    // datapath's).
+    constexpr int kRounds = 8;
+    std::vector<Bytes> payloads;
+    payloads.reserve(kRounds);
+    for (int i = 0; i < kRounds; ++i) {
+        payloads.emplace_back(kPayloadSize, static_cast<std::uint8_t>(i));
+    }
+
+    bool delivered = true;
+    std::uint64_t delta = 0;
+    for (int attempt = 0; attempt < 3 && delivered; ++attempt) {
+        const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+        for (int round = 0; round < kRounds; ++round) {
+            send_round(&payloads[round]);
+            expected_cum += kSegments;
+            delivered = delivered && reflector.wait_for_cum(expected_cum);
+        }
+        delta = g_allocs.load(std::memory_order_relaxed) - before;
+        if (delta == 0) break;
+        // One-time growth (a retransmit burst after a loopback drop, a
+        // deeper timer heap) is itself warm-up: refill and retry.
+        for (int i = 0; i < kRounds; ++i) {
+            payloads[i].assign(kPayloadSize, static_cast<std::uint8_t>(i));
+        }
+    }
+    ASSERT_TRUE(delivered);
+    EXPECT_EQ(delta, 0u) << delta << " allocations across "
+                         << kRounds * kSegments << " RUDP segments";
+    EXPECT_EQ(channel.stats().send_rejected, 0u);
 }
 
 }  // namespace

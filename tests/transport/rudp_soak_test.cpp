@@ -1,0 +1,204 @@
+// RudpChannel soak: loss storms, asymmetric congestion, burst reordering
+// and blackholes on the virtual-time kernel. Fixed seeds everywhere — every
+// run is bit-for-bit reproducible, so the assertions are hard invariants,
+// not flaky statistics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "sim/fault_plan.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "transport/rudp_channel.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::transport {
+namespace {
+
+Bytes soak_payload(std::size_t size) {
+    Bytes payload(size);
+    std::uint32_t x = 0x9E3779B9u;
+    for (std::size_t i = 0; i < size; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        payload[i] = static_cast<std::uint8_t>(x);
+    }
+    return payload;
+}
+
+class SoakRouter final : public MessageHandler {
+public:
+    void attach(RudpChannel* channel) { channel_ = channel; }
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        if (channel_ == nullptr || data.empty()) return;
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        channel_->handle_frame(type, reader);
+    }
+
+private:
+    RudpChannel* channel_ = nullptr;
+};
+
+struct SoakRig {
+    explicit SoakRig(std::uint64_t seed, RudpOptions options = {}) : net(kernel, seed) {
+        host_a = net.add_host({"a", "S", "r", 0});
+        host_b = net.add_host({"b", "S", "r", 0});
+        net.set_default_link({from_ms(2), from_ms(1), 1});
+        end_a = Endpoint{host_a, 9000};
+        end_b = Endpoint{host_b, 9000};
+        net.bind(end_a, &router_a);
+        net.bind(end_b, &router_b);
+        chan_a = std::make_unique<RudpChannel>(kernel, net, net.host_clock(host_a),
+                                               end_a, end_b, options, "a");
+        chan_b = std::make_unique<RudpChannel>(kernel, net, net.host_clock(host_b),
+                                               end_b, end_a, options, "b");
+        router_a.attach(chan_a.get());
+        router_b.attach(chan_b.get());
+        chan_b->on_deliver([this](Bytes payload) { received.push_back(std::move(payload)); });
+    }
+
+    /// Run in 50 ms slices until `count` payloads arrived or `limit` passed,
+    /// checking the receive-side memory bounds at every slice.
+    void run_until_delivered(std::size_t count, DurationUs limit,
+                             std::size_t max_reassembly, std::size_t max_gaps) {
+        const TimeUs deadline = kernel.now() + limit;
+        while (received.size() < count && kernel.now() < deadline) {
+            kernel.run_until(kernel.now() + from_ms(50));
+            ASSERT_LE(chan_b->reassembly_pending(), max_reassembly)
+                << "reassembly exceeded its LRU bound at t=" << kernel.now();
+            ASSERT_LE(chan_b->tracked_gaps(), max_gaps)
+                << "gap tracking exceeded its bound at t=" << kernel.now();
+        }
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    HostId host_a{}, host_b{};
+    Endpoint end_a{}, end_b{};
+    SoakRouter router_a, router_b;
+    std::unique_ptr<RudpChannel> chan_a, chan_b;
+    std::vector<Bytes> received;
+};
+
+// ISSUE acceptance: 4 MiB across a 40%-loss link, fixed seed, delivered
+// intact with bounded receive-side memory.
+TEST(RudpSoak, FourMebibytesSurviveFortyPercentLoss) {
+    RudpOptions options;
+    options.abandon_after = 30 * kSecond;  // storms must degrade, not kill
+    SoakRig rig(/*seed=*/4242, options);
+    rig.net.set_directed_loss(rig.host_a, rig.host_b, 0.40);
+
+    const Bytes payload = soak_payload(4 * 1024 * 1024);
+    ASSERT_TRUE(rig.chan_a->send_bulk(Bytes(payload)));
+    rig.run_until_delivered(1, 600 * kSecond, options.max_reassembly,
+                            options.max_tracked_gaps);
+
+    ASSERT_EQ(rig.received.size(), 1u) << "transfer did not complete in bounded time";
+    EXPECT_EQ(rig.received[0], payload) << "payload corrupted in transit";
+    EXPECT_GT(rig.chan_a->stats().retransmits, 100u);
+    EXPECT_NE(rig.chan_a->state(), RudpChannel::State::kAbandoned);
+    EXPECT_EQ(rig.chan_a->in_flight(), 0u);
+    EXPECT_EQ(rig.chan_b->reassembly_pending(), 0u);
+}
+
+TEST(RudpSoak, SymmetricLossStormBothDirections) {
+    RudpOptions options;
+    options.abandon_after = 30 * kSecond;
+    SoakRig rig(/*seed=*/777, options);
+    rig.net.set_per_hop_loss(0.30);  // data AND acks suffer
+
+    const Bytes payload = soak_payload(1024 * 1024);
+    ASSERT_TRUE(rig.chan_a->send_bulk(Bytes(payload)));
+    rig.run_until_delivered(1, 600 * kSecond, options.max_reassembly,
+                            options.max_tracked_gaps);
+
+    ASSERT_EQ(rig.received.size(), 1u);
+    EXPECT_EQ(rig.received[0], payload);
+}
+
+// A scripted outage mid-transfer: an asymmetric-loss wave, then a burst-
+// reorder wave, then a short full loss storm. The channel may degrade (lossy
+// or stalled) during the plan but must finish after it ends.
+TEST(RudpSoak, ScriptedChaosPlanDoesNotKillTheTransfer) {
+    RudpOptions options;
+    options.abandon_after = 60 * kSecond;
+    SoakRig rig(/*seed=*/31337, options);
+    sim::ChaosInjector injector(rig.kernel, rig.net);
+
+    sim::FaultPlan plan;
+    plan.asymmetric_loss(from_ms(10), rig.host_a, rig.host_b, 0.60, 2 * kSecond)
+        .burst_reorder(from_ms(2500), 0.40, from_ms(40), 1 * kSecond)
+        .loss_storm(4 * kSecond, 0.50, 1 * kSecond);
+    injector.run(plan);
+
+    const Bytes payload = soak_payload(2 * 1024 * 1024);
+    ASSERT_TRUE(rig.chan_a->send_bulk(Bytes(payload)));
+    rig.run_until_delivered(1, 600 * kSecond, options.max_reassembly,
+                            options.max_tracked_gaps);
+
+    ASSERT_EQ(rig.received.size(), 1u);
+    EXPECT_EQ(rig.received[0], payload);
+
+    // Run out the remainder of the plan: every chaos knob must be reverted.
+    rig.kernel.run_until(injector.plan_end() + kSecond);
+    EXPECT_TRUE(injector.done());
+    EXPECT_EQ(injector.stats().asymmetric_losses, 1u);
+    EXPECT_EQ(injector.stats().reorder_storms, 1u);
+    EXPECT_EQ(injector.stats().loss_storms, 1u);
+    EXPECT_EQ(rig.net.directed_loss(rig.host_a, rig.host_b), 0.0);
+    EXPECT_EQ(rig.net.reorder_probability(), 0.0);
+    EXPECT_EQ(rig.net.per_hop_loss(), 0.0);
+}
+
+// A permanent blackhole must end in kAbandoned within the configured bound —
+// the channel reports failure through state/metrics instead of hanging.
+TEST(RudpSoak, PermanentBlackholeAbandonsInBoundedTime) {
+    RudpOptions options;
+    options.stall_after = 1 * kSecond;
+    options.abandon_after = 5 * kSecond;
+    SoakRig rig(/*seed=*/99, options);
+
+    // 2 MiB takes ~200 ms on the clean link; cutting it at 6 ms guarantees
+    // the blackhole strikes mid-transfer, after the first acks flowed.
+    ASSERT_TRUE(rig.chan_a->send_bulk(soak_payload(2 * 1024 * 1024)));
+    rig.kernel.run_until(rig.kernel.now() + from_ms(6));
+    ASSERT_GT(rig.chan_a->in_flight() + rig.chan_a->queued_segments(), 0u);
+    rig.net.set_link_down(rig.host_a, rig.host_b, true);
+
+    // Run well past abandon_after; the sender must have given up (and
+    // released every queued segment) rather than retrying forever.
+    rig.kernel.run_until(rig.kernel.now() + 20 * kSecond);
+    EXPECT_EQ(rig.chan_a->state(), RudpChannel::State::kAbandoned);
+    EXPECT_GE(rig.chan_a->stats().stalls, 1u);
+    EXPECT_GE(rig.chan_a->stats().abandons, 1u);
+    EXPECT_EQ(rig.chan_a->in_flight(), 0u);
+    EXPECT_EQ(rig.chan_a->queued_segments(), 0u);
+    EXPECT_GT(rig.chan_a->stats().segments_dropped, 0u);
+}
+
+// Same seed, same storm, same trace — twice.
+TEST(RudpSoak, StormRunsAreDeterministic) {
+    const auto run_once = [] {
+        RudpOptions options;
+        options.abandon_after = 30 * kSecond;
+        SoakRig rig(/*seed=*/5150, options);
+        rig.net.set_directed_loss(rig.host_a, rig.host_b, 0.40);
+        rig.net.set_reorder(0.20, from_ms(15));
+        rig.chan_a->send_bulk(soak_payload(1024 * 1024));
+        while (rig.received.size() < 1 && rig.kernel.now() < 600 * kSecond) {
+            rig.kernel.run_until(rig.kernel.now() + from_ms(50));
+        }
+        const auto& tx = rig.chan_a->stats();
+        const auto& rx = rig.chan_b->stats();
+        return std::tuple{rig.kernel.now(),     tx.segments_sent,  tx.retransmits,
+                          tx.rto_expirations,   tx.acks_received,  rx.segments_received,
+                          rx.duplicate_segments, rx.nak_ranges_sent, rx.gaps_given_up};
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace narada::transport
