@@ -193,6 +193,17 @@ BdnConfig BdnConfig::from_ini(const Ini& ini) {
     c.sync_peers = parse_endpoint_list(ini, "bdn", "sync_peers");
     c.registry_sync_interval = from_ms(
         ini.get_double("bdn", "registry_sync_interval_ms", to_ms(c.registry_sync_interval)));
+    c.peer_group = parse_endpoint_list(ini, "bdn", "peer_group");
+    c.replication_factor = static_cast<std::uint32_t>(
+        ini.get_int("bdn", "replication_factor", c.replication_factor));
+    c.ring_vnodes =
+        static_cast<std::uint32_t>(ini.get_int("bdn", "ring_vnodes", c.ring_vnodes));
+    c.anti_entropy_interval = from_ms(
+        ini.get_double("bdn", "anti_entropy_interval_ms", to_ms(c.anti_entropy_interval)));
+    c.shard_deadline =
+        from_ms(ini.get_double("bdn", "shard_deadline_ms", to_ms(c.shard_deadline)));
+    c.shard_reply_limit = static_cast<std::uint32_t>(
+        ini.get_int("bdn", "shard_reply_limit", c.shard_reply_limit));
     return c;
 }
 

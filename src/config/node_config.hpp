@@ -257,6 +257,29 @@ struct BdnConfig {
     /// Push a registry snapshot to every sync peer this often (0 = never).
     DurationUs registry_sync_interval = 0;
 
+    // --- federated registry plane (sharding + replication) -------------------
+    /// The whole BDN peer group (including this BDN). Two or more members
+    /// switch the BDN into federated mode: advertisements are partitioned
+    /// across the group by consistent hashing on broker id, ads received by
+    /// a non-owner are forwarded to their owners, and discovery requests
+    /// scatter/gather candidates from the owning shards. Empty or
+    /// single-member = the paper's monolithic registry.
+    std::vector<Endpoint> peer_group;
+    /// Owners per advertisement (clamped to the group size). R >= 2 keeps
+    /// every lease alive through any single BDN crash.
+    std::uint32_t replication_factor = 1;
+    /// Virtual points per group member on the hash ring.
+    std::uint32_t ring_vnodes = 64;
+    /// Exchange shared-range registry digests with ring peers this often;
+    /// mismatches trigger a lease-clamped push so replicas reconverge after
+    /// crashes, partitions and rebalances. 0 = anti-entropy off.
+    DurationUs anti_entropy_interval = 0;
+    /// How long a scatter/gather coordinator waits for shard replies before
+    /// injecting with whatever arrived (partial-result degradation).
+    DurationUs shard_deadline = from_ms(150);
+    /// Candidates a shard returns per query (its best-RTT slice).
+    std::uint32_t shard_reply_limit = 8;
+
     static BdnConfig from_ini(const Ini& ini);
 };
 

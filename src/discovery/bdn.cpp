@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "broker/topic.hpp"
 #include "common/log.hpp"
@@ -18,7 +19,9 @@ Bdn::Bdn(Scheduler& scheduler, transport::Transport& transport, const Endpoint& 
       local_clock_(local_clock),
       config_(std::move(config)),
       name_(name.empty() ? "bdn@" + local.str() : std::move(name)),
-      rng_(0x62646Eull ^ (std::uint64_t{local.host} << 16) ^ local.port) {
+      rng_(0x62646Eull ^ (std::uint64_t{local.host} << 16) ^ local.port),
+      node_id_(mix64((std::uint64_t{local.host} << 16) | local.port)) {
+    rebuild_ring(config_.peer_group);
     transport_.bind(local_, this);
 }
 
@@ -26,6 +29,8 @@ Bdn::~Bdn() {
     scheduler_.cancel_timer(refresh_timer_);
     scheduler_.cancel_timer(drain_timer_);
     scheduler_.cancel_timer(sync_timer_);
+    scheduler_.cancel_timer(anti_entropy_timer_);
+    for (auto& [id, gather] : gathers_) scheduler_.cancel_timer(gather.timer);
     transport_.unbind(local_);
 }
 
@@ -36,6 +41,27 @@ void Bdn::start() {
     if (config_.registry_sync_interval > 0 && !config_.sync_peers.empty()) {
         arm_sync_timer();
     }
+    if (federated() && config_.anti_entropy_interval > 0) {
+        arm_anti_entropy_timer();
+    }
+}
+
+void Bdn::rebuild_ring(const std::vector<Endpoint>& members) {
+    std::vector<Endpoint> group = members;
+    // A config that lists peers but forgot this node still forms a correct
+    // group: ownership decisions must agree with what peers compute.
+    if (!group.empty() && std::find(group.begin(), group.end(), local_) == group.end()) {
+        group.push_back(local_);
+    }
+    ring_ = ShardRing(std::move(group),
+                      ShardRing::Options{config_.ring_vnodes, config_.replication_factor});
+    // Order-independent member-list fingerprint: digests carry it so two
+    // nodes mid-rebalance (different epochs) never compare shard ranges.
+    std::uint64_t hash = mix64(0x72696E67ull ^ ring_.members().size());
+    for (const Endpoint& m : ring_.members()) {
+        hash ^= mix64((std::uint64_t{m.host} << 16) | m.port);
+    }
+    ring_hash_ = hash;
 }
 
 void Bdn::arm_sync_timer() {
@@ -95,16 +121,19 @@ const transport::RudpChannel* Bdn::sync_channel(const Endpoint& peer) const {
 
 void Bdn::sync_registry() {
     if (registry_.empty() || config_.sync_peers.empty()) return;
-    // One snapshot, encoded once; each peer's lane gets its own copy (the
-    // channel references the payload in place until fully acked).
-    std::size_t body = 1 + 4;
-    for (const auto& [id, rb] : registry_) body += rb.ad.measured_size();
-    wire::ByteWriter writer;
-    writer.reserve(body);
-    writer.u8(wire::kMsgBdnRegistrySync);
-    writer.u32(static_cast<std::uint32_t>(registry_.size()));
-    for (const auto& [id, rb] : registry_) rb.ad.encode(writer);
-    const Bytes snapshot = writer.take();
+    // Digest over (id, origin, version) of the unexpired registry, with the
+    // entry count folded in so n entries xoring to zero differ from zero
+    // entries. Leases are excluded on purpose: a renewal mints a fresh
+    // version (digest changes, push happens), but mere clock progress must
+    // not defeat the skip.
+    const auto [fold, unexpired] = registry_digest(nullptr);
+    const std::uint64_t snapshot_digest = mix64(fold ^ unexpired);
+
+    // One snapshot, encoded lazily (every peer may be up to date) and only
+    // once; each peer's lane gets its own copy (the channel references the
+    // payload in place until fully acked).
+    Bytes snapshot;
+    bool encoded = false;
 
     for (const Endpoint& peer : config_.sync_peers) {
         if (peer == local_) continue;
@@ -112,25 +141,111 @@ void Bdn::sync_registry() {
         if (channel.state() == transport::RudpChannel::State::kAbandoned) {
             // The lane gave up on this peer (dead long enough to abandon);
             // a periodic push is exactly the moment to try a fresh start.
+            // The peer may have restarted empty — forget what it held so
+            // the next push is unconditional.
             channel.reset();
+            last_push_digest_.erase(peer);
+        }
+        const auto digest_it = last_push_digest_.find(peer);
+        if (digest_it != last_push_digest_.end() && digest_it->second == snapshot_digest) {
+            ++stats_.sync_skipped_unchanged;
+            if (inst_.sync_skipped) inst_.sync_skipped->inc();
+            continue;
+        }
+        if (!encoded) {
+            encoded = true;
+            const TimeUs now = local_clock_.now();
+            std::vector<RegistrySyncEntry> entries;
+            entries.reserve(registry_.size());
+            for (const auto& [id, rb] : registry_) {
+                // An expired entry awaiting the sweep must not travel: the
+                // receiver's merge would drop it anyway (<= 0 remaining).
+                if (rb.lease_expires_at > 0 && now >= rb.lease_expires_at) continue;
+                entries.push_back(make_sync_entry(rb));
+            }
+            std::size_t body = 1 + 4;
+            for (const RegistrySyncEntry& e : entries) body += e.measured_size();
+            wire::ByteWriter writer;
+            writer.reserve(body);
+            writer.u8(wire::kMsgBdnRegistrySync2);
+            writer.u32(static_cast<std::uint32_t>(entries.size()));
+            for (const RegistrySyncEntry& e : entries) e.encode(writer);
+            snapshot = writer.take();
         }
         if (channel.send_bulk(snapshot)) {
             ++stats_.sync_pushes;
+            last_push_digest_[peer] = snapshot_digest;
         } else {
             ++stats_.sync_push_failures;
         }
     }
 }
 
+RegistrySyncEntry Bdn::make_sync_entry(const RegisteredBroker& rb) const {
+    RegistrySyncEntry e;
+    e.ad = rb.ad;
+    e.lease_remaining =
+        rb.lease_expires_at > 0 ? rb.lease_expires_at - local_clock_.now() : -1;
+    e.origin = rb.origin;
+    e.version = rb.version;
+    return e;
+}
+
+std::pair<std::uint64_t, std::uint32_t> Bdn::registry_digest(const Endpoint* peer) const {
+    const TimeUs now = local_clock_.now();
+    std::uint64_t fold = 0;
+    std::uint32_t count = 0;
+    for (const auto& [id, rb] : registry_) {
+        if (rb.lease_expires_at > 0 && now >= rb.lease_expires_at) continue;
+        if (peer != nullptr && (!ring_.owns(local_, id) || !ring_.owns(*peer, id))) continue;
+        fold ^= mix64(id.hi() ^ mix64(id.lo() ^ mix64(rb.origin ^ mix64(rb.version))));
+        ++count;
+    }
+    return {fold, count};
+}
+
+bool Bdn::push_entries(const Endpoint& peer, const std::vector<RegistrySyncEntry>& entries) {
+    std::size_t body = 1 + 4;
+    for (const RegistrySyncEntry& e : entries) body += e.measured_size();
+    wire::ByteWriter writer;
+    writer.reserve(body);
+    writer.u8(wire::kMsgBdnRegistrySync2);
+    writer.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const RegistrySyncEntry& e : entries) e.encode(writer);
+    transport::RudpChannel& channel = rudp_channel(peer);
+    if (channel.state() == transport::RudpChannel::State::kAbandoned) {
+        channel.reset();
+        last_push_digest_.erase(peer);
+    }
+    if (channel.send_bulk(writer.take())) {
+        ++stats_.sync_pushes;
+        return true;
+    }
+    ++stats_.sync_push_failures;
+    return false;
+}
+
 void Bdn::handle_bulk_payload(const Endpoint& peer, const Bytes& payload) {
     try {
         wire::ByteReader reader(payload);
         const std::uint8_t type = reader.u8();
+        if (type == wire::kMsgBdnRegistrySync2) {
+            const std::uint32_t count = reader.u32();
+            ++stats_.sync_received;
+            for (std::uint32_t i = 0; i < count; ++i) {
+                merge_entry(RegistrySyncEntry::decode(reader));
+            }
+            NARADA_DEBUG("bdn", "{}: registry sync v2 from {}: {} entries", name_,
+                         peer.str(), count);
+            return;
+        }
         if (type != wire::kMsgBdnRegistrySync) {
             NARADA_DEBUG("bdn", "{}: unexpected bulk payload type {} from {}", name_,
                          static_cast<int>(type), peer.str());
             return;
         }
+        // v1 (legacy peers): bare advertisements, no lease or version
+        // context — treated exactly like direct advertisements.
         const std::uint32_t count = reader.u32();
         ++stats_.sync_received;
         for (std::uint32_t i = 0; i < count; ++i) {
@@ -144,6 +259,75 @@ void Bdn::handle_bulk_payload(const Endpoint& peer, const Bytes& payload) {
         NARADA_DEBUG("bdn", "{}: registry sync from {}: {} brokers", name_, peer.str(), count);
     } catch (const wire::WireError& e) {
         NARADA_DEBUG("bdn", "{}: bad registry sync from {}: {}", name_, peer.str(), e.what());
+    }
+}
+
+void Bdn::merge_entry(const RegistrySyncEntry& entry) {
+    if (!realm_accepted(entry.ad.realm)) {
+        ++stats_.ads_filtered;
+        return;
+    }
+    // Never resurrect an expired lease: the sender encoded what was left of
+    // the grant, and nothing was left.
+    if (entry.lease_remaining != -1 && entry.lease_remaining <= 0) {
+        ++stats_.sync_expired_dropped;
+        return;
+    }
+    const TimeUs now = local_clock_.now();
+    // The merged lease is the sender's *remaining* time clamped to our own
+    // policy — a sync may shorten what a fresh local ad would get, never
+    // extend it. -1 = the sender doesn't lease; fall back to local policy
+    // as if the broker had advertised here directly.
+    TimeUs merged_lease = 0;
+    if (entry.lease_remaining == -1) {
+        merged_lease = config_.ad_lease > 0 ? now + config_.ad_lease : 0;
+    } else {
+        DurationUs remaining = entry.lease_remaining;
+        if (config_.ad_lease > 0) remaining = std::min(remaining, config_.ad_lease);
+        merged_lease = now + remaining;
+    }
+    // Lamport advance: local writes after this merge must outrank it.
+    version_counter_ = std::max(version_counter_, entry.version);
+
+    const auto it = registry_.find(entry.ad.broker_id);
+    if (it == registry_.end()) {
+        RegisteredBroker& rb = registry_[entry.ad.broker_id];
+        rb.ad = entry.ad;
+        rb.registered_at = now;
+        rb.lease_expires_at = merged_lease;
+        rb.origin = entry.origin;
+        rb.version = entry.version;
+        endpoint_to_broker_[entry.ad.endpoint] = entry.ad.broker_id;
+        ++stats_.sync_brokers_learned;
+        // Measure the newcomer immediately, as with a direct ad.
+        if (started_) {
+            ++stats_.pings_sent;
+            if (inst_.pings) inst_.pings->inc();
+            wire::ByteWriter writer(transport_.acquire_buffer());
+            writer.reserve(1 + 8);
+            writer.u8(wire::kMsgPing);
+            writer.i64(local_clock_.now());
+            transport_.send_datagram(local_, entry.ad.endpoint, writer.take());
+        }
+        return;
+    }
+    RegisteredBroker& rb = it->second;
+    // (version, origin) totally orders concurrent writes of one broker id;
+    // only a strictly newer write replaces the ad payload. RTT and pong
+    // history are local measurements and always survive the merge.
+    if (std::pair(entry.version, entry.origin) > std::pair(rb.version, rb.origin)) {
+        rb.ad = entry.ad;
+        rb.origin = entry.origin;
+        rb.version = entry.version;
+        endpoint_to_broker_[entry.ad.endpoint] = entry.ad.broker_id;
+    }
+    // Leases only grow from a merge (up to the clamped remaining time): a
+    // replica with a staler view must not shorten what the broker already
+    // earned here. An entry held without a lease (0 = never expires under
+    // local policy) keeps that status, and a sender that doesn't track
+    // leases (-1) cannot renew one — only the broker's own re-ad can.
+    if (entry.lease_remaining != -1 && merged_lease > 0 && rb.lease_expires_at > 0) {
+        rb.lease_expires_at = std::max(rb.lease_expires_at, merged_lease);
     }
 }
 
@@ -168,6 +352,9 @@ void Bdn::set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* sp
     inst_.pings = &metrics->counter("bdn_pings_sent", name_);
     inst_.pongs = &metrics->counter("bdn_pongs_received", name_);
     inst_.leases_expired = &metrics->counter("bdn_leases_expired", name_);
+    inst_.ads_forwarded = &metrics->counter("bdn_ads_forwarded", name_);
+    inst_.gathers_partial = &metrics->counter("bdn_gathers_partial", name_);
+    inst_.sync_skipped = &metrics->counter("bdn_sync_skipped", name_);
     inst_.queue_depth = &metrics->gauge("bdn_queue_depth", name_);
     inst_.fanout =
         &metrics->histogram("bdn_injection_fanout", name_, {1, 2, 4, 8, 16, 32, 64});
@@ -200,7 +387,25 @@ std::string Bdn::debug_snapshot() const {
         .field("sync_push_failures", stats_.sync_push_failures)
         .field("sync_received", stats_.sync_received)
         .field("sync_brokers_learned", stats_.sync_brokers_learned)
+        .field("sync_skipped_unchanged", stats_.sync_skipped_unchanged)
+        .field("sync_expired_dropped", stats_.sync_expired_dropped)
+        .field("ads_forwarded", stats_.ads_forwarded)
+        .field("forwards_received", stats_.forwards_received)
+        .field("forwards_dropped", stats_.forwards_dropped)
+        .field("gathers", stats_.gathers)
+        .field("gathers_partial", stats_.gathers_partial)
+        .field("anti_entropy_rounds", stats_.anti_entropy_rounds)
+        .field("digests_matched", stats_.digests_matched)
+        .field("digest_mismatch_pushes", stats_.digest_mismatch_pushes)
+        .field("rebalance_handoffs", stats_.rebalance_handoffs)
         .end_object();
+    if (federated()) {
+        w.key("ring").begin_object()
+            .field("members", static_cast<std::uint64_t>(ring_.size()))
+            .field("replication", static_cast<std::uint64_t>(ring_.replication()))
+            .field("pending_gathers", static_cast<std::uint64_t>(gathers_.size()))
+            .end_object();
+    }
     if (!rudp_channels_.empty()) {
         w.key("sync_channels").begin_array();
         for (const auto& [peer, channel] : rudp_channels_) {
@@ -237,7 +442,6 @@ std::vector<Bdn::RegisteredBroker> Bdn::registry() const {
 }
 
 std::size_t Bdn::stale_count() const {
-    if (config_.ad_lease <= 0) return 0;
     const TimeUs now = local_clock_.now();
     std::size_t stale = 0;
     for (const auto& [id, rb] : registry_) {
@@ -259,6 +463,32 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
                 return;
             case wire::kMsgPong:
                 handle_pong(from, reader);
+                return;
+            case wire::kMsgAdForward: {
+                // A peer relayed an advertisement it doesn't own. Never
+                // re-forwarded (the sender already resolved ownership), so
+                // relays cannot loop even across ring epochs.
+                const BrokerAdvertisementView view = BrokerAdvertisementView::peek(reader);
+                if (!realm_accepted(view.realm)) {
+                    ++stats_.ads_filtered;
+                    return;
+                }
+                if (federated() && !ring_.owns(local_, view.broker_id)) {
+                    ++stats_.forwards_dropped;  // sender held a stale ring
+                    return;
+                }
+                ++stats_.forwards_received;
+                register_advertisement(view.materialize());
+                return;
+            }
+            case wire::kMsgShardQuery:
+                handle_shard_query(from, ShardQuery::decode(reader));
+                return;
+            case wire::kMsgShardReply:
+                handle_shard_reply(from, ShardReply::decode(reader));
+                return;
+            case wire::kMsgRegistryDigest:
+                handle_registry_digest(from, RegistryDigest::decode(reader));
                 return;
             case wire::kMsgRudpData:
             case wire::kMsgRudpAck:
@@ -296,6 +526,16 @@ void Bdn::handle_advertisement(const BrokerAdvertisement& ad) {
         ++stats_.ads_filtered;
         return;
     }
+    if (federated() && !ring_.owns(local_, ad.broker_id)) {
+        // Owned entry point (pub/sub attachment, register_broker): encode
+        // once, then relay to the owning shards.
+        wire::ByteWriter writer;
+        writer.reserve(ad.measured_size());
+        ad.encode(writer);
+        const Bytes raw = writer.take();
+        forward_ad(ad.broker_id, std::span<const std::uint8_t>(raw.data(), raw.size()));
+        return;
+    }
     register_advertisement(ad);
 }
 
@@ -308,7 +548,27 @@ void Bdn::handle_advertisement(const BrokerAdvertisementView& view) {
         ++stats_.ads_filtered;
         return;
     }
+    if (federated() && !ring_.owns(local_, view.broker_id)) {
+        // Not ours under the ring: relay the borrowed message region
+        // verbatim to the owning shards, no materialization.
+        forward_ad(view.broker_id, view.raw);
+        return;
+    }
     register_advertisement(view.materialize());
+}
+
+void Bdn::forward_ad(const Uuid& broker_id, std::span<const std::uint8_t> raw) {
+    ++stats_.ads_forwarded;
+    if (inst_.ads_forwarded) inst_.ads_forwarded->inc();
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + raw.size());
+    writer.u8(wire::kMsgAdForward);
+    writer.raw(raw.data(), raw.size());
+    const Bytes framed = writer.take();
+    for (const Endpoint& owner : ring_.owners(broker_id)) {
+        if (owner == local_) continue;
+        transport_.send_datagram(local_, owner, framed);
+    }
 }
 
 void Bdn::register_advertisement(const BrokerAdvertisement& ad) {
@@ -318,6 +578,11 @@ void Bdn::register_advertisement(const BrokerAdvertisement& ad) {
     rb.ad = ad;
     rb.registered_at = local_clock_.now();
     rb.rtt = previous_rtt;
+    // Every accepted fresh advertisement mints a new version at this node:
+    // renewals change the registry digest (so peers hear about them), and
+    // (version, origin) resolves concurrent writes during merges.
+    rb.origin = node_id_;
+    rb.version = mint_version();
     // Renewable lease: the advertisement itself is the renewal message.
     // A broker that stops re-advertising (crashed, partitioned away) ages
     // out; a rejoining broker re-asserts itself with a fresh ad.
@@ -369,6 +634,16 @@ void Bdn::handle_request(const Endpoint& from, const DiscoveryRequestView& view)
         if (inst_.duplicates) inst_.duplicates->inc();
         return;
     }
+    if (federated()) {
+        // Frame the borrowed region once; the gather owns it from here
+        // (candidate collection outlives the receive buffer).
+        wire::ByteWriter writer(transport_.acquire_buffer());
+        writer.reserve(1 + view.raw.size());
+        writer.u8(wire::kMsgDiscoveryRequest);
+        writer.raw(view.raw.data(), view.raw.size());
+        start_gather(view.request_id, std::make_shared<const Bytes>(writer.take()));
+        return;
+    }
     inject_raw(view.raw, injection_targets());
 }
 
@@ -410,8 +685,20 @@ void Bdn::handle_request(const Endpoint& from, DiscoveryRequest request) {
         if (request_span != 0) spans_->end(request_span, span_now());
         return;
     }
-    inject(request, injection_targets());
+    if (federated()) {
+        start_gather(request.request_id, frame_request(request));
+    } else {
+        inject(request, injection_targets());
+    }
     if (request_span != 0) spans_->end(request_span, span_now());
+}
+
+std::shared_ptr<const Bytes> Bdn::frame_request(const DiscoveryRequest& request) {
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + request.measured_size());
+    writer.u8(wire::kMsgDiscoveryRequest);
+    request.encode(writer);
+    return std::make_shared<const Bytes>(writer.take());
 }
 
 void Bdn::admit_request(const Endpoint& from, const DiscoveryRequestView& view) {
@@ -527,7 +814,11 @@ void Bdn::drain_queue() {
     if (inst_.queue_depth) inst_.queue_depth->set(static_cast<double>(ingest_queue_.size()));
     ++stats_.requests_serviced;
     if (inst_.serviced) inst_.serviced->inc();
-    inject(entry.request, injection_targets());
+    if (federated()) {
+        start_gather(entry.request.request_id, frame_request(entry.request));
+    } else {
+        inject(entry.request, injection_targets());
+    }
     // The request span covers receipt through queue wait to injection start.
     if (entry.span != 0 && spans_ != nullptr) spans_->end(entry.span, span_now());
     if (!ingest_queue_.empty()) {
@@ -561,45 +852,133 @@ void Bdn::handle_pong(const Endpoint& from, wire::ByteReader& reader) {
     rit->second.last_pong = local_clock_.now();
 }
 
-std::vector<Endpoint> Bdn::injection_targets() {
-    std::vector<const RegisteredBroker*> brokers;
-    brokers.reserve(registry_.size());
-    for (const auto& [id, rb] : registry_) brokers.push_back(&rb);
-    if (brokers.empty()) return {};
+std::vector<InjectionCandidate> Bdn::local_candidates() const {
+    const TimeUs now = local_clock_.now();
+    std::vector<InjectionCandidate> out;
+    out.reserve(registry_.size());
+    for (const auto& [id, rb] : registry_) {
+        // Unswept expired entries never become injection points.
+        if (rb.lease_expires_at > 0 && now >= rb.lease_expires_at) continue;
+        out.push_back({id, rb.ad.endpoint, rb.rtt});
+    }
+    return out;
+}
 
-    // Order by measured RTT; unmeasured brokers sort last in registration
-    // order (stable), so the strategy still works before the first pongs.
-    std::stable_sort(brokers.begin(), brokers.end(),
-                     [](const RegisteredBroker* a, const RegisteredBroker* b) {
+std::vector<Endpoint> Bdn::injection_targets() {
+    return select_injection_targets(local_candidates(), config_.injection, rng_);
+}
+
+void Bdn::start_gather(const Uuid& request_id, std::shared_ptr<const Bytes> framed) {
+    // Degradation first: a full gather table (request flood) or a colliding
+    // id falls back to local-only injection — worse selection quality, but
+    // the request still propagates.
+    if (gathers_.size() >= kMaxGathers || gathers_.contains(request_id)) {
+        inject_shared(std::move(framed),
+                      select_injection_targets(local_candidates(), config_.injection, rng_));
+        return;
+    }
+    ++stats_.gathers;
+    GatherState& gather = gathers_[request_id];
+    gather.framed = std::move(framed);
+    gather.candidates = local_candidates();
+    for (const Endpoint& member : ring_.members()) {
+        if (member != local_) gather.pending.insert(member);
+    }
+    if (gather.pending.empty()) {
+        finalize_gather(request_id, /*partial=*/false);
+        return;
+    }
+    ShardQuery query{request_id, local_, config_.shard_reply_limit};
+    for (const Endpoint& member : gather.pending) {
+        ++stats_.shard_queries_sent;
+        wire::ByteWriter writer(transport_.acquire_buffer());
+        writer.reserve(1 + query.measured_size());
+        writer.u8(wire::kMsgShardQuery);
+        query.encode(writer);
+        transport_.send_datagram(local_, member, writer.take());
+    }
+    // Per-shard deadline: a dead or partitioned shard delays the request by
+    // at most this long, then the gather finalizes with what arrived.
+    gather.timer = scheduler_.schedule(config_.shard_deadline, [this, request_id] {
+        ++stats_.gathers_partial;
+        if (inst_.gathers_partial) inst_.gathers_partial->inc();
+        finalize_gather(request_id, /*partial=*/true);
+    });
+}
+
+void Bdn::finalize_gather(const Uuid& request_id, bool partial) {
+    const auto it = gathers_.find(request_id);
+    if (it == gathers_.end()) return;
+    GatherState gather = std::move(it->second);
+    gathers_.erase(it);
+    if (!partial) scheduler_.cancel_timer(gather.timer);
+    inject_shared(std::move(gather.framed),
+                  select_injection_targets(std::move(gather.candidates), config_.injection,
+                                           rng_));
+}
+
+void Bdn::handle_shard_query(const Endpoint& from, const ShardQuery& query) {
+    ++stats_.shard_queries_received;
+    std::vector<InjectionCandidate> mine = local_candidates();
+    if (federated()) {
+        // Only entries this shard owns: rebalance residue stays local so a
+        // coordinator never hears about one broker from a shard that merely
+        // used to own it (the current owners answer for it).
+        std::erase_if(mine, [this](const InjectionCandidate& c) {
+            return !ring_.owns(local_, c.broker_id);
+        });
+    }
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const InjectionCandidate& a, const InjectionCandidate& b) {
                          const DurationUs ra =
-                             a->rtt < 0 ? std::numeric_limits<DurationUs>::max() : a->rtt;
+                             a.rtt < 0 ? std::numeric_limits<DurationUs>::max() : a.rtt;
                          const DurationUs rb =
-                             b->rtt < 0 ? std::numeric_limits<DurationUs>::max() : b->rtt;
+                             b.rtt < 0 ? std::numeric_limits<DurationUs>::max() : b.rtt;
                          return ra < rb;
                      });
-
-    std::vector<Endpoint> targets;
-    switch (config_.injection) {
-        case config::InjectionStrategy::kClosestAndFarthest:
-            // "the broker discovery request would be issued simultaneously
-            // to the brokers that are closest and farthest from the BDN"
-            // (§4).
-            targets.push_back(brokers.front()->ad.endpoint);
-            if (brokers.size() > 1) targets.push_back(brokers.back()->ad.endpoint);
-            break;
-        case config::InjectionStrategy::kClosestOnly:
-            targets.push_back(brokers.front()->ad.endpoint);
-            break;
-        case config::InjectionStrategy::kRandom:
-            targets.push_back(
-                brokers[rng_.bounded(brokers.size())]->ad.endpoint);
-            break;
-        case config::InjectionStrategy::kAll:
-            // The unconnected topology's O(N) distribution (§9, Figure 2).
-            for (const RegisteredBroker* rb : brokers) targets.push_back(rb->ad.endpoint);
-            break;
+    ShardReply reply;
+    reply.query_id = query.query_id;
+    // 64 = the codec's list-length bound; a larger ask still fits one reply.
+    const std::size_t limit = std::min<std::size_t>({mine.size(), query.limit, 64});
+    reply.entries.reserve(limit);
+    for (std::size_t i = 0; i < limit; ++i) {
+        reply.entries.push_back({mine[i].broker_id, mine[i].endpoint, mine[i].rtt});
     }
-    return targets;
+    wire::ByteWriter writer(transport_.acquire_buffer());
+    writer.reserve(1 + reply.measured_size());
+    writer.u8(wire::kMsgShardReply);
+    reply.encode(writer);
+    transport_.send_datagram(local_, query.reply_to, writer.take());
+    (void)from;
+}
+
+void Bdn::handle_shard_reply(const Endpoint& from, const ShardReply& reply) {
+    const auto it = gathers_.find(reply.query_id);
+    if (it == gathers_.end()) return;  // deadline already fired, or spoofed
+    GatherState& gather = it->second;
+    if (gather.pending.erase(from) == 0) return;  // unexpected or duplicate
+    ++stats_.shard_replies_received;
+    for (const ShardReply::Entry& e : reply.entries) {
+        const bool known = std::any_of(
+            gather.candidates.begin(), gather.candidates.end(),
+            [&e](const InjectionCandidate& c) { return c.broker_id == e.broker_id; });
+        if (!known) gather.candidates.push_back({e.broker_id, e.endpoint, e.rtt});
+    }
+    if (gather.pending.empty()) finalize_gather(reply.query_id, /*partial=*/false);
+}
+
+void Bdn::inject_shared(std::shared_ptr<const Bytes> framed,
+                        const std::vector<Endpoint>& targets) {
+    if (inst_.fanout) inst_.fanout->observe(static_cast<double>(targets.size()));
+    DurationUs at = 0;
+    for (const Endpoint& target : targets) {
+        ++stats_.injections;
+        if (inst_.injections) inst_.injections->inc();
+        scheduler_.schedule(at, [this, target, framed] {
+            transport_.send_reliable(local_, target, *framed);
+        });
+        at += config_.injection_spacing;
+    }
 }
 
 void Bdn::inject(const DiscoveryRequest& request, const std::vector<Endpoint>& targets) {
@@ -669,9 +1048,88 @@ void Bdn::inject_raw(std::span<const std::uint8_t> raw, const std::vector<Endpoi
     }
 }
 
+void Bdn::set_peer_group(std::vector<Endpoint> members) {
+    config_.peer_group = members;
+    rebuild_ring(members);
+    if (!federated()) return;
+    // Rebalance: hand every live local entry to its owners under the new
+    // ring. Entries this node no longer owns are NOT deleted — they keep
+    // serving requests already in flight and age out when their leases
+    // lapse, so a rebalance can only add coverage, never subtract it.
+    const TimeUs now = local_clock_.now();
+    std::map<Endpoint, std::vector<RegistrySyncEntry>> batches;
+    for (const auto& [id, rb] : registry_) {
+        if (rb.lease_expires_at > 0 && now >= rb.lease_expires_at) continue;
+        for (const Endpoint& owner : ring_.owners(id)) {
+            if (owner != local_) batches[owner].push_back(make_sync_entry(rb));
+        }
+    }
+    for (const auto& [peer, entries] : batches) {
+        stats_.rebalance_handoffs += entries.size();
+        push_entries(peer, entries);
+    }
+}
+
+void Bdn::arm_anti_entropy_timer() {
+    anti_entropy_timer_ = scheduler_.schedule(config_.anti_entropy_interval, [this] {
+        run_anti_entropy();
+        arm_anti_entropy_timer();
+    });
+}
+
+void Bdn::run_anti_entropy() {
+    if (!federated()) return;
+    ++stats_.anti_entropy_rounds;
+    // One digest per peer over the range both nodes own under the ring; a
+    // fixed-size datagram regardless of registry size. Repairs only flow on
+    // mismatch, so a converged group gossips O(peers) bytes per round.
+    for (const Endpoint& peer : ring_.members()) {
+        if (peer == local_) continue;
+        const auto [fold, count] = registry_digest(&peer);
+        const RegistryDigest msg{ring_hash_, fold, count};
+        ++stats_.digests_sent;
+        wire::ByteWriter writer(transport_.acquire_buffer());
+        writer.reserve(1 + RegistryDigest::wire_size());
+        writer.u8(wire::kMsgRegistryDigest);
+        msg.encode(writer);
+        transport_.send_datagram(local_, peer, writer.take());
+    }
+}
+
+void Bdn::handle_registry_digest(const Endpoint& from, const RegistryDigest& digest) {
+    if (!federated()) return;
+    if (digest.ring_hash != ring_hash_) {
+        // Another ring epoch (the sender hasn't seen the membership change
+        // yet, or we haven't): comparing ranges would always mismatch and
+        // push-storm, so wait for the epochs to agree.
+        ++stats_.digest_ring_mismatches;
+        return;
+    }
+    const auto [fold, count] = registry_digest(&from);
+    if (fold == digest.digest && count == digest.count) {
+        ++stats_.digests_matched;
+        return;
+    }
+    ++stats_.digest_mismatch_pushes;
+    // Repair: push our unexpired half of the shared range; the peer's merge
+    // clamps leases and resolves versions, and its own next digest round
+    // pushes back whatever we were missing. Convergent in two rounds.
+    const TimeUs now = local_clock_.now();
+    std::vector<RegistrySyncEntry> entries;
+    for (const auto& [id, rb] : registry_) {
+        if (rb.lease_expires_at > 0 && now >= rb.lease_expires_at) continue;
+        if (!ring_.owns(local_, id) || !ring_.owns(from, id)) continue;
+        entries.push_back(make_sync_entry(rb));
+    }
+    if (!entries.empty()) push_entries(from, entries);
+}
+
 void Bdn::refresh_distances() {
     // Soft-state registry: shed brokers that stopped answering pings, and
-    // evict registrations whose advertisement lease lapsed unrenewed.
+    // evict registrations whose advertisement lease lapsed unrenewed. The
+    // lease sweep is NOT gated on this node's own ad_lease policy: merged
+    // entries carry the lease the sender granted, and must lapse here even
+    // if this node doesn't lease its direct registrations.
     const TimeUs now = local_clock_.now();
     for (auto it = registry_.begin(); it != registry_.end();) {
         bool evict = false;
@@ -682,7 +1140,7 @@ void Bdn::refresh_distances() {
                 evict = true;
             }
         }
-        if (!evict && config_.ad_lease > 0 && it->second.lease_expires_at > 0 &&
+        if (!evict && it->second.lease_expires_at > 0 &&
             now >= it->second.lease_expires_at) {
             ++stats_.leases_expired;
             if (inst_.leases_expired) inst_.leases_expired->inc();

@@ -23,6 +23,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
@@ -36,6 +37,8 @@
 #include "common/token_bucket.hpp"
 #include "config/node_config.hpp"
 #include "discovery/messages.hpp"
+#include "discovery/registry_shard.hpp"
+#include "discovery/scoring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "timesvc/ntp.hpp"
@@ -55,6 +58,11 @@ public:
         /// When the advertisement lease lapses (0 = no lease). Renewed only
         /// by a fresh advertisement, never by pongs.
         TimeUs lease_expires_at = 0;
+        /// Version stamp for convergent replica merges: minted by `origin`
+        /// (a BDN node id) whenever it accepts a fresh advertisement.
+        /// (version, origin) totally orders concurrent writes of one id.
+        std::uint64_t origin = 0;
+        std::uint64_t version = 0;
     };
 
     struct Stats {
@@ -82,6 +90,24 @@ public:
         std::uint64_t sync_push_failures = 0;  ///< channel refused the payload
         std::uint64_t sync_received = 0;       ///< snapshots reassembled here
         std::uint64_t sync_brokers_learned = 0;  ///< ads ingested from snapshots
+        std::uint64_t sync_skipped_unchanged = 0;  ///< digest-skip: peer up to date
+        std::uint64_t sync_expired_dropped = 0;  ///< synced entries with lapsed leases
+
+        // --- federated registry plane (peer_group, sharding) -----------------
+        std::uint64_t ads_forwarded = 0;       ///< ads relayed to their ring owners
+        std::uint64_t forwards_received = 0;   ///< forwarded ads stored here (owner)
+        std::uint64_t forwards_dropped = 0;    ///< forwarded ads we don't own (stale ring)
+        std::uint64_t shard_queries_sent = 0;
+        std::uint64_t shard_queries_received = 0;
+        std::uint64_t shard_replies_received = 0;
+        std::uint64_t gathers = 0;             ///< scatter/gather coordinations started
+        std::uint64_t gathers_partial = 0;     ///< injected on deadline, shards missing
+        std::uint64_t anti_entropy_rounds = 0;
+        std::uint64_t digests_sent = 0;
+        std::uint64_t digests_matched = 0;     ///< shared range already converged
+        std::uint64_t digest_mismatch_pushes = 0;  ///< repairs triggered by digests
+        std::uint64_t digest_ring_mismatches = 0;  ///< digest from another ring epoch
+        std::uint64_t rebalance_handoffs = 0;  ///< entries pushed on peer-group change
 
         /// Every shed decision, for digests and logs.
         [[nodiscard]] std::uint64_t requests_shed() const {
@@ -126,11 +152,29 @@ public:
     [[nodiscard]] std::size_t queue_depth() const { return ingest_queue_.size(); }
 
     /// Push a full-registry snapshot to every configured sync peer now
-    /// (the periodic timer does this; tests can force a round).
+    /// (the periodic timer does this; tests can force a round). Pushes are
+    /// skipped per peer while the registry digest is unchanged since the
+    /// last successful push to that peer.
     void sync_registry();
     /// The RUDP lane to/from `peer` (created lazily); null if none exists
     /// yet. Exposes degradation state to tests and snapshots.
     [[nodiscard]] const transport::RudpChannel* sync_channel(const Endpoint& peer) const;
+
+    // --- federated registry plane -------------------------------------------
+    /// Two or more ring members: advertisements are sharded, discovery
+    /// requests scatter/gather. One or zero: the paper's monolithic BDN.
+    [[nodiscard]] bool federated() const { return ring_.size() > 1; }
+    [[nodiscard]] const ShardRing& ring() const { return ring_; }
+    /// Replace the peer group (membership change). Rebuilds the ring and
+    /// hands every held advertisement off to its owners under the new ring;
+    /// entries this BDN no longer owns stay as residue until their leases
+    /// lapse, so requests in flight keep working through the transition.
+    void set_peer_group(std::vector<Endpoint> members);
+    /// Run one anti-entropy round now (the periodic timer does this; tests
+    /// and soaks can force convergence checks).
+    void run_anti_entropy();
+    /// Scatter/gather coordinations currently awaiting shard replies.
+    [[nodiscard]] std::size_t gather_depth() const { return gathers_.size(); }
 
     /// Wire this BDN into an observability plane. Any argument may be null
     /// (that facility is simply skipped). `utc` stamps trace spans — the
@@ -181,6 +225,8 @@ private:
 
     /// Injection points for the configured strategy, best-effort ordered.
     [[nodiscard]] std::vector<Endpoint> injection_targets();
+    /// The local registry's unexpired entries as injection candidates.
+    [[nodiscard]] std::vector<InjectionCandidate> local_candidates() const;
 
     /// Sequentially inject `request` at `targets`, spacing sends by the
     /// configured per-injection processing cost. A sampled request gets a
@@ -192,6 +238,46 @@ private:
     void inject_raw(std::span<const std::uint8_t> raw, const std::vector<Endpoint>& targets);
 
     void refresh_distances();
+
+    // --- federated registry plane helpers -------------------------------
+    /// Ring over `config_.peer_group` (forcing `local_` in if absent) plus
+    /// an order-independent hash of the member list, used to fence digests
+    /// from other ring epochs.
+    void rebuild_ring(const std::vector<Endpoint>& members);
+    [[nodiscard]] std::uint64_t mint_version() { return ++version_counter_; }
+    /// Relay `raw` (a framed advertisement region) to every ring owner of
+    /// `broker_id` other than this node. Never applied to already-forwarded
+    /// ads, so relays cannot loop.
+    void forward_ad(const Uuid& broker_id, std::span<const std::uint8_t> raw);
+    /// Merge one synced entry (v2 path): realm filter, lease clamp to the
+    /// sender's remaining lease, (version, origin) conflict resolution.
+    void merge_entry(const RegistrySyncEntry& entry);
+    /// `entry` for the wire: the ad plus this node's remaining lease.
+    [[nodiscard]] RegistrySyncEntry make_sync_entry(const RegisteredBroker& rb) const;
+    /// Order-independent digest over (id, origin, version) of unexpired
+    /// entries; `peer` non-null restricts to entries both nodes own under
+    /// the ring (the anti-entropy shared range). Leases are deliberately
+    /// excluded: clock skew must not defeat the digest-skip.
+    [[nodiscard]] std::pair<std::uint64_t, std::uint32_t> registry_digest(
+        const Endpoint* peer) const;
+    /// One v2 bulk push of `entries` to `peer` over the RUDP lane.
+    bool push_entries(const Endpoint& peer, const std::vector<RegistrySyncEntry>& entries);
+    void handle_shard_query(const Endpoint& from, const ShardQuery& query);
+    void handle_shard_reply(const Endpoint& from, const ShardReply& reply);
+    void handle_registry_digest(const Endpoint& from, const RegistryDigest& digest);
+    /// Begin a scatter/gather for an admitted request: local candidates are
+    /// seeded immediately, ShardQuery datagrams fan out to the other ring
+    /// members, and the gather finalizes when all reply or the per-shard
+    /// deadline fires (partial-result degradation).
+    void start_gather(const Uuid& request_id, std::shared_ptr<const Bytes> framed);
+    void finalize_gather(const Uuid& request_id, bool partial);
+    /// Spaced sends of an already-framed request to `targets` (gather path;
+    /// mirrors inject_raw but shares ownership with the pending timer).
+    void inject_shared(std::shared_ptr<const Bytes> framed, const std::vector<Endpoint>& targets);
+    /// Type octet + encoded request in one pooled buffer, shared across the
+    /// gather's lifetime.
+    [[nodiscard]] std::shared_ptr<const Bytes> frame_request(const DiscoveryRequest& request);
+    void arm_anti_entropy_timer();
 
     /// The bulk lane to/from `peer`, created on first use. Channels are
     /// bidirectional: the same instance carries outbound snapshots and
@@ -226,6 +312,34 @@ private:
     // (outbound snapshots and inbound frames share one channel per peer).
     std::map<Endpoint, std::unique_ptr<transport::RudpChannel>> rudp_channels_;
     TimerHandle sync_timer_ = kInvalidTimerHandle;
+    /// Digest of the last snapshot successfully handed to each peer's lane;
+    /// sync_registry skips a peer while its digest is unchanged. Cleared
+    /// when the peer's channel is reset (the peer may have lost state).
+    std::map<Endpoint, std::uint64_t> last_push_digest_;
+
+    // Federated registry plane (peer_group with 2+ members).
+    /// This node's identity for version stamps, derived from `local_`.
+    std::uint64_t node_id_ = 0;
+    /// Lamport-style counter: bumped on every accepted fresh ad, advanced
+    /// past any merged version so later local writes win conflicts.
+    std::uint64_t version_counter_ = 0;
+    ShardRing ring_;
+    /// Order-independent fingerprint of the member list; anti-entropy
+    /// digests from another ring epoch are ignored.
+    std::uint64_t ring_hash_ = 0;
+    /// One in-flight scatter/gather coordination.
+    struct GatherState {
+        std::shared_ptr<const Bytes> framed;       ///< request, framed once
+        std::vector<InjectionCandidate> candidates;
+        std::set<Endpoint> pending;                ///< shards yet to reply
+        TimerHandle timer = kInvalidTimerHandle;   ///< per-shard deadline
+        std::uint64_t span = 0;                    ///< open trace span (0 = unsampled)
+    };
+    std::map<Uuid, GatherState> gathers_;
+    /// Gather-table bound: beyond this, requests degrade to local-only
+    /// injection instead of growing BDN memory under request floods.
+    static constexpr std::size_t kMaxGathers = 128;
+    TimerHandle anti_entropy_timer_ = kInvalidTimerHandle;
 
     // Observability (all optional; null = off).
     obs::MetricsRegistry* metrics_ = nullptr;  ///< kept for lazy RUDP channels
@@ -243,6 +357,9 @@ private:
         obs::Counter* pings = nullptr;
         obs::Counter* pongs = nullptr;
         obs::Counter* leases_expired = nullptr;
+        obs::Counter* ads_forwarded = nullptr;
+        obs::Counter* gathers_partial = nullptr;
+        obs::Counter* sync_skipped = nullptr;
         obs::Gauge* queue_depth = nullptr;
         obs::Histogram* fanout = nullptr;  ///< injection targets per request
     } inst_;

@@ -44,6 +44,7 @@ void DiscoveryClient::set_observability(obs::MetricsRegistry* metrics, obs::Span
     inst_.breaker_skips = &metrics->counter("client_breaker_skips", hostname_);
     inst_.forced_probes = &metrics->counter("client_forced_probes", hostname_);
     inst_.breaker_opens = &metrics->counter("client_breaker_opens", hostname_);
+    inst_.midflight_failovers = &metrics->counter("client_midflight_failovers", hostname_);
     inst_.selection_ms =
         &metrics->histogram("client_selection_ms", hostname_, obs::latency_buckets_ms());
     inst_.first_response_ms =
@@ -63,6 +64,7 @@ std::string DiscoveryClient::debug_snapshot() const {
         .field("breaker_skips", stats_.breaker_skips)
         .field("forced_probes", stats_.forced_probes)
         .field("adaptive_closes", stats_.adaptive_closes)
+        .field("midflight_failovers", stats_.midflight_failovers)
         .end_object();
     w.key("bdn_breakers").begin_array();
     for (std::size_t i = 0; i < breakers_.size() && i < config_.bdns.size(); ++i) {
@@ -92,6 +94,7 @@ void DiscoveryClient::discover(Callback callback) {
     fallback_done_ = false;
     pending_pongs_.clear();
     ack_pending_ = false;
+    midflight_failovers_run_ = 0;
     silent_ticks_ = 0;
     responses_at_last_tick_ = 0;
 
@@ -203,20 +206,42 @@ void DiscoveryClient::ensure_breakers() {
     breakers_.assign(config_.bdns.size(), CircuitBreaker(options));
 }
 
-void DiscoveryClient::record_bdn_failure() {
-    if (!ack_pending_) return;
+bool DiscoveryClient::record_bdn_failure(bool allow_failover) {
+    if (!ack_pending_) return false;
     ack_pending_ = false;
-    if (!breakers_enabled()) return;
+    if (!breakers_enabled()) return false;
     ensure_breakers();
-    if (last_bdn_ >= breakers_.size()) return;
+    if (last_bdn_ >= breakers_.size()) return false;
     breakers_[last_bdn_].record_failure(local_clock_.now(), rng_);
-    if (breakers_[last_bdn_].state() == CircuitBreaker::State::kOpen) {
-        // The breaker primitive stays obs-free (it lives below the obs
-        // layer); its owner mirrors state transitions into the registry.
-        if (inst_.breaker_opens) inst_.breaker_opens->inc();
-        NARADA_DEBUG("discovery", "{}: breaker for BDN {} opened (retry at {})", local_.str(),
-                     config_.bdns[last_bdn_].str(), breakers_[last_bdn_].retry_at());
+    if (breakers_[last_bdn_].state() != CircuitBreaker::State::kOpen) return false;
+    // The breaker primitive stays obs-free (it lives below the obs
+    // layer); its owner mirrors state transitions into the registry.
+    if (inst_.breaker_opens) inst_.breaker_opens->inc();
+    NARADA_DEBUG("discovery", "{}: breaker for BDN {} opened (retry at {})", local_.str(),
+                 config_.bdns[last_bdn_].str(), breakers_[last_bdn_].retry_at());
+
+    // Mid-flight failover: the BDN this run is waiting on is now known-dead;
+    // instead of burning the rest of the window on it (or sitting out the
+    // retransmit budget), re-issue to another BDN right away. The window
+    // timer is untouched, so the new BDN serves the *remaining* deadline.
+    if (!allow_failover || phase_ != Phase::kCollecting || !report_.candidates.empty()) {
+        return false;
     }
+    if (config_.bdns.size() < 2 || midflight_failovers_run_ >= config_.bdns.size()) {
+        return false;
+    }
+    ++midflight_failovers_run_;
+    ++stats_.midflight_failovers;
+    if (inst_.midflight_failovers) inst_.midflight_failovers->inc();
+    // The failover re-send is still a retransmission of this run's request;
+    // keep the report/metric accounting the same as the plain timer path.
+    ++report_.retransmits;
+    if (inst_.retransmits) inst_.retransmits->inc();
+    ++bdn_attempt_;  // rotate; send_to_bdn also skips any open breaker
+    NARADA_DEBUG("discovery", "{}: mid-flight failover off {} ({} this run)", local_.str(),
+                 config_.bdns[last_bdn_].str(), midflight_failovers_run_);
+    send_request();
+    return true;
 }
 
 void DiscoveryClient::multicast_request(const Bytes& encoded) {
@@ -353,8 +378,10 @@ void DiscoveryClient::on_retransmit_timer() {
     retransmit_timer_ = kInvalidTimerHandle;
     if (phase_ != Phase::kCollecting || !report_.candidates.empty()) return;
     // A full inactivity period without the BDN's ack is a failure against
-    // its breaker (an unreachable BDN opens after the threshold).
-    record_bdn_failure();
+    // its breaker (an unreachable BDN opens after the threshold). If that
+    // opened the breaker and the run failed over, the failover already
+    // re-sent — this timer's retransmit would be a duplicate.
+    if (record_bdn_failure(/*allow_failover=*/true)) return;
     if (report_.retransmits >= config_.max_retransmits) return;  // window will fall back
     ++report_.retransmits;
     if (inst_.retransmits) inst_.retransmits->inc();
@@ -395,7 +422,8 @@ void DiscoveryClient::end_collection() {
 
     if (report_.candidates.empty()) {
         // The whole window elapsed without even an ack: charge the BDN.
-        record_bdn_failure();
+        // No failover here — the deadline is spent; fallback paths follow.
+        record_bdn_failure(/*allow_failover=*/false);
         if (!fallback_done_) {
             run_fallback();
             return;

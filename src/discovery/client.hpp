@@ -76,6 +76,10 @@ public:
         std::uint64_t breaker_skips = 0;    ///< sends diverted off an open BDN
         std::uint64_t forced_probes = 0;    ///< all BDNs open; probed anyway
         std::uint64_t adaptive_closes = 0;  ///< windows closed by quiescence
+        /// The BDN a run was waiting on had its breaker open mid-window and
+        /// the request was immediately re-issued to another BDN, with
+        /// whatever remained of the response deadline.
+        std::uint64_t midflight_failovers = 0;
     };
 
     DiscoveryClient(Scheduler& scheduler, transport::Transport& transport,
@@ -150,8 +154,12 @@ private:
     [[nodiscard]] bool breakers_enabled() const {
         return config_.breaker_failure_threshold > 0 && !config_.bdns.empty();
     }
-    /// The last BDN we sent to never acked: charge its breaker.
-    void record_bdn_failure();
+    /// The last BDN we sent to never acked: charge its breaker. When the
+    /// breaker ends up open and `allow_failover` holds, the run fails over
+    /// to another BDN immediately — the window timer keeps running, so the
+    /// new BDN only gets the remaining deadline. Returns true when a
+    /// failover request was sent (the caller's own retransmit is moot).
+    bool record_bdn_failure(bool allow_failover);
 
     void on_retransmit_timer();
     void on_quiesce_tick();
@@ -192,6 +200,9 @@ private:
     std::vector<CircuitBreaker> breakers_;
     std::size_t last_bdn_ = 0;   ///< index the last request went to
     bool ack_pending_ = false;   ///< a send awaits its BDN ack
+    /// Mid-flight failovers this run; bounded by the BDN count so an
+    /// all-dead group cannot ping-pong the request forever.
+    std::size_t midflight_failovers_run_ = 0;
     Stats stats_;
 
     // Adaptive window state (config_.adaptive_window).
@@ -232,6 +243,7 @@ private:
         obs::Counter* breaker_skips = nullptr;
         obs::Counter* forced_probes = nullptr;
         obs::Counter* breaker_opens = nullptr;
+        obs::Counter* midflight_failovers = nullptr;
         obs::Histogram* selection_ms = nullptr;
         obs::Histogram* first_response_ms = nullptr;
     } inst_;

@@ -213,4 +213,84 @@ DiscoveryResponse DiscoveryResponseView::materialize() const {
     return DiscoveryResponse::decode(reader);
 }
 
+void RegistrySyncEntry::encode(wire::ByteWriter& writer) const {
+    ad.encode(writer);
+    writer.i64(lease_remaining);
+    writer.u64(origin);
+    writer.u64(version);
+}
+
+RegistrySyncEntry RegistrySyncEntry::decode(wire::ByteReader& reader) {
+    RegistrySyncEntry e;
+    e.ad = BrokerAdvertisement::decode(reader);
+    e.lease_remaining = reader.i64();
+    e.origin = reader.u64();
+    e.version = reader.u64();
+    return e;
+}
+
+std::size_t RegistrySyncEntry::measured_size() const {
+    return ad.measured_size() + 8 + 8 + 8;
+}
+
+void ShardQuery::encode(wire::ByteWriter& writer) const {
+    writer.uuid(query_id);
+    encode_endpoint(writer, reply_to);
+    writer.u32(limit);
+}
+
+ShardQuery ShardQuery::decode(wire::ByteReader& reader) {
+    ShardQuery q;
+    q.query_id = reader.uuid();
+    q.reply_to = decode_endpoint(reader);
+    q.limit = reader.u32();
+    return q;
+}
+
+std::size_t ShardQuery::measured_size() const { return 16 + kEndpointWireSize + 4; }
+
+void ShardReply::encode(wire::ByteWriter& writer) const {
+    writer.uuid(query_id);
+    writer.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const Entry& e : entries) {
+        writer.uuid(e.broker_id);
+        encode_endpoint(writer, e.endpoint);
+        writer.i64(e.rtt);
+    }
+}
+
+ShardReply ShardReply::decode(wire::ByteReader& reader) {
+    ShardReply r;
+    r.query_id = reader.uuid();
+    const std::uint32_t count = reader.u32();
+    if (count > kMaxListLength) throw wire::WireError("shard reply too long");
+    r.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Entry e;
+        e.broker_id = reader.uuid();
+        e.endpoint = decode_endpoint(reader);
+        e.rtt = reader.i64();
+        r.entries.push_back(e);
+    }
+    return r;
+}
+
+std::size_t ShardReply::measured_size() const {
+    return 16 + 4 + entries.size() * (16 + kEndpointWireSize + 8);
+}
+
+void RegistryDigest::encode(wire::ByteWriter& writer) const {
+    writer.u64(ring_hash);
+    writer.u64(digest);
+    writer.u32(count);
+}
+
+RegistryDigest RegistryDigest::decode(wire::ByteReader& reader) {
+    RegistryDigest d;
+    d.ring_hash = reader.u64();
+    d.digest = reader.u64();
+    d.count = reader.u32();
+    return d;
+}
+
 }  // namespace narada::discovery

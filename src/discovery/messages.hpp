@@ -166,4 +166,78 @@ struct DiscoveryResponseView {
     [[nodiscard]] DiscoveryResponse materialize() const;
 };
 
+/// One advertisement inside a v2 registry push (kMsgBdnRegistrySync2).
+/// Carries the sender's *remaining* lease — never an absolute deadline, so
+/// clock offsets between BDNs cannot stretch a lease — plus the entry's
+/// version stamp for convergent merges: (version, origin) totally orders
+/// concurrent writes of the same broker id across replicas.
+struct RegistrySyncEntry {
+    BrokerAdvertisement ad;
+    /// Microseconds of lease the sender still granted this ad at encode
+    /// time; -1 = the sender does not track leases (ad_lease == 0), <= 0
+    /// otherwise means expired and receivers must drop the entry.
+    DurationUs lease_remaining = -1;
+    /// Node id of the BDN that minted this version (splitmix of its endpoint).
+    std::uint64_t origin = 0;
+    /// Lamport stamp minted at the origin; higher (version, origin) wins.
+    std::uint64_t version = 0;
+
+    void encode(wire::ByteWriter& writer) const;
+    static RegistrySyncEntry decode(wire::ByteReader& reader);
+    [[nodiscard]] std::size_t measured_size() const;
+
+    friend bool operator==(const RegistrySyncEntry&, const RegistrySyncEntry&) = default;
+};
+
+/// Scatter half of a federated discovery: the coordinating BDN asks a peer
+/// shard for its best broker candidates for one request.
+struct ShardQuery {
+    Uuid query_id;      ///< echoes the discovery request UUID
+    Endpoint reply_to;  ///< the coordinator BDN's endpoint
+    std::uint32_t limit = 8;  ///< max candidates wanted back
+
+    void encode(wire::ByteWriter& writer) const;
+    static ShardQuery decode(wire::ByteReader& reader);
+    [[nodiscard]] std::size_t measured_size() const;
+
+    friend bool operator==(const ShardQuery&, const ShardQuery&) = default;
+};
+
+/// Gather half: a shard's candidate slice, ordered best (lowest RTT) first.
+struct ShardReply {
+    struct Entry {
+        Uuid broker_id;
+        Endpoint endpoint;
+        DurationUs rtt = -1;  ///< shard's measured ping RTT; -1 unmeasured
+
+        friend bool operator==(const Entry&, const Entry&) = default;
+    };
+
+    Uuid query_id;
+    std::vector<Entry> entries;
+
+    void encode(wire::ByteWriter& writer) const;
+    static ShardReply decode(wire::ByteReader& reader);
+    [[nodiscard]] std::size_t measured_size() const;
+
+    friend bool operator==(const ShardReply&, const ShardReply&) = default;
+};
+
+/// Anti-entropy probe: a digest over the registry entries whose ownership
+/// the sender and receiver share under the sender's ring. `ring_hash`
+/// fingerprints the sender's member list so digests from a different ring
+/// epoch are never compared (they would always mismatch and cause push
+/// storms during a rebalance).
+struct RegistryDigest {
+    std::uint64_t ring_hash = 0;
+    std::uint64_t digest = 0;     ///< xor-fold over (id, origin, version)
+    std::uint32_t count = 0;      ///< entries folded into `digest`
+
+    void encode(wire::ByteWriter& writer) const;
+    static RegistryDigest decode(wire::ByteReader& reader);
+    [[nodiscard]] static constexpr std::size_t wire_size() { return 8 + 8 + 4; }
+
+    friend bool operator==(const RegistryDigest&, const RegistryDigest&) = default;
+};
+
 }  // namespace narada::discovery

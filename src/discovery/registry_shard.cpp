@@ -1,0 +1,89 @@
+#include "discovery/registry_shard.hpp"
+
+#include <algorithm>
+
+namespace narada::discovery {
+
+ShardRing::ShardRing(std::vector<Endpoint> members, Options options)
+    : members_(std::move(members)) {
+    // Canonical member order: two BDNs configured with the same group in
+    // different list orders must agree on every ownership decision.
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+    if (members_.empty()) return;
+
+    effective_replication_ = std::max<std::uint32_t>(1, options.replication);
+    effective_replication_ = std::min<std::uint32_t>(
+        effective_replication_, static_cast<std::uint32_t>(members_.size()));
+
+    const std::uint32_t vnodes = std::max<std::uint32_t>(1, options.vnodes);
+    ring_.reserve(members_.size() * vnodes);
+    for (std::uint32_t m = 0; m < members_.size(); ++m) {
+        const std::uint64_t base =
+            mix64((std::uint64_t{members_[m].host} << 16) | members_[m].port);
+        for (std::uint32_t v = 0; v < vnodes; ++v) {
+            ring_.push_back({mix64(base ^ (std::uint64_t{v} * 0xC2B2AE3D27D4EB4Full)), m});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end(), [](const VirtualNode& a, const VirtualNode& b) {
+        // Point collisions across members are astronomically unlikely but
+        // must still order deterministically.
+        return a.point != b.point ? a.point < b.point : a.member < b.member;
+    });
+}
+
+template <typename Visit>
+void ShardRing::walk_owners(std::uint64_t start, Visit&& visit) const {
+    const auto begin = std::lower_bound(
+        ring_.begin(), ring_.end(), start,
+        [](const VirtualNode& n, std::uint64_t p) { return n.point < p; });
+    // Bitmap of members already collected; group sizes are small (a BDN
+    // peer group is tens of nodes, not thousands).
+    std::uint64_t seen_mask = 0;
+    std::vector<bool> seen_large;
+    const bool large = members_.size() > 64;
+    if (large) seen_large.assign(members_.size(), false);
+    std::uint32_t collected = 0;
+    for (std::size_t step = 0; step < ring_.size() && collected < effective_replication_;
+         ++step) {
+        const std::size_t index =
+            (static_cast<std::size_t>(begin - ring_.begin()) + step) % ring_.size();
+        const std::uint32_t member = ring_[index].member;
+        const bool already =
+            large ? seen_large[member] : ((seen_mask >> member) & 1ull) != 0;
+        if (already) continue;
+        if (large) {
+            seen_large[member] = true;
+        } else {
+            seen_mask |= 1ull << member;
+        }
+        ++collected;
+        if (!visit(member)) return;
+    }
+}
+
+std::vector<Endpoint> ShardRing::owners(const Uuid& broker_id) const {
+    std::vector<Endpoint> out;
+    if (ring_.empty()) return out;
+    out.reserve(effective_replication_);
+    walk_owners(point(broker_id), [&](std::uint32_t member) {
+        out.push_back(members_[member]);
+        return true;
+    });
+    return out;
+}
+
+bool ShardRing::owns(const Endpoint& member, const Uuid& broker_id) const {
+    if (ring_.empty()) return false;
+    bool found = false;
+    walk_owners(point(broker_id), [&](std::uint32_t m) {
+        if (members_[m] == member) {
+            found = true;
+            return false;
+        }
+        return true;
+    });
+    return found;
+}
+
+}  // namespace narada::discovery

@@ -1,0 +1,90 @@
+// Consistent-hash ring partitioning the BDN advertisement registry.
+//
+// The paper's BDNs each hold a complete, independent registry — workable
+// for 2005's handful of brokers, not for millions of advertising brokers.
+// A ShardRing partitions advertisements across a BDN peer group by
+// consistent hashing on the broker id: every group member projects
+// `vnodes` virtual points onto a 64-bit ring, and an advertisement is
+// owned by the first `replication` distinct members encountered walking
+// clockwise from the id's own point. Properties the federation layer
+// relies on:
+//
+//   * deterministic — two BDNs given the same member list (in any order)
+//     build bit-identical rings, so ownership never needs negotiation;
+//   * minimal movement — adding or removing one member only remaps the
+//     ranges adjacent to its virtual points (~1/N of the keyspace), which
+//     bounds rebalance traffic;
+//   * replication-aware — `owners()` returns R distinct members, so each
+//     advertisement survives R-1 simultaneous BDN crashes.
+//
+// The ring is a value type: rebuilding on peer-group change is cheap
+// (N * vnodes sort) and the old ring stays valid for requests in flight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/uuid.hpp"
+
+namespace narada::discovery {
+
+/// Deterministic 64-bit finalizer (splitmix64). Shared by the ring's point
+/// placement and the registry digest so replicas agree byte-for-byte.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+class ShardRing {
+public:
+    struct Options {
+        /// Virtual points per member; more points = smoother distribution
+        /// at the cost of a larger (still tiny) sorted table.
+        std::uint32_t vnodes = 64;
+        /// Desired owners per advertisement. Clamped to the member count:
+        /// R > |group| degrades to "every member owns everything".
+        std::uint32_t replication = 1;
+    };
+
+    ShardRing() = default;
+    ShardRing(std::vector<Endpoint> members, Options options);
+
+    [[nodiscard]] const std::vector<Endpoint>& members() const { return members_; }
+    [[nodiscard]] std::size_t size() const { return members_.size(); }
+    [[nodiscard]] bool empty() const { return members_.empty(); }
+    /// Effective replication factor (requested, clamped to the group size).
+    [[nodiscard]] std::uint32_t replication() const { return effective_replication_; }
+
+    /// The ring position of a broker id.
+    [[nodiscard]] static std::uint64_t point(const Uuid& broker_id) {
+        return mix64(broker_id.hi() ^ mix64(broker_id.lo()));
+    }
+
+    /// The `replication()` distinct members owning `broker_id`, in ring
+    /// order starting from the id's successor point. Empty ring => empty.
+    [[nodiscard]] std::vector<Endpoint> owners(const Uuid& broker_id) const;
+
+    /// True when `member` is among owners(broker_id). O(R log vnodes),
+    /// allocation-free.
+    [[nodiscard]] bool owns(const Endpoint& member, const Uuid& broker_id) const;
+
+private:
+    struct VirtualNode {
+        std::uint64_t point = 0;
+        std::uint32_t member = 0;  ///< index into members_
+    };
+
+    /// Walk clockwise from `start`, invoking `visit(member_index)` for each
+    /// distinct member until `visit` returns false or R members were seen.
+    template <typename Visit>
+    void walk_owners(std::uint64_t start, Visit&& visit) const;
+
+    std::vector<Endpoint> members_;       ///< sorted, deduplicated
+    std::vector<VirtualNode> ring_;       ///< sorted by point
+    std::uint32_t effective_replication_ = 0;
+};
+
+}  // namespace narada::discovery

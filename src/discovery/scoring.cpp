@@ -1,6 +1,7 @@
 #include "discovery/scoring.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace narada::discovery {
@@ -36,6 +37,44 @@ std::vector<std::size_t> shortlist(std::vector<Candidate>& candidates,
     });
     if (order.size() > target_set_size) order.resize(target_set_size);
     return order;
+}
+
+std::vector<Endpoint> select_injection_targets(std::vector<InjectionCandidate> candidates,
+                                               config::InjectionStrategy strategy, Rng& rng) {
+    if (candidates.empty()) return {};
+
+    // Order by measured RTT; unmeasured brokers sort last in arrival order
+    // (stable), so the strategy still works before the first pongs.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const InjectionCandidate& a, const InjectionCandidate& b) {
+                         const DurationUs ra =
+                             a.rtt < 0 ? std::numeric_limits<DurationUs>::max() : a.rtt;
+                         const DurationUs rb =
+                             b.rtt < 0 ? std::numeric_limits<DurationUs>::max() : b.rtt;
+                         return ra < rb;
+                     });
+
+    std::vector<Endpoint> targets;
+    switch (strategy) {
+        case config::InjectionStrategy::kClosestAndFarthest:
+            // "the broker discovery request would be issued simultaneously
+            // to the brokers that are closest and farthest from the BDN"
+            // (§4).
+            targets.push_back(candidates.front().endpoint);
+            if (candidates.size() > 1) targets.push_back(candidates.back().endpoint);
+            break;
+        case config::InjectionStrategy::kClosestOnly:
+            targets.push_back(candidates.front().endpoint);
+            break;
+        case config::InjectionStrategy::kRandom:
+            targets.push_back(candidates[rng.bounded(candidates.size())].endpoint);
+            break;
+        case config::InjectionStrategy::kAll:
+            // The unconnected topology's O(N) distribution (§9, Figure 2).
+            for (const InjectionCandidate& c : candidates) targets.push_back(c.endpoint);
+            break;
+    }
+    return targets;
 }
 
 }  // namespace narada::discovery

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "config/node_config.hpp"
 #include "discovery/messages.hpp"
 
@@ -41,5 +42,21 @@ double score_response(const DiscoveryResponse& response, DurationUs estimated_de
 std::vector<std::size_t> shortlist(std::vector<Candidate>& candidates,
                                    const config::MetricWeights& weights,
                                    std::size_t target_set_size);
+
+/// A broker as an injection-point candidate: the BDN-side view (id,
+/// endpoint, measured RTT). In a federated peer group these come from the
+/// local registry *and* from peer shards' gather replies, so the strategy
+/// logic lives here rather than inside the Bdn.
+struct InjectionCandidate {
+    Uuid broker_id;
+    Endpoint endpoint;
+    DurationUs rtt = -1;  ///< -1 = unmeasured (sorts after every measured RTT)
+};
+
+/// Apply a §4 injection strategy to `candidates`: stable-sort by RTT
+/// (unmeasured last, preserving arrival order) and pick the strategy's
+/// endpoints — closest+farthest, closest, one at random, or all.
+std::vector<Endpoint> select_injection_targets(std::vector<InjectionCandidate> candidates,
+                                               config::InjectionStrategy strategy, Rng& rng);
 
 }  // namespace narada::discovery

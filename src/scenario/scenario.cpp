@@ -1,5 +1,6 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/json.hpp"
@@ -37,6 +38,11 @@ HostId Scenario::broker_host(std::size_t i) const { return deployment_->host(3 +
 
 HostId Scenario::client_host() const { return deployment_->host(2); }
 
+HostId Scenario::bdn_host(std::size_t i) const {
+    if (i == 0) return deployment_->host(1);
+    return deployment_->host(3 + options_.broker_sites.size() + (i - 1));
+}
+
 void Scenario::build() {
     network_ = std::make_unique<sim::SimNetwork>(kernel_, options_.seed);
     network_->set_per_hop_loss(options_.per_hop_loss);
@@ -47,15 +53,18 @@ void Scenario::build() {
         bdn_utc_ = std::make_unique<timesvc::FixedUtcSource>(network_->true_clock());
     }
 
-    // Deployment order: time server, BDN, client, then one host per broker.
+    // Deployment order: time server, BDN, client, one host per broker,
+    // then extra BDN hosts (appended last so broker/client indices are
+    // independent of bdn_count).
+    const std::size_t bdn_count = std::max<std::size_t>(1, options_.bdn_count);
     std::vector<sim::Site> placements = {sim::Site::kBloomington, options_.bdn_site,
                                          options_.client_site};
     placements.insert(placements.end(), options_.broker_sites.begin(),
                       options_.broker_sites.end());
+    for (std::size_t i = 1; i < bdn_count; ++i) placements.push_back(options_.bdn_site);
     deployment_ = std::make_unique<sim::WanDeployment>(*network_, placements);
 
     const HostId time_host = deployment_->host(0);
-    const HostId bdn_host = deployment_->host(1);
     const HostId client_host_id = deployment_->host(2);
 
     const Endpoint time_ep{time_host, kTimePort};
@@ -63,11 +72,24 @@ void Scenario::build() {
     time_server_ = std::make_unique<timesvc::TimeServer>(*network_, time_ep,
                                                          network_->true_clock());
 
-    // --- BDN -----------------------------------------------------------------
-    const Endpoint bdn_ep{bdn_host, kBdnPort};
-    bdn_ = std::make_unique<discovery::Bdn>(kernel_, *network_, bdn_ep,
-                                            network_->host_clock(bdn_host), options_.bdn,
-                                            "gridservicelocator.org");
+    // --- BDNs ----------------------------------------------------------------
+    std::vector<Endpoint> bdn_eps;
+    for (std::size_t i = 0; i < bdn_count; ++i) {
+        bdn_eps.push_back({bdn_host(i), kBdnPort});
+    }
+    config::BdnConfig bdn_cfg = options_.bdn;
+    if (bdn_count > 1 && bdn_cfg.peer_group.empty()) {
+        // Federated peer group: the shared registry plane over every BDN.
+        bdn_cfg.peer_group = bdn_eps;
+    }
+    for (std::size_t i = 0; i < bdn_count; ++i) {
+        const std::string name = i == 0 ? "gridservicelocator.org"
+                                        : "bdn" + std::to_string(i) +
+                                              ".gridservicelocator.org";
+        bdns_.push_back(std::make_unique<discovery::Bdn>(
+            kernel_, *network_, bdn_eps[i], network_->host_clock(bdn_host(i)), bdn_cfg,
+            name));
+    }
 
     // --- brokers -------------------------------------------------------------
     const std::size_t n = options_.broker_sites.size();
@@ -91,7 +113,10 @@ void Scenario::build() {
 
         config::BrokerConfig broker_cfg = options_.broker;
         if (i < options_.register_with_bdn) {
-            broker_cfg.advertise_bdns = {bdn_ep};
+            // Round-robin across the BDN group: in federated mode the ring
+            // forwards each ad to its owners anyway, so spreading the entry
+            // points exercises the forwarding path.
+            broker_cfg.advertise_bdns = {bdn_eps[i % bdn_eps.size()]};
         } else {
             broker_cfg.advertise_bdns.clear();
         }
@@ -117,7 +142,7 @@ void Scenario::build() {
             // Each broker gets its own discovery client so healing runs
             // never contend with the requesting node's.
             config::DiscoveryConfig rejoin_cfg = options_.discovery;
-            rejoin_cfg.bdns = {bdn_ep};
+            rejoin_cfg.bdns = bdn_eps;
             rejoin_cfg.use_multicast = false;
             auto rejoin_client = std::make_unique<discovery::DiscoveryClient>(
                 kernel_, *network_, Endpoint{host, kBrokerDiscPort},
@@ -142,7 +167,7 @@ void Scenario::build() {
 
     config::DiscoveryConfig discovery_cfg = options_.discovery;
     if (discovery_cfg.bdns.empty() && !discovery_cfg.use_multicast) {
-        discovery_cfg.bdns = {bdn_ep};
+        discovery_cfg.bdns = bdn_eps;  // every BDN, for failover (§7)
     }
     const sim::SiteInfo& client_info = sim::site_info(options_.client_site);
     client_ = std::make_unique<discovery::DiscoveryClient>(
@@ -151,7 +176,9 @@ void Scenario::build() {
         "client." + client_info.machine, client_info.realm);
 
     if (options_.obs.enabled) {
-        bdn_->set_observability(metrics_.get(), spans_.get(), bdn_utc_.get());
+        for (auto& b : bdns_) {
+            b->set_observability(metrics_.get(), spans_.get(), bdn_utc_.get());
+        }
         client_->set_observability(metrics_.get(), spans_.get(),
                                    options_.obs.trace_sample_rate);
         for (std::size_t i = 0; i < brokers_.size(); ++i) {
@@ -162,8 +189,8 @@ void Scenario::build() {
         }
     }
 
-    // Brokers advertise on start; the BDN starts pinging registrants.
-    bdn_->start();
+    // Brokers advertise on start; the BDNs start pinging registrants.
+    for (auto& b : bdns_) b->start();
     for (auto& b : brokers_) b->start();
     for (auto& supervisor : rejoin_) supervisor->start();
 }
@@ -237,7 +264,12 @@ std::string Scenario::debug_snapshot() const {
     }
     obs::JsonWriter w;
     w.begin_object();
-    w.key("bdn").raw(bdn_->debug_snapshot());
+    w.key("bdn").raw(bdns_.front()->debug_snapshot());
+    if (bdns_.size() > 1) {
+        w.key("bdns").begin_array();
+        for (const auto& b : bdns_) w.raw(b->debug_snapshot());
+        w.end_array();
+    }
     w.key("client").raw(client_->debug_snapshot());
     w.key("brokers").begin_array();
     for (const auto& b : brokers_) w.raw(b->debug_snapshot());

@@ -46,6 +46,14 @@ struct ScenarioOptions {
     sim::Site client_site = sim::Site::kBloomington;
     sim::Site bdn_site = sim::Site::kBloomington;
 
+    /// BDNs in the deployment. With 2+, the BDNs form a federated peer
+    /// group (shared registry plane: sharded ads, scatter/gather
+    /// discovery), brokers advertise round-robin across them, and the
+    /// client is configured with every BDN endpoint for failover. Extra
+    /// BDN hosts are placed at `bdn_site` and appended after the brokers,
+    /// so broker/client host indices do not shift against bdn_count.
+    std::size_t bdn_count = 1;
+
     std::uint64_t seed = 1;
     /// Per-router-hop datagram loss (0.0005 => ~1 % loss over 20 hops).
     double per_hop_loss = 0.0005;
@@ -102,7 +110,9 @@ public:
     // --- access to the assembled system ------------------------------------
     [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
     [[nodiscard]] sim::SimNetwork& network() { return *network_; }
-    [[nodiscard]] discovery::Bdn& bdn() { return *bdn_; }
+    [[nodiscard]] discovery::Bdn& bdn() { return *bdns_.front(); }
+    [[nodiscard]] discovery::Bdn& bdn_at(std::size_t i) { return *bdns_.at(i); }
+    [[nodiscard]] std::size_t bdn_count() const { return bdns_.size(); }
     [[nodiscard]] discovery::DiscoveryClient& client() { return *client_; }
     [[nodiscard]] broker::Broker& broker_at(std::size_t i) { return *brokers_.at(i); }
     [[nodiscard]] discovery::BrokerDiscoveryPlugin& plugin_at(std::size_t i) {
@@ -118,6 +128,7 @@ public:
     }
     [[nodiscard]] HostId broker_host(std::size_t i) const;
     [[nodiscard]] HostId client_host() const;
+    [[nodiscard]] HostId bdn_host(std::size_t i = 0) const;
     [[nodiscard]] const ScenarioOptions& options() const { return options_; }
 
     /// Replace a broker's load model (load-balancing experiments).
@@ -150,9 +161,9 @@ private:
     std::unique_ptr<timesvc::FixedUtcSource> bdn_utc_;
 
     // Node order inside the deployment: [0]=time server, [1]=bdn,
-    // [2]=client, [3..]=brokers.
+    // [2]=client, [3..3+n)=brokers, [3+n..]=extra BDNs (bdn_count > 1).
     std::unique_ptr<timesvc::TimeServer> time_server_;
-    std::unique_ptr<discovery::Bdn> bdn_;
+    std::vector<std::unique_ptr<discovery::Bdn>> bdns_;
     std::unique_ptr<discovery::DiscoveryClient> client_;
     std::unique_ptr<timesvc::NtpService> client_ntp_;
     std::vector<std::unique_ptr<broker::Broker>> brokers_;

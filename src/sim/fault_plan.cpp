@@ -105,6 +105,27 @@ FaultPlan& FaultPlan::request_storm(DurationUs at, Endpoint target, std::uint32_
     return *this;
 }
 
+FaultPlan& FaultPlan::rolling_crashes(DurationUs at, const std::vector<HostId>& hosts,
+                                      DurationUs down_for, DurationUs stagger) {
+    DurationUs strike = at;
+    for (const HostId host : hosts) {
+        crash(strike, host, down_for);
+        strike += stagger;
+    }
+    return *this;
+}
+
+FaultPlan& FaultPlan::flapping_partition(DurationUs at, std::vector<HostId> side_a,
+                                         std::vector<HostId> side_b, std::size_t rounds,
+                                         DurationUs down_for, DurationUs gap) {
+    DurationUs strike = at;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        partition(strike, side_a, side_b, down_for);
+        strike += down_for + gap;
+    }
+    return *this;
+}
+
 FaultPlan& FaultPlan::skew_step(DurationUs at, HostId host, DurationUs delta) {
     FaultAction action;
     action.type = FaultType::kClockSkewStep;

@@ -98,6 +98,21 @@ struct FaultPlan {
                              DurationUs interval, DurationUs down_for,
                              std::vector<HostId> sources, StormPayloadFactory payload);
 
+    // --- compound waves --------------------------------------------------
+    /// One crash/restart per host, staggered `stagger` apart starting at
+    /// `at`, each down for `down_for`. With stagger < down_for the outages
+    /// overlap — the rolling-upgrade-gone-wrong wave a replicated registry
+    /// must ride out (crash-during-rebalance: each restart triggers
+    /// handoffs while the next host is already going down).
+    FaultPlan& rolling_crashes(DurationUs at, const std::vector<HostId>& hosts,
+                               DurationUs down_for, DurationUs stagger);
+    /// `rounds` partitions of side_a from side_b, each `down_for` long with
+    /// `gap` of healed time between them: a flapping split the anti-entropy
+    /// plane must re-converge after every time.
+    FaultPlan& flapping_partition(DurationUs at, std::vector<HostId> side_a,
+                                  std::vector<HostId> side_b, std::size_t rounds,
+                                  DurationUs down_for, DurationUs gap);
+
     /// When the last fault has been reverted, relative to run().
     [[nodiscard]] DurationUs duration() const;
     [[nodiscard]] bool empty() const { return actions.empty(); }

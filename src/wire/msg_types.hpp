@@ -34,7 +34,12 @@ constexpr std::uint8_t kMsgPong = 0x25;
 constexpr std::uint8_t kMsgBdnAdvertisement = 0x26;     ///< private BDN ad (§2.4)
 
 // --- BDN federation ----------------------------------------------------------
-constexpr std::uint8_t kMsgBdnRegistrySync = 0x27;  ///< bulk ad-registry push (RUDP payload)
+constexpr std::uint8_t kMsgBdnRegistrySync = 0x27;   ///< bulk ad-registry push (RUDP payload)
+constexpr std::uint8_t kMsgBdnRegistrySync2 = 0x28;  ///< v2 push: leases + versions (RUDP payload)
+constexpr std::uint8_t kMsgShardQuery = 0x29;        ///< gather: ask a shard for candidates
+constexpr std::uint8_t kMsgShardReply = 0x2A;        ///< gather: shard's candidate slice
+constexpr std::uint8_t kMsgAdForward = 0x2B;         ///< ad relayed to its ring owners
+constexpr std::uint8_t kMsgRegistryDigest = 0x2C;    ///< anti-entropy shared-range digest
 
 // --- event archive / replays (§1 services) -----------------------------------
 constexpr std::uint8_t kMsgReplayRequest = 0x50;  ///< fetch archived history

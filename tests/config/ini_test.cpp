@@ -175,6 +175,37 @@ injection_spacing_ms = 25
     EXPECT_EQ(c.injection_spacing, from_ms(25));
 }
 
+TEST(NodeConfig, BdnFederationFromIni) {
+    const Ini ini = Ini::parse(R"(
+[bdn]
+peer_group = 3:7100, 4:7100, 5:7100
+replication_factor = 2
+ring_vnodes = 128
+anti_entropy_interval_ms = 2000
+shard_deadline_ms = 250
+shard_reply_limit = 16
+)");
+    const BdnConfig c = BdnConfig::from_ini(ini);
+    ASSERT_EQ(c.peer_group.size(), 3u);
+    EXPECT_EQ(c.peer_group[0], (Endpoint{3, 7100}));
+    EXPECT_EQ(c.peer_group[2], (Endpoint{5, 7100}));
+    EXPECT_EQ(c.replication_factor, 2u);
+    EXPECT_EQ(c.ring_vnodes, 128u);
+    EXPECT_EQ(c.anti_entropy_interval, from_ms(2000));
+    EXPECT_EQ(c.shard_deadline, from_ms(250));
+    EXPECT_EQ(c.shard_reply_limit, 16u);
+}
+
+TEST(NodeConfig, BdnFederationDefaults) {
+    const BdnConfig c = BdnConfig::from_ini(Ini::parse(""));
+    EXPECT_TRUE(c.peer_group.empty());
+    EXPECT_EQ(c.replication_factor, 1u);
+    EXPECT_EQ(c.ring_vnodes, 64u);
+    EXPECT_EQ(c.anti_entropy_interval, 0);
+    EXPECT_EQ(c.shard_deadline, from_ms(150));
+    EXPECT_EQ(c.shard_reply_limit, 8u);
+}
+
 TEST(NodeConfig, InjectionStrategyNames) {
     for (const auto s :
          {InjectionStrategy::kClosestAndFarthest, InjectionStrategy::kClosestOnly,

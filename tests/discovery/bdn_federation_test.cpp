@@ -1,0 +1,338 @@
+// Federated BDN registry plane: consistent-hash sharding, ad forwarding,
+// scatter/gather discovery with partial-result degradation, anti-entropy
+// convergence and rebalance on peer-group change — all on the simulated
+// WAN with three BDNs forming one peer group.
+#include "discovery/bdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "wire/msg_types.hpp"
+
+namespace narada::discovery {
+namespace {
+
+/// A minimal broker stand-in: answers pings, records discovery requests.
+class FakeBroker final : public transport::MessageHandler {
+public:
+    FakeBroker(sim::Kernel& kernel, transport::Transport& transport, const Endpoint& ep)
+        : kernel_(kernel), transport_(transport), ep_(ep) {
+        transport_.bind(ep_, this);
+    }
+    ~FakeBroker() override { transport_.unbind(ep_); }
+
+    void on_datagram(const Endpoint& from, const Bytes& data) override {
+        wire::ByteReader r(data);
+        const std::uint8_t type = r.u8();
+        if (type == wire::kMsgPing) {
+            const TimeUs echo = r.i64();
+            wire::ByteWriter w;
+            w.u8(wire::kMsgPong);
+            w.i64(echo);
+            w.i64(kernel_.now());
+            transport_.send_datagram(ep_, from, w.take());
+        } else if (type == wire::kMsgDiscoveryRequest) {
+            ++requests;
+        }
+    }
+
+    std::uint64_t requests = 0;
+
+    BrokerAdvertisement advertisement(Rng& rng) const {
+        BrokerAdvertisement ad;
+        ad.broker_id = Uuid::random(rng);
+        ad.broker_name = "fake";
+        ad.endpoint = ep_;
+        ad.realm = "r";
+        return ad;
+    }
+
+private:
+    sim::Kernel& kernel_;
+    transport::Transport& transport_;
+    Endpoint ep_;
+};
+
+struct FederationFixture : ::testing::Test {
+    static constexpr std::size_t kBdns = 3;
+
+    FederationFixture() : net(kernel, 131), rng(17) {
+        for (std::size_t i = 0; i < kBdns; ++i) {
+            bdn_hosts.push_back(net.add_host({"bdn" + std::to_string(i), "S", "r", 0}));
+            bdn_eps.push_back(Endpoint{bdn_hosts.back(), 7100});
+        }
+        client_host = net.add_host({"client", "S", "r", 0});
+        for (int i = 0; i < 3; ++i) {
+            broker_hosts.push_back(net.add_host({"b" + std::to_string(i), "S", "r", 0}));
+            brokers.push_back(
+                std::make_unique<FakeBroker>(kernel, net, Endpoint{broker_hosts.back(), 7000}));
+        }
+        net.set_default_link({from_ms(10), 0, 3});
+    }
+
+    /// Build the whole peer group with replication R and start every member.
+    void make_group(std::uint32_t replication, DurationUs anti_entropy = 0) {
+        for (std::size_t i = 0; i < kBdns; ++i) {
+            config::BdnConfig cfg;
+            cfg.peer_group = bdn_eps;
+            cfg.replication_factor = replication;
+            cfg.anti_entropy_interval = anti_entropy;
+            cfg.shard_deadline = from_ms(150);
+            bdns.push_back(std::make_unique<Bdn>(kernel, net, bdn_eps[i],
+                                                 net.host_clock(bdn_hosts[i]), cfg,
+                                                 "bdn" + std::to_string(i)));
+            bdns.back()->start();
+        }
+    }
+
+    /// An advertisement whose broker id is owned by `owner` (and, with
+    /// R == 1, by nobody else).
+    BrokerAdvertisement ad_owned_by(const Endpoint& owner, const ShardRing& ring) {
+        for (int tries = 0; tries < 10000; ++tries) {
+            BrokerAdvertisement ad = brokers[0]->advertisement(rng);
+            if (ring.owners(ad.broker_id).front() == owner) return ad;
+        }
+        ADD_FAILURE() << "no id owned by " << owner.str();
+        return brokers[0]->advertisement(rng);
+    }
+
+    DiscoveryRequest make_request() {
+        DiscoveryRequest req;
+        req.request_id = Uuid::random(rng);
+        req.reply_to = Endpoint{client_host, 7200};
+        req.realm = "r";
+        return req;
+    }
+
+    void send_request(Bdn& bdn, const DiscoveryRequest& req) {
+        wire::ByteWriter w;
+        w.u8(wire::kMsgDiscoveryRequest);
+        req.encode(w);
+        net.send_datagram(Endpoint{client_host, 7200}, bdn.endpoint(), w.take());
+    }
+
+    void run_for(DurationUs d) { kernel.run_until(kernel.now() + d); }
+
+    std::uint64_t total_broker_requests() const {
+        std::uint64_t total = 0;
+        for (const auto& b : brokers) total += b->requests;
+        return total;
+    }
+
+    sim::Kernel kernel;
+    sim::SimNetwork net;
+    Rng rng;
+    std::vector<HostId> bdn_hosts;
+    std::vector<Endpoint> bdn_eps;
+    HostId client_host{};
+    std::vector<HostId> broker_hosts;
+    std::vector<std::unique_ptr<FakeBroker>> brokers;
+    std::vector<std::unique_ptr<Bdn>> bdns;
+};
+
+TEST_F(FederationFixture, AdsForwardToTheirRingOwners) {
+    make_group(/*replication=*/1);
+    constexpr int kAds = 30;
+    for (int i = 0; i < kAds; ++i) {
+        bdns[0]->register_broker(brokers[i % brokers.size()]->advertisement(rng));
+    }
+    run_for(kSecond);
+
+    // Every ad landed somewhere, exactly once, and only at its owner.
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < kBdns; ++i) {
+        for (const auto& rb : bdns[i]->registry()) {
+            EXPECT_TRUE(bdns[i]->ring().owns(bdn_eps[i], rb.ad.broker_id))
+                << "bdn" << i << " stored an ad it does not own";
+        }
+        total += bdns[i]->registered_count();
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(kAds));
+    // The entry BDN relayed what it does not own; the owners accepted it.
+    EXPECT_EQ(bdns[0]->stats().ads_forwarded,
+              kAds - bdns[0]->registered_count());
+    EXPECT_EQ(bdns[1]->stats().forwards_received, bdns[1]->registered_count());
+    EXPECT_EQ(bdns[2]->stats().forwards_received, bdns[2]->registered_count());
+}
+
+TEST_F(FederationFixture, ForwardedAdToNonOwnerIsDropped) {
+    make_group(/*replication=*/1);
+    // An ad owned by bdn1 is relayed (as if by a peer on a stale ring) to
+    // bdn2: the non-owner must refuse it rather than split ownership.
+    const BrokerAdvertisement ad = ad_owned_by(bdn_eps[1], bdns[0]->ring());
+    wire::ByteWriter w;
+    w.u8(wire::kMsgAdForward);
+    ad.encode(w);
+    net.send_datagram(bdn_eps[0], bdn_eps[2], w.take());
+    run_for(kSecond);
+
+    EXPECT_EQ(bdns[2]->stats().forwards_dropped, 1u);
+    EXPECT_EQ(bdns[2]->registered_count(), 0u);
+}
+
+TEST_F(FederationFixture, ScatterGatherCollectsCandidatesAcrossShards) {
+    make_group(/*replication=*/1);
+    for (const auto& broker : brokers) {
+        bdns[0]->register_broker(broker->advertisement(rng));
+    }
+    run_for(kSecond);  // forwards settle, owners ping their brokers
+
+    send_request(*bdns[0], make_request());
+    run_for(kSecond);
+
+    EXPECT_EQ(bdns[0]->stats().gathers, 1u);
+    EXPECT_EQ(bdns[0]->stats().shard_queries_sent, 2u);
+    EXPECT_EQ(bdns[0]->stats().shard_replies_received, 2u);
+    EXPECT_EQ(bdns[0]->stats().gathers_partial, 0u);
+    EXPECT_EQ(bdns[1]->stats().shard_queries_received, 1u);
+    EXPECT_EQ(bdns[2]->stats().shard_queries_received, 1u);
+    EXPECT_GE(bdns[0]->stats().injections, 1u);
+    EXPECT_GE(total_broker_requests(), 1u) << "gathered candidates were never injected";
+    EXPECT_EQ(bdns[0]->gather_depth(), 0u);
+}
+
+TEST_F(FederationFixture, GatherDegradesToPartialWhenShardIsDown) {
+    make_group(/*replication=*/1);
+    for (const auto& broker : brokers) {
+        bdns[0]->register_broker(broker->advertisement(rng));
+    }
+    run_for(kSecond);
+
+    net.set_host_down(bdn_hosts[1], true);
+    send_request(*bdns[0], make_request());
+    run_for(kSecond);
+
+    // The dead shard costs at most the per-shard deadline, then the request
+    // propagates with what arrived.
+    EXPECT_EQ(bdns[0]->stats().gathers_partial, 1u);
+    EXPECT_GE(bdns[0]->stats().injections, 1u);
+    EXPECT_EQ(bdns[0]->gather_depth(), 0u);
+    net.set_host_down(bdn_hosts[1], false);
+}
+
+TEST_F(FederationFixture, AntiEntropyConvergesReplicas) {
+    make_group(/*replication=*/2, /*anti_entropy=*/from_ms(400));
+    // Registered directly at one of its owners: the second replica only
+    // exists once anti-entropy repairs the divergence.
+    const BrokerAdvertisement ad = ad_owned_by(bdn_eps[0], bdns[0]->ring());
+    bdns[0]->register_broker(ad);
+    ASSERT_EQ(bdns[0]->registered_count(), 1u);
+
+    run_for(3 * kSecond);
+
+    const auto owners = bdns[0]->ring().owners(ad.broker_id);
+    ASSERT_EQ(owners.size(), 2u);
+    std::size_t holders = 0;
+    for (std::size_t i = 0; i < kBdns; ++i) {
+        const bool holds = bdns[i]->registered_count() == 1;
+        const bool owns =
+            std::find(owners.begin(), owners.end(), bdn_eps[i]) != owners.end();
+        EXPECT_EQ(holds, owns) << "bdn" << i;
+        if (holds) ++holders;
+    }
+    EXPECT_EQ(holders, 2u) << "anti-entropy did not replicate to the co-owner";
+    EXPECT_GE(bdns[0]->stats().anti_entropy_rounds, 2u);
+    EXPECT_GE(bdns[0]->stats().digests_sent, 2u);
+
+    // Once converged, digests match and no further repair traffic flows.
+    const std::uint64_t pushes_a = bdns[0]->stats().digest_mismatch_pushes;
+    const std::uint64_t pushes_b = bdns[1]->stats().digest_mismatch_pushes;
+    const std::uint64_t pushes_c = bdns[2]->stats().digest_mismatch_pushes;
+    run_for(2 * kSecond);
+    EXPECT_EQ(bdns[0]->stats().digest_mismatch_pushes, pushes_a);
+    EXPECT_EQ(bdns[1]->stats().digest_mismatch_pushes, pushes_b);
+    EXPECT_EQ(bdns[2]->stats().digest_mismatch_pushes, pushes_c);
+    EXPECT_GE(bdns[0]->stats().digests_matched, 1u);
+}
+
+TEST_F(FederationFixture, RebalanceHandsEntriesToNewMember) {
+    // Start as a two-member group (the third BDN exists but is outside the
+    // ring), fill the registry, then admit the third member everywhere.
+    for (std::size_t i = 0; i < kBdns; ++i) {
+        config::BdnConfig cfg;
+        cfg.peer_group = {bdn_eps[0], bdn_eps[1]};
+        cfg.replication_factor = 1;
+        if (i == 2) cfg.peer_group = {bdn_eps[2]};  // solo until admitted
+        bdns.push_back(std::make_unique<Bdn>(kernel, net, bdn_eps[i],
+                                             net.host_clock(bdn_hosts[i]), cfg,
+                                             "bdn" + std::to_string(i)));
+        bdns.back()->start();
+    }
+    constexpr int kAds = 40;
+    for (int i = 0; i < kAds; ++i) {
+        bdns[0]->register_broker(brokers[i % brokers.size()]->advertisement(rng));
+    }
+    run_for(kSecond);
+    ASSERT_EQ(bdns[0]->registered_count() + bdns[1]->registered_count(),
+              static_cast<std::size_t>(kAds));
+
+    for (auto& bdn : bdns) bdn->set_peer_group(bdn_eps);
+    run_for(3 * kSecond);
+
+    // The newcomer received every entry it now owns.
+    const ShardRing& ring = bdns[2]->ring();
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (const auto& rb : bdns[i]->registry()) {
+            if (ring.owns(bdn_eps[2], rb.ad.broker_id)) ++expected;
+        }
+    }
+    EXPECT_GT(expected, 0u) << "seed gave the newcomer no range; pick another seed";
+    EXPECT_EQ(bdns[2]->registered_count(), expected);
+    EXPECT_GE(bdns[0]->stats().rebalance_handoffs + bdns[1]->stats().rebalance_handoffs,
+              expected);
+    // Residue is not deleted: the old owners keep serving what they held.
+    EXPECT_EQ(bdns[0]->registered_count() + bdns[1]->registered_count(),
+              static_cast<std::size_t>(kAds));
+}
+
+TEST_F(FederationFixture, RequestInFlightSurvivesRingChurn) {
+    make_group(/*replication=*/1);
+    for (const auto& broker : brokers) {
+        bdns[0]->register_broker(broker->advertisement(rng));
+    }
+    run_for(kSecond);
+
+    // Shrink the coordinator's ring while its shard queries are still in
+    // flight: the gather must still finalize (replies from the departed
+    // member are simply extra candidates) and the request must still reach
+    // brokers.
+    send_request(*bdns[0], make_request());
+    run_for(from_ms(12));  // request reached the coordinator; queries in flight
+    ASSERT_EQ(bdns[0]->gather_depth(), 1u);
+    bdns[0]->set_peer_group({bdn_eps[0], bdn_eps[1]});
+    run_for(kSecond);
+
+    EXPECT_EQ(bdns[0]->gather_depth(), 0u);
+    EXPECT_GE(bdns[0]->stats().injections, 1u);
+    EXPECT_GE(total_broker_requests(), 1u);
+
+    // A follow-up request on the new ring works too.
+    send_request(*bdns[0], make_request());
+    run_for(kSecond);
+    EXPECT_EQ(bdns[0]->gather_depth(), 0u);
+    EXPECT_EQ(bdns[0]->stats().gathers, 2u);
+}
+
+TEST_F(FederationFixture, DigestFromAnotherRingEpochIsFenced) {
+    make_group(/*replication=*/2, /*anti_entropy=*/from_ms(400));
+    // bdn2 moves to a different membership view mid-flight: its digests no
+    // longer describe the same shard ranges and must be ignored, not
+    // answered with repair pushes.
+    bdns[2]->set_peer_group({bdn_eps[0], bdn_eps[2]});
+    bdns[2]->register_broker(brokers[0]->advertisement(rng));
+    run_for(2 * kSecond);
+
+    EXPECT_GE(bdns[0]->stats().digest_ring_mismatches +
+                  bdns[1]->stats().digest_ring_mismatches +
+                  bdns[2]->stats().digest_ring_mismatches,
+              1u);
+}
+
+}  // namespace
+}  // namespace narada::discovery

@@ -343,5 +343,186 @@ TEST_F(BdnFixture, RegistrySyncSurvivesLossyPath) {
     EXPECT_GE(bdn_a.stats().sync_pushes, 1u);
 }
 
+TEST_F(BdnFixture, RegistrySyncClampsLeaseToSendersRemaining) {
+    // Regression: a synced entry must carry what is left of the sender's
+    // lease, not be granted a fresh full lease by the receiver. Here the
+    // sender leases for 2 s and the receiver's own policy is 60 s — the
+    // merged entry must still lapse when the original grant does.
+    const HostId peer_host = net.add_host({"bdn2", "S", "bdn-realm", 0});
+    const Endpoint peer_ep{peer_host, 7100};
+
+    config::BdnConfig cfg_a;
+    cfg_a.sync_peers = {peer_ep};
+    cfg_a.registry_sync_interval = from_ms(500);
+    cfg_a.ad_lease = 2 * kSecond;
+    config::BdnConfig cfg_b;
+    cfg_b.ad_lease = 60 * kSecond;
+
+    Bdn bdn_a = make_bdn(cfg_a);
+    Bdn bdn_b(kernel, net, peer_ep, net.host_clock(peer_host), cfg_b);
+    bdn_a.start();
+    bdn_b.start();
+
+    const TimeUs t0 = kernel.now();
+    bdn_a.register_broker(brokers[0]->advertisement(rng));
+    kernel.run_until(t0 + 1500 * kMillisecond);
+
+    const auto reg = bdn_b.registry();
+    ASSERT_EQ(reg.size(), 1u);
+    EXPECT_GT(reg[0].lease_expires_at, t0);
+    // The sender's grant ends at t0 + 2 s; allow slack for sync latency but
+    // nothing close to the receiver's own 60 s policy.
+    EXPECT_LE(reg[0].lease_expires_at, t0 + 2 * kSecond + from_ms(500))
+        << "receiver granted a fresh lease instead of clamping to remaining";
+
+    // And the entry actually lapses: once the original grant is over, the
+    // receiver's sweep evicts it (the sender's copy expired too, so the
+    // digest-driven pushes stop carrying it).
+    kernel.run_until(t0 + 8 * kSecond);
+    std::size_t live = 0;
+    for (const auto& rb : bdn_b.registry()) {
+        if (rb.lease_expires_at == 0 || rb.lease_expires_at > kernel.now()) ++live;
+    }
+    EXPECT_EQ(live, 0u) << "clamped lease outlived the sender's grant";
+}
+
+TEST_F(BdnFixture, RegistrySyncNonLeasingSenderCannotRenewLease) {
+    // A sender that does not track leases (-1 on the wire) must not refresh
+    // a lease the receiver already granted: only the broker's own re-ad can.
+    const HostId peer_host = net.add_host({"bdn2", "S", "bdn-realm", 0});
+    const Endpoint peer_ep{peer_host, 7100};
+
+    config::BdnConfig cfg_a;
+    cfg_a.sync_peers = {peer_ep};
+    cfg_a.registry_sync_interval = from_ms(500);
+    cfg_a.ad_lease = 0;  // sender: no leases
+    config::BdnConfig cfg_b;
+    cfg_b.ad_lease = 2 * kSecond;  // receiver leases direct registrations
+
+    Bdn bdn_a = make_bdn(cfg_a);
+    Bdn bdn_b(kernel, net, peer_ep, net.host_clock(peer_host), cfg_b);
+    bdn_a.start();
+    bdn_b.start();
+
+    const BrokerAdvertisement ad = brokers[0]->advertisement(rng);
+    bdn_b.register_broker(ad);  // direct registration: leased locally
+    const TimeUs direct_lease = bdn_b.registry()[0].lease_expires_at;
+    ASSERT_GT(direct_lease, 0);
+
+    bdn_a.register_broker(ad);  // the sender also knows this broker
+    kernel.run_until(kernel.now() + 1500 * kMillisecond);
+
+    ASSERT_EQ(bdn_b.registered_count(), 1u);
+    EXPECT_EQ(bdn_b.registry()[0].lease_expires_at, direct_lease)
+        << "a -1 (non-leasing) sync entry renewed the receiver's lease";
+}
+
+TEST_F(BdnFixture, RegistrySyncNeverResurrectsExpiredEntry) {
+    // A v2 sync entry whose remaining lease is already spent (<= 0, not the
+    // -1 sentinel) must be dropped, never stored — even though the same ad
+    // with time left would be welcome.
+    Bdn bdn = make_bdn();
+
+    RegistrySyncEntry spent;
+    spent.ad = brokers[0]->advertisement(rng);
+    spent.lease_remaining = 0;  // expired exactly at encode time
+    spent.origin = 0xABCD;
+    spent.version = 7;
+    RegistrySyncEntry negative;
+    negative.ad = brokers[1]->advertisement(rng);
+    negative.lease_remaining = -from_ms(500);  // long dead at the sender
+    negative.origin = 0xABCD;
+    negative.version = 8;
+
+    wire::ByteWriter w;
+    w.u8(wire::kMsgBdnRegistrySync2);
+    w.u32(2);
+    spent.encode(w);
+    negative.encode(w);
+    const Bytes payload = w.take();
+
+    // Deliver over a real RUDP lane from a fake peer, exactly as a (buggy
+    // or clock-stepped) BDN would push it.
+    struct FrameRouter final : transport::MessageHandler {
+        transport::RudpChannel* channel = nullptr;
+        void on_datagram(const Endpoint&, const Bytes& data) override {
+            if (channel == nullptr || data.empty()) return;
+            wire::ByteReader reader(data);
+            const std::uint8_t type = reader.u8();
+            channel->handle_frame(type, reader);
+        }
+    } router;
+    const Endpoint peer_ep{client_host, 7300};
+    net.bind(peer_ep, &router);
+    transport::RudpChannel channel(kernel, net, net.host_clock(client_host), peer_ep,
+                                   bdn.endpoint(), transport::RudpOptions{}, "fake-peer");
+    router.channel = &channel;
+    ASSERT_TRUE(channel.send_bulk(payload));
+    kernel.run_until(kernel.now() + 2 * kSecond);
+
+    EXPECT_EQ(bdn.registered_count(), 0u) << "expired sync entries were resurrected";
+    EXPECT_EQ(bdn.stats().sync_expired_dropped, 2u);
+    net.unbind(peer_ep);
+}
+
+TEST_F(BdnFixture, RegistrySyncSkipsPushWhileDigestUnchanged) {
+    // Periodic full-registry pushes are wasteful when nothing changed; the
+    // digest-skip keeps the lane idle until the registry actually moves.
+    const HostId peer_host = net.add_host({"bdn2", "S", "bdn-realm", 0});
+    const Endpoint peer_ep{peer_host, 7100};
+
+    config::BdnConfig cfg;
+    cfg.sync_peers = {peer_ep};
+    cfg.registry_sync_interval = from_ms(500);
+    Bdn bdn_a = make_bdn(cfg);
+    Bdn bdn_b(kernel, net, peer_ep, net.host_clock(peer_host), {});
+    bdn_a.start();
+    bdn_b.start();
+
+    register_all(bdn_a, rng);
+    kernel.run_until(kernel.now() + 3 * kSecond);
+
+    EXPECT_EQ(bdn_a.stats().sync_pushes, 1u) << "unchanged registry was re-pushed";
+    EXPECT_GE(bdn_a.stats().sync_skipped_unchanged, 3u);
+    EXPECT_EQ(bdn_b.registered_count(), 3u);
+
+    // A new advertisement changes the digest: exactly one more push.
+    BrokerAdvertisement fresh;
+    fresh.broker_id = Uuid::random(rng);
+    fresh.broker_name = "late-joiner";
+    fresh.endpoint = Endpoint{broker_hosts[0], 9100};
+    fresh.realm = "r";
+    bdn_a.register_broker(fresh);
+    kernel.run_until(kernel.now() + 2 * kSecond);
+
+    EXPECT_EQ(bdn_a.stats().sync_pushes, 2u);
+    EXPECT_EQ(bdn_b.registered_count(), 4u);
+}
+
+TEST_F(BdnFixture, RegistrySyncReRegistrationChangesDigest) {
+    // A lease renewal (re-advertisement) mints a fresh version, so the
+    // digest changes and peers hear about the renewal.
+    const HostId peer_host = net.add_host({"bdn2", "S", "bdn-realm", 0});
+    const Endpoint peer_ep{peer_host, 7100};
+
+    config::BdnConfig cfg;
+    cfg.sync_peers = {peer_ep};
+    cfg.registry_sync_interval = from_ms(500);
+    Bdn bdn_a = make_bdn(cfg);
+    Bdn bdn_b(kernel, net, peer_ep, net.host_clock(peer_host), {});
+    bdn_a.start();
+    bdn_b.start();
+
+    const BrokerAdvertisement ad = brokers[0]->advertisement(rng);
+    bdn_a.register_broker(ad);
+    kernel.run_until(kernel.now() + 2 * kSecond);
+    const std::uint64_t pushes_before = bdn_a.stats().sync_pushes;
+    EXPECT_EQ(pushes_before, 1u);
+
+    bdn_a.register_broker(ad);  // renewal, same broker id
+    kernel.run_until(kernel.now() + 2 * kSecond);
+    EXPECT_EQ(bdn_a.stats().sync_pushes, pushes_before + 1);
+}
+
 }  // namespace
 }  // namespace narada::discovery

@@ -342,6 +342,32 @@ TEST(BdnBreakers, SecondRunSkipsDeadPrimaryInstantly) {
     EXPECT_LT(second.time_to_ack, from_ms(300));  // never waited on the corpse
 }
 
+TEST(BdnBreakers, MidflightFailoverReissuesWithinRemainingDeadline) {
+    // The breaker opens mid-run: instead of burning the rest of the window
+    // retransmitting at the corpse, the client re-issues to the second BDN
+    // immediately — the same run succeeds, inside the original deadline.
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = 81;
+    opts.discovery.retransmit_interval = from_ms(300);
+    opts.discovery.response_window = from_ms(3000);
+    opts.discovery.breaker_failure_threshold = 1;
+    opts.discovery.breaker_open_initial = 20 * kSecond;
+    scenario::Scenario s(opts);
+    s.warm_up();
+    auto& cfg = s.client().mutable_config();
+    const Endpoint real_bdn = cfg.bdns.at(0);
+    cfg.bdns = {Endpoint{s.client_host(), 9999}, real_bdn};  // dead primary
+
+    const auto report = s.run_discovery();
+    ASSERT_TRUE(report.success);
+    EXPECT_GE(s.client().stats().midflight_failovers, 1u);
+    // One inactivity period to learn the primary is dead, then the failover
+    // served the rest of the window: well under window + fallback budgets.
+    EXPECT_LT(report.time_to_ack, from_ms(1000));
+    EXPECT_EQ(s.client().bdn_breaker(0).state(), CircuitBreaker::State::kOpen);
+}
+
 TEST(BdnBreakers, ForcedProbeRecoversWhenEveryBreakerIsOpen) {
     scenario::ScenarioOptions opts;
     opts.topology = scenario::Topology::kStar;

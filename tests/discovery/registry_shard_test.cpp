@@ -1,0 +1,185 @@
+#include "discovery/registry_shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "common/rng.hpp"
+#include "common/uuid.hpp"
+
+namespace narada::discovery {
+namespace {
+
+Endpoint ep(std::uint32_t host, std::uint16_t port = 7100) {
+    return Endpoint{host, port};
+}
+
+std::vector<Endpoint> group(std::size_t n) {
+    std::vector<Endpoint> members;
+    members.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) members.push_back(ep(100 + static_cast<std::uint32_t>(i)));
+    return members;
+}
+
+TEST(ShardRing, EmptyRingOwnsNothing) {
+    ShardRing ring;
+    Rng rng(1);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_TRUE(ring.owners(Uuid::random(rng)).empty());
+    EXPECT_FALSE(ring.owns(ep(100), Uuid::random(rng)));
+}
+
+TEST(ShardRing, SingleNodeGroupOwnsEverything) {
+    // A federation of one degrades to the paper's monolithic BDN: every id
+    // maps to the sole member, regardless of the requested replication.
+    ShardRing ring(group(1), {.vnodes = 16, .replication = 3});
+    Rng rng(2);
+    EXPECT_EQ(ring.replication(), 1u);
+    for (int i = 0; i < 100; ++i) {
+        const Uuid id = Uuid::random(rng);
+        const auto owners = ring.owners(id);
+        ASSERT_EQ(owners.size(), 1u);
+        EXPECT_EQ(owners[0], ep(100));
+        EXPECT_TRUE(ring.owns(ep(100), id));
+    }
+}
+
+TEST(ShardRing, ReplicationClampedToGroupSize) {
+    // R > |group| degrades to full replication, not an error.
+    ShardRing ring(group(3), {.vnodes = 32, .replication = 8});
+    Rng rng(3);
+    EXPECT_EQ(ring.replication(), 3u);
+    const Uuid id = Uuid::random(rng);
+    const auto owners = ring.owners(id);
+    EXPECT_EQ(owners.size(), 3u);
+    for (const Endpoint& m : ring.members()) {
+        EXPECT_TRUE(ring.owns(m, id));
+    }
+}
+
+TEST(ShardRing, DeterministicAcrossMemberOrderings) {
+    // Two BDNs configured with the same peer group in different orders must
+    // agree on ownership without negotiation.
+    std::vector<Endpoint> shuffled = group(7);
+    std::mt19937_64 shuffle_rng(42);
+    Rng rng(4);
+    const ShardRing reference(group(7), {.vnodes = 64, .replication = 2});
+    for (int round = 0; round < 5; ++round) {
+        std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+        const ShardRing permuted(shuffled, {.vnodes = 64, .replication = 2});
+        EXPECT_EQ(permuted.members(), reference.members()) << "members must be canonicalized";
+        for (int i = 0; i < 50; ++i) {
+            const Uuid id = Uuid::random(rng);
+            EXPECT_EQ(permuted.owners(id), reference.owners(id));
+        }
+    }
+}
+
+TEST(ShardRing, DeterministicAcrossRebuilds) {
+    // Rebuilding the ring from the same member list (a rebalance that ends
+    // where it started, or a restart) yields identical ownership.
+    const ShardRing a(group(5), {.vnodes = 64, .replication = 2});
+    const ShardRing b(group(5), {.vnodes = 64, .replication = 2});
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const Uuid id = Uuid::random(rng);
+        EXPECT_EQ(a.owners(id), b.owners(id));
+    }
+}
+
+TEST(ShardRing, OwnersAreDistinct) {
+    ShardRing ring(group(5), {.vnodes = 64, .replication = 3});
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i) {
+        auto owners = ring.owners(Uuid::random(rng));
+        ASSERT_EQ(owners.size(), 3u);
+        std::sort(owners.begin(), owners.end());
+        EXPECT_EQ(std::adjacent_find(owners.begin(), owners.end()), owners.end())
+            << "replicas must land on distinct members";
+    }
+}
+
+TEST(ShardRing, OwnsAgreesWithOwners) {
+    ShardRing ring(group(6), {.vnodes = 48, .replication = 2});
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const Uuid id = Uuid::random(rng);
+        const auto owners = ring.owners(id);
+        for (const Endpoint& m : ring.members()) {
+            const bool listed = std::find(owners.begin(), owners.end(), m) != owners.end();
+            EXPECT_EQ(ring.owns(m, id), listed);
+        }
+    }
+}
+
+TEST(ShardRing, DistributionIsRoughlyUniform) {
+    // 64 vnodes per member keeps the largest shard within ~3x of the
+    // smallest over 20k ids — enough smoothing that no BDN melts.
+    ShardRing ring(group(8), {.vnodes = 64, .replication = 1});
+    Rng rng(8);
+    std::map<Endpoint, std::size_t> load;
+    constexpr int kIds = 20000;
+    for (int i = 0; i < kIds; ++i) {
+        load[ring.owners(Uuid::random(rng)).front()]++;
+    }
+    ASSERT_EQ(load.size(), 8u) << "every member must own some range";
+    std::size_t lo = kIds, hi = 0;
+    for (const auto& [member, count] : load) {
+        lo = std::min(lo, count);
+        hi = std::max(hi, count);
+    }
+    EXPECT_LT(hi, 3 * lo) << "hi=" << hi << " lo=" << lo;
+}
+
+TEST(ShardRing, MemberRemovalMovesOnlyItsShare) {
+    // Consistent hashing's point: dropping one of 8 members must remap only
+    // the departed member's ranges (~1/8 of ids), not reshuffle the world.
+    const ShardRing before(group(8), {.vnodes = 64, .replication = 1});
+    std::vector<Endpoint> smaller = group(8);
+    smaller.pop_back();
+    const ShardRing after(smaller, {.vnodes = 64, .replication = 1});
+    Rng rng(9);
+    constexpr int kIds = 10000;
+    int moved = 0;
+    for (int i = 0; i < kIds; ++i) {
+        const Uuid id = Uuid::random(rng);
+        const Endpoint old_owner = before.owners(id).front();
+        const Endpoint new_owner = after.owners(id).front();
+        if (old_owner != new_owner) {
+            ++moved;
+            // Only ids whose old owner departed may move.
+            EXPECT_EQ(old_owner, ep(107));
+        }
+    }
+    // Expect ~1/8 = 1250 moved; allow generous slack for hash variance.
+    EXPECT_GT(moved, kIds / 16);
+    EXPECT_LT(moved, kIds / 4);
+}
+
+TEST(ShardRing, DuplicateMembersCollapse) {
+    std::vector<Endpoint> members = group(3);
+    members.push_back(ep(100));  // duplicate of the first
+    ShardRing ring(members, {.vnodes = 32, .replication = 2});
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.replication(), 2u);
+}
+
+TEST(ShardRing, OldRingStaysValidAfterReplacement) {
+    // The ring is a value type: a request in flight keeps consulting the
+    // ring it captured while the owner swaps in a rebuilt one.
+    ShardRing live(group(4), {.vnodes = 32, .replication = 2});
+    const ShardRing captured = live;  // what an in-flight gather holds
+    live = ShardRing(group(6), {.vnodes = 32, .replication = 2});
+    Rng rng(10);
+    const ShardRing reference(group(4), {.vnodes = 32, .replication = 2});
+    for (int i = 0; i < 100; ++i) {
+        const Uuid id = Uuid::random(rng);
+        EXPECT_EQ(captured.owners(id), reference.owners(id));
+    }
+    EXPECT_EQ(live.size(), 6u);
+}
+
+}  // namespace
+}  // namespace narada::discovery

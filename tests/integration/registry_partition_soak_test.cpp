@@ -1,0 +1,184 @@
+// Registry-partition soak: a three-member federated BDN peer group at
+// replication factor 2 rides out a flapping partition, a rolling wave of
+// BDN crashes and a membership change executed while one member is down
+// (crash-during-rebalance). Throughout, a client keeps issuing discovery
+// requests; afterwards the federation must have lost no unexpired lease —
+// every live broker is held by at least R owners — and discovery success
+// must stay at/above 99 %.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace narada {
+namespace {
+
+constexpr std::uint64_t kSoakSeed = 20260808;
+constexpr int kDiscoveryRounds = 100;
+
+struct SoakResult {
+    int successes = 0;
+    int rounds = 0;
+    /// Brokers held, unexpired, by fewer than R members after the heal.
+    std::size_t under_replicated = 0;
+    std::size_t brokers_lost = 0;  ///< brokers no member holds at all
+    std::uint64_t gathers = 0;
+    std::uint64_t gathers_partial = 0;
+    std::uint64_t ads_forwarded = 0;
+    std::uint64_t anti_entropy_rounds = 0;
+    std::uint64_t digest_mismatch_pushes = 0;
+    std::uint64_t ring_mismatches = 0;
+    std::uint64_t rebalance_handoffs = 0;
+    std::uint64_t midflight_failovers = 0;
+    std::size_t stale_ads = 0;
+    /// Bit-for-bit reproducibility digest.
+    std::vector<std::uint64_t> digest;
+};
+
+SoakResult run_soak() {
+    scenario::ScenarioOptions opts;
+    opts.topology = scenario::Topology::kStar;
+    opts.seed = kSoakSeed;
+    opts.bdn_count = 3;
+    opts.bdn.replication_factor = 2;
+    opts.bdn.anti_entropy_interval = 1 * kSecond;
+    opts.bdn.ad_lease = 20 * kSecond;
+    opts.broker.advertise_interval = 5 * kSecond;
+    opts.discovery.response_window = from_ms(1200);
+    opts.discovery.retransmit_interval = from_ms(400);
+    opts.discovery.breaker_failure_threshold = 1;
+    opts.discovery.breaker_open_initial = 2 * kSecond;
+    scenario::Scenario s(opts);
+    s.warm_up();
+    auto& kernel = s.kernel();
+    auto& net = s.network();
+
+    const std::vector<HostId> bdn_hosts = {s.bdn_host(0), s.bdn_host(1), s.bdn_host(2)};
+    std::vector<Endpoint> bdn_eps;
+    for (std::size_t i = 0; i < 3; ++i) bdn_eps.push_back(s.bdn_at(i).endpoint());
+    std::vector<HostId> everyone_else = {s.client_host(), bdn_hosts[0], bdn_hosts[1]};
+    for (std::size_t i = 0; i < s.broker_count(); ++i) {
+        everyone_else.push_back(s.broker_host(i));
+    }
+
+    // The scripted outage, relative to the injector's start:
+    //   5-26 s   bdn2 flaps in and out of a partition, three times
+    //   30-44 s  rolling crash wave across all three BDNs (overlapping)
+    //   33 s     membership shrinks to {bdn1, bdn2} while bdn0 is down —
+    //            the rebalance handoffs race the next crash in the wave
+    //   48 s     full membership restored on every member
+    sim::ChaosInjector injector(kernel, net);
+    sim::FaultPlan plan;
+    plan.flapping_partition(5 * kSecond, {bdn_hosts[2]}, everyone_else,
+                            /*rounds=*/3, /*down_for=*/4 * kSecond, /*gap=*/3 * kSecond)
+        .rolling_crashes(30 * kSecond, bdn_hosts, /*down_for=*/6 * kSecond,
+                         /*stagger=*/4 * kSecond);
+    injector.run(plan);
+    const TimeUs injected_at = kernel.now();
+    kernel.schedule_at(injected_at + 33 * kSecond, [&s, bdn_eps] {
+        s.bdn_at(1).set_peer_group({bdn_eps[1], bdn_eps[2]});
+        s.bdn_at(2).set_peer_group({bdn_eps[1], bdn_eps[2]});
+    });
+    kernel.schedule_at(injected_at + 48 * kSecond, [&s, bdn_eps] {
+        for (std::size_t i = 0; i < 3; ++i) s.bdn_at(i).set_peer_group(bdn_eps);
+    });
+
+    // Discovery never stops during the outage: one run roughly every
+    // second, spanning the whole plan and the heal.
+    SoakResult result;
+    for (int round = 0; round < kDiscoveryRounds; ++round) {
+        const auto report = s.run_discovery();
+        ++result.rounds;
+        if (report.success) ++result.successes;
+        result.digest.push_back(report.success ? 1 : 0);
+        kernel.run_until(kernel.now() + kSecond);
+    }
+    kernel.run_until(std::max(kernel.now(), injector.plan_end()));
+
+    // Heal: one advertise interval plus anti-entropy rounds to re-replicate,
+    // then one lease interval so stale residue is swept.
+    kernel.run_until(kernel.now() + 30 * kSecond);
+
+    // Zero permanent lease loss at R = 2: every broker (all kept
+    // advertising) is held unexpired by at least two members.
+    for (std::size_t b = 0; b < s.broker_count(); ++b) {
+        const Endpoint broker_ep = s.broker_at(b).endpoint();
+        std::size_t holders = 0;
+        for (std::size_t i = 0; i < 3; ++i) {
+            for (const auto& rb : s.bdn_at(i).registry()) {
+                if (rb.ad.endpoint != broker_ep) continue;
+                if (rb.lease_expires_at == 0 || rb.lease_expires_at > kernel.now()) ++holders;
+                break;
+            }
+        }
+        if (holders == 0) ++result.brokers_lost;
+        if (holders < 2) ++result.under_replicated;
+    }
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto& st = s.bdn_at(i).stats();
+        result.gathers += st.gathers;
+        result.gathers_partial += st.gathers_partial;
+        result.ads_forwarded += st.ads_forwarded;
+        result.anti_entropy_rounds += st.anti_entropy_rounds;
+        result.digest_mismatch_pushes += st.digest_mismatch_pushes;
+        result.ring_mismatches += st.digest_ring_mismatches;
+        result.rebalance_handoffs += st.rebalance_handoffs;
+        result.stale_ads += s.bdn_at(i).stale_count();
+        result.digest.push_back(st.ads_received);
+        result.digest.push_back(st.ads_forwarded);
+        result.digest.push_back(st.forwards_received);
+        result.digest.push_back(st.gathers);
+        result.digest.push_back(st.gathers_partial);
+        result.digest.push_back(st.shard_queries_sent);
+        result.digest.push_back(st.shard_replies_received);
+        result.digest.push_back(st.anti_entropy_rounds);
+        result.digest.push_back(st.digests_matched);
+        result.digest.push_back(st.digest_mismatch_pushes);
+        result.digest.push_back(st.digest_ring_mismatches);
+        result.digest.push_back(st.rebalance_handoffs);
+        result.digest.push_back(st.sync_expired_dropped);
+        result.digest.push_back(s.bdn_at(i).registered_count());
+    }
+    result.midflight_failovers = s.client().stats().midflight_failovers;
+    result.digest.push_back(result.midflight_failovers);
+    result.digest.push_back(s.client().stats().breaker_skips);
+    result.digest.push_back(static_cast<std::uint64_t>(result.successes));
+    result.digest.push_back(static_cast<std::uint64_t>(kernel.now()));
+    result.digest.push_back(net.stats().datagrams_sent);
+    return result;
+}
+
+TEST(RegistryPartitionSoak, FederationSurvivesPartitionAndRollingCrashes) {
+    const SoakResult r = run_soak();
+
+    // Discovery stayed available through the whole outage (>= 99 %).
+    EXPECT_EQ(r.rounds, kDiscoveryRounds);
+    EXPECT_GE(r.successes * 100, r.rounds * 99)
+        << r.successes << "/" << r.rounds << " discoveries succeeded";
+
+    // No unexpired lease was permanently lost, and R = 2 re-established.
+    EXPECT_EQ(r.brokers_lost, 0u);
+    EXPECT_EQ(r.under_replicated, 0u);
+    EXPECT_EQ(r.stale_ads, 0u) << "expired residue survived the sweep";
+
+    // The machinery under test actually engaged.
+    EXPECT_GT(r.gathers, 0u);
+    EXPECT_GT(r.gathers_partial, 0u) << "no gather ever degraded to partial results";
+    EXPECT_GT(r.ads_forwarded, 0u);
+    EXPECT_GT(r.anti_entropy_rounds, 0u);
+    EXPECT_GT(r.digest_mismatch_pushes, 0u) << "anti-entropy never repaired anything";
+    EXPECT_GT(r.ring_mismatches, 0u) << "epoch fencing never engaged";
+    EXPECT_GT(r.rebalance_handoffs, 0u);
+}
+
+TEST(RegistryPartitionSoak, DeterministicAcrossRepeatedRuns) {
+    const SoakResult a = run_soak();
+    const SoakResult b = run_soak();
+    EXPECT_EQ(a.digest, b.digest);
+}
+
+}  // namespace
+}  // namespace narada

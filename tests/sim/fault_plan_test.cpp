@@ -153,6 +153,59 @@ TEST_F(ChaosFixture, BurstReorderSetsAndRestoresKnobs) {
     EXPECT_EQ(injector.stats().reorder_storms, 1u);
 }
 
+TEST_F(ChaosFixture, RollingCrashesStaggerAndOverlap) {
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    // stagger (2 s) < down_for (5 s): consecutive outages overlap.
+    plan.rolling_crashes(1 * kSecond, {hosts[0], hosts[1], hosts[2]},
+                         /*down_for=*/5 * kSecond, /*stagger=*/2 * kSecond);
+    ASSERT_EQ(plan.actions.size(), 3u);
+    EXPECT_EQ(plan.actions[0].at, 1 * kSecond);
+    EXPECT_EQ(plan.actions[1].at, 3 * kSecond);
+    EXPECT_EQ(plan.actions[2].at, 5 * kSecond);
+    injector.run(plan);
+
+    run_to(from_ms(4000));  // hosts 0 and 1 down together, 2 still up
+    EXPECT_TRUE(network.host_down(hosts[0]));
+    EXPECT_TRUE(network.host_down(hosts[1]));
+    EXPECT_FALSE(network.host_down(hosts[2]));
+    run_to(from_ms(6500));  // host 0 restarted, 1 and 2 down
+    EXPECT_FALSE(network.host_down(hosts[0]));
+    EXPECT_TRUE(network.host_down(hosts[1]));
+    EXPECT_TRUE(network.host_down(hosts[2]));
+    run_to(from_ms(10500));  // everyone restarted
+    for (int i = 0; i < 3; ++i) EXPECT_FALSE(network.host_down(hosts[i]));
+    EXPECT_EQ(injector.stats().crashes, 3u);
+    EXPECT_EQ(injector.stats().restarts, 3u);
+    EXPECT_EQ(plan.duration(), 10 * kSecond);
+}
+
+TEST_F(ChaosFixture, FlappingPartitionRepeatsWithGaps) {
+    ChaosInjector injector(kernel, network);
+    FaultPlan plan;
+    plan.flapping_partition(1 * kSecond, {hosts[0]}, {hosts[1], hosts[2]},
+                            /*rounds=*/3, /*down_for=*/2 * kSecond, /*gap=*/1 * kSecond);
+    ASSERT_EQ(plan.actions.size(), 3u);
+    injector.run(plan);
+
+    auto cut = [&] { return network.link_down(hosts[0], hosts[1]); };
+    run_to(from_ms(1500));
+    EXPECT_TRUE(cut());  // round 1: [1, 3)
+    run_to(from_ms(3500));
+    EXPECT_FALSE(cut());  // healed gap: [3, 4)
+    run_to(from_ms(4500));
+    EXPECT_TRUE(cut());  // round 2: [4, 6)
+    run_to(from_ms(6500));
+    EXPECT_FALSE(cut());
+    run_to(from_ms(7500));
+    EXPECT_TRUE(cut());  // round 3: [7, 9)
+    run_to(from_ms(9500));
+    EXPECT_FALSE(cut());
+    EXPECT_EQ(injector.stats().partitions, 3u);
+    EXPECT_EQ(injector.stats().partition_heals, 3u);
+    EXPECT_EQ(plan.duration(), 9 * kSecond);
+}
+
 TEST(FaultPlanTest, DurationIsLastRevert) {
     FaultPlan plan;
     plan.crash(1 * kSecond, 0, 5 * kSecond).cut_link(2 * kSecond, 0, 1, 1 * kSecond);
