@@ -1,0 +1,240 @@
+// The canonical scale benchmark: a struct-of-arrays client swarm storms
+// the real broker/BDN plane at 10k, 100k and 1M endpoints (a flash crowd
+// over 30 s of virtual time, drained for 90 s) and reports the scale
+// curve: discovery latency percentiles (p50/p99/p999), BDN shed rate,
+// retransmits, breaker trips, per-endpoint swarm memory and wall-clock
+// cost. A 10k double-run asserts seed determinism in-process.
+//
+// Results go to stdout (a table + NARADA_JSON lines) and to
+// BENCH_scale.json; the CI bench-smoke job validates the schema and gates
+// on the success floor, the 256-byte per-endpoint ceiling and digest
+// equality. Exit code 1 on any gate failure, so the bench is its own
+// regression test.
+//
+// This retires bench_scaling (ablation A6): broker-count scaling of the
+// response wait is visible here as a side effect of the plane size, and
+// the repo keeps exactly one scale benchmark.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "obs/memory.hpp"
+#include "scenario/swarm_scenario.hpp"
+#include "swarm/client_swarm.hpp"
+#include "swarm/workload.hpp"
+
+namespace narada::swarm {
+namespace {
+
+constexpr std::uint32_t kScales[] = {10'000, 100'000, 1'000'000};
+constexpr std::uint64_t kSeed = 2026;
+constexpr DurationUs kRamp = 30 * kSecond;
+constexpr DurationUs kDrain = 90 * kSecond;
+
+struct ScaleResult {
+    std::uint32_t endpoints = 0;
+    std::uint64_t started = 0;
+    std::uint32_t connected = 0;
+    double success_rate = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double p999_ms = 0;
+    double shed_rate = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t failed_runs = 0;
+    std::uint64_t breaker_trips = 0;
+    double bytes_per_endpoint = 0;
+    std::uint64_t rss_delta_bytes = 0;
+    std::size_t events = 0;
+    double wall_ms = 0;
+    std::string digest;
+};
+
+scenario::SwarmScenarioOptions options_for(std::uint32_t endpoints, std::uint64_t seed) {
+    scenario::SwarmScenarioOptions options;
+    options.capacity = endpoints;
+    options.broker_count = 8;
+    options.bdn_count = 4;
+    options.seed = seed;
+    return options;
+}
+
+ScaleResult run_scale(std::uint32_t endpoints, std::uint64_t seed) {
+    const std::uint64_t rss_before = obs::process_rss_bytes();
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    scenario::SwarmScenario sc(options_for(endpoints, seed));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, endpoints, kRamp);
+    const std::size_t events = sc.run_plan(plan, kDrain);
+
+    ScaleResult r;
+    r.endpoints = endpoints;
+    r.events = events;
+    r.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          wall_start)
+                    .count();
+    const SwarmCounters& c = sc.swarm().counters();
+    r.started = c.started;
+    r.connected = sc.swarm().connected();
+    r.success_rate = c.started == 0 ? 0.0
+                                    : static_cast<double>(r.connected) /
+                                          static_cast<double>(c.started);
+    const SampleSet& latency = sc.swarm().discovery_latency_ms();
+    if (!latency.empty()) {
+        r.p50_ms = latency.percentile(50);
+        r.p99_ms = latency.percentile(99);
+        r.p999_ms = latency.percentile(99.9);
+    }
+    r.shed_rate = sc.shed_rate();
+    r.requests = c.requests_sent;
+    r.retransmits = c.retransmits;
+    r.failed_runs = c.failed_runs;
+    r.breaker_trips = c.breaker_trips;
+    r.bytes_per_endpoint = static_cast<double>(sc.swarm().state_bytes()) /
+                           static_cast<double>(endpoints);
+    const std::uint64_t rss_after = obs::process_rss_bytes();
+    r.rss_delta_bytes = rss_after > rss_before ? rss_after - rss_before : 0;
+    r.digest = sc.swarm().metrics_digest_hex();
+    return r;
+}
+
+/// Same seed, same plan, fresh system: the digests must match.
+bool determinism_check(std::string& digest_a, std::string& digest_b) {
+    const auto run_once = [] {
+        scenario::SwarmScenario sc(options_for(10'000, kSeed));
+        WorkloadPlan plan;
+        plan.flash_crowd(0, 10'000, 10 * kSecond);
+        plan.mobile_churn(12 * kSecond, 0.05, kSecond, 5 * kSecond);
+        sc.run_plan(plan, 30 * kSecond);
+        return sc.swarm().metrics_digest_hex();
+    };
+    digest_a = run_once();
+    digest_b = run_once();
+    return digest_a == digest_b;
+}
+
+}  // namespace
+}  // namespace narada::swarm
+
+int main(int argc, char** argv) {
+    using namespace narada;
+    using namespace narada::swarm;
+
+    // `--runs` is accepted for CI smoke uniformity; the scale curve is a
+    // fixed sweep (one deterministic run per point), so it only gates
+    // whether the 1M point runs (smoke keeps it — it IS the acceptance
+    // gate — but a custom quick pass can use --runs 1 to stop at 100k).
+    const int runs = bench::parse_runs(argc, argv, 3);
+    const bool include_million = runs >= 2;
+
+    std::vector<ScaleResult> results;
+    for (const std::uint32_t endpoints : kScales) {
+        if (endpoints == 1'000'000 && !include_million) continue;
+        results.push_back(run_scale(endpoints, kSeed));
+    }
+
+    bench::print_heading("Swarm scale curve: flash crowd vs. endpoint count (8 brokers, 4 BDNs)");
+    std::printf("%10s %10s %8s %9s %9s %9s %9s %8s %10s %9s\n", "endpoints", "connected",
+                "succ", "p50 ms", "p99 ms", "p99.9 ms", "shed", "B/ep", "events", "wall ms");
+    for (const ScaleResult& r : results) {
+        std::printf("%10u %10u %7.4f %9.1f %9.1f %9.1f %9.4f %8.1f %10zu %9.0f\n",
+                    r.endpoints, r.connected, r.success_rate, r.p50_ms, r.p99_ms, r.p999_ms,
+                    r.shed_rate, r.bytes_per_endpoint, r.events, r.wall_ms);
+        bench::print_json_record(
+            "swarm_scale",
+            {{"endpoints", static_cast<double>(r.endpoints)},
+             {"connected", static_cast<double>(r.connected)},
+             {"success_rate", r.success_rate},
+             {"p50_ms", r.p50_ms},
+             {"p99_ms", r.p99_ms},
+             {"p999_ms", r.p999_ms},
+             {"shed_rate", r.shed_rate},
+             {"retransmits", static_cast<double>(r.retransmits)},
+             {"breaker_trips", static_cast<double>(r.breaker_trips)},
+             {"bytes_per_endpoint", r.bytes_per_endpoint},
+             {"wall_ms", r.wall_ms}});
+    }
+
+    std::string digest_a, digest_b;
+    const bool deterministic = determinism_check(digest_a, digest_b);
+    std::printf("\ndeterminism (10k, seed %llu): %s (%s vs %s)\n",
+                static_cast<unsigned long long>(kSeed), deterministic ? "OK" : "MISMATCH",
+                digest_a.c_str(), digest_b.c_str());
+
+    {
+        obs::JsonWriter w;
+        w.begin_object()
+            .field("bench", "swarm_scale")
+            .field("seed", static_cast<std::uint64_t>(kSeed))
+            .field("ramp_s", static_cast<std::uint64_t>(kRamp / kSecond))
+            .field("drain_s", static_cast<std::uint64_t>(kDrain / kSecond))
+            .key("results")
+            .begin_array();
+        for (const ScaleResult& r : results) {
+            w.begin_object()
+                .field("endpoints", static_cast<std::uint64_t>(r.endpoints))
+                .field("started", r.started)
+                .field("connected", static_cast<std::uint64_t>(r.connected))
+                .field("success_rate", r.success_rate, 5)
+                .field("p50_ms", r.p50_ms, 2)
+                .field("p99_ms", r.p99_ms, 2)
+                .field("p999_ms", r.p999_ms, 2)
+                .field("shed_rate", r.shed_rate, 5)
+                .field("requests", r.requests)
+                .field("retransmits", r.retransmits)
+                .field("failed_runs", r.failed_runs)
+                .field("breaker_trips", r.breaker_trips)
+                .field("bytes_per_endpoint", r.bytes_per_endpoint, 2)
+                .field("rss_delta_bytes", r.rss_delta_bytes)
+                .field("events", static_cast<std::uint64_t>(r.events))
+                .field("wall_ms", r.wall_ms, 1)
+                .field("digest", r.digest)
+                .end_object();
+        }
+        w.end_array()
+            .key("determinism")
+            .begin_object()
+            .field("endpoints", static_cast<std::uint64_t>(10'000))
+            .field("digest_a", digest_a)
+            .field("digest_b", digest_b)
+            .field("match", deterministic)
+            .end_object()
+            .end_object();
+        if (std::FILE* f = std::fopen("BENCH_scale.json", "w")) {
+            std::fputs(w.str().c_str(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("\nwrote BENCH_scale.json\n");
+        } else {
+            std::perror("bench: BENCH_scale.json");
+        }
+    }
+
+    // Regression gates: the bench is its own pass/fail check in CI.
+    bool ok = true;
+    for (const ScaleResult& r : results) {
+        if (r.success_rate < 0.90) {
+            std::printf("FAIL: success rate %.4f < 0.90 at %u endpoints\n", r.success_rate,
+                        r.endpoints);
+            ok = false;
+        }
+        if (r.bytes_per_endpoint > 256.0) {
+            std::printf("FAIL: %.1f bytes/endpoint > 256 at %u endpoints\n",
+                        r.bytes_per_endpoint, r.endpoints);
+            ok = false;
+        }
+        if (r.p99_ms <= 0) {
+            std::printf("FAIL: missing latency distribution at %u endpoints\n", r.endpoints);
+            ok = false;
+        }
+    }
+    if (!deterministic) {
+        std::printf("FAIL: fixed seed produced different metric digests\n");
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

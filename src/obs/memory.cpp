@@ -1,0 +1,60 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace narada::obs {
+
+std::uint64_t process_rss_bytes() {
+#if defined(__linux__)
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr) return 0;
+    unsigned long long total_pages = 0;
+    unsigned long long resident_pages = 0;
+    const int matched = std::fscanf(f, "%llu %llu", &total_pages, &resident_pages);
+    std::fclose(f);
+    if (matched != 2) return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0) return 0;
+    return static_cast<std::uint64_t>(resident_pages) * static_cast<std::uint64_t>(page);
+#else
+    return 0;
+#endif
+}
+
+std::uint64_t process_peak_rss_bytes() {
+#if defined(__linux__)
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return 0;
+    char line[256];
+    unsigned long long peak_kib = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            if (std::sscanf(line + 6, "%llu", &peak_kib) != 1) peak_kib = 0;
+            break;
+        }
+    }
+    std::fclose(f);
+    return static_cast<std::uint64_t>(peak_kib) * 1024;
+#else
+    return 0;
+#endif
+}
+
+void update_memory_gauges(
+    MetricsRegistry& registry, const std::string& node,
+    std::initializer_list<std::pair<const char*, std::uint64_t>> components) {
+    registry.gauge("process_rss_bytes", node).set(static_cast<double>(process_rss_bytes()));
+    registry.gauge("process_peak_rss_bytes", node)
+        .set(static_cast<double>(process_peak_rss_bytes()));
+    for (const auto& [component, bytes] : components) {
+        registry.gauge(std::string(component) + "_bytes", node)
+            .set(static_cast<double>(bytes));
+    }
+}
+
+}  // namespace narada::obs

@@ -1,0 +1,35 @@
+// Process memory gauges.
+//
+// BENCH_scale.json reports memory-per-endpoint honestly: alongside the
+// accounted per-component byte totals (array capacities, pools), the bench
+// samples the process resident set so hidden costs — allocator slack, heap
+// metadata, code — show up in the same record. On non-Linux hosts the
+// /proc readers return 0 and the gauges simply stay absent from reports.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace narada::obs {
+
+/// Current resident-set size of this process in bytes (Linux:
+/// /proc/self/statm). Returns 0 when unavailable.
+std::uint64_t process_rss_bytes();
+
+/// Peak resident-set size (Linux: VmHWM from /proc/self/status). Returns 0
+/// when unavailable.
+std::uint64_t process_peak_rss_bytes();
+
+/// Publish the standard memory gauges on `registry` under `node`:
+/// `process_rss_bytes`, `process_peak_rss_bytes`, and one
+/// `<component>_bytes` gauge per (component, bytes) pair of accounted
+/// per-component usage (e.g. {"swarm_state", swarm.state_bytes()}).
+void update_memory_gauges(
+    MetricsRegistry& registry, const std::string& node,
+    std::initializer_list<std::pair<const char*, std::uint64_t>> components = {});
+
+}  // namespace narada::obs

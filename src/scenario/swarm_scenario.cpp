@@ -1,0 +1,199 @@
+#include "scenario/swarm_scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace narada::scenario {
+namespace {
+
+// Port conventions, shared with Scenario where the roles overlap.
+constexpr std::uint16_t kTimePort = 123;
+constexpr std::uint16_t kBdnPort = 7100;
+constexpr std::uint16_t kBrokerPort = 7000;
+constexpr std::uint16_t kBrokerNtpPort = 7302;
+
+// Swarm aggregate hosts bind [kSwarmPortLo, kSwarmPortLo + span).
+constexpr std::uint16_t kSwarmPortLo = 1024;
+constexpr std::uint32_t kSwarmPortSpanMax = 60'000;
+
+// Broker placements cycle the catalog's five distributed sites.
+constexpr sim::Site kBrokerSites[] = {
+    sim::Site::kIndianapolis, sim::Site::kNcsa, sim::Site::kUmn,
+    sim::Site::kFsu, sim::Site::kCardiff,
+};
+
+}  // namespace
+
+SwarmScenario::SwarmScenario(SwarmScenarioOptions options) : options_(std::move(options)) {
+    build();
+}
+
+SwarmScenario::~SwarmScenario() = default;
+
+void SwarmScenario::build() {
+    if (options_.capacity == 0) {
+        throw std::invalid_argument("swarm scenario: capacity must be positive");
+    }
+    if (options_.broker_count == 0 || options_.bdn_count == 0) {
+        throw std::invalid_argument("swarm scenario: need at least one broker and one BDN");
+    }
+    if (options_.endpoints_per_host == 0 ||
+        options_.endpoints_per_host > kSwarmPortSpanMax / 2) {
+        throw std::invalid_argument("swarm scenario: endpoints_per_host out of range");
+    }
+
+    network_ = std::make_unique<sim::SimNetwork>(kernel_, options_.seed);
+    network_->set_per_hop_loss(options_.per_hop_loss);
+    // Swarm hosts are not in the WAN catalog; every link touching one
+    // falls back to this default (a mid-continent WAN path).
+    network_->set_default_link({from_ms(15.0), from_ms(5.0), 12});
+
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    if (options_.observe_plane) {
+        spans_ = std::make_unique<obs::SpanRecorder>(4096);
+        bdn_utc_ = std::make_unique<timesvc::FixedUtcSource>(network_->true_clock());
+    }
+
+    // Deployment order: [0]=time server, [1..bdn_count]=BDNs, then brokers.
+    std::vector<sim::Site> placements = {sim::Site::kBloomington};
+    for (std::size_t i = 0; i < options_.bdn_count; ++i) {
+        placements.push_back(sim::Site::kBloomington);
+    }
+    for (std::size_t i = 0; i < options_.broker_count; ++i) {
+        placements.push_back(kBrokerSites[i % std::size(kBrokerSites)]);
+    }
+    deployment_ = std::make_unique<sim::WanDeployment>(*network_, placements);
+
+    const HostId time_host = deployment_->host(0);
+    const Endpoint time_ep{time_host, kTimePort};
+    time_server_ = std::make_unique<timesvc::TimeServer>(*network_, time_ep,
+                                                         network_->true_clock());
+
+    // --- BDN group -----------------------------------------------------------
+    std::vector<Endpoint> bdn_eps;
+    for (std::size_t i = 0; i < options_.bdn_count; ++i) {
+        bdn_eps.push_back({deployment_->host(1 + i), kBdnPort});
+    }
+    config::BdnConfig bdn_cfg = options_.bdn;
+    if (bdn_eps.size() > 1 && bdn_cfg.peer_group.empty()) {
+        bdn_cfg.peer_group = bdn_eps;
+    }
+    for (std::size_t i = 0; i < options_.bdn_count; ++i) {
+        const HostId host = deployment_->host(1 + i);
+        bdns_.push_back(std::make_unique<discovery::Bdn>(
+            kernel_, *network_, bdn_eps[i], network_->host_clock(host), bdn_cfg,
+            "bdn" + std::to_string(i) + ".swarm"));
+    }
+
+    // --- brokers -------------------------------------------------------------
+    auto residual = [this]() -> DurationUs {
+        const DurationUs magnitude = network_->rng().uniform_int(options_.ntp_residual_min,
+                                                                 options_.ntp_residual_max);
+        return network_->rng().chance(0.5) ? magnitude : -magnitude;
+    };
+    for (std::size_t i = 0; i < options_.broker_count; ++i) {
+        const HostId host = deployment_->host(1 + options_.bdn_count + i);
+        const Endpoint broker_ep{host, kBrokerPort};
+
+        timesvc::NtpOptions ntp_options;
+        ntp_options.injected_residual = residual();
+        auto ntp = std::make_unique<timesvc::NtpService>(
+            kernel_, *network_, Endpoint{host, kBrokerNtpPort}, network_->host_clock(host),
+            time_ep, ntp_options);
+        ntp->start();
+
+        config::BrokerConfig broker_cfg = options_.broker;
+        broker_cfg.advertise_bdns = {bdn_eps[i % bdn_eps.size()]};
+
+        const sim::SiteInfo& info = sim::site_info(kBrokerSites[i % std::size(kBrokerSites)]);
+        auto node = std::make_unique<broker::Broker>(
+            kernel_, *network_, broker_ep, network_->host_clock(host), *ntp, broker_cfg,
+            info.machine + "/broker" + std::to_string(i));
+
+        discovery::BrokerIdentity identity;
+        identity.hostname = info.machine + std::to_string(i);
+        identity.realm = info.realm;
+        identity.geo_location = info.location;
+        identity.institution = info.site;
+        auto plugin = std::make_unique<discovery::BrokerDiscoveryPlugin>(identity);
+        node->add_plugin(plugin.get());
+
+        broker_ntp_.push_back(std::move(ntp));
+        plugins_.push_back(std::move(plugin));
+        brokers_.push_back(std::move(node));
+    }
+
+    if (options_.observe_plane) {
+        for (auto& b : bdns_) {
+            b->set_observability(metrics_.get(), spans_.get(), bdn_utc_.get());
+        }
+        for (std::size_t i = 0; i < brokers_.size(); ++i) {
+            brokers_[i]->set_observability(metrics_.get());
+            plugins_[i]->set_observability(metrics_.get(), spans_.get());
+        }
+    }
+
+    for (auto& b : bdns_) b->start();
+    for (auto& b : brokers_) b->start();
+
+    // --- the swarm -----------------------------------------------------------
+    const std::uint32_t hosts_needed =
+        (options_.capacity + options_.endpoints_per_host - 1) / options_.endpoints_per_host;
+    const std::uint32_t span =
+        std::min<std::uint32_t>(kSwarmPortSpanMax, 2 * options_.endpoints_per_host);
+    for (std::uint32_t i = 0; i < hosts_needed; ++i) {
+        swarm_hosts_.push_back(network_->add_host(
+            {"swarm" + std::to_string(i) + ".edge", "SWARM", "swarm", 0}));
+    }
+
+    swarm::SwarmOptions swarm_opts = options_.swarm;
+    swarm_opts.capacity = options_.capacity;
+    swarm_opts.bdns = bdn_eps;
+    swarm_opts.seed = options_.seed;
+    swarm_ = std::make_unique<swarm::ClientSwarm>(kernel_, *network_, std::move(swarm_opts));
+    swarm_->attach(swarm_hosts_, kSwarmPortLo,
+                   static_cast<std::uint16_t>(kSwarmPortLo + span - 1));
+    swarm_->set_observability(metrics_.get(), "swarm");
+
+    workload_ = std::make_unique<swarm::Workload>(kernel_, *swarm_);
+}
+
+void SwarmScenario::warm_up() {
+    if (warmed_up_) return;
+    warmed_up_ = true;
+    kernel_.run_until(kernel_.now() + options_.warmup);
+}
+
+std::size_t SwarmScenario::run_plan(const swarm::WorkloadPlan& plan, DurationUs drain,
+                                    std::size_t max_events) {
+    warm_up();
+    // Plan wave times are relative to this call; shift them onto the
+    // kernel's absolute clock.
+    swarm::WorkloadPlan shifted = plan;
+    const TimeUs base = kernel_.now();
+    for (auto& wave : shifted.waves) wave.at += base;
+    workload_->run(shifted);
+    const std::size_t events = kernel_.run_until(shifted.end() + drain, max_events);
+    swarm_->publish_metrics();
+    return events;
+}
+
+std::uint64_t SwarmScenario::requests_shed() const {
+    std::uint64_t total = 0;
+    for (const auto& b : bdns_) total += b->stats().requests_shed();
+    return total;
+}
+
+std::uint64_t SwarmScenario::requests_received() const {
+    std::uint64_t total = 0;
+    for (const auto& b : bdns_) total += b->stats().requests_received;
+    return total;
+}
+
+double SwarmScenario::shed_rate() const {
+    const std::uint64_t received = requests_received();
+    if (received == 0) return 0.0;
+    return static_cast<double>(requests_shed()) / static_cast<double>(received);
+}
+
+}  // namespace narada::scenario

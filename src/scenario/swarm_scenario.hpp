@@ -1,0 +1,140 @@
+// Swarm scenario — the scale testbed in a box.
+//
+// Where Scenario reproduces the paper's five-broker testbed with one real
+// discovery::Client, SwarmScenario points a ClientSwarm (100k-1M
+// struct-of-arrays endpoints) at the same real control plane: a time
+// server, a federated BDN group and a rack of brokers with the discovery
+// plugin, all on the simulated WAN. The swarm's endpoints live on a few
+// aggregate hosts bound through port ranges; workload waves (flash crowd,
+// diurnal, NAT churn) drive the population. Benches and soak tests build
+// on this so every scale experiment constructs the system the same way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "config/node_config.hpp"
+#include "discovery/bdn.hpp"
+#include "discovery/broker_plugin.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "sim/site_catalog.hpp"
+#include "swarm/client_swarm.hpp"
+#include "swarm/workload.hpp"
+#include "timesvc/ntp.hpp"
+
+namespace narada::scenario {
+
+struct SwarmScenarioOptions {
+    /// Endpoint slots in the swarm (the scale knob: 100k-1M).
+    std::uint32_t capacity = 100'000;
+    std::size_t broker_count = 8;
+    std::size_t bdn_count = 2;  ///< 2+ = federated registry plane
+    std::uint64_t seed = 1;
+    double per_hop_loss = 0.0005;
+
+    /// Endpoints per aggregate swarm host; each host binds a port range
+    /// with 2x headroom for NAT rebinds.
+    std::uint32_t endpoints_per_host = 16'384;
+
+    /// Swarm behaviour. capacity/bdns/seed are filled in by the scenario.
+    swarm::SwarmOptions swarm;
+
+    config::BrokerConfig broker;
+    /// BDN tuned for population-scale ingest: bounded queue with overflow
+    /// shedding (the shed-rate experiments), fast drain, and injections
+    /// spaced at connection-pool rather than cold-connect cost.
+    config::BdnConfig bdn = [] {
+        config::BdnConfig c;
+        c.ingest_queue_limit = 4096;
+        c.request_service_cost = from_ms(0.2);
+        c.injection_spacing = from_ms(1.0);
+        c.ping_refresh_interval = 60 * kSecond;
+        return c;
+    }();
+
+    /// Virtual time before the swarm starts: NTP converges, brokers
+    /// advertise, the BDN group measures distances.
+    DurationUs warmup = 8 * kSecond;
+
+    /// Wire BDN/broker observability too (the swarm's own metrics are
+    /// always published to metrics()). Off by default to keep the 1M
+    /// hot path lean.
+    bool observe_plane = false;
+
+    /// NTP residual error band for broker clocks.
+    DurationUs ntp_residual_min = from_ms(1.0);
+    DurationUs ntp_residual_max = from_ms(20.0);
+};
+
+class SwarmScenario {
+public:
+    explicit SwarmScenario(SwarmScenarioOptions options);
+    ~SwarmScenario();
+
+    SwarmScenario(const SwarmScenario&) = delete;
+    SwarmScenario& operator=(const SwarmScenario&) = delete;
+
+    /// Run the kernel through the warm-up period (idempotent).
+    void warm_up();
+
+    /// Play `plan` (wave times are relative to the call) and run virtual
+    /// time to the plan's end plus `drain`, under an explicit kernel event
+    /// budget — million-endpoint runs need more than the kernel default.
+    /// Calls warm_up() first if it has not happened yet. Returns events
+    /// executed.
+    std::size_t run_plan(const swarm::WorkloadPlan& plan, DurationUs drain = 10 * kSecond,
+                         std::size_t max_events = 4'000'000'000ull);
+
+    // --- access to the assembled system ------------------------------------
+    [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+    [[nodiscard]] sim::SimNetwork& network() { return *network_; }
+    [[nodiscard]] swarm::ClientSwarm& swarm() { return *swarm_; }
+    [[nodiscard]] swarm::Workload& workload() { return *workload_; }
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+    [[nodiscard]] discovery::Bdn& bdn_at(std::size_t i) { return *bdns_.at(i); }
+    [[nodiscard]] std::size_t bdn_count() const { return bdns_.size(); }
+    [[nodiscard]] broker::Broker& broker_at(std::size_t i) { return *brokers_.at(i); }
+    [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+    [[nodiscard]] HostId swarm_host(std::size_t i = 0) const { return swarm_hosts_.at(i); }
+    [[nodiscard]] std::size_t swarm_host_count() const { return swarm_hosts_.size(); }
+    [[nodiscard]] const SwarmScenarioOptions& options() const { return options_; }
+
+    /// Aggregate BDN-side shed decisions (quota + queue overflow).
+    [[nodiscard]] std::uint64_t requests_shed() const;
+    /// Aggregate discovery requests that reached a BDN.
+    [[nodiscard]] std::uint64_t requests_received() const;
+    /// Shed decisions / received requests (0 when nothing received).
+    [[nodiscard]] double shed_rate() const;
+
+private:
+    void build();
+
+    SwarmScenarioOptions options_;
+    sim::Kernel kernel_;
+    std::unique_ptr<sim::SimNetwork> network_;
+    std::unique_ptr<sim::WanDeployment> deployment_;
+
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    std::unique_ptr<obs::SpanRecorder> spans_;
+    std::unique_ptr<timesvc::FixedUtcSource> bdn_utc_;
+
+    std::unique_ptr<timesvc::TimeServer> time_server_;
+    std::vector<std::unique_ptr<discovery::Bdn>> bdns_;
+    std::vector<std::unique_ptr<broker::Broker>> brokers_;
+    std::vector<std::unique_ptr<discovery::BrokerDiscoveryPlugin>> plugins_;
+    std::vector<std::unique_ptr<timesvc::NtpService>> broker_ntp_;
+
+    std::vector<HostId> swarm_hosts_;
+    std::unique_ptr<swarm::ClientSwarm> swarm_;
+    std::unique_ptr<swarm::Workload> workload_;
+
+    bool warmed_up_ = false;
+};
+
+}  // namespace narada::scenario

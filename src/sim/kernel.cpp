@@ -1,15 +1,50 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace narada::sim {
 
+std::uint32_t Kernel::acquire_node() {
+    if (free_head_ != kNoNode) {
+        const std::uint32_t idx = free_head_;
+        free_head_ = nodes_[idx].next_free;
+        nodes_[idx].next_free = kNoNode;
+        return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Kernel::release_node(std::uint32_t index) {
+    EventNode& node = nodes_[index];
+    // Bumping the generation invalidates any outstanding TimerId for this
+    // slot; generation 0 is skipped so a TimerId can never equal
+    // kInvalidTimer (index 0 with generation 0 would be id 0).
+    if (++node.gen == 0) node.gen = 1;
+    node.cancelled = false;
+    node.raw_fn = nullptr;
+    node.raw_ctx = nullptr;
+    node.task = nullptr;  // drop captured state eagerly
+    node.next_free = free_head_;
+    free_head_ = index;
+}
+
+TimerId Kernel::arm_node(TimeUs t, std::uint32_t index) {
+    EventNode& node = nodes_[index];
+    node.time = t < now_ ? now_ : t;  // past deadlines fire "immediately"
+    node.seq = next_seq_++;
+    heap_.push_back(index);
+    std::push_heap(heap_.begin(), heap_.end(), later());
+    ++live_;
+    return make_id(node.gen, index);
+}
+
 TimerId Kernel::schedule_at(TimeUs t, Task task) {
-    if (t < now_) t = now_;  // past deadlines fire "immediately"
-    const TimerId id = next_timer_++;
-    queue_.push(Event{t, next_seq_++, id, std::move(task)});
-    return id;
+    const std::uint32_t idx = acquire_node();
+    nodes_[idx].task = std::move(task);
+    return arm_node(t, idx);
 }
 
 TimerId Kernel::schedule_after(DurationUs delay, Task task) {
@@ -17,23 +52,66 @@ TimerId Kernel::schedule_after(DurationUs delay, Task task) {
     return schedule_at(now_ + delay, std::move(task));
 }
 
+TimerId Kernel::schedule_raw_at(TimeUs t, RawFn fn, void* ctx, std::uint64_t arg) {
+    const std::uint32_t idx = acquire_node();
+    EventNode& node = nodes_[idx];
+    node.raw_fn = fn;
+    node.raw_ctx = ctx;
+    node.raw_arg = arg;
+    return arm_node(t, idx);
+}
+
+TimerId Kernel::schedule_raw_after(DurationUs delay, RawFn fn, void* ctx, std::uint64_t arg) {
+    if (delay < 0) delay = 0;
+    return schedule_raw_at(now_ + delay, fn, ctx, arg);
+}
+
 void Kernel::cancel(TimerId id) {
     if (id == kInvalidTimer) return;
-    cancelled_.insert(id);
+    const auto idx = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (idx >= nodes_.size()) return;
+    EventNode& node = nodes_[idx];
+    if (node.gen != gen || node.cancelled) return;  // already fired / cancelled
+    node.cancelled = true;
+    --live_;
+}
+
+void Kernel::reserve(std::size_t events) {
+    heap_.reserve(events);
+    if (nodes_.size() >= events) return;
+    nodes_.reserve(events);
+    while (nodes_.size() < events) {
+        nodes_.emplace_back();
+        release_node(static_cast<std::uint32_t>(nodes_.size() - 1));
+    }
 }
 
 bool Kernel::step() {
-    while (!queue_.empty()) {
-        // priority_queue::top returns const&; we must copy the task out
-        // before pop. Tasks are small closures so this is cheap.
-        Event ev = queue_.top();
-        queue_.pop();
-        if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-            cancelled_.erase(it);
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), later());
+        const std::uint32_t idx = heap_.back();
+        heap_.pop_back();
+        if (nodes_[idx].cancelled) {
+            release_node(idx);
             continue;
         }
-        now_ = ev.time;
-        ev.task();
+        now_ = nodes_[idx].time;
+        --live_;
+        if (nodes_[idx].raw_fn != nullptr) {
+            // Copy the callback out and recycle the node *before* invoking
+            // it: the callback may schedule (growing nodes_) or reuse the
+            // slot, so no reference into the pool may survive the call.
+            const RawFn fn = nodes_[idx].raw_fn;
+            void* ctx = nodes_[idx].raw_ctx;
+            const std::uint64_t arg = nodes_[idx].raw_arg;
+            release_node(idx);
+            fn(ctx, arg);
+        } else {
+            Task task = std::move(nodes_[idx].task);
+            release_node(idx);
+            task();
+        }
         return true;
     }
     return false;
@@ -48,20 +126,23 @@ std::size_t Kernel::run(std::size_t max_events) {
     return n;
 }
 
+void Kernel::drop_cancelled_head() {
+    while (!heap_.empty() && nodes_[heap_.front()].cancelled) {
+        std::pop_heap(heap_.begin(), heap_.end(), later());
+        release_node(heap_.back());
+        heap_.pop_back();
+    }
+}
+
 std::size_t Kernel::run_until(TimeUs deadline, std::size_t max_events) {
     std::size_t n = 0;
-    while (n < max_events && !queue_.empty()) {
+    while (n < max_events) {
         // Drop cancelled events from the head so the deadline peek below
         // sees the next *live* event.
-        while (!queue_.empty()) {
-            const auto it = cancelled_.find(queue_.top().id);
-            if (it == cancelled_.end()) break;
-            cancelled_.erase(it);
-            queue_.pop();
-        }
-        if (queue_.empty()) break;
+        drop_cancelled_head();
+        if (heap_.empty()) break;
         // Peek: do not run events scheduled past the deadline.
-        if (queue_.top().time > deadline) break;
+        if (nodes_[heap_.front()].time > deadline) break;
         if (step()) ++n;
     }
     if (n == max_events) {

@@ -5,6 +5,13 @@
 // events on this kernel, which makes every experiment deterministic for a
 // given seed: two events at the same virtual time fire in scheduling order.
 //
+// Event storage is pooled: each scheduled event lives in a recycled
+// EventNode slot (free-list, same idiom as transport::BufferPool) and the
+// priority queue is an indexed binary heap over slot numbers. Cancellation
+// is O(1) (generation check + lazy removal) and the raw-callback path
+// (schedule_raw_at) performs no allocation in steady state, which is what
+// lets a million-endpoint swarm run without thrashing the allocator.
+//
 // Per CP.4 the unit of concurrency here is the *task*, not the thread; the
 // kernel is deliberately single-threaded and the POSIX transport backend
 // (src/transport/posix_transport.*) supplies real concurrency instead.
@@ -12,8 +19,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -28,6 +33,10 @@ constexpr TimerId kInvalidTimer = 0;
 class Kernel final : public Scheduler {
 public:
     using Task = std::function<void()>;
+
+    /// Allocation-free callback: a plain function pointer plus an opaque
+    /// context and a 64-bit argument (typically a pooled-object index).
+    using RawFn = void (*)(void* ctx, std::uint64_t arg);
 
     Kernel() : clock_(*this) {}
     Kernel(const Kernel&) = delete;
@@ -44,6 +53,16 @@ public:
 
     /// Schedule `task` after `delay` from now.
     TimerId schedule_after(DurationUs delay, Task task);
+
+    /// Zero-allocation scheduling path: no std::function, no captures. The
+    /// callback receives (ctx, arg) when the event fires. Steady-state use
+    /// (schedule/fire/schedule...) recycles event nodes and never touches
+    /// the allocator once pools are warm.
+    TimerId schedule_raw_at(TimeUs t, RawFn fn, void* ctx = nullptr, std::uint64_t arg = 0);
+
+    /// Raw-callback variant of schedule_after.
+    TimerId schedule_raw_after(DurationUs delay, RawFn fn, void* ctx = nullptr,
+                               std::uint64_t arg = 0);
 
     /// Cancel a pending timer. Cancelling an already-fired or invalid id is
     /// a no-op (protocols routinely cancel timers that may have fired).
@@ -65,23 +84,44 @@ public:
     /// the queue drained past it. Returns events run.
     std::size_t run_until(TimeUs deadline, std::size_t max_events = kDefaultEventBudget);
 
-    [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
-    [[nodiscard]] bool empty() const { return pending() == 0; }
+    /// Pre-size the node pool and heap for `events` concurrent events so a
+    /// large scenario never reallocates mid-run.
+    void reserve(std::size_t events);
+
+    [[nodiscard]] std::size_t pending() const { return live_; }
+    [[nodiscard]] bool empty() const { return live_ == 0; }
+
+    /// Total event nodes ever allocated (live + cancelled + free-listed).
+    /// A steady-state workload should see this plateau — asserted by the
+    /// allocation-counting kernel test.
+    [[nodiscard]] std::size_t pooled_nodes() const { return nodes_.size(); }
 
     /// Guard against runaway event loops in tests and benches.
     static constexpr std::size_t kDefaultEventBudget = 100'000'000;
 
 private:
-    struct Event {
-        TimeUs time;
-        std::uint64_t seq;
-        TimerId id;
-        Task task;
+    static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+    struct EventNode {
+        TimeUs time = 0;
+        std::uint64_t seq = 0;
+        RawFn raw_fn = nullptr;
+        void* raw_ctx = nullptr;
+        std::uint64_t raw_arg = 0;
+        Task task;  // used only when raw_fn == nullptr
+        std::uint32_t gen = 1;
+        std::uint32_t next_free = kNoNode;
+        bool cancelled = false;
     };
+
+    // Orders heap slot indices by (time, seq); min-heap via std::push_heap.
     struct Later {
-        bool operator()(const Event& a, const Event& b) const {
-            if (a.time != b.time) return a.time > b.time;
-            return a.seq > b.seq;
+        const Kernel* kernel;
+        bool operator()(std::uint32_t a, std::uint32_t b) const {
+            const EventNode& na = kernel->nodes_[a];
+            const EventNode& nb = kernel->nodes_[b];
+            if (na.time != nb.time) return na.time > nb.time;
+            return na.seq > nb.seq;
         }
     };
 
@@ -94,11 +134,22 @@ private:
         const Kernel& kernel_;
     };
 
+    [[nodiscard]] Later later() const { return Later{this}; }
+    [[nodiscard]] static TimerId make_id(std::uint32_t gen, std::uint32_t index) {
+        return (static_cast<TimerId>(gen) << 32) | index;
+    }
+
+    std::uint32_t acquire_node();
+    void release_node(std::uint32_t index);
+    TimerId arm_node(TimeUs t, std::uint32_t index);
+    void drop_cancelled_head();
+
     TimeUs now_ = 0;
     std::uint64_t next_seq_ = 1;
-    TimerId next_timer_ = 1;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
-    std::unordered_set<TimerId> cancelled_;
+    std::vector<EventNode> nodes_;
+    std::vector<std::uint32_t> heap_;
+    std::uint32_t free_head_ = kNoNode;
+    std::size_t live_ = 0;
     VirtualClock clock_;
 };
 

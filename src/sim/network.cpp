@@ -137,20 +137,52 @@ void SimNetwork::check_host(HostId h, const char* what) const {
     }
 }
 
-void SimNetwork::deliver(const Endpoint& from, const Endpoint& to, Bytes data, bool reliable,
-                         DurationUs delay) {
-    kernel_.schedule_after(delay, [this, from, to, data = std::move(data), reliable] {
-        // Re-check liveness and binding at delivery time: the destination
-        // may have died or unbound while the message was in flight.
-        if (hosts_[to.host].down || hosts_[from.host].down) {
-            ++stats_.datagrams_dropped;
-            return;
-        }
-        const auto it = bindings_.find(to);
-        if (it == bindings_.end()) {
-            ++stats_.datagrams_unrouteable;
-            return;
-        }
+void SimNetwork::bind_range(HostId host, std::uint16_t port_lo, std::uint16_t port_hi,
+                            RangeHandler* handler) {
+    check_host(host, "bind_range");
+    if (handler == nullptr) throw std::invalid_argument("bind_range: null handler");
+    if (port_lo > port_hi) throw std::invalid_argument("bind_range: empty port range");
+    range_bindings_[host] = RangeBinding{port_lo, port_hi, handler};
+}
+
+void SimNetwork::unbind_range(HostId host) { range_bindings_.erase(host); }
+
+std::uint32_t SimNetwork::acquire_delivery_node() {
+    if (delivery_free_ != kNoNode) {
+        const std::uint32_t idx = delivery_free_;
+        delivery_free_ = delivery_nodes_[idx].next_free;
+        delivery_nodes_[idx].next_free = kNoNode;
+        return idx;
+    }
+    delivery_nodes_.emplace_back();
+    return static_cast<std::uint32_t>(delivery_nodes_.size() - 1);
+}
+
+void SimNetwork::release_delivery_node(std::uint32_t index) {
+    DeliveryNode& node = delivery_nodes_[index];
+    node.next_free = delivery_free_;
+    delivery_free_ = index;
+}
+
+void SimNetwork::deliver_trampoline(void* ctx, std::uint64_t arg) {
+    static_cast<SimNetwork*>(ctx)->on_deliver(static_cast<std::uint32_t>(arg));
+}
+
+void SimNetwork::on_deliver(std::uint32_t index) {
+    // Move everything out and recycle the node *before* invoking the
+    // handler: handlers send messages, which acquires delivery nodes and
+    // may grow the pool — no reference into it may survive the call.
+    const Endpoint from = delivery_nodes_[index].from;
+    const Endpoint to = delivery_nodes_[index].to;
+    const bool reliable = delivery_nodes_[index].reliable;
+    Bytes data = std::move(delivery_nodes_[index].data);
+    release_delivery_node(index);
+
+    // Re-check liveness and binding at delivery time: the destination may
+    // have died or unbound while the message was in flight.
+    if (hosts_[to.host].down || hosts_[from.host].down) {
+        ++stats_.datagrams_dropped;
+    } else if (const auto it = bindings_.find(to); it != bindings_.end()) {
         if (reliable) {
             ++stats_.reliable_delivered;
             it->second->on_reliable(from, data);
@@ -158,7 +190,30 @@ void SimNetwork::deliver(const Endpoint& from, const Endpoint& to, Bytes data, b
             ++stats_.datagrams_delivered;
             it->second->on_datagram(from, data);
         }
-    });
+    } else if (const auto rit = range_bindings_.find(to.host);
+               rit != range_bindings_.end() && to.port >= rit->second.port_lo &&
+               to.port <= rit->second.port_hi) {
+        if (reliable) {
+            ++stats_.reliable_delivered;
+        } else {
+            ++stats_.datagrams_delivered;
+        }
+        rit->second.handler->on_range_datagram(to, from, data);
+    } else {
+        ++stats_.datagrams_unrouteable;
+    }
+    pool_.release(std::move(data));
+}
+
+void SimNetwork::deliver(const Endpoint& from, const Endpoint& to, Bytes data, bool reliable,
+                         DurationUs delay) {
+    const std::uint32_t idx = acquire_delivery_node();
+    DeliveryNode& node = delivery_nodes_[idx];
+    node.from = from;
+    node.to = to;
+    node.reliable = reliable;
+    node.data = std::move(data);
+    kernel_.schedule_raw_after(delay, &SimNetwork::deliver_trampoline, this, idx);
 }
 
 void SimNetwork::send_datagram(const Endpoint& from, const Endpoint& to, Bytes data) {

@@ -27,9 +27,22 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/kernel.hpp"
+#include "transport/buffer_pool.hpp"
 #include "transport/transport.hpp"
 
 namespace narada::sim {
+
+/// Receiver for a whole port *range* on one host. A million-endpoint swarm
+/// binds one of these per aggregate host instead of a million individual
+/// MessageHandler entries; unlike MessageHandler::on_datagram it is told the
+/// destination endpoint so the owner can demultiplex to the right endpoint
+/// slot. Sim-only: the POSIX backend has real sockets per endpoint.
+class RangeHandler {
+public:
+    virtual ~RangeHandler() = default;
+    virtual void on_range_datagram(const Endpoint& to, const Endpoint& from,
+                                   const Bytes& data) = 0;
+};
 
 struct HostSpec {
     std::string name;           ///< e.g. "webis.msi.umn.edu"
@@ -111,6 +124,14 @@ public:
     [[nodiscard]] const Clock& true_clock() const { return kernel_.clock(); }
     [[nodiscard]] const std::string& realm_of(HostId h) const;
 
+    // --- swarm-scale port-range bindings -----------------------------------
+    /// Route every datagram addressed to `host` ports [port_lo, port_hi] to
+    /// `handler`, unless an exact bind() exists for the endpoint (exact
+    /// bindings win). One range per host; rebinding replaces it.
+    void bind_range(HostId host, std::uint16_t port_lo, std::uint16_t port_hi,
+                    RangeHandler* handler);
+    void unbind_range(HostId host);
+
     // --- Transport interface -----------------------------------------------
     void bind(const Endpoint& local, transport::MessageHandler* handler) override;
     void unbind(const Endpoint& local) override;
@@ -121,16 +142,44 @@ public:
     void send_multicast(transport::MulticastGroup group, const Endpoint& from,
                         Bytes data) override;
 
+    /// Encode buffers recycle through a network-owned pool, mirroring the
+    /// POSIX backend: in-flight payloads return here after delivery, so a
+    /// steady-state sender allocates nothing per message.
+    Bytes acquire_buffer() override { return pool_.acquire(); }
+
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
     [[nodiscard]] Kernel& kernel() { return kernel_; }
     [[nodiscard]] Rng& rng() { return rng_; }
+
+    /// Delivery nodes ever allocated (in-flight + free-listed); plateaus in
+    /// steady state — asserted by the allocation-counting kernel test.
+    [[nodiscard]] std::size_t pooled_deliveries() const { return delivery_nodes_.size(); }
 
 private:
     struct HostState {
         HostSpec spec;
         std::unique_ptr<OffsetClock> local_clock;
         bool down = false;
+    };
+
+    static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+    /// One in-flight message. Pooled (free-list) and scheduled through the
+    /// kernel's raw-callback path so delivery allocates nothing per
+    /// datagram in steady state.
+    struct DeliveryNode {
+        Endpoint from;
+        Endpoint to;
+        Bytes data;
+        bool reliable = false;
+        std::uint32_t next_free = kNoNode;
+    };
+
+    struct RangeBinding {
+        std::uint16_t port_lo = 0;
+        std::uint16_t port_hi = 0;
+        RangeHandler* handler = nullptr;
     };
 
     [[nodiscard]] static std::uint64_t pair_key(HostId a, HostId b) {
@@ -154,6 +203,11 @@ private:
     void deliver(const Endpoint& from, const Endpoint& to, Bytes data, bool reliable,
                  DurationUs delay);
 
+    std::uint32_t acquire_delivery_node();
+    void release_delivery_node(std::uint32_t index);
+    static void deliver_trampoline(void* ctx, std::uint64_t arg);
+    void on_deliver(std::uint32_t index);
+
     Kernel& kernel_;
     Rng rng_;
     std::vector<HostState> hosts_;
@@ -167,10 +221,15 @@ private:
     double bandwidth_ = 12.5e6;  // 100 Mbit/s
 
     std::unordered_map<Endpoint, transport::MessageHandler*> bindings_;
+    std::unordered_map<HostId, RangeBinding> range_bindings_;
     std::unordered_map<transport::MulticastGroup, std::vector<Endpoint>> groups_;
     // FIFO guarantee for reliable messages: last arrival per directed
     // (from, to) endpoint pair.
     std::map<std::pair<Endpoint, Endpoint>, TimeUs> reliable_horizon_;
+
+    std::vector<DeliveryNode> delivery_nodes_;
+    std::uint32_t delivery_free_ = kNoNode;
+    transport::BufferPool pool_{/*max_buffers=*/8192, /*buffer_capacity=*/2048};
 
     NetworkStats stats_;
 };

@@ -1,0 +1,160 @@
+#include "swarm/timer_wheel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace narada::swarm {
+
+namespace {
+constexpr std::uint32_t kSlotMask = TimerWheel::kSlots - 1;
+}  // namespace
+
+TimerWheel::TimerWheel(std::uint32_t capacity, TimeUs start, std::uint32_t granularity_log2)
+    : granularity_log2_(granularity_log2),
+      granule_mask_((std::uint64_t{1} << granularity_log2) - 1),
+      cur_tick_(start > 0 ? static_cast<std::uint64_t>(start) >> granularity_log2 : 0),
+      deadline_(capacity, kUnarmed),
+      gen_(capacity, 1),
+      slots_(static_cast<std::size_t>(kLevels) * kSlots) {
+    if (granularity_log2 >= 32) throw std::invalid_argument("TimerWheel: granularity too coarse");
+}
+
+void TimerWheel::insert(std::uint32_t index, std::uint64_t tick, bool allow_current) {
+    const std::uint64_t floor_tick = allow_current ? cur_tick_ : cur_tick_ + 1;
+    if (tick < floor_tick) tick = floor_tick;
+    const std::uint64_t delta = tick - cur_tick_;
+    std::uint32_t level = 0;
+    if (delta < kSlots) {
+        level = 0;
+    } else if (delta < (std::uint64_t{1} << (2 * kSlotBits))) {
+        level = 1;
+    } else if (delta < (std::uint64_t{1} << (3 * kSlotBits))) {
+        level = 2;
+    } else {
+        level = 3;
+        // Beyond the total span: park at the far edge of the outer level;
+        // the entry re-cascades (with its true deadline) when reached.
+        const std::uint64_t span = std::uint64_t{1} << (4 * kSlotBits);
+        if (delta >= span) tick = cur_tick_ + span - 1;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(tick >> (level * kSlotBits)) & kSlotMask;
+    slots_[level * kSlots + slot].push_back((Entry{gen_[index]} << 32) | index);
+}
+
+void TimerWheel::schedule(std::uint32_t index, TimeUs deadline) {
+    if (deadline == kUnarmed) {
+        cancel(index);
+        return;
+    }
+    if (++gen_[index] == 0) gen_[index] = 1;  // invalidate any old slot entry
+    if (deadline_[index] == kUnarmed) ++armed_;
+    deadline_[index] = deadline;
+    insert(index, tick_of(deadline), /*allow_current=*/false);
+}
+
+void TimerWheel::cancel(std::uint32_t index) {
+    if (deadline_[index] == kUnarmed) return;
+    if (++gen_[index] == 0) gen_[index] = 1;
+    deadline_[index] = kUnarmed;
+    --armed_;
+}
+
+void TimerWheel::cascade(std::uint32_t level) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(cur_tick_ >> (level * kSlotBits)) & kSlotMask;
+    std::vector<Entry>& bucket = slots_[level * kSlots + slot];
+    if (bucket.empty()) return;
+    cascade_scratch_.clear();
+    cascade_scratch_.swap(bucket);
+    for (const Entry e : cascade_scratch_) {
+        const auto index = static_cast<std::uint32_t>(e & 0xFFFFFFFFu);
+        if (static_cast<std::uint32_t>(e >> 32) != gen_[index]) continue;  // stale
+        insert(index, tick_of(deadline_[index]), /*allow_current=*/true);
+    }
+}
+
+std::uint64_t TimerWheel::next_event_tick() const {
+    std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t level = 0; level < kLevels; ++level) {
+        const std::uint32_t shift = level * kSlotBits;
+        const std::uint64_t pos = cur_tick_ >> shift;
+        for (std::uint64_t p = pos + 1; p <= pos + kSlots; ++p) {
+            if (slots_[level * kSlots + (p & kSlotMask)].empty()) continue;
+            const std::uint64_t tick = p << shift;
+            if (tick < best_tick) best_tick = tick;
+            break;  // first non-empty slot per level is the earliest there
+        }
+    }
+    return best_tick;
+}
+
+void TimerWheel::advance(TimeUs now, std::vector<std::uint32_t>& due) {
+    if (now < 0) return;
+    const std::uint64_t target = static_cast<std::uint64_t>(now) >> granularity_log2_;
+    while (cur_tick_ < target) {
+        if (armed_ == 0) {
+            // Nothing live anywhere: jump. Stale entries left behind are
+            // dropped by their generation check whenever their slot is
+            // next processed.
+            cur_tick_ = target;
+            break;
+        }
+        // Fast-forward across empty space: the next tick at which any slot
+        // is processed (level-0 harvest at p, level-L cascade at p<<shift)
+        // is exactly what the hint scan computes, so a lone far-future
+        // deadline costs O(levels) wakes, not O(ticks) iterations.
+        const std::uint64_t next = next_event_tick();
+        if (next > target) {
+            cur_tick_ = target;
+            break;
+        }
+        if (next > cur_tick_ + 1) cur_tick_ = next - 1;
+        ++cur_tick_;
+        if ((cur_tick_ & kSlotMask) == 0) {
+            // Outermost first: a higher-level cascade fills the slot the
+            // next lower cascade is about to distribute.
+            if (((cur_tick_ >> kSlotBits) & kSlotMask) == 0) {
+                if (((cur_tick_ >> (2 * kSlotBits)) & kSlotMask) == 0) cascade(3);
+                cascade(2);
+            }
+            cascade(1);
+        }
+        std::vector<Entry>& bucket = slots_[cur_tick_ & kSlotMask];
+        if (bucket.empty()) continue;
+        cascade_scratch_.clear();
+        cascade_scratch_.swap(bucket);
+        for (const Entry e : cascade_scratch_) {
+            const auto index = static_cast<std::uint32_t>(e & 0xFFFFFFFFu);
+            if (static_cast<std::uint32_t>(e >> 32) != gen_[index]) continue;  // stale
+            if (tick_of(deadline_[index]) > cur_tick_) {
+                // Defensive: a mis-binned entry goes back by its true
+                // deadline instead of firing early.
+                insert(index, tick_of(deadline_[index]), /*allow_current=*/false);
+                continue;
+            }
+            deadline_[index] = kUnarmed;
+            --armed_;
+            due.push_back(index);
+        }
+    }
+}
+
+TimeUs TimerWheel::next_deadline_hint() const {
+    if (armed_ == 0) return kUnarmed;
+    std::uint64_t best_tick = next_event_tick();
+    if (best_tick == std::numeric_limits<std::uint64_t>::max()) {
+        best_tick = cur_tick_ + 1;  // defensive; armed_ > 0 implies a slot exists
+    }
+    return static_cast<TimeUs>(best_tick << granularity_log2_);
+}
+
+std::size_t TimerWheel::memory_bytes() const {
+    std::size_t bytes = deadline_.capacity() * sizeof(TimeUs) +
+                        gen_.capacity() * sizeof(std::uint32_t) +
+                        cascade_scratch_.capacity() * sizeof(Entry) +
+                        slots_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& bucket : slots_) bytes += bucket.capacity() * sizeof(Entry);
+    return bytes;
+}
+
+}  // namespace narada::swarm

@@ -1,0 +1,116 @@
+// Bucketed hierarchical timer wheel for the client swarm.
+//
+// A million swarm endpoints each keep exactly one pending deadline
+// (retransmit, backoff expiry, or rediscovery). Driving those through the
+// kernel's general-purpose heap would mean a million live heap entries and
+// O(log n) churn per reschedule; the wheel instead holds one slot entry per
+// armed endpoint in O(1) schedule/cancel, and the swarm arms a single
+// kernel timer at the wheel's next-deadline hint.
+//
+// Layout: four levels of 256 slots at a base granularity of 2^10 us
+// (~1.024 ms per tick). Level 0 spans ~262 ms, level 1 ~67 s, level 2
+// ~4.8 h, level 3 ~51 days; deadlines beyond the total span park in the
+// outermost level and re-cascade. Cancellation is lazy: each endpoint has a
+// generation counter and slot entries carry the generation they were
+// inserted with, so a stale entry is dropped when its slot is processed.
+//
+// Timers are identified by a dense index in [0, capacity) chosen by the
+// caller (the swarm uses the endpoint index); each index holds at most one
+// armed deadline — scheduling again reschedules. Deadlines are rounded UP
+// to the next tick boundary, so a timer never fires before its deadline;
+// advance() yields due indices in deterministic slot-then-insertion order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace narada::swarm {
+
+class TimerWheel {
+public:
+    /// Sentinel deadline meaning "not armed" / "no hint".
+    static constexpr TimeUs kUnarmed = std::numeric_limits<TimeUs>::max();
+
+    static constexpr std::uint32_t kSlotBits = 8;
+    static constexpr std::uint32_t kSlots = 1u << kSlotBits;  // per level
+    static constexpr std::uint32_t kLevels = 4;
+
+    /// `capacity` timers (indices 0..capacity-1); `start` is the initial
+    /// virtual time; ticks are 2^granularity_log2 microseconds.
+    explicit TimerWheel(std::uint32_t capacity, TimeUs start = 0,
+                        std::uint32_t granularity_log2 = 10);
+
+    /// Arm (or re-arm) timer `index` for absolute time `deadline`.
+    void schedule(std::uint32_t index, TimeUs deadline);
+
+    /// Disarm timer `index`. No-op if not armed.
+    void cancel(std::uint32_t index);
+
+    [[nodiscard]] bool armed(std::uint32_t index) const { return deadline_[index] != kUnarmed; }
+    [[nodiscard]] TimeUs deadline(std::uint32_t index) const { return deadline_[index]; }
+
+    /// Advance wheel time to `now`, appending every index whose deadline
+    /// has been reached to `due` (the caller clears the vector). Indices
+    /// are disarmed before being reported; the handler may re-schedule.
+    void advance(TimeUs now, std::vector<std::uint32_t>& due);
+
+    /// A time T <= the earliest armed deadline such that advance(T) makes
+    /// progress (fires timers or cascades toward them). Conservative: the
+    /// wake-up may harvest nothing (stale entries, outer-level cascade), in
+    /// which case the caller simply asks for a new hint — each hint is
+    /// strictly later, so the process terminates at the real deadline.
+    /// Returns kUnarmed when no timer is armed.
+    [[nodiscard]] TimeUs next_deadline_hint() const;
+
+    /// Round `t` up to the next tick boundary — the earliest time an
+    /// advance() can harvest a deadline at `t` (callers arm the kernel
+    /// here to avoid a wasted sub-granule wake-up).
+    [[nodiscard]] TimeUs ceil_to_tick(TimeUs t) const {
+        if (t <= 0) return 0;
+        return static_cast<TimeUs>(tick_of(t) << granularity_log2_);
+    }
+
+    [[nodiscard]] std::size_t armed_count() const { return armed_; }
+    [[nodiscard]] std::uint32_t capacity() const { return static_cast<std::uint32_t>(deadline_.size()); }
+
+    /// Bytes of memory retained (arrays + slot vector capacities).
+    [[nodiscard]] std::size_t memory_bytes() const;
+
+private:
+    using Entry = std::uint64_t;  ///< (generation << 32) | index
+
+    [[nodiscard]] std::uint64_t tick_of(TimeUs t) const {
+        if (t <= 0) return 0;
+        const auto u = static_cast<std::uint64_t>(t);
+        return (u >> granularity_log2_) + ((u & granule_mask_) != 0 ? 1 : 0);
+    }
+
+    /// Place `index` (at its current generation) into the slot for
+    /// `tick`. `allow_current` lets cascades target the tick being
+    /// processed (its level-0 slot has not been harvested yet); external
+    /// schedules go to the next tick at the earliest.
+    void insert(std::uint32_t index, std::uint64_t tick, bool allow_current);
+
+    /// Re-distribute the level-`level` slot under the current tick.
+    void cascade(std::uint32_t level);
+
+    /// Earliest tick > cur_tick_ at which any slot is processed: a level-0
+    /// slot p harvests at tick p, a level-L slot p cascades at p << (L*8).
+    /// uint64 max when every slot in range is empty.
+    [[nodiscard]] std::uint64_t next_event_tick() const;
+
+    std::uint32_t granularity_log2_;
+    std::uint64_t granule_mask_;
+    std::uint64_t cur_tick_;
+    std::size_t armed_ = 0;
+
+    std::vector<TimeUs> deadline_;      ///< kUnarmed when idle
+    std::vector<std::uint32_t> gen_;    ///< bumped on every (re)schedule/cancel
+    std::vector<std::vector<Entry>> slots_;  ///< kLevels * kSlots, capacity reused
+    std::vector<Entry> cascade_scratch_;
+};
+
+}  // namespace narada::swarm

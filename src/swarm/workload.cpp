@@ -1,0 +1,164 @@
+#include "swarm/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace narada::swarm {
+
+WorkloadPlan& WorkloadPlan::flash_crowd(TimeUs at, std::uint32_t clients, DurationUs over,
+                                        std::uint32_t profile) {
+    Wave w;
+    w.kind = Kind::kFlashCrowd;
+    w.at = at;
+    w.count = clients;
+    w.over = std::max<DurationUs>(over, 0);
+    // Enough ticks for a smooth ramp, bounded so a 1M crowd stays a few
+    // hundred kernel events.
+    w.tick = std::clamp<DurationUs>(w.over / 200, 10 * kMillisecond, kSecond);
+    w.profile = profile;
+    waves.push_back(w);
+    return *this;
+}
+
+WorkloadPlan& WorkloadPlan::departures(TimeUs at, std::uint32_t clients, DurationUs over) {
+    Wave w;
+    w.kind = Kind::kDepartures;
+    w.at = at;
+    w.count = clients;
+    w.over = std::max<DurationUs>(over, 0);
+    w.tick = std::clamp<DurationUs>(w.over / 200, 10 * kMillisecond, kSecond);
+    waves.push_back(w);
+    return *this;
+}
+
+WorkloadPlan& WorkloadPlan::diurnal(TimeUs at, std::uint32_t base, double amplitude,
+                                    DurationUs period, DurationUs duration,
+                                    std::uint32_t profile) {
+    if (period <= 0) throw std::invalid_argument("diurnal: period must be positive");
+    Wave w;
+    w.kind = Kind::kDiurnal;
+    w.at = at;
+    w.count = base;
+    w.amplitude = amplitude;
+    w.period = period;
+    w.duration = duration;
+    w.tick = std::clamp<DurationUs>(period / 64, 100 * kMillisecond, 10 * kSecond);
+    w.profile = profile;
+    waves.push_back(w);
+    return *this;
+}
+
+WorkloadPlan& WorkloadPlan::mobile_churn(TimeUs at, double fraction, DurationUs interval,
+                                         DurationUs duration) {
+    if (interval <= 0) throw std::invalid_argument("mobile_churn: interval must be positive");
+    Wave w;
+    w.kind = Kind::kMobileChurn;
+    w.at = at;
+    w.fraction = std::clamp(fraction, 0.0, 1.0);
+    w.tick = interval;
+    w.duration = duration;
+    waves.push_back(w);
+    return *this;
+}
+
+TimeUs WorkloadPlan::end() const {
+    TimeUs last = 0;
+    for (const Wave& w : waves) {
+        const TimeUs wave_end =
+            w.at + std::max(w.over, w.duration);
+        last = std::max(last, wave_end);
+    }
+    return last;
+}
+
+Workload::Workload(sim::Kernel& kernel, ClientSwarm& swarm) : kernel_(kernel), swarm_(swarm) {}
+
+void Workload::run(const WorkloadPlan& plan) {
+    const auto first = static_cast<std::uint32_t>(waves_.size());
+    for (const WorkloadPlan::Wave& w : plan.waves) {
+        WaveState st;
+        st.wave = w;
+        switch (w.kind) {
+            case WorkloadPlan::Kind::kFlashCrowd:
+            case WorkloadPlan::Kind::kDepartures:
+                st.ticks_total = w.over <= 0
+                                     ? 1
+                                     : static_cast<std::uint32_t>(
+                                           std::max<DurationUs>(1, (w.over + w.tick - 1) / w.tick));
+                break;
+            case WorkloadPlan::Kind::kDiurnal:
+            case WorkloadPlan::Kind::kMobileChurn:
+                st.ticks_total = static_cast<std::uint32_t>(
+                    std::max<DurationUs>(1, w.duration / w.tick));
+                break;
+        }
+        waves_.push_back(st);
+    }
+    for (std::uint32_t idx = first; idx < waves_.size(); ++idx) {
+        schedule_tick(idx, waves_[idx].wave.at);
+    }
+}
+
+void Workload::schedule_tick(std::uint32_t wave_index, TimeUs at) {
+    kernel_.schedule_raw_at(at, &Workload::wave_trampoline, this, wave_index);
+}
+
+void Workload::wave_trampoline(void* ctx, std::uint64_t arg) {
+    static_cast<Workload*>(ctx)->on_wave_tick(static_cast<std::uint32_t>(arg));
+}
+
+void Workload::on_wave_tick(std::uint32_t wave_index) {
+    WaveState& st = waves_[wave_index];
+    const WorkloadPlan::Wave& w = st.wave;
+    ++stats_.ticks;
+    ++st.tick;
+    switch (w.kind) {
+        case WorkloadPlan::Kind::kFlashCrowd: {
+            // Linear ramp: by tick k of K, k/K of the cohort has arrived.
+            const auto target = static_cast<std::uint32_t>(
+                (std::uint64_t{w.count} * st.tick) / st.ticks_total);
+            if (target > st.done) {
+                stats_.arrivals += swarm_.start_clients(target - st.done, w.profile);
+                st.done = target;
+            }
+            break;
+        }
+        case WorkloadPlan::Kind::kDepartures: {
+            const auto target = static_cast<std::uint32_t>(
+                (std::uint64_t{w.count} * st.tick) / st.ticks_total);
+            if (target > st.done) {
+                stats_.departures += swarm_.stop_clients(target - st.done);
+                st.done = target;
+            }
+            break;
+        }
+        case WorkloadPlan::Kind::kDiurnal: {
+            const double elapsed = static_cast<double>(kernel_.now() - w.at);
+            const double phase =
+                2.0 * std::numbers::pi * elapsed / static_cast<double>(w.period);
+            const double base = static_cast<double>(w.count);
+            const auto target = static_cast<std::uint32_t>(
+                std::max(0.0, base * (1.0 + w.amplitude * std::sin(phase))));
+            const std::uint32_t current = swarm_.active();
+            if (target > current) {
+                stats_.arrivals += swarm_.start_clients(target - current, w.profile);
+            } else if (current > target) {
+                stats_.departures += swarm_.stop_clients(current - target);
+            }
+            break;
+        }
+        case WorkloadPlan::Kind::kMobileChurn: {
+            const double share = w.fraction * static_cast<double>(swarm_.active());
+            const auto cohort = static_cast<std::uint32_t>(std::ceil(share));
+            if (cohort > 0) stats_.rebinds += swarm_.rebind_clients(cohort);
+            break;
+        }
+    }
+    if (st.tick < st.ticks_total) {
+        schedule_tick(wave_index, w.at + static_cast<TimeUs>(st.tick) * w.tick);
+    }
+}
+
+}  // namespace narada::swarm

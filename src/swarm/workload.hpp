@@ -1,0 +1,93 @@
+// Swarm workload waves.
+//
+// Mirrors the sim::FaultPlan idiom: a WorkloadPlan is a declarative,
+// seed-replayable schedule of population waves built with fluent helpers,
+// and a Workload plays it against a ClientSwarm on the kernel. Waves are
+// tick-based (one kernel event starts a whole cohort) so a million-arrival
+// flash crowd costs hundreds of events, not a million.
+//
+//   * flash_crowd  — `count` clients arrive over `over`, linear ramp; the
+//     paper-scale stampede onto a fresh broker plane.
+//   * departures   — the mirror image: a cohort leaves over a window.
+//   * diurnal      — the active population tracks
+//     base * (1 + amplitude * sin(2*pi*t/period)) for `duration`.
+//   * mobile_churn — every `interval`, `fraction` of the active population
+//     rebinds to a fresh address (NAT expiry) and rediscovers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/kernel.hpp"
+#include "swarm/client_swarm.hpp"
+
+namespace narada::swarm {
+
+struct WorkloadPlan {
+    enum class Kind : std::uint8_t { kFlashCrowd, kDepartures, kDiurnal, kMobileChurn };
+
+    struct Wave {
+        Kind kind = Kind::kFlashCrowd;
+        TimeUs at = 0;            ///< absolute virtual start time
+        DurationUs over = 0;      ///< ramp window (flash crowd / departures)
+        DurationUs period = 0;    ///< diurnal sine period
+        DurationUs duration = 0;  ///< diurnal / churn lifetime
+        DurationUs tick = kSecond;
+        std::uint32_t count = 0;  ///< cohort size (crowd/departures), base (diurnal)
+        double fraction = 0.0;    ///< churn fraction per tick
+        double amplitude = 0.0;   ///< diurnal swing as a fraction of base
+        std::uint32_t profile = 0;
+    };
+
+    std::vector<Wave> waves;
+
+    WorkloadPlan& flash_crowd(TimeUs at, std::uint32_t clients, DurationUs over,
+                              std::uint32_t profile = 0);
+    WorkloadPlan& departures(TimeUs at, std::uint32_t clients, DurationUs over);
+    WorkloadPlan& diurnal(TimeUs at, std::uint32_t base, double amplitude, DurationUs period,
+                          DurationUs duration, std::uint32_t profile = 0);
+    WorkloadPlan& mobile_churn(TimeUs at, double fraction, DurationUs interval,
+                               DurationUs duration);
+
+    /// Last scheduled wave activity (the time by which the plan is fully
+    /// played; discovery traffic it provoked may run longer).
+    [[nodiscard]] TimeUs end() const;
+};
+
+class Workload {
+public:
+    Workload(sim::Kernel& kernel, ClientSwarm& swarm);
+    Workload(const Workload&) = delete;
+    Workload& operator=(const Workload&) = delete;
+
+    /// Schedule every wave of `plan`. Call once; times are absolute.
+    void run(const WorkloadPlan& plan);
+
+    struct Stats {
+        std::uint64_t arrivals = 0;
+        std::uint64_t departures = 0;
+        std::uint64_t rebinds = 0;
+        std::uint64_t ticks = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    struct WaveState {
+        WorkloadPlan::Wave wave;
+        std::uint32_t ticks_total = 0;
+        std::uint32_t tick = 0;      ///< next tick ordinal
+        std::uint32_t done = 0;      ///< cohort members handled so far
+    };
+
+    static void wave_trampoline(void* ctx, std::uint64_t arg);
+    void on_wave_tick(std::uint32_t wave_index);
+    void schedule_tick(std::uint32_t wave_index, TimeUs at);
+
+    sim::Kernel& kernel_;
+    ClientSwarm& swarm_;
+    std::vector<WaveState> waves_;
+    Stats stats_;
+};
+
+}  // namespace narada::swarm

@@ -1,0 +1,126 @@
+// ClientSwarm against the real broker/BDN plane (SwarmScenario): discovery
+// completion, per-endpoint memory ceiling, NAT churn, breaker behaviour and
+// the determinism satellite (same seed -> identical 100k digest).
+#include "swarm/client_swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/swarm_scenario.hpp"
+#include "swarm/workload.hpp"
+
+namespace narada::swarm {
+namespace {
+
+scenario::SwarmScenarioOptions small_options(std::uint32_t capacity, std::uint64_t seed = 1) {
+    scenario::SwarmScenarioOptions options;
+    options.capacity = capacity;
+    options.broker_count = 4;
+    options.bdn_count = 2;
+    options.seed = seed;
+    return options;
+}
+
+TEST(ClientSwarmTest, FlashCrowdMostlyConnects) {
+    scenario::SwarmScenario sc(small_options(2000));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 2000, 5 * kSecond);
+    sc.run_plan(plan, /*drain=*/30 * kSecond);
+
+    const SwarmCounters& c = sc.swarm().counters();
+    EXPECT_EQ(c.started, 2000u);
+    EXPECT_EQ(sc.swarm().active(), 2000u);
+    // Lossy WAN + shedding BDNs: not everyone connects on attempt one, but
+    // retransmit + failover must land the overwhelming majority.
+    EXPECT_GE(sc.swarm().connected(), 1900u);
+    EXPECT_EQ(c.connects, sc.swarm().discovery_latency_ms().size());
+    EXPECT_GT(c.acks, 0u);
+}
+
+TEST(ClientSwarmTest, StateStaysUnderPerEndpointBudget) {
+    scenario::SwarmScenario sc(small_options(10'000));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 10'000, 5 * kSecond);
+    sc.run_plan(plan, /*drain=*/20 * kSecond);
+
+    const double per_endpoint = static_cast<double>(sc.swarm().state_bytes()) /
+                                static_cast<double>(sc.swarm().capacity());
+    EXPECT_LE(per_endpoint, 256.0) << "swarm state grew past the SoA budget";
+}
+
+TEST(ClientSwarmTest, RebindMovesClientsAndRediscovers) {
+    scenario::SwarmScenario sc(small_options(1000));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 1000, 2 * kSecond);
+    sc.run_plan(plan, /*drain=*/20 * kSecond);
+    const std::uint64_t connects_before = sc.swarm().counters().connects;
+
+    EXPECT_EQ(sc.swarm().rebind_clients(200), 200u);
+    sc.kernel().run_until(sc.kernel().now() + 30 * kSecond);
+
+    const SwarmCounters& c = sc.swarm().counters();
+    EXPECT_EQ(c.rebinds, 200u);
+    // Rebound clients rediscover from their new address.
+    EXPECT_GT(c.connects, connects_before);
+    EXPECT_GE(sc.swarm().connected(), 950u);
+}
+
+TEST(ClientSwarmTest, StopClientsFreesSlotsForReuse) {
+    scenario::SwarmScenario sc(small_options(500));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 500, kSecond);
+    sc.run_plan(plan, /*drain=*/15 * kSecond);
+    EXPECT_EQ(sc.swarm().stop_clients(500), 500u);
+    EXPECT_EQ(sc.swarm().active(), 0u);
+    EXPECT_EQ(sc.swarm().connected(), 0u);
+    // The slots (and their ports) are reusable.
+    EXPECT_EQ(sc.swarm().start_clients(500), 500u);
+    sc.kernel().run_until(sc.kernel().now() + 20 * kSecond);
+    EXPECT_GE(sc.swarm().connected(), 450u);
+}
+
+TEST(ClientSwarmTest, GarbageDatagramCountsAsMisdeliveredNotCrash) {
+    scenario::SwarmScenario sc(small_options(100));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 100, kSecond);
+    sc.run_plan(plan, /*drain=*/10 * kSecond);
+
+    // Spray junk at a swarm port from the first broker's host.
+    const Endpoint from{sc.broker_at(0).endpoint().host, 9999};
+    Bytes junk = {0xFF, 0x00, 0xDE, 0xAD};
+    sc.network().send_datagram(from, Endpoint{sc.swarm_host(), 1024}, std::move(junk));
+    sc.kernel().run_until(sc.kernel().now() + kSecond);
+    EXPECT_GE(sc.swarm().counters().misdelivered + sc.swarm().counters().stale_responses, 1u);
+}
+
+TEST(ClientSwarmTest, SameSeedSameDigestAt100k) {
+    // The determinism satellite at the 100k scale gate: two fresh systems,
+    // same seed, same plan -> byte-identical metrics digests.
+    std::string digest[2];
+    for (int run = 0; run < 2; ++run) {
+        scenario::SwarmScenario sc(small_options(100'000, /*seed=*/77));
+        WorkloadPlan plan;
+        plan.flash_crowd(0, 100'000, 10 * kSecond);
+        plan.mobile_churn(12 * kSecond, 0.02, kSecond, 3 * kSecond);
+        sc.run_plan(plan, /*drain=*/25 * kSecond);
+        digest[run] = sc.swarm().metrics_digest_hex();
+        EXPECT_GE(sc.swarm().connected(), 95'000u) << "run " << run;
+    }
+    EXPECT_EQ(digest[0], digest[1]);
+}
+
+TEST(ClientSwarmTest, DifferentSeedDifferentDigest) {
+    std::string digest[2];
+    for (int run = 0; run < 2; ++run) {
+        scenario::SwarmScenario sc(small_options(1000, /*seed=*/run + 1));
+        WorkloadPlan plan;
+        plan.flash_crowd(0, 1000, 2 * kSecond);
+        sc.run_plan(plan, /*drain=*/15 * kSecond);
+        digest[run] = sc.swarm().metrics_digest_hex();
+    }
+    EXPECT_NE(digest[0], digest[1]);
+}
+
+}  // namespace
+}  // namespace narada::swarm

@@ -1,0 +1,96 @@
+// Workload wave mechanics: plan builders, linear ramps, sine population
+// tracking, departures and NAT churn, played against a small SwarmScenario.
+#include "swarm/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/swarm_scenario.hpp"
+
+namespace narada::swarm {
+namespace {
+
+scenario::SwarmScenarioOptions tiny_options(std::uint32_t capacity) {
+    scenario::SwarmScenarioOptions options;
+    options.capacity = capacity;
+    options.broker_count = 3;
+    options.bdn_count = 1;
+    options.seed = 5;
+    return options;
+}
+
+TEST(WorkloadPlanTest, BuildersFillWavesAndEnd) {
+    WorkloadPlan plan;
+    plan.flash_crowd(kSecond, 1000, 4 * kSecond)
+        .departures(10 * kSecond, 500, 2 * kSecond)
+        .diurnal(2 * kSecond, 300, 0.5, 8 * kSecond, 16 * kSecond)
+        .mobile_churn(3 * kSecond, 0.1, kSecond, 6 * kSecond);
+    ASSERT_EQ(plan.waves.size(), 4u);
+    EXPECT_EQ(plan.waves[0].kind, WorkloadPlan::Kind::kFlashCrowd);
+    EXPECT_EQ(plan.waves[0].count, 1000u);
+    EXPECT_EQ(plan.waves[1].kind, WorkloadPlan::Kind::kDepartures);
+    EXPECT_EQ(plan.waves[2].kind, WorkloadPlan::Kind::kDiurnal);
+    EXPECT_DOUBLE_EQ(plan.waves[2].amplitude, 0.5);
+    EXPECT_EQ(plan.waves[3].kind, WorkloadPlan::Kind::kMobileChurn);
+    // diurnal runs 2s..18s, the latest activity in the plan.
+    EXPECT_EQ(plan.end(), 18 * kSecond);
+}
+
+TEST(WorkloadPlanTest, RejectsDegenerateParameters) {
+    WorkloadPlan plan;
+    EXPECT_THROW(plan.diurnal(0, 100, 0.5, 0, kSecond), std::invalid_argument);
+    EXPECT_THROW(plan.mobile_churn(0, 0.5, 0, kSecond), std::invalid_argument);
+    // Churn fraction is clamped, not rejected.
+    plan.mobile_churn(0, 7.0, kSecond, kSecond);
+    EXPECT_DOUBLE_EQ(plan.waves.back().fraction, 1.0);
+}
+
+TEST(WorkloadTest, FlashCrowdDeliversWholeCohort) {
+    scenario::SwarmScenario sc(tiny_options(1200));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 1200, 6 * kSecond);
+    sc.run_plan(plan, /*drain=*/15 * kSecond);
+    EXPECT_EQ(sc.workload().stats().arrivals, 1200u);
+    EXPECT_EQ(sc.swarm().active(), 1200u);
+    EXPECT_GT(sc.workload().stats().ticks, 10u) << "ramp should be spread over many ticks";
+}
+
+TEST(WorkloadTest, DeparturesDrainThePopulation) {
+    scenario::SwarmScenario sc(tiny_options(600));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 600, 2 * kSecond);
+    plan.departures(20 * kSecond, 600, 2 * kSecond);
+    sc.run_plan(plan, /*drain=*/10 * kSecond);
+    EXPECT_EQ(sc.workload().stats().arrivals, 600u);
+    EXPECT_EQ(sc.workload().stats().departures, 600u);
+    EXPECT_EQ(sc.swarm().active(), 0u);
+    EXPECT_EQ(sc.swarm().counters().departed, 600u);
+}
+
+TEST(WorkloadTest, DiurnalTracksTheSine) {
+    scenario::SwarmScenario sc(tiny_options(1000));
+    WorkloadPlan plan;
+    // One full period: up to 1.5x base at the crest, down to 0.5x in the
+    // trough, back near base at the end.
+    plan.diurnal(0, 400, 0.5, 20 * kSecond, 20 * kSecond);
+    sc.run_plan(plan, /*drain=*/10 * kSecond);
+    const auto& stats = sc.workload().stats();
+    EXPECT_GE(stats.arrivals, 550u) << "crest should reach ~600 active";
+    EXPECT_GT(stats.departures, 0u) << "downslope must shed clients";
+    EXPECT_GE(sc.swarm().active(), 300u);
+    EXPECT_LE(sc.swarm().active(), 500u) << "population should end near base";
+}
+
+TEST(WorkloadTest, MobileChurnRebindsActiveFraction) {
+    scenario::SwarmScenario sc(tiny_options(500));
+    WorkloadPlan plan;
+    plan.flash_crowd(0, 500, kSecond);
+    plan.mobile_churn(10 * kSecond, 0.1, kSecond, 5 * kSecond);
+    sc.run_plan(plan, /*drain=*/20 * kSecond);
+    // 5 churn ticks x 10% of ~500 active.
+    EXPECT_GE(sc.workload().stats().rebinds, 200u);
+    EXPECT_EQ(sc.workload().stats().rebinds, sc.swarm().counters().rebinds);
+    EXPECT_GE(sc.swarm().connected(), 450u) << "churned clients must rediscover";
+}
+
+}  // namespace
+}  // namespace narada::swarm
