@@ -20,6 +20,13 @@
 // An [obs] section (enabled, trace_sample_rate, span_capacity) wires the
 // observability plane: every node prints a NARADA_METRICS snapshot on
 // shutdown, and a traced client prints its span timeline.
+//
+// A [transport] section (shards, pin_cpus, handoff_depth, udp_batch,
+// pool_buffers, udp_sockbuf, udp_gso) selects the thread-per-core sharded
+// datapath: shards = N runs N SO_REUSEPORT epoll reactors and the kernel
+// spreads inbound flows across them. The protocol object stays homed on
+// shard 0 (single-threaded as always); off-home arrivals hop once over a
+// lock-free ring. shards = 1 (the default) is the classic single loop.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -35,7 +42,7 @@
 #include "discovery/client.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "transport/posix_transport.hpp"
+#include "transport/shard_runtime.hpp"
 
 using namespace narada;
 
@@ -79,7 +86,7 @@ void wait_until_stopped(std::int64_t run_for_ms) {
     }
 }
 
-int run_broker(const config::Ini& ini, transport::PosixTransport& transport,
+int run_broker(const config::Ini& ini, transport::ShardRuntime& transport,
                const Endpoint& endpoint, const std::string& name, const std::string& realm,
                std::int64_t run_for_ms, ObsPlane& obs) {
     WallClock wall;
@@ -108,7 +115,7 @@ int run_broker(const config::Ini& ini, transport::PosixTransport& transport,
     return 0;
 }
 
-int run_bdn(const config::Ini& ini, transport::PosixTransport& transport,
+int run_bdn(const config::Ini& ini, transport::ShardRuntime& transport,
             const Endpoint& endpoint, const std::string& name, std::int64_t run_for_ms,
             ObsPlane& obs) {
     WallClock wall;
@@ -126,7 +133,7 @@ int run_bdn(const config::Ini& ini, transport::PosixTransport& transport,
     return 0;
 }
 
-int run_client(const config::Ini& ini, transport::PosixTransport& transport,
+int run_client(const config::Ini& ini, transport::ShardRuntime& transport,
                const Endpoint& endpoint, const std::string& name, const std::string& realm,
                const config::ObsConfig& obs_cfg, ObsPlane& obs) {
     WallClock wall;
@@ -198,10 +205,23 @@ int main(int argc, char** argv) {
         }
         const config::ObsConfig obs_cfg = config::ObsConfig::from_ini(ini);
         ObsPlane obs(obs_cfg);
-        transport::PosixTransport transport;
-        // Before any bind: the event-loop thread reads the instrument
+        const config::TransportConfig tcfg = config::TransportConfig::from_ini(ini);
+        transport::ShardRuntimeOptions topt;
+        topt.shards = tcfg.shards;
+        topt.pin_cpus = tcfg.pin_cpus;
+        topt.handoff_depth = tcfg.handoff_depth;
+        topt.transport.udp_batch = tcfg.udp_batch;
+        topt.transport.pool_buffers = tcfg.pool_buffers;
+        topt.transport.udp_sockbuf = tcfg.udp_sockbuf;
+        topt.transport.udp_gso = tcfg.udp_gso;
+        transport::ShardRuntime transport(topt);
+        // Before any bind: the reactor threads read the instrument
         // pointers unsynchronized once sockets are live.
         transport.set_observability(obs.registry(), name);
+        if (transport.shards() > 1) {
+            std::printf("[%s] sharded datapath: %zu reactors\n", name.c_str(),
+                        transport.shards());
+        }
         const Endpoint endpoint{0, port};  // host label 0: cross-process convention
         if (role == "broker") {
             return run_broker(ini, transport, endpoint, name, realm, run_for_ms, obs);

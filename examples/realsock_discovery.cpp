@@ -1,6 +1,10 @@
 // The same protocol stack over REAL loopback sockets: UDP datagrams, TCP
-// broker links and wall-clock timers via PosixTransport. Demonstrates that
-// nothing in the brokers, BDN or client depends on the simulator.
+// broker links and wall-clock timers — now via the thread-per-core
+// ShardRuntime. Demonstrates that nothing in the brokers, BDN or client
+// depends on the simulator, and that the node population of one process
+// spreads across reactor shards: each protocol object is homed on
+// port(i % shards) and runs single-threaded on that shard's reactor while
+// the group as a whole uses every core.
 //
 //   $ ./examples/realsock_discovery
 #include <chrono>
@@ -14,14 +18,26 @@
 #include "discovery/bdn.hpp"
 #include "discovery/broker_plugin.hpp"
 #include "discovery/client.hpp"
-#include "transport/posix_transport.hpp"
+#include "transport/shard_runtime.hpp"
 
 using namespace narada;
 
 int main() {
-    transport::PosixTransport transport;
+    // Two reactor shards: enough to exercise SO_REUSEPORT spreading and the
+    // cross-shard handoff rings without oversubscribing small machines.
+    transport::ShardRuntimeOptions topt;
+    topt.shards = 2;
+    transport::ShardRuntime rt(topt);
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
+    // Round-robin home shards: a protocol object bound through port(i) has
+    // every callback and timer serialized on shard i's thread.
+    std::size_t next_home = 0;
+    auto home_port = [&]() -> transport::ShardPort& {
+        transport::ShardPort& p = rt.port(next_home);
+        next_home = (next_home + 1) % rt.shards();
+        return p;
+    };
 
     std::uint16_t port = transport::PosixTransport::find_free_port(46000);
     auto next_port = [&port] {
@@ -30,10 +46,11 @@ int main() {
         return ep;
     };
 
-    // One BDN.
+    // One BDN, homed on its own shard.
     config::BdnConfig bdn_cfg;
     bdn_cfg.ping_refresh_interval = from_ms(250);
-    discovery::Bdn bdn(transport, transport, next_port(), wall, bdn_cfg,
+    transport::ShardPort& bdn_home = home_port();
+    discovery::Bdn bdn(bdn_home, bdn_home, next_port(), wall, bdn_cfg,
                        "gridservicelocator.org");
 
     // Four brokers in a star around broker 0, each advertising to the BDN.
@@ -43,7 +60,8 @@ int main() {
     std::vector<std::unique_ptr<broker::Broker>> brokers;
     std::vector<std::unique_ptr<discovery::BrokerDiscoveryPlugin>> plugins;
     for (int i = 0; i < 4; ++i) {
-        auto node = std::make_unique<broker::Broker>(transport, transport, next_port(), wall,
+        transport::ShardPort& home = home_port();
+        auto node = std::make_unique<broker::Broker>(home, home, next_port(), wall,
                                                      utc, broker_cfg,
                                                      "loop-broker-" + std::to_string(i));
         discovery::BrokerIdentity identity;
@@ -70,7 +88,8 @@ int main() {
     client_cfg.response_window = from_ms(400);
     client_cfg.ping_window = from_ms(200);
     client_cfg.max_responses = 4;
-    discovery::DiscoveryClient client(transport, transport, next_port(), wall, utc,
+    transport::ShardPort& client_home = home_port();
+    discovery::DiscoveryClient client(client_home, client_home, next_port(), wall, utc,
                                       client_cfg, "realsock-client", "loopback");
 
     std::mutex m;

@@ -424,7 +424,11 @@ void Broker::deliver_to_clients(const Event& event) {
 
 void Broker::set_observability(obs::MetricsRegistry* metrics) {
     inst_ = {};
-    if (metrics == nullptr) return;
+    if (metrics == nullptr) {
+        seen_events_.set_instruments(nullptr, nullptr);
+        seen_announcements_.set_instruments(nullptr, nullptr);
+        return;
+    }
     inst_.ingested = &metrics->counter("broker_events_ingested", name_);
     inst_.forwarded = &metrics->counter("broker_events_forwarded", name_);
     inst_.delivered = &metrics->counter("broker_events_delivered", name_);
@@ -432,6 +436,11 @@ void Broker::set_observability(obs::MetricsRegistry* metrics) {
     inst_.pings = &metrics->counter("broker_pings_answered", name_);
     inst_.malformed = &metrics->counter("broker_malformed_dropped", name_);
     inst_.peers_dropped = &metrics->counter("broker_peers_dropped", name_);
+    seen_events_.set_instruments(&metrics->counter("broker_dedup_evictions", name_),
+                                 &metrics->gauge("broker_dedup_occupancy", name_));
+    seen_announcements_.set_instruments(
+        &metrics->counter("broker_announce_dedup_evictions", name_),
+        &metrics->gauge("broker_announce_dedup_occupancy", name_));
 }
 
 std::string Broker::debug_snapshot() const {
@@ -441,7 +450,9 @@ std::string Broker::debug_snapshot() const {
         .field("name", name_)
         .field("started", started_)
         .field("established_peers", static_cast<std::uint64_t>(established_peer_count()))
-        .field("clients", static_cast<std::uint64_t>(clients_.size()));
+        .field("clients", static_cast<std::uint64_t>(clients_.size()))
+        .field("dedup_occupancy", static_cast<std::uint64_t>(seen_events_.size()))
+        .field("dedup_evictions", seen_events_.evictions());
     w.key("stats").begin_object()
         .field("events_ingested", stats_.events_ingested)
         .field("events_forwarded", stats_.events_forwarded)

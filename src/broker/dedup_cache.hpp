@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/uuid.hpp"
+#include "obs/metrics.hpp"
 
 namespace narada::broker {
 
@@ -38,7 +39,11 @@ public:
     bool insert(const Uuid& id) {
         if (capacity_ == 0) return true;  // caching disabled: everything "new"
         if (find_slot(id) != kNotFound) return false;
-        if (size_ == capacity_) evict_oldest();
+        if (size_ == capacity_) {
+            evict_oldest();
+            ++evictions_;
+            if (evictions_counter_ != nullptr) evictions_counter_->inc();
+        }
         const std::size_t mask = slots_.size() - 1;
         std::size_t i = std::hash<Uuid>{}(id)&mask;
         while (slots_[i].occupied) i = (i + 1) & mask;
@@ -46,17 +51,31 @@ public:
         slots_[i] = Slot{id, tail, true};
         ring_[tail] = static_cast<std::uint32_t>(i);
         ++size_;
+        if (occupancy_gauge_ != nullptr) occupancy_gauge_->set(static_cast<double>(size_));
         return true;
     }
 
     [[nodiscard]] bool contains(const Uuid& id) const { return find_slot(id) != kNotFound; }
     [[nodiscard]] std::size_t size() const { return size_; }
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    /// Entries pushed out by FIFO ageing since construction (a persistently
+    /// climbing rate means the cache is undersized for the request flow).
+    [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+    /// Optional instruments (may be null): an evictions counter and an
+    /// occupancy gauge, updated on the owner's thread alongside the cache.
+    void set_instruments(obs::Counter* evictions, obs::Gauge* occupancy) {
+        evictions_counter_ = evictions;
+        occupancy_gauge_ = occupancy;
+        if (evictions_counter_ != nullptr && evictions_ > 0) evictions_counter_->inc(evictions_);
+        if (occupancy_gauge_ != nullptr) occupancy_gauge_->set(static_cast<double>(size_));
+    }
 
     void clear() {
         for (Slot& s : slots_) s.occupied = false;
         head_ = 0;
         size_ = 0;
+        if (occupancy_gauge_ != nullptr) occupancy_gauge_->set(0.0);
     }
 
 private:
@@ -111,6 +130,9 @@ private:
     std::vector<std::uint32_t> ring_;  ///< FIFO position -> slot index
     std::size_t head_ = 0;           ///< ring index of the oldest entry
     std::size_t size_ = 0;
+    std::uint64_t evictions_ = 0;
+    obs::Counter* evictions_counter_ = nullptr;
+    obs::Gauge* occupancy_gauge_ = nullptr;
 };
 
 }  // namespace narada::broker

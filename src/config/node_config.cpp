@@ -170,6 +170,29 @@ ObsConfig ObsConfig::from_ini(const Ini& ini) {
     return c;
 }
 
+TransportConfig TransportConfig::from_ini(const Ini& ini) {
+    TransportConfig c;
+    c.shards = static_cast<std::uint32_t>(ini.get_int("transport", "shards", c.shards));
+    if (c.shards == 0) c.shards = 1;
+    for (const auto& item : ini.get_list("transport", "pin_cpus")) {
+        try {
+            c.pin_cpus.push_back(std::stoi(item));
+        } catch (const std::exception&) {
+            throw IniError("bad pin_cpus entry: " + item);
+        }
+    }
+    c.handoff_depth = static_cast<std::uint32_t>(
+        ini.get_int("transport", "handoff_depth", c.handoff_depth));
+    c.udp_batch =
+        static_cast<std::uint32_t>(ini.get_int("transport", "udp_batch", c.udp_batch));
+    c.pool_buffers = static_cast<std::uint32_t>(
+        ini.get_int("transport", "pool_buffers", c.pool_buffers));
+    c.udp_sockbuf = static_cast<std::uint32_t>(
+        ini.get_int("transport", "udp_sockbuf", c.udp_sockbuf));
+    c.udp_gso = ini.get_bool("transport", "udp_gso", c.udp_gso);
+    return c;
+}
+
 BdnConfig BdnConfig::from_ini(const Ini& ini) {
     BdnConfig c;
     if (const auto v = ini.get("bdn", "injection")) {

@@ -358,6 +358,8 @@ void Bdn::set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* sp
     inst_.queue_depth = &metrics->gauge("bdn_queue_depth", name_);
     inst_.fanout =
         &metrics->histogram("bdn_injection_fanout", name_, {1, 2, 4, 8, 16, 32, 64});
+    seen_requests_.set_instruments(&metrics->counter("bdn_dedup_evictions", name_),
+                                   &metrics->gauge("bdn_dedup_occupancy", name_));
 }
 
 std::string Bdn::debug_snapshot() const {
@@ -367,7 +369,9 @@ std::string Bdn::debug_snapshot() const {
         .field("component", "bdn")
         .field("name", name_)
         .field("started", started_)
-        .field("queue_depth", static_cast<std::uint64_t>(ingest_queue_.size()));
+        .field("queue_depth", static_cast<std::uint64_t>(ingest_queue_.size()))
+        .field("dedup_occupancy", static_cast<std::uint64_t>(seen_requests_.size()))
+        .field("dedup_evictions", seen_requests_.evictions());
     w.key("stats").begin_object()
         .field("ads_received", stats_.ads_received)
         .field("ads_filtered", stats_.ads_filtered)

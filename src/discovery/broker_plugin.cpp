@@ -378,6 +378,8 @@ void BrokerDiscoveryPlugin::set_observability(obs::MetricsRegistry* metrics,
     inst_.rejections = &metrics->counter("plugin_policy_rejections", node);
     inst_.shed = &metrics->counter("plugin_requests_shed", node);
     inst_.ads = &metrics->counter("plugin_advertisements_sent", node);
+    seen_requests_.set_instruments(&metrics->counter("plugin_dedup_evictions", node),
+                                   &metrics->gauge("plugin_dedup_occupancy", node));
 }
 
 std::string BrokerDiscoveryPlugin::debug_snapshot() const {
@@ -385,7 +387,9 @@ std::string BrokerDiscoveryPlugin::debug_snapshot() const {
     w.begin_object()
         .field("component", "broker_plugin")
         .field("broker", broker_ != nullptr ? broker_->name() : identity_.hostname)
-        .field("overloaded", overloaded());
+        .field("overloaded", overloaded())
+        .field("dedup_occupancy", static_cast<std::uint64_t>(seen_requests_.size()))
+        .field("dedup_evictions", seen_requests_.evictions());
     if (response_budget_.limited() && broker_ != nullptr) {
         // available() refills as a side effect; mirror through a copy so a
         // snapshot never perturbs the budget.

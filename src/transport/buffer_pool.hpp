@@ -44,6 +44,7 @@ public:
     Bytes acquire() {
         {
             std::scoped_lock lock(mu_);
+            note_acquire_locked();
             if (!free_.empty()) {
                 Bytes buf = std::move(free_.back());
                 free_.pop_back();
@@ -63,6 +64,7 @@ public:
     void release(Bytes buf) {
         if (buf.capacity() == 0) return;
         std::scoped_lock lock(mu_);
+        if (outstanding_ > 0) --outstanding_;
         if (free_.size() >= max_buffers_) return;  // dropped: pool is full
         free_.push_back(std::move(buf));
     }
@@ -77,32 +79,62 @@ public:
         for (; first != last; ++first) {
             Bytes& buf = proj(*first);
             if (buf.capacity() == 0) continue;
-            if (free_.size() >= max_buffers_) return;  // pool full: drop the rest
+            if (outstanding_ > 0) --outstanding_;
+            if (free_.size() >= max_buffers_) continue;  // pool full: drop this one
             free_.push_back(std::move(buf));
         }
     }
 
-    /// Optional hit/miss counters (relaxed atomics; may be null). Wire
-    /// before concurrent use — the pointers themselves are unsynchronized.
-    void set_instruments(obs::Counter* hits, obs::Counter* misses) {
+    /// Optional hit/miss counters and high-watermark gauge (relaxed
+    /// atomics; any may be null). Wire before concurrent use — the pointers
+    /// themselves are unsynchronized. The gauge tracks the peak number of
+    /// buffers simultaneously out of the pool: the pool size a shard would
+    /// need to never mint a fresh buffer.
+    void set_instruments(obs::Counter* hits, obs::Counter* misses,
+                         obs::Gauge* high_watermark = nullptr) {
         hits_ = hits;
         misses_ = misses;
+        hwm_ = high_watermark;
+        if (hwm_ != nullptr) {
+            std::scoped_lock lock(mu_);
+            hwm_->set(static_cast<double>(peak_outstanding_));
+        }
     }
 
     [[nodiscard]] std::size_t idle() const {
         std::scoped_lock lock(mu_);
         return free_.size();
     }
+    /// Peak count of buffers simultaneously held outside the pool.
+    [[nodiscard]] std::size_t peak_outstanding() const {
+        std::scoped_lock lock(mu_);
+        return peak_outstanding_;
+    }
     [[nodiscard]] std::size_t buffer_capacity() const { return buffer_capacity_; }
     [[nodiscard]] std::size_t max_buffers() const { return max_buffers_; }
 
 private:
+    void note_acquire_locked() {
+        ++outstanding_;
+        if (outstanding_ > peak_outstanding_) {
+            peak_outstanding_ = outstanding_;
+            if (hwm_ != nullptr) hwm_->set(static_cast<double>(peak_outstanding_));
+        }
+    }
+
     mutable std::mutex mu_;
     std::vector<Bytes> free_;
     std::size_t max_buffers_;
     std::size_t buffer_capacity_;
+    /// Buffers currently out of the pool. Releases of buffers acquired
+    /// elsewhere (cross-shard handoffs return payloads to the producing
+    /// pool, external callers may hand in their own vectors) clamp at zero
+    /// rather than underflow.
+    std::size_t outstanding_ = 0;
+    std::size_t peak_outstanding_ = 0;
     obs::Counter* hits_ = nullptr;
     obs::Counter* misses_ = nullptr;
+    obs::Gauge* hwm_ = nullptr;
 };
 
 }  // namespace narada::transport

@@ -4,6 +4,8 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <pthread.h>
+#include <sched.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -206,6 +208,15 @@ void PosixTransport::epoll_del(int fd) {
 
 Bytes PosixTransport::acquire_buffer() { return pool_.acquire(); }
 
+void PosixTransport::add_external(int fd, std::function<void()> on_ready) {
+    {
+        std::scoped_lock lock(mutex_);
+        external_[fd] = std::make_unique<std::function<void()>>(std::move(on_ready));
+        fd_table_[fd] = FdEntry{FdKind::kExternal, {}};
+    }
+    epoll_register(fd);
+}
+
 void PosixTransport::bind(const Endpoint& local, MessageHandler* handler) {
     if (handler == nullptr) throw std::invalid_argument("bind: null handler");
     Binding binding;
@@ -215,6 +226,13 @@ void PosixTransport::bind(const Endpoint& local, MessageHandler* handler) {
     const sockaddr_in addr = loopback_addr(local.port);
 
     binding.udp_fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (binding.udp_fd >= 0 && options_.reuseport) {
+        // Must precede bind: SO_REUSEPORT lets the shards of a ShardRuntime
+        // bind the same port, and the kernel hashes each flow's 4-tuple to
+        // pick which shard's socket receives it.
+        const int one = 1;
+        setsockopt(binding.udp_fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+    }
     if (binding.udp_fd < 0 ||
         ::bind(binding.udp_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
         const int saved = errno;
@@ -238,6 +256,9 @@ void PosixTransport::bind(const Endpoint& local, MessageHandler* handler) {
     binding.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     const int reuse = 1;
     setsockopt(binding.listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    if (options_.reuseport) {
+        setsockopt(binding.listen_fd, SOL_SOCKET, SO_REUSEPORT, &reuse, sizeof(reuse));
+    }
     if (binding.listen_fd < 0 ||
         ::bind(binding.listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
         ::listen(binding.listen_fd, 64) != 0) {
@@ -858,6 +879,17 @@ void PosixTransport::handle_tcp_readable(int fd) {
 
 void PosixTransport::loop() {
     IoScratch& s = *scratch_;
+    if (options_.pin_cpu >= 0) {
+        // Best-effort: a pin past the online-CPU count simply fails and the
+        // scheduler keeps placing the thread.
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<unsigned>(options_.pin_cpu), &set);
+        (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+    // Runs before the first epoll_wait, so it precedes every timer, handler
+    // and external callback this loop will ever invoke.
+    if (options_.loop_start) options_.loop_start();
     while (running_) {
         DurationUs timeout_us = 100 * kMillisecond;  // idle tick
         {
@@ -925,6 +957,20 @@ void PosixTransport::loop() {
                         flush_tcp_locked(fd);
                     }
                     break;
+                case FdKind::kExternal: {
+                    // Entries are never removed while the loop runs, so the
+                    // pointer fetched under the lock stays valid for the call
+                    // (made outside the lock: the callback may re-enter the
+                    // transport, e.g. to deliver a forwarded datagram).
+                    std::function<void()>* cb = nullptr;
+                    {
+                        std::scoped_lock lock(mutex_);
+                        const auto eit = external_.find(fd);
+                        if (eit != external_.end()) cb = eit->second.get();
+                    }
+                    if (cb != nullptr) (*cb)();
+                    break;
+                }
             }
         }
 
@@ -961,7 +1007,7 @@ std::uint16_t PosixTransport::find_free_port(std::uint16_t start) {
 void PosixTransport::set_observability(obs::MetricsRegistry* metrics, const std::string& node) {
     inst_ = {};
     if (metrics == nullptr) {
-        pool_.set_instruments(nullptr, nullptr);
+        pool_.set_instruments(nullptr, nullptr, nullptr);
         return;
     }
     inst_.bytes_in = &metrics->counter("transport_bytes_in", node);
@@ -975,7 +1021,8 @@ void PosixTransport::set_observability(obs::MetricsRegistry* metrics, const std:
     inst_.recv_batch = &metrics->histogram("transport_recv_batch", node, obs::batch_buckets());
     inst_.send_batch = &metrics->histogram("transport_send_batch", node, obs::batch_buckets());
     pool_.set_instruments(&metrics->counter("transport_pool_hits", node),
-                          &metrics->counter("transport_pool_misses", node));
+                          &metrics->counter("transport_pool_misses", node),
+                          &metrics->gauge("transport_pool_hwm", node));
 }
 
 }  // namespace narada::transport

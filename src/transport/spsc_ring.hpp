@@ -1,0 +1,97 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The cross-shard handoff primitive of the thread-per-core datapath
+// (shard_runtime.hpp): each ordered shard pair owns one ring, so every ring
+// has exactly one producer thread and one consumer thread and the only
+// synchronization is a release store of the produced index paired with an
+// acquire load on the consuming side (and vice versa for the consumed
+// index). No CAS, no locks, no allocation after construction — a push or
+// pop is a couple of relaxed loads, one move, and one release store.
+//
+// Both sides keep a cached copy of the opposing index (Rigtorp-style) so
+// the common case does not even read the other thread's cache line: the
+// producer only refreshes its view of the consumer's progress when the
+// ring looks full, the consumer only refreshes its view of the producer's
+// progress when the ring looks empty.
+//
+// Capacity is rounded up to a power of two; `capacity()` reports the
+// usable slot count (one slot is never wasted — indices are free-running
+// and wrap via masking, so all `capacity()` slots hold live elements when
+// full). Elements left in the ring at destruction are destroyed with the
+// slot storage (the "destructor drain": no leak, no double-destroy).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace narada::transport {
+
+/// Destructive-interference distance. A literal (not
+/// std::hardware_destructive_interference_size) so the layout is ABI-stable
+/// across compilers and -Winterference-size stays quiet; 64 covers x86-64
+/// and most aarch64 parts (128-byte-line CPUs merely lose some padding).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+public:
+    /// `capacity` is rounded up to the next power of two (minimum 2).
+    explicit SpscRing(std::size_t capacity) {
+        std::size_t slots = 2;
+        while (slots < capacity) slots *= 2;
+        slots_.resize(slots);
+        mask_ = slots - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /// Producer side. Returns false (and leaves `v` untouched) if the ring
+    /// is full.
+    bool push(T&& v) {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_cache_ > mask_) {
+            head_cache_ = head_.load(std::memory_order_acquire);
+            if (tail - head_cache_ > mask_) return false;  // genuinely full
+        }
+        slots_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. Returns false if the ring is empty. On success the
+    /// slot's previous element is moved into `out` (the slot keeps the
+    /// moved-from husk, so its buffers recycle in place on the next push).
+    bool pop(T& out) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_cache_) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (head == tail_cache_) return false;  // genuinely empty
+        }
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Approximate from either side (exact from the producer after its own
+    /// push, exact from the consumer after its own pop).
+    [[nodiscard]] std::size_t size() const {
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+    [[nodiscard]] bool empty() const { return size() == 0; }
+    [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumed index
+    alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< produced index
+    alignas(kCacheLine) std::size_t head_cache_ = 0;        ///< producer's view of head_
+    alignas(kCacheLine) std::size_t tail_cache_ = 0;        ///< consumer's view of tail_
+};
+
+}  // namespace narada::transport

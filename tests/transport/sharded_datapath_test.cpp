@@ -1,0 +1,377 @@
+// ShardRuntime: the thread-per-core real-socket datapath over real
+// loopback sockets. The suite proves the serialization contract the
+// protocol layer leans on — an endpoint homed on shard i only ever runs on
+// shard i's thread, no matter which reactor the kernel's SO_REUSEPORT hash
+// lands its packets on — plus timer routing, run_on handoff, and a full
+// RUDP bulk transfer riding a 4-shard group. The storm tests double as the
+// TSan soak: home-shard sinks mutate non-atomic state on purpose, so any
+// violation of the single-thread contract is a data race the sanitizer
+// catches, not just a flaky counter.
+#include "transport/shard_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+#include "transport/posix_transport.hpp"
+#include "transport/rudp_channel.hpp"
+#include "wire/codec.hpp"
+
+namespace narada::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool wait_for(const std::function<bool()>& done, int timeout_ms = 10000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!done()) {
+        if (std::chrono::steady_clock::now() > deadline) return false;
+        std::this_thread::sleep_for(200us);
+    }
+    return true;
+}
+
+/// Thread-safe sink for bind_spread endpoints (deliveries arrive on any
+/// reactor concurrently).
+class AtomicSink final : public MessageHandler {
+public:
+    void on_datagram(const Endpoint&, const Bytes&) override {
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_reliable(const Endpoint&, const Bytes&) override {
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/// Home-shard sink: checks every delivery runs on the declared home shard
+/// and mutates non-atomic state on purpose — if the runtime ever delivers
+/// off-home, `bytes()` goes torn/racy and the TSan job flags it.
+class HomeSink final : public MessageHandler {
+public:
+    HomeSink(ShardRuntime* rt, int home) : rt_(rt), home_(home) {}
+
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        if (rt_->current_shard() != home_) off_home_.fetch_add(1, std::memory_order_relaxed);
+        bytes_ += data.size();  // serialized on the home thread by contract
+        // Release pairs with count()'s acquire: once the test thread has
+        // seen the final count, every preceding bytes_ write is visible.
+        count_.fetch_add(1, std::memory_order_release);
+    }
+    void on_reliable(const Endpoint& from, const Bytes& data) override {
+        on_datagram(from, data);
+    }
+
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] std::uint64_t off_home() const {
+        return off_home_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t bytes() const { return bytes_; }  // after quiesce
+
+private:
+    ShardRuntime* rt_;
+    int home_;
+    std::uint64_t bytes_ = 0;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> off_home_{0};
+};
+
+struct ShardedFixture : ::testing::Test {
+    static constexpr std::size_t kShards = 4;
+
+    std::unique_ptr<ShardRuntime> make_runtime(std::size_t shards,
+                                               obs::MetricsRegistry* metrics = nullptr) {
+        ShardRuntimeOptions options;
+        options.shards = shards;
+        auto rt = std::make_unique<ShardRuntime>(options);
+        if (metrics != nullptr) rt->set_observability(metrics, "t");
+        return rt;
+    }
+
+    /// Claim `count` fresh loopback ports starting near `base`.
+    std::vector<Endpoint> make_endpoints(std::size_t count, HostId host_base,
+                                         std::uint16_t base) {
+        std::vector<Endpoint> out;
+        std::uint16_t probe = base;
+        for (std::size_t i = 0; i < count; ++i) {
+            probe = PosixTransport::find_free_port(probe);
+            out.push_back(Endpoint{static_cast<HostId>(host_base + i), probe});
+            ++probe;
+        }
+        return out;
+    }
+
+    /// Spray `total` small datagrams at `rx`, round-robin over `sources`
+    /// (distinct source ports = distinct reuseport flows), pacing in
+    /// windows so loopback socket buffers never overflow.
+    bool spray(ShardRuntime& rt, const std::vector<Endpoint>& sources, const Endpoint& rx,
+               std::size_t total, const std::function<std::uint64_t()>& delivered) {
+        constexpr std::size_t kWindow = 256;
+        const std::uint64_t base = delivered();
+        std::size_t sent = 0;
+        while (sent < total) {
+            const std::size_t burst = std::min(kWindow, total - sent);
+            for (std::size_t i = 0; i < burst; ++i) {
+                Bytes buf = rt.acquire_buffer();
+                buf.resize(32, static_cast<std::uint8_t>(sent + i));
+                rt.send_datagram(sources[(sent + i) % sources.size()], rx, std::move(buf));
+            }
+            sent += burst;
+            if (!wait_for([&] { return delivered() >= base + sent; })) return false;
+        }
+        return true;
+    }
+};
+
+TEST_F(ShardedFixture, SingleShardDegeneratesToPlainTransport) {
+    auto rt = make_runtime(1);
+    AtomicSink noop;
+    AtomicSink sink;
+    const auto eps = make_endpoints(2, 1, 48000);
+    rt->bind(eps[0], &noop);
+    rt->bind(eps[1], &sink);
+
+    EXPECT_TRUE(spray(*rt, {eps[0]}, eps[1], 64, [&] { return sink.count(); }));
+    EXPECT_EQ(sink.count(), 64u);
+
+    std::atomic<bool> fired{false};
+    rt->schedule(0, [&] { fired.store(true, std::memory_order_relaxed); });
+    EXPECT_TRUE(wait_for([&] { return fired.load(std::memory_order_relaxed); }));
+}
+
+TEST_F(ShardedFixture, SpreadDeliveryCountsEverythingAcrossGroup) {
+    auto rt = make_runtime(kShards);
+    AtomicSink noop;
+    AtomicSink sink;
+    const auto sources = make_endpoints(16, 10, 48100);
+    const auto rxv = make_endpoints(1, 1, 48200);
+    for (const Endpoint& s : sources) rt->bind(s, &noop);
+    rt->bind_spread(rxv[0], &sink);
+
+    EXPECT_TRUE(spray(*rt, sources, rxv[0], 512, [&] { return sink.count(); }));
+    EXPECT_EQ(sink.count(), 512u);
+}
+
+TEST_F(ShardedFixture, HomeShardSerializesCrossShardDelivery) {
+    obs::MetricsRegistry metrics;
+    auto rt = make_runtime(kShards, &metrics);
+    AtomicSink noop;
+    HomeSink sink(rt.get(), /*home=*/2);
+    const auto sources = make_endpoints(16, 10, 48300);
+    const auto rxv = make_endpoints(1, 1, 48400);
+    for (const Endpoint& s : sources) rt->bind(s, &noop);
+    rt->bind_home(rxv[0], &sink, 2);
+
+    constexpr std::size_t kTotal = 512;
+    EXPECT_TRUE(spray(*rt, sources, rxv[0], kTotal, [&] { return sink.count(); }));
+    EXPECT_EQ(sink.count(), kTotal);
+    EXPECT_EQ(sink.off_home(), 0u) << "a homed handler ran off its shard";
+    EXPECT_EQ(sink.bytes(), kTotal * 32u);
+
+    // 16 distinct flows over 4 shards: essentially certain some landed off
+    // the home shard and crossed a handoff ring. The producer-side counter
+    // increments just after its ring push, so give the last increment a
+    // beat to land before comparing both sides.
+    EXPECT_TRUE(wait_for([&] {
+        const auto forwarded = metrics.counter_value("transport_handoff_forwarded", "t");
+        return forwarded > 0 &&
+               forwarded == metrics.counter_value("transport_handoff_delivered", "t");
+    }));
+}
+
+// The TSan soak: a sustained cross-shard storm into one non-atomic homed
+// sink. Any serialization bug is a hard data race here, and the delivery
+// count proves the rings + eventfd wakeups lose nothing at depth.
+TEST_F(ShardedFixture, CrossShardStormDeliversEverythingInOrderOfArrival) {
+    obs::MetricsRegistry metrics;
+    auto rt = make_runtime(kShards, &metrics);
+    AtomicSink noop;
+    HomeSink sink(rt.get(), /*home=*/1);
+    const auto sources = make_endpoints(32, 10, 48500);
+    const auto rxv = make_endpoints(1, 1, 48600);
+    for (const Endpoint& s : sources) rt->bind(s, &noop);
+    rt->bind_home(rxv[0], &sink, 1);
+
+    constexpr std::size_t kTotal = 4096;
+    EXPECT_TRUE(spray(*rt, sources, rxv[0], kTotal, [&] { return sink.count(); }));
+    EXPECT_EQ(sink.count(), kTotal);
+    EXPECT_EQ(sink.off_home(), 0u);
+    EXPECT_EQ(sink.bytes(), kTotal * 32u);
+    EXPECT_EQ(metrics.counter_value("transport_handoff_dropped", "t"), 0u)
+        << "paced storm must never fill a handoff ring";
+
+    const std::string snapshot = rt->debug_snapshot();
+    EXPECT_NE(snapshot.find("\"component\":\"shard_runtime\""), std::string::npos);
+    EXPECT_NE(snapshot.find("\"shards\":4"), std::string::npos);
+}
+
+TEST_F(ShardedFixture, TimersFireOnTheirOwnShardAndCancelAcrossEncoding) {
+    auto rt = make_runtime(kShards);
+
+    std::atomic<int> fired{0};
+    std::atomic<int> misrouted{0};
+    for (std::size_t i = 0; i < kShards; ++i) {
+        rt->port(i).schedule(0, [&, i] {
+            if (rt->current_shard() != static_cast<int>(i)) {
+                misrouted.fetch_add(1, std::memory_order_relaxed);
+            }
+            fired.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_TRUE(wait_for([&] {
+        return fired.load(std::memory_order_relaxed) == static_cast<int>(kShards);
+    }));
+    EXPECT_EQ(misrouted.load(std::memory_order_relaxed), 0);
+
+    // Cancellation round-trips through the shard-encoded handle.
+    std::atomic<bool> cancelled_fired{false};
+    const TimerHandle handle = rt->port(3).schedule(
+        5'000'000, [&] { cancelled_fired.store(true, std::memory_order_relaxed); });
+    EXPECT_NE(handle, kInvalidTimerHandle);
+    rt->cancel_timer(handle);
+    rt->cancel_timer(kInvalidTimerHandle);  // no-op, must not throw
+
+    std::atomic<bool> sentinel{false};
+    rt->port(3).schedule(from_ms(20), [&] { sentinel.store(true, std::memory_order_relaxed); });
+    EXPECT_TRUE(wait_for([&] { return sentinel.load(std::memory_order_relaxed); }));
+    EXPECT_FALSE(cancelled_fired.load(std::memory_order_relaxed));
+}
+
+struct RunOnCtx {
+    ShardRuntime* rt = nullptr;
+    std::atomic<int> ran_on{-2};
+};
+
+void record_shard(void* arg) {
+    auto* ctx = static_cast<RunOnCtx*>(arg);
+    ctx->ran_on.store(ctx->rt->current_shard(), std::memory_order_release);
+}
+
+TEST_F(ShardedFixture, RunOnExecutesOnTargetShardFromAnyThread) {
+    auto rt = make_runtime(kShards);
+
+    // External thread: falls back to the timer post.
+    RunOnCtx external;
+    external.rt = rt.get();
+    rt->run_on(3, &record_shard, &external);
+    EXPECT_TRUE(
+        wait_for([&] { return external.ran_on.load(std::memory_order_acquire) != -2; }));
+    EXPECT_EQ(external.ran_on.load(std::memory_order_acquire), 3);
+
+    // Reactor thread: rides the SPSC ring to the target shard.
+    RunOnCtx crossed;
+    crossed.rt = rt.get();
+    rt->port(0).schedule(0, [&] { rt->run_on(2, &record_shard, &crossed); });
+    EXPECT_TRUE(
+        wait_for([&] { return crossed.ran_on.load(std::memory_order_acquire) != -2; }));
+    EXPECT_EQ(crossed.ran_on.load(std::memory_order_acquire), 2);
+
+    // Same-shard target runs inline (synchronously visible afterwards).
+    RunOnCtx inline_run;
+    inline_run.rt = rt.get();
+    std::atomic<bool> done{false};
+    rt->port(1).schedule(0, [&] {
+        rt->run_on(1, &record_shard, &inline_run);
+        done.store(inline_run.ran_on.load(std::memory_order_acquire) == 1,
+                   std::memory_order_release);
+    });
+    EXPECT_TRUE(wait_for([&] { return done.load(std::memory_order_acquire); }));
+}
+
+// --- RUDP over the shard group ----------------------------------------------
+
+/// Strips the type octet and routes frames into the attached channel (the
+/// shim every RUDP consumer implements). Homed on the channel's shard, so
+/// no synchronization: handle_frame always runs on the channel's thread.
+class FrameRouter final : public MessageHandler {
+public:
+    void attach(RudpChannel* channel) { channel_ = channel; }
+    void on_datagram(const Endpoint&, const Bytes& data) override {
+        if (channel_ == nullptr || data.empty()) return;
+        wire::ByteReader reader(data);
+        const std::uint8_t type = reader.u8();
+        channel_->handle_frame(type, reader);
+    }
+
+private:
+    RudpChannel* channel_ = nullptr;
+};
+
+// A bulk transfer between two channels homed on different shards of one
+// 4-shard runtime: ACK/NAK/data frames hop shards through the handoff
+// rings whenever the kernel's flow hash disagrees with the home shard, and
+// the payload must still arrive intact and in order. Doubles as the RUDP
+// leg of the TSan soak.
+TEST_F(ShardedFixture, RudpBulkTransferRidesTheShardGroup) {
+    auto rt = make_runtime(kShards);
+    WallClock clock;
+
+    const auto eps = make_endpoints(2, 1, 48700);
+    const Endpoint end_a = eps[0];
+    const Endpoint end_b = eps[1];
+    FrameRouter router_a, router_b;
+    rt->bind_home(end_a, &router_a, 1);
+    rt->bind_home(end_b, &router_b, 2);
+
+    RudpOptions rudp;
+    rudp.window = 16;
+    RudpChannel chan_a(rt->port(1), rt->port(1), clock, end_a, end_b, rudp, "a");
+    RudpChannel chan_b(rt->port(2), rt->port(2), clock, end_b, end_a, rudp, "b");
+    router_a.attach(&chan_a);
+    router_b.attach(&chan_b);
+
+    constexpr std::size_t kPayloads = 4;
+    constexpr std::size_t kPayloadSize = 64 * 1024;
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> corrupt{0};
+    chan_b.on_deliver([&](Bytes payload) {
+        bool ok = payload.size() == kPayloadSize;
+        for (std::size_t i = 0; ok && i < payload.size(); i += 997) {
+            ok = payload[i] == static_cast<std::uint8_t>((i * 31) & 0xFF);
+        }
+        if (!ok) corrupt.fetch_add(1, std::memory_order_relaxed);
+        delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    // All channel interaction happens on its home shard thread.
+    for (std::size_t p = 0; p < kPayloads; ++p) {
+        rt->port(1).schedule(0, [&] {
+            Bytes payload(kPayloadSize);
+            for (std::size_t i = 0; i < payload.size(); ++i) {
+                payload[i] = static_cast<std::uint8_t>((i * 31) & 0xFF);
+            }
+            ASSERT_TRUE(chan_a.send_bulk(std::move(payload)));
+        });
+    }
+
+    EXPECT_TRUE(wait_for(
+        [&] { return delivered.load(std::memory_order_relaxed) >= kPayloads; }, 30000));
+    EXPECT_EQ(delivered.load(std::memory_order_relaxed), kPayloads);
+    EXPECT_EQ(corrupt.load(std::memory_order_relaxed), 0u);
+
+    std::atomic<bool> checked{false};
+    rt->port(1).schedule(0, [&] {
+        checked.store(chan_a.in_flight() == 0, std::memory_order_release);
+    });
+    EXPECT_TRUE(wait_for([&] { return checked.load(std::memory_order_acquire); }));
+}
+
+}  // namespace
+}  // namespace narada::transport
