@@ -27,6 +27,19 @@
 // spreads inbound flows across them. The protocol object stays homed on
 // shard 0 (single-threaded as always); off-home arrivals hop once over a
 // lock-free ring. shards = 1 (the default) is the classic single loop.
+//
+// A [security] section turns on the secured discovery datapath:
+//   [security]
+//   mode = seal             ; off | sign | seal
+//   demo_ca_seed = 42       ; REQUIRED when mode != off (see below)
+//   peers = bdn@47000       ; identities this node seals to (identity@port)
+//   authenticate_ads = true ; BDN: reject plain / foreign-subject ads
+// Real deployments load CA roots and per-node keys from files; this demo
+// binary instead derives the whole PKI deterministically from
+// demo_ca_seed — every node sharing the seed derives the same demo CA
+// (and each other's keypairs), so independently started processes can
+// verify each other with zero key distribution. That makes the seed a
+// pre-shared secret: demo-grade trust, not production key management.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -37,9 +50,12 @@
 #include <thread>
 
 #include "broker/broker.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/rsa.hpp"
 #include "discovery/bdn.hpp"
 #include "discovery/broker_plugin.hpp"
 #include "discovery/client.hpp"
+#include "discovery/security.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "transport/shard_runtime.hpp"
@@ -74,6 +90,84 @@ struct ObsPlane {
     }
 };
 
+/// Secured-datapath plane for one process, built from the [security]
+/// section. A disengaged context means security is off and set_security
+/// receives nullptr (the components' plain path).
+///
+/// Key material is derived deterministically from `demo_ca_seed`: the CA
+/// keypair comes straight from the seed, each identity's keypair from
+/// seed ⊕ fnv1a(identity). Nodes sharing the seed therefore agree on the
+/// CA *and* can compute any peer's public key locally — a pre-shared-
+/// secret bootstrap that stands in for real key distribution so the
+/// multi-process demo works with nothing but matching INI files.
+struct SecurityPlane {
+    WallClock clock;
+    Rng rng;
+    std::optional<discovery::SecurityContext> context;
+
+    SecurityPlane(const config::Ini& ini, const std::string& name)
+        : rng(static_cast<std::uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count())) {
+        const config::SecurityConfig cfg = config::SecurityConfig::from_ini(ini);
+        if (!cfg.enabled()) return;
+        const std::int64_t seed = ini.get_int("security", "demo_ca_seed", -1);
+        if (seed < 0) {
+            throw config::IniError(
+                "security.demo_ca_seed is required when security.mode != off "
+                "(all cooperating nodes must share it)");
+        }
+        const TimeUs now = clock.now();
+        const TimeUs valid_from = now - 60 * kSecond;
+        const TimeUs valid_to = now + 24 * 60 * 60 * kSecond;
+
+        Rng ca_rng(static_cast<std::uint64_t>(seed));
+        const crypto::RsaKeyPair ca = crypto::rsa_generate(ca_rng, 1024);
+        const crypto::Certificate root =
+            crypto::make_self_signed("demo-ca", ca, valid_from, valid_to, 1);
+        const auto identity_keys = [&](const std::string& identity) {
+            Rng id_rng(static_cast<std::uint64_t>(seed) ^ fnv1a(identity));
+            return crypto::rsa_generate(id_rng, 1024);
+        };
+
+        const crypto::RsaKeyPair own = identity_keys(name);
+        const crypto::Certificate leaf = crypto::issue_certificate(
+            name, own.public_key, "demo-ca", ca.private_key, valid_from, valid_to, 2);
+        context.emplace(name, own, std::vector<crypto::Certificate>{leaf, root},
+                        std::vector<crypto::Certificate>{root}, cfg, clock, rng);
+
+        // peers = identity@port, ...: the identities this node seals to.
+        // Senders resolve the seal target by endpoint (identity_at), so each
+        // entry provisions both the key and the endpoint -> identity map.
+        for (const auto& entry : ini.get_list("security", "peers")) {
+            const auto at = entry.rfind('@');
+            if (at == std::string::npos || at == 0 || at + 1 == entry.size()) {
+                throw config::IniError("bad security.peers entry (want identity@port): " +
+                                       entry);
+            }
+            const std::string peer = entry.substr(0, at);
+            const auto port =
+                static_cast<std::uint16_t>(std::stoul(entry.substr(at + 1)));
+            context->add_peer_key(peer, identity_keys(peer).public_key);
+            context->map_endpoint({0, port}, peer);
+        }
+        std::printf("[%s] security: mode=%s, demo CA seed %lld, %zu provisioned peer(s)\n",
+                    name.c_str(), config::to_string(cfg.mode).c_str(),
+                    static_cast<long long>(seed),
+                    ini.get_list("security", "peers").size());
+    }
+
+    [[nodiscard]] discovery::SecurityContext* get() {
+        return context ? &*context : nullptr;
+    }
+
+private:
+    static std::uint64_t fnv1a(const std::string& s) {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (const char c : s) h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+        return h;
+    }
+};
+
 void wait_until_stopped(std::int64_t run_for_ms) {
     const auto start = std::chrono::steady_clock::now();
     while (!g_stop) {
@@ -88,7 +182,7 @@ void wait_until_stopped(std::int64_t run_for_ms) {
 
 int run_broker(const config::Ini& ini, transport::ShardRuntime& transport,
                const Endpoint& endpoint, const std::string& name, const std::string& realm,
-               std::int64_t run_for_ms, ObsPlane& obs) {
+               std::int64_t run_for_ms, ObsPlane& obs, SecurityPlane& sec) {
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
     const config::BrokerConfig cfg = config::BrokerConfig::from_ini(ini);
@@ -98,6 +192,7 @@ int run_broker(const config::Ini& ini, transport::ShardRuntime& transport,
     identity.realm = realm;
     discovery::BrokerDiscoveryPlugin plugin(identity);
     node.add_plugin(&plugin);
+    plugin.set_security(sec.get());
     node.set_observability(obs.registry());
     plugin.set_observability(obs.registry(), obs.recorder());
     for (const auto& peer : ini.get_list("node", "peers")) {
@@ -117,11 +212,12 @@ int run_broker(const config::Ini& ini, transport::ShardRuntime& transport,
 
 int run_bdn(const config::Ini& ini, transport::ShardRuntime& transport,
             const Endpoint& endpoint, const std::string& name, std::int64_t run_for_ms,
-            ObsPlane& obs) {
+            ObsPlane& obs, SecurityPlane& sec) {
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
     discovery::Bdn bdn(transport, transport, endpoint, wall, config::BdnConfig::from_ini(ini),
                        name);
+    bdn.set_security(sec.get());
     bdn.set_observability(obs.registry(), obs.recorder(), &utc);
     bdn.start();
     std::printf("[%s] BDN up on 127.0.0.1:%u\n", name.c_str(), endpoint.port);
@@ -135,12 +231,16 @@ int run_bdn(const config::Ini& ini, transport::ShardRuntime& transport,
 
 int run_client(const config::Ini& ini, transport::ShardRuntime& transport,
                const Endpoint& endpoint, const std::string& name, const std::string& realm,
-               const config::ObsConfig& obs_cfg, ObsPlane& obs) {
+               const config::ObsConfig& obs_cfg, ObsPlane& obs, SecurityPlane& sec) {
     WallClock wall;
     timesvc::FixedUtcSource utc(wall);
     discovery::DiscoveryClient client(transport, transport, endpoint, wall, utc,
                                       config::DiscoveryConfig::from_ini(ini), name, realm);
+    client.set_security(sec.get());
     client.set_observability(obs.registry(), obs.recorder(), obs_cfg.trace_sample_rate);
+    if (sec.get() != nullptr && obs.registry() != nullptr) {
+        sec.get()->set_observability(obs.registry(), name);
+    }
     std::printf("[%s] discovering...\n", name.c_str());
     std::mutex m;
     std::condition_variable cv;
@@ -223,12 +323,15 @@ int main(int argc, char** argv) {
                         transport.shards());
         }
         const Endpoint endpoint{0, port};  // host label 0: cross-process convention
+        SecurityPlane sec(ini, name);
         if (role == "broker") {
-            return run_broker(ini, transport, endpoint, name, realm, run_for_ms, obs);
+            return run_broker(ini, transport, endpoint, name, realm, run_for_ms, obs, sec);
         }
-        if (role == "bdn") return run_bdn(ini, transport, endpoint, name, run_for_ms, obs);
+        if (role == "bdn") {
+            return run_bdn(ini, transport, endpoint, name, run_for_ms, obs, sec);
+        }
         if (role == "client") {
-            return run_client(ini, transport, endpoint, name, realm, obs_cfg, obs);
+            return run_client(ini, transport, endpoint, name, realm, obs_cfg, obs, sec);
         }
         std::printf("config error: [node] role must be broker, bdn or client\n");
         return 2;

@@ -193,6 +193,36 @@ TransportConfig TransportConfig::from_ini(const Ini& ini) {
     return c;
 }
 
+SecurityConfig::Mode parse_security_mode(const std::string& name) {
+    if (name == "off") return SecurityConfig::Mode::kOff;
+    if (name == "sign") return SecurityConfig::Mode::kSign;
+    if (name == "seal") return SecurityConfig::Mode::kSeal;
+    throw IniError("unknown security mode: " + name);
+}
+
+std::string to_string(SecurityConfig::Mode mode) {
+    switch (mode) {
+        case SecurityConfig::Mode::kOff: return "off";
+        case SecurityConfig::Mode::kSign: return "sign";
+        case SecurityConfig::Mode::kSeal: return "seal";
+    }
+    return "?";
+}
+
+SecurityConfig SecurityConfig::from_ini(const Ini& ini) {
+    SecurityConfig c;
+    if (const auto mode = ini.get("security", "mode")) {
+        c.mode = parse_security_mode(*mode);
+    }
+    c.session_cache_size = static_cast<std::uint32_t>(
+        ini.get_int("security", "session_cache_size", c.session_cache_size));
+    if (c.session_cache_size == 0) c.session_cache_size = 1;
+    c.rekey_interval =
+        from_ms(ini.get_double("security", "rekey_interval_ms", to_ms(c.rekey_interval)));
+    c.authenticate_ads = ini.get_bool("security", "authenticate_ads", c.authenticate_ads);
+    return c;
+}
+
 BdnConfig BdnConfig::from_ini(const Ini& ini) {
     BdnConfig c;
     if (const auto v = ini.get("bdn", "injection")) {

@@ -229,6 +229,39 @@ struct TransportConfig {
     static TransportConfig from_ini(const Ini& ini);
 };
 
+/// Secured discovery plane ([security] section, paper §9.1). Governs the
+/// session-envelope datapath in discovery/security.hpp: whether discovery
+/// traffic is authenticated (and encrypted), how many per-peer session
+/// keys are cached, and how often sessions are re-established.
+struct SecurityConfig {
+    enum class Mode : std::uint8_t {
+        kOff,   ///< plain datagrams, no crypto on the datapath
+        kSign,  ///< authenticate: cleartext payload + session MAC
+        kSeal,  ///< authenticate + encrypt: AES-CBC payload + session MAC
+    };
+
+    Mode mode = Mode::kOff;
+    /// Per-peer session entries kept by each component's SessionKeyCache
+    /// (RSA is paid once per cached peer; eviction forces a re-handshake).
+    std::uint32_t session_cache_size = 256;
+    /// Re-establish a peer's session key after this long (0 = never).
+    /// Receivers accept sessions up to twice this age so a sender mid-rekey
+    /// never races its own traffic.
+    DurationUs rekey_interval = 10 * 60 * kSecond;
+    /// BDNs register only advertisements that arrived through a verified
+    /// envelope whose certificate subject matches the advertised broker
+    /// name; plain ads are rejected (and counted) instead of registered.
+    bool authenticate_ads = false;
+
+    [[nodiscard]] bool enabled() const { return mode != Mode::kOff; }
+    [[nodiscard]] bool sealing() const { return mode == Mode::kSeal; }
+
+    static SecurityConfig from_ini(const Ini& ini);
+};
+
+SecurityConfig::Mode parse_security_mode(const std::string& name);
+std::string to_string(SecurityConfig::Mode mode);
+
 /// BDN-side configuration (§2, §4).
 struct BdnConfig {
     InjectionStrategy injection = InjectionStrategy::kClosestAndFarthest;

@@ -3,6 +3,11 @@
 #include <cstring>
 #include <stdexcept>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NARADA_AES_NI 1
+#include <immintrin.h>
+#endif
+
 namespace narada::crypto {
 namespace {
 
@@ -65,31 +70,12 @@ std::uint8_t gf_mul(std::uint8_t x, std::uint8_t y) {
     return result;
 }
 
-}  // namespace
+// --- scalar cipher (the original from-scratch FIPS 197 implementation) ------
 
-Aes128::Aes128(const Key& key) {
-    // Key expansion (FIPS 197 §5.2).
-    std::memcpy(round_keys_.data(), key.data(), 16);
-    for (int i = 4; i < 44; ++i) {
-        std::uint8_t temp[4];
-        std::memcpy(temp, &round_keys_[(i - 1) * 4], 4);
-        if (i % 4 == 0) {
-            const std::uint8_t t = temp[0];
-            temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ kRcon[i / 4 - 1]);
-            temp[1] = kSbox[temp[2]];
-            temp[2] = kSbox[temp[3]];
-            temp[3] = kSbox[t];
-        }
-        for (int b = 0; b < 4; ++b) {
-            round_keys_[i * 4 + b] =
-                static_cast<std::uint8_t>(round_keys_[(i - 4) * 4 + b] ^ temp[b]);
-        }
-    }
-}
-
-void Aes128::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+void scalar_encrypt_block(const std::uint8_t* round_keys, const std::uint8_t in[16],
+                          std::uint8_t out[16]) {
     std::uint8_t state[16];
-    for (int i = 0; i < 16; ++i) state[i] = static_cast<std::uint8_t>(in[i] ^ round_keys_[i]);
+    for (int i = 0; i < 16; ++i) state[i] = static_cast<std::uint8_t>(in[i] ^ round_keys[i]);
 
     for (int round = 1; round <= 10; ++round) {
         // SubBytes.
@@ -115,16 +101,17 @@ void Aes128::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) cons
         }
         // AddRoundKey.
         for (int i = 0; i < 16; ++i) {
-            state[i] = static_cast<std::uint8_t>(state[i] ^ round_keys_[round * 16 + i]);
+            state[i] = static_cast<std::uint8_t>(state[i] ^ round_keys[round * 16 + i]);
         }
     }
     std::memcpy(out, state, 16);
 }
 
-void Aes128::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+void scalar_decrypt_block(const std::uint8_t* round_keys, const std::uint8_t in[16],
+                          std::uint8_t out[16]) {
     std::uint8_t state[16];
     for (int i = 0; i < 16; ++i) {
-        state[i] = static_cast<std::uint8_t>(in[i] ^ round_keys_[160 + i]);
+        state[i] = static_cast<std::uint8_t>(in[i] ^ round_keys[160 + i]);
     }
 
     for (int round = 9; round >= 0; --round) {
@@ -140,7 +127,7 @@ void Aes128::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) cons
         for (auto& b : state) b = kInvSbox[b];
         // AddRoundKey.
         for (int i = 0; i < 16; ++i) {
-            state[i] = static_cast<std::uint8_t>(state[i] ^ round_keys_[round * 16 + i]);
+            state[i] = static_cast<std::uint8_t>(state[i] ^ round_keys[round * 16 + i]);
         }
         // InvMixColumns (all rounds but the last processed, i.e. round 0).
         if (round != 0) {
@@ -161,22 +148,257 @@ void Aes128::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) cons
     std::memcpy(out, state, 16);
 }
 
-Bytes Aes128::encrypt_cbc(const Bytes& plaintext, const Block& iv) const {
-    // PKCS#7: always append 1..16 bytes of padding.
-    const std::size_t pad = kBlockSize - (plaintext.size() % kBlockSize);
-    Bytes padded = plaintext;
-    padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+// --- AES-NI fast path --------------------------------------------------------
+//
+// The round keys are the standard FIPS 197 schedule the scalar expansion
+// already produces; AESENC consumes them directly. AESDEC implements the
+// "equivalent inverse cipher" and wants InvMixColumns-transformed keys in
+// reverse order, derived once per schedule with AESIMC.
 
-    Bytes out(padded.size());
-    Block chain = iv;
-    for (std::size_t off = 0; off < padded.size(); off += kBlockSize) {
-        std::uint8_t block[16];
-        for (std::size_t i = 0; i < kBlockSize; ++i) {
-            block[i] = static_cast<std::uint8_t>(padded[off + i] ^ chain[i]);
-        }
-        encrypt_block(block, out.data() + off);
-        std::memcpy(chain.data(), out.data() + off, kBlockSize);
+#if NARADA_AES_NI
+
+__attribute__((target("aes"))) void ni_make_dec_keys(const std::uint8_t* rk, std::uint8_t* out) {
+    __m128i k[11];
+    for (int i = 0; i < 11; ++i) {
+        k[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + i * 16));
     }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), k[10]);
+    for (int i = 1; i < 10; ++i) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i * 16), _mm_aesimc_si128(k[10 - i]));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 160), k[0]);
+}
+
+__attribute__((target("aes"))) inline __m128i ni_encrypt_one(const std::uint8_t* rk,
+                                                             __m128i block) {
+    block = _mm_xor_si128(block, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+    for (int i = 1; i < 10; ++i) {
+        block = _mm_aesenc_si128(block,
+                                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + i * 16)));
+    }
+    return _mm_aesenclast_si128(block,
+                                _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 160)));
+}
+
+__attribute__((target("aes"))) void ni_encrypt_block(const std::uint8_t* rk,
+                                                     const std::uint8_t in[16],
+                                                     std::uint8_t out[16]) {
+    const __m128i c = ni_encrypt_one(rk, _mm_loadu_si128(reinterpret_cast<const __m128i*>(in)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), c);
+}
+
+__attribute__((target("aes"))) void ni_decrypt_block(const std::uint8_t* drk,
+                                                     const std::uint8_t in[16],
+                                                     std::uint8_t out[16]) {
+    __m128i block = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+    block = _mm_xor_si128(block, _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk)));
+    for (int i = 1; i < 10; ++i) {
+        block = _mm_aesdec_si128(block,
+                                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk + i * 16)));
+    }
+    block = _mm_aesdeclast_si128(block,
+                                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk + 160)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), block);
+}
+
+// Whole-buffer CBC encryption of complete blocks. Chaining makes encryption
+// inherently serial; keeping the loop inside one target function avoids a
+// dispatch per block.
+__attribute__((target("aes"))) void ni_cbc_encrypt(const std::uint8_t* rk, const std::uint8_t* iv,
+                                                   const std::uint8_t* src, std::size_t blocks,
+                                                   std::uint8_t* dst) {
+    __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+    for (std::size_t i = 0; i < blocks; ++i) {
+        const __m128i p = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i * 16));
+        chain = ni_encrypt_one(rk, _mm_xor_si128(p, chain));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i * 16), chain);
+    }
+}
+
+// Whole-buffer CBC decryption, four blocks at a time: the block cipher has
+// no cross-block dependency on decrypt (the chain XOR happens after), so
+// four AESDEC latency chains overlap.
+__attribute__((target("aes"))) void ni_cbc_decrypt(const std::uint8_t* drk, const std::uint8_t* iv,
+                                                   const std::uint8_t* src, std::size_t blocks,
+                                                   std::uint8_t* dst) {
+    __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+    std::size_t i = 0;
+    while (i + 4 <= blocks) {
+        const __m128i c0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + (i + 0) * 16));
+        const __m128i c1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + (i + 1) * 16));
+        const __m128i c2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + (i + 2) * 16));
+        const __m128i c3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + (i + 3) * 16));
+        const __m128i k0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk));
+        __m128i d0 = _mm_xor_si128(c0, k0), d1 = _mm_xor_si128(c1, k0);
+        __m128i d2 = _mm_xor_si128(c2, k0), d3 = _mm_xor_si128(c3, k0);
+        for (int r = 1; r < 10; ++r) {
+            const __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk + r * 16));
+            d0 = _mm_aesdec_si128(d0, k);
+            d1 = _mm_aesdec_si128(d1, k);
+            d2 = _mm_aesdec_si128(d2, k);
+            d3 = _mm_aesdec_si128(d3, k);
+        }
+        const __m128i kl = _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk + 160));
+        d0 = _mm_aesdeclast_si128(d0, kl);
+        d1 = _mm_aesdeclast_si128(d1, kl);
+        d2 = _mm_aesdeclast_si128(d2, kl);
+        d3 = _mm_aesdeclast_si128(d3, kl);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + (i + 0) * 16),
+                         _mm_xor_si128(d0, chain));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + (i + 1) * 16), _mm_xor_si128(d1, c0));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + (i + 2) * 16), _mm_xor_si128(d2, c1));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + (i + 3) * 16), _mm_xor_si128(d3, c2));
+        chain = c3;
+        i += 4;
+    }
+    for (; i < blocks; ++i) {
+        const __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i * 16));
+        __m128i d = _mm_xor_si128(c, _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk)));
+        for (int r = 1; r < 10; ++r) {
+            d = _mm_aesdec_si128(d,
+                                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk + r * 16)));
+        }
+        d = _mm_aesdeclast_si128(d,
+                                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(drk + 160)));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i * 16), _mm_xor_si128(d, chain));
+        chain = c;
+    }
+}
+
+#endif  // NARADA_AES_NI
+
+bool has_aes_ni() {
+#if NARADA_AES_NI
+    static const bool supported = __builtin_cpu_supports("aes") != 0;
+    return supported;
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+bool Aes128::accelerated() { return has_aes_ni(); }
+
+Aes128::Aes128(const Key& key) {
+    // Key expansion (FIPS 197 §5.2).
+    std::memcpy(round_keys_.data(), key.data(), 16);
+    for (int i = 4; i < 44; ++i) {
+        std::uint8_t temp[4];
+        std::memcpy(temp, &round_keys_[(i - 1) * 4], 4);
+        if (i % 4 == 0) {
+            const std::uint8_t t = temp[0];
+            temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ kRcon[i / 4 - 1]);
+            temp[1] = kSbox[temp[2]];
+            temp[2] = kSbox[temp[3]];
+            temp[3] = kSbox[t];
+        }
+        for (int b = 0; b < 4; ++b) {
+            round_keys_[i * 4 + b] =
+                static_cast<std::uint8_t>(round_keys_[(i - 4) * 4 + b] ^ temp[b]);
+        }
+    }
+#if NARADA_AES_NI
+    if (has_aes_ni()) ni_make_dec_keys(round_keys_.data(), dec_round_keys_.data());
+#endif
+}
+
+void Aes128::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if NARADA_AES_NI
+    if (has_aes_ni()) {
+        ni_encrypt_block(round_keys_.data(), in, out);
+        return;
+    }
+#endif
+    scalar_encrypt_block(round_keys_.data(), in, out);
+}
+
+void Aes128::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if NARADA_AES_NI
+    if (has_aes_ni()) {
+        ni_decrypt_block(dec_round_keys_.data(), in, out);
+        return;
+    }
+#endif
+    scalar_decrypt_block(round_keys_.data(), in, out);
+}
+
+void Aes128::encrypt_cbc(std::span<const std::uint8_t> plaintext, const Block& iv,
+                         std::uint8_t* out) const {
+    const std::size_t full = plaintext.size() / kBlockSize;
+    const std::uint8_t* chain = iv.data();
+    if (full > 0) {
+#if NARADA_AES_NI
+        if (has_aes_ni()) {
+            ni_cbc_encrypt(round_keys_.data(), chain, plaintext.data(), full, out);
+        } else
+#endif
+        {
+            for (std::size_t b = 0; b < full; ++b) {
+                std::uint8_t block[16];
+                for (std::size_t i = 0; i < kBlockSize; ++i) {
+                    block[i] =
+                        static_cast<std::uint8_t>(plaintext[b * kBlockSize + i] ^ chain[i]);
+                }
+                scalar_encrypt_block(round_keys_.data(), block, out + b * kBlockSize);
+                chain = out + b * kBlockSize;
+            }
+        }
+        chain = out + (full - 1) * kBlockSize;
+    }
+    // Final block: the plaintext remainder plus PKCS#7 padding (a whole
+    // block of padding when the input is block-aligned).
+    const std::size_t rem = plaintext.size() % kBlockSize;
+    const std::uint8_t pad = static_cast<std::uint8_t>(kBlockSize - rem);
+    std::uint8_t tail[16];
+    if (rem > 0) std::memcpy(tail, plaintext.data() + full * kBlockSize, rem);
+    std::memset(tail + rem, pad, pad);
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        tail[i] = static_cast<std::uint8_t>(tail[i] ^ chain[i]);
+    }
+#if NARADA_AES_NI
+    if (has_aes_ni()) {
+        ni_encrypt_block(round_keys_.data(), tail, out + full * kBlockSize);
+        return;
+    }
+#endif
+    scalar_encrypt_block(round_keys_.data(), tail, out + full * kBlockSize);
+}
+
+bool Aes128::decrypt_cbc(std::span<const std::uint8_t> ciphertext, const Block& iv,
+                         Bytes& out) const {
+    if (ciphertext.empty() || ciphertext.size() % kBlockSize != 0) return false;
+    out.resize(ciphertext.size());
+    const std::size_t blocks = ciphertext.size() / kBlockSize;
+#if NARADA_AES_NI
+    if (has_aes_ni()) {
+        ni_cbc_decrypt(dec_round_keys_.data(), iv.data(), ciphertext.data(), blocks, out.data());
+    } else
+#endif
+    {
+        const std::uint8_t* chain = iv.data();
+        for (std::size_t b = 0; b < blocks; ++b) {
+            std::uint8_t block[16];
+            scalar_decrypt_block(round_keys_.data(), ciphertext.data() + b * kBlockSize, block);
+            for (std::size_t i = 0; i < kBlockSize; ++i) {
+                out[b * kBlockSize + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
+            }
+            chain = ciphertext.data() + b * kBlockSize;
+        }
+    }
+    const std::uint8_t pad = out.back();
+    if (pad == 0 || pad > kBlockSize) return false;
+    for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+        if (out[i] != pad) return false;
+    }
+    out.resize(out.size() - pad);
+    return true;
+}
+
+Bytes Aes128::encrypt_cbc(const Bytes& plaintext, const Block& iv) const {
+    Bytes out(padded_size(plaintext.size()));
+    encrypt_cbc(std::span<const std::uint8_t>(plaintext.data(), plaintext.size()), iv,
+                out.data());
     return out;
 }
 
@@ -184,25 +406,104 @@ Bytes Aes128::decrypt_cbc(const Bytes& ciphertext, const Block& iv) const {
     if (ciphertext.empty() || ciphertext.size() % kBlockSize != 0) {
         throw std::invalid_argument("AES-CBC: ciphertext length not a block multiple");
     }
-    Bytes out(ciphertext.size());
-    Block chain = iv;
-    for (std::size_t off = 0; off < ciphertext.size(); off += kBlockSize) {
-        std::uint8_t block[16];
-        decrypt_block(ciphertext.data() + off, block);
-        for (std::size_t i = 0; i < kBlockSize; ++i) {
-            out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
-        }
-        std::memcpy(chain.data(), ciphertext.data() + off, kBlockSize);
-    }
-    const std::uint8_t pad = out.back();
-    if (pad == 0 || pad > kBlockSize || pad > out.size()) {
+    Bytes out;
+    if (!decrypt_cbc(std::span<const std::uint8_t>(ciphertext.data(), ciphertext.size()), iv,
+                     out)) {
         throw std::invalid_argument("AES-CBC: bad padding");
     }
-    for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
-        if (out[i] != pad) throw std::invalid_argument("AES-CBC: bad padding");
-    }
-    out.resize(out.size() - pad);
     return out;
+}
+
+// --- AES-CMAC (NIST SP 800-38B / RFC 4493) ----------------------------------
+
+namespace {
+
+/// GF(2^128) doubling over the big-endian block (the CMAC subkey step).
+Aes128::Block cmac_double(const Aes128::Block& in) {
+    Aes128::Block out;
+    std::uint8_t carry = 0;
+    for (int i = 15; i >= 0; --i) {
+        out[i] = static_cast<std::uint8_t>((in[i] << 1) | carry);
+        carry = in[i] >> 7;
+    }
+    if (carry) out[15] = static_cast<std::uint8_t>(out[15] ^ 0x87);
+    return out;
+}
+
+/// Streaming CMAC state: lets compute2 walk two spans as one message
+/// without concatenating them.
+struct CmacStream {
+    const Cmac& mac;
+    Aes128::Block x{};     ///< running CBC-MAC state
+    std::uint8_t buf[16];  ///< pending (possibly final) block
+    std::size_t buffered = 0;
+    bool any = false;
+
+    explicit CmacStream(const Cmac& m) : mac(m) {}
+
+    void update(std::span<const std::uint8_t> data) {
+        std::size_t off = 0;
+        while (off < data.size()) {
+            if (buffered == 16) flush();
+            const std::size_t take = std::min<std::size_t>(16 - buffered, data.size() - off);
+            std::memcpy(buf + buffered, data.data() + off, take);
+            buffered += take;
+            off += take;
+            any = true;
+        }
+    }
+
+    /// Process the buffered block as a non-final block.
+    void flush() {
+        for (std::size_t i = 0; i < 16; ++i) {
+            x[i] = static_cast<std::uint8_t>(x[i] ^ buf[i]);
+        }
+        mac.cipher.encrypt_block(x.data(), x.data());
+        buffered = 0;
+    }
+
+    Aes128::Block finish() {
+        const Aes128::Block& subkey = (any && buffered == 16) ? mac.k1 : mac.k2;
+        if (buffered < 16) {
+            buf[buffered] = 0x80;
+            std::memset(buf + buffered + 1, 0, 16 - buffered - 1);
+        }
+        for (std::size_t i = 0; i < 16; ++i) {
+            x[i] = static_cast<std::uint8_t>(x[i] ^ buf[i] ^ subkey[i]);
+        }
+        Aes128::Block tag;
+        mac.cipher.encrypt_block(x.data(), tag.data());
+        return tag;
+    }
+};
+
+}  // namespace
+
+Cmac::Cmac(const Aes128& c) : cipher(c) {
+    Aes128::Block l{};
+    cipher.encrypt_block(l.data(), l.data());
+    k1 = cmac_double(l);
+    k2 = cmac_double(k1);
+}
+
+Aes128::Block Cmac::compute(std::span<const std::uint8_t> data) const {
+    CmacStream s(*this);
+    s.update(data);
+    return s.finish();
+}
+
+Aes128::Block Cmac::compute2(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) const {
+    CmacStream s(*this);
+    s.update(a);
+    s.update(b);
+    return s.finish();
+}
+
+bool tags_equal(const Aes128::Block& a, const Aes128::Block& b) {
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
 }
 
 }  // namespace narada::crypto

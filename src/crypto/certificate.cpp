@@ -111,4 +111,9 @@ CertStatus verify_chain(const std::vector<Certificate>& chain,
     return CertStatus::kUntrustedRoot;
 }
 
+CertStatus verify_chain(const std::vector<Certificate>& chain,
+                        const std::vector<Certificate>& trusted_roots, const Clock& clock) {
+    return verify_chain(chain, trusted_roots, clock.now());
+}
+
 }  // namespace narada::crypto

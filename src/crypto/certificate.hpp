@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/types.hpp"
 #include "crypto/rsa.hpp"
 #include "wire/codec.hpp"
@@ -63,5 +64,14 @@ const char* to_string(CertStatus status);
 /// trusted root (compared by subject and key).
 CertStatus verify_chain(const std::vector<Certificate>& chain,
                         const std::vector<Certificate>& trusted_roots, TimeUs now);
+
+/// Same validation with "now" read through the deployment's clock
+/// abstraction. Expiry is a *time-dependent* check: components must route
+/// it through their injected Clock (virtual time in sim runs, the skewed
+/// node-local clock under chaos clock-skew waves) rather than sampling the
+/// wall clock directly, so a certificate expiring mid-scenario behaves
+/// identically in simulation and production.
+CertStatus verify_chain(const std::vector<Certificate>& chain,
+                        const std::vector<Certificate>& trusted_roots, const Clock& clock);
 
 }  // namespace narada::crypto

@@ -2,6 +2,28 @@
 
 namespace narada::crypto {
 
+const char* to_string(EnvelopeError error) {
+    switch (error) {
+        case EnvelopeError::kOk: return "ok";
+        case EnvelopeError::kTruncated: return "truncated";
+        case EnvelopeError::kSessionSize: return "session-size";
+        case EnvelopeError::kSessionDecrypt: return "session-decrypt";
+        case EnvelopeError::kCipherAlignment: return "cipher-alignment";
+        case EnvelopeError::kBadPadding: return "bad-padding";
+        case EnvelopeError::kBundleParse: return "bundle-parse";
+        case EnvelopeError::kTrailingGarbage: return "trailing-garbage";
+        case EnvelopeError::kUnknownSubtype: return "unknown-subtype";
+        case EnvelopeError::kNoSession: return "no-session";
+        case EnvelopeError::kKeyMismatch: return "key-mismatch";
+        case EnvelopeError::kBadTag: return "bad-tag";
+        case EnvelopeError::kUnknownSigner: return "unknown-signer";
+        case EnvelopeError::kBadCertChain: return "bad-cert-chain";
+        case EnvelopeError::kBadKeySignature: return "bad-key-signature";
+        case EnvelopeError::kRecipientMismatch: return "recipient-mismatch";
+    }
+    return "unknown";
+}
+
 void SecureEnvelope::encode(wire::ByteWriter& writer) const {
     writer.blob(encrypted_session);
     writer.blob(ciphertext);
@@ -46,12 +68,24 @@ std::optional<SecureEnvelope> seal(const Bytes& payload, const std::string& sign
     return env;
 }
 
-std::optional<OpenedEnvelope> open(const SecureEnvelope& envelope,
-                                   const RsaPrivateKey& recipient_key,
-                                   const RsaPublicKey& signer_key) {
+OpenOutcome open_checked(const SecureEnvelope& envelope, const RsaPrivateKey& recipient_key,
+                         const RsaPublicKey& signer_key) {
+    OpenOutcome out;
+    // The ciphertext length gate comes first: it is the cheapest check and
+    // rejects the common truncation corruptions before any RSA work.
+    if (envelope.ciphertext.empty() ||
+        envelope.ciphertext.size() % Aes128::kBlockSize != 0) {
+        out.error = EnvelopeError::kCipherAlignment;
+        return out;
+    }
     const auto session = rsa_decrypt(recipient_key, envelope.encrypted_session);
-    if (!session || session->size() != Aes128::kKeySize + Aes128::kBlockSize) {
-        return std::nullopt;
+    if (!session) {
+        out.error = EnvelopeError::kSessionDecrypt;
+        return out;
+    }
+    if (session->size() != Aes128::kKeySize + Aes128::kBlockSize) {
+        out.error = EnvelopeError::kSessionSize;
+        return out;
     }
     Aes128::Key key;
     Aes128::Block iv;
@@ -60,24 +94,43 @@ std::optional<OpenedEnvelope> open(const SecureEnvelope& envelope,
                 iv.begin());
 
     Bytes bundle;
-    try {
-        bundle = Aes128(key).decrypt_cbc(envelope.ciphertext, iv);
-    } catch (const std::invalid_argument&) {
-        return std::nullopt;
+    if (!Aes128(key).decrypt_cbc(
+            std::span<const std::uint8_t>(envelope.ciphertext.data(),
+                                          envelope.ciphertext.size()),
+            iv, bundle)) {
+        out.error = EnvelopeError::kBadPadding;
+        return out;
     }
 
+    // Every field of the bundle is length-prefixed; the reader bounds-checks
+    // each prefix against the remaining bytes, so a forged length cannot
+    // read past the decrypted buffer — it surfaces as kTruncated here.
     try {
         wire::ByteReader reader(bundle);
-        OpenedEnvelope out;
-        out.payload = reader.blob();
+        out.opened.payload = reader.blob();
         const Bytes signature = reader.blob();
-        out.signer_name = reader.str();
-        reader.expect_end();
-        out.signature_valid = rsa_verify(signer_key, out.payload, signature);
+        out.opened.signer_name = reader.str();
+        if (reader.remaining() != 0) {
+            out = OpenOutcome{};
+            out.error = EnvelopeError::kTrailingGarbage;
+            return out;
+        }
+        out.opened.signature_valid = rsa_verify(signer_key, out.opened.payload, signature);
+        out.error = EnvelopeError::kOk;
         return out;
     } catch (const wire::WireError&) {
-        return std::nullopt;
+        out = OpenOutcome{};
+        out.error = EnvelopeError::kTruncated;
+        return out;
     }
+}
+
+std::optional<OpenedEnvelope> open(const SecureEnvelope& envelope,
+                                   const RsaPrivateKey& recipient_key,
+                                   const RsaPublicKey& signer_key) {
+    OpenOutcome outcome = open_checked(envelope, recipient_key, signer_key);
+    if (outcome.error != EnvelopeError::kOk) return std::nullopt;
+    return std::move(outcome.opened);
 }
 
 }  // namespace narada::crypto

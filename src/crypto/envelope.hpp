@@ -9,6 +9,11 @@
 // Construction: RSA-sign SHA-256(payload) with the sender's key; bundle
 // {payload, signature, signer-name}; AES-128-CBC encrypt the bundle under
 // a fresh session key; RSA-encrypt (session key || IV) to the recipient.
+//
+// Opening is hardened for untrusted network input: every length field is
+// bounds-checked and failures surface as a typed EnvelopeError instead of
+// an exception or a read past the buffer (the session-envelope datapath in
+// discovery/security.hpp reuses the same error taxonomy).
 #pragma once
 
 #include <optional>
@@ -21,6 +26,29 @@
 #include "wire/codec.hpp"
 
 namespace narada::crypto {
+
+/// Why an envelope failed to open. kOk aside, every value is a distinct
+/// malformed-input class so counters can tell truncation from tampering.
+enum class EnvelopeError : std::uint8_t {
+    kOk,
+    kTruncated,        ///< input ended inside a length-prefixed field
+    kSessionSize,      ///< RSA-decrypted session blob has the wrong size
+    kSessionDecrypt,   ///< RSA decryption failed structurally
+    kCipherAlignment,  ///< ciphertext empty or not a block multiple
+    kBadPadding,       ///< CBC padding invalid after decryption
+    kBundleParse,      ///< decrypted bundle fails to parse
+    kTrailingGarbage,  ///< bytes left over after the last field
+    kUnknownSubtype,   ///< session envelope with an unknown subtype octet
+    kNoSession,        ///< no cached session for the claimed signer
+    kKeyMismatch,      ///< session key id does not match the cached session
+    kBadTag,           ///< MAC verification failed
+    kUnknownSigner,    ///< signer identity is not in the peer directory
+    kBadCertChain,     ///< handshake certificate chain failed validation
+    kBadKeySignature,  ///< handshake key binding signature invalid
+    kRecipientMismatch,///< envelope addressed to a different identity
+};
+
+const char* to_string(EnvelopeError error);
 
 struct SecureEnvelope {
     Bytes encrypted_session;  ///< RSA(recipient, session key || IV)
@@ -44,9 +72,19 @@ struct OpenedEnvelope {
     bool signature_valid = false;
 };
 
-/// Decrypt with the recipient's key and verify against the signer's key.
-/// Returns nullopt if decryption fails structurally; a wrong signature
-/// yields a result with signature_valid == false.
+struct OpenOutcome {
+    OpenedEnvelope opened;  ///< valid only when error == kOk
+    EnvelopeError error = EnvelopeError::kOk;
+};
+
+/// Decrypt with the recipient's key and verify against the signer's key,
+/// reporting exactly which structural check rejected a malformed envelope.
+/// A wrong signature still opens (error == kOk) with
+/// signature_valid == false — a policy decision, not a parse failure.
+OpenOutcome open_checked(const SecureEnvelope& envelope, const RsaPrivateKey& recipient_key,
+                         const RsaPublicKey& signer_key);
+
+/// Compatibility wrapper: nullopt on any structural failure.
 std::optional<OpenedEnvelope> open(const SecureEnvelope& envelope,
                                    const RsaPrivateKey& recipient_key,
                                    const RsaPublicKey& signer_key);

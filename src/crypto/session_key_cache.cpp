@@ -1,0 +1,90 @@
+#include "crypto/session_key_cache.hpp"
+
+#include <cstring>
+
+namespace narada::crypto {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_key_id(const Aes128::Key& key) {
+    std::uint64_t lo = 0, hi = 0;
+    std::memcpy(&lo, key.data(), 8);
+    std::memcpy(&hi, key.data() + 8, 8);
+    std::uint64_t id = splitmix64(lo) ^ splitmix64(hi ^ 0xa5a5a5a5a5a5a5a5ULL);
+    // 0 is the "no session" sentinel on the wire.
+    return id == 0 ? 1 : id;
+}
+
+SessionKeyCache::Session SessionKeyCache::Session::derive(const Aes128::Key& key, TimeUs now) {
+    Session s;
+    s.key = key;
+    s.key_id = derive_key_id(key);
+    s.cipher = Aes128(key);
+    // MAC key = AES_k(tweak): distinct from the cipher key, derivable by
+    // both ends without extra wire bytes.
+    Aes128::Key mac_key;
+    const Aes128::Block tweak = {0x6d, 0x61, 0x63, 0x2d, 0x6b, 0x65, 0x79, 0x00,
+                                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01};
+    s.cipher.encrypt_block(tweak.data(), mac_key.data());
+    s.mac = Cmac(Aes128(mac_key));
+    s.established_at = now;
+    return s;
+}
+
+SessionKeyCache::SessionKeyCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+SessionKeyCache::Session* SessionKeyCache::find(std::string_view peer) {
+    const auto it = index_.find(peer);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+}
+
+SessionKeyCache::Session& SessionKeyCache::put(std::string_view peer, const Aes128::Key& key,
+                                               TimeUs now) {
+    const auto it = index_.find(peer);
+    if (it != index_.end()) {
+        // Rekey in place, bumped to most recently used.
+        it->second->second = Session::derive(key, now);
+        entries_.splice(entries_.begin(), entries_, it->second);
+        ++stats_.insertions;
+        return it->second->second;
+    }
+    if (entries_.size() >= capacity_) {
+        // Evict the least recently used peer.
+        const auto& victim = entries_.back();
+        index_.erase(std::string_view(victim.first));
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+    entries_.emplace_front(std::string(peer), Session::derive(key, now));
+    index_.emplace(std::string_view(entries_.front().first), entries_.begin());
+    ++stats_.insertions;
+    return entries_.front().second;
+}
+
+void SessionKeyCache::erase(std::string_view peer) {
+    const auto it = index_.find(peer);
+    if (it == index_.end()) return;
+    entries_.erase(it->second);
+    index_.erase(it);
+}
+
+void SessionKeyCache::clear() {
+    entries_.clear();
+    index_.clear();
+}
+
+}  // namespace narada::crypto

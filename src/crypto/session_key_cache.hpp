@@ -1,0 +1,90 @@
+// Bounded LRU cache of per-peer symmetric session state.
+//
+// The paper costs an RSA sign + encrypt on every secured discovery request
+// (§9.1, Figure 14). At line rate that price is unpayable, so the secured
+// datapath amortizes it: the first envelope from a peer carries an
+// RSA-established session key, and every later envelope rides AES under
+// the cached session (see discovery/security.hpp for the wire format).
+// This cache holds those sessions — keyed by peer identity, bounded, LRU
+// evicted — with everything derivable precomputed at insertion time:
+//   * the AES-128 encryption schedule for the session key,
+//   * a derived MAC key + CMAC subkeys (so integrity rides AES-NI too),
+//   * a 64-bit key id both ends derive from the key bytes alone, used to
+//     detect stale sessions after a rekey without an extra round trip.
+//
+// Single-threaded by design: a session cache lives inside one protocol
+// component (BDN, broker plugin, client) whose callbacks the sharded
+// runtime already serializes on its home shard (DESIGN.md threading
+// model). Lookups are heterogeneous (string_view) and allocation-free on
+// the hit path; only inserting a previously unseen peer allocates.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/types.hpp"
+#include "crypto/aes.hpp"
+
+namespace narada::crypto {
+
+/// Both sides derive the id from the key bytes alone (splitmix64 over the
+/// two key halves), so a session id never travels with key material and a
+/// rekeyed peer is detected by mismatch.
+[[nodiscard]] std::uint64_t derive_key_id(const Aes128::Key& key);
+
+class SessionKeyCache {
+public:
+    struct Session {
+        Aes128::Key key{};
+        std::uint64_t key_id = 0;
+        Aes128 cipher;        ///< schedule for `key` (CBC payload encryption)
+        Cmac mac;             ///< CMAC under a key derived from `key`
+        TimeUs established_at = 0;
+
+        /// Precompute every schedule for `key`. The MAC key is the AES
+        /// encryption of a fixed tweak block under the session key, so the
+        /// cipher and MAC never share a schedule.
+        static Session derive(const Aes128::Key& key, TimeUs now);
+    };
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    explicit SessionKeyCache(std::size_t capacity);
+
+    /// The live session for `peer`, bumped to most-recently-used; nullptr
+    /// on miss. Allocation-free. The pointer stays valid until the next
+    /// put/erase/clear.
+    [[nodiscard]] Session* find(std::string_view peer);
+
+    /// Install (or replace) `peer`'s session, evicting the least recently
+    /// used entry if the cache is full. Returns the stored session.
+    Session& put(std::string_view peer, const Aes128::Key& key, TimeUs now);
+
+    void erase(std::string_view peer);
+    void clear();
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    // MRU-first list; the index maps peer identity to its list node. Index
+    // keys are views into the node's own string (stable under splice), so
+    // lookups never build a temporary std::string.
+    using Entry = std::pair<std::string, Session>;
+    std::list<Entry> entries_;
+    std::map<std::string_view, std::list<Entry>::iterator> index_;
+    std::size_t capacity_;
+    Stats stats_;
+};
+
+}  // namespace narada::crypto

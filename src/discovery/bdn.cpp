@@ -6,6 +6,7 @@
 
 #include "broker/topic.hpp"
 #include "common/log.hpp"
+#include "discovery/security.hpp"
 #include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
@@ -355,6 +356,8 @@ void Bdn::set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* sp
     inst_.ads_forwarded = &metrics->counter("bdn_ads_forwarded", name_);
     inst_.gathers_partial = &metrics->counter("bdn_gathers_partial", name_);
     inst_.sync_skipped = &metrics->counter("bdn_sync_skipped", name_);
+    inst_.rejected_ads = &metrics->counter("crypto_rejected_ads", name_);
+    if (security_ != nullptr) security_->set_observability(metrics, name_);
     inst_.queue_depth = &metrics->gauge("bdn_queue_depth", name_);
     inst_.fanout =
         &metrics->histogram("bdn_injection_fanout", name_, {1, 2, 4, 8, 16, 32, 64});
@@ -402,6 +405,9 @@ std::string Bdn::debug_snapshot() const {
         .field("digests_matched", stats_.digests_matched)
         .field("digest_mismatch_pushes", stats_.digest_mismatch_pushes)
         .field("rebalance_handoffs", stats_.rebalance_handoffs)
+        .field("secured_received", stats_.secured_received)
+        .field("secure_open_failures", stats_.secure_open_failures)
+        .field("ads_rejected_unauthenticated", stats_.ads_rejected_unauthenticated)
         .end_object();
     if (federated()) {
         w.key("ring").begin_object()
@@ -460,11 +466,35 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
         const std::uint8_t type = reader.u8();
         switch (type) {
             case wire::kMsgBrokerAdvertisement:
+                // authenticate_ads: a plain advertisement is rejected, not
+                // registered — only envelope-verified ads count (§9.1).
+                if (security_ != nullptr && security_->config().authenticate_ads) {
+                    ++stats_.ads_rejected_unauthenticated;
+                    if (inst_.rejected_ads) inst_.rejected_ads->inc();
+                    return;
+                }
                 handle_advertisement(BrokerAdvertisementView::peek(reader));
                 return;
             case wire::kMsgDiscoveryRequest:
                 handle_request(from, DiscoveryRequestView::peek(reader));
                 return;
+            case wire::kMsgSecureEnvelope: {
+                if (security_ == nullptr) {
+                    NARADA_DEBUG("bdn", "{}: secure envelope from {} but security is off",
+                                 name_, from.str());
+                    return;
+                }
+                const SecureOpenResult opened = security_->open_datagram(reader);
+                if (!opened.ok()) {
+                    ++stats_.secure_open_failures;
+                    NARADA_DEBUG("bdn", "{}: rejected envelope from {}: {}", name_,
+                                 from.str(), crypto::to_string(opened.error));
+                    return;
+                }
+                ++stats_.secured_received;
+                handle_secured(from, opened);
+                return;
+            }
             case wire::kMsgPong:
                 handle_pong(from, reader);
                 return;
@@ -512,6 +542,51 @@ void Bdn::on_datagram(const Endpoint& from, const Bytes& data) {
         }
     } catch (const wire::WireError& e) {
         NARADA_DEBUG("bdn", "{}: malformed message from {}: {}", name_, from.str(), e.what());
+    }
+}
+
+void Bdn::handle_secured(const Endpoint& from, const SecureOpenResult& opened) {
+    // The decrypted payload is a complete plain datagram (type octet +
+    // body). Only perimeter types are admitted from inside an envelope:
+    // intra-plane traffic (forwards, shard queries, digests, RUDP) never
+    // travels sealed, and a nested envelope is rejected outright.
+    try {
+        wire::ByteReader reader(opened.payload);
+        const std::uint8_t type = reader.u8();
+        switch (type) {
+            case wire::kMsgBrokerAdvertisement: {
+                const BrokerAdvertisementView view = BrokerAdvertisementView::peek(reader);
+                // Authenticated ads bind the envelope signer to the
+                // advertised name: a verified peer still cannot register
+                // an advertisement for somebody else's broker.
+                if (security_->config().authenticate_ads &&
+                    view.broker_name != opened.signer) {
+                    ++stats_.ads_rejected_unauthenticated;
+                    if (inst_.rejected_ads) inst_.rejected_ads->inc();
+                    NARADA_DEBUG("bdn", "{}: ad for '{}' signed by '{}' rejected", name_,
+                                 view.broker_name, opened.signer);
+                    return;
+                }
+                handle_advertisement(view);
+                return;
+            }
+            case wire::kMsgDiscoveryRequest:
+                handle_request(from, DiscoveryRequestView::peek(reader));
+                return;
+            default:
+                NARADA_DEBUG("bdn", "{}: type {} not accepted inside an envelope", name_,
+                             static_cast<int>(type));
+        }
+    } catch (const wire::WireError& e) {
+        NARADA_DEBUG("bdn", "{}: malformed secured payload from {}: {}", name_, from.str(),
+                     e.what());
+    }
+}
+
+void Bdn::set_security(SecurityContext* security) {
+    security_ = security;
+    if (security_ != nullptr && metrics_ != nullptr) {
+        security_->set_observability(metrics_, name_);
     }
 }
 

@@ -47,6 +47,9 @@
 
 namespace narada::discovery {
 
+class SecurityContext;
+struct SecureOpenResult;
+
 class Bdn final : public transport::MessageHandler {
 public:
     struct RegisteredBroker {
@@ -108,6 +111,11 @@ public:
         std::uint64_t digest_mismatch_pushes = 0;  ///< repairs triggered by digests
         std::uint64_t digest_ring_mismatches = 0;  ///< digest from another ring epoch
         std::uint64_t rebalance_handoffs = 0;  ///< entries pushed on peer-group change
+
+        // --- secured datapath (set_security) ---------------------------------
+        std::uint64_t secured_received = 0;       ///< envelopes opened successfully
+        std::uint64_t secure_open_failures = 0;   ///< envelopes rejected (typed error)
+        std::uint64_t ads_rejected_unauthenticated = 0;  ///< authenticate_ads policy
 
         /// Every shed decision, for digests and logs.
         [[nodiscard]] std::uint64_t requests_shed() const {
@@ -182,6 +190,13 @@ public:
     /// the deployment's true clock. Call before traffic flows.
     void set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
                            const timesvc::UtcSource* utc);
+    /// Attach the secured-datapath context (nullable = security off). The
+    /// BDN accepts kMsgSecureEnvelope datagrams through it and — when its
+    /// config sets authenticate_ads — registers only advertisements that
+    /// arrived through a verified envelope whose signer matches the
+    /// advertised broker name. Not owned; must outlive the BDN.
+    void set_security(SecurityContext* security);
+    [[nodiscard]] SecurityContext* security() const { return security_; }
     /// JSON introspection dump: counters, queue state, and the lease /
     /// liveness age of every registered broker.
     [[nodiscard]] std::string debug_snapshot() const;
@@ -207,6 +222,10 @@ private:
     /// or injection), which forces the re-encode anyway.
     void handle_request(const Endpoint& from, DiscoveryRequest request);
     void handle_pong(const Endpoint& from, wire::ByteReader& reader);
+    /// Dispatch the payload of a successfully opened secure envelope. Only
+    /// perimeter message types (advertisements, discovery requests) are
+    /// accepted inside an envelope; an envelope-in-envelope is rejected.
+    void handle_secured(const Endpoint& from, const SecureOpenResult& opened);
 
     /// Bounded-ingest admission (ingest_queue_limit > 0): dedup filter,
     /// per-source quota, queue bound. Admitted requests are acked and
@@ -344,6 +363,7 @@ private:
     // Observability (all optional; null = off).
     obs::MetricsRegistry* metrics_ = nullptr;  ///< kept for lazy RUDP channels
     obs::SpanRecorder* spans_ = nullptr;
+    SecurityContext* security_ = nullptr;      ///< secured datapath (null = off)
     const timesvc::UtcSource* utc_ = nullptr;
     struct Instruments {
         obs::Counter* requests = nullptr;
@@ -360,6 +380,7 @@ private:
         obs::Counter* ads_forwarded = nullptr;
         obs::Counter* gathers_partial = nullptr;
         obs::Counter* sync_skipped = nullptr;
+        obs::Counter* rejected_ads = nullptr;  ///< crypto_rejected_ads
         obs::Gauge* queue_depth = nullptr;
         obs::Histogram* fanout = nullptr;  ///< injection targets per request
     } inst_;

@@ -4,6 +4,7 @@
 
 #include "broker/topic.hpp"
 #include "common/log.hpp"
+#include "discovery/security.hpp"
 #include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
@@ -75,7 +76,24 @@ void BrokerDiscoveryPlugin::advertise() {
         writer.reserve(1 + ad.measured_size());
         writer.u8(wire::kMsgBrokerAdvertisement);
         ad.encode(writer);
-        broker_->transport().send_datagram(broker_->endpoint(), bdn, writer.take());
+        // Secured deployments seal the advertisement toward the BDN so it
+        // can authenticate who is advertising (§9.1, authenticate_ads).
+        // Loss tolerance carries over: a lost handshake is healed by the
+        // next periodic re-advertisement, which re-handshakes.
+        Bytes framed = writer.take();
+        if (security_ != nullptr && security_->config().enabled()) {
+            const std::string_view peer = security_->identity_at(bdn);
+            wire::ByteWriter sealed(broker_->transport().acquire_buffer());
+            if (!peer.empty() &&
+                security_->seal_datagram({framed.data(), framed.size()}, peer, sealed)) {
+                // Seal succeeded: the sealed frame replaces the plain one
+                // (which the transport recycles with the next acquire).
+                framed = sealed.take();
+                ++stats_.advertisements_sealed;
+            }
+            // else: no identity/key for this BDN — fall back to plain.
+        }
+        broker_->transport().send_datagram(broker_->endpoint(), bdn, std::move(framed));
         ++stats_.advertisements_sent;
         if (inst_.ads) inst_.ads->inc();
     }
@@ -104,6 +122,31 @@ bool BrokerDiscoveryPlugin::on_message(const Endpoint& from, std::uint8_t type,
             // Arrival paths: BDN injection (reliable), direct request from
             // a node that cached us in its target set (§7), or multicast.
             process_request(DiscoveryRequestView::peek(reader), /*flooded=*/false);
+            return true;
+        }
+        case wire::kMsgSecureEnvelope: {
+            // A directly-addressed secured request (§9.1): a client that
+            // cached this broker in its target set and seals toward it.
+            // Only discovery requests are accepted from inside an envelope;
+            // anything else (including a nested envelope) is dropped.
+            if (security_ == nullptr) return true;
+            const SecureOpenResult opened = security_->open_datagram(reader);
+            if (!opened.ok()) {
+                ++stats_.secure_open_failures;
+                NARADA_DEBUG("discovery", "{}: rejected envelope from {}: {}",
+                             broker_->name(), from.str(), crypto::to_string(opened.error));
+                return true;
+            }
+            ++stats_.secured_received;
+            try {
+                wire::ByteReader inner(opened.payload);
+                if (inner.u8() == wire::kMsgDiscoveryRequest) {
+                    process_request(DiscoveryRequestView::peek(inner), /*flooded=*/false);
+                }
+            } catch (const wire::WireError& e) {
+                NARADA_DEBUG("discovery", "{}: malformed secured payload from {}: {}",
+                             broker_->name(), from.str(), e.what());
+            }
             return true;
         }
         case wire::kMsgRudpData:
@@ -380,6 +423,7 @@ void BrokerDiscoveryPlugin::set_observability(obs::MetricsRegistry* metrics,
     inst_.ads = &metrics->counter("plugin_advertisements_sent", node);
     seen_requests_.set_instruments(&metrics->counter("plugin_dedup_evictions", node),
                                    &metrics->gauge("plugin_dedup_occupancy", node));
+    if (security_ != nullptr) security_->set_observability(metrics, node);
 }
 
 std::string BrokerDiscoveryPlugin::debug_snapshot() const {
@@ -404,6 +448,9 @@ std::string BrokerDiscoveryPlugin::debug_snapshot() const {
         .field("advertisements_sent", stats_.advertisements_sent)
         .field("requests_shed", stats_.requests_shed)
         .field("responses_rudp", stats_.responses_rudp)
+        .field("advertisements_sealed", stats_.advertisements_sealed)
+        .field("secured_received", stats_.secured_received)
+        .field("secure_open_failures", stats_.secure_open_failures)
         .end_object();
     if (!rudp_channels_.empty()) {
         w.key("response_lanes").begin_array();

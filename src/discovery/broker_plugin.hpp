@@ -29,6 +29,8 @@
 
 namespace narada::discovery {
 
+class SecurityContext;
+
 /// Static identity a broker presents in advertisements and responses.
 struct BrokerIdentity {
     Uuid broker_id;
@@ -54,6 +56,11 @@ public:
         /// Responses that exceeded `response_rudp_threshold` and went out
         /// over the reliable-UDP bulk lane instead of one lossy datagram.
         std::uint64_t responses_rudp = 0;
+
+        // --- secured datapath (set_security) ---------------------------------
+        std::uint64_t advertisements_sealed = 0;  ///< ads sent inside envelopes
+        std::uint64_t secured_received = 0;       ///< envelopes opened successfully
+        std::uint64_t secure_open_failures = 0;   ///< envelopes rejected (typed error)
     };
 
     explicit BrokerDiscoveryPlugin(BrokerIdentity identity, bool join_multicast = true)
@@ -86,6 +93,14 @@ public:
     void set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans);
     /// JSON introspection dump: counters, overload state, response budget.
     [[nodiscard]] std::string debug_snapshot() const;
+
+    /// Attach the secured-datapath context (nullable = security off).
+    /// Directly-addressed advertisements are sealed toward any BDN whose
+    /// identity is mapped on the context, and kMsgSecureEnvelope datagrams
+    /// (direct secured requests, §9.1) are opened and answered. Not owned;
+    /// must outlive the plugin.
+    void set_security(SecurityContext* security) { security_ = security; }
+    [[nodiscard]] SecurityContext* security() const { return security_; }
 
 private:
     /// Hot entry for every arrival path (`flooded` = arrived as an overlay
@@ -134,6 +149,7 @@ private:
     // Observability (optional; null = off).
     obs::MetricsRegistry* metrics_ = nullptr;  ///< kept for lazy RUDP lanes
     obs::SpanRecorder* spans_ = nullptr;
+    SecurityContext* security_ = nullptr;      ///< secured datapath (null = off)
     struct Instruments {
         obs::Counter* seen = nullptr;
         obs::Counter* duplicates = nullptr;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "discovery/security.hpp"
 #include "obs/json.hpp"
 #include "wire/msg_types.hpp"
 
@@ -194,7 +195,27 @@ void DiscoveryClient::send_to_bdn(const Bytes& encoded) {
     }
     last_bdn_ = chosen;
     ack_pending_ = true;
-    transport_.send_datagram(local_, config_.bdns[chosen], encoded);
+    const bool force = force_handshake_next_;
+    force_handshake_next_ = false;
+    send_datagram_secured(config_.bdns[chosen], encoded, force);
+}
+
+void DiscoveryClient::send_datagram_secured(const Endpoint& target, const Bytes& encoded,
+                                            bool force_handshake) {
+    if (security_ != nullptr && security_->config().enabled()) {
+        const std::string_view peer = security_->identity_at(target);
+        if (!peer.empty()) {
+            wire::ByteWriter sealed(transport_.acquire_buffer());
+            if (security_->seal_datagram({encoded.data(), encoded.size()}, peer, sealed,
+                                         force_handshake)) {
+                transport_.send_datagram(local_, target, sealed.take());
+                return;
+            }
+        }
+        // Unknown identity or seal refusal: fall through to a plain send
+        // rather than silently dropping the run's request.
+    }
+    transport_.send_datagram(local_, target, encoded);
 }
 
 void DiscoveryClient::ensure_breakers() {
@@ -386,6 +407,10 @@ void DiscoveryClient::on_retransmit_timer() {
     ++report_.retransmits;
     if (inst_.retransmits) inst_.retransmits->inc();
     ++bdn_attempt_;  // failover to the next configured BDN (§7)
+    // Under security the silence may mean the BDN never got our session
+    // (lost handshake datagram): the retransmit re-handshakes so the run
+    // recovers no matter which direction lost the first exchange.
+    force_handshake_next_ = true;
     send_request();
 }
 
@@ -463,7 +488,10 @@ void DiscoveryClient::run_fallback() {
     if (!cached_targets_.empty()) {
         report_.used_cached_targets = true;
         for (const Endpoint& target : cached_targets_) {
-            transport_.send_datagram(local_, target, encoded);
+            // Direct broker requests seal per target when the broker's
+            // identity is known (§9.1); fallback is best-effort, so a
+            // fresh handshake per unknown session is acceptable here.
+            send_datagram_secured(target, encoded, /*force_handshake=*/false);
         }
     }
     // Path 2: "the approach could work even if none of the BDNs within the

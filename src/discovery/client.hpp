@@ -35,6 +35,8 @@
 
 namespace narada::discovery {
 
+class SecurityContext;
+
 /// Everything a discovery run produced, including the phase breakdown the
 /// paper's figures report.
 struct DiscoveryReport {
@@ -111,6 +113,14 @@ public:
     /// every downstream hop only checks for a nil id.
     void set_observability(obs::MetricsRegistry* metrics, obs::SpanRecorder* spans,
                            double trace_sample_rate);
+    /// Attach the secured-datapath context (nullable = security off).
+    /// Requests to any BDN (or cached-target broker) whose identity is
+    /// mapped on the context travel sealed; a retransmission forces a fresh
+    /// handshake so a lost handshake datagram cannot wedge the run.
+    /// Multicast fallback stays plain — there is no single recipient to
+    /// seal toward. Not owned; must outlive the client.
+    void set_security(SecurityContext* security) { security_ = security; }
+    [[nodiscard]] SecurityContext* security() const { return security_; }
     /// The trace context of the current (or most recent) run; nil trace id
     /// when the run was not sampled.
     [[nodiscard]] const obs::TraceContext& trace_context() const { return trace_; }
@@ -138,6 +148,10 @@ private:
     void send_to_bdn(const Bytes& encoded);
     void multicast_request(const Bytes& encoded);
     [[nodiscard]] Bytes encode_request() const;
+    /// Send `encoded` to `target`, sealed when security is on and the
+    /// target's identity is known, plain otherwise.
+    void send_datagram_secured(const Endpoint& target, const Bytes& encoded,
+                               bool force_handshake);
 
     void on_ack(const Endpoint& from, wire::ByteReader& reader);
     void on_response(wire::ByteReader& reader);
@@ -226,6 +240,11 @@ private:
     // Inbound bulk lanes, one per sending broker (spoof-bounded).
     std::map<Endpoint, std::unique_ptr<transport::RudpChannel>> rudp_channels_;
     static constexpr std::size_t kMaxRudpPeers = 16;
+
+    SecurityContext* security_ = nullptr;  ///< secured datapath (null = off)
+    /// Set by the retransmit paths: the next send re-handshakes, healing a
+    /// lost handshake (the receiver otherwise has no session and drops us).
+    bool force_handshake_next_ = false;
 
     // Observability (optional; null = off).
     obs::SpanRecorder* spans_ = nullptr;

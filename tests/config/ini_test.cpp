@@ -244,6 +244,47 @@ TEST(NodeConfig, TransportDefaultsAndValidation) {
         IniError);
 }
 
+TEST(NodeConfig, SecuritySectionParsesAllKnobs) {
+    const Ini ini = Ini::parse(R"(
+[security]
+mode = seal
+session_cache_size = 128
+rekey_interval_ms = 60000
+authenticate_ads = true
+)");
+    const SecurityConfig c = SecurityConfig::from_ini(ini);
+    EXPECT_EQ(c.mode, SecurityConfig::Mode::kSeal);
+    EXPECT_TRUE(c.enabled());
+    EXPECT_TRUE(c.sealing());
+    EXPECT_EQ(c.session_cache_size, 128u);
+    EXPECT_EQ(c.rekey_interval, from_ms(60000));
+    EXPECT_TRUE(c.authenticate_ads);
+}
+
+TEST(NodeConfig, SecurityDefaultsAndValidation) {
+    const SecurityConfig d = SecurityConfig::from_ini(Ini::parse(""));
+    EXPECT_EQ(d.mode, SecurityConfig::Mode::kOff);
+    EXPECT_FALSE(d.enabled());
+    EXPECT_EQ(d.session_cache_size, 256u);
+    EXPECT_FALSE(d.authenticate_ads);
+
+    const SecurityConfig sign =
+        SecurityConfig::from_ini(Ini::parse("[security]\nmode = sign\n"));
+    EXPECT_TRUE(sign.enabled());
+    EXPECT_FALSE(sign.sealing());
+    // A zero-capacity session cache is meaningless; clamp to 1.
+    EXPECT_EQ(SecurityConfig::from_ini(
+                  Ini::parse("[security]\nsession_cache_size = 0\n"))
+                  .session_cache_size,
+              1u);
+    EXPECT_THROW(SecurityConfig::from_ini(Ini::parse("[security]\nmode = quantum\n")),
+                 IniError);
+    for (const auto m : {SecurityConfig::Mode::kOff, SecurityConfig::Mode::kSign,
+                         SecurityConfig::Mode::kSeal}) {
+        EXPECT_EQ(parse_security_mode(to_string(m)), m);
+    }
+}
+
 TEST(NodeConfig, InjectionStrategyNames) {
     for (const auto s :
          {InjectionStrategy::kClosestAndFarthest, InjectionStrategy::kClosestOnly,

@@ -1,0 +1,110 @@
+// SessionKeyCache: the bounded LRU that amortizes the paper's per-message
+// RSA cost (§9.1, Figure 14) into a once-per-peer handshake.
+#include "crypto/session_key_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace narada::crypto {
+namespace {
+
+Aes128::Key make_key(std::uint8_t fill) {
+    Aes128::Key key;
+    key.fill(fill);
+    return key;
+}
+
+TEST(SessionKeyCacheTest, DeriveKeyIdIsStableAndKeyed) {
+    const auto a = derive_key_id(make_key(1));
+    EXPECT_EQ(a, derive_key_id(make_key(1)));  // pure function of the bytes
+    EXPECT_NE(a, derive_key_id(make_key(2)));
+    EXPECT_NE(a, 0u);  // 0 is reserved as "no session" in the memo paths
+    EXPECT_NE(derive_key_id(make_key(0)), 0u);
+}
+
+TEST(SessionKeyCacheTest, SessionDerivesDistinctMacKey) {
+    // The MAC schedule is derived from (not equal to) the cipher schedule:
+    // a tag computed under one session must not verify under another.
+    const auto s1 = SessionKeyCache::Session::derive(make_key(1), 10);
+    const auto s2 = SessionKeyCache::Session::derive(make_key(2), 10);
+    const Bytes msg{1, 2, 3};
+    EXPECT_NE(s1.mac.compute(msg), s2.mac.compute(msg));
+    EXPECT_EQ(s1.established_at, 10);
+    EXPECT_EQ(s1.key_id, derive_key_id(make_key(1)));
+}
+
+TEST(SessionKeyCacheTest, PutThenFind) {
+    SessionKeyCache cache(4);
+    EXPECT_EQ(cache.find("alice"), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    auto& stored = cache.put("alice", make_key(1), 100);
+    EXPECT_EQ(stored.established_at, 100);
+    auto* found = cache.find("alice");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &stored);  // pointer stability across find
+    EXPECT_EQ(found->key_id, derive_key_id(make_key(1)));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(SessionKeyCacheTest, RekeyReplacesInPlace) {
+    SessionKeyCache cache(4);
+    cache.put("alice", make_key(1), 100);
+    auto& rekeyed = cache.put("alice", make_key(2), 200);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(rekeyed.key_id, derive_key_id(make_key(2)));
+    EXPECT_EQ(rekeyed.established_at, 200);
+    EXPECT_EQ(cache.find("alice")->key_id, rekeyed.key_id);
+}
+
+TEST(SessionKeyCacheTest, EvictsLeastRecentlyUsed) {
+    SessionKeyCache cache(3);
+    cache.put("a", make_key(1), 1);
+    cache.put("b", make_key(2), 2);
+    cache.put("c", make_key(3), 3);
+    // Touch "a" so "b" becomes the LRU entry.
+    ASSERT_NE(cache.find("a"), nullptr);
+    cache.put("d", make_key(4), 4);
+
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.find("b"), nullptr);  // evicted
+    EXPECT_NE(cache.find("a"), nullptr);
+    EXPECT_NE(cache.find("c"), nullptr);
+    EXPECT_NE(cache.find("d"), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SessionKeyCacheTest, EraseAndClear) {
+    SessionKeyCache cache(4);
+    cache.put("a", make_key(1), 1);
+    cache.put("b", make_key(2), 2);
+    cache.erase("a");
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.find("a"), nullptr);
+    cache.erase("never-there");  // no-op, no crash
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.find("b"), nullptr);
+}
+
+TEST(SessionKeyCacheTest, CapacityOneStillCycles) {
+    SessionKeyCache cache(1);
+    cache.put("a", make_key(1), 1);
+    cache.put("b", make_key(2), 2);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.find("a"), nullptr);
+    EXPECT_NE(cache.find("b"), nullptr);
+}
+
+TEST(SessionKeyCacheTest, HeterogeneousLookupMatchesOwnedKey) {
+    SessionKeyCache cache(4);
+    const std::string owned = "broker-7.cs.indiana.edu";
+    cache.put(owned, make_key(9), 5);
+    const char* view = "broker-7.cs.indiana.edu";
+    EXPECT_NE(cache.find(std::string_view(view)), nullptr);
+}
+
+}  // namespace
+}  // namespace narada::crypto

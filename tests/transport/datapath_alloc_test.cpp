@@ -24,6 +24,7 @@
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "discovery/messages.hpp"
+#include "discovery/security.hpp"
 #include "transport/rudp_channel.hpp"
 #include "transport/shard_runtime.hpp"
 #include "wire/codec.hpp"
@@ -404,6 +405,84 @@ TEST_F(DatapathAllocFixture, RudpSendPathIsAllocationFreeInSteadyState) {
                          << kRounds * kSegments << " RUDP segments";
     EXPECT_EQ(channel.stats().send_rejected, 0u);
 }
+
+// --- Secured datapath --------------------------------------------------------
+//
+// The zero-allocation property must survive encryption: after the one-time
+// RSA handshake, a seal -> open round trip rides precomputed AES schedules,
+// reused scratch buffers and a recycled pooled frame — zero heap traffic
+// per datagram in both sign and seal mode.
+
+class SecuredAllocFixture : public ::testing::TestWithParam<config::SecurityConfig::Mode> {};
+
+TEST_P(SecuredAllocFixture, SealOpenSteadyStateIsAllocationFree) {
+    using discovery::SecurityContext;
+    Rng rng(4242);
+    const auto ca_keys = crypto::rsa_generate(rng, 512);
+    const auto root = crypto::make_self_signed("ca", ca_keys, 0, 1'000'000'000, 1);
+    auto alice_keys = crypto::rsa_generate(rng, 512);
+    auto bob_keys = crypto::rsa_generate(rng, 512);
+    const auto alice_leaf = crypto::issue_certificate(
+        "alice", alice_keys.public_key, "ca", ca_keys.private_key, 0, 1'000'000'000, 2);
+    const auto bob_pub = bob_keys.public_key;
+
+    ManualClock clock(0);
+    config::SecurityConfig cfg;
+    cfg.mode = GetParam();
+    cfg.session_cache_size = 8;
+    cfg.rekey_interval = 0;  // never rekey inside the measured region
+    SecurityContext alice("alice", std::move(alice_keys), {alice_leaf, root}, {root}, cfg,
+                          clock, rng);
+    SecurityContext bob("bob", std::move(bob_keys), {}, {root}, cfg, clock, rng);
+    alice.add_peer_key("bob", bob_pub);
+
+    Bytes payload(256);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i);
+    }
+    const std::span<const std::uint8_t> payload_span{payload.data(), payload.size()};
+
+    // One recycled frame stands in for the transport's buffer pool.
+    Bytes frame;
+    const auto round_trip = [&]() -> bool {
+        wire::ByteWriter writer((Bytes(std::move(frame))));
+        if (!alice.seal_datagram(payload_span, "bob", writer)) return false;
+        frame = writer.take();
+        wire::ByteReader reader(frame);
+        if (reader.u8() != wire::kMsgSecureEnvelope) return false;
+        const auto opened = bob.open_datagram(reader);
+        return opened.ok() && opened.payload.size() == payload.size();
+    };
+
+    // Warm-up: the first trip carries the RSA handshake and grows the
+    // scratch buffers, session caches and the frame's capacity.
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(round_trip());
+    }
+    const auto handshakes_before = alice.stats().handshakes_sent;
+
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    bool ok = true;
+    for (int i = 0; i < 256; ++i) {
+        ok = ok && round_trip();
+    }
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " allocations across 256 sealed round trips";
+    // The measured region rode the cached session end to end.
+    EXPECT_EQ(alice.stats().handshakes_sent, handshakes_before);
+    EXPECT_GE(bob.stats().memo_hits, 256u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SecuredAllocFixture,
+                         ::testing::Values(config::SecurityConfig::Mode::kSign,
+                                           config::SecurityConfig::Mode::kSeal),
+                         [](const auto& info) {
+                             return info.param == config::SecurityConfig::Mode::kSeal
+                                        ? "seal"
+                                        : "sign";
+                         });
 
 // --- Sharded datapath --------------------------------------------------------
 //
